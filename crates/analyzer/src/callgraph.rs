@@ -1,0 +1,107 @@
+//! Dynamic call graph (paper §B.1).
+//!
+//! The paper reconstructs a call graph from runtime stack samples because
+//! WALA's static graph handles polymorphism poorly and 2-CFA does not scale.
+//! Here the graph is assembled from the `call_edges` recorded by the
+//! injection agent across profile runs.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use csnake_inject::{FnId, RunTrace};
+use serde::{Deserialize, Serialize};
+
+/// A directed call graph over interned function ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CallGraph {
+    edges: BTreeMap<FnId, BTreeSet<FnId>>,
+}
+
+impl CallGraph {
+    /// Adds one caller → callee edge.
+    pub fn add_edge(&mut self, caller: FnId, callee: FnId) {
+        self.edges.entry(caller).or_default().insert(callee);
+    }
+
+    /// Merges all call edges observed in a run trace.
+    pub fn absorb(&mut self, trace: &RunTrace) {
+        for (a, b) in &trace.call_edges {
+            self.add_edge(*a, *b);
+        }
+    }
+
+    /// Builds a graph from a set of profile-run traces.
+    pub fn from_traces<'a>(traces: impl IntoIterator<Item = &'a RunTrace>) -> Self {
+        let mut g = CallGraph::default();
+        for t in traces {
+            g.absorb(t);
+        }
+        g
+    }
+
+    /// Direct callees of a function.
+    pub fn callees(&self, f: FnId) -> impl Iterator<Item = FnId> + '_ {
+        self.edges.get(&f).into_iter().flatten().copied()
+    }
+
+    /// Transitive closure of functions reachable from `f`, including `f`.
+    pub fn reachable_from(&self, f: FnId) -> BTreeSet<FnId> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(f);
+        queue.push_back(f);
+        while let Some(cur) = queue.pop_front() {
+            for next in self.callees(cur) {
+                if seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FnId {
+        FnId(i)
+    }
+
+    #[test]
+    fn reachability_includes_self_and_transitive() {
+        let mut g = CallGraph::default();
+        g.add_edge(f(0), f(1));
+        g.add_edge(f(1), f(2));
+        g.add_edge(f(3), f(4));
+        let r = g.reachable_from(f(0));
+        assert_eq!(r, [f(0), f(1), f(2)].into_iter().collect());
+        assert_eq!(g.reachable_from(f(4)), [f(4)].into_iter().collect());
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = CallGraph::default();
+        g.add_edge(f(0), f(1));
+        g.add_edge(f(1), f(0));
+        let r = g.reachable_from(f(0));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn absorb_merges_trace_edges() {
+        let mut t1 = RunTrace::default();
+        t1.call_edges.insert((f(0), f(1)));
+        let mut t2 = RunTrace::default();
+        t2.call_edges.insert((f(1), f(2)));
+        t2.call_edges.insert((f(0), f(1))); // duplicate
+        let g = CallGraph::from_traces([&t1, &t2]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.reachable_from(f(0)).len(), 3);
+    }
+}

@@ -1,0 +1,344 @@
+//! Model-level static analyzer: fault-point filtering and loop scalability
+//! analysis.
+//!
+//! The paper's static analyzer (§4.1, §7) runs WALA over Java bytecode to
+//! enumerate injection candidates, then prunes them with conservative,
+//! rule-based filters. This reproduction runs the *same filter rules* over a
+//! declared [`csnake_inject::Registry`] plus the dynamic call graph collected
+//! from profile runs (the paper likewise falls back to a dynamic call graph —
+//! §B.1 — because WALA's static one struggles with polymorphism).
+//!
+//! Filters implemented:
+//!
+//! * **Exceptions** — reflection-/security-related classes and throw points
+//!   only reachable from test code are excluded (§4.1).
+//! * **Loops** — constant-bound loops are excluded; the remaining loops are
+//!   ranked by the amount of code reachable from their enclosing function in
+//!   the dynamic call graph, and the lowest-ranked decile is excluded unless
+//!   the loop performs I/O (§4.1 "loop scalability analysis").
+//! * **Negation points** — boolean-returning functions are kept only when
+//!   they are genuine system-specific error detectors; JDK utilities,
+//!   final-config-derived, constant/unused, and primitive-only utilities are
+//!   excluded (§7).
+
+pub mod callgraph;
+
+use std::collections::BTreeMap;
+
+use csnake_inject::{BoolSource, ExceptionCategory, FaultId, FaultKind, LoopBound, Registry};
+use serde::{Deserialize, Serialize};
+
+pub use callgraph::CallGraph;
+
+/// Why a fault point was excluded from injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterReason {
+    /// Reflection-/security-related exception (§4.1).
+    ReflectionOrSecurity,
+    /// Exception only reachable from test code (§4.1).
+    TestOnly,
+    /// Loop with a constant iteration bound (§4.1).
+    ConstantBound,
+    /// Short-execution loop (lowest decile of reachable code) without I/O.
+    ShortNonIoLoop,
+    /// Boolean-returning function that is not a system-specific error
+    /// detector (§7 criteria 1–3 + JDK utilities).
+    NonDetectorBool,
+}
+
+/// Analyzer knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Fraction of lowest-ranked loops considered "short execution"
+    /// (paper: lowest 10%).
+    pub short_loop_fraction: f64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            short_loop_fraction: 0.10,
+        }
+    }
+}
+
+/// Per-kind counts in the style of the paper's Table 2.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SystemStats {
+    /// Declared loop points.
+    pub loops: usize,
+    /// Declared exception points (throw + library-call).
+    pub exceptions: usize,
+    /// Declared negation points.
+    pub negations: usize,
+    /// Declared branch monitor points.
+    pub branches: usize,
+    /// Loop points surviving the filters.
+    pub active_loops: usize,
+    /// Exception points surviving the filters.
+    pub active_exceptions: usize,
+    /// Negation points surviving the filters.
+    pub active_negations: usize,
+}
+
+/// Result of analyzing one target system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Analysis {
+    /// Fault points eligible for injection, in id order.
+    pub injectable: Vec<FaultId>,
+    /// Excluded points with the rule that removed them.
+    pub filtered: Vec<(FaultId, FilterReason)>,
+    /// Table-2-style counts.
+    pub stats: SystemStats,
+}
+
+impl Analysis {
+    /// `true` if the point survived filtering.
+    pub fn is_injectable(&self, f: FaultId) -> bool {
+        self.injectable.binary_search(&f).is_ok()
+    }
+
+    /// The reason a point was filtered, if it was.
+    pub fn filter_reason(&self, f: FaultId) -> Option<FilterReason> {
+        self.filtered
+            .iter()
+            .find(|(id, _)| *id == f)
+            .map(|(_, r)| *r)
+    }
+}
+
+/// Runs the full §4.1/§7 filter pipeline over a registry.
+///
+/// `call_graph` should be the union of dynamic call graphs observed across
+/// profile runs; loops whose enclosing function never appears get rank 0
+/// (they can only be deprioritized, mirroring the paper's conservative
+/// stance: "fault filtering criteria is designed to be conservative").
+pub fn analyze(registry: &Registry, call_graph: &CallGraph, cfg: &AnalysisConfig) -> Analysis {
+    let mut injectable = Vec::new();
+    let mut filtered = Vec::new();
+    let mut stats = SystemStats {
+        branches: registry.branches().len(),
+        ..SystemStats::default()
+    };
+
+    // Loop ranking: reachable-function count from the enclosing function.
+    let mut loop_rank: BTreeMap<FaultId, usize> = BTreeMap::new();
+    for p in registry.points_of_kind(FaultKind::LoopPoint) {
+        let reach = call_graph.reachable_from(p.site.function).len();
+        loop_rank.insert(p.id, reach);
+    }
+    let mut ranks: Vec<usize> = loop_rank.values().copied().collect();
+    ranks.sort_unstable();
+    let cut_index = ((ranks.len() as f64) * cfg.short_loop_fraction).floor() as usize;
+    // Rank value at the decile boundary; loops strictly below it (and without
+    // I/O) are "short execution".
+    let short_threshold = if cut_index == 0 || ranks.is_empty() {
+        0
+    } else {
+        ranks[cut_index]
+    };
+
+    for p in registry.points() {
+        match p.kind {
+            FaultKind::Throw | FaultKind::LibCall => {
+                stats.exceptions += 1;
+                let meta = p.exception.as_ref().expect("exception point has meta");
+                if matches!(
+                    meta.category,
+                    ExceptionCategory::Reflection | ExceptionCategory::Security
+                ) {
+                    filtered.push((p.id, FilterReason::ReflectionOrSecurity));
+                } else if meta.test_only {
+                    filtered.push((p.id, FilterReason::TestOnly));
+                } else {
+                    stats.active_exceptions += 1;
+                    injectable.push(p.id);
+                }
+            }
+            FaultKind::Negation => {
+                stats.negations += 1;
+                let meta = p.negation.as_ref().expect("negation point has meta");
+                if meta.source == BoolSource::ErrorDetector {
+                    stats.active_negations += 1;
+                    injectable.push(p.id);
+                } else {
+                    filtered.push((p.id, FilterReason::NonDetectorBool));
+                }
+            }
+            FaultKind::LoopPoint => {
+                stats.loops += 1;
+                let meta = p.loop_meta.as_ref().expect("loop point has meta");
+                match meta.bound {
+                    LoopBound::Constant(_) => {
+                        filtered.push((p.id, FilterReason::ConstantBound));
+                    }
+                    LoopBound::WorkloadDependent => {
+                        let rank = loop_rank.get(&p.id).copied().unwrap_or(0);
+                        if rank < short_threshold && !meta.does_io {
+                            filtered.push((p.id, FilterReason::ShortNonIoLoop));
+                        } else {
+                            stats.active_loops += 1;
+                            injectable.push(p.id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    injectable.sort_unstable();
+    Analysis {
+        injectable,
+        filtered,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csnake_inject::RegistryBuilder;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    #[test]
+    fn keeps_system_specific_and_library_exceptions() {
+        let mut b = RegistryBuilder::new("t");
+        let f = b.func("X.f");
+        let sys = b.throw_point(f, 1, "IOException", ExceptionCategory::SystemSpecific, "a");
+        let lib = b.lib_call(f, 2, "SocketException", "b");
+        let rt = b.throw_point(
+            f,
+            3,
+            "IllegalArgumentException",
+            ExceptionCategory::ExplicitRuntime,
+            "c",
+        );
+        let r = b.build();
+        let a = analyze(&r, &CallGraph::default(), &cfg());
+        assert!(a.is_injectable(sys));
+        assert!(a.is_injectable(lib));
+        assert!(a.is_injectable(rt));
+        assert_eq!(a.stats.active_exceptions, 3);
+    }
+
+    #[test]
+    fn filters_reflection_security_and_test_only() {
+        let mut b = RegistryBuilder::new("t");
+        let f = b.func("X.f");
+        let refl = b.throw_point(
+            f,
+            1,
+            "ReflectiveOperationException",
+            ExceptionCategory::Reflection,
+            "r",
+        );
+        let sec = b.throw_point(f, 2, "SecurityException", ExceptionCategory::Security, "s");
+        let test = b.test_only_throw(f, 3, "AssertionError", "t");
+        let keep = b.throw_point(f, 4, "IOException", ExceptionCategory::SystemSpecific, "k");
+        let r = b.build();
+        let a = analyze(&r, &CallGraph::default(), &cfg());
+        assert_eq!(
+            a.filter_reason(refl),
+            Some(FilterReason::ReflectionOrSecurity)
+        );
+        assert_eq!(
+            a.filter_reason(sec),
+            Some(FilterReason::ReflectionOrSecurity)
+        );
+        assert_eq!(a.filter_reason(test), Some(FilterReason::TestOnly));
+        assert!(a.is_injectable(keep));
+    }
+
+    #[test]
+    fn filters_non_detector_booleans() {
+        let mut b = RegistryBuilder::new("t");
+        let f = b.func("X.f");
+        let det = b.negation_point(f, 1, true, BoolSource::ErrorDetector, "is_stale");
+        let jdk = b.negation_point(f, 2, true, BoolSource::JdkUtility, "contains");
+        let cfg_only = b.negation_point(f, 3, true, BoolSource::FinalConfigOnly, "is_ha");
+        let unused = b.negation_point(f, 4, true, BoolSource::ConstantOrUnused, "dbg");
+        let prim = b.negation_point(f, 5, true, BoolSource::PrimitiveUtility, "is_sorted");
+        let r = b.build();
+        let a = analyze(&r, &CallGraph::default(), &cfg());
+        assert!(a.is_injectable(det));
+        for p in [jdk, cfg_only, unused, prim] {
+            assert_eq!(
+                a.filter_reason(p),
+                Some(FilterReason::NonDetectorBool),
+                "{p}"
+            );
+        }
+        assert_eq!(a.stats.active_negations, 1);
+        assert_eq!(a.stats.negations, 5);
+    }
+
+    #[test]
+    fn filters_constant_bound_loops() {
+        let mut b = RegistryBuilder::new("t");
+        let f = b.func("X.f");
+        let konst = b.const_loop(f, 1, 10, "retry3");
+        let wl = b.workload_loop(f, 2, false, "per_block");
+        let r = b.build();
+        let a = analyze(&r, &CallGraph::default(), &cfg());
+        assert_eq!(a.filter_reason(konst), Some(FilterReason::ConstantBound));
+        assert!(a.is_injectable(wl));
+    }
+
+    #[test]
+    fn short_non_io_loops_filtered_by_rank() {
+        let mut b = RegistryBuilder::new("t");
+        // 20 loops in distinct functions; function i reaches i callees.
+        let mut fns = Vec::new();
+        let mut loops = Vec::new();
+        let mut cg = CallGraph::default();
+        for i in 0..20u32 {
+            let name: &'static str = Box::leak(format!("F{i}.run").into_boxed_str());
+            let f = b.func(name);
+            fns.push(f);
+            // Loop 0 does I/O; the rest do not.
+            loops.push(b.workload_loop(f, 1, i == 0, "l"));
+        }
+        // Give function i a chain of i callees.
+        for (i, f) in fns.iter().enumerate() {
+            let mut prev = *f;
+            for j in 0..i {
+                let name: &'static str = Box::leak(format!("F{i}.helper{j}").into_boxed_str());
+                let h = b.func(name);
+                cg.add_edge(prev, h);
+                prev = h;
+            }
+        }
+        let r = b.build();
+        let a = analyze(&r, &cg, &cfg());
+        // 10% of 20 = 2 → loops ranked below the 2nd-smallest rank and
+        // without I/O are cut. Loop 0 (rank 1, but I/O) survives; loop 1
+        // (rank 2) is at the threshold boundary.
+        assert!(a.is_injectable(loops[0]), "I/O loop survives despite rank");
+        assert!(a.is_injectable(loops[19]));
+        let cut: Vec<_> = a
+            .filtered
+            .iter()
+            .filter(|(_, r)| *r == FilterReason::ShortNonIoLoop)
+            .collect();
+        assert!(!cut.is_empty(), "some short loops must be filtered");
+        assert!(cut.len() <= 2, "at most the bottom decile is filtered");
+    }
+
+    #[test]
+    fn injectable_is_sorted_and_consistent_with_filtered() {
+        let mut b = RegistryBuilder::new("t");
+        let f = b.func("X.f");
+        b.throw_point(f, 1, "IOException", ExceptionCategory::SystemSpecific, "a");
+        b.negation_point(f, 2, true, BoolSource::JdkUtility, "b");
+        b.workload_loop(f, 3, true, "c");
+        let r = b.build();
+        let a = analyze(&r, &CallGraph::default(), &cfg());
+        let mut sorted = a.injectable.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, a.injectable);
+        assert_eq!(a.injectable.len() + a.filtered.len(), r.points().len());
+    }
+}

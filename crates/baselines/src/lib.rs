@@ -1,0 +1,20 @@
+//! Baseline strategies CSnake is compared against in the paper.
+//!
+//! * [`naive`] — the §8.2 alternative: inject a *single* fault into a
+//!   workload and check whether it re-triggers itself in the same run
+//!   (e.g. delay one loop and watch that same loop's iteration count).
+//!   Most Table 3 bugs span multiple workloads and defeat this.
+//! * [`blackbox`] — a Jepsen/Blockade-style black-box fuzzer (§8.2.1):
+//!   coarse-grained external faults (node crash/restart, partitions, link
+//!   slowdowns) with a crash/flag oracle, no whitebox feedback. It finds
+//!   none of the seeded self-sustaining cycles.
+//!
+//! The random-allocation baseline (Table 3 "Rnd.?") lives in
+//! `csnake_core::alloc::run_random_allocation`, since it shares the
+//! experiment engine.
+
+pub mod blackbox;
+pub mod naive;
+
+pub use blackbox::{run_blackbox_campaign, BlackboxConfig, BlackboxReport};
+pub use naive::{run_naive_strategy, NaiveConfig, NaiveFinding, NaiveReport};

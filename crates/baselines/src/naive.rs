@@ -1,0 +1,178 @@
+//! The naive single-fault self-loop strategy (§8.2).
+//!
+//! For every injectable fault and every reaching workload, inject the fault
+//! alone and check whether *the fault causes itself* within that single run:
+//!
+//! * a delayed loop whose own iteration count still increases significantly
+//!   (a self-sustaining load loop), or
+//! * an injected exception/negation that re-occurs *again* later in the
+//!   same injection run (beyond the injected occurrence itself).
+//!
+//! A seeded bug counts as "detectable by the naive strategy" (Table 3
+//! "Alt.?") when such a self-loop exists on one of the bug's labels.
+
+use std::collections::BTreeSet;
+
+use csnake_core::driver::seed_for;
+use csnake_core::stats::significant_increase;
+use csnake_core::TargetSystem;
+use csnake_inject::{FaultId, FaultKind, InjectionPlan, TestId};
+use csnake_sim::VirtualTime;
+use serde::Serialize;
+
+/// Naive-strategy knobs.
+#[derive(Debug, Clone)]
+pub struct NaiveConfig {
+    /// Repetitions per run set (paper: 5).
+    pub reps: usize,
+    /// Delay lengths swept for loop faults, in milliseconds.
+    pub delay_values_ms: Vec<u64>,
+    /// One-sided t-test threshold.
+    pub p_value: f64,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl Default for NaiveConfig {
+    fn default() -> Self {
+        NaiveConfig {
+            reps: 3,
+            delay_values_ms: vec![800, 3200],
+            p_value: 0.1,
+            base_seed: 0xA17,
+        }
+    }
+}
+
+/// One self-loop found by the naive strategy.
+#[derive(Debug, Clone, Serialize)]
+pub struct NaiveFinding {
+    /// The injected fault.
+    pub fault: FaultId,
+    /// Its registry label.
+    pub label: &'static str,
+    /// The workload it self-sustained in.
+    pub test: TestId,
+}
+
+/// Result of a naive campaign over one target.
+#[derive(Debug, Clone, Serialize)]
+pub struct NaiveReport {
+    /// All self-loops found.
+    pub findings: Vec<NaiveFinding>,
+    /// Injection runs executed.
+    pub runs: usize,
+    /// Known bugs whose label set intersects a finding ("Alt.? = yes").
+    pub alt_detected: Vec<&'static str>,
+}
+
+/// Runs the naive single-fault strategy over every (fault, test) pair.
+pub fn run_naive_strategy(target: &dyn TargetSystem, cfg: &NaiveConfig) -> NaiveReport {
+    let registry = target.registry();
+    let tests = target.tests();
+    let mut findings = Vec::new();
+    let mut runs = 0usize;
+
+    for tc in &tests {
+        // Profile runs for this test.
+        let profiles: Vec<_> = (0..cfg.reps)
+            .map(|r| target.run(tc.id, None, seed_for(cfg.base_seed, tc.id, r)))
+            .collect();
+        runs += profiles.len();
+        let covered: BTreeSet<FaultId> = profiles
+            .iter()
+            .flat_map(|t| t.coverage.iter().copied())
+            .collect();
+
+        for p in registry.points() {
+            if !covered.contains(&p.id) {
+                continue;
+            }
+            let self_loop = match p.kind {
+                FaultKind::LoopPoint => {
+                    let prof: Vec<f64> =
+                        profiles.iter().map(|t| t.loop_count(p.id) as f64).collect();
+                    cfg.delay_values_ms.iter().any(|ms| {
+                        let plan = InjectionPlan::delay(p.id, VirtualTime::from_millis(*ms));
+                        let inj: Vec<f64> = (0..cfg.reps)
+                            .map(|r| {
+                                target
+                                    .run(tc.id, Some(plan), seed_for(cfg.base_seed, tc.id, r))
+                                    .loop_count(p.id) as f64
+                            })
+                            .collect();
+                        // The injected delay does not change the count by
+                        // itself; only retry storms can.
+                        significant_increase(&prof, &inj, cfg.p_value)
+                    })
+                }
+                FaultKind::Throw | FaultKind::LibCall | FaultKind::Negation => {
+                    let plan = match p.kind {
+                        FaultKind::Negation => InjectionPlan::negate(p.id),
+                        _ => InjectionPlan::throw(p.id),
+                    };
+                    (0..cfg.reps).all(|r| {
+                        let t = target.run(tc.id, Some(plan), seed_for(cfg.base_seed, tc.id, r));
+                        // Re-occurrence beyond the injected occurrence.
+                        t.occurrences.get(&p.id).map(|o| o.len()).unwrap_or(0) > 1
+                    })
+                }
+            };
+            runs += cfg.reps * cfg.delay_values_ms.len().max(1);
+            if self_loop {
+                findings.push(NaiveFinding {
+                    fault: p.id,
+                    label: p.label,
+                    test: tc.id,
+                });
+            }
+        }
+    }
+
+    // A bug is naive-detectable when a self-loop exists on one of its
+    // labels: the single injection already manifests the cycle's engine.
+    let mut alt_detected = Vec::new();
+    for bug in target.known_bugs() {
+        let hit = findings.iter().any(|f| bug.labels.contains(&f.label));
+        if hit {
+            alt_detected.push(bug.id);
+        }
+    }
+
+    NaiveReport {
+        findings,
+        runs,
+        alt_detected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csnake_targets::ToySystem;
+
+    #[test]
+    fn naive_finds_toy_self_loop_in_retry_test_only() {
+        // In the toy, delaying the work loop in the retry-enabled workload
+        // self-amplifies (timeouts → fanout retries → more iterations); in
+        // the retry-free workload it cannot.
+        let target = ToySystem::new();
+        let report = run_naive_strategy(&target, &NaiveConfig::default());
+        let ids = target.ids();
+        let self_tests: Vec<TestId> = report
+            .findings
+            .iter()
+            .filter(|f| f.fault == ids.l_work)
+            .map(|f| f.test)
+            .collect();
+        assert!(
+            self_tests.contains(&TestId(1)),
+            "retry workload must self-loop: {report:?}"
+        );
+        assert!(
+            !self_tests.contains(&TestId(0)),
+            "no-retry workload must not self-loop"
+        );
+        assert_eq!(report.alt_detected, vec!["toy-retry-storm"]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Criterion benchmarks for the core pipeline stages and the §8.5
+//! instrumentation-overhead comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+
+use csnake_core::beam::{beam_search, BeamConfig};
+use csnake_core::cluster::hierarchical_cluster;
+use csnake_core::edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
+use csnake_core::idf::IdfVectorizer;
+use csnake_core::stats::welch_one_sided_p;
+use csnake_core::TargetSystem;
+use csnake_inject::{FaultId, Occurrence, TestId};
+use csnake_targets::{MiniHdfs2, ToySystem};
+
+fn synthetic_db(n_faults: u32, fanout: u32) -> CausalDb {
+    let state = |tag: u32| {
+        CompatState::Occurrences(vec![Occurrence::new(
+            [Some(csnake_inject::FnId(tag)), None],
+            vec![],
+        )])
+    };
+    let mut edges = Vec::new();
+    for c in 0..n_faults {
+        for k in 0..fanout {
+            let e = (c + k + 1) % n_faults;
+            edges.push(CausalEdge {
+                cause: FaultId(c),
+                effect: FaultId(e),
+                kind: EdgeKind::EI,
+                test: TestId(k),
+                phase: 1,
+                cause_state: state(c),
+                effect_state: state(e),
+            });
+        }
+    }
+    CausalDb::from_edges(edges)
+}
+
+fn bench_beam(c: &mut Criterion) {
+    let mut g = c.benchmark_group("beam_search");
+    for &n in &[20u32, 60, 120] {
+        let db = synthetic_db(n, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            let cfg = BeamConfig {
+                beam_size: 10_000,
+                max_len: 4,
+                ..BeamConfig::default()
+            };
+            b.iter(|| beam_search(db, &|_| 0.5, &cfg).len());
+        });
+    }
+    g.finish();
+}
+
+fn bench_idf_cluster(c: &mut Criterion) {
+    let docs: Vec<BTreeSet<FaultId>> = (0..200u32)
+        .map(|i| (0..8).map(|k| FaultId((i * 7 + k * 13) % 64)).collect())
+        .collect();
+    c.bench_function("idf_fit_vectorize_cluster_200", |b| {
+        b.iter(|| {
+            let m = IdfVectorizer::fit(&docs);
+            let vecs: Vec<_> = docs.iter().map(|d| m.vectorize(d)).collect();
+            hierarchical_cluster(&vecs, 0.5).n_clusters
+        });
+    });
+}
+
+fn bench_welch(c: &mut Criterion) {
+    let a: Vec<f64> = (0..5).map(|i| 100.0 + i as f64).collect();
+    let b2: Vec<f64> = (0..5).map(|i| 140.0 + i as f64).collect();
+    c.bench_function("welch_one_sided_p", |b| {
+        b.iter(|| welch_one_sided_p(&a, &b2));
+    });
+}
+
+fn bench_target_run(c: &mut Criterion) {
+    let toy = ToySystem::new();
+    c.bench_function("toy_profile_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            toy.run(TestId(0), None, seed).events
+        });
+    });
+    let hdfs = MiniHdfs2::new();
+    c.bench_function("hdfs2_profile_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            hdfs.run(TestId(0), None, seed).events
+        });
+    });
+}
+
+/// §8.5: instrumented vs monitoring-off profile runs.
+fn bench_overhead(c: &mut Criterion) {
+    let hdfs = MiniHdfs2::new();
+    let mut g = c.benchmark_group("instrumentation_overhead");
+    g.bench_function("tracing_on", |b| {
+        csnake_inject::tracing_switch::set(true);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            hdfs.run(TestId(0), None, seed).events
+        });
+    });
+    g.bench_function("tracing_off", |b| {
+        csnake_inject::tracing_switch::set(false);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            hdfs.run(TestId(0), None, seed).events
+        });
+        csnake_inject::tracing_switch::set(true);
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_beam, bench_idf_cluster, bench_welch, bench_target_run, bench_overhead
+}
+criterion_main!(benches);

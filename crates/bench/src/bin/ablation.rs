@@ -1,0 +1,91 @@
+//! Ablation: what the §6.2 local compatibility check buys.
+//!
+//! Runs one mini-HDFS2 campaign, then performs the beam search twice over
+//! the same causal database — once with the compatibility check and once
+//! stitching on fault identity alone. Without the check, incompatible
+//! propagations from mutually-exclusive workload conditions get linked,
+//! inflating reported cycles and clusters without adding true positives
+//! (the "invalid causal chains" of §2).
+
+use csnake_bench::{run_csnake, set_current_target, EvalConfig};
+use csnake_core::edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
+use csnake_core::{beam_search, build_report, cluster_cycles, BeamConfig, TargetSystem};
+use csnake_inject::{FaultId, FnId, Occurrence, TestId};
+use csnake_targets::MiniHdfs2;
+
+/// The §2 soundness scenario: `f1 → f2` observed under condition `c1` and
+/// `f2 → f1` under `¬c1` (encoded as different local branch traces of the
+/// shared fault `f2`). Linking them is unsound.
+fn incompatible_conditions_db() -> CausalDb {
+    let occ = |f: u32, branch_outcome: bool| {
+        CompatState::Occurrences(vec![Occurrence::new(
+            [Some(FnId(f)), None],
+            vec![(csnake_inject::BranchId(0), branch_outcome)],
+        )])
+    };
+    CausalDb::from_edges(vec![
+        CausalEdge {
+            cause: FaultId(1),
+            effect: FaultId(2),
+            kind: EdgeKind::EI,
+            test: TestId(0),
+            phase: 1,
+            cause_state: occ(1, true),
+            effect_state: occ(2, true), // f2 under c1
+        },
+        CausalEdge {
+            cause: FaultId(2),
+            effect: FaultId(1),
+            kind: EdgeKind::EI,
+            test: TestId(1),
+            phase: 1,
+            cause_state: occ(2, false), // f2 under ¬c1
+            effect_state: occ(1, true),
+        },
+    ])
+}
+
+fn main() {
+    println!("Soundness micro-demonstration (the §2 incompatible-conditions case):");
+    let db = incompatible_conditions_db();
+    for (name, check) in [("with §6.2 check", true), ("identity-only", false)] {
+        let cfg = BeamConfig {
+            compatibility_check: check,
+            ..BeamConfig::default()
+        };
+        let n = beam_search(&db, &|_| 0.5, &cfg).len();
+        println!("  {name}: {n} cycle(s) reported (sound answer: 0)");
+    }
+    println!();
+    let target: &'static dyn TargetSystem = Box::leak(Box::new(MiniHdfs2::new()));
+    set_current_target(target);
+    let detection = run_csnake(target, &EvalConfig::default());
+    let sim_of = |f| detection.alloc.sim_score_of(f);
+
+    println!("Ablation of the local compatibility check (mini-HDFS2)");
+    println!("| variant | cycles | clusters | TP clusters |");
+    println!("|---|---|---|---|");
+    for (name, check) in [("with §6.2 check", true), ("identity-only stitching", false)] {
+        let cfg = BeamConfig {
+            compatibility_check: check,
+            ..BeamConfig::default()
+        };
+        let cycles = beam_search(&detection.alloc.db, &sim_of, &cfg);
+        let clusters = cluster_cycles(&cycles, &detection.alloc.db, &detection.alloc.cluster_of);
+        let report = build_report(target, &detection.alloc, cycles, clusters);
+        println!(
+            "| {name} | {} | {} | {} |",
+            report.cycles.len(),
+            report.clusters.len(),
+            report.tp_clusters(),
+        );
+    }
+    println!();
+    println!(
+        "Note: when campaign numbers coincide, every same-fault state pair in\n\
+         this run was genuinely compatible (the mini-systems raise each fault\n\
+         from a single hook site per request context); the micro-demonstration\n\
+         above shows the unsound links the check removes when conditions do\n\
+         conflict, as happens at real-system trace diversity."
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates the §8.2.1 comparison with black-box fuzzing
+//! (Jepsen on Flink, Blockade on Ozone in the paper).
+//!
+//! Expected shape: the black-box campaigns find **none** of the seeded
+//! self-sustaining cascading failures, while CSnake detects them on the
+//! same systems.
+
+use csnake_baselines::{run_blackbox_campaign, BlackboxConfig};
+use csnake_bench::{run_csnake, EvalConfig};
+use csnake_core::TargetSystem;
+use csnake_targets::{MiniFlink, MiniOzone};
+
+fn main() {
+    let eval = EvalConfig::default();
+    println!("§8.2.1: black-box fuzzing vs CSnake");
+    println!("| System | Fuzzer rounds | Fuzzer bugs | CSnake bugs (of seeded) |");
+    println!("|---|---|---|---|");
+    let targets: Vec<Box<dyn TargetSystem>> =
+        vec![Box::new(MiniFlink::new()), Box::new(MiniOzone::new())];
+    for target in targets {
+        let fuzz = run_blackbox_campaign(target.as_ref(), &BlackboxConfig::default());
+        let det = run_csnake(target.as_ref(), &eval);
+        println!(
+            "| {} | {} | {} | {}/{} |",
+            target.name(),
+            fuzz.rounds,
+            fuzz.bugs_found.len(),
+            det.report.matches.len(),
+            target.known_bugs().len(),
+        );
+        if !fuzz.flags_seen.is_empty() {
+            eprintln!(
+                "[{}] fuzzer oracle flags: {:?}",
+                target.name(),
+                fuzz.flags_seen
+            );
+        }
+    }
+}

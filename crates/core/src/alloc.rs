@@ -1,0 +1,593 @@
+//! The Three-Phase Allocation (3PA) protocol of test budget (§5, §A).
+//!
+//! Given a budget of `4·|F|` experiments (25% / 50% / 25% across phases):
+//!
+//! 1. **Causally-equivalent fault detection** — inject every fault once into
+//!    the reaching workload with the highest code coverage; IDF-vectorize the
+//!    interference lists and hierarchically cluster the faults.
+//! 2. **Causality exploration** — hand quotas to clusters round-robin; each
+//!    quota injects a *random* fault of the cluster into a *new* workload.
+//!    Leftover quota of an exhausted cluster transfers to a larger cluster.
+//! 3. **Conditional-causality-guided extension** — weighted random
+//!    allocation by `max(ε, 1 − SimScore(G))`: clusters whose members showed
+//!    *diverse* (conditional) interferences get more budget. Quota landing on
+//!    an exhausted cluster moves to the non-exhausted cluster with the
+//!    smallest weight.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use csnake_inject::{FaultId, TestId};
+use csnake_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::hierarchical_cluster;
+use crate::edge::CausalDb;
+use crate::fca::ExperimentOutcome;
+use crate::idf::{cosine_distance, IdfVectorizer, SparseVec};
+
+/// Abstraction over "run one injection experiment"; implemented by the real
+/// [`crate::driver::Driver`] and by mocks in tests.
+pub trait ExperimentEngine {
+    /// Faults eligible for injection (after static filtering).
+    fn faults(&self) -> Vec<FaultId>;
+
+    /// Tests whose profile runs cover the fault's program location.
+    fn tests_reaching(&self, f: FaultId) -> Vec<TestId>;
+
+    /// Code-coverage size of a test (number of fault points covered).
+    fn coverage_size(&self, t: TestId) -> usize;
+
+    /// Runs the `(fault, test)` experiment (injection runs + FCA).
+    fn run_experiment(&mut self, f: FaultId, t: TestId, phase: u8) -> ExperimentOutcome;
+}
+
+/// 3PA knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreePhaseConfig {
+    /// Budget multiplier: total = `budget_per_fault · |F|` (paper: 4).
+    pub budget_per_fault: usize,
+    /// Dendrogram cut threshold on cosine distance for phase-one clustering.
+    pub cluster_threshold: f64,
+    /// Minimum cluster weight ε in phase three (paper: 0.01).
+    pub epsilon: f64,
+    /// RNG seed for the protocol's random picks.
+    pub seed: u64,
+}
+
+impl Default for ThreePhaseConfig {
+    fn default() -> Self {
+        ThreePhaseConfig {
+            budget_per_fault: 4,
+            cluster_threshold: 0.5,
+            epsilon: 0.01,
+            seed: 0xC5_AA_5E,
+        }
+    }
+}
+
+/// Everything the protocol produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocationResult {
+    /// All causal relationships discovered, indexed for the beam search.
+    pub db: CausalDb,
+    /// Interference outcome of every experiment run.
+    pub outcomes: Vec<ExperimentOutcome>,
+    /// Fault clusters ("causally equivalent faults"), phase one.
+    pub clusters: Vec<Vec<FaultId>>,
+    /// Cluster index per fault.
+    pub cluster_of: BTreeMap<FaultId, usize>,
+    /// Intra-cluster interference similarity score per cluster (Eq. 6).
+    pub sim_scores: Vec<f64>,
+    /// Experiments actually run (≤ budget).
+    pub experiments_run: usize,
+    /// The configured total budget.
+    pub budget: usize,
+}
+
+impl AllocationResult {
+    /// SimScore of the cluster containing fault `f` (1.0 if unknown).
+    pub fn sim_score_of(&self, f: FaultId) -> f64 {
+        self.cluster_of
+            .get(&f)
+            .map(|&c| self.sim_scores[c])
+            .unwrap_or(1.0)
+    }
+}
+
+/// Tracks which `(fault, test)` combinations have been exercised.
+struct UsedSet {
+    used: BTreeSet<(FaultId, TestId)>,
+}
+
+impl UsedSet {
+    fn new() -> Self {
+        UsedSet {
+            used: BTreeSet::new(),
+        }
+    }
+
+    fn mark(&mut self, f: FaultId, t: TestId) {
+        self.used.insert((f, t));
+    }
+
+    fn unused_tests(&self, engine: &dyn ExperimentEngine, f: FaultId) -> Vec<TestId> {
+        engine
+            .tests_reaching(f)
+            .into_iter()
+            .filter(|t| !self.used.contains(&(f, *t)))
+            .collect()
+    }
+
+    /// `true` if no (fault, test) combination in the cluster remains.
+    fn cluster_exhausted(&self, engine: &dyn ExperimentEngine, cluster: &[FaultId]) -> bool {
+        cluster
+            .iter()
+            .all(|f| self.unused_tests(engine, *f).is_empty())
+    }
+}
+
+/// Picks a random fault of `cluster` that still has an unused reaching test,
+/// and a random such test.
+fn pick_from_cluster(
+    engine: &dyn ExperimentEngine,
+    used: &UsedSet,
+    cluster: &[FaultId],
+    rng: &mut SimRng,
+) -> Option<(FaultId, TestId)> {
+    let mut candidates: Vec<FaultId> = cluster.to_vec();
+    while !candidates.is_empty() {
+        let i = rng.pick(candidates.len());
+        let f = candidates.swap_remove(i);
+        let tests = used.unused_tests(engine, f);
+        if !tests.is_empty() {
+            let t = tests[rng.pick(tests.len())];
+            return Some((f, t));
+        }
+    }
+    None
+}
+
+/// Runs the full 3PA protocol against an engine.
+pub fn run_three_phase(
+    engine: &mut dyn ExperimentEngine,
+    cfg: &ThreePhaseConfig,
+) -> AllocationResult {
+    let faults = engine.faults();
+    let budget = cfg.budget_per_fault * faults.len();
+    let mut rng = SimRng::new(cfg.seed);
+    let mut used = UsedSet::new();
+    let mut outcomes: Vec<ExperimentOutcome> = Vec::new();
+    let mut db = CausalDb::default();
+    let mut spent = 0usize;
+
+    // ---- Phase one: one probe per fault, highest-coverage reaching test.
+    let phase1_cap = (budget / 4).max(faults.len().min(budget));
+    for &f in &faults {
+        if spent >= phase1_cap {
+            break;
+        }
+        let mut tests = engine.tests_reaching(f);
+        if tests.is_empty() {
+            continue;
+        }
+        // Highest coverage, lowest id on ties (deterministic).
+        tests.sort_by_key(|t| (std::cmp::Reverse(engine.coverage_size(*t)), *t));
+        let t = tests[0];
+        used.mark(f, t);
+        let out = engine.run_experiment(f, t, 1);
+        for e in &out.edges {
+            db.push(e.clone());
+        }
+        outcomes.push(out);
+        spent += 1;
+    }
+
+    // Cluster faults by phase-one interference vectors. Faults that never
+    // ran (unreachable) get zero vectors and land with the non-impactful
+    // cluster.
+    let phase1_interference: BTreeMap<FaultId, BTreeSet<FaultId>> = outcomes
+        .iter()
+        .map(|o| (o.fault, o.interference.clone()))
+        .collect();
+    let docs: Vec<BTreeSet<FaultId>> = faults
+        .iter()
+        .map(|f| phase1_interference.get(f).cloned().unwrap_or_default())
+        .collect();
+    let idf1 = IdfVectorizer::fit(&docs);
+    let vectors: Vec<SparseVec> = docs.iter().map(|d| idf1.vectorize(d)).collect();
+    let clustering = hierarchical_cluster(&vectors, cfg.cluster_threshold);
+    let mut clusters: Vec<Vec<FaultId>> = vec![Vec::new(); clustering.n_clusters];
+    let mut cluster_of: BTreeMap<FaultId, usize> = BTreeMap::new();
+    for (i, &f) in faults.iter().enumerate() {
+        let c = clustering.assignment[i];
+        clusters[c].push(f);
+        cluster_of.insert(f, c);
+    }
+
+    // ---- Phase two: round-robin over clusters, random member into a new
+    // workload.
+    let phase2_cap = spent + budget / 2;
+    if !clusters.is_empty() {
+        let mut rr = 0usize;
+        let mut stall = 0usize;
+        while spent < phase2_cap && stall < clusters.len() {
+            let c = rr % clusters.len();
+            rr += 1;
+            let pick = pick_from_cluster(engine, &used, &clusters[c], &mut rng).or_else(|| {
+                // Quota transfer: exhausted cluster hands its quota to a
+                // random larger, non-exhausted cluster.
+                let larger: Vec<usize> = (0..clusters.len())
+                    .filter(|&d| {
+                        d != c
+                            && clusters[d].len() > clusters[c].len()
+                            && !used.cluster_exhausted(engine, &clusters[d])
+                    })
+                    .collect();
+                let fallback: Vec<usize> = if larger.is_empty() {
+                    (0..clusters.len())
+                        .filter(|&d| !used.cluster_exhausted(engine, &clusters[d]))
+                        .collect()
+                } else {
+                    larger
+                };
+                if fallback.is_empty() {
+                    None
+                } else {
+                    let d = fallback[rng.pick(fallback.len())];
+                    pick_from_cluster(engine, &used, &clusters[d], &mut rng)
+                }
+            });
+            let Some((f, t)) = pick else {
+                stall += 1;
+                continue;
+            };
+            stall = 0;
+            used.mark(f, t);
+            let out = engine.run_experiment(f, t, 2);
+            for e in &out.edges {
+                db.push(e.clone());
+            }
+            outcomes.push(out);
+            spent += 1;
+        }
+    }
+
+    // ---- Intra-cluster interference similarity (Eq. 6), from a second IDF
+    // model fitted on both phases.
+    let all_docs: Vec<BTreeSet<FaultId>> =
+        outcomes.iter().map(|o| o.interference.clone()).collect();
+    let idf2 = IdfVectorizer::fit(&all_docs);
+    let outcome_vecs: Vec<SparseVec> = all_docs.iter().map(|d| idf2.vectorize(d)).collect();
+    let sim_scores: Vec<f64> = clusters
+        .iter()
+        .map(|members| cluster_sim_score(members, &outcomes, &outcome_vecs))
+        .collect();
+
+    // ---- Phase three: weighted random allocation by max(ε, 1 − SimScore).
+    let weights: Vec<f64> = sim_scores
+        .iter()
+        .map(|s| (1.0 - s).max(cfg.epsilon))
+        .collect();
+    while spent < budget && !clusters.is_empty() {
+        let viable: Vec<usize> = (0..clusters.len())
+            .filter(|&c| !used.cluster_exhausted(engine, &clusters[c]))
+            .collect();
+        if viable.is_empty() {
+            break;
+        }
+        let total_w: f64 = viable.iter().map(|&c| weights[c]).sum();
+        let mut roll = rng.unit() * total_w;
+        let mut chosen = viable[0];
+        for &c in &viable {
+            roll -= weights[c];
+            if roll <= 0.0 {
+                chosen = c;
+                break;
+            }
+        }
+        // Unused budget moves toward the smallest-weight viable cluster if
+        // the draw somehow cannot produce a pick.
+        let pick = pick_from_cluster(engine, &used, &clusters[chosen], &mut rng).or_else(|| {
+            let min = viable
+                .iter()
+                .copied()
+                .min_by(|a, b| weights[*a].total_cmp(&weights[*b]))?;
+            pick_from_cluster(engine, &used, &clusters[min], &mut rng)
+        });
+        let Some((f, t)) = pick else { break };
+        used.mark(f, t);
+        let out = engine.run_experiment(f, t, 3);
+        for e in &out.edges {
+            db.push(e.clone());
+        }
+        outcomes.push(out);
+        spent += 1;
+    }
+
+    AllocationResult {
+        db,
+        outcomes,
+        clusters,
+        cluster_of,
+        sim_scores,
+        experiments_run: spent,
+        budget,
+    }
+}
+
+/// Average pairwise cosine *similarity* of the cluster's experiment vectors
+/// (Eq. 6): pairs are taken between experiments of *different* faults; when
+/// the cluster has only one fault, pairs between its different workloads are
+/// used; with fewer than two experiments the score is 1.0 (no evidence of
+/// conditional behaviour).
+fn cluster_sim_score(
+    members: &[FaultId],
+    outcomes: &[ExperimentOutcome],
+    outcome_vecs: &[SparseVec],
+) -> f64 {
+    let member_set: BTreeSet<FaultId> = members.iter().copied().collect();
+    let idxs: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| member_set.contains(&o.fault))
+        .map(|(i, _)| i)
+        .collect();
+    if idxs.len() < 2 {
+        return 1.0;
+    }
+    let mut cross_sum = 0.0;
+    let mut cross_n = 0usize;
+    let mut any_sum = 0.0;
+    let mut any_n = 0usize;
+    for (a, &i) in idxs.iter().enumerate() {
+        for &j in &idxs[a + 1..] {
+            let sim = 1.0 - cosine_distance(&outcome_vecs[i], &outcome_vecs[j]);
+            any_sum += sim;
+            any_n += 1;
+            if outcomes[i].fault != outcomes[j].fault {
+                cross_sum += sim;
+                cross_n += 1;
+            }
+        }
+    }
+    if cross_n > 0 {
+        cross_sum / cross_n as f64
+    } else if any_n > 0 {
+        any_sum / any_n as f64
+    } else {
+        1.0
+    }
+}
+
+/// Random-allocation baseline (§8.1 "Rnd.?" column): same budget, uniformly
+/// random `(fault, reaching-test)` combinations without repetition.
+pub fn run_random_allocation(
+    engine: &mut dyn ExperimentEngine,
+    budget: usize,
+    seed: u64,
+) -> AllocationResult {
+    let faults = engine.faults();
+    let mut rng = SimRng::new(seed);
+    let mut combos: Vec<(FaultId, TestId)> = Vec::new();
+    for &f in &faults {
+        for t in engine.tests_reaching(f) {
+            combos.push((f, t));
+        }
+    }
+    // Fisher–Yates shuffle.
+    for i in (1..combos.len()).rev() {
+        let j = rng.pick(i + 1);
+        combos.swap(i, j);
+    }
+    combos.truncate(budget);
+
+    let mut db = CausalDb::default();
+    let mut outcomes = Vec::new();
+    for (f, t) in combos {
+        let out = engine.run_experiment(f, t, 0);
+        for e in &out.edges {
+            db.push(e.clone());
+        }
+        outcomes.push(out);
+    }
+    let n = outcomes.len();
+    AllocationResult {
+        db,
+        outcomes,
+        clusters: faults.iter().map(|f| vec![*f]).collect(),
+        cluster_of: faults.iter().enumerate().map(|(i, f)| (*f, i)).collect(),
+        sim_scores: vec![1.0; faults.len()],
+        experiments_run: n,
+        budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::{CausalEdge, CompatState, EdgeKind};
+
+    /// Mock engine: a scripted interference function over (fault, test).
+    struct MockEngine {
+        faults: Vec<FaultId>,
+        tests: Vec<TestId>,
+        /// (fault, test) → interference list.
+        script: BTreeMap<(u32, u32), Vec<u32>>,
+        log: Vec<(FaultId, TestId, u8)>,
+    }
+
+    impl MockEngine {
+        fn new(n_faults: u32, n_tests: u32) -> Self {
+            MockEngine {
+                faults: (0..n_faults).map(FaultId).collect(),
+                tests: (0..n_tests).map(TestId).collect(),
+                script: BTreeMap::new(),
+                log: Vec::new(),
+            }
+        }
+
+        fn on(&mut self, f: u32, t: u32, effects: &[u32]) {
+            self.script.insert((f, t), effects.to_vec());
+        }
+    }
+
+    impl ExperimentEngine for MockEngine {
+        fn faults(&self) -> Vec<FaultId> {
+            self.faults.clone()
+        }
+        fn tests_reaching(&self, _f: FaultId) -> Vec<TestId> {
+            self.tests.clone()
+        }
+        fn coverage_size(&self, t: TestId) -> usize {
+            // Test 0 has the highest coverage.
+            100 - t.0 as usize
+        }
+        fn run_experiment(&mut self, f: FaultId, t: TestId, phase: u8) -> ExperimentOutcome {
+            self.log.push((f, t, phase));
+            let effects = self.script.get(&(f.0, t.0)).cloned().unwrap_or_default();
+            let interference: BTreeSet<FaultId> = effects.iter().map(|e| FaultId(*e)).collect();
+            let edges = interference
+                .iter()
+                .map(|&e| CausalEdge {
+                    cause: f,
+                    effect: e,
+                    kind: EdgeKind::EI,
+                    test: t,
+                    phase,
+                    cause_state: CompatState::empty(),
+                    effect_state: CompatState::empty(),
+                })
+                .collect();
+            ExperimentOutcome {
+                fault: f,
+                test: t,
+                interference,
+                edges,
+            }
+        }
+    }
+
+    fn cfg() -> ThreePhaseConfig {
+        ThreePhaseConfig::default()
+    }
+
+    #[test]
+    fn budget_is_respected_and_phases_ordered() {
+        let mut eng = MockEngine::new(6, 8);
+        let res = run_three_phase(&mut eng, &cfg());
+        assert_eq!(res.budget, 24);
+        assert!(res.experiments_run <= 24);
+        assert_eq!(res.experiments_run, eng.log.len());
+        // Phase labels are monotonically non-decreasing.
+        let phases: Vec<u8> = eng.log.iter().map(|(_, _, p)| *p).collect();
+        let mut sorted = phases.clone();
+        sorted.sort_unstable();
+        assert_eq!(phases, sorted);
+        // Phase one ran exactly one experiment per fault.
+        assert_eq!(phases.iter().filter(|&&p| p == 1).count(), 6);
+    }
+
+    #[test]
+    fn phase_one_uses_highest_coverage_test() {
+        let mut eng = MockEngine::new(3, 4);
+        run_three_phase(&mut eng, &cfg());
+        for (_, t, p) in &eng.log {
+            if *p == 1 {
+                assert_eq!(*t, TestId(0), "phase 1 must pick max-coverage test");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_fault_test_combinations() {
+        let mut eng = MockEngine::new(5, 5);
+        run_three_phase(&mut eng, &cfg());
+        let mut combos: Vec<(FaultId, TestId)> = eng.log.iter().map(|(f, t, _)| (*f, *t)).collect();
+        let before = combos.len();
+        combos.sort_unstable();
+        combos.dedup();
+        assert_eq!(combos.len(), before, "a (fault, test) pair was repeated");
+    }
+
+    #[test]
+    fn causally_equivalent_faults_cluster_together() {
+        let mut eng = MockEngine::new(4, 6);
+        // Faults 0 and 1 both trigger {10, 11}; faults 2, 3 trigger nothing.
+        for t in 0..6 {
+            eng.on(0, t, &[10, 11]);
+            eng.on(1, t, &[10, 11]);
+        }
+        let res = run_three_phase(&mut eng, &cfg());
+        assert_eq!(res.cluster_of[&FaultId(0)], res.cluster_of[&FaultId(1)]);
+        assert_eq!(res.cluster_of[&FaultId(2)], res.cluster_of[&FaultId(3)]);
+        assert_ne!(res.cluster_of[&FaultId(0)], res.cluster_of[&FaultId(2)]);
+    }
+
+    #[test]
+    fn conditional_cluster_gets_low_sim_score() {
+        let mut eng = MockEngine::new(4, 6);
+        // Fault 0: different interference per test (conditional).
+        for t in 0..6 {
+            eng.on(0, t, &[20 + t]);
+        }
+        // Faults 1,2: identical everywhere (unconditional).
+        for t in 0..6 {
+            eng.on(1, t, &[40, 41]);
+            eng.on(2, t, &[40, 41]);
+        }
+        let res = run_three_phase(&mut eng, &cfg());
+        let c_conditional = res.cluster_of[&FaultId(0)];
+        let c_stable = res.cluster_of[&FaultId(1)];
+        assert!(
+            res.sim_scores[c_conditional] < res.sim_scores[c_stable],
+            "conditional {} !< stable {}",
+            res.sim_scores[c_conditional],
+            res.sim_scores[c_stable]
+        );
+    }
+
+    #[test]
+    fn edges_accumulate_in_db() {
+        let mut eng = MockEngine::new(2, 3);
+        for t in 0..3 {
+            eng.on(0, t, &[5]);
+            eng.on(1, t, &[6]);
+        }
+        let res = run_three_phase(&mut eng, &cfg());
+        assert!(res.db.len() >= 2);
+        assert!(!res.db.edges_from(FaultId(0)).is_empty());
+    }
+
+    #[test]
+    fn stops_when_all_combinations_exhausted() {
+        // 2 faults × 2 tests = 4 combos < budget 8.
+        let mut eng = MockEngine::new(2, 2);
+        let res = run_three_phase(&mut eng, &cfg());
+        assert_eq!(res.experiments_run, 4);
+    }
+
+    #[test]
+    fn random_allocation_uses_budget_without_repeats() {
+        let mut eng = MockEngine::new(4, 4);
+        let res = run_random_allocation(&mut eng, 10, 7);
+        assert_eq!(res.experiments_run, 10);
+        let mut combos: Vec<(FaultId, TestId)> = eng.log.iter().map(|(f, t, _)| (*f, *t)).collect();
+        combos.sort_unstable();
+        combos.dedup();
+        assert_eq!(combos.len(), 10);
+    }
+
+    #[test]
+    fn random_allocation_caps_at_available_combos() {
+        let mut eng = MockEngine::new(2, 2);
+        let res = run_random_allocation(&mut eng, 100, 7);
+        assert_eq!(res.experiments_run, 4);
+    }
+
+    #[test]
+    fn sim_score_of_unknown_fault_defaults_high() {
+        let mut eng = MockEngine::new(2, 2);
+        let res = run_three_phase(&mut eng, &cfg());
+        assert_eq!(res.sim_score_of(FaultId(99)), 1.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Agglomerative hierarchical clustering (§5.2 phase one).
+//!
+//! CSnake clusters faults whose phase-one interference vectors are similar
+//! ("causally equivalent faults") with hierarchical clustering over cosine
+//! distance. This implementation uses average linkage via the
+//! Lance–Williams update and cuts the dendrogram at a distance threshold.
+
+use crate::idf::{cosine_distance, SparseVec};
+
+/// Result of clustering `n` items: `assignment[i]` is the cluster index of
+/// item `i`; cluster indices are dense (`0..n_clusters`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Cluster index per item.
+    pub assignment: Vec<usize>,
+    /// Number of clusters.
+    pub n_clusters: usize,
+}
+
+impl Clustering {
+    /// Items grouped by cluster, in cluster-index order.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut g = vec![Vec::new(); self.n_clusters];
+        for (item, &c) in self.assignment.iter().enumerate() {
+            g[c].push(item);
+        }
+        g
+    }
+}
+
+/// Average-linkage agglomerative clustering cut at `threshold`.
+///
+/// Merges the closest pair of clusters while their average-linkage distance
+/// is below `threshold`. Complexity is O(n³) worst case, which is fine for
+/// the per-system fault counts this reproduction works with.
+pub fn hierarchical_cluster(vectors: &[SparseVec], threshold: f64) -> Clustering {
+    let n = vectors.len();
+    if n == 0 {
+        return Clustering {
+            assignment: Vec::new(),
+            n_clusters: 0,
+        };
+    }
+    // Distance matrix between active clusters.
+    let mut dist = vec![vec![0.0_f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = cosine_distance(&vectors[i], &vectors[j]);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<f64> = vec![1.0; n];
+    // members[c] lists original item indices in cluster c.
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+
+    loop {
+        // Find the closest active pair.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                let d = dist[i][j];
+                if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let Some((i, j, d)) = best else { break };
+        if d >= threshold {
+            break;
+        }
+        // Merge j into i; Lance–Williams average-linkage update:
+        // d(i∪j, k) = (|i| d(i,k) + |j| d(j,k)) / (|i| + |j|).
+        let (si, sj) = (size[i], size[j]);
+        for k in 0..n {
+            if k == i || k == j || !active[k] {
+                continue;
+            }
+            let nd = (si * dist[i][k] + sj * dist[j][k]) / (si + sj);
+            dist[i][k] = nd;
+            dist[k][i] = nd;
+        }
+        size[i] += size[j];
+        let moved = std::mem::take(&mut members[j]);
+        members[i].extend(moved);
+        active[j] = false;
+    }
+
+    // Densify cluster ids in first-seen order for determinism.
+    let mut assignment = vec![0usize; n];
+    let mut n_clusters = 0;
+    for c in 0..n {
+        if !active[c] {
+            continue;
+        }
+        for &item in &members[c] {
+            assignment[item] = n_clusters;
+        }
+        n_clusters += 1;
+    }
+    Clustering {
+        assignment,
+        n_clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idf::IdfVectorizer;
+    use csnake_inject::FaultId;
+    use std::collections::BTreeSet;
+
+    fn vecs(docs: &[&[u32]]) -> Vec<SparseVec> {
+        let sets: Vec<BTreeSet<FaultId>> = docs
+            .iter()
+            .map(|d| d.iter().map(|i| FaultId(*i)).collect())
+            .collect();
+        let m = IdfVectorizer::fit(&sets);
+        sets.iter().map(|s| m.vectorize(s)).collect()
+    }
+
+    #[test]
+    fn identical_vectors_merge() {
+        let v = vecs(&[&[1, 2], &[1, 2], &[5, 6], &[5, 6]]);
+        let c = hierarchical_cluster(&v, 0.5);
+        assert_eq!(c.n_clusters, 2);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.assignment[2], c.assignment[3]);
+        assert_ne!(c.assignment[0], c.assignment[2]);
+    }
+
+    #[test]
+    fn disjoint_vectors_stay_apart() {
+        let v = vecs(&[&[1], &[2], &[3]]);
+        let c = hierarchical_cluster(&v, 0.5);
+        assert_eq!(c.n_clusters, 3);
+    }
+
+    #[test]
+    fn threshold_one_merges_everything_overlapping() {
+        // Chain of pairwise-overlapping docs all below distance 1.
+        let v = vecs(&[&[1, 2], &[2, 3], &[3, 4]]);
+        let c = hierarchical_cluster(&v, 1.0 + 1e-9);
+        assert_eq!(c.n_clusters, 1);
+    }
+
+    #[test]
+    fn threshold_zero_keeps_all_singletons_when_distinct() {
+        let v = vecs(&[&[1, 2], &[2, 3]]);
+        let c = hierarchical_cluster(&v, 1e-12);
+        assert_eq!(c.n_clusters, 2);
+    }
+
+    #[test]
+    fn zero_vectors_cluster_together() {
+        // Two docs containing only the ubiquitous fault vectorize to zero
+        // and should land in the same cluster (distance 0).
+        let v = vecs(&[&[1], &[1], &[1, 2]]);
+        let c = hierarchical_cluster(&v, 0.5);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_ne!(c.assignment[0], c.assignment[2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = hierarchical_cluster(&[], 0.5);
+        assert_eq!(c.n_clusters, 0);
+        assert!(c.assignment.is_empty());
+    }
+
+    #[test]
+    fn groups_partition_items() {
+        let v = vecs(&[&[1, 2], &[1, 2], &[5], &[6], &[5]]);
+        let c = hierarchical_cluster(&v, 0.5);
+        let groups = c.groups();
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 5);
+        for g in &groups {
+            assert!(!g.is_empty());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The local compatibility check (§6.2).
+//!
+//! Before stitching `f1 → f2` (from test `t1`) with `f2 → f3` (from `t2`),
+//! CSnake approximates the satisfiability of the conjoined path conditions by
+//! checking that the *local* state of the shared fault `f2` matches across
+//! the two tests:
+//!
+//! 1. **Call stack** — the closest two call-stack levels must match
+//!    (2-call-site sensitivity);
+//! 2. **Execution trace** — the branch trace in the fault's enclosing loop
+//!    iteration or function must match.
+//!
+//! For loop (delay) faults, whose injection covers *every* iteration, the
+//! check conservatively accepts if *any* iteration signature matches
+//! between the two tests.
+
+use crate::edge::CompatState;
+
+/// Checks whether two compatibility states of the same fault, observed in
+/// two different tests, are compatible for stitching.
+pub fn compatible(a: &CompatState, b: &CompatState) -> bool {
+    match (a, b) {
+        (CompatState::Occurrences(xs), CompatState::Occurrences(ys)) => {
+            // Any occurrence pair with identical signature (signature covers
+            // both the 2-level stack and the local branch trace).
+            xs.iter().any(|x| ys.iter().any(|y| x.sig == y.sig))
+        }
+        (CompatState::Loop(x), CompatState::Loop(y)) => {
+            let stacks_meet = x.entry_stacks.iter().any(|s| y.entry_stacks.contains(s));
+            // "Conservatively checks for matching traces in any loop
+            // iteration between tests."
+            let iters_meet = x.iter_sigs.iter().any(|s| y.iter_sigs.contains(s))
+                || (x.iter_sigs.is_empty() && y.iter_sigs.is_empty());
+            stacks_meet && iters_meet
+        }
+        // A fault cannot be a loop in one test and an exception in another;
+        // mismatched state shapes mean the match is structurally invalid.
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csnake_inject::{BranchId, FnId, LoopState, Occurrence};
+
+    fn occ(stack: [Option<FnId>; 2], trace: &[(u32, bool)]) -> Occurrence {
+        Occurrence::new(
+            stack,
+            trace.iter().map(|(b, o)| (BranchId(*b), *o)).collect(),
+        )
+    }
+
+    #[test]
+    fn matching_occurrences_are_compatible() {
+        let a = CompatState::Occurrences(vec![occ([Some(FnId(1)), None], &[(0, true)])]);
+        let b = CompatState::Occurrences(vec![
+            occ([Some(FnId(2)), None], &[(0, true)]),
+            occ([Some(FnId(1)), None], &[(0, true)]),
+        ]);
+        assert!(compatible(&a, &b));
+    }
+
+    #[test]
+    fn different_call_stacks_are_incompatible() {
+        // Same local trace, different caller — the paper's "error at a
+        // different call site represents a different request type" case.
+        let a = CompatState::Occurrences(vec![occ([Some(FnId(1)), None], &[(0, true)])]);
+        let b = CompatState::Occurrences(vec![occ([Some(FnId(2)), None], &[(0, true)])]);
+        assert!(!compatible(&a, &b));
+    }
+
+    #[test]
+    fn different_branch_outcomes_are_incompatible() {
+        let a = CompatState::Occurrences(vec![occ([Some(FnId(1)), None], &[(0, true)])]);
+        let b = CompatState::Occurrences(vec![occ([Some(FnId(1)), None], &[(0, false)])]);
+        assert!(!compatible(&a, &b));
+    }
+
+    #[test]
+    fn empty_occurrence_sets_are_incompatible() {
+        let a = CompatState::Occurrences(vec![]);
+        let b = CompatState::Occurrences(vec![occ([None, None], &[])]);
+        assert!(!compatible(&a, &b));
+        assert!(!compatible(&a, &a.clone()));
+    }
+
+    fn loop_state(stacks: &[[Option<FnId>; 2]], sigs: &[u64]) -> CompatState {
+        let mut st = LoopState::default();
+        for s in stacks {
+            st.entry_stacks.insert(*s);
+        }
+        for s in sigs {
+            st.iter_sigs.insert(*s);
+        }
+        CompatState::Loop(st)
+    }
+
+    #[test]
+    fn loop_states_match_on_any_iteration_signature() {
+        let a = loop_state(&[[Some(FnId(1)), None]], &[10, 20, 30]);
+        let b = loop_state(&[[Some(FnId(1)), None]], &[30, 40]);
+        assert!(compatible(&a, &b));
+        let c = loop_state(&[[Some(FnId(1)), None]], &[40, 50]);
+        assert!(!compatible(&a, &c));
+    }
+
+    #[test]
+    fn loop_states_require_stack_intersection() {
+        let a = loop_state(&[[Some(FnId(1)), None]], &[10]);
+        let b = loop_state(&[[Some(FnId(2)), None]], &[10]);
+        assert!(!compatible(&a, &b));
+        let c = loop_state(&[[Some(FnId(2)), None], [Some(FnId(1)), None]], &[10]);
+        assert!(compatible(&a, &c));
+    }
+
+    #[test]
+    fn empty_iteration_sets_match_if_both_empty() {
+        let a = loop_state(&[[None, None]], &[]);
+        let b = loop_state(&[[None, None]], &[]);
+        assert!(compatible(&a, &b));
+        let c = loop_state(&[[None, None]], &[7]);
+        assert!(!compatible(&a, &c));
+    }
+
+    #[test]
+    fn mixed_shapes_are_incompatible() {
+        let occs = CompatState::Occurrences(vec![occ([None, None], &[])]);
+        let lp = loop_state(&[[None, None]], &[1]);
+        assert!(!compatible(&occs, &lp));
+        assert!(!compatible(&lp, &occs));
+    }
+}

@@ -1,0 +1,251 @@
+//! The workload driver: runs profile and injection experiments against a
+//! target system and feeds the 3PA protocol.
+//!
+//! Responsibilities (Fig. 3, step 2):
+//!
+//! * run every integration test's *profile runs* (no injection, repeated
+//!   `reps` times) and cache the traces — these are the counterfactuals;
+//! * derive per-test coverage (which fault points each test reaches) so that
+//!   injections only use reaching tests;
+//! * build the dynamic call graph from profile traces and run the static
+//!   analyzer's filters (§4.1, §B.1);
+//! * for each `(fault, test)` experiment, run the injection runs (sweeping
+//!   delay lengths for loop faults) and hand the traces to FCA.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use csnake_analyzer::{analyze, Analysis, AnalysisConfig, CallGraph};
+use csnake_inject::{FaultId, FaultKind, InjectionPlan, Registry, RunTrace, TestId};
+use csnake_sim::VirtualTime;
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::ExperimentEngine;
+use crate::fca::{analyze_experiment, ExperimentOutcome, FcaConfig};
+use crate::target::TargetSystem;
+
+/// Driver knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriverConfig {
+    /// Repetitions of every profile and injection run (paper: 5).
+    pub reps: usize,
+    /// Delay lengths swept per delay injection, in milliseconds
+    /// (paper: seven values, 100 ms – 8 s; default here is a 3-point sweep
+    /// for speed — use [`csnake_inject::fault::PAPER_DELAY_SWEEP_MS`] for
+    /// the full set).
+    pub delay_values_ms: Vec<u64>,
+    /// FCA thresholds.
+    pub fca: FcaConfig,
+    /// Static-analysis knobs.
+    pub analysis: AnalysisConfig,
+    /// Base seed; every `(test, rep)` derives its own run seed.
+    pub base_seed: u64,
+    /// Run repetitions on worker threads.
+    pub parallel: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            reps: 5,
+            delay_values_ms: vec![100, 800, 3200],
+            fca: FcaConfig::default(),
+            analysis: AnalysisConfig::default(),
+            base_seed: 0xCA5CADE,
+            parallel: true,
+        }
+    }
+}
+
+/// Deterministic per-(test, rep) seed derivation.
+///
+/// Profile and injection runs of the same `(test, rep)` share a seed so the
+/// comparison is paired: the only difference is the injected fault.
+pub fn seed_for(base: u64, test: TestId, rep: usize) -> u64 {
+    let mut h = base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(test.0 as u64 + 1);
+    h ^= (rep as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 31;
+    h.wrapping_mul(0x94D0_49BB_1331_11EB)
+}
+
+/// The experiment engine over one target system.
+pub struct Driver<'a> {
+    target: &'a dyn TargetSystem,
+    registry: Arc<Registry>,
+    cfg: DriverConfig,
+    /// Static-analysis result (filters applied).
+    pub analysis: Analysis,
+    /// Cached profile traces per test.
+    profiles: BTreeMap<TestId, Vec<RunTrace>>,
+    /// Tests whose profile coverage includes each fault point.
+    reaching: BTreeMap<FaultId, Vec<TestId>>,
+    /// Number of fault points covered per test.
+    coverage_size: BTreeMap<TestId, usize>,
+    /// Total individual runs executed (profile + injection).
+    pub runs_executed: usize,
+}
+
+impl<'a> Driver<'a> {
+    /// Profiles every test, builds coverage and the dynamic call graph, and
+    /// applies the static filters.
+    pub fn new(target: &'a dyn TargetSystem, cfg: DriverConfig) -> Self {
+        let registry = target.registry();
+        let tests = target.tests();
+        let mut profiles: BTreeMap<TestId, Vec<RunTrace>> = BTreeMap::new();
+        let mut runs = 0usize;
+        for tc in &tests {
+            let traces = run_batch(target, tc.id, None, &cfg, cfg.reps);
+            runs += traces.len();
+            profiles.insert(tc.id, traces);
+        }
+
+        // Coverage: a test reaches a fault point if any profile rep did.
+        let mut reaching: BTreeMap<FaultId, Vec<TestId>> = BTreeMap::new();
+        let mut coverage_size: BTreeMap<TestId, usize> = BTreeMap::new();
+        for (tid, traces) in &profiles {
+            let mut union = std::collections::BTreeSet::new();
+            for t in traces {
+                union.extend(t.coverage.iter().copied());
+            }
+            coverage_size.insert(*tid, union.len());
+            for f in union {
+                reaching.entry(f).or_default().push(*tid);
+            }
+        }
+
+        let cg = CallGraph::from_traces(profiles.values().flatten());
+        let analysis = analyze(&registry, &cg, &cfg.analysis);
+
+        Driver {
+            target,
+            registry,
+            cfg,
+            analysis,
+            profiles,
+            reaching,
+            coverage_size,
+            runs_executed: runs,
+        }
+    }
+
+    /// The registry of the target under test.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Cached profile traces of a test.
+    pub fn profile(&self, t: TestId) -> &[RunTrace] {
+        self.profiles.get(&t).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The driver configuration.
+    pub fn config(&self) -> &DriverConfig {
+        &self.cfg
+    }
+
+    fn plans_for(&self, f: FaultId) -> Vec<InjectionPlan> {
+        match self.registry.point(f).kind {
+            FaultKind::LoopPoint => self
+                .cfg
+                .delay_values_ms
+                .iter()
+                .map(|ms| InjectionPlan::delay(f, VirtualTime::from_millis(*ms)))
+                .collect(),
+            FaultKind::Throw | FaultKind::LibCall => vec![InjectionPlan::throw(f)],
+            FaultKind::Negation => vec![InjectionPlan::negate(f)],
+        }
+    }
+}
+
+/// Runs `reps` repetitions of a workload (optionally threaded).
+fn run_batch(
+    target: &dyn TargetSystem,
+    test: TestId,
+    plan: Option<InjectionPlan>,
+    cfg: &DriverConfig,
+    reps: usize,
+) -> Vec<RunTrace> {
+    if !cfg.parallel || reps <= 1 {
+        return (0..reps)
+            .map(|rep| target.run(test, plan, seed_for(cfg.base_seed, test, rep)))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..reps)
+            .map(|rep| {
+                let seed = seed_for(cfg.base_seed, test, rep);
+                scope.spawn(move || target.run(test, plan, seed))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("target run panicked"))
+            .collect()
+    })
+}
+
+impl ExperimentEngine for Driver<'_> {
+    fn faults(&self) -> Vec<FaultId> {
+        self.analysis.injectable.clone()
+    }
+
+    fn tests_reaching(&self, f: FaultId) -> Vec<TestId> {
+        self.reaching.get(&f).cloned().unwrap_or_default()
+    }
+
+    fn coverage_size(&self, t: TestId) -> usize {
+        self.coverage_size.get(&t).copied().unwrap_or(0)
+    }
+
+    fn run_experiment(&mut self, f: FaultId, t: TestId, phase: u8) -> ExperimentOutcome {
+        let profile = self.profiles.get(&t).cloned().unwrap_or_default();
+        let mut merged: Option<ExperimentOutcome> = None;
+        for plan in self.plans_for(f) {
+            let traces = run_batch(self.target, t, Some(plan), &self.cfg, self.cfg.reps);
+            self.runs_executed += traces.len();
+            let out = analyze_experiment(
+                &self.registry,
+                &profile,
+                &traces,
+                plan,
+                t,
+                phase,
+                &self.cfg.fca,
+            );
+            match &mut merged {
+                None => merged = Some(out),
+                Some(m) => {
+                    m.interference.extend(out.interference.iter().copied());
+                    // Causal relationships found at any delay length count
+                    // (§4.2: the sweep "maximizes discovery"); the CausalDb
+                    // deduplicates repeats.
+                    m.edges.extend(out.edges);
+                }
+            }
+        }
+        merged.unwrap_or(ExperimentOutcome {
+            fault: f,
+            test: t,
+            interference: Default::default(),
+            edges: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_distinct_across_tests_and_reps() {
+        let mut seen = std::collections::BTreeSet::new();
+        for t in 0..10u32 {
+            for rep in 0..10usize {
+                assert!(seen.insert(seed_for(42, TestId(t), rep)));
+            }
+        }
+        // And stable.
+        assert_eq!(seed_for(42, TestId(3), 2), seed_for(42, TestId(3), 2));
+        assert_ne!(seed_for(42, TestId(3), 2), seed_for(43, TestId(3), 2));
+    }
+}

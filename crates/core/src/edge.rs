@@ -1,0 +1,235 @@
+//! Causal edges between faults and the database the beam search runs over.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use csnake_inject::{FaultId, LoopState, Occurrence, Registry, TestId};
+use serde::{Deserialize, Serialize};
+
+/// The six causal-relationship types of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// `E(D)` — delay injection causes an exception/negation.
+    ED,
+    /// `S+(D)` — delay injection causes a loop-iteration increase.
+    SD,
+    /// `E(I)` — exception/negation injection causes an exception/negation.
+    EI,
+    /// `S+(I)` — exception/negation injection causes a loop increase.
+    SI,
+    /// `ICFG` — a loop delay propagates to its parent loop (batching).
+    Icfg,
+    /// `CFG` — a parent-loop delay propagates to the next sibling loop.
+    Cfg,
+}
+
+impl EdgeKind {
+    /// `true` for the four kinds produced directly by an injection
+    /// (everything except the structural `ICFG`/`CFG` edges).
+    pub fn is_injection(self) -> bool {
+        !matches!(self, EdgeKind::Icfg | EdgeKind::Cfg)
+    }
+
+    /// `true` if the *cause* side is a delay (loop) fault.
+    pub fn cause_is_delay(self) -> bool {
+        matches!(
+            self,
+            EdgeKind::ED | EdgeKind::SD | EdgeKind::Icfg | EdgeKind::Cfg
+        )
+    }
+
+    /// `true` if the *effect* side is a delay (loop) fault.
+    pub fn effect_is_delay(self) -> bool {
+        matches!(
+            self,
+            EdgeKind::SD | EdgeKind::SI | EdgeKind::Icfg | EdgeKind::Cfg
+        )
+    }
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EdgeKind::ED => "E(D)",
+            EdgeKind::SD => "S+(D)",
+            EdgeKind::EI => "E(I)",
+            EdgeKind::SI => "S+(I)",
+            EdgeKind::Icfg => "ICFG",
+            EdgeKind::Cfg => "CFG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Local-compatibility state of one fault in one test (§6.2): either the
+/// occurrence set of an exception/negation or the loop state of a delay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CompatState {
+    /// Exception/negation: distinct occurrences (deduped by signature).
+    Occurrences(Vec<Occurrence>),
+    /// Delay/loop fault: entry stacks + per-iteration signatures.
+    Loop(LoopState),
+}
+
+impl CompatState {
+    /// An empty occurrence-style state (used by tests and synthetic edges).
+    pub fn empty() -> Self {
+        CompatState::Occurrences(Vec::new())
+    }
+}
+
+/// One causal relationship `cause → effect` discovered in one test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CausalEdge {
+    /// The cause fault (the injected one, for injection edges).
+    pub cause: FaultId,
+    /// The effect fault (the additional fault triggered).
+    pub effect: FaultId,
+    /// Relationship type.
+    pub kind: EdgeKind,
+    /// Test workload the relationship was observed in.
+    pub test: TestId,
+    /// 3PA phase in which the relationship was discovered (1, 2 or 3;
+    /// 0 when produced outside the protocol).
+    pub phase: u8,
+    /// Compatibility state of the cause in this test.
+    pub cause_state: CompatState,
+    /// Compatibility state of the effect in this test.
+    pub effect_state: CompatState,
+}
+
+impl CausalEdge {
+    /// Human-readable rendering using registry names.
+    pub fn describe(&self, reg: &Registry) -> String {
+        format!(
+            "{} --{}--> {}  (in {}, phase {})",
+            reg.point(self.cause).label,
+            self.kind,
+            reg.point(self.effect).label,
+            self.test,
+            self.phase
+        )
+    }
+}
+
+/// All causal relationships discovered in a campaign, indexed for the
+/// beam search.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CausalDb {
+    edges: Vec<CausalEdge>,
+    by_cause: BTreeMap<FaultId, Vec<usize>>,
+}
+
+impl CausalDb {
+    /// Builds a database from a list of edges.
+    pub fn from_edges(edges: Vec<CausalEdge>) -> Self {
+        let mut db = CausalDb::default();
+        for e in edges {
+            db.push(e);
+        }
+        db
+    }
+
+    /// Appends an edge, deduplicating exact `(cause, effect, kind, test)`
+    /// repeats (which arise from the delay-length sweep).
+    pub fn push(&mut self, e: CausalEdge) {
+        let dup = self.by_cause.get(&e.cause).is_some_and(|idxs| {
+            idxs.iter().any(|&i| {
+                let o = &self.edges[i];
+                o.effect == e.effect && o.kind == e.kind && o.test == e.test
+            })
+        });
+        if dup {
+            return;
+        }
+        let idx = self.edges.len();
+        self.by_cause.entry(e.cause).or_default().push(idx);
+        self.edges.push(e);
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[CausalEdge] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when no edges were discovered.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Indices of edges whose cause is `f`.
+    pub fn edges_from(&self, f: FaultId) -> &[usize] {
+        self.by_cause.get(&f).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The edge at an index.
+    pub fn edge(&self, idx: usize) -> &CausalEdge {
+        &self.edges[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(cause: u32, effect: u32, kind: EdgeKind, test: u32) -> CausalEdge {
+        CausalEdge {
+            cause: FaultId(cause),
+            effect: FaultId(effect),
+            kind,
+            test: TestId(test),
+            phase: 1,
+            cause_state: CompatState::empty(),
+            effect_state: CompatState::empty(),
+        }
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(EdgeKind::ED.is_injection());
+        assert!(!EdgeKind::Icfg.is_injection());
+        assert!(EdgeKind::ED.cause_is_delay());
+        assert!(!EdgeKind::EI.cause_is_delay());
+        assert!(EdgeKind::SI.effect_is_delay());
+        assert!(!EdgeKind::EI.effect_is_delay());
+        assert!(EdgeKind::Cfg.cause_is_delay() && EdgeKind::Cfg.effect_is_delay());
+    }
+
+    #[test]
+    fn db_indexes_by_cause() {
+        let db = CausalDb::from_edges(vec![
+            edge(1, 2, EdgeKind::EI, 0),
+            edge(1, 3, EdgeKind::SI, 0),
+            edge(2, 1, EdgeKind::EI, 1),
+        ]);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.edges_from(FaultId(1)).len(), 2);
+        assert_eq!(db.edges_from(FaultId(2)).len(), 1);
+        assert!(db.edges_from(FaultId(9)).is_empty());
+    }
+
+    #[test]
+    fn db_dedups_same_relationship_same_test() {
+        let mut db = CausalDb::default();
+        db.push(edge(1, 2, EdgeKind::ED, 0));
+        db.push(edge(1, 2, EdgeKind::ED, 0)); // sweep repeat
+        db.push(edge(1, 2, EdgeKind::ED, 1)); // different test: kept
+        db.push(edge(1, 2, EdgeKind::EI, 0)); // different kind: kept
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn display_kinds_match_paper_notation() {
+        assert_eq!(EdgeKind::ED.to_string(), "E(D)");
+        assert_eq!(EdgeKind::SD.to_string(), "S+(D)");
+        assert_eq!(EdgeKind::EI.to_string(), "E(I)");
+        assert_eq!(EdgeKind::SI.to_string(), "S+(I)");
+        assert_eq!(EdgeKind::Icfg.to_string(), "ICFG");
+        assert_eq!(EdgeKind::Cfg.to_string(), "CFG");
+    }
+}

@@ -1,0 +1,494 @@
+//! Fault Causality Analysis (§4.3): counterfactual trace comparison.
+//!
+//! FCA compares the execution traces of an injection run against the profile
+//! runs of the same workload (the counterfactual) and emits causal edges for
+//! every *additional* fault triggered:
+//!
+//! * **Execution-trace interference** — a throw statement reached or an error
+//!   detector negated in the injection runs but never in the profile runs.
+//! * **Iteration-count interference** — a loop whose iteration count
+//!   statistically increases (one-sided t-test, p < 0.1).
+//!
+//! Both run sets are repeated (five times in the paper) to absorb
+//! non-determinism. Nested/consecutive workload loops additionally produce
+//! the structural `ICFG`/`CFG` edges of Table 1.
+
+use std::collections::BTreeSet;
+
+use csnake_inject::{
+    FaultId, FaultKind, InjectionPlan, LoopState, Occurrence, Registry, RunTrace, TestId,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::edge::{CausalEdge, CompatState, EdgeKind};
+use crate::stats::welch_one_sided_p;
+
+/// FCA thresholds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FcaConfig {
+    /// One-sided t-test threshold for loop-count increases (paper: 0.1).
+    pub p_value: f64,
+    /// Fraction of injection runs in which an exception/negation must occur
+    /// to count as triggered (absorbs non-determinism across the five runs).
+    pub presence_fraction: f64,
+}
+
+impl Default for FcaConfig {
+    fn default() -> Self {
+        FcaConfig {
+            p_value: 0.1,
+            presence_fraction: 0.6,
+        }
+    }
+}
+
+/// Result of one injection experiment `(fault, test)` after FCA.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentOutcome {
+    /// The injected fault.
+    pub fault: FaultId,
+    /// The workload it was injected into.
+    pub test: TestId,
+    /// The interference list `I(f, t)`: additional faults triggered.
+    pub interference: BTreeSet<FaultId>,
+    /// Causal edges discovered (injection edges + structural loop edges).
+    pub edges: Vec<CausalEdge>,
+}
+
+/// Deduplicated union of a fault's occurrences across runs.
+fn merged_occurrences(traces: &[RunTrace], p: FaultId) -> Vec<Occurrence> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for t in traces {
+        if let Some(occs) = t.occurrences.get(&p) {
+            for o in occs {
+                if seen.insert(o.sig) {
+                    out.push(o.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Union of a loop's state across runs.
+fn merged_loop_state(traces: &[RunTrace], l: FaultId) -> Option<LoopState> {
+    let mut merged: Option<LoopState> = None;
+    for t in traces {
+        if let Some(st) = t.loop_states.get(&l) {
+            let m = merged.get_or_insert_with(LoopState::default);
+            m.entry_stacks.extend(st.entry_stacks.iter().cloned());
+            m.iter_sigs.extend(st.iter_sigs.iter().copied());
+        }
+    }
+    merged
+}
+
+/// Compatibility state of the injected fault itself across injection runs.
+fn cause_state(
+    registry: &Registry,
+    injection: &[RunTrace],
+    plan: InjectionPlan,
+) -> Option<CompatState> {
+    let point = registry.point(plan.target);
+    if point.kind == FaultKind::LoopPoint {
+        merged_loop_state(injection, plan.target).map(CompatState::Loop)
+    } else {
+        let mut seen = BTreeSet::new();
+        let mut occs = Vec::new();
+        for t in injection {
+            if let Some((f, occ)) = &t.injected {
+                if *f == plan.target && seen.insert(occ.sig) {
+                    occs.push(occ.clone());
+                }
+            }
+        }
+        if occs.is_empty() {
+            None
+        } else {
+            Some(CompatState::Occurrences(occs))
+        }
+    }
+}
+
+/// Runs FCA over one experiment: profile runs vs. injection runs of the same
+/// test, and extracts all causal edges (Table 1).
+///
+/// Returns an outcome with no edges when the injection never fired (the
+/// fault was not reached — such injections are automatically deprioritized
+/// by the 3PA protocol).
+pub fn analyze_experiment(
+    registry: &Registry,
+    profile: &[RunTrace],
+    injection: &[RunTrace],
+    plan: InjectionPlan,
+    test: TestId,
+    phase: u8,
+    cfg: &FcaConfig,
+) -> ExperimentOutcome {
+    let cause = plan.target;
+    let mut outcome = ExperimentOutcome {
+        fault: cause,
+        test,
+        interference: BTreeSet::new(),
+        edges: Vec::new(),
+    };
+    let fired = injection.iter().any(|t| t.injected.is_some());
+    if !fired || injection.is_empty() {
+        return outcome;
+    }
+    let Some(cstate) = cause_state(registry, injection, plan) else {
+        return outcome;
+    };
+    let cause_is_delay = plan.action.is_delay();
+    let needed = ((cfg.presence_fraction * injection.len() as f64).ceil() as usize).max(1);
+
+    // 1. Execution-trace interference: additional exceptions/negations.
+    for p in registry.points() {
+        if p.id == cause || p.kind == FaultKind::LoopPoint {
+            continue;
+        }
+        let n_inj = injection.iter().filter(|t| t.occurred(p.id)).count();
+        // For the cause's own injected occurrence we must not count the
+        // injection itself; that is excluded above by `p.id == cause`.
+        let in_profile = profile.iter().any(|t| t.occurred(p.id));
+        if n_inj >= needed && !in_profile {
+            let kind = if cause_is_delay {
+                EdgeKind::ED
+            } else {
+                EdgeKind::EI
+            };
+            outcome.interference.insert(p.id);
+            outcome.edges.push(CausalEdge {
+                cause,
+                effect: p.id,
+                kind,
+                test,
+                phase,
+                cause_state: cstate.clone(),
+                effect_state: CompatState::Occurrences(merged_occurrences(injection, p.id)),
+            });
+        }
+    }
+
+    // 2. Iteration-count interference: statistically increased loops.
+    let mut s_plus_loops = Vec::new();
+    for p in registry.points() {
+        if p.id == cause || p.kind != FaultKind::LoopPoint {
+            continue;
+        }
+        let prof: Vec<f64> = profile.iter().map(|t| t.loop_count(p.id) as f64).collect();
+        let inj: Vec<f64> = injection
+            .iter()
+            .map(|t| t.loop_count(p.id) as f64)
+            .collect();
+        if inj.iter().all(|&c| c == 0.0) {
+            continue;
+        }
+        if welch_one_sided_p(&prof, &inj) < cfg.p_value {
+            let kind = if cause_is_delay {
+                EdgeKind::SD
+            } else {
+                EdgeKind::SI
+            };
+            let Some(effect_state) = merged_loop_state(injection, p.id) else {
+                continue;
+            };
+            outcome.interference.insert(p.id);
+            outcome.edges.push(CausalEdge {
+                cause,
+                effect: p.id,
+                kind,
+                test,
+                phase,
+                cause_state: cstate.clone(),
+                effect_state: CompatState::Loop(effect_state),
+            });
+            s_plus_loops.push(p.id);
+        }
+    }
+
+    // 3. Structural loop edges for batch processing (Table 1 rows 5–6):
+    //    a delayed inner loop propagates to its parent (ICFG) and, through
+    //    the parent, to its next sibling (CFG).
+    for l in s_plus_loops {
+        let meta = registry
+            .point(l)
+            .loop_meta
+            .as_ref()
+            .expect("loop point has meta");
+        let Some(parent) = meta.parent else { continue };
+        let Some(l_state) = merged_loop_state(injection, l) else {
+            continue;
+        };
+        if let Some(parent_state) = merged_loop_state(injection, parent) {
+            outcome.edges.push(CausalEdge {
+                cause: l,
+                effect: parent,
+                kind: EdgeKind::Icfg,
+                test,
+                phase,
+                cause_state: CompatState::Loop(l_state),
+                effect_state: CompatState::Loop(parent_state.clone()),
+            });
+            if let Some(sib) = meta.next_sibling {
+                if let Some(sib_state) = merged_loop_state(injection, sib) {
+                    outcome.edges.push(CausalEdge {
+                        cause: parent,
+                        effect: sib,
+                        kind: EdgeKind::Cfg,
+                        test,
+                        phase,
+                        cause_state: CompatState::Loop(parent_state),
+                        effect_state: CompatState::Loop(sib_state),
+                    });
+                }
+            }
+        }
+    }
+
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csnake_inject::{BoolSource, ExceptionCategory, FnId, RegistryBuilder};
+    use csnake_sim::VirtualTime;
+
+    struct Fx {
+        reg: Registry,
+        tp: FaultId,
+        np: FaultId,
+        inner: FaultId,
+        outer: FaultId,
+        sibling: FaultId,
+    }
+
+    fn fx() -> Fx {
+        let mut b = RegistryBuilder::new("t");
+        let f = b.func("X.f");
+        let tp = b.throw_point(f, 1, "IOException", ExceptionCategory::SystemSpecific, "tp");
+        let np = b.negation_point(f, 2, true, BoolSource::ErrorDetector, "np");
+        let outer = b.workload_loop(f, 3, false, "outer");
+        let inner = b.workload_loop(f, 4, false, "inner");
+        let sibling = b.workload_loop(f, 5, false, "sibling");
+        b.set_parent(inner, outer);
+        b.set_parent(sibling, outer);
+        b.set_sibling(inner, sibling);
+        Fx {
+            reg: b.build(),
+            tp,
+            np,
+            inner,
+            outer,
+            sibling,
+        }
+    }
+
+    fn occ(sig_seed: u32) -> Occurrence {
+        Occurrence::new([Some(FnId(sig_seed)), None], vec![])
+    }
+
+    fn trace_with(
+        occurrences: &[(FaultId, u32)],
+        loops: &[(FaultId, u64)],
+        injected: Option<FaultId>,
+    ) -> RunTrace {
+        let mut t = RunTrace::default();
+        for (p, seed) in occurrences {
+            t.occurrences.entry(*p).or_default().push(occ(*seed));
+        }
+        for (l, c) in loops {
+            t.loop_counts.insert(*l, *c);
+            let mut st = LoopState::default();
+            st.entry_stacks.insert([None, None]);
+            st.iter_sigs.insert(*c % 3); // a few shared signatures
+            t.loop_states.insert(*l, st);
+        }
+        if let Some(f) = injected {
+            t.injected = Some((f, occ(99)));
+        }
+        t
+    }
+
+    fn cfgd() -> FcaConfig {
+        FcaConfig::default()
+    }
+
+    #[test]
+    fn no_edges_when_injection_never_fired() {
+        let fx = fx();
+        let profile = vec![trace_with(&[], &[], None); 5];
+        let inj = vec![trace_with(&[(fx.np, 1)], &[], None); 5];
+        let out = analyze_experiment(
+            &fx.reg,
+            &profile,
+            &inj,
+            InjectionPlan::throw(fx.tp),
+            TestId(0),
+            1,
+            &cfgd(),
+        );
+        assert!(out.edges.is_empty());
+        assert!(out.interference.is_empty());
+    }
+
+    #[test]
+    fn additional_exception_yields_ei_edge() {
+        let fx = fx();
+        let profile = vec![trace_with(&[], &[], None); 5];
+        // Injecting np (negation) consistently triggers tp.
+        let inj = vec![trace_with(&[(fx.tp, 1)], &[], Some(fx.np)); 5];
+        let out = analyze_experiment(
+            &fx.reg,
+            &profile,
+            &inj,
+            InjectionPlan::negate(fx.np),
+            TestId(0),
+            2,
+            &cfgd(),
+        );
+        assert_eq!(out.edges.len(), 1);
+        let e = &out.edges[0];
+        assert_eq!(e.kind, EdgeKind::EI);
+        assert_eq!(e.cause, fx.np);
+        assert_eq!(e.effect, fx.tp);
+        assert_eq!(e.phase, 2);
+        assert!(out.interference.contains(&fx.tp));
+    }
+
+    #[test]
+    fn exception_present_in_profile_is_not_additional() {
+        let fx = fx();
+        // tp occurs naturally in one profile run → counterfactual fails.
+        let mut profile = vec![trace_with(&[], &[], None); 4];
+        profile.push(trace_with(&[(fx.tp, 1)], &[], None));
+        let inj = vec![trace_with(&[(fx.tp, 1)], &[], Some(fx.np)); 5];
+        let out = analyze_experiment(
+            &fx.reg,
+            &profile,
+            &inj,
+            InjectionPlan::negate(fx.np),
+            TestId(0),
+            1,
+            &cfgd(),
+        );
+        assert!(out.edges.is_empty());
+    }
+
+    #[test]
+    fn flaky_exception_below_presence_fraction_is_ignored() {
+        let fx = fx();
+        let profile = vec![trace_with(&[], &[], None); 5];
+        // Occurs in only 2 of 5 injection runs (< 60%).
+        let mut inj = vec![trace_with(&[], &[], Some(fx.np)); 3];
+        inj.push(trace_with(&[(fx.tp, 1)], &[], Some(fx.np)));
+        inj.push(trace_with(&[(fx.tp, 1)], &[], Some(fx.np)));
+        let out = analyze_experiment(
+            &fx.reg,
+            &profile,
+            &inj,
+            InjectionPlan::negate(fx.np),
+            TestId(0),
+            1,
+            &cfgd(),
+        );
+        assert!(out.edges.is_empty());
+    }
+
+    #[test]
+    fn loop_increase_yields_sd_edge_with_delay_cause() {
+        let fx = fx();
+        let profile: Vec<RunTrace> = (0..5)
+            .map(|i| {
+                trace_with(
+                    &[],
+                    &[(fx.inner, 100 + i), (fx.outer, 10), (fx.sibling, 5)],
+                    None,
+                )
+            })
+            .collect();
+        let inj: Vec<RunTrace> = (0..5)
+            .map(|i| {
+                trace_with(
+                    &[],
+                    &[(fx.inner, 200 + i), (fx.outer, 10), (fx.sibling, 5)],
+                    Some(fx.sibling),
+                )
+            })
+            .collect();
+        let plan = InjectionPlan::delay(fx.sibling, VirtualTime::from_millis(100));
+        let out = analyze_experiment(&fx.reg, &profile, &inj, plan, TestId(1), 3, &cfgd());
+        // inner went 100→200 (S+); outer unchanged. inner has parent outer →
+        // also an ICFG edge, and inner's sibling is `sibling` (the cause, but
+        // structural edges don't exclude it) → CFG edge outer→sibling.
+        let kinds: Vec<EdgeKind> = out.edges.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EdgeKind::SD), "{kinds:?}");
+        assert!(kinds.contains(&EdgeKind::Icfg), "{kinds:?}");
+        let sd = out.edges.iter().find(|e| e.kind == EdgeKind::SD).unwrap();
+        assert_eq!(sd.effect, fx.inner);
+        assert!(matches!(sd.effect_state, CompatState::Loop(_)));
+        assert!(out.interference.contains(&fx.inner));
+        assert!(!out.interference.contains(&fx.outer));
+    }
+
+    #[test]
+    fn unreached_loop_in_injection_runs_is_skipped() {
+        let fx = fx();
+        // Loop count 0 in all injection runs but >0 in profile: no edge
+        // (and no false S+ from the reversed direction either).
+        let profile: Vec<RunTrace> = (0..5)
+            .map(|_| trace_with(&[], &[(fx.inner, 50)], None))
+            .collect();
+        let inj: Vec<RunTrace> = (0..5).map(|_| trace_with(&[], &[], Some(fx.np))).collect();
+        let out = analyze_experiment(
+            &fx.reg,
+            &profile,
+            &inj,
+            InjectionPlan::negate(fx.np),
+            TestId(0),
+            1,
+            &cfgd(),
+        );
+        assert!(out.edges.is_empty());
+    }
+
+    #[test]
+    fn icfg_and_cfg_edges_connect_nested_and_sibling_loops() {
+        let fx = fx();
+        let profile: Vec<RunTrace> = (0..5)
+            .map(|_| {
+                trace_with(
+                    &[],
+                    &[(fx.inner, 100), (fx.outer, 10), (fx.sibling, 100)],
+                    None,
+                )
+            })
+            .collect();
+        let inj: Vec<RunTrace> = (0..5)
+            .map(|i| {
+                trace_with(
+                    &[],
+                    &[(fx.inner, 300 + i), (fx.outer, 10), (fx.sibling, 100)],
+                    Some(fx.np),
+                )
+            })
+            .collect();
+        let out = analyze_experiment(
+            &fx.reg,
+            &profile,
+            &inj,
+            InjectionPlan::negate(fx.np),
+            TestId(0),
+            1,
+            &cfgd(),
+        );
+        let icfg = out.edges.iter().find(|e| e.kind == EdgeKind::Icfg).unwrap();
+        assert_eq!((icfg.cause, icfg.effect), (fx.inner, fx.outer));
+        let cfg_edge = out.edges.iter().find(|e| e.kind == EdgeKind::Cfg).unwrap();
+        assert_eq!((cfg_edge.cause, cfg_edge.effect), (fx.outer, fx.sibling));
+        // Structural edges are not part of the interference list.
+        assert!(!out.interference.contains(&fx.outer));
+    }
+}

@@ -1,0 +1,209 @@
+//! IDF vectorization of fault interference lists (§5.2, §A.1).
+//!
+//! Each injection experiment yields an interference list `I(f_i, t_j)` — the
+//! set of additional faults triggered. To compare experiments, CSnake
+//! vectorizes the lists with inverse document frequency weights
+//! (Eq. 3: `IDF(f) = log((1+N)/(1+N_f))`), L2-normalizes (Eq. 4), and
+//! measures cosine distance (Eq. 5). Faults triggered by almost every
+//! injection (utility-function faults — the "stop words") get weight ≈ 0.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use csnake_inject::FaultId;
+use serde::{Deserialize, Serialize};
+
+/// A sparse, L2-normalized interference vector.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseVec(BTreeMap<FaultId, f64>);
+
+impl SparseVec {
+    /// The raw component map.
+    pub fn components(&self) -> &BTreeMap<FaultId, f64> {
+        &self.0
+    }
+
+    /// `true` if all components are zero (empty interference).
+    pub fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Euclidean norm (1.0 for non-zero vectors after normalization).
+    pub fn norm(&self) -> f64 {
+        self.0.values().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Dot product with another sparse vector.
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        // Iterate over the smaller map.
+        let (small, large) = if self.0.len() <= other.0.len() {
+            (&self.0, &other.0)
+        } else {
+            (&other.0, &self.0)
+        };
+        small
+            .iter()
+            .filter_map(|(k, v)| large.get(k).map(|w| v * w))
+            .sum()
+    }
+}
+
+/// Cosine distance between two normalized sparse vectors, in `[0, 1]`
+/// (all IDF components are non-negative).
+///
+/// Degenerate cases: two zero vectors are identical (distance 0); a zero
+/// vector against a non-zero one is maximally distant (distance 1).
+pub fn cosine_distance(a: &SparseVec, b: &SparseVec) -> f64 {
+    match (a.is_zero(), b.is_zero()) {
+        (true, true) => 0.0,
+        (true, false) | (false, true) => 1.0,
+        (false, false) => (1.0 - a.dot(b)).clamp(0.0, 1.0),
+    }
+}
+
+/// An IDF model fitted over a corpus of interference lists.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IdfVectorizer {
+    n_docs: usize,
+    doc_freq: BTreeMap<FaultId, usize>,
+}
+
+impl IdfVectorizer {
+    /// Fits the model: `N` = number of experiments, `N_f` = number of
+    /// experiments whose interference list contains `f`.
+    pub fn fit<'a>(corpus: impl IntoIterator<Item = &'a BTreeSet<FaultId>>) -> Self {
+        let mut n_docs = 0;
+        let mut doc_freq: BTreeMap<FaultId, usize> = BTreeMap::new();
+        for doc in corpus {
+            n_docs += 1;
+            for f in doc {
+                *doc_freq.entry(*f).or_insert(0) += 1;
+            }
+        }
+        IdfVectorizer { n_docs, doc_freq }
+    }
+
+    /// Number of documents (experiments) the model was fitted on.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// IDF weight of a fault: `log((1+N)/(1+N_f))` (Eq. 3).
+    pub fn idf(&self, f: FaultId) -> f64 {
+        let nf = self.doc_freq.get(&f).copied().unwrap_or(0);
+        (((1 + self.n_docs) as f64) / ((1 + nf) as f64)).ln()
+    }
+
+    /// Vectorizes an interference list: each triggered fault is replaced by
+    /// its IDF value and the vector is L2-normalized (Eq. 4).
+    pub fn vectorize(&self, interference: &BTreeSet<FaultId>) -> SparseVec {
+        let mut v: BTreeMap<FaultId, f64> = BTreeMap::new();
+        for f in interference {
+            let w = self.idf(*f);
+            if w > 0.0 {
+                v.insert(*f, w);
+            }
+        }
+        let norm = v.values().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for val in v.values_mut() {
+                *val /= norm;
+            }
+        } else {
+            v.clear();
+        }
+        SparseVec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FaultId {
+        FaultId(i)
+    }
+
+    fn set(ids: &[u32]) -> BTreeSet<FaultId> {
+        ids.iter().map(|i| f(*i)).collect()
+    }
+
+    #[test]
+    fn idf_weights_follow_frequency() {
+        // f1 in all 4 docs, f2 in 1 doc.
+        let docs = vec![set(&[1, 2]), set(&[1]), set(&[1]), set(&[1])];
+        let m = IdfVectorizer::fit(&docs);
+        assert_eq!(m.n_docs(), 4);
+        assert!((m.idf(f(1)) - (5.0_f64 / 5.0).ln()).abs() < 1e-12);
+        assert!((m.idf(f(2)) - (5.0_f64 / 2.0).ln()).abs() < 1e-12);
+        // Unseen fault gets the maximum weight.
+        assert!((m.idf(f(9)) - 5.0_f64.ln()).abs() < 1e-12);
+        // Ubiquitous fault weight is exactly zero — the "stop word" effect.
+        assert_eq!(m.idf(f(1)), 0.0);
+    }
+
+    #[test]
+    fn vectors_are_normalized() {
+        let docs = vec![set(&[1, 2, 3]), set(&[2]), set(&[3])];
+        let m = IdfVectorizer::fit(&docs);
+        let v = m.vectorize(&set(&[2, 3]));
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert!(!v.is_zero());
+    }
+
+    #[test]
+    fn ubiquitous_only_interference_vectorizes_to_zero() {
+        let docs = vec![set(&[1]), set(&[1]), set(&[1])];
+        let m = IdfVectorizer::fit(&docs);
+        let v = m.vectorize(&set(&[1]));
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn cosine_distance_range_and_extremes() {
+        let docs = vec![set(&[1, 2]), set(&[3, 4]), set(&[1, 3])];
+        let m = IdfVectorizer::fit(&docs);
+        let a = m.vectorize(&set(&[1, 2]));
+        let b = m.vectorize(&set(&[3, 4]));
+        let a2 = m.vectorize(&set(&[1, 2]));
+        assert!((cosine_distance(&a, &a2)).abs() < 1e-12, "identical → 0");
+        assert!(
+            (cosine_distance(&a, &b) - 1.0).abs() < 1e-12,
+            "disjoint → 1"
+        );
+        let mixed = m.vectorize(&set(&[1, 3]));
+        let d = cosine_distance(&a, &mixed);
+        assert!(d > 0.0 && d < 1.0, "partial overlap strictly between: {d}");
+    }
+
+    #[test]
+    fn cosine_distance_zero_vector_conventions() {
+        let z = SparseVec::default();
+        let docs = vec![set(&[1]), set(&[2])];
+        let m = IdfVectorizer::fit(&docs);
+        let v = m.vectorize(&set(&[1]));
+        assert_eq!(cosine_distance(&z, &z), 0.0);
+        assert_eq!(cosine_distance(&z, &v), 1.0);
+        assert_eq!(cosine_distance(&v, &z), 1.0);
+    }
+
+    #[test]
+    fn cosine_distance_is_symmetric() {
+        let docs = vec![set(&[1, 2]), set(&[2, 3]), set(&[3, 4])];
+        let m = IdfVectorizer::fit(&docs);
+        let a = m.vectorize(&set(&[1, 2, 3]));
+        let b = m.vectorize(&set(&[2, 4]));
+        assert!((cosine_distance(&a, &b) - cosine_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_product_handles_asymmetric_sizes() {
+        let docs = vec![set(&[1]), set(&[2]), set(&[3]), set(&[4])];
+        let m = IdfVectorizer::fit(&docs);
+        let small = m.vectorize(&set(&[1]));
+        let large = m.vectorize(&set(&[1, 2, 3, 4]));
+        let d1 = small.dot(&large);
+        let d2 = large.dot(&small);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! CSnake core: detecting self-sustaining cascading failures via causal
+//! stitching of fault propagations.
+//!
+//! This crate implements the paper's primary contribution end to end:
+//!
+//! * [`fca`] — **Fault Causality Analysis** (§4.3): counterfactual comparison
+//!   of injection runs against profile runs; emits the six causal edge kinds
+//!   of Table 1.
+//! * [`alloc`] — the **Three-Phase Allocation protocol** (§5): IDF-based
+//!   clustering of causally-equivalent faults, round-robin exploration, and
+//!   conditional-causality-guided extension under a `4·|F|` test budget.
+//! * [`compat`] — the **local compatibility check** (§6.2): 2-level call
+//!   stacks + local branch traces approximate path-condition satisfiability.
+//! * [`beam`] — the **parallel beam search** (§6.3, Alg. 1) for causal
+//!   cycles, plus clustering of reported cycles.
+//! * [`driver`] / [`target`] — the workload driver and the abstraction over
+//!   systems under test.
+//! * [`report`] — cycle composition, ground-truth matching and TP/FP
+//!   accounting used by the evaluation harness.
+//!
+//! # Examples
+//!
+//! Running the whole pipeline against a target system takes one call:
+//!
+//! ```ignore
+//! use csnake_core::{detect, DetectConfig};
+//!
+//! let target = csnake_targets::toy::ToySystem::new();
+//! let detection = detect(&target, &DetectConfig::default());
+//! for m in &detection.report.matches {
+//!     println!("found {} ({}): {}", m.bug.id, m.bug.jira, m.composition);
+//! }
+//! ```
+
+pub mod alloc;
+pub mod beam;
+pub mod cluster;
+pub mod compat;
+pub mod driver;
+pub mod edge;
+pub mod fca;
+pub mod idf;
+pub mod report;
+pub mod stats;
+pub mod target;
+
+use serde::{Deserialize, Serialize};
+
+pub use alloc::{run_random_allocation, run_three_phase, AllocationResult, ThreePhaseConfig};
+pub use beam::{beam_search, cluster_cycles, BeamConfig, Cycle, CycleCluster};
+pub use compat::compatible;
+pub use driver::{Driver, DriverConfig};
+pub use edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
+pub use fca::{analyze_experiment, ExperimentOutcome, FcaConfig};
+pub use report::{
+    build_report, composition, BugMatch, ClusterVerdict, Composition, DetectionReport,
+};
+pub use target::{KnownBug, TargetSystem, TestCase};
+
+/// Configuration of a full detection campaign.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DetectConfig {
+    /// Workload-driver knobs (repetitions, delay sweep, FCA thresholds).
+    pub driver: DriverConfig,
+    /// 3PA protocol knobs (budget, clustering threshold, ε).
+    pub alloc: ThreePhaseConfig,
+    /// Beam-search knobs (beam size, delay cap).
+    pub beam: BeamConfig,
+}
+
+/// Result of a full detection campaign.
+#[derive(Debug)]
+pub struct Detection {
+    /// Static-analysis result (active fault points, Table 2 counts).
+    pub analysis: csnake_analyzer::Analysis,
+    /// Everything the 3PA protocol produced (edges, clusters, SimScores).
+    pub alloc: AllocationResult,
+    /// Cycles, clusters, verdicts and ground-truth matches.
+    pub report: DetectionReport,
+    /// Total individual simulator runs executed.
+    pub runs_executed: usize,
+}
+
+/// Runs the complete CSnake pipeline against a target system:
+/// profile runs → static filtering → 3PA fault injection with FCA →
+/// beam search → cycle clustering → report.
+pub fn detect(target: &dyn TargetSystem, cfg: &DetectConfig) -> Detection {
+    let mut driver = Driver::new(target, cfg.driver.clone());
+    let alloc = run_three_phase(&mut driver, &cfg.alloc);
+    finish_detection(target, driver, alloc, cfg)
+}
+
+/// Same pipeline but with the random-allocation baseline in place of 3PA
+/// (§8.1, Table 3 "Rnd.?" column). The budget matches what 3PA would get.
+pub fn detect_with_random_allocation(
+    target: &dyn TargetSystem,
+    cfg: &DetectConfig,
+    seed: u64,
+) -> Detection {
+    let mut driver = Driver::new(target, cfg.driver.clone());
+    let budget = cfg.alloc.budget_per_fault * driver.analysis.injectable.len();
+    let alloc = run_random_allocation(&mut driver, budget, seed);
+    finish_detection(target, driver, alloc, cfg)
+}
+
+fn finish_detection(
+    target: &dyn TargetSystem,
+    driver: Driver<'_>,
+    alloc: AllocationResult,
+    cfg: &DetectConfig,
+) -> Detection {
+    let sim_of = |f| alloc.sim_score_of(f);
+    let cycles = beam_search(&alloc.db, &sim_of, &cfg.beam);
+    let clusters = cluster_cycles(&cycles, &alloc.db, &alloc.cluster_of);
+    let report = build_report(target, &alloc, cycles, clusters);
+    Detection {
+        analysis: driver.analysis.clone(),
+        runs_executed: driver.runs_executed,
+        alloc,
+        report,
+    }
+}

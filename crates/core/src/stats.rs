@@ -1,0 +1,262 @@
+//! Statistical tests used by the fault-causality analysis.
+//!
+//! The paper detects *iteration count interference* by checking whether a
+//! loop's iteration count "statistically increases compared to the profile
+//! run", using a one-sided t-test with p = 0.1 (§4.3). Profile and injection
+//! runs are repeated five times each, so the samples are tiny; we use the
+//! Welch (unequal-variance) form, which is the safe default.
+
+/// Natural log of the gamma function (Lanczos approximation).
+///
+/// Accurate to ~1e-10 for positive arguments, far beyond what a p = 0.1
+/// threshold on n = 5 samples needs.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos g = 7, n = 9 coefficients.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Lentz's algorithm).
+pub fn betainc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "betainc requires positive parameters");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta).exp();
+    // Use the symmetry relation for faster convergence.
+    if x > (a + 1.0) / (a + b + 2.0) {
+        return 1.0 - betainc(b, a, 1.0 - x);
+    }
+    // Continued fraction.
+    let tiny = 1e-300;
+    let mut f = 1.0_f64;
+    let mut c = 1.0_f64;
+    let mut d = 0.0_f64;
+    for i in 0..=200 {
+        let m = i / 2;
+        let numerator = if i == 0 {
+            1.0
+        } else if i % 2 == 0 {
+            let m = m as f64;
+            (m * (b - m) * x) / ((a + 2.0 * m - 1.0) * (a + 2.0 * m))
+        } else {
+            let m = m as f64;
+            -((a + m) * (a + b + m) * x) / ((a + 2.0 * m) * (a + 2.0 * m + 1.0))
+        };
+        d = 1.0 + numerator * d;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        d = 1.0 / d;
+        c = 1.0 + numerator / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        let cd = c * d;
+        f *= cd;
+        if (1.0 - cd).abs() < 1e-12 {
+            return (front * (f - 1.0) / a).clamp(0.0, 1.0);
+        }
+    }
+    (front * (f - 1.0) / a).clamp(0.0, 1.0)
+}
+
+/// Survival function of Student's t distribution: `P(T > t)` with `df`
+/// degrees of freedom.
+pub fn t_sf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    let x = df / (df + t * t);
+    let half = 0.5 * betainc(df / 2.0, 0.5, x);
+    if t >= 0.0 {
+        half
+    } else {
+        1.0 - half
+    }
+}
+
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// One-sided Welch t-test p-value for the alternative `mean(b) > mean(a)`.
+///
+/// Returns the probability of observing a difference at least this large
+/// under the null hypothesis of equal means. Degenerate inputs are handled
+/// the way the fault-causality analysis needs:
+///
+/// * both samples have zero variance → p = 0 if `mean(b) > mean(a)`, else 1
+///   (fully deterministic counts: any increase is "significant");
+/// * fewer than two observations on either side → compares means the same
+///   way.
+///
+/// # Examples
+///
+/// ```
+/// use csnake_core::stats::welch_one_sided_p;
+///
+/// let profile = [100.0, 101.0, 99.0, 100.0, 100.0];
+/// let injected = [150.0, 149.0, 151.0, 150.0, 152.0];
+/// assert!(welch_one_sided_p(&profile, &injected) < 0.01);
+/// assert!(welch_one_sided_p(&injected, &profile) > 0.9);
+/// ```
+pub fn welch_one_sided_p(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let (ma, va) = mean_var(a);
+    let (mb, vb) = mean_var(b);
+    if va == 0.0 && vb == 0.0 {
+        return if mb > ma { 0.0 } else { 1.0 };
+    }
+    if a.len() < 2 || b.len() < 2 {
+        return if mb > ma { 0.0 } else { 1.0 };
+    }
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let se2 = va / na + vb / nb;
+    let t = (mb - ma) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df_num = se2 * se2;
+    let df_den = (va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0);
+    let df = if df_den == 0.0 {
+        na + nb - 2.0
+    } else {
+        df_num / df_den
+    };
+    t_sf(t, df)
+}
+
+/// Convenience: `true` if `b`'s mean is a statistically significant increase
+/// over `a`'s at the given p-value threshold.
+pub fn significant_increase(a: &[f64], b: &[f64], p_threshold: f64) -> bool {
+    welch_one_sided_p(a, b) < p_threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!((ln_gamma(1.0)).abs() < 1e-9);
+        assert!((ln_gamma(2.0)).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betainc_boundaries_and_symmetry() {
+        assert_eq!(betainc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betainc(2.0, 3.0, 1.0), 1.0);
+        // I_x(1,1) = x (uniform CDF).
+        for x in [0.1, 0.4, 0.9] {
+            assert!((betainc(1.0, 1.0, x) - x).abs() < 1e-9, "{x}");
+        }
+        // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+        let v = betainc(2.5, 4.0, 0.3);
+        let w = 1.0 - betainc(4.0, 2.5, 0.7);
+        assert!((v - w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_sf_matches_reference_values() {
+        // t = 0 → 0.5 for any df.
+        assert!((t_sf(0.0, 4.0) - 0.5).abs() < 1e-9);
+        // df = 1 is the Cauchy distribution: SF(1) = 0.25.
+        assert!((t_sf(1.0, 1.0) - 0.25).abs() < 1e-9);
+        // Reference: SF(2.776, 4) ≈ 0.025 (classic t-table value).
+        assert!((t_sf(2.776, 4.0) - 0.025).abs() < 5e-4);
+        // Large df approaches the normal: SF(1.645, 1e6) ≈ 0.05.
+        assert!((t_sf(1.645, 1e6) - 0.05).abs() < 1e-3);
+        // Negative t mirrors.
+        assert!((t_sf(-1.0, 1.0) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_detects_clear_increase() {
+        let a = [100.0, 102.0, 98.0, 101.0, 99.0];
+        let b = [140.0, 142.0, 139.0, 141.0, 138.0];
+        assert!(welch_one_sided_p(&a, &b) < 0.001);
+        assert!(significant_increase(&a, &b, 0.1));
+    }
+
+    #[test]
+    fn welch_rejects_no_change_and_decrease() {
+        let a = [100.0, 102.0, 98.0, 101.0, 99.0];
+        let same = [99.0, 101.0, 100.0, 102.0, 98.0];
+        assert!(welch_one_sided_p(&a, &same) > 0.1);
+        let lower = [80.0, 82.0, 79.0, 81.0, 78.0];
+        assert!(welch_one_sided_p(&a, &lower) > 0.9);
+        assert!(!significant_increase(&a, &same, 0.1));
+    }
+
+    #[test]
+    fn welch_zero_variance_compares_means() {
+        let a = [10.0; 5];
+        let b = [11.0; 5];
+        assert_eq!(welch_one_sided_p(&a, &b), 0.0);
+        assert_eq!(welch_one_sided_p(&b, &a), 1.0);
+        assert_eq!(welch_one_sided_p(&a, &a.clone()), 1.0);
+    }
+
+    #[test]
+    fn welch_handles_small_and_empty_samples() {
+        assert_eq!(welch_one_sided_p(&[], &[1.0]), 1.0);
+        assert_eq!(welch_one_sided_p(&[1.0], &[]), 1.0);
+        assert_eq!(welch_one_sided_p(&[1.0], &[2.0]), 0.0);
+        assert_eq!(welch_one_sided_p(&[2.0], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn welch_one_zero_variance_side() {
+        let a = [10.0; 5];
+        let b = [10.5, 11.5, 10.8, 11.2, 11.0];
+        let p = welch_one_sided_p(&a, &b);
+        assert!(p < 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn p_value_monotone_in_effect_size() {
+        let a = [100.0, 101.0, 99.0, 100.5, 99.5];
+        let mut last = 1.0;
+        for shift in [0.0, 1.0, 2.0, 5.0, 10.0] {
+            let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+            let p = welch_one_sided_p(&a, &b);
+            assert!(p <= last + 1e-12, "shift {shift}: {p} > {last}");
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Fault-point registry, runtime injection agent, and trace recorder.
+//!
+//! This crate is the reproduction's stand-in for the paper's WALA-based
+//! instrumentor and Byteman-based runtime agent (§4.2, §7). Real CSnake
+//! rewrites Java bytecode to insert hooks at *throw points*, *library call
+//! sites*, *negation points* (boolean error detectors) and *loop points*;
+//! here, target systems declare the same sites in a [`Registry`] and call
+//! the corresponding [`Agent`] hooks inline.
+//!
+//! The agent implements the paper's runtime behaviours:
+//!
+//! * **Exception injection** — a one-shot throw when the guarded if-statement
+//!   or library call site is reached ([`Agent::throw_guard`]).
+//! * **Negation injection** — flipping the return value of a boolean
+//!   error-detector function ([`Agent::negation_point`]).
+//! * **Delay injection** — a spinning delay at the head of every iteration of
+//!   a loop ([`LoopGuard::iter`]), realised as a virtual-time advance.
+//! * **Monitoring** — coverage, error occurrences with their *local branch
+//!   trace* and *2-level call stack* (the paper's local-compatibility state,
+//!   §6.2), per-loop iteration counts, and the dynamic call graph (§B.1).
+
+pub mod agent;
+pub mod fault;
+pub mod registry;
+pub mod trace;
+
+/// Thread-local switch used by harnesses to run targets with monitoring
+/// disabled (the §8.5 overhead comparison). Targets construct their own
+/// [`Agent`]; the shared run harness consults this switch at construction.
+pub mod tracing_switch {
+    use std::cell::Cell;
+
+    std::thread_local! {
+        static TRACING: Cell<bool> = const { Cell::new(true) };
+    }
+
+    /// Enables/disables monitoring for agents created on this thread.
+    pub fn set(on: bool) {
+        TRACING.with(|t| t.set(on));
+    }
+
+    /// Current switch state (default: enabled).
+    pub fn get() -> bool {
+        TRACING.with(|t| t.get())
+    }
+}
+
+pub use agent::{Agent, FrameGuard, LoopGuard};
+pub use fault::{Fault, InjectAction, InjectionPlan};
+pub use registry::{
+    BoolSource, BranchId, BranchPoint, ExceptionCategory, ExceptionMeta, FaultId, FaultKind,
+    FaultPoint, FnId, LoopBound, LoopMeta, NegationMeta, Registry, RegistryBuilder, Site, TestId,
+};
+pub use trace::{fnv1a, CallStack2, LoopState, Occurrence, RunTrace};

@@ -1,0 +1,575 @@
+//! Static model of a target system's instrumentable sites.
+//!
+//! In the paper, CSnake's static analyzer (WALA over Java bytecode, §4.1)
+//! discovers throw statements, library call sites, boolean-returning
+//! functions and loops, together with the metadata its filters need. In this
+//! reproduction every target system *declares* the same inventory through
+//! [`RegistryBuilder`]; the model-level static analyzer (`csnake-analyzer`)
+//! then applies the paper's filtering rules over it.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a fault (injection) point within one registry.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FaultId(pub u32);
+
+impl fmt::Display for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// Identifier of a branch monitor point.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BranchId(pub u32);
+
+impl fmt::Display for BranchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Identifier of an (interned) function name.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FnId(pub u32);
+
+/// Identifier of an integration-test workload of a target system.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TestId(pub u32);
+
+impl fmt::Display for TestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// The kind of an instrumented fault point (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A `throw` statement explicit in system code (injected at its guard).
+    Throw,
+    /// A library/native call site declaring a checked exception.
+    LibCall,
+    /// A boolean-returning system-specific error detector (negation point).
+    Negation,
+    /// A loop head (contention/delay injection point).
+    LoopPoint,
+}
+
+/// Classification of an exception's origin, used by the §4.1 filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExceptionCategory {
+    /// Thrown explicitly inside the target system's own code.
+    SystemSpecific,
+    /// Declared by a library/native function at a call site.
+    Library,
+    /// Unchecked exception thrown explicitly in system code
+    /// (e.g. `IllegalArgumentException` on invalid input) — still injected.
+    ExplicitRuntime,
+    /// Reflection-related — filtered out (tends to terminate, not propagate).
+    Reflection,
+    /// Security-related — filtered out for the same reason.
+    Security,
+}
+
+/// Provenance of a boolean-returning function, used by the §7 filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoolSource {
+    /// A genuine system-specific error detector (health check, status check).
+    ErrorDetector,
+    /// A JDK/stdlib utility (`contains()`, `isEmpty()`...) — filtered.
+    JdkUtility,
+    /// Return value derived only from `final` configuration — filtered.
+    FinalConfigOnly,
+    /// Return value constant or never used — filtered.
+    ConstantOrUnused,
+    /// Pure primitive-type utility (e.g. `isSorted()`) — filtered.
+    PrimitiveUtility,
+}
+
+/// How a loop's iteration count is bounded, for the scalability filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopBound {
+    /// Guard provably bounded by a constant — filtered out (§4.1).
+    Constant(u32),
+    /// Iteration count depends on the workload — candidate for delay
+    /// injection.
+    WorkloadDependent,
+}
+
+/// Metadata of an exception fault point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExceptionMeta {
+    /// Exception class name (as the target system names it).
+    pub class: &'static str,
+    /// Origin category, input to the static filters.
+    pub category: ExceptionCategory,
+    /// `true` if the only paths reaching this site start in test code —
+    /// such sites are ignored by the analyzer (§4.1).
+    pub test_only: bool,
+}
+
+/// Metadata of a negation (boolean error detector) point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NegationMeta {
+    /// The boolean value that signals "error" for this detector
+    /// (e.g. `true` for `isStale()`, `false` for `canPlaceFavoredNodes()`).
+    pub error_when: bool,
+    /// Provenance, input to the §7 filters.
+    pub source: BoolSource,
+}
+
+/// Metadata of a loop fault point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoopMeta {
+    /// Bound classification from the best-effort data-flow analysis.
+    pub bound: LoopBound,
+    /// `true` if the loop body performs I/O (never filtered by the
+    /// short-execution rule).
+    pub does_io: bool,
+    /// Enclosing loop, for the `ICFG` parent-propagation edge (§4.3).
+    pub parent: Option<FaultId>,
+    /// Next consecutive loop in the same scope, for the `CFG` sibling edge.
+    pub next_sibling: Option<FaultId>,
+}
+
+/// Source location of an instrumented site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Site {
+    /// Enclosing function (interned).
+    pub function: FnId,
+    /// Line number within the (conceptual) source file.
+    pub line: u32,
+}
+
+/// One instrumentable fault point with all static metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultPoint {
+    /// Stable identifier within the registry.
+    pub id: FaultId,
+    /// Point kind.
+    pub kind: FaultKind,
+    /// Source location.
+    pub site: Site,
+    /// Human/ground-truth label (e.g. `"ibr_rpc_ioe"`); used to match
+    /// reported cycles against seeded bugs, never by the detector itself.
+    pub label: &'static str,
+    /// Exception metadata for `Throw`/`LibCall` points.
+    pub exception: Option<ExceptionMeta>,
+    /// Negation metadata for `Negation` points.
+    pub negation: Option<NegationMeta>,
+    /// Loop metadata for `LoopPoint`s.
+    pub loop_meta: Option<LoopMeta>,
+}
+
+/// One branch monitor point (§6.2 execution-trace recording).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BranchPoint {
+    /// Stable identifier within the registry.
+    pub id: BranchId,
+    /// Source location.
+    pub site: Site,
+}
+
+/// The full instrumentation inventory of one target system.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Registry {
+    /// Target system name.
+    pub system: &'static str,
+    fns: Vec<&'static str>,
+    points: Vec<FaultPoint>,
+    branches: Vec<BranchPoint>,
+}
+
+impl Registry {
+    /// All fault points.
+    pub fn points(&self) -> &[FaultPoint] {
+        &self.points
+    }
+
+    /// All branch monitor points.
+    pub fn branches(&self) -> &[BranchPoint] {
+        &self.branches
+    }
+
+    /// Looks up a fault point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this registry.
+    pub fn point(&self, id: FaultId) -> &FaultPoint {
+        &self.points[id.0 as usize]
+    }
+
+    /// Function name for an interned id.
+    pub fn fn_name(&self, f: FnId) -> &'static str {
+        self.fns[f.0 as usize]
+    }
+
+    /// Number of interned functions.
+    pub fn fn_count(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// Human-readable description of a fault point.
+    pub fn describe(&self, id: FaultId) -> String {
+        let p = self.point(id);
+        let kind = match p.kind {
+            FaultKind::Throw => "throw",
+            FaultKind::LibCall => "libcall",
+            FaultKind::Negation => "negation",
+            FaultKind::LoopPoint => "loop",
+        };
+        format!(
+            "{} {} [{}] at {}:{}",
+            kind,
+            id,
+            p.label,
+            self.fn_name(p.site.function),
+            p.site.line
+        )
+    }
+
+    /// Fault points of a given kind.
+    pub fn points_of_kind(&self, kind: FaultKind) -> impl Iterator<Item = &FaultPoint> {
+        self.points.iter().filter(move |p| p.kind == kind)
+    }
+}
+
+/// Builder used by target systems to declare their instrumentation inventory.
+///
+/// # Examples
+///
+/// ```
+/// use csnake_inject::{BoolSource, ExceptionCategory, LoopBound, RegistryBuilder};
+///
+/// let mut b = RegistryBuilder::new("demo");
+/// let f = b.func("Server.handle");
+/// let l = b.workload_loop(f, 10, true, "request_loop");
+/// let tp = b.throw_point(f, 14, "IOException", ExceptionCategory::SystemSpecific, "rpc_ioe");
+/// let np = b.negation_point(f, 20, true, BoolSource::ErrorDetector, "is_stale");
+/// let br = b.branch(f, 12);
+/// let reg = b.build();
+/// assert_eq!(reg.points().len(), 3);
+/// assert_eq!(reg.point(tp).label, "rpc_ioe");
+/// assert!(reg.point(l).loop_meta.is_some());
+/// assert!(reg.point(np).negation.is_some());
+/// assert_eq!(reg.branches().len(), 1);
+/// let _ = br;
+/// ```
+#[derive(Debug, Default)]
+pub struct RegistryBuilder {
+    reg: Registry,
+}
+
+impl RegistryBuilder {
+    /// Starts a registry for the named system.
+    pub fn new(system: &'static str) -> Self {
+        RegistryBuilder {
+            reg: Registry {
+                system,
+                ..Registry::default()
+            },
+        }
+    }
+
+    /// Interns a function name.
+    pub fn func(&mut self, name: &'static str) -> FnId {
+        if let Some(i) = self.reg.fns.iter().position(|n| *n == name) {
+            return FnId(i as u32);
+        }
+        self.reg.fns.push(name);
+        FnId((self.reg.fns.len() - 1) as u32)
+    }
+
+    fn push_point(&mut self, p: FaultPoint) -> FaultId {
+        let id = FaultId(self.reg.points.len() as u32);
+        self.reg.points.push(FaultPoint { id, ..p });
+        id
+    }
+
+    /// Declares a system-specific throw point.
+    pub fn throw_point(
+        &mut self,
+        function: FnId,
+        line: u32,
+        class: &'static str,
+        category: ExceptionCategory,
+        label: &'static str,
+    ) -> FaultId {
+        self.push_point(FaultPoint {
+            id: FaultId(0),
+            kind: FaultKind::Throw,
+            site: Site { function, line },
+            label,
+            exception: Some(ExceptionMeta {
+                class,
+                category,
+                test_only: false,
+            }),
+            negation: None,
+            loop_meta: None,
+        })
+    }
+
+    /// Declares a library-call exception site.
+    pub fn lib_call(
+        &mut self,
+        function: FnId,
+        line: u32,
+        class: &'static str,
+        label: &'static str,
+    ) -> FaultId {
+        self.push_point(FaultPoint {
+            id: FaultId(0),
+            kind: FaultKind::LibCall,
+            site: Site { function, line },
+            label,
+            exception: Some(ExceptionMeta {
+                class,
+                category: ExceptionCategory::Library,
+                test_only: false,
+            }),
+            negation: None,
+            loop_meta: None,
+        })
+    }
+
+    /// Declares a throw point only reachable from test code (will be
+    /// filtered by the analyzer).
+    pub fn test_only_throw(
+        &mut self,
+        function: FnId,
+        line: u32,
+        class: &'static str,
+        label: &'static str,
+    ) -> FaultId {
+        self.push_point(FaultPoint {
+            id: FaultId(0),
+            kind: FaultKind::Throw,
+            site: Site { function, line },
+            label,
+            exception: Some(ExceptionMeta {
+                class,
+                category: ExceptionCategory::SystemSpecific,
+                test_only: true,
+            }),
+            negation: None,
+            loop_meta: None,
+        })
+    }
+
+    /// Declares a negation point (boolean error detector).
+    pub fn negation_point(
+        &mut self,
+        function: FnId,
+        line: u32,
+        error_when: bool,
+        source: BoolSource,
+        label: &'static str,
+    ) -> FaultId {
+        self.push_point(FaultPoint {
+            id: FaultId(0),
+            kind: FaultKind::Negation,
+            site: Site { function, line },
+            label,
+            exception: None,
+            negation: Some(NegationMeta { error_when, source }),
+            loop_meta: None,
+        })
+    }
+
+    /// Declares a workload-dependent loop (delay-injection candidate).
+    pub fn workload_loop(
+        &mut self,
+        function: FnId,
+        line: u32,
+        does_io: bool,
+        label: &'static str,
+    ) -> FaultId {
+        self.push_point(FaultPoint {
+            id: FaultId(0),
+            kind: FaultKind::LoopPoint,
+            site: Site { function, line },
+            label,
+            exception: None,
+            negation: None,
+            loop_meta: Some(LoopMeta {
+                bound: LoopBound::WorkloadDependent,
+                does_io,
+                parent: None,
+                next_sibling: None,
+            }),
+        })
+    }
+
+    /// Declares a constant-bound loop (filtered by the analyzer).
+    pub fn const_loop(
+        &mut self,
+        function: FnId,
+        line: u32,
+        bound: u32,
+        label: &'static str,
+    ) -> FaultId {
+        self.push_point(FaultPoint {
+            id: FaultId(0),
+            kind: FaultKind::LoopPoint,
+            site: Site { function, line },
+            label,
+            exception: None,
+            negation: None,
+            loop_meta: Some(LoopMeta {
+                bound: LoopBound::Constant(bound),
+                does_io: false,
+                parent: None,
+                next_sibling: None,
+            }),
+        })
+    }
+
+    /// Records that `child` is nested inside `parent` (for `ICFG` edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is not a loop point.
+    pub fn set_parent(&mut self, child: FaultId, parent: FaultId) {
+        assert_eq!(
+            self.reg.points[parent.0 as usize].kind,
+            FaultKind::LoopPoint
+        );
+        let meta = self.reg.points[child.0 as usize]
+            .loop_meta
+            .as_mut()
+            .expect("child must be a loop point");
+        meta.parent = Some(parent);
+    }
+
+    /// Records that `next` is the consecutive sibling after `loop_id`
+    /// (for `CFG` edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is not a loop point.
+    pub fn set_sibling(&mut self, loop_id: FaultId, next: FaultId) {
+        assert_eq!(self.reg.points[next.0 as usize].kind, FaultKind::LoopPoint);
+        let meta = self.reg.points[loop_id.0 as usize]
+            .loop_meta
+            .as_mut()
+            .expect("loop_id must be a loop point");
+        meta.next_sibling = Some(next);
+    }
+
+    /// Declares a branch monitor point.
+    pub fn branch(&mut self, function: FnId, line: u32) -> BranchId {
+        let id = BranchId(self.reg.branches.len() as u32);
+        self.reg.branches.push(BranchPoint {
+            id,
+            site: Site { function, line },
+        });
+        id
+    }
+
+    /// Finalizes the registry.
+    pub fn build(self) -> Registry {
+        self.reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates_functions() {
+        let mut b = RegistryBuilder::new("t");
+        let a = b.func("X.f");
+        let c = b.func("X.g");
+        let a2 = b.func("X.f");
+        assert_eq!(a, a2);
+        assert_ne!(a, c);
+        let r = b.build();
+        assert_eq!(r.fn_count(), 2);
+        assert_eq!(r.fn_name(a), "X.f");
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut b = RegistryBuilder::new("t");
+        let f = b.func("X.f");
+        let p0 = b.throw_point(f, 1, "IOException", ExceptionCategory::SystemSpecific, "a");
+        let p1 = b.workload_loop(f, 2, false, "b");
+        let p2 = b.negation_point(f, 3, true, BoolSource::ErrorDetector, "c");
+        assert_eq!(p0, FaultId(0));
+        assert_eq!(p1, FaultId(1));
+        assert_eq!(p2, FaultId(2));
+        let r = b.build();
+        assert_eq!(r.points().len(), 3);
+        assert_eq!(r.point(p1).kind, FaultKind::LoopPoint);
+    }
+
+    #[test]
+    fn parent_and_sibling_links() {
+        let mut b = RegistryBuilder::new("t");
+        let f = b.func("X.f");
+        let outer = b.workload_loop(f, 1, false, "outer");
+        let inner = b.workload_loop(f, 2, false, "inner");
+        let next = b.workload_loop(f, 3, false, "next");
+        b.set_parent(inner, outer);
+        b.set_sibling(inner, next);
+        let r = b.build();
+        let meta = r.point(inner).loop_meta.as_ref().unwrap();
+        assert_eq!(meta.parent, Some(outer));
+        assert_eq!(meta.next_sibling, Some(next));
+    }
+
+    #[test]
+    #[should_panic(expected = "child must be a loop point")]
+    fn set_parent_rejects_non_loops() {
+        let mut b = RegistryBuilder::new("t");
+        let f = b.func("X.f");
+        let tp = b.throw_point(f, 1, "E", ExceptionCategory::SystemSpecific, "a");
+        let l = b.workload_loop(f, 2, false, "l");
+        b.set_parent(tp, l);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let mut b = RegistryBuilder::new("t");
+        let f = b.func("Server.handle");
+        let tp = b.throw_point(
+            f,
+            14,
+            "IOException",
+            ExceptionCategory::SystemSpecific,
+            "rpc",
+        );
+        let r = b.build();
+        let d = r.describe(tp);
+        assert!(d.contains("Server.handle"));
+        assert!(d.contains("rpc"));
+        assert!(d.contains("14"));
+    }
+
+    #[test]
+    fn kind_filter_iterates_correctly() {
+        let mut b = RegistryBuilder::new("t");
+        let f = b.func("X.f");
+        b.throw_point(f, 1, "E", ExceptionCategory::SystemSpecific, "a");
+        b.workload_loop(f, 2, false, "l1");
+        b.workload_loop(f, 3, false, "l2");
+        let r = b.build();
+        assert_eq!(r.points_of_kind(FaultKind::LoopPoint).count(), 2);
+        assert_eq!(r.points_of_kind(FaultKind::Throw).count(), 1);
+        assert_eq!(r.points_of_kind(FaultKind::Negation).count(), 0);
+    }
+}

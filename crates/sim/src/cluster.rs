@@ -1,0 +1,126 @@
+//! Cluster membership primitives shared by the target systems.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (server/host) in a simulated cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Live-membership view of a cluster, as maintained by a manager node
+/// (NameNode, HMaster, JobManager, SCM...).
+///
+/// Tracks which nodes are currently considered alive/excluded; target systems
+/// layer their own staleness detectors on top.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Membership {
+    all: BTreeSet<NodeId>,
+    excluded: BTreeSet<NodeId>,
+}
+
+impl Membership {
+    /// Creates a membership over nodes `0..n`.
+    pub fn with_nodes(n: u32) -> Self {
+        Membership {
+            all: (0..n).map(NodeId).collect(),
+            excluded: BTreeSet::new(),
+        }
+    }
+
+    /// All registered nodes, live or not.
+    pub fn all(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.all.iter().copied()
+    }
+
+    /// Nodes currently live (registered and not excluded).
+    pub fn live(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.all
+            .iter()
+            .copied()
+            .filter(move |n| !self.excluded.contains(n))
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.all.len() - self.excluded.len()
+    }
+
+    /// Total number of registered nodes.
+    pub fn total(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Marks a node as excluded (dead/unhealthy). Idempotent.
+    pub fn exclude(&mut self, n: NodeId) {
+        if self.all.contains(&n) {
+            self.excluded.insert(n);
+        }
+    }
+
+    /// Re-admits a previously excluded node. Idempotent.
+    pub fn readmit(&mut self, n: NodeId) {
+        self.excluded.remove(&n);
+    }
+
+    /// Returns `true` if the node is registered and not excluded.
+    pub fn is_live(&self, n: NodeId) -> bool {
+        self.all.contains(&n) && !self.excluded.contains(&n)
+    }
+
+    /// Adds a node to the cluster.
+    pub fn register(&mut self, n: NodeId) {
+        self.all.insert(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_nodes_builds_contiguous_ids() {
+        let m = Membership::with_nodes(3);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.live_count(), 3);
+        assert!(m.is_live(NodeId(2)));
+        assert!(!m.is_live(NodeId(3)));
+    }
+
+    #[test]
+    fn exclude_and_readmit() {
+        let mut m = Membership::with_nodes(3);
+        m.exclude(NodeId(1));
+        assert_eq!(m.live_count(), 2);
+        assert!(!m.is_live(NodeId(1)));
+        m.exclude(NodeId(1)); // idempotent
+        assert_eq!(m.live_count(), 2);
+        m.readmit(NodeId(1));
+        assert_eq!(m.live_count(), 3);
+    }
+
+    #[test]
+    fn exclude_unknown_node_is_noop() {
+        let mut m = Membership::with_nodes(2);
+        m.exclude(NodeId(9));
+        assert_eq!(m.live_count(), 2);
+    }
+
+    #[test]
+    fn live_iterator_skips_excluded() {
+        let mut m = Membership::with_nodes(4);
+        m.exclude(NodeId(0));
+        m.exclude(NodeId(2));
+        let live: Vec<_> = m.live().collect();
+        assert_eq!(live, vec![NodeId(1), NodeId(3)]);
+    }
+}

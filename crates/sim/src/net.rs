@@ -1,0 +1,198 @@
+//! A simple fault-capable network model.
+//!
+//! Target systems route messages through a [`Network`] to obtain per-link
+//! latency and to honour black-box fault campaigns (node crashes, partitions,
+//! extra delay) injected by the Jepsen/Blockade-style baseline fuzzer
+//! (`csnake-baselines::blackbox`).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::NodeId;
+use crate::rng::SimRng;
+use crate::time::VirtualTime;
+
+/// Static latency characteristics of a link class.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Baseline one-way latency.
+    pub base: VirtualTime,
+    /// Relative jitter applied uniformly (`±pct`).
+    pub jitter_pct: f64,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            base: VirtualTime::from_millis(2),
+            jitter_pct: 0.5,
+        }
+    }
+}
+
+/// Verdict for one message delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver after the given latency.
+    After(VirtualTime),
+    /// The message is lost (partition or crash).
+    Dropped,
+}
+
+/// Mutable network state: crashes, partitions and slow links.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    spec: LinkSpec,
+    crashed: BTreeSet<NodeId>,
+    /// Unordered node pairs that cannot communicate.
+    partitions: BTreeSet<(NodeId, NodeId)>,
+    /// Additional fixed delay on every link (black-box "slow network" fault).
+    pub extra_delay: VirtualTime,
+}
+
+fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Network {
+    /// Creates a network with the given link spec.
+    pub fn new(spec: LinkSpec) -> Self {
+        Network {
+            spec,
+            ..Network::default()
+        }
+    }
+
+    /// Marks a node as crashed: it neither sends nor receives.
+    pub fn crash(&mut self, n: NodeId) {
+        self.crashed.insert(n);
+    }
+
+    /// Restarts a crashed node.
+    pub fn restart(&mut self, n: NodeId) {
+        self.crashed.remove(&n);
+    }
+
+    /// Returns `true` if the node is currently crashed.
+    pub fn is_crashed(&self, n: NodeId) -> bool {
+        self.crashed.contains(&n)
+    }
+
+    /// Cuts the link between two nodes (both directions).
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.insert(pair(a, b));
+    }
+
+    /// Heals the link between two nodes.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.remove(&pair(a, b));
+    }
+
+    /// Heals all partitions and restarts all nodes.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+        self.crashed.clear();
+        self.extra_delay = VirtualTime::ZERO;
+    }
+
+    /// Decides the fate of a message from `src` to `dst`.
+    pub fn route(&self, src: NodeId, dst: NodeId, rng: &mut SimRng) -> Delivery {
+        if self.crashed.contains(&src) || self.crashed.contains(&dst) {
+            return Delivery::Dropped;
+        }
+        if self.partitions.contains(&pair(src, dst)) {
+            return Delivery::Dropped;
+        }
+        let lat = rng.jitter(self.spec.base, self.spec.jitter_pct) + self.extra_delay;
+        Delivery::After(lat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(5)
+    }
+
+    #[test]
+    fn routes_with_latency_by_default() {
+        let net = Network::new(LinkSpec::default());
+        match net.route(NodeId(0), NodeId(1), &mut rng()) {
+            Delivery::After(d) => assert!(d > VirtualTime::ZERO),
+            Delivery::Dropped => panic!("should deliver"),
+        }
+    }
+
+    #[test]
+    fn crashed_node_drops_messages_both_ways() {
+        let mut net = Network::new(LinkSpec::default());
+        net.crash(NodeId(1));
+        assert_eq!(
+            net.route(NodeId(0), NodeId(1), &mut rng()),
+            Delivery::Dropped
+        );
+        assert_eq!(
+            net.route(NodeId(1), NodeId(0), &mut rng()),
+            Delivery::Dropped
+        );
+        net.restart(NodeId(1));
+        assert_ne!(
+            net.route(NodeId(0), NodeId(1), &mut rng()),
+            Delivery::Dropped
+        );
+    }
+
+    #[test]
+    fn partition_is_symmetric_and_healable() {
+        let mut net = Network::new(LinkSpec::default());
+        net.partition(NodeId(2), NodeId(0));
+        assert_eq!(
+            net.route(NodeId(0), NodeId(2), &mut rng()),
+            Delivery::Dropped
+        );
+        assert_eq!(
+            net.route(NodeId(2), NodeId(0), &mut rng()),
+            Delivery::Dropped
+        );
+        net.heal(NodeId(0), NodeId(2));
+        assert_ne!(
+            net.route(NodeId(2), NodeId(0), &mut rng()),
+            Delivery::Dropped
+        );
+    }
+
+    #[test]
+    fn extra_delay_adds_to_latency() {
+        let mut net = Network::new(LinkSpec {
+            base: VirtualTime::from_millis(1),
+            jitter_pct: 0.0,
+        });
+        net.extra_delay = VirtualTime::from_secs(1);
+        match net.route(NodeId(0), NodeId(1), &mut rng()) {
+            Delivery::After(d) => assert!(d >= VirtualTime::from_secs(1)),
+            Delivery::Dropped => panic!("should deliver"),
+        }
+    }
+
+    #[test]
+    fn heal_all_resets_everything() {
+        let mut net = Network::new(LinkSpec::default());
+        net.crash(NodeId(0));
+        net.partition(NodeId(1), NodeId(2));
+        net.extra_delay = VirtualTime::from_secs(1);
+        net.heal_all();
+        assert!(!net.is_crashed(NodeId(0)));
+        assert_ne!(
+            net.route(NodeId(1), NodeId(2), &mut rng()),
+            Delivery::Dropped
+        );
+        assert_eq!(net.extra_delay, VirtualTime::ZERO);
+    }
+}

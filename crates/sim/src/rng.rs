@@ -1,0 +1,142 @@
+//! Seeded random-number helpers used across the simulator and the harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::VirtualTime;
+
+/// A deterministic random-number generator with simulation-oriented helpers.
+///
+/// Wraps [`StdRng`]; every run of a target system gets its own `SimRng`
+/// derived from the run seed, so repetitions differ (giving the t-test in the
+/// fault-causality analysis real variance to work with) while any individual
+/// run is exactly reproducible.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent generator for a named sub-component.
+    ///
+    /// Mixing the label keeps sub-streams decorrelated without the caller
+    /// having to manage seed bookkeeping.
+    pub fn derive(&mut self, label: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        SimRng::new(h ^ self.inner.gen::<u64>())
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// A duration jittered uniformly within `±pct` of `base`.
+    ///
+    /// Used for message latency so that repeated runs of the same workload
+    /// show the run-to-run variance the paper's statistical test expects.
+    pub fn jitter(&mut self, base: VirtualTime, pct: f64) -> VirtualTime {
+        let span = (base.as_micros() as f64 * pct.clamp(0.0, 1.0)) as i64;
+        if span == 0 {
+            return base;
+        }
+        let delta = self.inner.gen_range(-span..=span);
+        let us = (base.as_micros() as i64 + delta).max(0) as u64;
+        VirtualTime::from_micros(us)
+    }
+
+    /// Picks a uniformly random element index for a slice of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn pick(&mut self, len: usize) -> usize {
+        self.inner.gen_range(0..len)
+    }
+
+    /// Returns a raw 64-bit sample (for hashing / sub-seeding).
+    pub fn raw(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.range(0, 1_000_000), b.range(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(8);
+        let same = (0..64).filter(|_| a.raw() == b.raw()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let mut rng = SimRng::new(3);
+        let base = VirtualTime::from_millis(100);
+        for _ in 0..256 {
+            let j = rng.jitter(base, 0.2);
+            assert!(j >= VirtualTime::from_millis(80), "{j}");
+            assert!(j <= VirtualTime::from_millis(120), "{j}");
+        }
+    }
+
+    #[test]
+    fn jitter_zero_base_is_zero() {
+        let mut rng = SimRng::new(3);
+        assert_eq!(rng.jitter(VirtualTime::ZERO, 0.5), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn derive_is_label_sensitive() {
+        let mut root1 = SimRng::new(11);
+        let mut root2 = SimRng::new(11);
+        let mut a = root1.derive("alpha");
+        let mut b = root2.derive("beta");
+        let same = (0..64).filter(|_| a.raw() == b.raw()).count();
+        assert!(same < 4);
+    }
+}

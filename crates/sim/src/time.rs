@@ -1,0 +1,181 @@
+//! Virtual time: a monotone microsecond counter.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in (or span of) virtual time, with microsecond resolution.
+///
+/// `VirtualTime` is used both as an *instant* (time since simulation start)
+/// and as a *duration*; the arithmetic is identical and the simulator never
+/// needs wall-clock anchoring, so a single type keeps the substrate small.
+///
+/// # Examples
+///
+/// ```
+/// use csnake_sim::VirtualTime;
+///
+/// let t = VirtualTime::from_millis(1500);
+/// assert_eq!(t.as_micros(), 1_500_000);
+/// assert_eq!(t + VirtualTime::from_millis(500), VirtualTime::from_secs(2));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// The zero instant (simulation start) / empty duration.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// The largest representable time; used as "never".
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Creates a time from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        VirtualTime(us)
+    }
+
+    /// Creates a time from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtualTime(ms * 1_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        VirtualTime(s * 1_000_000)
+    }
+
+    /// Returns the value in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the value in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction; returns [`VirtualTime::ZERO`] on underflow.
+    pub fn saturating_sub(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition; clamps at [`VirtualTime::MAX`].
+    pub fn saturating_add(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Returns `true` if this is the zero time.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VirtualTime {
+    fn add_assign(&mut self, rhs: VirtualTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = VirtualTime;
+    fn sub(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for VirtualTime {
+    type Output = VirtualTime;
+    fn mul(self, rhs: u64) -> VirtualTime {
+        VirtualTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for VirtualTime {
+    type Output = VirtualTime;
+    fn div(self, rhs: u64) -> VirtualTime {
+        VirtualTime(self.0 / rhs)
+    }
+}
+
+impl Sum for VirtualTime {
+    fn sum<I: Iterator<Item = VirtualTime>>(iter: I) -> VirtualTime {
+        iter.fold(VirtualTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{}ms", self.as_millis())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(VirtualTime::from_secs(2).as_millis(), 2_000);
+        assert_eq!(VirtualTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(VirtualTime::from_micros(7).as_micros(), 7);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = VirtualTime::from_millis(100);
+        let b = VirtualTime::from_millis(250);
+        assert_eq!(a + b, VirtualTime::from_millis(350));
+        assert_eq!(b - a, VirtualTime::from_millis(150));
+        assert_eq!(a * 3, VirtualTime::from_millis(300));
+        assert_eq!(b / 5, VirtualTime::from_millis(50));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        let a = VirtualTime::from_millis(100);
+        let b = VirtualTime::from_millis(250);
+        assert_eq!(a.saturating_sub(b), VirtualTime::ZERO);
+        assert_eq!(b.saturating_sub(a), VirtualTime::from_millis(150));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(VirtualTime::from_millis(1) < VirtualTime::from_millis(2));
+        assert!(VirtualTime::ZERO < VirtualTime::MAX);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(VirtualTime::from_micros(12).to_string(), "12us");
+        assert_eq!(VirtualTime::from_millis(12).to_string(), "12ms");
+        assert_eq!(VirtualTime::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: VirtualTime = (1..=4).map(VirtualTime::from_millis).sum();
+        assert_eq!(total, VirtualTime::from_millis(10));
+    }
+}

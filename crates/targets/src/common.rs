@@ -1,0 +1,77 @@
+//! Shared harness utilities for the mini-systems.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use csnake_inject::{Agent, InjectionPlan, Registry, RunTrace};
+use csnake_sim::{Sim, VirtualTime, World};
+
+/// Runs one workload to completion and extracts its trace.
+///
+/// Constructs the simulator and agent, lets `setup` build the world and seed
+/// the initial events, runs until `horizon`, and finalizes the trace.
+pub fn run_world<E, W, F>(
+    registry: &Arc<Registry>,
+    plan: Option<InjectionPlan>,
+    seed: u64,
+    horizon: VirtualTime,
+    setup: F,
+) -> RunTrace
+where
+    W: World<Event = E>,
+    F: FnOnce(Rc<Agent>, &mut Sim<E>) -> W,
+{
+    let agent = Rc::new(Agent::new(Arc::clone(registry), plan));
+    agent.set_tracing(csnake_inject::tracing_switch::get());
+    let mut sim = Sim::new(seed);
+    let mut world = setup(Rc::clone(&agent), &mut sim);
+    sim.run(&mut world, horizon);
+    agent.finish(sim.now(), sim.events_executed())
+}
+
+/// Standard reduced-timeout defaults shared by the mini-systems.
+///
+/// The paper lowers system timeout configurations into a 10–20 s band so
+/// that injected delays (100 ms – 8 s per loop iteration) can trip them
+/// while normal operation — including every shipped integration test — is
+/// unaffected (§4.2).
+pub mod timeouts {
+    use csnake_sim::VirtualTime;
+
+    /// Generic RPC timeout (10 s).
+    pub const RPC: VirtualTime = VirtualTime::from_secs(10);
+    /// Node staleness threshold (15 s).
+    pub const STALE: VirtualTime = VirtualTime::from_secs(15);
+    /// Pipeline/operation timeout (12 s).
+    pub const OPERATION: VirtualTime = VirtualTime::from_secs(12);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csnake_inject::RegistryBuilder;
+
+    struct Nop;
+    impl World for Nop {
+        type Event = ();
+        fn handle(&mut self, _sim: &mut Sim<()>, _ev: ()) {}
+    }
+
+    #[test]
+    fn run_world_produces_a_finalized_trace() {
+        let reg = Arc::new(RegistryBuilder::new("t").build());
+        let trace = run_world(&reg, None, 1, VirtualTime::from_secs(1), |_agent, sim| {
+            sim.schedule(VirtualTime::from_millis(10), ());
+            Nop
+        });
+        assert_eq!(trace.events, 1);
+        assert!(trace.end_time >= VirtualTime::from_millis(10));
+    }
+
+    #[test]
+    fn timeout_constants_are_in_paper_band() {
+        assert!(timeouts::RPC >= VirtualTime::from_secs(10));
+        assert!(timeouts::STALE <= VirtualTime::from_secs(20));
+        assert!(timeouts::OPERATION <= VirtualTime::from_secs(20));
+    }
+}

@@ -1,0 +1,620 @@
+//! Mini-Flink: streaming job execution with checkpoint barriers and a
+//! restart strategy.
+//!
+//! Reproduces the two Flink rows of Table 3:
+//!
+//! * **Task worker** (1D|2E, FLINK-38367): a delayed task-worker loop
+//!   times out the head task; the head failure cancels the sink task; the
+//!   restart strategy redeploys the job and re-feeds every record through
+//!   the worker loop.
+//! * **Aggregation task** (1D|2E, FLINK-38368): a delayed aggregation loop
+//!   times out a task state transition; the failed transition breaks the
+//!   checkpoint barrier; the aborted checkpoint replays records into the
+//!   aggregation loop.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use csnake_core::{KnownBug, TargetSystem, TestCase};
+use csnake_inject::{
+    Agent, BoolSource, BranchId, ExceptionCategory, FaultId, FnId, InjectionPlan, Registry,
+    RegistryBuilder, RunTrace, TestId,
+};
+use csnake_sim::{Clock, Sim, VirtualTime, World};
+
+use crate::common::{run_world, timeouts};
+
+/// Instrumentation ids of mini-Flink.
+#[derive(Debug, Clone, Copy)]
+pub struct FlinkIds {
+    fn_worker: FnId,
+    fn_agg: FnId,
+    fn_jm: FnId,
+    fn_ckpt: FnId,
+    /// Head task worker record loop.
+    pub l_task_worker: FaultId,
+    /// Aggregation record loop.
+    pub l_agg: FaultId,
+    /// JobManager redeploy loop.
+    pub l_deploy_tasks: FaultId,
+    /// Barrier alignment loop.
+    pub l_barrier: FaultId,
+    /// Constant-bound loop (filtered).
+    pub l_const: FaultId,
+    /// Head task failure exception.
+    pub tp_head_fail: FaultId,
+    /// Sink task cancellation exception.
+    pub tp_sink_cancel: FaultId,
+    /// Task state transition failure.
+    pub tp_state_trans: FaultId,
+    /// Checkpoint barrier failure.
+    pub tp_barrier_fail: FaultId,
+    /// Slot-table detector (error when `false`).
+    pub np_slot_ok: FaultId,
+    /// JDK decoy (filtered).
+    pub np_is_empty: FaultId,
+    br_has_barrier: BranchId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FlinkCfg {
+    records: u32,
+    record_interval_ms: u64,
+    /// Head failure cancels the downstream sink.
+    cancel_downstream: bool,
+    /// Job restarts (full redeploy + source replay) after a sink cancel.
+    restart_strategy: bool,
+    /// Strict alignment: a failed transition fails the in-flight barrier.
+    strict_alignment: bool,
+    /// Aborted checkpoints replay records since the last checkpoint.
+    replay_on_abort: bool,
+    horizon_s: u64,
+}
+
+impl Default for FlinkCfg {
+    fn default() -> Self {
+        FlinkCfg {
+            records: 40,
+            record_interval_ms: 80,
+            cancel_downstream: false,
+            restart_strategy: false,
+            strict_alignment: false,
+            replay_on_abort: false,
+            horizon_s: 40,
+        }
+    }
+}
+
+const TICK: VirtualTime = VirtualTime::from_millis(200);
+const BARRIER_EVERY: VirtualTime = VirtualTime::from_secs(2);
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Record,
+    WorkerTick,
+    AggTick,
+    Barrier,
+    CkptCheck,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Rec {
+    arrived: VirtualTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Barrier {
+    issued: VirtualTime,
+}
+
+struct FlinkWorld {
+    agent: Rc<Agent>,
+    ids: FlinkIds,
+    cfg: FlinkCfg,
+    head_queue: VecDeque<Rec>,
+    agg_queue: VecDeque<Rec>,
+    barriers: VecDeque<Barrier>,
+    barrier_seq: u64,
+    records_arrived: u32,
+    head_processed: u32,
+    records_since_ckpt: u32,
+    sink_done: u32,
+    restarts: u32,
+    transition_failed: bool,
+    head_failed: bool,
+}
+
+impl FlinkWorld {
+    fn worker_tick(&mut self, sim: &mut Sim<Ev>) {
+        let _f = self.agent.frame(self.ids.fn_worker);
+        let lg = self.agent.loop_enter(self.ids.l_task_worker);
+        let n = self.head_queue.len().min(24);
+        for _ in 0..n {
+            lg.iter(sim);
+            sim.advance(VirtualTime::from_micros(500));
+            let rec = self.head_queue.pop_front().expect("sized loop");
+            if self.agent.throw_guard(self.ids.tp_head_fail).is_some() {
+                self.on_head_failure(sim);
+                continue;
+            }
+            if self.agent.throw_guard(self.ids.tp_sink_cancel).is_some() {
+                self.on_sink_cancel(sim);
+                continue;
+            }
+            if sim.now().saturating_sub(rec.arrived) > timeouts::OPERATION {
+                let _ = self.agent.throw_fired(self.ids.tp_head_fail);
+                self.on_head_failure(sim);
+                continue;
+            }
+            self.head_processed += 1;
+            self.agg_queue.push_back(rec);
+        }
+        drop(lg);
+        sim.schedule(TICK, Ev::WorkerTick);
+    }
+
+    /// Head task failed: optionally cancel the sink, optionally restart.
+    fn on_head_failure(&mut self, sim: &mut Sim<Ev>) {
+        if self.head_failed {
+            return;
+        }
+        self.head_failed = true;
+        if self.cfg.cancel_downstream {
+            let _ = self.agent.throw_fired(self.ids.tp_sink_cancel);
+            self.on_sink_cancel(sim);
+        }
+    }
+
+    fn on_sink_cancel(&mut self, sim: &mut Sim<Ev>) {
+        if self.cfg.restart_strategy && self.restarts < 3 {
+            self.restarts += 1;
+            self.restart_job(sim);
+        }
+    }
+
+    /// Full redeploy: every task is re-deployed and the source replays.
+    fn restart_job(&mut self, sim: &mut Sim<Ev>) {
+        let _f = self.agent.frame(self.ids.fn_jm);
+        let slots_ok = self.restarts < 4;
+        let _ = self.agent.negation_point(self.ids.np_slot_ok, slots_ok);
+        let lg = self.agent.loop_enter(self.ids.l_deploy_tasks);
+        for _ in 0..3 {
+            lg.iter(sim);
+            sim.advance(VirtualTime::from_millis(2));
+        }
+        drop(lg);
+        self.head_failed = false;
+        // Source replay re-feeds the records processed since the last
+        // completed checkpoint.
+        let replay = self.head_processed.clamp(8, 64);
+        for _ in 0..replay {
+            self.head_queue.push_back(Rec { arrived: sim.now() });
+        }
+    }
+
+    fn agg_tick(&mut self, sim: &mut Sim<Ev>) {
+        let _f = self.agent.frame(self.ids.fn_agg);
+        // Constant-bound operator-chain verification (filtered decoy).
+        {
+            let lg = self.agent.loop_enter(self.ids.l_const);
+            for _ in 0..2 {
+                lg.iter(sim);
+            }
+        }
+        let lg = self.agent.loop_enter(self.ids.l_agg);
+        let n = self.agg_queue.len().min(24);
+        for _ in 0..n {
+            lg.iter(sim);
+            sim.advance(VirtualTime::from_micros(600));
+            let _rec = self.agg_queue.pop_front().expect("sized loop");
+            self.sink_done += 1;
+            self.records_since_ckpt += 1;
+        }
+        drop(lg);
+        sim.schedule(TICK, Ev::AggTick);
+    }
+
+    fn ckpt_check(&mut self, sim: &mut Sim<Ev>) {
+        let _f = self.agent.frame(self.ids.fn_ckpt);
+        self.agent
+            .branch(self.ids.br_has_barrier, !self.barriers.is_empty());
+        let _ = self
+            .agent
+            .negation_point(self.ids.np_is_empty, self.barriers.is_empty());
+        let lg = self.agent.loop_enter(self.ids.l_barrier);
+        let n = self.barriers.len();
+        for _ in 0..n {
+            lg.iter(sim);
+            sim.advance(VirtualTime::from_micros(300));
+            let b = self.barriers.pop_front().expect("sized loop");
+            // State transition: every task must acknowledge in time.
+            if self.agent.throw_guard(self.ids.tp_state_trans).is_some() {
+                self.transition_failed = true;
+                continue;
+            }
+            if sim.now().saturating_sub(b.issued) > timeouts::RPC {
+                let _ = self.agent.throw_fired(self.ids.tp_state_trans);
+                self.transition_failed = true;
+                continue;
+            }
+            // Barrier completion under strict alignment.
+            if self.agent.throw_guard(self.ids.tp_barrier_fail).is_some() {
+                self.abort_checkpoint(sim);
+                continue;
+            }
+            if self.transition_failed && self.cfg.strict_alignment {
+                let _ = self.agent.throw_fired(self.ids.tp_barrier_fail);
+                self.abort_checkpoint(sim);
+                continue;
+            }
+            // Checkpoint complete.
+            self.records_since_ckpt = 0;
+            self.transition_failed = false;
+        }
+        drop(lg);
+        sim.schedule(TICK * 2, Ev::CkptCheck);
+    }
+
+    fn abort_checkpoint(&mut self, sim: &mut Sim<Ev>) {
+        self.transition_failed = false;
+        if self.cfg.replay_on_abort {
+            // Replay from the last completed checkpoint into aggregation.
+            for _ in 0..self.records_since_ckpt.min(64) {
+                self.agg_queue.push_back(Rec { arrived: sim.now() });
+            }
+        }
+    }
+}
+
+impl World for FlinkWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, sim: &mut Sim<Ev>, ev: Ev) {
+        match ev {
+            Ev::Record => {
+                let intended = VirtualTime::from_millis(self.cfg.record_interval_ms)
+                    * (self.records_arrived as u64 + 1);
+                self.records_arrived += 1;
+                self.head_queue.push_back(Rec { arrived: intended });
+            }
+            Ev::WorkerTick => self.worker_tick(sim),
+            Ev::AggTick => self.agg_tick(sim),
+            Ev::Barrier => {
+                // Cadence-anchored: the coordinator is its own node, so a
+                // busy task manager does not stretch barrier issue times.
+                self.barrier_seq += 1;
+                let intended = BARRIER_EVERY * self.barrier_seq;
+                self.barriers.push_back(Barrier { issued: intended });
+                sim.schedule_at(intended + BARRIER_EVERY, Ev::Barrier);
+            }
+            Ev::CkptCheck => self.ckpt_check(sim),
+        }
+    }
+}
+
+/// The mini-Flink target.
+pub struct MiniFlink {
+    registry: Arc<Registry>,
+    ids: FlinkIds,
+}
+
+impl Default for MiniFlink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MiniFlink {
+    /// Builds the system and registry.
+    pub fn new() -> Self {
+        let mut b = RegistryBuilder::new("mini-flink");
+        let fn_worker = b.func("StreamTask.processInput");
+        let fn_agg = b.func("WindowOperator.processElement");
+        let fn_jm = b.func("JobMaster.restartTasks");
+        let fn_ckpt = b.func("CheckpointCoordinator.receiveAck");
+        let l_task_worker = b.workload_loop(fn_worker, 120, true, "task_worker_loop");
+        let l_agg = b.workload_loop(fn_agg, 220, false, "agg_loop");
+        let l_deploy_tasks = b.workload_loop(fn_jm, 330, true, "deploy_tasks_loop");
+        let l_barrier = b.workload_loop(fn_ckpt, 410, false, "barrier_loop");
+        let l_const = b.const_loop(fn_agg, 210, 2, "chain_verify");
+        let tp_head_fail = b.throw_point(
+            fn_worker,
+            133,
+            "TaskException",
+            ExceptionCategory::SystemSpecific,
+            "head_task_fail",
+        );
+        let tp_sink_cancel = b.throw_point(
+            fn_worker,
+            140,
+            "CancelTaskException",
+            ExceptionCategory::ExplicitRuntime,
+            "sink_cancel",
+        );
+        let tp_state_trans = b.throw_point(
+            fn_ckpt,
+            421,
+            "IllegalStateException",
+            ExceptionCategory::ExplicitRuntime,
+            "state_transition_fail",
+        );
+        let tp_barrier_fail = b.throw_point(
+            fn_ckpt,
+            432,
+            "CheckpointException",
+            ExceptionCategory::SystemSpecific,
+            "barrier_fail",
+        );
+        let np_slot_ok = b.negation_point(
+            fn_jm,
+            325,
+            false,
+            BoolSource::ErrorDetector,
+            "slots_available",
+        );
+        let np_is_empty = b.negation_point(fn_ckpt, 405, true, BoolSource::JdkUtility, "is_empty");
+        let br_has_barrier = b.branch(fn_ckpt, 402);
+        let ids = FlinkIds {
+            fn_worker,
+            fn_agg,
+            fn_jm,
+            fn_ckpt,
+            l_task_worker,
+            l_agg,
+            l_deploy_tasks,
+            l_barrier,
+            l_const,
+            tp_head_fail,
+            tp_sink_cancel,
+            tp_state_trans,
+            tp_barrier_fail,
+            np_slot_ok,
+            np_is_empty,
+            br_has_barrier,
+        };
+        MiniFlink {
+            registry: Arc::new(b.build()),
+            ids,
+        }
+    }
+
+    /// Instrumentation ids.
+    pub fn ids(&self) -> FlinkIds {
+        self.ids
+    }
+
+    fn cfg_for(test: TestId) -> FlinkCfg {
+        let d = FlinkCfg::default();
+        match test.0 {
+            // t0: broad coverage with every recovery feature on.
+            0 => FlinkCfg {
+                records: 50,
+                cancel_downstream: true,
+                restart_strategy: true,
+                strict_alignment: true,
+                replay_on_abort: true,
+                ..d
+            },
+            // t1: high-volume stream (head-failure conditions).
+            1 => FlinkCfg {
+                records: 120,
+                record_interval_ms: 30,
+                ..d
+            },
+            // t2: multi-stage pipeline with downstream cancellation.
+            2 => FlinkCfg {
+                records: 40,
+                cancel_downstream: true,
+                ..d
+            },
+            // t3: restart strategy enabled.
+            3 => FlinkCfg {
+                records: 40,
+                cancel_downstream: true,
+                restart_strategy: true,
+                ..d
+            },
+            // t4: checkpoint-heavy aggregation.
+            4 => FlinkCfg {
+                records: 80,
+                record_interval_ms: 40,
+                strict_alignment: false,
+                ..d
+            },
+            // t5: strict barrier alignment.
+            5 => FlinkCfg {
+                records: 40,
+                strict_alignment: true,
+                ..d
+            },
+            // t6: checkpoint replay after abort.
+            _ => FlinkCfg {
+                records: 50,
+                strict_alignment: true,
+                replay_on_abort: true,
+                horizon_s: 60,
+                ..d
+            },
+        }
+    }
+}
+
+impl TargetSystem for MiniFlink {
+    fn name(&self) -> &'static str {
+        "mini-flink"
+    }
+
+    fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    fn tests(&self) -> Vec<TestCase> {
+        let names: [(&'static str, &'static str); 7] = [
+            ("test_full_recovery_stack", "all recovery features enabled"),
+            ("test_stream_volume", "120 records at 30ms"),
+            ("test_pipeline_cancel", "downstream cancellation on failure"),
+            (
+                "test_restart_strategy",
+                "restart strategy redeploys the job",
+            ),
+            ("test_checkpoint_heavy", "barrier-dense aggregation"),
+            ("test_strict_alignment", "strict barrier alignment"),
+            ("test_replay_on_abort", "checkpoint replay after abort"),
+        ];
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, (name, description))| TestCase {
+                id: TestId(i as u32),
+                name,
+                description,
+            })
+            .collect()
+    }
+
+    fn run(&self, test: TestId, plan: Option<InjectionPlan>, seed: u64) -> RunTrace {
+        let cfg = Self::cfg_for(test);
+        let ids = self.ids;
+        let horizon = VirtualTime::from_secs(cfg.horizon_s) + VirtualTime::from_secs(600);
+        run_world(&self.registry, plan, seed, horizon, |agent, sim| {
+            for i in 0..cfg.records {
+                sim.schedule_at(
+                    VirtualTime::from_millis(cfg.record_interval_ms) * (i as u64 + 1),
+                    Ev::Record,
+                );
+            }
+            sim.schedule(TICK, Ev::WorkerTick);
+            sim.schedule(TICK, Ev::AggTick);
+            sim.schedule(BARRIER_EVERY, Ev::Barrier);
+            sim.schedule(TICK * 2, Ev::CkptCheck);
+            FlinkWorld {
+                agent,
+                ids,
+                cfg,
+                head_queue: VecDeque::new(),
+                agg_queue: VecDeque::new(),
+                barriers: VecDeque::new(),
+                barrier_seq: 0,
+                records_arrived: 0,
+                head_processed: 0,
+                records_since_ckpt: 0,
+                sink_done: 0,
+                restarts: 0,
+                transition_failed: false,
+                head_failed: false,
+            }
+        })
+    }
+
+    fn known_bugs(&self) -> Vec<KnownBug> {
+        vec![
+            KnownBug {
+                id: "flink-task-worker",
+                jira: "FLINK-38367",
+                summary: "worker delay fails the head task; sink cancellation triggers a restart that replays records through the worker",
+                labels: vec!["task_worker_loop", "head_task_fail", "sink_cancel"],
+            },
+            KnownBug {
+                id: "flink-aggregation",
+                jira: "FLINK-38368",
+                summary: "aggregation delay fails a state transition; the broken barrier aborts the checkpoint whose replay re-loads aggregation",
+                labels: vec!["agg_loop", "state_transition_fail", "barrier_fail"],
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MiniFlink {
+        MiniFlink::new()
+    }
+
+    #[test]
+    fn profiles_are_clean() {
+        let s = sys();
+        let ids = s.ids();
+        for t in 0..7 {
+            let trace = s.run(TestId(t), None, 11 + t as u64);
+            for p in [
+                ids.tp_head_fail,
+                ids.tp_sink_cancel,
+                ids.tp_state_trans,
+                ids.tp_barrier_fail,
+            ] {
+                assert!(!trace.occurred(p), "t{t}: {p} fired in profile");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_delay_fails_head_task() {
+        let s = sys();
+        let ids = s.ids();
+        let plan = InjectionPlan::delay(ids.l_task_worker, VirtualTime::from_millis(3200));
+        let t = s.run(TestId(1), Some(plan), 3);
+        assert!(t.occurred(ids.tp_head_fail));
+    }
+
+    #[test]
+    fn head_failure_cancels_sink_only_with_cancellation() {
+        let s = sys();
+        let ids = s.ids();
+        let t2 = s.run(TestId(2), Some(InjectionPlan::throw(ids.tp_head_fail)), 3);
+        assert!(t2.occurred(ids.tp_sink_cancel));
+        let t1 = s.run(TestId(1), Some(InjectionPlan::throw(ids.tp_head_fail)), 3);
+        assert!(!t1.occurred(ids.tp_sink_cancel));
+    }
+
+    #[test]
+    fn sink_cancel_restart_replays_records() {
+        let s = sys();
+        let ids = s.ids();
+        let base = s.run(TestId(3), None, 3).loop_count(ids.l_task_worker);
+        let t = s.run(TestId(3), Some(InjectionPlan::throw(ids.tp_sink_cancel)), 3);
+        assert!(
+            t.loop_count(ids.l_task_worker) > base,
+            "restart must replay records: {} vs {base}",
+            t.loop_count(ids.l_task_worker)
+        );
+    }
+
+    #[test]
+    fn agg_delay_fails_state_transition() {
+        let s = sys();
+        let ids = s.ids();
+        let plan = InjectionPlan::delay(ids.l_agg, VirtualTime::from_millis(3200));
+        let t = s.run(TestId(4), Some(plan), 3);
+        assert!(t.occurred(ids.tp_state_trans));
+    }
+
+    #[test]
+    fn transition_failure_breaks_barrier_under_strict_alignment() {
+        let s = sys();
+        let ids = s.ids();
+        let t5 = s.run(TestId(5), Some(InjectionPlan::throw(ids.tp_state_trans)), 3);
+        assert!(t5.occurred(ids.tp_barrier_fail));
+        let t4 = s.run(TestId(4), Some(InjectionPlan::throw(ids.tp_state_trans)), 3);
+        assert!(!t4.occurred(ids.tp_barrier_fail));
+    }
+
+    #[test]
+    fn barrier_failure_replays_into_aggregation() {
+        let s = sys();
+        let ids = s.ids();
+        let base = s.run(TestId(6), None, 3).loop_count(ids.l_agg);
+        let t = s.run(
+            TestId(6),
+            Some(InjectionPlan::throw(ids.tp_barrier_fail)),
+            3,
+        );
+        assert!(
+            t.loop_count(ids.l_agg) > base,
+            "abort must replay into aggregation: {} vs {base}",
+            t.loop_count(ids.l_agg)
+        );
+    }
+}

@@ -1,0 +1,581 @@
+//! Mini-HBase: region assignment, FavoredStochasticBalancer and WAL replay.
+//!
+//! Reproduces the two HBase rows of Table 3:
+//!
+//! * **WAL** (1D|0E|1N, HBASE-29600): a delayed WAL sync loop lets the
+//!   reader hit a premature end-of-file; replay re-appends entries into the
+//!   same sync loop.
+//! * **Region assignment** (1D|1E|1N, HBASE-29006 — the §8.3.1 case study):
+//!   a delayed region-deployment loop times out assignment RPCs; an
+//!   assignment IOE excludes the RegionServer from the
+//!   FavoredStochasticBalancer, which needs ≥ 3 live servers; the failing
+//!   balancer blindly re-enqueues every pending assignment, further loading
+//!   the deployment loop. The three propagation steps require three
+//!   *different* workloads (many assignments / 3-node favored cluster /
+//!   long favored workload) — exactly the situation causal stitching exists
+//!   for.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use csnake_core::{KnownBug, TargetSystem, TestCase};
+use csnake_inject::{
+    Agent, BoolSource, BranchId, ExceptionCategory, FaultId, FnId, InjectionPlan, Registry,
+    RegistryBuilder, RunTrace, TestId,
+};
+use csnake_sim::{Clock, Sim, VirtualTime, World};
+
+use crate::common::{run_world, timeouts};
+
+/// Instrumentation ids of mini-HBase.
+#[derive(Debug, Clone, Copy)]
+pub struct HBaseIds {
+    fn_assign: FnId,
+    fn_balancer: FnId,
+    fn_rs_open: FnId,
+    fn_wal: FnId,
+    fn_client: FnId,
+    /// Master assignment-manager loop.
+    pub l_assign: FaultId,
+    /// RegionServer region-deployment loop.
+    pub l_deploy: FaultId,
+    /// WAL sync loop.
+    pub l_wal_sync: FaultId,
+    /// Client put loop.
+    pub l_client_put: FaultId,
+    /// Constant-bound loop (filtered).
+    pub l_const: FaultId,
+    /// Assignment RPC IOE on the RegionServer.
+    pub tp_assign_ioe: FaultId,
+    /// Library call site in the WAL writer.
+    pub tp_wal_sock: FaultId,
+    /// `FavoredStochasticBalancer.canPlaceFavoredNodes` (error when `false`).
+    pub np_can_place: FaultId,
+    /// WAL reader integrity detector — premature EOF (error when `false`).
+    pub np_wal_intact: FaultId,
+    /// JDK utility decoy (filtered).
+    pub np_contains: FaultId,
+    br_favored: BranchId,
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy)]
+struct HBaseCfg {
+    region_servers: usize,
+    /// Region assignments issued by table creations (open-loop).
+    assignments: u32,
+    assign_interval_ms: u64,
+    puts: u32,
+    favored_balancer: bool,
+    /// WAL replay on premature EOF (the seeded WAL bug's amplifier).
+    wal_replay: bool,
+    horizon_s: u64,
+}
+
+impl Default for HBaseCfg {
+    fn default() -> Self {
+        HBaseCfg {
+            region_servers: 5,
+            assignments: 10,
+            assign_interval_ms: 300,
+            puts: 20,
+            favored_balancer: false,
+            wal_replay: true,
+            horizon_s: 45,
+        }
+    }
+}
+
+const TICK: VirtualTime = VirtualTime::from_millis(250);
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    AssignStart,
+    Put,
+    AssignTick,
+    DeployTick,
+    WalTick,
+    RsRejoin(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AssignReq {
+    issued: VirtualTime,
+    attempts: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DeployReq {
+    sent: VirtualTime,
+    rs: usize,
+}
+
+struct HBaseWorld {
+    agent: Rc<Agent>,
+    ids: HBaseIds,
+    cfg: HBaseCfg,
+    assign_queue: VecDeque<AssignReq>,
+    deploy_queue: VecDeque<DeployReq>,
+    rs_excluded: Vec<bool>,
+    wal_pending: u64,
+    wal_last_tick: VirtualTime,
+    wal_replays: u32,
+    assigns_issued: u32,
+    puts_done: u32,
+    regions_online: u32,
+}
+
+impl HBaseWorld {
+    fn assign_tick(&mut self, sim: &mut Sim<Ev>) {
+        let _f = self.agent.frame(self.ids.fn_assign);
+        let lg = self.agent.loop_enter(self.ids.l_assign);
+        let n = self.assign_queue.len().min(12);
+        let mut retry_all = false;
+        for _ in 0..n {
+            lg.iter(sim);
+            sim.advance(VirtualTime::from_micros(300));
+            let req = self.assign_queue.pop_front().expect("sized loop");
+            // Balancer placement check.
+            let placed = {
+                let _b = self.agent.frame(self.ids.fn_balancer);
+                self.agent
+                    .branch(self.ids.br_favored, self.cfg.favored_balancer);
+                if self.cfg.favored_balancer {
+                    let live = self.rs_excluded.iter().filter(|x| !**x).count();
+                    // The favored balancer needs at least three live servers.
+                    self.agent.negation_point(self.ids.np_can_place, live >= 3)
+                } else {
+                    true
+                }
+            };
+            if placed {
+                let rs = (self.assigns_issued as usize + self.regions_online as usize)
+                    % self.cfg.region_servers;
+                self.deploy_queue.push_back(DeployReq {
+                    sent: req.issued,
+                    rs,
+                });
+            } else if req.attempts < 3 {
+                // Seeded bug: the failing balancer blindly re-enqueues the
+                // assignment (and stirs every pending one) instead of
+                // backing off.
+                retry_all = true;
+                self.assign_queue.push_back(AssignReq {
+                    issued: sim.now(),
+                    attempts: req.attempts + 1,
+                });
+            }
+        }
+        drop(lg);
+        if retry_all {
+            // Blind retry storm: every pending assignment is re-dispatched
+            // to the RegionServers as a fresh deployment probe.
+            let pending: Vec<AssignReq> = self.assign_queue.iter().copied().collect();
+            for (i, _req) in pending.iter().enumerate() {
+                let rs = i % self.cfg.region_servers;
+                self.deploy_queue.push_back(DeployReq {
+                    sent: sim.now(),
+                    rs,
+                });
+            }
+        }
+        sim.schedule(TICK, Ev::AssignTick);
+    }
+
+    fn deploy_tick(&mut self, sim: &mut Sim<Ev>) {
+        let _f = self.agent.frame(self.ids.fn_rs_open);
+        let lg = self.agent.loop_enter(self.ids.l_deploy);
+        let n = self.deploy_queue.len().min(16);
+        for _ in 0..n {
+            lg.iter(sim);
+            sim.advance(VirtualTime::from_millis(1));
+            let req = self.deploy_queue.pop_front().expect("sized loop");
+            if self.agent.throw_guard(self.ids.tp_assign_ioe).is_some() {
+                self.on_assign_failure(sim, req);
+                continue;
+            }
+            if sim.now().saturating_sub(req.sent) > timeouts::RPC {
+                let _ = self.agent.throw_fired(self.ids.tp_assign_ioe);
+                self.on_assign_failure(sim, req);
+                continue;
+            }
+            self.regions_online += 1;
+        }
+        drop(lg);
+        sim.schedule(TICK, Ev::DeployTick);
+    }
+
+    /// An assignment RPC threw: exclude the RS from the balancer's live set
+    /// and re-queue the assignment.
+    fn on_assign_failure(&mut self, sim: &mut Sim<Ev>, req: DeployReq) {
+        if !self.rs_excluded[req.rs] {
+            self.rs_excluded[req.rs] = true;
+            sim.schedule(VirtualTime::from_secs(10), Ev::RsRejoin(req.rs));
+        }
+        self.assign_queue.push_back(AssignReq {
+            issued: sim.now(),
+            attempts: 1,
+        });
+    }
+
+    fn wal_tick(&mut self, sim: &mut Sim<Ev>) {
+        let _f = self.agent.frame(self.ids.fn_wal);
+        if self.agent.throw_guard(self.ids.tp_wal_sock).is_some() {
+            sim.schedule(TICK, Ev::WalTick);
+            return;
+        }
+        // Constant-bound header verification (analyzer-filtered decoy).
+        {
+            let lg = self.agent.loop_enter(self.ids.l_const);
+            for _ in 0..2 {
+                lg.iter(sim);
+            }
+        }
+        let lg = self.agent.loop_enter(self.ids.l_wal_sync);
+        let n = self.wal_pending.min(16);
+        self.wal_pending -= n;
+        for _ in 0..n {
+            lg.iter(sim);
+            sim.advance(VirtualTime::from_micros(400));
+        }
+        drop(lg);
+        // Reader integrity check: a sync loop running far behind its cadence
+        // leaves a truncated tail — premature end-of-file.
+        let intact = sim.now().saturating_sub(self.wal_last_tick) <= timeouts::RPC
+            || self.wal_last_tick.is_zero();
+        let ok = self.agent.negation_point(self.ids.np_wal_intact, intact);
+        let _ = self
+            .agent
+            .negation_point(self.ids.np_contains, self.wal_pending == 0);
+        if !ok && self.cfg.wal_replay && self.wal_replays < 40 {
+            // Replay: re-append the trailing edits.
+            self.wal_replays += 1;
+            self.wal_pending += 24;
+        }
+        self.wal_last_tick = sim.now();
+        sim.schedule(TICK, Ev::WalTick);
+    }
+}
+
+impl World for HBaseWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, sim: &mut Sim<Ev>, ev: Ev) {
+        match ev {
+            Ev::AssignStart => {
+                let intended = VirtualTime::from_millis(self.cfg.assign_interval_ms)
+                    * (self.assigns_issued as u64 + 1);
+                self.assigns_issued += 1;
+                self.assign_queue.push_back(AssignReq {
+                    issued: intended,
+                    attempts: 0,
+                });
+            }
+            Ev::Put => {
+                let _f = self.agent.frame(self.ids.fn_client);
+                let lg = self.agent.loop_enter(self.ids.l_client_put);
+                lg.iter(sim);
+                drop(lg);
+                self.puts_done += 1;
+                self.wal_pending += 2;
+            }
+            Ev::AssignTick => self.assign_tick(sim),
+            Ev::DeployTick => self.deploy_tick(sim),
+            Ev::WalTick => self.wal_tick(sim),
+            Ev::RsRejoin(rs) => {
+                self.rs_excluded[rs] = false;
+            }
+        }
+    }
+}
+
+/// The mini-HBase target.
+pub struct MiniHBase {
+    registry: Arc<Registry>,
+    ids: HBaseIds,
+}
+
+impl Default for MiniHBase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MiniHBase {
+    /// Builds the system and registry.
+    pub fn new() -> Self {
+        let mut b = RegistryBuilder::new("mini-hbase");
+        let fn_assign = b.func("AssignmentManager.processAssignQueue");
+        let fn_balancer = b.func("FavoredStochasticBalancer.balance");
+        let fn_rs_open = b.func("RSRpcServices.openRegion");
+        let fn_wal = b.func("FSHLog.sync");
+        let fn_client = b.func("HTable.put");
+        let l_assign = b.workload_loop(fn_assign, 210, false, "assign_loop");
+        let l_deploy = b.workload_loop(fn_rs_open, 540, true, "deploy_loop");
+        let l_wal_sync = b.workload_loop(fn_wal, 310, true, "wal_sync_loop");
+        let l_client_put = b.workload_loop(fn_client, 95, true, "client_put_loop");
+        let l_const = b.const_loop(fn_wal, 300, 2, "wal_header_check");
+        let tp_assign_ioe = b.throw_point(
+            fn_rs_open,
+            557,
+            "IOException",
+            ExceptionCategory::SystemSpecific,
+            "assign_ioe",
+        );
+        let tp_wal_sock = b.lib_call(fn_wal, 305, "SocketTimeoutException", "wal_sock");
+        let np_can_place = b.negation_point(
+            fn_balancer,
+            101,
+            false,
+            BoolSource::ErrorDetector,
+            "can_place_favored",
+        );
+        let np_wal_intact =
+            b.negation_point(fn_wal, 330, false, BoolSource::ErrorDetector, "wal_intact");
+        let np_contains = b.negation_point(fn_wal, 335, true, BoolSource::JdkUtility, "contains");
+        let br_favored = b.branch(fn_balancer, 99);
+        let ids = HBaseIds {
+            fn_assign,
+            fn_balancer,
+            fn_rs_open,
+            fn_wal,
+            fn_client,
+            l_assign,
+            l_deploy,
+            l_wal_sync,
+            l_client_put,
+            l_const,
+            tp_assign_ioe,
+            tp_wal_sock,
+            np_can_place,
+            np_wal_intact,
+            np_contains,
+            br_favored,
+        };
+        MiniHBase {
+            registry: Arc::new(b.build()),
+            ids,
+        }
+    }
+
+    /// Instrumentation ids.
+    pub fn ids(&self) -> HBaseIds {
+        self.ids
+    }
+
+    fn cfg_for(test: TestId) -> HBaseCfg {
+        let d = HBaseCfg::default();
+        match test.0 {
+            // t0: broad coverage, favored balancer on a roomy cluster.
+            0 => HBaseCfg {
+                favored_balancer: true,
+                assignments: 14,
+                puts: 24,
+                ..d
+            },
+            // t1: many table creations (the case study's t1).
+            1 => HBaseCfg {
+                assignments: 80,
+                assign_interval_ms: 80,
+                puts: 10,
+                ..d
+            },
+            // t2: RS fault tolerance on a 3-node favored cluster (t2).
+            2 => HBaseCfg {
+                region_servers: 3,
+                favored_balancer: true,
+                assignments: 12,
+                ..d
+            },
+            // t3: favored balancer, long workload on 5 nodes (t3).
+            3 => HBaseCfg {
+                favored_balancer: true,
+                assignments: 40,
+                assign_interval_ms: 200,
+                horizon_s: 70,
+                ..d
+            },
+            // t4: WAL-heavy workload.
+            4 => HBaseCfg {
+                puts: 70,
+                assignments: 4,
+                ..d
+            },
+            // t5: WAL with replay disabled.
+            5 => HBaseCfg {
+                puts: 40,
+                assignments: 4,
+                wal_replay: false,
+                ..d
+            },
+            // t6: light mixed smoke test.
+            _ => HBaseCfg {
+                assignments: 6,
+                puts: 8,
+                ..d
+            },
+        }
+    }
+}
+
+impl TargetSystem for MiniHBase {
+    fn name(&self) -> &'static str {
+        "mini-hbase"
+    }
+
+    fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    fn tests(&self) -> Vec<TestCase> {
+        let names: [(&'static str, &'static str); 7] = [
+            ("test_basic_ops", "favored balancer, mixed ops, 5 RS"),
+            ("test_create_many_tables", "80 assignments at 80ms"),
+            ("test_rs_fault_tolerance", "3-RS favored cluster"),
+            ("test_favored_balancer", "long favored workload, 5 RS"),
+            ("test_wal_recovery", "70 puts with WAL replay"),
+            ("test_wal_no_replay", "40 puts, replay disabled"),
+            ("test_smoke", "light mixed workload"),
+        ];
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, (name, description))| TestCase {
+                id: TestId(i as u32),
+                name,
+                description,
+            })
+            .collect()
+    }
+
+    fn run(&self, test: TestId, plan: Option<InjectionPlan>, seed: u64) -> RunTrace {
+        let cfg = Self::cfg_for(test);
+        let ids = self.ids;
+        let horizon = VirtualTime::from_secs(cfg.horizon_s) + VirtualTime::from_secs(600);
+        run_world(&self.registry, plan, seed, horizon, |agent, sim| {
+            for i in 0..cfg.assignments {
+                sim.schedule_at(
+                    VirtualTime::from_millis(cfg.assign_interval_ms) * (i as u64 + 1),
+                    Ev::AssignStart,
+                );
+            }
+            for i in 0..cfg.puts {
+                sim.schedule_at(VirtualTime::from_millis(120) * (i as u64 + 1), Ev::Put);
+            }
+            sim.schedule(TICK, Ev::AssignTick);
+            sim.schedule(TICK, Ev::DeployTick);
+            sim.schedule(TICK, Ev::WalTick);
+            HBaseWorld {
+                agent,
+                ids,
+                cfg,
+                assign_queue: VecDeque::new(),
+                deploy_queue: VecDeque::new(),
+                rs_excluded: vec![false; cfg.region_servers],
+                wal_pending: 0,
+                wal_last_tick: VirtualTime::ZERO,
+                wal_replays: 0,
+                assigns_issued: 0,
+                puts_done: 0,
+                regions_online: 0,
+            }
+        })
+    }
+
+    fn known_bugs(&self) -> Vec<KnownBug> {
+        vec![
+            KnownBug {
+                id: "hbase-wal-replay",
+                jira: "HBASE-29600",
+                summary: "WAL sync delay trips the premature-EOF detector; replay re-appends edits into the sync loop",
+                labels: vec!["wal_sync_loop", "wal_intact"],
+            },
+            KnownBug {
+                id: "hbase-region-retry",
+                jira: "HBASE-29006",
+                summary: "deployment delay times out assignment RPCs; the excluded RS starves the favored balancer whose blind retry re-loads deployment",
+                labels: vec!["deploy_loop", "assign_ioe", "can_place_favored"],
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MiniHBase {
+        MiniHBase::new()
+    }
+
+    #[test]
+    fn profiles_are_clean() {
+        let s = sys();
+        let ids = s.ids();
+        for t in 0..7 {
+            let trace = s.run(TestId(t), None, 5 + t as u64);
+            assert!(!trace.occurred(ids.tp_assign_ioe), "t{t} assign_ioe");
+            assert!(!trace.occurred(ids.np_can_place), "t{t} can_place");
+            assert!(!trace.occurred(ids.np_wal_intact), "t{t} wal_intact");
+        }
+    }
+
+    #[test]
+    fn deploy_delay_times_out_assignments() {
+        let s = sys();
+        let ids = s.ids();
+        let plan = InjectionPlan::delay(ids.l_deploy, VirtualTime::from_millis(3200));
+        let t = s.run(TestId(1), Some(plan), 3);
+        assert!(t.occurred(ids.tp_assign_ioe));
+    }
+
+    #[test]
+    fn assign_ioe_starves_favored_balancer_only_on_small_cluster() {
+        let s = sys();
+        let ids = s.ids();
+        // 3-RS favored cluster: exclusion drops live below 3.
+        let t2 = s.run(TestId(2), Some(InjectionPlan::throw(ids.tp_assign_ioe)), 3);
+        assert!(t2.occurred(ids.np_can_place), "3-node cluster must starve");
+        // 5-RS favored cluster: still enough live servers.
+        let t3 = s.run(TestId(3), Some(InjectionPlan::throw(ids.tp_assign_ioe)), 3);
+        assert!(!t3.occurred(ids.np_can_place), "5-node cluster must not");
+    }
+
+    #[test]
+    fn balancer_negation_reloads_deployment() {
+        let s = sys();
+        let ids = s.ids();
+        let base = s.run(TestId(3), None, 3).loop_count(ids.l_deploy);
+        let t = s.run(TestId(3), Some(InjectionPlan::negate(ids.np_can_place)), 3);
+        assert!(
+            t.loop_count(ids.l_deploy) > base,
+            "blind retry must re-load deployment: {} vs {base}",
+            t.loop_count(ids.l_deploy)
+        );
+    }
+
+    #[test]
+    fn wal_delay_trips_eof_and_replay_amplifies() {
+        let s = sys();
+        let ids = s.ids();
+        let base = s.run(TestId(4), None, 3).loop_count(ids.l_wal_sync);
+        let plan = InjectionPlan::delay(ids.l_wal_sync, VirtualTime::from_millis(3200));
+        let t = s.run(TestId(4), Some(plan), 3);
+        assert!(t.occurred(ids.np_wal_intact), "premature EOF must fire");
+        assert!(
+            t.loop_count(ids.l_wal_sync) > base,
+            "replay must amplify: {} vs {base}",
+            t.loop_count(ids.l_wal_sync)
+        );
+    }
+
+    #[test]
+    fn wal_negation_without_replay_does_not_amplify() {
+        let s = sys();
+        let ids = s.ids();
+        let base = s.run(TestId(5), None, 3).loop_count(ids.l_wal_sync);
+        let t = s.run(TestId(5), Some(InjectionPlan::negate(ids.np_wal_intact)), 3);
+        assert_eq!(t.loop_count(ids.l_wal_sync), base);
+    }
+}

@@ -1,0 +1,238 @@
+//! Mini-HDFS 3: the HDFS 2 codebase plus erasure-coding reconstruction and
+//! the asynchronous block-deletion service.
+//!
+//! HDFS 3.4.1 shares most of its fault-handling architecture with HDFS 2
+//! (which is why the paper re-detects two HDFS 2 bugs on HDFS 3); this
+//! target therefore reuses the `hdfs2` world with the V3 services enabled
+//! and adds the two HDFS 3 rows of Table 3:
+//!
+//! * **block deletion** (1D|1E|1N): a delayed async deleter fails writes
+//!   whose block-pool restarts go stale; stale-node replica invalidation
+//!   re-loads the deleter.
+//! * **block reconstruction + IBR** (2D|1E|1N): a delayed reconstruction
+//!   worker stalls its DataNode into staleness; re-replication inflates IBR
+//!   traffic; delayed IBR processing times out replication commands whose
+//!   failure queues more reconstruction work.
+
+use std::sync::Arc;
+
+use csnake_core::{KnownBug, TargetSystem, TestCase};
+use csnake_inject::{InjectionPlan, Registry, RunTrace, TestId};
+
+use crate::hdfs2::{build_registry, run_hdfs, HdfsCfg, HdfsIds, HdfsVersion, MiniHdfs2};
+
+/// The mini-HDFS3 target.
+pub struct MiniHdfs3 {
+    registry: Arc<Registry>,
+    ids: HdfsIds,
+}
+
+impl Default for MiniHdfs3 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MiniHdfs3 {
+    /// Builds the system and registry.
+    pub fn new() -> Self {
+        let (reg, ids) = build_registry(HdfsVersion::V3);
+        MiniHdfs3 {
+            registry: Arc::new(reg),
+            ids,
+        }
+    }
+
+    /// Instrumentation ids (shared layout with mini-HDFS2).
+    pub fn ids(&self) -> HdfsIds {
+        self.ids
+    }
+
+    fn cfg_for(test: TestId) -> HdfsCfg {
+        match test.0 {
+            // V3-specific workloads first, then the shared HDFS2 suite.
+            // t0: async deletion heavy (bug hdfs3-1).
+            0 => HdfsCfg {
+                deletions: 40,
+                writes: 24,
+                restart_on_pipeline_failure: true,
+                ..HdfsCfg::default()
+            },
+            // t1: erasure-coding reconstruction (bug hdfs3-2).
+            1 => HdfsCfg {
+                recon_tasks: 36,
+                blocks_per_dn: 600,
+                writes: 16,
+                ..HdfsCfg::default()
+            },
+            // t2: reconstruction + replication under churn.
+            2 => HdfsCfg {
+                recon_tasks: 20,
+                blocks_per_dn: 900,
+                recoveries: 8,
+                writes: 20,
+                ..HdfsCfg::default()
+            },
+            // t3+: the shared HDFS2 workloads (same configs, V3 services on).
+            n => {
+                let mut cfg = MiniHdfs2::cfg_for(TestId(n - 3));
+                cfg.deletions = cfg.deletions.max(6);
+                cfg.recon_tasks = cfg.recon_tasks.max(4);
+                cfg
+            }
+        }
+    }
+}
+
+impl TargetSystem for MiniHdfs3 {
+    fn name(&self) -> &'static str {
+        "mini-hdfs3"
+    }
+
+    fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    fn tests(&self) -> Vec<TestCase> {
+        let mut tests = vec![
+            TestCase {
+                id: TestId(0),
+                name: "test_async_deletion",
+                description: "40 async deletions plus writes, restart-on-failure",
+            },
+            TestCase {
+                id: TestId(1),
+                name: "test_ec_reconstruction",
+                description: "36 erasure-coding reconstruction tasks",
+            },
+            TestCase {
+                id: TestId(2),
+                name: "test_reconstruction_churn",
+                description: "reconstruction with recoveries and 900 blocks/DN",
+            },
+        ];
+        for (i, t) in MiniHdfs2::new().tests().into_iter().enumerate() {
+            tests.push(TestCase {
+                id: TestId(i as u32 + 3),
+                name: t.name,
+                description: t.description,
+            });
+        }
+        tests
+    }
+
+    fn run(&self, test: TestId, plan: Option<InjectionPlan>, seed: u64) -> RunTrace {
+        run_hdfs(
+            &self.registry,
+            self.ids,
+            HdfsVersion::V3,
+            Self::cfg_for(test),
+            plan,
+            seed,
+        )
+    }
+
+    fn known_bugs(&self) -> Vec<KnownBug> {
+        let mut bugs = vec![
+            KnownBug {
+                id: "hdfs3-block-deletion",
+                jira: "HDFS-17838",
+                summary: "async deleter delay fails writes; stale block-pool restarts queue replica invalidations back onto the deleter",
+                labels: vec!["deleter_loop", "write_pipeline_ioe", "dn_stale"],
+            },
+            KnownBug {
+                id: "hdfs3-reconstruction-ibr",
+                jira: "HDFS-17782",
+                summary: "reconstruction delay stalls the DN into staleness; re-replication inflates IBR; delayed IBR times out replication whose failure re-queues reconstruction",
+                labels: vec!["recon_loop", "dn_stale", "ibr_process_loop", "repl_ioe"],
+            },
+        ];
+        // The two HDFS2 bugs the paper re-detects on HDFS3 (same codebase).
+        for b in crate::hdfs2::hdfs2_bugs() {
+            if b.id == "hdfs2-block-recovery" || b.id == "hdfs2-ibr-throttle" {
+                bugs.push(b);
+            }
+        }
+        bugs
+    }
+
+    fn expected_contention_labels(&self) -> Vec<&'static str> {
+        vec!["client_read_loop", "client_write_loop"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csnake_sim::VirtualTime;
+
+    fn sys() -> MiniHdfs3 {
+        MiniHdfs3::new()
+    }
+
+    #[test]
+    fn v3_profiles_cover_v3_services() {
+        let s = sys();
+        let ids = s.ids();
+        let t = s.run(TestId(0), None, 7);
+        assert!(t.coverage.contains(&ids.l_deleter), "deleter loop covered");
+        let t1 = s.run(TestId(1), None, 7);
+        assert!(t1.coverage.contains(&ids.l_recon), "recon loop covered");
+        assert!(!t.occurred(ids.tp_repl_ioe));
+        assert!(!t1.occurred(ids.np_dn_stale));
+    }
+
+    #[test]
+    fn deleter_delay_fails_writes() {
+        let s = sys();
+        let ids = s.ids();
+        let plan = InjectionPlan::delay(ids.l_deleter, VirtualTime::from_millis(3200));
+        let t = s.run(TestId(0), Some(plan), 7);
+        assert!(t.occurred(ids.tp_pipeline_ioe));
+    }
+
+    #[test]
+    fn stale_injection_grows_deletion_queue() {
+        let s = sys();
+        let ids = s.ids();
+        let base = s.run(TestId(0), None, 7).loop_count(ids.l_deleter);
+        let t = s.run(TestId(0), Some(InjectionPlan::negate(ids.np_dn_stale)), 7);
+        assert!(
+            t.loop_count(ids.l_deleter) > base,
+            "replica invalidation must load the deleter: {} vs {base}",
+            t.loop_count(ids.l_deleter)
+        );
+    }
+
+    #[test]
+    fn recon_delay_stalls_node_to_staleness() {
+        let s = sys();
+        let ids = s.ids();
+        let plan = InjectionPlan::delay(ids.l_recon, VirtualTime::from_millis(3200));
+        let t = s.run(TestId(1), Some(plan), 7);
+        assert!(
+            t.occurred(ids.np_dn_stale) || t.occurred(ids.tp_repl_ioe),
+            "reconstruction stall must surface as staleness or repl failure"
+        );
+    }
+
+    #[test]
+    fn repl_failure_requeues_reconstruction() {
+        let s = sys();
+        let ids = s.ids();
+        let base = s.run(TestId(1), None, 7).loop_count(ids.l_recon);
+        let t = s.run(TestId(1), Some(InjectionPlan::throw(ids.tp_repl_ioe)), 7);
+        assert!(
+            t.loop_count(ids.l_recon) > base,
+            "failed replication must queue reconstruction: {} vs {base}",
+            t.loop_count(ids.l_recon)
+        );
+    }
+
+    #[test]
+    fn shared_hdfs2_suite_is_present() {
+        let s = sys();
+        assert_eq!(s.tests().len(), 18);
+        assert!(s.known_bugs().iter().any(|b| b.id == "hdfs2-ibr-throttle"));
+    }
+}

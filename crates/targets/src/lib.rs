@@ -1,0 +1,51 @@
+//! Miniature distributed systems with instrumented fault handling.
+//!
+//! The paper evaluates CSnake on five real Java systems (HDFS 2.10.2,
+//! HDFS 3.4.1, HBase 2.6.0, Flink 1.20.0, Ozone 1.4.0). This crate provides
+//! the reproduction's substitutes: for each system, a miniature Rust
+//! reimplementation of its *fault-handling architecture* — heartbeats, block
+//! reports, write pipelines, region assignment, balancers, WAL replay,
+//! checkpoint barriers, container-report queues, replication commands — with
+//! the retry/recovery logic that forms the paper's Table 3 self-sustaining
+//! cascading failures seeded as genuine logic flaws.
+//!
+//! Every mini-system:
+//!
+//! * runs on the deterministic discrete-event simulator (`csnake-sim`);
+//! * declares its instrumentation inventory in a `csnake-inject` registry
+//!   (throw points, negation points, workload loops, branch monitor points,
+//!   plus deliberately filterable points so the static analyzer has work);
+//! * ships a suite of *integration-test workloads* with distinct cluster
+//!   configurations — no single workload satisfies all the conditions of any
+//!   seeded cycle, which is exactly the situation causal stitching exists
+//!   for;
+//! * exposes its seeded bugs as ground truth (labels only — the detector
+//!   never sees them).
+
+pub mod common;
+pub mod flink;
+pub mod hbase;
+pub mod hdfs2;
+pub mod hdfs3;
+pub mod ozone;
+pub mod toy;
+
+pub use flink::MiniFlink;
+pub use hbase::MiniHBase;
+pub use hdfs2::MiniHdfs2;
+pub use hdfs3::MiniHdfs3;
+pub use ozone::MiniOzone;
+pub use toy::ToySystem;
+
+use csnake_core::TargetSystem;
+
+/// All five paper targets, in Table 2 order.
+pub fn all_paper_targets() -> Vec<Box<dyn TargetSystem>> {
+    vec![
+        Box::new(MiniHdfs2::new()),
+        Box::new(MiniHdfs3::new()),
+        Box::new(MiniHBase::new()),
+        Box::new(MiniFlink::new()),
+        Box::new(MiniOzone::new()),
+    ]
+}

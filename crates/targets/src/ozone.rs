@@ -1,0 +1,631 @@
+//! Mini-Ozone: SCM container reports, pipelines, and replication commands.
+//!
+//! Reproduces the three Ozone rows of Table 3:
+//!
+//! * **Container report queue** (1D|0E|1N, HDDS-13020): a delayed dispatch
+//!   loop overflows the bounded event queue; the dispatch-failure handler
+//!   re-enqueues the reports into the same loop.
+//! * **Heartbeat handling** (1D|1E|1N, HDDS-11856): delayed heartbeat
+//!   command processing times out pipeline creation; the failed pipeline is
+//!   marked unhealthy; close/recreate commands flow back through heartbeat
+//!   handling.
+//! * **Replication command handling** (1D|2E, HDDS-11856): a delayed
+//!   replication handler times out replication ops; failed replication
+//!   needs a new pipeline whose creation fails under pressure; the failed
+//!   creation re-queues replication commands.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use csnake_core::{KnownBug, TargetSystem, TestCase};
+use csnake_inject::{
+    Agent, BoolSource, BranchId, ExceptionCategory, FaultId, FnId, InjectionPlan, Registry,
+    RegistryBuilder, RunTrace, TestId,
+};
+use csnake_sim::{BoundedQueue, Clock, Sim, VirtualTime, World};
+
+use crate::common::{run_world, timeouts};
+
+/// Instrumentation ids of mini-Ozone.
+#[derive(Debug, Clone, Copy)]
+pub struct OzoneIds {
+    fn_dispatch: FnId,
+    fn_hb: FnId,
+    fn_repl: FnId,
+    fn_pipeline: FnId,
+    /// SCM container-report dispatch loop.
+    pub l_report_dispatch: FaultId,
+    /// SCM heartbeat command-processing loop.
+    pub l_hb_handler: FaultId,
+    /// Datanode replication command-handling loop.
+    pub l_repl_cmd: FaultId,
+    /// Constant-bound loop (filtered).
+    pub l_const: FaultId,
+    /// Pipeline creation IOE.
+    pub tp_pipeline_create_ioe: FaultId,
+    /// Replication operation IOE.
+    pub tp_repl_ioe: FaultId,
+    /// Event-queue capacity detector (error when `false`).
+    pub np_queue_ok: FaultId,
+    /// Pipeline health detector (error when `false`).
+    pub np_pipeline_healthy: FaultId,
+    /// Final-config decoy (filtered).
+    pub np_is_ratis: FaultId,
+    br_queue_pressure: BranchId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OzoneCfg {
+    datanodes: usize,
+    reports: u32,
+    report_interval_ms: u64,
+    replications: u32,
+    /// Dispatch failures re-enqueue reports (seeded bug 1's amplifier).
+    requeue_on_dispatch_failure: bool,
+    /// Unhealthy pipelines are closed and recreated via heartbeat commands.
+    recreate_unhealthy: bool,
+    /// Failed replication allocates a fresh pipeline.
+    pipeline_on_repl_failure: bool,
+    queue_capacity: usize,
+    horizon_s: u64,
+}
+
+impl Default for OzoneCfg {
+    fn default() -> Self {
+        OzoneCfg {
+            datanodes: 5,
+            reports: 30,
+            report_interval_ms: 150,
+            replications: 8,
+            requeue_on_dispatch_failure: false,
+            recreate_unhealthy: false,
+            pipeline_on_repl_failure: false,
+            queue_capacity: 24,
+            horizon_s: 40,
+        }
+    }
+}
+
+const TICK: VirtualTime = VirtualTime::from_millis(250);
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Report,
+    ReplicationStart,
+    DispatchTick,
+    HbTick,
+    ReplTick,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    /// Arrival timestamp (kept for queue-age diagnostics).
+    #[allow(dead_code)]
+    arrived: VirtualTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReplOp {
+    issued: VirtualTime,
+    attempts: u8,
+}
+
+struct OzoneWorld {
+    agent: Rc<Agent>,
+    ids: OzoneIds,
+    cfg: OzoneCfg,
+    event_queue: BoundedQueue<Report>,
+    reports_arrived: u32,
+    hb_cmds: u64,
+    repl_queue: VecDeque<ReplOp>,
+    pipeline_unhealthy: bool,
+    dispatched: u64,
+    hb_last: VirtualTime,
+}
+
+impl OzoneWorld {
+    fn dispatch_tick(&mut self, sim: &mut Sim<Ev>) {
+        let _f = self.agent.frame(self.ids.fn_dispatch);
+        // Capacity detector: the dispatcher refuses new work when the queue
+        // saturates.
+        let ok = self
+            .agent
+            .negation_point(self.ids.np_queue_ok, !self.event_queue.is_full());
+        self.agent.branch(
+            self.ids.br_queue_pressure,
+            self.event_queue.len() > self.cfg.queue_capacity / 2,
+        );
+        if !ok && self.cfg.requeue_on_dispatch_failure {
+            // Seeded bug: the failure handler re-enqueues a recovery rescan
+            // of recent reports instead of shedding load.
+            for _ in 0..6 {
+                let _ = self.event_queue.push(Report { arrived: sim.now() });
+            }
+        }
+        let lg = self.agent.loop_enter(self.ids.l_report_dispatch);
+        let n = self.event_queue.len().min(12);
+        for _ in 0..n {
+            lg.iter(sim);
+            sim.advance(VirtualTime::from_micros(600));
+            let _r = self.event_queue.pop().expect("sized loop");
+            self.dispatched += 1;
+        }
+        drop(lg);
+        sim.schedule(TICK, Ev::DispatchTick);
+    }
+
+    fn hb_tick(&mut self, sim: &mut Sim<Ev>) {
+        let _f = self.agent.frame(self.ids.fn_hb);
+        // Constant-bound protocol version check (filtered decoy).
+        {
+            let lg = self.agent.loop_enter(self.ids.l_const);
+            for _ in 0..2 {
+                lg.iter(sim);
+            }
+        }
+        let _ = self.agent.negation_point(self.ids.np_is_ratis, true);
+        let hb_anchor = self.hb_last;
+        let lg = self.agent.loop_enter(self.ids.l_hb_handler);
+        // One iteration per datanode heartbeat plus queued commands.
+        let n = (self.cfg.datanodes as u64 + self.hb_cmds).min(12);
+        self.hb_cmds -= (n.saturating_sub(self.cfg.datanodes as u64)).min(self.hb_cmds);
+        let mut create_failed = false;
+        for _ in 0..n {
+            lg.iter(sim);
+            sim.advance(VirtualTime::from_micros(700));
+            // Pipeline creation rides on heartbeat command processing; a
+            // handler running far behind its cadence has already timed out
+            // the creation RPC.
+            if self
+                .agent
+                .throw_guard(self.ids.tp_pipeline_create_ioe)
+                .is_some()
+            {
+                create_failed = true;
+                continue;
+            }
+            let behind =
+                !hb_anchor.is_zero() && sim.now().saturating_sub(hb_anchor) > timeouts::RPC;
+            if behind && !create_failed {
+                let _ = self.agent.throw_fired(self.ids.tp_pipeline_create_ioe);
+                create_failed = true;
+            }
+        }
+        drop(lg);
+        if create_failed {
+            self.on_pipeline_create_failure(sim);
+        }
+        // Pipeline health detector.
+        let healthy = self
+            .agent
+            .negation_point(self.ids.np_pipeline_healthy, !self.pipeline_unhealthy);
+        if !healthy && self.cfg.recreate_unhealthy {
+            // Close-and-recreate commands flow through heartbeat handling.
+            self.hb_cmds += 8;
+            self.pipeline_unhealthy = false;
+        }
+        self.hb_last = sim.now();
+        sim.schedule(TICK * 2, Ev::HbTick);
+    }
+
+    fn on_pipeline_create_failure(&mut self, sim: &mut Sim<Ev>) {
+        self.pipeline_unhealthy = true;
+        let _ = sim;
+        // Containers headed for the failed pipeline need re-replication.
+        for _ in 0..4 {
+            self.repl_queue.push_back(ReplOp {
+                issued: VirtualTime::MAX, // filled at the next repl tick
+                attempts: 1,
+            });
+        }
+    }
+
+    fn repl_tick(&mut self, sim: &mut Sim<Ev>) {
+        let _f = self.agent.frame(self.ids.fn_repl);
+        let lg = self.agent.loop_enter(self.ids.l_repl_cmd);
+        let n = self.repl_queue.len().min(8);
+        for _ in 0..n {
+            lg.iter(sim);
+            sim.advance(VirtualTime::from_millis(1));
+            let mut op = self.repl_queue.pop_front().expect("sized loop");
+            if op.issued == VirtualTime::MAX {
+                op.issued = sim.now();
+            }
+            if self.agent.throw_guard(self.ids.tp_repl_ioe).is_some() {
+                self.on_repl_failure(sim, op);
+                continue;
+            }
+            if sim.now().saturating_sub(op.issued) > timeouts::OPERATION {
+                let _ = self.agent.throw_fired(self.ids.tp_repl_ioe);
+                self.on_repl_failure(sim, op);
+                continue;
+            }
+        }
+        drop(lg);
+        sim.schedule(TICK * 2, Ev::ReplTick);
+    }
+
+    fn on_repl_failure(&mut self, sim: &mut Sim<Ev>, op: ReplOp) {
+        if self.cfg.pipeline_on_repl_failure {
+            // A fresh pipeline is needed; under pressure its creation fails
+            // at the next heartbeat, re-queueing more replication work.
+            let _pf = self.agent.frame(self.ids.fn_pipeline);
+            let live = self.cfg.datanodes;
+            if live < 4 {
+                let _ = self.agent.throw_fired(self.ids.tp_pipeline_create_ioe);
+                self.on_pipeline_create_failure(sim);
+            }
+        }
+        if op.attempts < 3 {
+            self.repl_queue.push_back(ReplOp {
+                issued: sim.now(),
+                attempts: op.attempts + 1,
+            });
+        }
+    }
+}
+
+impl World for OzoneWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, sim: &mut Sim<Ev>, ev: Ev) {
+        match ev {
+            Ev::Report => {
+                let intended = VirtualTime::from_millis(self.cfg.report_interval_ms)
+                    * (self.reports_arrived as u64 + 1);
+                self.reports_arrived += 1;
+                let _ = self.event_queue.push(Report { arrived: intended });
+            }
+            Ev::ReplicationStart => {
+                self.repl_queue.push_back(ReplOp {
+                    issued: sim.now(),
+                    attempts: 0,
+                });
+            }
+            Ev::DispatchTick => self.dispatch_tick(sim),
+            Ev::HbTick => self.hb_tick(sim),
+            Ev::ReplTick => self.repl_tick(sim),
+        }
+    }
+}
+
+/// The mini-Ozone target.
+pub struct MiniOzone {
+    registry: Arc<Registry>,
+    ids: OzoneIds,
+}
+
+impl Default for MiniOzone {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MiniOzone {
+    /// Builds the system and registry.
+    pub fn new() -> Self {
+        let mut b = RegistryBuilder::new("mini-ozone");
+        let fn_dispatch = b.func("SCMDatanodeHeartbeatDispatcher.dispatch");
+        let fn_hb = b.func("SCMHeartbeatProcessor.process");
+        let fn_repl = b.func("ReplicationSupervisor.runTask");
+        let fn_pipeline = b.func("PipelineManager.createPipeline");
+        let l_report_dispatch = b.workload_loop(fn_dispatch, 180, false, "report_dispatch_loop");
+        let l_hb_handler = b.workload_loop(fn_hb, 260, true, "hb_handler_loop");
+        let l_repl_cmd = b.workload_loop(fn_repl, 340, true, "repl_cmd_loop");
+        let l_const = b.const_loop(fn_hb, 250, 2, "proto_version_check");
+        let tp_pipeline_create_ioe = b.throw_point(
+            fn_hb,
+            271,
+            "IOException",
+            ExceptionCategory::SystemSpecific,
+            "pipeline_create_ioe",
+        );
+        let tp_repl_ioe = b.throw_point(
+            fn_repl,
+            355,
+            "IOException",
+            ExceptionCategory::SystemSpecific,
+            "ozone_repl_ioe",
+        );
+        let np_queue_ok = b.negation_point(
+            fn_dispatch,
+            171,
+            false,
+            BoolSource::ErrorDetector,
+            "event_queue_ok",
+        );
+        let np_pipeline_healthy = b.negation_point(
+            fn_hb,
+            290,
+            false,
+            BoolSource::ErrorDetector,
+            "pipeline_healthy",
+        );
+        let np_is_ratis = b.negation_point(
+            fn_hb,
+            255,
+            true,
+            BoolSource::FinalConfigOnly,
+            "is_ratis_enabled",
+        );
+        let br_queue_pressure = b.branch(fn_dispatch, 175);
+        let ids = OzoneIds {
+            fn_dispatch,
+            fn_hb,
+            fn_repl,
+            fn_pipeline,
+            l_report_dispatch,
+            l_hb_handler,
+            l_repl_cmd,
+            l_const,
+            tp_pipeline_create_ioe,
+            tp_repl_ioe,
+            np_queue_ok,
+            np_pipeline_healthy,
+            np_is_ratis,
+            br_queue_pressure,
+        };
+        MiniOzone {
+            registry: Arc::new(b.build()),
+            ids,
+        }
+    }
+
+    /// Instrumentation ids.
+    pub fn ids(&self) -> OzoneIds {
+        self.ids
+    }
+
+    fn cfg_for(test: TestId) -> OzoneCfg {
+        let d = OzoneCfg::default();
+        match test.0 {
+            // t0: broad coverage; the heartbeat bug's conditions co-located
+            // (it is the Table 3 row with "Alt.? = yes").
+            0 => OzoneCfg {
+                reports: 40,
+                replications: 10,
+                recreate_unhealthy: true,
+                requeue_on_dispatch_failure: false,
+                ..d
+            },
+            // t1: report storm against a small queue.
+            1 => OzoneCfg {
+                reports: 120,
+                report_interval_ms: 40,
+                queue_capacity: 16,
+                ..d
+            },
+            // t2: dispatch-failure requeue handling.
+            2 => OzoneCfg {
+                reports: 60,
+                report_interval_ms: 60,
+                queue_capacity: 16,
+                requeue_on_dispatch_failure: true,
+                ..d
+            },
+            // t3: pipeline recreation churn.
+            3 => OzoneCfg {
+                replications: 12,
+                recreate_unhealthy: true,
+                ..d
+            },
+            // t4: replication pressure with pipeline allocation on a small
+            // cluster (creation fails when fewer than four DNs are free).
+            4 => OzoneCfg {
+                datanodes: 3,
+                replications: 24,
+                pipeline_on_repl_failure: true,
+                ..d
+            },
+            // t5: light smoke test.
+            _ => OzoneCfg {
+                reports: 10,
+                replications: 3,
+                ..d
+            },
+        }
+    }
+}
+
+impl TargetSystem for MiniOzone {
+    fn name(&self) -> &'static str {
+        "mini-ozone"
+    }
+
+    fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    fn tests(&self) -> Vec<TestCase> {
+        let names: [(&'static str, &'static str); 6] = [
+            (
+                "test_basic_cluster",
+                "mixed reports + replication, recreate on",
+            ),
+            ("test_report_storm", "120 reports against a 16-slot queue"),
+            (
+                "test_dispatch_requeue",
+                "requeue-on-dispatch-failure handling",
+            ),
+            ("test_pipeline_churn", "unhealthy-pipeline recreation"),
+            (
+                "test_replication_pressure",
+                "24 replications, pipeline alloc",
+            ),
+            ("test_smoke", "light workload"),
+        ];
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, (name, description))| TestCase {
+                id: TestId(i as u32),
+                name,
+                description,
+            })
+            .collect()
+    }
+
+    fn run(&self, test: TestId, plan: Option<InjectionPlan>, seed: u64) -> RunTrace {
+        let cfg = Self::cfg_for(test);
+        let ids = self.ids;
+        let horizon = VirtualTime::from_secs(cfg.horizon_s) + VirtualTime::from_secs(600);
+        run_world(&self.registry, plan, seed, horizon, |agent, sim| {
+            for i in 0..cfg.reports {
+                sim.schedule_at(
+                    VirtualTime::from_millis(cfg.report_interval_ms) * (i as u64 + 1),
+                    Ev::Report,
+                );
+            }
+            for i in 0..cfg.replications {
+                sim.schedule_at(
+                    VirtualTime::from_millis(500) * (i as u64 + 1),
+                    Ev::ReplicationStart,
+                );
+            }
+            sim.schedule(TICK, Ev::DispatchTick);
+            sim.schedule(TICK * 2, Ev::HbTick);
+            sim.schedule(TICK * 2, Ev::ReplTick);
+            OzoneWorld {
+                agent,
+                ids,
+                cfg,
+                event_queue: BoundedQueue::new(cfg.queue_capacity),
+                reports_arrived: 0,
+                hb_cmds: 0,
+                repl_queue: VecDeque::new(),
+                pipeline_unhealthy: false,
+                dispatched: 0,
+                hb_last: VirtualTime::ZERO,
+            }
+        })
+    }
+
+    fn known_bugs(&self) -> Vec<KnownBug> {
+        vec![
+            KnownBug {
+                id: "ozone-report-queue",
+                jira: "HDDS-13020",
+                summary: "dispatch delay overflows the event queue; the failure handler re-enqueues reports into the dispatch loop",
+                labels: vec!["report_dispatch_loop", "event_queue_ok"],
+            },
+            KnownBug {
+                id: "ozone-heartbeat-pipeline",
+                jira: "HDDS-11856",
+                summary: "heartbeat delay fails pipeline creation; unhealthy pipelines are recreated via more heartbeat commands",
+                labels: vec!["hb_handler_loop", "pipeline_create_ioe", "pipeline_healthy"],
+            },
+            KnownBug {
+                id: "ozone-replication-cmd",
+                jira: "HDDS-11856-2",
+                summary: "replication delay times out ops; failed replication allocates pipelines whose failure re-queues replication",
+                labels: vec!["repl_cmd_loop", "ozone_repl_ioe", "pipeline_create_ioe"],
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MiniOzone {
+        MiniOzone::new()
+    }
+
+    #[test]
+    fn profiles_are_clean() {
+        let s = sys();
+        let ids = s.ids();
+        for t in 0..6 {
+            let trace = s.run(TestId(t), None, 21 + t as u64);
+            assert!(!trace.occurred(ids.tp_pipeline_create_ioe), "t{t}");
+            assert!(!trace.occurred(ids.tp_repl_ioe), "t{t}");
+            assert!(!trace.occurred(ids.np_queue_ok), "t{t}");
+            assert!(!trace.occurred(ids.np_pipeline_healthy), "t{t}");
+        }
+    }
+
+    #[test]
+    fn dispatch_delay_overflows_queue() {
+        let s = sys();
+        let ids = s.ids();
+        let plan = InjectionPlan::delay(ids.l_report_dispatch, VirtualTime::from_millis(3200));
+        let t = s.run(TestId(1), Some(plan), 3);
+        assert!(t.occurred(ids.np_queue_ok), "queue must saturate");
+    }
+
+    #[test]
+    fn queue_failure_requeues_reports_when_configured() {
+        let s = sys();
+        let ids = s.ids();
+        let base = s.run(TestId(2), None, 3).loop_count(ids.l_report_dispatch);
+        let t = s.run(TestId(2), Some(InjectionPlan::negate(ids.np_queue_ok)), 3);
+        assert!(
+            t.loop_count(ids.l_report_dispatch) > base,
+            "requeue must grow dispatch: {} vs {base}",
+            t.loop_count(ids.l_report_dispatch)
+        );
+    }
+
+    #[test]
+    fn heartbeat_delay_fails_pipeline_creation() {
+        let s = sys();
+        let ids = s.ids();
+        let plan = InjectionPlan::delay(ids.l_hb_handler, VirtualTime::from_millis(3200));
+        let t = s.run(TestId(0), Some(plan), 3);
+        assert!(t.occurred(ids.tp_pipeline_create_ioe));
+    }
+
+    #[test]
+    fn creation_failure_marks_pipeline_unhealthy() {
+        let s = sys();
+        let ids = s.ids();
+        let t = s.run(
+            TestId(3),
+            Some(InjectionPlan::throw(ids.tp_pipeline_create_ioe)),
+            3,
+        );
+        assert!(t.occurred(ids.np_pipeline_healthy));
+    }
+
+    #[test]
+    fn unhealthy_negation_grows_heartbeat_commands() {
+        let s = sys();
+        let ids = s.ids();
+        let base = s.run(TestId(3), None, 3).loop_count(ids.l_hb_handler);
+        let t = s.run(
+            TestId(3),
+            Some(InjectionPlan::negate(ids.np_pipeline_healthy)),
+            3,
+        );
+        assert!(
+            t.loop_count(ids.l_hb_handler) > base,
+            "recreate commands must grow hb handling: {} vs {base}",
+            t.loop_count(ids.l_hb_handler)
+        );
+    }
+
+    #[test]
+    fn repl_delay_times_out_ops() {
+        let s = sys();
+        let ids = s.ids();
+        let plan = InjectionPlan::delay(ids.l_repl_cmd, VirtualTime::from_millis(3200));
+        let t = s.run(TestId(4), Some(plan), 3);
+        assert!(t.occurred(ids.tp_repl_ioe));
+    }
+
+    #[test]
+    fn repl_failure_requeues_via_pipeline_failure() {
+        let s = sys();
+        let ids = s.ids();
+        let base = s.run(TestId(4), None, 3).loop_count(ids.l_repl_cmd);
+        let t = s.run(TestId(4), Some(InjectionPlan::throw(ids.tp_repl_ioe)), 3);
+        assert!(t.occurred(ids.tp_pipeline_create_ioe), "creation must fail");
+        assert!(
+            t.loop_count(ids.l_repl_cmd) > base,
+            "repl queue must grow: {} vs {base}",
+            t.loop_count(ids.l_repl_cmd)
+        );
+    }
+}

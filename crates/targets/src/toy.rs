@@ -1,0 +1,413 @@
+//! A deliberately tiny target system for quickstarts and pipeline tests.
+//!
+//! `ToySystem` is a single-server job service with a retry amplifier — the
+//! smallest system that exhibits a genuine self-sustaining cascading failure
+//! of the paper's shape:
+//!
+//! * **work loop delay → job timeout IOE** — observable in the high-volume
+//!   workload (`test_many_jobs`), where retries are disabled;
+//! * **job timeout IOE → work-loop iteration increase** — observable in the
+//!   retry-enabled workload (`test_retry_small`), where a failed job is
+//!   speculatively re-submitted with a fanout.
+//!
+//! No single workload exhibits both propagations; stitching the two edges
+//! closes the cycle `delay(work_loop) → job_ioe → delay(work_loop)`.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use csnake_core::{KnownBug, TargetSystem, TestCase};
+use csnake_inject::{
+    Agent, BoolSource, BranchId, ExceptionCategory, Fault, FaultId, FnId, InjectionPlan, Registry,
+    RegistryBuilder, RunTrace, TestId,
+};
+use csnake_sim::{Clock, Sim, VirtualTime, World};
+
+use crate::common::{run_world, timeouts};
+
+/// Instrumentation ids of the toy system.
+#[derive(Debug, Clone, Copy)]
+pub struct ToyIds {
+    fn_server: FnId,
+    fn_process: FnId,
+    fn_client: FnId,
+    fn_health: FnId,
+    /// Server work loop (delay-injection candidate).
+    pub l_work: FaultId,
+    /// Constant-bound warmup loop (filtered by the analyzer).
+    pub l_warmup: FaultId,
+    /// Job timeout IOException.
+    pub tp_job_ioe: FaultId,
+    /// Queue health detector (error when unhealthy = `false` return).
+    pub np_queue_healthy: FaultId,
+    /// JDK-utility boolean (filtered by the analyzer).
+    pub np_contains: FaultId,
+    br_batch_nonempty: BranchId,
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy)]
+struct ToyCfg {
+    jobs: u32,
+    submit_interval: VirtualTime,
+    retry_fanout: u32,
+    max_retries: u8,
+    horizon: VirtualTime,
+}
+
+/// The toy target system.
+pub struct ToySystem {
+    registry: Arc<Registry>,
+    ids: ToyIds,
+}
+
+impl Default for ToySystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ToySystem {
+    /// Builds the system and its registry.
+    pub fn new() -> Self {
+        let mut b = RegistryBuilder::new("toy");
+        let fn_server = b.func("JobServer.tick");
+        let fn_process = b.func("JobServer.processJob");
+        let fn_client = b.func("Client.submit");
+        let fn_health = b.func("HealthMonitor.check");
+        let l_work = b.workload_loop(fn_server, 20, true, "work_loop");
+        let l_warmup = b.const_loop(fn_server, 10, 3, "warmup");
+        let tp_job_ioe = b.throw_point(
+            fn_process,
+            42,
+            "IOException",
+            ExceptionCategory::SystemSpecific,
+            "job_ioe",
+        );
+        let np_queue_healthy = b.negation_point(
+            fn_health,
+            7,
+            false,
+            BoolSource::ErrorDetector,
+            "queue_healthy",
+        );
+        let np_contains = b.negation_point(fn_health, 9, true, BoolSource::JdkUtility, "contains");
+        let br_batch_nonempty = b.branch(fn_server, 21);
+        let ids = ToyIds {
+            fn_server,
+            fn_process,
+            fn_client,
+            fn_health,
+            l_work,
+            l_warmup,
+            tp_job_ioe,
+            np_queue_healthy,
+            np_contains,
+            br_batch_nonempty,
+        };
+        ToySystem {
+            registry: Arc::new(b.build()),
+            ids,
+        }
+    }
+
+    /// The instrumentation ids (used by examples and tests).
+    pub fn ids(&self) -> ToyIds {
+        self.ids
+    }
+
+    fn cfg_for(test: TestId) -> ToyCfg {
+        match test.0 {
+            // High volume, no retries: delay injection trips job timeouts.
+            0 => ToyCfg {
+                jobs: 150,
+                submit_interval: VirtualTime::from_millis(20),
+                retry_fanout: 0,
+                max_retries: 0,
+                horizon: VirtualTime::from_secs(900),
+            },
+            // Small volume, speculative retry fanout enabled: a failed job
+            // amplifies the work loop.
+            1 => ToyCfg {
+                jobs: 25,
+                submit_interval: VirtualTime::from_millis(50),
+                retry_fanout: 6,
+                max_retries: 2,
+                horizon: VirtualTime::from_secs(900),
+            },
+            // Near-idle: health checks dominate (low coverage).
+            _ => ToyCfg {
+                jobs: 5,
+                submit_interval: VirtualTime::from_millis(200),
+                retry_fanout: 0,
+                max_retries: 0,
+                horizon: VirtualTime::from_secs(60),
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    submitted: VirtualTime,
+    retries: u8,
+}
+
+enum Ev {
+    Submit,
+    Tick,
+    Health,
+}
+
+struct ToyWorld {
+    agent: Rc<Agent>,
+    ids: ToyIds,
+    cfg: ToyCfg,
+    queue: VecDeque<Job>,
+    submitted: u32,
+    completed: u32,
+    failed: u32,
+}
+
+impl ToyWorld {
+    fn process_job(&self, sim: &mut Sim<Ev>, job: Job) -> Result<(), Fault> {
+        let _f = self.agent.frame(self.ids.fn_process);
+        sim.advance(VirtualTime::from_millis(2)); // nominal work cost
+        if let Some(e) = self.agent.throw_guard(self.ids.tp_job_ioe) {
+            return Err(e);
+        }
+        if sim.now().saturating_sub(job.submitted) > timeouts::OPERATION {
+            return Err(self.agent.throw_fired(self.ids.tp_job_ioe));
+        }
+        Ok(())
+    }
+}
+
+impl World for ToyWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, sim: &mut Sim<Ev>, ev: Ev) {
+        match ev {
+            Ev::Submit => {
+                let _f = self.agent.frame(self.ids.fn_client);
+                // Open-loop arrival: the job's latency clock starts at its
+                // *intended* submission time, even if the submit event runs
+                // late behind a backed-up server.
+                let intended = self.cfg.submit_interval * self.submitted as u64;
+                self.queue.push_back(Job {
+                    submitted: intended,
+                    retries: 0,
+                });
+                self.submitted += 1;
+            }
+            Ev::Tick => {
+                let _f = self.agent.frame(self.ids.fn_server);
+                // Constant-bound warmup loop: analyzer-filtered, never hot.
+                {
+                    let warm = self.agent.loop_enter(self.ids.l_warmup);
+                    for _ in 0..3 {
+                        warm.iter(sim);
+                    }
+                }
+                self.agent
+                    .branch(self.ids.br_batch_nonempty, !self.queue.is_empty());
+                let batch: Vec<Job> = self.queue.drain(..).collect();
+                {
+                    let work = self.agent.loop_enter(self.ids.l_work);
+                    for job in batch {
+                        work.iter(sim);
+                        match self.process_job(sim, job) {
+                            Ok(()) => self.completed += 1,
+                            Err(_e) => {
+                                self.failed += 1;
+                                // Speculative re-execution: the retry storm
+                                // amplifier at the heart of the seeded bug.
+                                if self.cfg.retry_fanout > 0 && job.retries < self.cfg.max_retries {
+                                    for _ in 0..self.cfg.retry_fanout {
+                                        self.queue.push_back(Job {
+                                            submitted: sim.now(),
+                                            retries: job.retries + 1,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if self.submitted < self.cfg.jobs || !self.queue.is_empty() {
+                    sim.schedule(VirtualTime::from_millis(100), Ev::Tick);
+                } else {
+                    // Idle poll, coarser.
+                    sim.schedule(VirtualTime::from_secs(1), Ev::Tick);
+                }
+            }
+            Ev::Health => {
+                let _f = self.agent.frame(self.ids.fn_health);
+                let healthy = self
+                    .agent
+                    .negation_point(self.ids.np_queue_healthy, self.queue.len() < 500);
+                if !healthy {
+                    self.agent.mark_flag("queue_unhealthy");
+                }
+                let _ = self
+                    .agent
+                    .negation_point(self.ids.np_contains, self.queue.is_empty());
+                sim.schedule(VirtualTime::from_secs(1), Ev::Health);
+            }
+        }
+    }
+}
+
+impl TargetSystem for ToySystem {
+    fn name(&self) -> &'static str {
+        "toy"
+    }
+
+    fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    fn tests(&self) -> Vec<TestCase> {
+        vec![
+            TestCase {
+                id: TestId(0),
+                name: "test_many_jobs",
+                description: "150 jobs, retries disabled — volume workload",
+            },
+            TestCase {
+                id: TestId(1),
+                name: "test_retry_small",
+                description: "25 jobs with speculative retry fanout 6",
+            },
+            TestCase {
+                id: TestId(2),
+                name: "test_idle_health",
+                description: "near-idle workload dominated by health checks",
+            },
+        ]
+    }
+
+    fn run(&self, test: TestId, plan: Option<InjectionPlan>, seed: u64) -> RunTrace {
+        let cfg = Self::cfg_for(test);
+        let ids = self.ids;
+        run_world(&self.registry, plan, seed, cfg.horizon, |agent, sim| {
+            for i in 0..cfg.jobs {
+                sim.schedule_at(cfg.submit_interval * i as u64, Ev::Submit);
+            }
+            sim.schedule(VirtualTime::from_millis(100), Ev::Tick);
+            sim.schedule(VirtualTime::from_secs(1), Ev::Health);
+            ToyWorld {
+                agent,
+                ids,
+                cfg,
+                queue: VecDeque::new(),
+                submitted: 0,
+                completed: 0,
+                failed: 0,
+            }
+        })
+    }
+
+    fn known_bugs(&self) -> Vec<KnownBug> {
+        vec![KnownBug {
+            id: "toy-retry-storm",
+            jira: "TOY-1",
+            summary:
+                "work-loop delay times out jobs whose speculative retries re-load the work loop",
+            labels: vec!["work_loop", "job_ioe"],
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csnake_core::driver::seed_for;
+
+    fn profile(test: u32) -> RunTrace {
+        ToySystem::new().run(TestId(test), None, seed_for(1, TestId(test), 0))
+    }
+
+    #[test]
+    fn profile_runs_complete_all_jobs() {
+        let t = profile(0);
+        assert_eq!(t.loop_count(ToySystem::new().ids().l_work), 150);
+        assert!(
+            !t.occurred(ToySystem::new().ids().tp_job_ioe),
+            "no natural timeouts"
+        );
+    }
+
+    #[test]
+    fn profile_is_deterministic_per_seed() {
+        let sys = ToySystem::new();
+        let a = sys.run(TestId(0), None, 7);
+        let b = sys.run(TestId(0), None, 7);
+        assert_eq!(a.loop_counts, b.loop_counts);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn delay_injection_times_out_jobs_in_volume_test() {
+        let sys = ToySystem::new();
+        let ids = sys.ids();
+        let plan = InjectionPlan::delay(ids.l_work, VirtualTime::from_millis(800));
+        let t = sys.run(TestId(0), Some(plan), 3);
+        assert!(t.injected.is_some());
+        assert!(t.occurred(ids.tp_job_ioe), "delay must trip job timeouts");
+    }
+
+    #[test]
+    fn throw_injection_amplifies_work_loop_in_retry_test() {
+        let sys = ToySystem::new();
+        let ids = sys.ids();
+        let base = sys.run(TestId(1), None, 3).loop_count(ids.l_work);
+        let t = sys.run(TestId(1), Some(InjectionPlan::throw(ids.tp_job_ioe)), 3);
+        assert!(t.injected.is_some());
+        let inj = t.loop_count(ids.l_work);
+        assert!(
+            inj >= base + 6,
+            "retry fanout must amplify the loop: {inj} vs {base}"
+        );
+    }
+
+    #[test]
+    fn throw_injection_without_retries_does_not_amplify() {
+        let sys = ToySystem::new();
+        let ids = sys.ids();
+        let base = sys.run(TestId(0), None, 3).loop_count(ids.l_work);
+        let t = sys.run(TestId(0), Some(InjectionPlan::throw(ids.tp_job_ioe)), 3);
+        assert_eq!(t.loop_count(ids.l_work), base);
+    }
+
+    #[test]
+    fn health_detector_is_quiet_in_profile() {
+        let sys = ToySystem::new();
+        let ids = sys.ids();
+        let t = profile(2);
+        assert!(t.coverage.contains(&ids.np_queue_healthy));
+        assert!(!t.occurred(ids.np_queue_healthy));
+    }
+
+    #[test]
+    fn negation_injection_flags_unhealthy_queue() {
+        let sys = ToySystem::new();
+        let ids = sys.ids();
+        let t = sys.run(
+            TestId(2),
+            Some(InjectionPlan::negate(ids.np_queue_healthy)),
+            3,
+        );
+        assert!(t.occurred(ids.np_queue_healthy));
+        assert!(t.flags.contains("queue_unhealthy"));
+    }
+
+    #[test]
+    fn warmup_loop_count_is_constant_multiple() {
+        let t = profile(2);
+        let ids = ToySystem::new().ids();
+        let c = t.loop_count(ids.l_warmup);
+        assert!(c > 0 && c % 3 == 0, "{c}");
+    }
+}

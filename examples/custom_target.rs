@@ -1,0 +1,184 @@
+//! How to put *your own* system under CSnake: implement [`TargetSystem`].
+//!
+//! This example builds a minimal two-component system from scratch — a
+//! cache in front of a backing store, where cache-miss storms overload the
+//! store and store timeouts invalidate cache entries — and runs detection
+//! on it.
+//!
+//! ```sh
+//! cargo run --release --example custom_target
+//! ```
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use csnake::core::{detect, DetectConfig, KnownBug, TargetSystem, TestCase};
+use csnake::inject::{
+    Agent, ExceptionCategory, FaultId, InjectionPlan, Registry, RegistryBuilder, RunTrace, TestId,
+};
+use csnake::sim::{Clock, Sim, VirtualTime, World};
+
+struct CacheStore {
+    registry: Arc<Registry>,
+    l_store: FaultId,
+    tp_store_timeout: FaultId,
+    fn_store: csnake::inject::FnId,
+}
+
+enum Ev {
+    Get,
+    StoreTick,
+}
+
+struct CacheWorld {
+    agent: Rc<Agent>,
+    ids: (FaultId, FaultId, csnake::inject::FnId),
+    invalidate_on_timeout: bool,
+    store_queue: VecDeque<VirtualTime>,
+    gets: u32,
+    cached_fraction: u32, // percent served from cache
+}
+
+impl World for CacheWorld {
+    type Event = Ev;
+    fn handle(&mut self, sim: &mut Sim<Ev>, ev: Ev) {
+        let (l_store, tp_timeout, fn_store) = self.ids;
+        match ev {
+            Ev::Get => {
+                let intended = VirtualTime::from_millis(30) * (self.gets as u64 + 1);
+                self.gets += 1;
+                // Cache miss goes to the store (miss rate = 100 - cached%).
+                if self.gets % 10 >= self.cached_fraction / 10 {
+                    self.store_queue.push_back(intended);
+                }
+            }
+            Ev::StoreTick => {
+                let _f = self.agent.frame(fn_store);
+                let lg = self.agent.loop_enter(l_store);
+                let n = self.store_queue.len().min(16);
+                for _ in 0..n {
+                    lg.iter(sim);
+                    sim.advance(VirtualTime::from_millis(1));
+                    let req = self.store_queue.pop_front().expect("sized");
+                    if self.agent.throw_guard(tp_timeout).is_some()
+                        || sim.now().saturating_sub(req) > VirtualTime::from_secs(10)
+                    {
+                        if sim.now().saturating_sub(req) > VirtualTime::from_secs(10) {
+                            let _ = self.agent.throw_fired(tp_timeout);
+                        }
+                        // Timeout invalidates cache entries → more misses.
+                        if self.invalidate_on_timeout {
+                            for k in 0..4u64 {
+                                self.store_queue
+                                    .push_back(sim.now() + VirtualTime::from_millis(k));
+                            }
+                        }
+                    }
+                }
+                drop(lg);
+                sim.schedule(VirtualTime::from_millis(100), Ev::StoreTick);
+            }
+        }
+    }
+}
+
+impl CacheStore {
+    fn new() -> Self {
+        let mut b = RegistryBuilder::new("cache-store");
+        let fn_store = b.func("Store.serve");
+        let l_store = b.workload_loop(fn_store, 10, true, "store_loop");
+        let tp_store_timeout = b.throw_point(
+            fn_store,
+            14,
+            "TimeoutException",
+            ExceptionCategory::SystemSpecific,
+            "store_timeout",
+        );
+        CacheStore {
+            registry: Arc::new(b.build()),
+            l_store,
+            tp_store_timeout,
+            fn_store,
+        }
+    }
+}
+
+impl TargetSystem for CacheStore {
+    fn name(&self) -> &'static str {
+        "cache-store"
+    }
+    fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+    fn tests(&self) -> Vec<TestCase> {
+        vec![
+            TestCase {
+                id: TestId(0),
+                name: "test_miss_storm",
+                description: "60% miss rate, no invalidation reaction",
+            },
+            TestCase {
+                id: TestId(1),
+                name: "test_invalidation",
+                description: "warm cache with invalidate-on-timeout",
+            },
+        ]
+    }
+    fn run(&self, test: TestId, plan: Option<InjectionPlan>, seed: u64) -> RunTrace {
+        let ids = (self.l_store, self.tp_store_timeout, self.fn_store);
+        csnake::targets::common::run_world(
+            &self.registry,
+            plan,
+            seed,
+            VirtualTime::from_secs(600),
+            |agent, sim| {
+                let (gets, cached, invalidate) = match test.0 {
+                    0 => (200, 40, false),
+                    _ => (60, 80, true),
+                };
+                for i in 0..gets {
+                    sim.schedule_at(VirtualTime::from_millis(30) * (i + 1), Ev::Get);
+                }
+                sim.schedule(VirtualTime::from_millis(100), Ev::StoreTick);
+                CacheWorld {
+                    agent,
+                    ids,
+                    invalidate_on_timeout: invalidate,
+                    store_queue: VecDeque::new(),
+                    gets: 0,
+                    cached_fraction: cached,
+                }
+            },
+        )
+    }
+    fn known_bugs(&self) -> Vec<KnownBug> {
+        vec![KnownBug {
+            id: "cache-invalidation-storm",
+            jira: "EXAMPLE-1",
+            summary: "store timeouts invalidate cache entries whose misses re-load the store",
+            labels: vec!["store_loop", "store_timeout"],
+        }]
+    }
+}
+
+fn main() {
+    let target = CacheStore::new();
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800];
+
+    let detection = detect(&target, &cfg);
+    println!(
+        "edges: {}  cycles: {}",
+        detection.alloc.db.len(),
+        detection.report.cycles.len()
+    );
+    for m in &detection.report.matches {
+        println!("detected {}: {}", m.bug.id, m.composition);
+    }
+    assert!(
+        !detection.report.matches.is_empty(),
+        "the invalidation storm must be found"
+    );
+}

@@ -1,0 +1,50 @@
+//! §8.2.1 in miniature: black-box fuzzing finds none of the seeded
+//! self-sustaining cascading failures that CSnake detects.
+//!
+//! ```sh
+//! cargo run --release --example fuzzing_comparison
+//! ```
+
+use csnake::baselines::{run_blackbox_campaign, BlackboxConfig};
+use csnake::core::{detect, DetectConfig, TargetSystem};
+use csnake::targets::MiniOzone;
+
+fn main() {
+    let target = MiniOzone::new();
+
+    println!("Black-box fuzzing campaign (Blockade-style) on mini-Ozone...");
+    let fuzz = run_blackbox_campaign(&target, &BlackboxConfig::default());
+    println!(
+        "  {} rounds, {} flagged runs, bugs attributed: {}",
+        fuzz.rounds,
+        fuzz.flagged_runs,
+        fuzz.bugs_found.len()
+    );
+
+    println!("\nCSnake campaign on the same system...");
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800, 3200];
+    cfg.alloc.budget_per_fault = 12;
+    let det = detect(&target, &cfg);
+    println!(
+        "  {} experiments, {} edges, {} cycles",
+        det.alloc.experiments_run,
+        det.alloc.db.len(),
+        det.report.cycles.len()
+    );
+    for m in &det.report.matches {
+        println!(
+            "  detected {} [{}] — {}",
+            m.bug.id, m.bug.jira, m.composition
+        );
+    }
+
+    assert!(fuzz.bugs_found.is_empty());
+    assert!(!det.report.matches.is_empty());
+    println!(
+        "\nResult: fuzzer 0 / CSnake {} of {} seeded bugs — matching §8.2.1.",
+        det.report.matches.len(),
+        target.known_bugs().len()
+    );
+}

@@ -1,0 +1,74 @@
+//! The §8.3.2 case study: HDFS 2's bypassed IBR throttling.
+//!
+//! A failed incremental block report is retried at the very next heartbeat,
+//! ignoring the configured report interval. The two causal edges live in
+//! two different workloads:
+//!
+//! * `test_balancer_many_blocks` (unthrottled, high volume): delaying IBR
+//!   processing times out report RPCs — but the report *cadence* does not
+//!   change, so no iteration-count interference is observable there;
+//! * `test_ibr_interval_config` (throttled, 8 blocks): injecting the report
+//!   RPC exception makes the failed report reappear at the next heartbeat —
+//!   a statistically significant increase against the throttled cadence.
+//!
+//! ```sh
+//! cargo run --release --example hdfs_ibr_throttle
+//! ```
+
+use csnake::core::driver::seed_for;
+use csnake::core::stats::welch_one_sided_p;
+use csnake::core::TargetSystem;
+use csnake::inject::{InjectionPlan, TestId};
+use csnake::targets::MiniHdfs2;
+
+fn counts(
+    target: &MiniHdfs2,
+    test: TestId,
+    plan: Option<InjectionPlan>,
+    loop_id: csnake::inject::FaultId,
+) -> Vec<f64> {
+    (0..5)
+        .map(|rep| {
+            target
+                .run(test, plan, seed_for(0xCA5E, test, rep))
+                .loop_count(loop_id) as f64
+        })
+        .collect()
+}
+
+fn main() {
+    let target = MiniHdfs2::new();
+    let ids = target.ids();
+    let throttled = TestId(7); // test_ibr_interval_config
+    let unthrottled = TestId(6); // test_balancer_many_blocks
+    let plan = Some(InjectionPlan::throw(ids.tp_ibr_ioe));
+
+    println!("Injecting the IBR RPC exception into both workloads:\n");
+    for (name, test) in [
+        ("throttled (8 blocks, 6s interval)", throttled),
+        ("unthrottled (volume test)", unthrottled),
+    ] {
+        let prof = counts(&target, test, None, ids.l_ibr_send);
+        let inj = counts(&target, test, plan, ids.l_ibr_send);
+        let p = welch_one_sided_p(&prof, &inj);
+        println!("  {name}:");
+        println!("    profile  report-send counts: {prof:?}");
+        println!("    injected report-send counts: {inj:?}");
+        println!(
+            "    one-sided Welch p = {p:.4} → {}",
+            if p < 0.1 {
+                "S+ interference (throttle bypass visible)"
+            } else {
+                "no interference (reports already sent at every heartbeat)"
+            }
+        );
+        println!();
+    }
+
+    println!(
+        "The paper's observation reproduced: the retry-storm back-edge is\n\
+         only observable in the throttled workload, while the forward edge\n\
+         (processing delay → RPC exception) needs the high-volume one —\n\
+         causal stitching links them into the cycle."
+    );
+}

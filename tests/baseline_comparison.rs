@@ -1,0 +1,64 @@
+//! Baseline comparisons (§8.2, §8.2.1) as integration tests.
+
+use csnake::baselines::{run_blackbox_campaign, run_naive_strategy, BlackboxConfig, NaiveConfig};
+use csnake::core::{detect, DetectConfig, TargetSystem};
+use csnake::targets::{MiniFlink, MiniOzone, ToySystem};
+
+#[test]
+fn blackbox_fuzzer_finds_no_seeded_cycles() {
+    // §8.2.1: Jepsen/Blockade-style campaigns on Flink and Ozone find none
+    // of the seeded self-sustaining cascading failures.
+    for target in [
+        Box::new(MiniFlink::new()) as Box<dyn TargetSystem>,
+        Box::new(MiniOzone::new()),
+    ] {
+        let report = run_blackbox_campaign(
+            target.as_ref(),
+            &BlackboxConfig {
+                rounds: 30,
+                seed: 99,
+            },
+        );
+        assert!(
+            report.bugs_found.is_empty(),
+            "{}: {:?}",
+            target.name(),
+            report.bugs_found
+        );
+    }
+}
+
+#[test]
+fn csnake_beats_naive_strategy_on_ozone() {
+    // The heartbeat-pipeline bug's conditions are co-located in one test in
+    // our mini-Ozone (the Alt.? = yes row); report-queue and replication
+    // need stitching across workloads.
+    let target = MiniOzone::new();
+    let naive = run_naive_strategy(&target, &NaiveConfig::default());
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800, 3200];
+    cfg.alloc.budget_per_fault = 12;
+    let det = detect(&target, &cfg);
+    assert!(
+        det.report.matches.len() > naive.alt_detected.len(),
+        "csnake {} vs naive {:?}",
+        det.report.matches.len(),
+        naive.alt_detected
+    );
+}
+
+#[test]
+fn naive_strategy_reports_are_consistent() {
+    let target = ToySystem::new();
+    let report = run_naive_strategy(&target, &NaiveConfig::default());
+    // Every finding references a real fault point and a real test.
+    let reg = target.registry();
+    let tests = target.tests();
+    for f in &report.findings {
+        assert!((f.fault.0 as usize) < reg.points().len());
+        assert!((f.test.0 as usize) < tests.len());
+        assert_eq!(reg.point(f.fault).label, f.label);
+    }
+    assert!(report.runs > 0);
+}

@@ -1,0 +1,190 @@
+//! Property-based tests on the core pipeline invariants.
+
+use std::collections::BTreeSet;
+
+use csnake::core::beam::{beam_search, BeamConfig};
+use csnake::core::cluster::hierarchical_cluster;
+use csnake::core::edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
+use csnake::core::idf::{cosine_distance, IdfVectorizer};
+use csnake::core::stats::{t_sf, welch_one_sided_p};
+use csnake::inject::{fnv1a, FaultId, FnId, Occurrence, TestId};
+use proptest::prelude::*;
+
+fn doc_strategy() -> impl Strategy<Value = BTreeSet<FaultId>> {
+    proptest::collection::btree_set((0u32..40).prop_map(FaultId), 0..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn idf_vectors_are_unit_or_zero(docs in proptest::collection::vec(doc_strategy(), 1..30)) {
+        let m = IdfVectorizer::fit(&docs);
+        for d in &docs {
+            let v = m.vectorize(d);
+            let norm = v.norm();
+            prop_assert!(v.is_zero() || (norm - 1.0).abs() < 1e-9, "norm = {norm}");
+        }
+    }
+
+    #[test]
+    fn cosine_distance_is_bounded_and_symmetric(
+        docs in proptest::collection::vec(doc_strategy(), 2..20)
+    ) {
+        let m = IdfVectorizer::fit(&docs);
+        let vs: Vec<_> = docs.iter().map(|d| m.vectorize(d)).collect();
+        for a in &vs {
+            for b in &vs {
+                let d1 = cosine_distance(a, b);
+                let d2 = cosine_distance(b, a);
+                prop_assert!((0.0..=1.0).contains(&d1), "{d1}");
+                prop_assert!((d1 - d2).abs() < 1e-12);
+            }
+            prop_assert!(cosine_distance(a, a) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clustering_is_a_partition(
+        docs in proptest::collection::vec(doc_strategy(), 1..40),
+        threshold in 0.0f64..1.0
+    ) {
+        let m = IdfVectorizer::fit(&docs);
+        let vs: Vec<_> = docs.iter().map(|d| m.vectorize(d)).collect();
+        let c = hierarchical_cluster(&vs, threshold);
+        prop_assert_eq!(c.assignment.len(), docs.len());
+        prop_assert!(c.n_clusters >= 1);
+        prop_assert!(c.n_clusters <= docs.len());
+        for &a in &c.assignment {
+            prop_assert!(a < c.n_clusters);
+        }
+        // Every cluster id is used.
+        let used: BTreeSet<usize> = c.assignment.iter().copied().collect();
+        prop_assert_eq!(used.len(), c.n_clusters);
+    }
+
+    #[test]
+    fn welch_p_is_a_probability(
+        a in proptest::collection::vec(0.0f64..1e6, 2..8),
+        b in proptest::collection::vec(0.0f64..1e6, 2..8)
+    ) {
+        let p = welch_one_sided_p(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&p), "{p}");
+        // Complementarity with swapped samples (up to the point mass at
+        // equal means).
+        let q = welch_one_sided_p(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn t_sf_is_monotone_decreasing(df in 1.0f64..100.0) {
+        let mut last = 1.0;
+        for i in 0..20 {
+            let t = i as f64 * 0.5;
+            let s = t_sf(t, df);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!(s <= last + 1e-12);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn fnv1a_distinguishes_inputs(xs in proptest::collection::vec(0u64..1000, 0..20),
+                                  ys in proptest::collection::vec(0u64..1000, 0..20)) {
+        let hx = fnv1a(xs.clone());
+        let hy = fnv1a(ys.clone());
+        if xs == ys {
+            prop_assert_eq!(hx, hy);
+        }
+        prop_assert_eq!(hx, fnv1a(xs));
+        prop_assert_eq!(hy, fnv1a(ys));
+    }
+}
+
+/// Random small causal graphs: every reported cycle must be genuinely
+/// connected, closed, and within the configured bounds.
+fn edge_strategy() -> impl Strategy<Value = (u32, u32, u32, u32)> {
+    // (cause, effect, cause_state_tag, effect_state_tag)
+    (0u32..8, 0u32..8, 0u32..3, 0u32..3)
+}
+
+fn mk_edge(cause: u32, effect: u32, cs: u32, es: u32) -> CausalEdge {
+    let state = |fault: u32, tag: u32| {
+        CompatState::Occurrences(vec![Occurrence::new(
+            [Some(FnId(fault * 4 + tag)), None],
+            vec![],
+        )])
+    };
+    CausalEdge {
+        cause: FaultId(cause),
+        effect: FaultId(effect),
+        kind: EdgeKind::EI,
+        test: TestId(0),
+        phase: 1,
+        cause_state: state(cause, cs),
+        effect_state: state(effect, es),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn beam_cycles_are_closed_and_bounded(
+        raw in proptest::collection::vec(edge_strategy(), 1..40),
+        max_len in 2usize..5
+    ) {
+        let edges: Vec<CausalEdge> =
+            raw.iter().map(|&(c, e, cs, es)| mk_edge(c, e, cs, es)).collect();
+        let db = CausalDb::from_edges(edges);
+        let cfg = BeamConfig {
+            beam_size: 10_000,
+            max_len,
+            ..BeamConfig::default()
+        };
+        let cycles = beam_search(&db, &|_| 0.5, &cfg);
+        for cycle in &cycles {
+            prop_assert!(cycle.edges.len() <= max_len);
+            // Connectivity: each edge's effect is the next edge's cause.
+            for w in cycle.edges.windows(2) {
+                prop_assert_eq!(db.edge(w[0]).effect, db.edge(w[1]).cause);
+            }
+            // Closure: the last edge's effect is the first edge's cause.
+            let first = db.edge(cycle.edges[0]);
+            let last = db.edge(*cycle.edges.last().unwrap());
+            prop_assert_eq!(last.effect, first.cause);
+            // Scores are valid.
+            prop_assert!(cycle.score.is_finite());
+        }
+    }
+
+    #[test]
+    fn delay_cap_never_increases_cycle_count(
+        raw in proptest::collection::vec(edge_strategy(), 1..30)
+    ) {
+        // Make a mix of delay-cause and exception-cause edges.
+        let edges: Vec<CausalEdge> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, e, cs, es))| {
+                let mut edge = mk_edge(c, e, cs, es);
+                if i % 2 == 0 {
+                    edge.kind = EdgeKind::ED;
+                }
+                edge
+            })
+            .collect();
+        let db = CausalDb::from_edges(edges);
+        let unlimited = beam_search(&db, &|_| 0.5, &BeamConfig::default()).len();
+        let capped = beam_search(
+            &db,
+            &|_| 0.5,
+            &BeamConfig {
+                max_delay_injections: Some(1),
+                ..BeamConfig::default()
+            },
+        )
+        .len();
+        prop_assert!(capped <= unlimited, "capped {capped} > unlimited {unlimited}");
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end detection smoke tests on the smaller paper targets.
+//!
+//! The full five-system campaign lives in the `table3` bench binary; here
+//! the fast targets run in CI-sized time and assert that their seeded bugs
+//! are detected by causal stitching.
+
+use csnake::core::{detect, DetectConfig, TargetSystem};
+use csnake::targets::{MiniFlink, MiniHBase, MiniOzone};
+
+fn cfg() -> DetectConfig {
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800, 3200];
+    cfg.alloc.budget_per_fault = 12;
+    cfg
+}
+
+#[test]
+fn hbase_detects_both_seeded_bugs() {
+    let target = MiniHBase::new();
+    let d = detect(&target, &cfg());
+    let found: Vec<&str> = d.report.matches.iter().map(|m| m.bug.id).collect();
+    assert!(
+        found.contains(&"hbase-wal-replay"),
+        "undetected: {:?}",
+        d.report.undetected
+    );
+    assert!(
+        found.contains(&"hbase-region-retry"),
+        "undetected: {:?}",
+        d.report.undetected
+    );
+    // The WAL cycle is 1 delay + 1 negation, as in Table 3.
+    let wal = d
+        .report
+        .matches
+        .iter()
+        .find(|m| m.bug.id == "hbase-wal-replay")
+        .unwrap();
+    assert_eq!(wal.composition.delays, 1);
+    assert_eq!(wal.composition.negations, 1);
+    assert_eq!(wal.composition.exceptions, 0);
+}
+
+#[test]
+fn flink_detects_both_seeded_bugs() {
+    let target = MiniFlink::new();
+    let d = detect(&target, &cfg());
+    let found: Vec<&str> = d.report.matches.iter().map(|m| m.bug.id).collect();
+    assert!(
+        found.contains(&"flink-task-worker"),
+        "undetected: {:?}",
+        d.report.undetected
+    );
+    assert!(
+        found.contains(&"flink-aggregation"),
+        "undetected: {:?}",
+        d.report.undetected
+    );
+    for m in &d.report.matches {
+        // Both Flink rows are 1D | 2E | 0N in Table 3.
+        assert_eq!(m.composition.delays, 1, "{}", m.bug.id);
+        assert_eq!(m.composition.exceptions, 2, "{}", m.bug.id);
+        assert_eq!(m.composition.negations, 0, "{}", m.bug.id);
+    }
+}
+
+#[test]
+fn ozone_detects_all_three_seeded_bugs() {
+    let target = MiniOzone::new();
+    let d = detect(&target, &cfg());
+    let found: Vec<&str> = d.report.matches.iter().map(|m| m.bug.id).collect();
+    for bug in [
+        "ozone-report-queue",
+        "ozone-heartbeat-pipeline",
+        "ozone-replication-cmd",
+    ] {
+        assert!(
+            found.contains(&bug),
+            "missing {bug}; undetected: {:?}",
+            d.report.undetected
+        );
+    }
+}
+
+#[test]
+fn detection_is_reproducible_for_a_fixed_seed() {
+    let target = MiniOzone::new();
+    let a = detect(&target, &cfg());
+    let b = detect(&target, &cfg());
+    assert_eq!(a.alloc.experiments_run, b.alloc.experiments_run);
+    assert_eq!(a.alloc.db.len(), b.alloc.db.len());
+    assert_eq!(a.report.cycles.len(), b.report.cycles.len());
+    let ids_a: Vec<&str> = a.report.matches.iter().map(|m| m.bug.id).collect();
+    let ids_b: Vec<&str> = b.report.matches.iter().map(|m| m.bug.id).collect();
+    assert_eq!(ids_a, ids_b);
+}
+
+#[test]
+fn budget_accounting_matches_protocol() {
+    let target = MiniOzone::new();
+    let d = detect(&target, &cfg());
+    let budget = 12 * d.analysis.injectable.len();
+    assert_eq!(d.alloc.budget, budget);
+    assert!(d.alloc.experiments_run <= budget);
+    // Every experiment belongs to an injectable fault.
+    for o in &d.alloc.outcomes {
+        assert!(d.analysis.injectable.contains(&o.fault));
+    }
+}

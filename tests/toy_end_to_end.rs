@@ -1,0 +1,70 @@
+//! End-to-end pipeline test on the toy target: the full CSnake pipeline must
+//! discover the seeded retry-storm cycle by stitching edges from two
+//! different workloads.
+
+use csnake::core::{detect, ClusterVerdict, DetectConfig, EdgeKind, TargetSystem};
+use csnake::targets::ToySystem;
+
+fn fast_config() -> DetectConfig {
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800];
+    cfg
+}
+
+#[test]
+fn toy_cycle_is_detected_end_to_end() {
+    let target = ToySystem::new();
+    let detection = detect(&target, &fast_config());
+
+    // The static analyzer must keep the three real points and filter the
+    // decoys (const warmup loop, JDK-utility boolean).
+    assert_eq!(detection.analysis.stats.active_loops, 1);
+    assert_eq!(detection.analysis.stats.active_exceptions, 1);
+    assert_eq!(detection.analysis.stats.active_negations, 1);
+
+    // The two causal edges must be discovered...
+    let db = &detection.alloc.db;
+    let kinds: Vec<EdgeKind> = db.edges().iter().map(|e| e.kind).collect();
+    assert!(
+        kinds.contains(&EdgeKind::ED),
+        "delay → job_ioe missing: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&EdgeKind::SI),
+        "job_ioe → work-loop S+ missing: {kinds:?}"
+    );
+
+    // ... and stitched into the seeded cycle.
+    assert!(
+        !detection.report.cycles.is_empty(),
+        "no cycles reported; edges: {:?}",
+        db.edges()
+            .iter()
+            .map(|e| e.describe(&target.registry()))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        detection.report.matches.len(),
+        1,
+        "the toy retry-storm bug must be matched; undetected: {:?}",
+        detection.report.undetected
+    );
+    let m = &detection.report.matches[0];
+    assert_eq!(m.bug.id, "toy-retry-storm");
+    assert_eq!(m.composition.delays, 1);
+    assert_eq!(m.composition.exceptions, 1);
+    assert_eq!(m.composition.negations, 0);
+
+    // The matching cluster is a true positive.
+    assert!(detection
+        .report
+        .verdicts
+        .iter()
+        .any(|v| *v == ClusterVerdict::TruePositive));
+
+    // Budget accounting: 3 injectable faults → budget 12, and the toy has
+    // 3×3 = 9 (fault, test) combinations, so at most 9 experiments run.
+    assert_eq!(detection.alloc.budget, 12);
+    assert!(detection.alloc.experiments_run <= 9);
+}
