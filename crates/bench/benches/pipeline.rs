@@ -4,51 +4,59 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeSet;
 
-use csnake_core::beam::{beam_search, BeamConfig};
+use csnake_bench::synthetic_db;
+use csnake_core::beam::{beam_search, beam_search_reference, BeamConfig};
 use csnake_core::cluster::hierarchical_cluster;
-use csnake_core::edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
 use csnake_core::idf::IdfVectorizer;
 use csnake_core::stats::welch_one_sided_p;
-use csnake_core::TargetSystem;
-use csnake_inject::{FaultId, Occurrence, TestId};
+use csnake_core::{StitchIndex, TargetSystem};
+use csnake_inject::{FaultId, TestId};
 use csnake_targets::{MiniHdfs2, ToySystem};
 
-fn synthetic_db(n_faults: u32, fanout: u32) -> CausalDb {
-    let state = |tag: u32| {
-        CompatState::Occurrences(vec![Occurrence::new(
-            [Some(csnake_inject::FnId(tag)), None],
-            vec![],
-        )])
-    };
-    let mut edges = Vec::new();
-    for c in 0..n_faults {
-        for k in 0..fanout {
-            let e = (c + k + 1) % n_faults;
-            edges.push(CausalEdge {
-                cause: FaultId(c),
-                effect: FaultId(e),
-                kind: EdgeKind::EI,
-                test: TestId(k),
-                phase: 1,
-                cause_state: state(c),
-                effect_state: state(e),
-            });
-        }
+fn beam_cfg() -> BeamConfig {
+    BeamConfig {
+        beam_size: 10_000,
+        max_len: 4,
+        ..BeamConfig::default()
     }
-    CausalDb::from_edges(edges)
 }
 
 fn bench_beam(c: &mut Criterion) {
     let mut g = c.benchmark_group("beam_search");
-    for &n in &[20u32, 60, 120] {
-        let db = synthetic_db(n, 3);
+    // All-occurrence ring graphs (the historical sizes), then a large mixed
+    // loop/occurrence case (n ≥ 500, fanout ≥ 6) the old implementation
+    // could not survive.
+    for &(n, fanout, loop_share) in &[(20u32, 3u32, 0.0), (60, 3, 0.0), (120, 3, 0.0)] {
+        let db = synthetic_db(n, fanout, loop_share);
         g.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
-            let cfg = BeamConfig {
-                beam_size: 10_000,
-                max_len: 4,
-                ..BeamConfig::default()
-            };
+            let cfg = beam_cfg();
             b.iter(|| beam_search(db, &|_| 0.5, &cfg).len());
+        });
+    }
+    let large = synthetic_db(500, 6, 0.3);
+    g.bench_with_input(BenchmarkId::from_parameter(500), &large, |b, db| {
+        let cfg = beam_cfg();
+        b.iter(|| beam_search(db, &|_| 0.5, &cfg).len());
+    });
+    g.finish();
+
+    // The retained reference implementation at the historical largest size:
+    // the beam_search/120 ÷ beam_search_reference/120 ratio is the
+    // headline speedup of the stitch-index rewrite.
+    let mut g = c.benchmark_group("beam_search_reference");
+    let db = synthetic_db(120, 3, 0.0);
+    g.bench_with_input(BenchmarkId::from_parameter(120), &db, |b, db| {
+        let cfg = beam_cfg();
+        b.iter(|| beam_search_reference(db, &|_| 0.5, &cfg).len());
+    });
+    g.finish();
+
+    // Index compilation alone (amortised across searches in real use).
+    let mut g = c.benchmark_group("stitch_index_build");
+    for &(n, fanout, loop_share) in &[(120u32, 3u32, 0.0), (500, 6, 0.3)] {
+        let db = synthetic_db(n, fanout, loop_share);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| StitchIndex::build(db, 4).len());
         });
     }
     g.finish();

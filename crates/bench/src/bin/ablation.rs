@@ -65,7 +65,10 @@ fn main() {
     println!("Ablation of the local compatibility check (mini-HDFS2)");
     println!("| variant | cycles | clusters | TP clusters |");
     println!("|---|---|---|---|");
-    for (name, check) in [("with §6.2 check", true), ("identity-only stitching", false)] {
+    for (name, check) in [
+        ("with §6.2 check", true),
+        ("identity-only stitching", false),
+    ] {
         let cfg = BeamConfig {
             compatibility_check: check,
             ..BeamConfig::default()

@@ -1,0 +1,165 @@
+//! Beam-search performance trajectory: writes `BENCH_beam.json` at the
+//! repository root with median wall-times per pipeline stage (database
+//! dedup/push, stitch-index build, indexed search, reference search where
+//! affordable), so successive PRs can track the hot path.
+//!
+//! Run with `cargo run --release -p csnake-bench --bin beam_perf`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use csnake_bench::synthetic_db;
+use csnake_core::beam::{beam_search_reference, BeamConfig};
+use csnake_core::{CausalDb, StitchIndex};
+
+const SAMPLES: usize = 15;
+
+/// Median of per-call wall-times over `SAMPLES` runs, in nanoseconds.
+fn median_ns<R>(mut f: impl FnMut() -> R) -> u128 {
+    let mut times: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+struct Case {
+    n_faults: u32,
+    fanout: u32,
+    loop_share: f64,
+    with_reference: bool,
+}
+
+fn beam_cfg() -> BeamConfig {
+    BeamConfig {
+        beam_size: 10_000,
+        max_len: 4,
+        ..BeamConfig::default()
+    }
+}
+
+fn main() {
+    let cases = [
+        Case {
+            n_faults: 120,
+            fanout: 3,
+            loop_share: 0.0,
+            with_reference: true,
+        },
+        Case {
+            n_faults: 500,
+            fanout: 6,
+            loop_share: 0.3,
+            with_reference: false,
+        },
+        Case {
+            n_faults: 1000,
+            fanout: 6,
+            loop_share: 0.3,
+            with_reference: false,
+        },
+    ];
+
+    let cfg = beam_cfg();
+    let mut body = String::new();
+    writeln!(body, "{{").unwrap();
+    writeln!(body, "  \"generated_by\": \"beam_perf\",").unwrap();
+    writeln!(body, "  \"samples_per_stage\": {SAMPLES},").unwrap();
+    writeln!(
+        body,
+        "  \"beam_config\": {{\"beam_size\": {}, \"max_len\": {}, \"threads\": {}}},",
+        cfg.beam_size, cfg.max_len, cfg.threads
+    )
+    .unwrap();
+    writeln!(body, "  \"cases\": [").unwrap();
+
+    for (i, case) in cases.iter().enumerate() {
+        let db = synthetic_db(case.n_faults, case.fanout, case.loop_share);
+        eprintln!(
+            "case n={} fanout={} loop_share={} ({} edges)",
+            case.n_faults,
+            case.fanout,
+            case.loop_share,
+            db.len()
+        );
+
+        // Stage 1: database construction (hash-set dedup + per-cause
+        // index). Inputs are cloned outside the timed region so the metric
+        // tracks CausalDb::push, not CompatState deep copies.
+        let mut inputs: Vec<Vec<_>> = (0..SAMPLES).map(|_| db.edges().to_vec()).collect();
+        let dedup_ns = median_ns(|| CausalDb::from_edges(inputs.pop().unwrap_or_default()).len());
+
+        // Stage 2: stitch-index compilation (state interning + CSR tables).
+        let index_ns = median_ns(|| StitchIndex::build(&db, cfg.threads).len());
+
+        // Stage 3: the indexed beam search on a prebuilt index.
+        let index = StitchIndex::build(&db, cfg.threads);
+        let search_ns = median_ns(|| index.search(&|_| 0.5, &cfg).len());
+        let cycles = index.search(&|_| 0.5, &cfg).len();
+
+        // Reference implementation, where it finishes in sensible time.
+        let reference_ns = case
+            .with_reference
+            .then(|| median_ns(|| beam_search_reference(&db, &|_| 0.5, &cfg).len()));
+
+        writeln!(body, "    {{").unwrap();
+        writeln!(body, "      \"n_faults\": {},", case.n_faults).unwrap();
+        writeln!(body, "      \"fanout\": {},", case.fanout).unwrap();
+        writeln!(body, "      \"loop_share\": {},", case.loop_share).unwrap();
+        writeln!(body, "      \"edges\": {},", db.len()).unwrap();
+        writeln!(body, "      \"cycles_found\": {cycles},").unwrap();
+        writeln!(body, "      \"stages_ns\": {{").unwrap();
+        writeln!(body, "        \"db_push_dedup\": {dedup_ns},").unwrap();
+        writeln!(body, "        \"index_build\": {index_ns},").unwrap();
+        match reference_ns {
+            Some(r) => {
+                writeln!(body, "        \"search\": {search_ns},").unwrap();
+                writeln!(body, "        \"reference_search\": {r}").unwrap();
+            }
+            None => writeln!(body, "        \"search\": {search_ns}").unwrap(),
+        }
+        writeln!(body, "      }},").unwrap();
+        let total = index_ns + search_ns;
+        match reference_ns {
+            Some(r) => {
+                let speedup = r as f64 / total.max(1) as f64;
+                writeln!(
+                    body,
+                    "      \"speedup_vs_reference_incl_build\": {speedup:.2}"
+                )
+                .unwrap();
+                eprintln!(
+                    "  index {:.2} ms + search {:.2} ms vs reference {:.2} ms → {:.1}×",
+                    index_ns as f64 / 1e6,
+                    search_ns as f64 / 1e6,
+                    r as f64 / 1e6,
+                    speedup
+                );
+            }
+            None => {
+                writeln!(body, "      \"speedup_vs_reference_incl_build\": null").unwrap();
+                eprintln!(
+                    "  index {:.2} ms + search {:.2} ms",
+                    index_ns as f64 / 1e6,
+                    search_ns as f64 / 1e6
+                );
+            }
+        }
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        writeln!(body, "    }}{comma}").unwrap();
+    }
+    writeln!(body, "  ]").unwrap();
+    writeln!(body, "}}").unwrap();
+
+    // crates/bench → workspace root.
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_beam.json");
+    std::fs::write(&out, body).expect("write BENCH_beam.json");
+    eprintln!("wrote {}", out.display());
+}

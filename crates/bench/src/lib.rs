@@ -135,3 +135,58 @@ fn detection_target(_d: &Detection) -> &'static dyn TargetSystem {
 pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
 }
+
+/// Synthetic causal-database generator shared by the criterion benchmarks
+/// and the `beam_perf` trajectory binary.
+///
+/// Produces `n_faults · fanout` edges on a ring (`c → c+k+1 mod n`).
+/// `loop_share` ∈ [0, 1] makes that share of faults loop-shaped (delay
+/// edges with `LoopState` compatibility states, exercising the merge over
+/// stacks + iteration signatures); the rest are occurrence-shaped.
+pub fn synthetic_db(n_faults: u32, fanout: u32, loop_share: f64) -> csnake_core::CausalDb {
+    use csnake_core::{CausalEdge, CompatState, EdgeKind};
+    use csnake_inject::{FaultId, FnId, LoopState, Occurrence, TestId};
+
+    let loop_cut = (loop_share.clamp(0.0, 1.0) * 10.0) as u32;
+    let is_loop = |f: u32| f % 10 < loop_cut;
+    // One compatibility state per fault (as in the original bench DB):
+    // every edge meeting at a fault stitches, which maximises the search
+    // space for a given edge count.
+    let occ_state =
+        |f: u32| CompatState::Occurrences(vec![Occurrence::new([Some(FnId(f)), None], vec![])]);
+    let loop_state = |f: u32| {
+        let mut st = LoopState::default();
+        st.entry_stacks.insert([Some(FnId(f)), None]);
+        st.iter_sigs.insert(f as u64 * 10);
+        CompatState::Loop(st)
+    };
+    let state = |f: u32| {
+        if is_loop(f) {
+            loop_state(f)
+        } else {
+            occ_state(f)
+        }
+    };
+    let mut edges = Vec::new();
+    for c in 0..n_faults {
+        for k in 0..fanout {
+            let e = (c + k + 1) % n_faults;
+            let kind = match (is_loop(c), is_loop(e)) {
+                (true, true) => EdgeKind::Icfg,
+                (true, false) => EdgeKind::ED,
+                (false, true) => EdgeKind::SI,
+                (false, false) => EdgeKind::EI,
+            };
+            edges.push(CausalEdge {
+                cause: FaultId(c),
+                effect: FaultId(e),
+                kind,
+                test: TestId(k),
+                phase: 1,
+                cause_state: state(c),
+                effect_state: state(e),
+            });
+        }
+    }
+    csnake_core::CausalDb::from_edges(edges)
+}

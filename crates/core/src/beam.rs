@@ -8,6 +8,13 @@
 //! faults — *lower* is better, favouring chains built from faults with
 //! conditional (diverse) causal consequences. A chain that cycles back to its
 //! first edge is reported as a potential self-sustaining cascading failure.
+//!
+//! [`beam_search`] runs on the prepared [`StitchIndex`](crate::stitch) —
+//! all pairwise compatibility work is hoisted out of the search loop into a
+//! precomputed successor table, chains live in a parent-pointer arena, and
+//! the beam cut is an O(n) selection. [`beam_search_reference`] retains the
+//! straightforward clone-per-extension implementation as the executable
+//! specification; `tests/beam_equivalence.rs` checks the two agree exactly.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -16,6 +23,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::compat::compatible;
 use crate::edge::{CausalDb, CausalEdge};
+use crate::stitch::StitchIndex;
 
 /// Beam-search knobs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -80,6 +88,70 @@ impl Cycle {
     }
 }
 
+/// A finished chain before structural cycle deduplication.
+#[derive(Debug, Clone)]
+pub(crate) struct RawChain {
+    /// Edge indices in propagation order.
+    pub edges: Vec<usize>,
+    /// Sum of edge SimScores (score = sum / len).
+    pub score_sum: f64,
+}
+
+/// Deduplicates cycles structurally (same relationship multiset = same
+/// cycle, regardless of rotation or which test each edge came from) and
+/// sorts by ascending score, then length. `triple_of` maps an edge index to
+/// its structural `(cause, effect, kind)` triple.
+pub(crate) fn finalize_cycles(
+    raw: Vec<RawChain>,
+    triple_of: impl Fn(usize) -> (FaultId, FaultId, u8),
+) -> Vec<Cycle> {
+    let mut seen: BTreeSet<Vec<(FaultId, FaultId, u8)>> = BTreeSet::new();
+    let mut out: Vec<Cycle> = Vec::new();
+    for c in raw {
+        let mut key: Vec<(FaultId, FaultId, u8)> = c.edges.iter().map(|&i| triple_of(i)).collect();
+        key.sort_unstable();
+        if seen.insert(key) {
+            out.push(Cycle {
+                score: c.score_sum / c.edges.len() as f64,
+                edges: c.edges,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        a.score
+            .total_cmp(&b.score)
+            .then(a.edges.len().cmp(&b.edges.len()))
+    });
+    out
+}
+
+/// The `match` predicate of Algorithm 1: edge2 continues edge1 if its cause
+/// is edge1's interference *and* their local states are compatible.
+pub fn edges_match(e1: &CausalEdge, e2: &CausalEdge) -> bool {
+    e1.effect == e2.cause && compatible(&e1.effect_state, &e2.cause_state)
+}
+
+/// Runs the beam search over all discovered causal relationships.
+///
+/// `sim_of` maps a fault to the SimScore of its cluster (§5.2); it drives
+/// both the beam ranking and the final cycle scores. Returned cycles are
+/// deduplicated up to rotation and sorted by ascending score.
+///
+/// Compiles a [`StitchIndex`] from the database and searches on it; to run
+/// several searches (e.g. ablation sweeps) over one database, build the
+/// index once and call [`StitchIndex::search`] directly.
+pub fn beam_search(
+    db: &CausalDb,
+    sim_of: &(dyn Fn(FaultId) -> f64 + Sync),
+    cfg: &BeamConfig,
+) -> Vec<Cycle> {
+    StitchIndex::build(db, cfg.threads).search(sim_of, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation (the executable specification)
+// ---------------------------------------------------------------------------
+
 #[derive(Clone)]
 struct Chain {
     edges: Vec<usize>,
@@ -91,12 +163,6 @@ impl Chain {
     fn score(&self) -> f64 {
         self.score_sum / self.edges.len() as f64
     }
-}
-
-/// The `match` predicate of Algorithm 1: edge2 continues edge1 if its cause
-/// is edge1's interference *and* their local states are compatible.
-pub fn edges_match(e1: &CausalEdge, e2: &CausalEdge) -> bool {
-    e1.effect == e2.cause && compatible(&e1.effect_state, &e2.cause_state)
 }
 
 fn matches_under(cfg: &BeamConfig, e1: &CausalEdge, e2: &CausalEdge) -> bool {
@@ -161,12 +227,14 @@ fn expand(
     }
 }
 
-/// Runs the beam search over all discovered causal relationships.
+/// The retained straightforward beam search: clone-per-extension chains,
+/// per-candidate compatibility checks, full frontier sort.
 ///
-/// `sim_of` maps a fault to the SimScore of its cluster (§5.2); it drives
-/// both the beam ranking and the final cycle scores. Returned cycles are
-/// deduplicated up to rotation and sorted by ascending score.
-pub fn beam_search(
+/// This is the executable specification the optimised
+/// [`beam_search`] / [`StitchIndex::search`] path is tested against
+/// (`tests/beam_equivalence.rs`); it is O(n log n) sorting plus O(s²)
+/// state scans per level and should not be used on large databases.
+pub fn beam_search_reference(
     db: &CausalDb,
     sim_of: &(dyn Fn(FaultId) -> f64 + Sync),
     cfg: &BeamConfig,
@@ -240,33 +308,19 @@ pub fn beam_search(
         queue = next;
     }
 
-    // Deduplicate cycles structurally: same relationship multiset = same
-    // cycle, regardless of rotation or which test each edge came from.
-    let mut seen: BTreeSet<Vec<(FaultId, FaultId, u8)>> = BTreeSet::new();
-    let mut out: Vec<Cycle> = Vec::new();
-    for c in cycles {
-        let mut key: Vec<(FaultId, FaultId, u8)> = c
-            .edges
-            .iter()
-            .map(|&i| {
-                let e = db.edge(i);
-                (e.cause, e.effect, e.kind as u8)
-            })
-            .collect();
-        key.sort_unstable();
-        if seen.insert(key) {
-            out.push(Cycle {
-                score: c.score(),
+    finalize_cycles(
+        cycles
+            .into_iter()
+            .map(|c| RawChain {
+                score_sum: c.score_sum,
                 edges: c.edges,
-            });
-        }
-    }
-    out.sort_by(|a, b| {
-        a.score
-            .total_cmp(&b.score)
-            .then(a.edges.len().cmp(&b.edges.len()))
-    });
-    out
+            })
+            .collect(),
+        |i| {
+            let e = db.edge(i);
+            (e.cause, e.effect, e.kind as u8)
+        },
+    )
 }
 
 /// A group of reported cycles involving the same fault clusters (§6.3
@@ -333,6 +387,18 @@ mod tests {
         beam_search(db, &uniform, &BeamConfig::default())
     }
 
+    /// Both implementations, asserting they agree on the way out.
+    fn run_both(db: &CausalDb, cfg: &BeamConfig) -> Vec<Cycle> {
+        let fast = beam_search(db, &uniform, cfg);
+        let reference = beam_search_reference(db, &uniform, cfg);
+        assert_eq!(fast.len(), reference.len());
+        for (f, r) in fast.iter().zip(&reference) {
+            assert_eq!(f.edges, r.edges);
+            assert_eq!(f.score.to_bits(), r.score.to_bits());
+        }
+        fast
+    }
+
     #[test]
     fn finds_two_edge_cycle() {
         // f1 → f2 (state of f2: 7) and f2 → f1 (state of f1: 3); the
@@ -341,7 +407,7 @@ mod tests {
             edge(1, 2, EdgeKind::EI, 3, 7),
             edge(2, 1, EdgeKind::EI, 7, 3),
         ]);
-        let cycles = run(&db);
+        let cycles = run_both(&db, &BeamConfig::default());
         assert_eq!(cycles.len(), 1);
         assert_eq!(cycles[0].edges.len(), 2);
     }
@@ -363,7 +429,7 @@ mod tests {
             edge(2, 3, EdgeKind::EI, 2, 3),
             edge(3, 1, EdgeKind::EI, 3, 1),
         ]);
-        let cycles = run(&db);
+        let cycles = run_both(&db, &BeamConfig::default());
         // One cycle, not three rotations.
         assert_eq!(cycles.len(), 1);
         assert_eq!(cycles[0].edges.len(), 3);
@@ -398,7 +464,7 @@ mod tests {
         cfg.max_delay_injections = Some(1);
         assert!(beam_search(&db, &uniform, &cfg).is_empty());
         cfg.max_delay_injections = Some(2);
-        assert_eq!(beam_search(&db, &uniform, &cfg).len(), 1);
+        assert_eq!(run_both(&db, &cfg).len(), 1);
     }
 
     #[test]
@@ -432,9 +498,11 @@ mod tests {
             // parent delay injection → negation (E(D))
             mk(3, 1, EdgeKind::ED, &s_l1, &s_np),
         ]);
-        let mut cfg = BeamConfig::default();
-        cfg.max_delay_injections = Some(1);
-        let cycles = beam_search(&db, &uniform, &cfg);
+        let cfg = BeamConfig {
+            max_delay_injections: Some(1),
+            ..BeamConfig::default()
+        };
+        let cycles = run_both(&db, &cfg);
         assert_eq!(cycles.len(), 1, "ICFG must not count as a delay injection");
         assert_eq!(cycles[0].edges.len(), 3);
     }
@@ -448,9 +516,11 @@ mod tests {
             edges.push(edge(i, 20 + i, EdgeKind::EI, i, 100 + i));
         }
         let db = CausalDb::from_edges(edges);
-        let mut cfg = BeamConfig::default();
-        cfg.beam_size = 3; // heavy pruning must not panic or cycle-spam
-        let cycles = beam_search(&db, &uniform, &cfg);
+        let cfg = BeamConfig {
+            beam_size: 3, // heavy pruning must not panic or cycle-spam
+            ..BeamConfig::default()
+        };
+        let cycles = run_both(&db, &cfg);
         assert!(cycles.is_empty());
     }
 
@@ -490,7 +560,7 @@ mod tests {
             edge(3, 2, EdgeKind::EI, 3, 2),
             edge(2, 3, EdgeKind::EI, 2, 3),
         ]);
-        let cycles = run(&db);
+        let cycles = run_both(&db, &BeamConfig::default());
         assert_eq!(cycles.len(), 3);
         let mut cluster_of = BTreeMap::new();
         cluster_of.insert(FaultId(1), 0);
@@ -511,10 +581,12 @@ mod tests {
             edges.push(edge(i, (i + 1) % 5, EdgeKind::EI, i, (i + 1) % 5));
         }
         let db = CausalDb::from_edges(edges);
-        let mut cfg = BeamConfig::default();
-        cfg.max_len = 3;
+        let mut cfg = BeamConfig {
+            max_len: 3,
+            ..BeamConfig::default()
+        };
         assert!(beam_search(&db, &uniform, &cfg).is_empty());
         cfg.max_len = 8;
-        assert_eq!(beam_search(&db, &uniform, &cfg).len(), 1);
+        assert_eq!(run_both(&db, &cfg).len(), 1);
     }
 }

@@ -14,7 +14,55 @@
 //! check conservatively accepts if *any* iteration signature matches
 //! between the two tests.
 
+use std::cmp::Ordering;
+
+use csnake_inject::Occurrence;
+
 use crate::edge::CompatState;
+
+/// `true` when the slice is sorted by precomputed signature — the invariant
+/// the FCA constructors maintain so intersection runs as a linear merge.
+fn sorted_by_sig(occs: &[Occurrence]) -> bool {
+    occs.windows(2).all(|w| w[0].sig <= w[1].sig)
+}
+
+/// Signature-set intersection test over two occurrence lists.
+///
+/// FCA stores occurrence lists sorted by signature, so the common path is a
+/// linear merge (O(n + m)); hand-built unsorted states (tests, external
+/// callers) fall back to the pairwise scan.
+fn occurrence_sigs_intersect(xs: &[Occurrence], ys: &[Occurrence]) -> bool {
+    if sorted_by_sig(xs) && sorted_by_sig(ys) {
+        let (mut i, mut j) = (0, 0);
+        while i < xs.len() && j < ys.len() {
+            match xs[i].sig.cmp(&ys[j].sig) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => return true,
+            }
+        }
+        false
+    } else {
+        xs.iter().any(|x| ys.iter().any(|y| x.sig == y.sig))
+    }
+}
+
+/// Linear merge intersection test over two sorted iterators (`BTreeSet`
+/// iteration is sorted).
+fn sorted_iters_intersect<T: Ord>(
+    mut a: impl Iterator<Item = T>,
+    mut b: impl Iterator<Item = T>,
+) -> bool {
+    let (mut x, mut y) = (a.next(), b.next());
+    while let (Some(ref xv), Some(ref yv)) = (&x, &y) {
+        match xv.cmp(yv) {
+            Ordering::Less => x = a.next(),
+            Ordering::Greater => y = b.next(),
+            Ordering::Equal => return true,
+        }
+    }
+    false
+}
 
 /// Checks whether two compatibility states of the same fault, observed in
 /// two different tests, are compatible for stitching.
@@ -23,13 +71,13 @@ pub fn compatible(a: &CompatState, b: &CompatState) -> bool {
         (CompatState::Occurrences(xs), CompatState::Occurrences(ys)) => {
             // Any occurrence pair with identical signature (signature covers
             // both the 2-level stack and the local branch trace).
-            xs.iter().any(|x| ys.iter().any(|y| x.sig == y.sig))
+            occurrence_sigs_intersect(xs, ys)
         }
         (CompatState::Loop(x), CompatState::Loop(y)) => {
-            let stacks_meet = x.entry_stacks.iter().any(|s| y.entry_stacks.contains(s));
+            let stacks_meet = sorted_iters_intersect(x.entry_stacks.iter(), y.entry_stacks.iter());
             // "Conservatively checks for matching traces in any loop
             // iteration between tests."
-            let iters_meet = x.iter_sigs.iter().any(|s| y.iter_sigs.contains(s))
+            let iters_meet = sorted_iters_intersect(x.iter_sigs.iter(), y.iter_sigs.iter())
                 || (x.iter_sigs.is_empty() && y.iter_sigs.is_empty());
             stacks_meet && iters_meet
         }
@@ -120,6 +168,47 @@ mod tests {
         let b = loop_state(&[[None, None]], &[]);
         assert!(compatible(&a, &b));
         let c = loop_state(&[[None, None]], &[7]);
+        assert!(!compatible(&a, &c));
+    }
+
+    #[test]
+    fn sorted_and_unsorted_occurrence_lists_agree() {
+        // The same signature sets must be judged identically whether the
+        // lists arrive sorted (FCA invariant → merge path) or not
+        // (fallback path).
+        let mk = |tags: &[u32]| -> Vec<Occurrence> {
+            tags.iter()
+                .map(|&t| occ([Some(FnId(t)), None], &[]))
+                .collect()
+        };
+        let sort = |mut v: Vec<Occurrence>| {
+            v.sort_unstable_by_key(|o| o.sig);
+            v
+        };
+        for (xs, ys, expect) in [
+            (mk(&[3, 1, 2]), mk(&[9, 2, 8]), true),
+            (mk(&[3, 1, 2]), mk(&[9, 7, 8]), false),
+            (mk(&[5]), mk(&[5]), true),
+        ] {
+            let unsorted = compatible(
+                &CompatState::Occurrences(xs.clone()),
+                &CompatState::Occurrences(ys.clone()),
+            );
+            let sorted = compatible(
+                &CompatState::Occurrences(sort(xs)),
+                &CompatState::Occurrences(sort(ys)),
+            );
+            assert_eq!(unsorted, expect);
+            assert_eq!(sorted, expect);
+        }
+    }
+
+    #[test]
+    fn merge_intersection_handles_disjoint_and_overlapping_loops() {
+        let a = loop_state(&[[Some(FnId(1)), None], [Some(FnId(3)), None]], &[1, 5, 9]);
+        let b = loop_state(&[[Some(FnId(2)), None], [Some(FnId(3)), None]], &[2, 5]);
+        assert!(compatible(&a, &b));
+        let c = loop_state(&[[Some(FnId(9)), None]], &[5]);
         assert!(!compatible(&a, &c));
     }
 

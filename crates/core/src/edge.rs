@@ -1,6 +1,6 @@
 //! Causal edges between faults and the database the beam search runs over.
 
-use std::collections::BTreeMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use csnake_inject::{FaultId, LoopState, Occurrence, Registry, TestId};
@@ -117,7 +117,13 @@ impl CausalEdge {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CausalDb {
     edges: Vec<CausalEdge>,
-    by_cause: BTreeMap<FaultId, Vec<usize>>,
+    // The two index fields are derived from `edges`; skip them in
+    // serialization (hash iteration order is nondeterministic) and rebuild
+    // via `from_edges` when loading a persisted database.
+    #[serde(skip)]
+    by_cause: HashMap<FaultId, Vec<usize>>,
+    #[serde(skip)]
+    dedup: HashSet<(FaultId, FaultId, EdgeKind, TestId)>,
 }
 
 impl CausalDb {
@@ -131,15 +137,11 @@ impl CausalDb {
     }
 
     /// Appends an edge, deduplicating exact `(cause, effect, kind, test)`
-    /// repeats (which arise from the delay-length sweep).
+    /// repeats (which arise from the delay-length sweep). Amortised O(1):
+    /// dedup is one hash-set probe and `by_cause` one hash-map append,
+    /// instead of the old linear scan over all prior edges of the cause.
     pub fn push(&mut self, e: CausalEdge) {
-        let dup = self.by_cause.get(&e.cause).is_some_and(|idxs| {
-            idxs.iter().any(|&i| {
-                let o = &self.edges[i];
-                o.effect == e.effect && o.kind == e.kind && o.test == e.test
-            })
-        });
-        if dup {
+        if !self.dedup.insert((e.cause, e.effect, e.kind, e.test)) {
             return;
         }
         let idx = self.edges.len();
@@ -221,6 +223,32 @@ mod tests {
         db.push(edge(1, 2, EdgeKind::ED, 1)); // different test: kept
         db.push(edge(1, 2, EdgeKind::EI, 0)); // different kind: kept
         assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn db_dedup_ignores_phase_and_state() {
+        // Dedup is keyed on (cause, effect, kind, test) only — a sweep
+        // repeat with a different phase or state is still a repeat.
+        let mut db = CausalDb::default();
+        let mut a = edge(1, 2, EdgeKind::ED, 0);
+        a.phase = 1;
+        let mut b = edge(1, 2, EdgeKind::ED, 0);
+        b.phase = 3;
+        db.push(a);
+        db.push(b);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.edge(0).phase, 1, "first push wins");
+    }
+
+    #[test]
+    fn db_push_keeps_per_cause_index_in_insertion_order() {
+        let mut db = CausalDb::default();
+        for t in 0..100u32 {
+            db.push(edge(1, t % 7, EdgeKind::EI, t));
+        }
+        let idxs = db.edges_from(FaultId(1));
+        assert_eq!(idxs.len(), 100);
+        assert!(idxs.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

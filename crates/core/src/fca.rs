@@ -55,7 +55,8 @@ pub struct ExperimentOutcome {
     pub edges: Vec<CausalEdge>,
 }
 
-/// Deduplicated union of a fault's occurrences across runs.
+/// Deduplicated union of a fault's occurrences across runs, sorted by
+/// signature so the §6.2 compatibility check runs as a linear merge.
 fn merged_occurrences(traces: &[RunTrace], p: FaultId) -> Vec<Occurrence> {
     let mut seen = BTreeSet::new();
     let mut out = Vec::new();
@@ -68,6 +69,7 @@ fn merged_occurrences(traces: &[RunTrace], p: FaultId) -> Vec<Occurrence> {
             }
         }
     }
+    out.sort_unstable_by_key(|o| o.sig);
     out
 }
 
@@ -106,6 +108,8 @@ fn cause_state(
         if occs.is_empty() {
             None
         } else {
+            // Sorted by signature: the compatibility-check merge invariant.
+            occs.sort_unstable_by_key(|o| o.sig);
             Some(CompatState::Occurrences(occs))
         }
     }

@@ -11,12 +11,39 @@
 //!   conditional-causality-guided extension under a `4·|F|` test budget.
 //! * [`compat`] — the **local compatibility check** (§6.2): 2-level call
 //!   stacks + local branch traces approximate path-condition satisfiability.
+//!   Occurrence lists are stored sorted by signature, so the check is a
+//!   linear merge intersection.
+//! * [`stitch`] — the **prepared stitch index**: an immutable search index
+//!   compiled once per causal database. Interns compatibility states,
+//!   precomputes the full edge-successor relation into CSR adjacency
+//!   tables (one compatibility-checked, one identity-only for the ablation
+//!   knob), and hosts the arena-based indexed beam search.
 //! * [`beam`] — the **parallel beam search** (§6.3, Alg. 1) for causal
-//!   cycles, plus clustering of reported cycles.
+//!   cycles, plus clustering of reported cycles. [`beam_search`] compiles a
+//!   [`StitchIndex`] and searches on it; [`beam_search_reference`] retains
+//!   the straightforward implementation as the executable specification.
 //! * [`driver`] / [`target`] — the workload driver and the abstraction over
 //!   systems under test.
 //! * [`report`] — cycle composition, ground-truth matching and TP/FP
 //!   accounting used by the evaluation harness.
+//!
+//! # Search-path complexity
+//!
+//! With `n` edges, `s` distinct compatibility states of size `k`, frontier
+//! width `F` (≤ beam size `B`) and mean compatible fanout `d`:
+//!
+//! * **Index build** — canonicalise + intern all states in `O(n·k log k)`;
+//!   successor tables via per-pair merge checks, each distinct state pair
+//!   checked once (`O(k)` merge, cached), `O(Σ_f in(f)·out(f))` pair
+//!   lookups total, parallelised over edge chunks.
+//! * **Per search level** — expansion is `O(F·d)` integer work (arena
+//!   membership walk ≤ `max_len`, O(1) chain extension, rolling 128-bit
+//!   structural hash); frontier dedup is hash-set insertion per candidate;
+//!   the beam cut is `select_nth_unstable` (`O(F·d)` expected) plus an
+//!   `O(B log B)` sort of survivors only.
+//! * **Equivalence** — `tests/beam_equivalence.rs` proves the indexed
+//!   search byte-identical to [`beam_search_reference`] (cycles, scores,
+//!   order) across randomized databases and both ablation knobs.
 //!
 //! # Examples
 //!
@@ -42,12 +69,15 @@ pub mod fca;
 pub mod idf;
 pub mod report;
 pub mod stats;
+pub mod stitch;
 pub mod target;
 
 use serde::{Deserialize, Serialize};
 
 pub use alloc::{run_random_allocation, run_three_phase, AllocationResult, ThreePhaseConfig};
-pub use beam::{beam_search, cluster_cycles, BeamConfig, Cycle, CycleCluster};
+pub use beam::{
+    beam_search, beam_search_reference, cluster_cycles, BeamConfig, Cycle, CycleCluster,
+};
 pub use compat::compatible;
 pub use driver::{Driver, DriverConfig};
 pub use edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
@@ -55,6 +85,7 @@ pub use fca::{analyze_experiment, ExperimentOutcome, FcaConfig};
 pub use report::{
     build_report, composition, BugMatch, ClusterVerdict, Composition, DetectionReport,
 };
+pub use stitch::StitchIndex;
 pub use target::{KnownBug, TargetSystem, TestCase};
 
 /// Configuration of a full detection campaign.

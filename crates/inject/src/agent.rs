@@ -626,7 +626,7 @@ mod tests {
         fx.agent.branch(fx.br, true);
         assert!(fx.agent.throw_guard(fx.tp).is_some());
         let t = fx.agent.finish(VirtualTime::ZERO, 0);
-        assert!(t.occurrences.get(&fx.tp).is_none());
+        assert!(!t.occurrences.contains_key(&fx.tp));
         assert!(t.call_edges.is_empty());
         assert!(t.hook_count > 0);
     }

@@ -51,4 +51,6 @@ pub use registry::{
     BoolSource, BranchId, BranchPoint, ExceptionCategory, ExceptionMeta, FaultId, FaultKind,
     FaultPoint, FnId, LoopBound, LoopMeta, NegationMeta, Registry, RegistryBuilder, Site, TestId,
 };
-pub use trace::{fnv1a, CallStack2, LoopState, Occurrence, RunTrace};
+pub use trace::{
+    fnv1a, occurrence_sigs_sorted, stack_key, CallStack2, LoopState, Occurrence, RunTrace,
+};

@@ -26,6 +26,28 @@ pub fn fnv1a(bytes: impl IntoIterator<Item = u64>) -> u64 {
 /// (§6.2 "2-call-site sensitivity").
 pub type CallStack2 = [Option<FnId>; 2];
 
+/// Packs a 2-level call stack injectively into a pair of words
+/// (`None → 0`, `Some(f) → f + 1`), so stack sets can be compared and
+/// merged as plain sorted `u64` pairs without touching `Option`s.
+///
+/// Used by the stitch index's state canonicaliser; exactness matters
+/// (a hash here would risk false compatibility).
+pub fn stack_key(stack: &CallStack2) -> (u64, u64) {
+    let slot = |s: Option<FnId>| s.map(|f| f.0 as u64 + 1).unwrap_or(0);
+    (slot(stack[0]), slot(stack[1]))
+}
+
+/// The sorted, deduplicated signature multiset of an occurrence list — the
+/// §6.2 compatibility check depends on signatures only, so this is the
+/// canonical form consumers (the stitch index, the compatibility merge)
+/// intern and intersect.
+pub fn occurrence_sigs_sorted(occs: &[Occurrence]) -> Vec<u64> {
+    let mut sigs: Vec<u64> = occs.iter().map(|o| o.sig).collect();
+    sigs.sort_unstable();
+    sigs.dedup();
+    sigs
+}
+
 /// One observed fault occurrence with its local-compatibility state.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Occurrence {
@@ -72,6 +94,14 @@ pub struct LoopState {
     pub entry_stacks: BTreeSet<CallStack2>,
     /// Distinct signatures of individual iterations.
     pub iter_sigs: BTreeSet<u64>,
+}
+
+impl LoopState {
+    /// The entry stacks as exact packed word pairs, in sorted order
+    /// (`BTreeSet` iteration order is preserved by the injective packing).
+    pub fn stack_keys(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.entry_stacks.iter().map(stack_key)
+    }
 }
 
 /// Everything the agent recorded during one run of one workload.

@@ -408,6 +408,6 @@ mod tests {
         let t = profile(2);
         let ids = ToySystem::new().ids();
         let c = t.loop_count(ids.l_warmup);
-        assert!(c > 0 && c % 3 == 0, "{c}");
+        assert!(c > 0 && c.is_multiple_of(3), "{c}");
     }
 }

@@ -1,0 +1,234 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock harness.
+//!
+//! Each benchmark runs a short warm-up to size the per-sample iteration
+//! count, then `sample_size` timed samples; the median, mean, and min
+//! per-iteration times are printed one line per benchmark. Statistics are
+//! far cruder than real criterion's, but medians over ≥ 10 samples are
+//! stable enough to track hot-path trends (see `BENCH_beam.json`).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-time per sample; the harness packs iterations to reach it.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+
+/// Measurement result for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimate {
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times closures over adaptive iteration batches.
+pub struct Bencher {
+    sample_size: usize,
+    estimate: Option<Estimate>,
+}
+
+impl Bencher {
+    /// Benchmarks `f`, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run once to page everything in and estimate cost.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.estimate = Some(Estimate {
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: samples[0],
+        });
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) -> Estimate {
+    let mut b = Bencher {
+        sample_size,
+        estimate: None,
+    };
+    f(&mut b);
+    let est = b.estimate.unwrap_or(Estimate {
+        median_ns: 0.0,
+        mean_ns: 0.0,
+        min_ns: 0.0,
+    });
+    println!(
+        "bench {label:<40} median {:>12}   mean {:>12}   min {:>12}",
+        fmt_ns(est.median_ns),
+        fmt_ns(est.mean_ns),
+        fmt_ns(est.min_ns)
+    );
+    est
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.criterion.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (all reporting already happened inline).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, optionally with a configured
+/// `Criterion` instance.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_positive_estimates() {
+        let est = run_one("noop", 5, |b| b.iter(|| black_box(1u64 + 1)));
+        assert!(est.median_ns > 0.0);
+        assert!(est.min_ns <= est.median_ns);
+    }
+
+    #[test]
+    fn group_and_ids_compose() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,153 @@
+//! Value-generation strategies: ranges, tuples, `prop_map`, `Just`.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// Generates values of `Self::Value` from a seeded stream.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128).wrapping_mul(width) >> 64;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + rng.unit() * (self.end - self.start);
+        // Guard against rounding up to the exclusive bound.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + (rng.unit() as f32) * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let x = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (-4i64..4).generate(&mut rng);
+            assert!((-4..4).contains(&y));
+            let z = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = ((0u32..10).prop_map(|x| x * 2), 0u32..3);
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!(a % 2 == 0 && a < 20);
+            assert!(b < 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0u64..1000, 0..10);
+        let a: Vec<u64> = strat.generate(&mut TestRng::for_case(5));
+        let b: Vec<u64> = strat.generate(&mut TestRng::for_case(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,99 @@
+//! Config, deterministic per-case RNG, and failure reporting.
+
+use std::ops::Range;
+
+/// Runner configuration (only the case count is meaningful here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64-based generator; each case index derives an independent,
+/// reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The stream for one case of one property run.
+    pub fn for_case(case: u32) -> Self {
+        TestRng {
+            state: 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1) ^ 0x5eed_cafe_f00d_d00d,
+        }
+    }
+
+    /// A stream from an explicit seed (used by workspace-internal tests).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from a half-open usize range.
+    pub fn usize_in(&mut self, r: Range<usize>) -> usize {
+        assert!(r.start < r.end, "empty range");
+        let width = (r.end - r.start) as u64;
+        r.start + ((self.next_u64() as u128 * width as u128) >> 64) as usize
+    }
+}
+
+/// Prints the failing property and case index if dropped during a panic.
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms a guard for one case execution.
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard {
+            name,
+            case,
+            armed: true,
+        }
+    }
+
+    /// Disarms after the case body returned normally.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest: property `{}` failed at case {} (deterministic; rerun reproduces it)",
+                self.name, self.case
+            );
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derives.
+//!
+//! The real serde pairs each trait with a derive macro of the same name in
+//! the macro namespace; this stub mirrors that so `use serde::{Serialize,
+//! Deserialize}` imports both. The traits are blanket-implemented because
+//! the derives emit nothing and nothing in the workspace bounds on them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,272 @@
+//! Equivalence of the indexed beam search and the reference implementation.
+//!
+//! The stitch-index rewrite (`csnake_core::stitch`) must be *observably
+//! equivalent* to the retained straightforward search
+//! (`beam_search_reference`): same cycles, same edge indices, same
+//! bit-identical scores, same order — across random databases, both
+//! ablation knobs (`compatibility_check: false`, `max_delay_injections`),
+//! thread counts, and aggressive beam pruning.
+//!
+//! Databases are generated from explicit seeds (SplitMix64), so a failure
+//! names the exact seed that reproduces it.
+
+use std::collections::BTreeSet;
+
+use csnake::core::beam::{beam_search, beam_search_reference, BeamConfig, Cycle};
+use csnake::core::edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
+use csnake::core::StitchIndex;
+use csnake::inject::{FaultId, FnId, LoopState, Occurrence, TestId};
+
+/// Deterministic generator so every case reproduces from its seed alone.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+const KINDS: [EdgeKind; 6] = [
+    EdgeKind::ED,
+    EdgeKind::SD,
+    EdgeKind::EI,
+    EdgeKind::SI,
+    EdgeKind::Icfg,
+    EdgeKind::Cfg,
+];
+
+/// A random occurrence-style state: 1–3 occurrences over a small tag pool,
+/// so partial signature overlaps (the interesting compatibility cases)
+/// are common.
+fn occ_state(g: &mut Gen, fault: u64) -> CompatState {
+    let n = 1 + g.below(3);
+    let occs = (0..n)
+        .map(|_| {
+            let tag = (fault * 4 + g.below(4)) as u32;
+            Occurrence::new([Some(FnId(tag)), None], vec![])
+        })
+        .collect();
+    CompatState::Occurrences(occs)
+}
+
+/// A random loop-style state: 1–2 entry stacks and 0–3 iteration sigs from
+/// small per-fault pools.
+fn loop_state(g: &mut Gen, fault: u64) -> CompatState {
+    let mut st = LoopState::default();
+    for _ in 0..1 + g.below(2) {
+        st.entry_stacks
+            .insert([Some(FnId((fault * 3 + g.below(3)) as u32)), None]);
+    }
+    for _ in 0..g.below(4) {
+        st.iter_sigs.insert(fault * 100 + g.below(5));
+    }
+    CompatState::Loop(st)
+}
+
+/// Builds a random database. Each fault is consistently loop- or
+/// occurrence-shaped, as in real traces.
+fn random_db(seed: u64) -> CausalDb {
+    let mut g = Gen::new(seed);
+    let n_faults = 3 + g.below(9);
+    let is_loop: Vec<bool> = (0..n_faults).map(|_| g.below(3) == 0).collect();
+    let n_edges = 1 + g.below(60);
+    let mut edges = Vec::new();
+    for _ in 0..n_edges {
+        let cause = g.below(n_faults);
+        let effect = g.below(n_faults);
+        let kind = KINDS[g.below(6) as usize];
+        let state_of = |g: &mut Gen, f: u64| {
+            if is_loop[f as usize] {
+                loop_state(g, f)
+            } else {
+                occ_state(g, f)
+            }
+        };
+        edges.push(CausalEdge {
+            cause: FaultId(cause as u32),
+            effect: FaultId(effect as u32),
+            kind,
+            test: TestId(g.below(3) as u32),
+            phase: 1,
+            cause_state: state_of(&mut g, cause),
+            effect_state: state_of(&mut g, effect),
+        });
+    }
+    CausalDb::from_edges(edges)
+}
+
+/// A seed-dependent SimScore map (injection ranking input).
+fn sim_fn(seed: u64) -> impl Fn(FaultId) -> f64 + Sync {
+    move |f: FaultId| ((f.0 as u64).wrapping_mul(2654435761).wrapping_add(seed) % 97) as f64 / 97.0
+}
+
+fn assert_identical(seed: u64, label: &str, fast: &[Cycle], reference: &[Cycle]) {
+    assert_eq!(
+        fast.len(),
+        reference.len(),
+        "seed {seed} [{label}]: cycle count {} vs {}",
+        fast.len(),
+        reference.len()
+    );
+    for (i, (f, r)) in fast.iter().zip(reference).enumerate() {
+        assert_eq!(
+            f.edges, r.edges,
+            "seed {seed} [{label}]: cycle {i} edge indices differ"
+        );
+        assert_eq!(
+            f.score.to_bits(),
+            r.score.to_bits(),
+            "seed {seed} [{label}]: cycle {i} score bits differ ({} vs {})",
+            f.score,
+            r.score
+        );
+    }
+}
+
+fn check_seed(seed: u64) {
+    let db = random_db(seed);
+    let sim = sim_fn(seed);
+    let mut g = Gen::new(seed ^ 0xbeef);
+    let base = BeamConfig {
+        beam_size: [1, 3, 10, 10_000][g.below(4) as usize],
+        max_len: 2 + g.below(4) as usize,
+        max_delay_injections: None,
+        threads: 1 + g.below(4) as usize,
+        compatibility_check: true,
+    };
+
+    // Base config, plus both §8 ablation knobs.
+    let mut configs = vec![("base", base.clone())];
+    configs.push((
+        "no-compat",
+        BeamConfig {
+            compatibility_check: false,
+            ..base.clone()
+        },
+    ));
+    configs.push((
+        "delay-cap",
+        BeamConfig {
+            max_delay_injections: Some(g.below(3) as usize),
+            ..base.clone()
+        },
+    ));
+
+    // One index serves every config (both successor tables are prebuilt).
+    let index = StitchIndex::build(&db, base.threads);
+    for (label, cfg) in &configs {
+        let fast = beam_search(&db, &sim, cfg);
+        let reference = beam_search_reference(&db, &sim, cfg);
+        assert_identical(seed, label, &fast, &reference);
+        let indexed = index.search(&sim, cfg);
+        assert_identical(seed, &format!("{label}/prebuilt"), &indexed, &reference);
+    }
+}
+
+#[test]
+fn indexed_search_matches_reference_on_random_dbs() {
+    // ≥ 200 random databases, 3 configs each (base + both ablations), each
+    // checked through both the convenience entry point and a prebuilt index.
+    for seed in 0..250u64 {
+        check_seed(seed);
+    }
+}
+
+#[test]
+fn equivalence_holds_under_heavy_beam_pruning() {
+    // Tiny beams exercise the select_nth + stable-order path hard: the
+    // boundary between kept and dropped chains moves every level.
+    for seed in 0..64u64 {
+        let db = random_db(seed.wrapping_mul(7919).wrapping_add(13));
+        let sim = sim_fn(seed);
+        for beam_size in [1usize, 2, 5] {
+            let cfg = BeamConfig {
+                beam_size,
+                max_len: 5,
+                max_delay_injections: None,
+                threads: 2,
+                compatibility_check: true,
+            };
+            let fast = beam_search(&db, &sim, &cfg);
+            let reference = beam_search_reference(&db, &sim, &cfg);
+            assert_identical(seed, &format!("beam={beam_size}"), &fast, &reference);
+        }
+    }
+}
+
+#[test]
+fn equivalence_is_thread_count_invariant() {
+    // The pooled parallel expansion must reassemble results in chunk order;
+    // any ordering leak shows up as a diff between thread counts.
+    for seed in [3u64, 17, 41, 99] {
+        let db = random_db(seed);
+        let sim = sim_fn(seed);
+        let single = beam_search(
+            &db,
+            &sim,
+            &BeamConfig {
+                threads: 1,
+                ..BeamConfig::default()
+            },
+        );
+        for threads in [2usize, 4, 8] {
+            let multi = beam_search(
+                &db,
+                &sim,
+                &BeamConfig {
+                    threads,
+                    ..BeamConfig::default()
+                },
+            );
+            assert_identical(seed, &format!("threads={threads}"), &multi, &single);
+        }
+    }
+}
+
+#[test]
+fn reported_cycles_are_well_formed() {
+    // Structural invariants on the indexed search's output (mirrors the
+    // long-standing property test, but through the new path): closure,
+    // connectivity, bounded length, no duplicate structural keys.
+    for seed in 0..64u64 {
+        let db = random_db(seed.wrapping_add(10_000));
+        let cfg = BeamConfig::default();
+        let cycles = beam_search(&db, &|_| 0.5, &cfg);
+        let mut seen: BTreeSet<Vec<(FaultId, FaultId, u8)>> = BTreeSet::new();
+        for c in &cycles {
+            assert!(!c.edges.is_empty() && c.edges.len() <= cfg.max_len);
+            for w in c.edges.windows(2) {
+                assert_eq!(db.edge(w[0]).effect, db.edge(w[1]).cause, "seed {seed}");
+            }
+            let first = db.edge(c.edges[0]);
+            let last = db.edge(*c.edges.last().unwrap());
+            assert_eq!(last.effect, first.cause, "seed {seed}: not closed");
+            let mut key: Vec<(FaultId, FaultId, u8)> = c
+                .edges
+                .iter()
+                .map(|&i| {
+                    let e = db.edge(i);
+                    (e.cause, e.effect, e.kind as u8)
+                })
+                .collect();
+            key.sort_unstable();
+            assert!(seen.insert(key), "seed {seed}: structural duplicate");
+        }
+    }
+}

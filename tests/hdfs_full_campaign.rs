@@ -7,7 +7,7 @@
 //! cargo test --release --test hdfs_full_campaign -- --ignored
 //! ```
 
-use csnake::core::{detect, DetectConfig, TargetSystem};
+use csnake::core::{detect, DetectConfig};
 use csnake::targets::{MiniHdfs2, MiniHdfs3};
 
 fn cfg() -> DetectConfig {

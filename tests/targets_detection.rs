@@ -4,7 +4,7 @@
 //! the fast targets run in CI-sized time and assert that their seeded bugs
 //! are detected by causal stitching.
 
-use csnake::core::{detect, DetectConfig, TargetSystem};
+use csnake::core::{detect, DetectConfig};
 use csnake::targets::{MiniFlink, MiniHBase, MiniOzone};
 
 fn cfg() -> DetectConfig {

@@ -60,8 +60,7 @@ fn toy_cycle_is_detected_end_to_end() {
     assert!(detection
         .report
         .verdicts
-        .iter()
-        .any(|v| *v == ClusterVerdict::TruePositive));
+        .contains(&ClusterVerdict::TruePositive));
 
     // Budget accounting: 3 injectable faults → budget 12, and the toy has
     // 3×3 = 9 (fault, test) combinations, so at most 9 experiments run.
