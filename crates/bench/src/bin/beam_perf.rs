@@ -3,7 +3,9 @@
 //! dedup/push, stitch-index build, indexed search, reference search where
 //! affordable), so successive PRs can track the hot path.
 //!
-//! Run with `cargo run --release -p csnake-bench --bin beam_perf`.
+//! Run with `cargo run --release -p csnake-bench --bin beam_perf`; set
+//! `CSNAKE_PERF_SMOKE=1` to run only the smallest case (the CI smoke
+//! invocation).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -44,7 +46,7 @@ fn beam_cfg() -> BeamConfig {
 }
 
 fn main() {
-    let cases = [
+    let mut cases = vec![
         Case {
             n_faults: 120,
             fanout: 3,
@@ -64,6 +66,10 @@ fn main() {
             with_reference: false,
         },
     ];
+    let smoke = std::env::var_os("CSNAKE_PERF_SMOKE").is_some();
+    if smoke {
+        cases.truncate(1);
+    }
 
     let cfg = beam_cfg();
     let mut body = String::new();
@@ -156,10 +162,17 @@ fn main() {
     writeln!(body, "  ]").unwrap();
     writeln!(body, "}}").unwrap();
 
-    // crates/bench → workspace root.
+    // crates/bench → workspace root. Smoke runs write to a separate file
+    // so reproducing the CI step locally never clobbers the committed
+    // full-scale trajectory artifact.
+    let name = if smoke {
+        "BENCH_beam.smoke.json"
+    } else {
+        "BENCH_beam.json"
+    };
     let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
-        .join("BENCH_beam.json");
-    std::fs::write(&out, body).expect("write BENCH_beam.json");
+        .join(name);
+    std::fs::write(&out, body).expect("write beam bench json");
     eprintln!("wrote {}", out.display());
 }

@@ -1,0 +1,275 @@
+//! Campaign-pipeline performance trajectory: writes `BENCH_campaign.json`
+//! at the repository root with median wall-times per campaign stage
+//! (profile indexing, injection-run generation, indexed FCA, reference
+//! FCA, phase-one clustering), so successive PRs can track the analysis
+//! hot path the way `BENCH_beam.json` tracks the search.
+//!
+//! The indexed FCA figure **includes every index build** (the per-test
+//! `ProfileIndex` and the per-experiment `TraceIndex`), so the reported
+//! speedup is end-to-end honest. Outcome equivalence against
+//! `analyze_experiment_reference` is asserted over the whole campaign, and
+//! nearest-neighbor-chain clustering is verified against the retained
+//! O(n³) reference at a small scale before the full-size run.
+//!
+//! Run with `cargo run --release -p csnake-bench --bin campaign_perf`;
+//! set `CSNAKE_PERF_SMOKE=1` for the CI-sized campaign.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use csnake_bench::campaign::{CampaignSpec, SyntheticCampaign};
+use csnake_core::cluster::{hierarchical_cluster, hierarchical_cluster_reference};
+use csnake_core::fca::{analyze_experiment_indexed, analyze_experiment_reference, ProfileIndex};
+use csnake_core::idf::{IdfVectorizer, SparseVec};
+use csnake_core::{ExperimentOutcome, FcaConfig};
+use csnake_inject::{FaultId, TestId};
+
+const SAMPLES: usize = 5;
+const CLUSTER_THRESHOLD: f64 = 0.5;
+const CLUSTER_REFERENCE_N: usize = 300;
+
+fn median(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::var_os("CSNAKE_PERF_SMOKE").is_some();
+    let spec = if smoke {
+        CampaignSpec::smoke()
+    } else {
+        CampaignSpec::full()
+    };
+    let campaign = SyntheticCampaign::generate(&spec);
+    let registry = campaign.registry().clone();
+    let tests = campaign.tests();
+    let experiments: Vec<(FaultId, TestId)> = campaign
+        .faults()
+        .iter()
+        .flat_map(|&f| tests.iter().map(move |&t| (f, t)))
+        .collect();
+    let cfg = FcaConfig::default();
+    eprintln!(
+        "campaign: {} points, {} faults × {} tests = {} experiments, {} reps{}",
+        registry.points().len(),
+        campaign.faults().len(),
+        tests.len(),
+        experiments.len(),
+        spec.reps,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Stage 1: profile runs + per-test profile indexing (shared by every
+    // experiment on the test).
+    let mut profile_ns = Vec::with_capacity(SAMPLES);
+    let mut profiles: Vec<Vec<csnake_inject::RunTrace>> = Vec::new();
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        profiles = tests.iter().map(|&t| campaign.profile_traces(t)).collect();
+        let idx: Vec<ProfileIndex> = profiles
+            .iter()
+            .map(|tr| ProfileIndex::build(&registry, tr))
+            .collect();
+        std::hint::black_box(idx);
+        profile_ns.push(t0.elapsed().as_nanos());
+    }
+    let profile_ns = median(profile_ns);
+
+    // Stage 2: injection-run generation for the whole campaign (the
+    // simulated "run the workloads" cost; regenerated per experiment so
+    // the campaign never holds all traces at once).
+    let mut injection_ns = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let mut total_runs = 0usize;
+        for &(f, t) in &experiments {
+            total_runs += campaign.injection_traces(f, t).len();
+        }
+        std::hint::black_box(total_runs);
+        injection_ns.push(t0.elapsed().as_nanos());
+    }
+    let injection_ns = median(injection_ns);
+
+    // Stage 3: indexed FCA over the whole campaign, timing only analysis
+    // (per-experiment TraceIndex build + edge extraction) plus the
+    // ProfileIndex builds — trace generation is excluded on both paths, so
+    // the comparison isolates the analysis.
+    let mut fca_indexed_ns = Vec::with_capacity(SAMPLES);
+    let mut outcomes: Vec<ExperimentOutcome> = Vec::new();
+    for sample in 0..SAMPLES {
+        let mut spent = Duration::ZERO;
+        let t0 = Instant::now();
+        let idx: Vec<ProfileIndex> = profiles
+            .iter()
+            .map(|tr| ProfileIndex::build(&registry, tr))
+            .collect();
+        spent += t0.elapsed();
+        let mut outs = Vec::with_capacity(experiments.len());
+        for &(f, t) in &experiments {
+            let traces = campaign.injection_traces(f, t);
+            let plan = campaign.plan_for(f);
+            let t1 = Instant::now();
+            let out = analyze_experiment_indexed(
+                &registry,
+                &idx[t.0 as usize],
+                &traces,
+                plan,
+                t,
+                1,
+                &cfg,
+            );
+            spent += t1.elapsed();
+            outs.push(out);
+        }
+        fca_indexed_ns.push(spent.as_nanos());
+        if sample == 0 {
+            outcomes = outs;
+        }
+    }
+    let fca_indexed_ns = median(fca_indexed_ns);
+
+    // Stage 4: the reference FCA path on identical inputs, with a
+    // campaign-wide outcome-equivalence assertion on the first sample.
+    let mut fca_reference_ns = Vec::with_capacity(SAMPLES);
+    for sample in 0..SAMPLES {
+        let mut spent = Duration::ZERO;
+        for (i, &(f, t)) in experiments.iter().enumerate() {
+            let traces = campaign.injection_traces(f, t);
+            let plan = campaign.plan_for(f);
+            let t1 = Instant::now();
+            let out = analyze_experiment_reference(
+                &registry,
+                &profiles[t.0 as usize],
+                &traces,
+                plan,
+                t,
+                1,
+                &cfg,
+            );
+            spent += t1.elapsed();
+            if sample == 0 {
+                assert_eq!(
+                    out, outcomes[i],
+                    "indexed FCA diverged from reference at experiment {i} ({f}, {t})"
+                );
+            }
+        }
+        fca_reference_ns.push(spent.as_nanos());
+    }
+    let fca_reference_ns = median(fca_reference_ns);
+    let fca_speedup = fca_reference_ns as f64 / fca_indexed_ns.max(1) as f64;
+    let total_edges: usize = outcomes.iter().map(|o| o.edges.len()).sum();
+    eprintln!(
+        "fca: indexed {:.2} ms vs reference {:.2} ms → {:.1}× ({} edges, outcomes verified equal)",
+        fca_indexed_ns as f64 / 1e6,
+        fca_reference_ns as f64 / 1e6,
+        fca_speedup,
+        total_edges
+    );
+
+    // Stage 5: phase-one clustering over every experiment's interference
+    // vector (the 3PA §5.2 shape, at campaign scale). Reference
+    // equivalence is checked on a prefix the O(n³) rescan can afford.
+    let docs: Vec<BTreeSet<FaultId>> = outcomes.iter().map(|o| o.interference.clone()).collect();
+    let idf = IdfVectorizer::fit(&docs);
+    let vectors: Vec<SparseVec> = docs.iter().map(|d| idf.vectorize(d)).collect();
+    let small = &vectors[..CLUSTER_REFERENCE_N.min(vectors.len())];
+    let mut cluster_ref_small_ns = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let c = hierarchical_cluster_reference(small, CLUSTER_THRESHOLD);
+        cluster_ref_small_ns.push(t0.elapsed().as_nanos());
+        std::hint::black_box(c);
+    }
+    let cluster_ref_small_ns = median(cluster_ref_small_ns);
+    assert_eq!(
+        hierarchical_cluster(small, CLUSTER_THRESHOLD),
+        hierarchical_cluster_reference(small, CLUSTER_THRESHOLD),
+        "nearest-neighbor-chain clustering diverged from the reference"
+    );
+    let mut cluster_ns = Vec::with_capacity(SAMPLES);
+    let mut n_clusters = 0usize;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let c = hierarchical_cluster(&vectors, CLUSTER_THRESHOLD);
+        cluster_ns.push(t0.elapsed().as_nanos());
+        n_clusters = c.n_clusters;
+    }
+    let cluster_ns = median(cluster_ns);
+    eprintln!(
+        "clustering: {} vectors → {} clusters in {:.2} ms (nn-chain; reference verified at n={})",
+        vectors.len(),
+        n_clusters,
+        cluster_ns as f64 / 1e6,
+        small.len()
+    );
+
+    let mut body = String::new();
+    writeln!(body, "{{").unwrap();
+    writeln!(body, "  \"generated_by\": \"campaign_perf\",").unwrap();
+    writeln!(body, "  \"smoke\": {smoke},").unwrap();
+    writeln!(body, "  \"samples_per_stage\": {SAMPLES},").unwrap();
+    writeln!(body, "  \"campaign\": {{").unwrap();
+    writeln!(
+        body,
+        "    \"registry_points\": {},",
+        registry.points().len()
+    )
+    .unwrap();
+    writeln!(body, "    \"faults\": {},", campaign.faults().len()).unwrap();
+    writeln!(body, "    \"tests\": {},", tests.len()).unwrap();
+    writeln!(body, "    \"experiments\": {},", experiments.len()).unwrap();
+    writeln!(body, "    \"reps\": {},", spec.reps).unwrap();
+    writeln!(body, "    \"edges_found\": {total_edges}").unwrap();
+    writeln!(body, "  }},").unwrap();
+    writeln!(body, "  \"stages_ns\": {{").unwrap();
+    writeln!(body, "    \"profile\": {profile_ns},").unwrap();
+    writeln!(body, "    \"injection\": {injection_ns},").unwrap();
+    writeln!(
+        body,
+        "    \"fca_indexed_incl_index_build\": {fca_indexed_ns},"
+    )
+    .unwrap();
+    writeln!(body, "    \"fca_reference\": {fca_reference_ns},").unwrap();
+    writeln!(body, "    \"clustering_nn_chain\": {cluster_ns},").unwrap();
+    writeln!(
+        body,
+        "    \"clustering_reference_small\": {cluster_ref_small_ns}"
+    )
+    .unwrap();
+    writeln!(body, "  }},").unwrap();
+    writeln!(body, "  \"clustering\": {{").unwrap();
+    writeln!(body, "    \"vectors\": {},", vectors.len()).unwrap();
+    writeln!(body, "    \"clusters\": {n_clusters},").unwrap();
+    writeln!(body, "    \"threshold\": {CLUSTER_THRESHOLD},").unwrap();
+    writeln!(
+        body,
+        "    \"reference_equivalence_verified_at\": {}",
+        small.len()
+    )
+    .unwrap();
+    writeln!(body, "  }},").unwrap();
+    writeln!(
+        body,
+        "  \"fca_outcome_equivalence\": \"verified_full_campaign\","
+    )
+    .unwrap();
+    writeln!(body, "  \"fca_speedup_vs_reference\": {fca_speedup:.2}").unwrap();
+    writeln!(body, "}}").unwrap();
+
+    // crates/bench → workspace root. Smoke runs write to a separate file
+    // so reproducing the CI step locally never clobbers the committed
+    // full-scale trajectory artifact.
+    let name = if smoke {
+        "BENCH_campaign.smoke.json"
+    } else {
+        "BENCH_campaign.json"
+    };
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    std::fs::write(&out, body).expect("write campaign bench json");
+    eprintln!("wrote {}", out.display());
+}

@@ -10,6 +10,8 @@
 //! | §8.2.1 fuzzing comparison | `fuzz_compare` |
 //! | §8.5 instrumentation overhead | `overhead` |
 
+pub mod campaign;
+
 use csnake_core::{
     detect, detect_with_random_allocation, BeamConfig, DetectConfig, Detection, TargetSystem,
 };
@@ -139,10 +141,16 @@ pub fn row(cells: &[String]) -> String {
 /// Synthetic causal-database generator shared by the criterion benchmarks
 /// and the `beam_perf` trajectory binary.
 ///
-/// Produces `n_faults · fanout` edges on a ring (`c → c+k+1 mod n`).
-/// `loop_share` ∈ [0, 1] makes that share of faults loop-shaped (delay
-/// edges with `LoopState` compatibility states, exercising the merge over
-/// stacks + iteration signatures); the rest are occurrence-shaped.
+/// Produces `n_faults · fanout` forward edges on a ring (`c → c+k+1 mod
+/// n`) plus one *back edge* (`c+1 → c`) for every [`BACK_EDGE_STRIDE`]-th
+/// fault. Forward steps alone can never return to their origin within a
+/// bounded chain length on a large ring, which left the search's
+/// cycle-emission path cold at n ≥ 500; the back edges close two-edge
+/// cycles everywhere, so every case exercises cycle discovery and the
+/// structural cycle dedup. `loop_share` ∈ [0, 1] makes that share of
+/// faults loop-shaped (delay edges with `LoopState` compatibility states,
+/// exercising the merge over stacks + iteration signatures); the rest are
+/// occurrence-shaped.
 pub fn synthetic_db(n_faults: u32, fanout: u32, loop_share: f64) -> csnake_core::CausalDb {
     use csnake_core::{CausalEdge, CompatState, EdgeKind};
     use csnake_inject::{FaultId, FnId, LoopState, Occurrence, TestId};
@@ -167,26 +175,46 @@ pub fn synthetic_db(n_faults: u32, fanout: u32, loop_share: f64) -> csnake_core:
             occ_state(f)
         }
     };
+    let kind_of = |c: u32, e: u32| match (is_loop(c), is_loop(e)) {
+        (true, true) => EdgeKind::Icfg,
+        (true, false) => EdgeKind::ED,
+        (false, true) => EdgeKind::SI,
+        (false, false) => EdgeKind::EI,
+    };
     let mut edges = Vec::new();
     for c in 0..n_faults {
         for k in 0..fanout {
             let e = (c + k + 1) % n_faults;
-            let kind = match (is_loop(c), is_loop(e)) {
-                (true, true) => EdgeKind::Icfg,
-                (true, false) => EdgeKind::ED,
-                (false, true) => EdgeKind::SI,
-                (false, false) => EdgeKind::EI,
-            };
             edges.push(CausalEdge {
                 cause: FaultId(c),
                 effect: FaultId(e),
-                kind,
+                kind: kind_of(c, e),
                 test: TestId(k),
                 phase: 1,
                 cause_state: state(c),
                 effect_state: state(e),
             });
         }
+        // Back edge `c+1 → c` every stride: together with the ring edge
+        // `c → c+1` (k = 0, identical per-fault states on both ends) this
+        // closes a guaranteed two-edge cycle. A distinct test id keeps the
+        // database dedup from ever folding it into a ring edge.
+        if n_faults > fanout + 2 && c % BACK_EDGE_STRIDE == 0 {
+            let e = (c + 1) % n_faults;
+            edges.push(CausalEdge {
+                cause: FaultId(e),
+                effect: FaultId(c),
+                kind: kind_of(e, c),
+                test: TestId(fanout),
+                phase: 1,
+                cause_state: state(e),
+                effect_state: state(c),
+            });
+        }
     }
     csnake_core::CausalDb::from_edges(edges)
 }
+
+/// Every how-many-th fault gets a cycle-closing back edge in
+/// [`synthetic_db`].
+pub const BACK_EDGE_STRIDE: u32 = 16;

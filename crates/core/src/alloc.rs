@@ -39,6 +39,22 @@ pub trait ExperimentEngine {
 
     /// Runs the `(fault, test)` experiment (injection runs + FCA).
     fn run_experiment(&mut self, f: FaultId, t: TestId, phase: u8) -> ExperimentOutcome;
+
+    /// Runs a batch of *independent* experiments, returning outcomes in
+    /// batch order.
+    ///
+    /// The default runs them sequentially; engines with parallel capacity
+    /// (the real driver) override it and fan the batch out on a worker
+    /// pool while keeping the result order deterministic. The 3PA planner
+    /// exploits that every phase's `(fault, test)` picks depend only on
+    /// prior-phase results — never on outcomes within the phase — so each
+    /// phase plans its full batch first and executes it in one call.
+    fn run_experiments(&mut self, batch: &[(FaultId, TestId, u8)]) -> Vec<ExperimentOutcome> {
+        batch
+            .iter()
+            .map(|&(f, t, p)| self.run_experiment(f, t, p))
+            .collect()
+    }
 }
 
 /// 3PA knobs.
@@ -160,8 +176,25 @@ pub fn run_three_phase(
     let mut db = CausalDb::default();
     let mut spent = 0usize;
 
+    // Executes a planned batch of independent experiments and folds the
+    // outcomes (in batch order) into the database.
+    let run_batch = |engine: &mut dyn ExperimentEngine,
+                     batch: &[(FaultId, TestId, u8)],
+                     outcomes: &mut Vec<ExperimentOutcome>,
+                     db: &mut CausalDb| {
+        for out in engine.run_experiments(batch) {
+            for e in &out.edges {
+                db.push(e.clone());
+            }
+            outcomes.push(out);
+        }
+    };
+
     // ---- Phase one: one probe per fault, highest-coverage reaching test.
+    // Picks depend only on coverage, so the whole phase plans up front and
+    // runs as one parallel batch.
     let phase1_cap = (budget / 4).max(faults.len().min(budget));
+    let mut batch: Vec<(FaultId, TestId, u8)> = Vec::new();
     for &f in &faults {
         if spent >= phase1_cap {
             break;
@@ -174,13 +207,10 @@ pub fn run_three_phase(
         tests.sort_by_key(|t| (std::cmp::Reverse(engine.coverage_size(*t)), *t));
         let t = tests[0];
         used.mark(f, t);
-        let out = engine.run_experiment(f, t, 1);
-        for e in &out.edges {
-            db.push(e.clone());
-        }
-        outcomes.push(out);
+        batch.push((f, t, 1));
         spent += 1;
     }
+    run_batch(engine, &batch, &mut outcomes, &mut db);
 
     // Cluster faults by phase-one interference vectors. Faults that never
     // ran (unreachable) get zero vectors and land with the non-impactful
@@ -205,8 +235,11 @@ pub fn run_three_phase(
     }
 
     // ---- Phase two: round-robin over clusters, random member into a new
-    // workload.
+    // workload. Picks depend only on the RNG and the used-set (never on
+    // outcomes within the phase), so the plan/execute split preserves the
+    // exact sequential pick sequence.
     let phase2_cap = spent + budget / 2;
+    let mut batch: Vec<(FaultId, TestId, u8)> = Vec::new();
     if !clusters.is_empty() {
         let mut rr = 0usize;
         let mut stall = 0usize;
@@ -243,14 +276,11 @@ pub fn run_three_phase(
             };
             stall = 0;
             used.mark(f, t);
-            let out = engine.run_experiment(f, t, 2);
-            for e in &out.edges {
-                db.push(e.clone());
-            }
-            outcomes.push(out);
+            batch.push((f, t, 2));
             spent += 1;
         }
     }
+    run_batch(engine, &batch, &mut outcomes, &mut db);
 
     // ---- Intra-cluster interference similarity (Eq. 6), from a second IDF
     // model fitted on both phases.
@@ -264,10 +294,13 @@ pub fn run_three_phase(
         .collect();
 
     // ---- Phase three: weighted random allocation by max(ε, 1 − SimScore).
+    // Weights are fixed before the phase starts, so this phase also plans
+    // its full batch first.
     let weights: Vec<f64> = sim_scores
         .iter()
         .map(|s| (1.0 - s).max(cfg.epsilon))
         .collect();
+    let mut batch: Vec<(FaultId, TestId, u8)> = Vec::new();
     while spent < budget && !clusters.is_empty() {
         let viable: Vec<usize> = (0..clusters.len())
             .filter(|&c| !used.cluster_exhausted(engine, &clusters[c]))
@@ -296,13 +329,10 @@ pub fn run_three_phase(
         });
         let Some((f, t)) = pick else { break };
         used.mark(f, t);
-        let out = engine.run_experiment(f, t, 3);
-        for e in &out.edges {
-            db.push(e.clone());
-        }
-        outcomes.push(out);
+        batch.push((f, t, 3));
         spent += 1;
     }
+    run_batch(engine, &batch, &mut outcomes, &mut db);
 
     AllocationResult {
         db,
@@ -383,8 +413,8 @@ pub fn run_random_allocation(
 
     let mut db = CausalDb::default();
     let mut outcomes = Vec::new();
-    for (f, t) in combos {
-        let out = engine.run_experiment(f, t, 0);
+    let batch: Vec<(FaultId, TestId, u8)> = combos.into_iter().map(|(f, t)| (f, t, 0)).collect();
+    for out in engine.run_experiments(&batch) {
         for e in &out.edges {
             db.push(e.clone());
         }

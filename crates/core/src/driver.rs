@@ -21,7 +21,8 @@ use csnake_sim::VirtualTime;
 use serde::{Deserialize, Serialize};
 
 use crate::alloc::ExperimentEngine;
-use crate::fca::{analyze_experiment, ExperimentOutcome, FcaConfig};
+use crate::fca::{analyze_experiment_indexed, ExperimentOutcome, FcaConfig, ProfileIndex};
+use crate::pool;
 use crate::target::TargetSystem;
 
 /// Driver knobs.
@@ -77,6 +78,9 @@ pub struct Driver<'a> {
     pub analysis: Analysis,
     /// Cached profile traces per test.
     profiles: BTreeMap<TestId, Vec<RunTrace>>,
+    /// Prepared profile index per test (presence counts, loop-count matrix,
+    /// per-loop sample moments) — shared by every experiment on the test.
+    profile_idx: BTreeMap<TestId, ProfileIndex>,
     /// Tests whose profile coverage includes each fault point.
     reaching: BTreeMap<FaultId, Vec<TestId>>,
     /// Number of fault points covered per test.
@@ -94,7 +98,7 @@ impl<'a> Driver<'a> {
         let mut profiles: BTreeMap<TestId, Vec<RunTrace>> = BTreeMap::new();
         let mut runs = 0usize;
         for tc in &tests {
-            let traces = run_batch(target, tc.id, None, &cfg, cfg.reps);
+            let traces = run_batch(target, tc.id, None, &cfg, cfg.reps, cfg.parallel);
             runs += traces.len();
             profiles.insert(tc.id, traces);
         }
@@ -116,12 +120,18 @@ impl<'a> Driver<'a> {
         let cg = CallGraph::from_traces(profiles.values().flatten());
         let analysis = analyze(&registry, &cg, &cfg.analysis);
 
+        let profile_idx: BTreeMap<TestId, ProfileIndex> = profiles
+            .iter()
+            .map(|(tid, traces)| (*tid, ProfileIndex::build(&registry, traces)))
+            .collect();
+
         Driver {
             target,
             registry,
             cfg,
             analysis,
             profiles,
+            profile_idx,
             reaching,
             coverage_size,
             runs_executed: runs,
@@ -155,6 +165,70 @@ impl<'a> Driver<'a> {
             FaultKind::Negation => vec![InjectionPlan::negate(f)],
         }
     }
+
+    /// Runs one `(fault, test)` experiment — injection runs (sweeping delay
+    /// lengths for loop faults) plus indexed FCA against the cached profile
+    /// index — without touching driver state. Returns the outcome and the
+    /// number of simulator runs executed.
+    ///
+    /// `parallel_reps` controls per-repetition threading; it is disabled
+    /// when whole experiments already fan out on the worker pool, to avoid
+    /// oversubscribing the machine.
+    fn experiment_outcome(
+        &self,
+        f: FaultId,
+        t: TestId,
+        phase: u8,
+        parallel_reps: bool,
+    ) -> (ExperimentOutcome, usize) {
+        let fallback;
+        let profile = match self.profile_idx.get(&t) {
+            Some(p) => p,
+            None => {
+                fallback = ProfileIndex::build(&self.registry, &[]);
+                &fallback
+            }
+        };
+        let mut merged: Option<ExperimentOutcome> = None;
+        let mut runs = 0usize;
+        for plan in self.plans_for(f) {
+            let traces = run_batch(
+                self.target,
+                t,
+                Some(plan),
+                &self.cfg,
+                self.cfg.reps,
+                parallel_reps,
+            );
+            runs += traces.len();
+            let out = analyze_experiment_indexed(
+                &self.registry,
+                profile,
+                &traces,
+                plan,
+                t,
+                phase,
+                &self.cfg.fca,
+            );
+            match &mut merged {
+                None => merged = Some(out),
+                Some(m) => {
+                    m.interference.extend(out.interference.iter().copied());
+                    // Causal relationships found at any delay length count
+                    // (§4.2: the sweep "maximizes discovery"); the CausalDb
+                    // deduplicates repeats.
+                    m.edges.extend(out.edges);
+                }
+            }
+        }
+        let outcome = merged.unwrap_or(ExperimentOutcome {
+            fault: f,
+            test: t,
+            interference: Default::default(),
+            edges: Vec::new(),
+        });
+        (outcome, runs)
+    }
 }
 
 /// Runs `reps` repetitions of a workload (optionally threaded).
@@ -164,8 +238,9 @@ fn run_batch(
     plan: Option<InjectionPlan>,
     cfg: &DriverConfig,
     reps: usize,
+    parallel: bool,
 ) -> Vec<RunTrace> {
-    if !cfg.parallel || reps <= 1 {
+    if !parallel || reps <= 1 {
         return (0..reps)
             .map(|rep| target.run(test, plan, seed_for(cfg.base_seed, test, rep)))
             .collect();
@@ -198,37 +273,32 @@ impl ExperimentEngine for Driver<'_> {
     }
 
     fn run_experiment(&mut self, f: FaultId, t: TestId, phase: u8) -> ExperimentOutcome {
-        let profile = self.profiles.get(&t).cloned().unwrap_or_default();
-        let mut merged: Option<ExperimentOutcome> = None;
-        for plan in self.plans_for(f) {
-            let traces = run_batch(self.target, t, Some(plan), &self.cfg, self.cfg.reps);
-            self.runs_executed += traces.len();
-            let out = analyze_experiment(
-                &self.registry,
-                &profile,
-                &traces,
-                plan,
-                t,
-                phase,
-                &self.cfg.fca,
-            );
-            match &mut merged {
-                None => merged = Some(out),
-                Some(m) => {
-                    m.interference.extend(out.interference.iter().copied());
-                    // Causal relationships found at any delay length count
-                    // (§4.2: the sweep "maximizes discovery"); the CausalDb
-                    // deduplicates repeats.
-                    m.edges.extend(out.edges);
-                }
-            }
+        let (outcome, runs) = self.experiment_outcome(f, t, phase, self.cfg.parallel);
+        self.runs_executed += runs;
+        outcome
+    }
+
+    /// Fans the batch's independent experiments out on the shared worker
+    /// pool. Target runs are deterministic in `(test, plan, seed)` and the
+    /// pool reassembles results in batch order, so the outcome sequence is
+    /// bit-identical to the sequential path.
+    fn run_experiments(&mut self, batch: &[(FaultId, TestId, u8)]) -> Vec<ExperimentOutcome> {
+        if !self.cfg.parallel || batch.len() <= 1 {
+            return batch
+                .iter()
+                .map(|&(f, t, p)| self.run_experiment(f, t, p))
+                .collect();
         }
-        merged.unwrap_or(ExperimentOutcome {
-            fault: f,
-            test: t,
-            interference: Default::default(),
-            edges: Vec::new(),
-        })
+        let this = &*self;
+        let results = pool::run_ordered(batch.to_vec(), pool::hardware_threads(), |(f, t, p)| {
+            this.experiment_outcome(f, t, p, false)
+        });
+        let mut outcomes = Vec::with_capacity(results.len());
+        for (out, runs) in results {
+            self.runs_executed += runs;
+            outcomes.push(out);
+        }
+        outcomes
     }
 }
 

@@ -79,7 +79,7 @@ impl CompatState {
 }
 
 /// One causal relationship `cause → effect` discovered in one test.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CausalEdge {
     /// The cause fault (the injected one, for injection edges).
     pub cause: FaultId,

@@ -12,16 +12,30 @@
 //! Both run sets are repeated (five times in the paper) to absorb
 //! non-determinism. Nested/consecutive workload loops additionally produce
 //! the structural `ICFG`/`CFG` edges of Table 1.
+//!
+//! # Hot path
+//!
+//! [`analyze_experiment`] runs on [`TraceIndex`]es: the profile side is
+//! prepared once per test ([`ProfileIndex`], including per-loop sample
+//! moments for the batched Welch tests), the injection side once per
+//! experiment. Per experiment the analysis then touches only the points
+//! that actually occurred and the loops that were actually reached —
+//! `O(occurring + active_loops)` instead of `O(points × runs)` trace
+//! re-walks. [`analyze_experiment_reference`] retains the straightforward
+//! implementation as the executable specification;
+//! `tests/campaign_equivalence.rs` proves the two byte-identical across
+//! randomized experiments.
 
 use std::collections::BTreeSet;
 
 use csnake_inject::{
-    FaultId, FaultKind, InjectionPlan, LoopState, Occurrence, Registry, RunTrace, TestId,
+    merged_loop_state, merged_occurrences, FaultId, FaultKind, InjectionPlan, Registry, RunTrace,
+    TestId, TraceIndex,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::edge::{CausalEdge, CompatState, EdgeKind};
-use crate::stats::welch_one_sided_p;
+use crate::stats::{sample_stats, welch_batch_significant, welch_one_sided_p, SampleStats};
 
 /// FCA thresholds.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,7 +57,7 @@ impl Default for FcaConfig {
 }
 
 /// Result of one injection experiment `(fault, test)` after FCA.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentOutcome {
     /// The injected fault.
     pub fault: FaultId,
@@ -53,37 +67,6 @@ pub struct ExperimentOutcome {
     pub interference: BTreeSet<FaultId>,
     /// Causal edges discovered (injection edges + structural loop edges).
     pub edges: Vec<CausalEdge>,
-}
-
-/// Deduplicated union of a fault's occurrences across runs, sorted by
-/// signature so the §6.2 compatibility check runs as a linear merge.
-fn merged_occurrences(traces: &[RunTrace], p: FaultId) -> Vec<Occurrence> {
-    let mut seen = BTreeSet::new();
-    let mut out = Vec::new();
-    for t in traces {
-        if let Some(occs) = t.occurrences.get(&p) {
-            for o in occs {
-                if seen.insert(o.sig) {
-                    out.push(o.clone());
-                }
-            }
-        }
-    }
-    out.sort_unstable_by_key(|o| o.sig);
-    out
-}
-
-/// Union of a loop's state across runs.
-fn merged_loop_state(traces: &[RunTrace], l: FaultId) -> Option<LoopState> {
-    let mut merged: Option<LoopState> = None;
-    for t in traces {
-        if let Some(st) = t.loop_states.get(&l) {
-            let m = merged.get_or_insert_with(LoopState::default);
-            m.entry_stacks.extend(st.entry_stacks.iter().cloned());
-            m.iter_sigs.extend(st.iter_sigs.iter().copied());
-        }
-    }
-    merged
 }
 
 /// Compatibility state of the injected fault itself across injection runs.
@@ -115,13 +98,233 @@ fn cause_state(
     }
 }
 
+/// Profile-side state prepared once per test and shared across every
+/// experiment on that test: the trace index plus the per-loop sample
+/// moments the batched Welch tests reuse.
+#[derive(Debug, Clone)]
+pub struct ProfileIndex {
+    index: TraceIndex,
+    loop_stats: Vec<SampleStats>,
+}
+
+impl ProfileIndex {
+    /// Indexes one test's profile runs.
+    pub fn build(registry: &Registry, traces: &[RunTrace]) -> ProfileIndex {
+        let index = TraceIndex::build(registry, traces);
+        let loop_stats = (0..index.loop_points().len())
+            .map(|s| sample_stats(index.loop_counts_row(s)))
+            .collect();
+        ProfileIndex { index, loop_stats }
+    }
+
+    /// The underlying trace index.
+    pub fn index(&self) -> &TraceIndex {
+        &self.index
+    }
+
+    /// Per-loop-slot sample moments of the profile iteration counts.
+    pub fn loop_stats(&self) -> &[SampleStats] {
+        &self.loop_stats
+    }
+}
+
 /// Runs FCA over one experiment: profile runs vs. injection runs of the same
 /// test, and extracts all causal edges (Table 1).
 ///
 /// Returns an outcome with no edges when the injection never fired (the
 /// fault was not reached — such injections are automatically deprioritized
 /// by the 3PA protocol).
+///
+/// This is the indexed hot path (see the module docs); it builds both
+/// indexes itself, which is convenient for one-off calls. Campaign drivers
+/// should build the [`ProfileIndex`] once per test and call
+/// [`analyze_experiment_indexed`].
 pub fn analyze_experiment(
+    registry: &Registry,
+    profile: &[RunTrace],
+    injection: &[RunTrace],
+    plan: InjectionPlan,
+    test: TestId,
+    phase: u8,
+    cfg: &FcaConfig,
+) -> ExperimentOutcome {
+    let prof = ProfileIndex::build(registry, profile);
+    analyze_experiment_indexed(registry, &prof, injection, plan, test, phase, cfg)
+}
+
+/// The indexed FCA hot path: a prepared profile index (shared across the
+/// test's experiments) against one experiment's injection runs.
+///
+/// Byte-identical to [`analyze_experiment_reference`] — same interference
+/// set, same edges in the same order, same states.
+pub fn analyze_experiment_indexed(
+    registry: &Registry,
+    profile: &ProfileIndex,
+    injection: &[RunTrace],
+    plan: InjectionPlan,
+    test: TestId,
+    phase: u8,
+    cfg: &FcaConfig,
+) -> ExperimentOutcome {
+    let inj = TraceIndex::build(registry, injection);
+    let cause = plan.target;
+    let mut outcome = ExperimentOutcome {
+        fault: cause,
+        test,
+        interference: BTreeSet::new(),
+        edges: Vec::new(),
+    };
+    if inj.injected().is_empty() || inj.n_runs() == 0 {
+        return outcome;
+    }
+    // The cause-state derivation is a per-run walk either way (the fired
+    // injections are one entry per trace), so both paths share it.
+    let Some(cstate) = cause_state(registry, injection, plan) else {
+        return outcome;
+    };
+    let cause_is_delay = plan.action.is_delay();
+    let needed = ((cfg.presence_fraction * inj.n_runs() as f64).ceil() as usize).max(1);
+
+    // 1. Execution-trace interference. Only points that occurred in some
+    //    injection run can clear the presence threshold, so the sparse
+    //    occurring list (ascending id = registry order) replaces the dense
+    //    registry scan.
+    for &p in inj.occurring_points() {
+        if p == cause || registry.point(p).kind == FaultKind::LoopPoint {
+            continue;
+        }
+        if inj.occ_runs(p) as usize >= needed && !profile.index.occurred(p) {
+            let kind = if cause_is_delay {
+                EdgeKind::ED
+            } else {
+                EdgeKind::EI
+            };
+            outcome.interference.insert(p);
+            outcome.edges.push(CausalEdge {
+                cause,
+                effect: p,
+                kind,
+                test,
+                phase,
+                cause_state: cstate.clone(),
+                // Merged on demand — only edge-emitting points need the
+                // union (see `csnake_inject::merged_occurrences`).
+                effect_state: CompatState::Occurrences(merged_occurrences(injection, p)),
+            });
+        }
+    }
+
+    // 2. Iteration-count interference, batched: candidate loops are the
+    //    ones reached in some injection run (the reference's all-zero skip);
+    //    profile moments come precomputed from the ProfileIndex.
+    let mut cand_slots: Vec<u32> = Vec::with_capacity(inj.active_loop_slots().len());
+    let mut prof_stats = Vec::with_capacity(inj.active_loop_slots().len());
+    let mut inj_stats = Vec::with_capacity(inj.active_loop_slots().len());
+    for &s in inj.active_loop_slots() {
+        if inj.loop_points()[s as usize] == cause {
+            continue;
+        }
+        cand_slots.push(s);
+        prof_stats.push(profile.loop_stats[s as usize]);
+        inj_stats.push(sample_stats(inj.loop_counts_row(s as usize)));
+    }
+    let significant = welch_batch_significant(&prof_stats, &inj_stats, cfg.p_value);
+    let mut s_plus_loops = Vec::new();
+    for (k, &s) in cand_slots.iter().enumerate() {
+        if !significant[k] {
+            continue;
+        }
+        let l = inj.loop_points()[s as usize];
+        let kind = if cause_is_delay {
+            EdgeKind::SD
+        } else {
+            EdgeKind::SI
+        };
+        // Loop-state merges are on demand (few loops emit edges; see
+        // `csnake_inject::merged_loop_state`), exactly like the reference.
+        let Some(effect_state) = merged_loop_state(injection, l) else {
+            continue;
+        };
+        outcome.interference.insert(l);
+        outcome.edges.push(CausalEdge {
+            cause,
+            effect: l,
+            kind,
+            test,
+            phase,
+            cause_state: cstate.clone(),
+            effect_state: CompatState::Loop(effect_state),
+        });
+        s_plus_loops.push(l);
+    }
+
+    // 3. Structural loop edges (Table 1 rows 5–6), shared with the
+    //    reference.
+    push_structural_loop_edges(
+        registry,
+        injection,
+        &s_plus_loops,
+        test,
+        phase,
+        &mut outcome,
+    );
+
+    outcome
+}
+
+/// Emits the structural `ICFG`/`CFG` edges (Table 1 rows 5–6) for every
+/// statistically-increased loop: a delayed inner loop propagates to its
+/// parent and, through the parent, to its next sibling. Shared by the
+/// indexed and reference paths so the equivalence contract has one copy.
+fn push_structural_loop_edges(
+    registry: &Registry,
+    injection: &[RunTrace],
+    s_plus_loops: &[FaultId],
+    test: TestId,
+    phase: u8,
+    outcome: &mut ExperimentOutcome,
+) {
+    for &l in s_plus_loops {
+        let meta = registry
+            .point(l)
+            .loop_meta
+            .as_ref()
+            .expect("loop point has meta");
+        let Some(parent) = meta.parent else { continue };
+        let Some(l_state) = merged_loop_state(injection, l) else {
+            continue;
+        };
+        if let Some(parent_state) = merged_loop_state(injection, parent) {
+            outcome.edges.push(CausalEdge {
+                cause: l,
+                effect: parent,
+                kind: EdgeKind::Icfg,
+                test,
+                phase,
+                cause_state: CompatState::Loop(l_state),
+                effect_state: CompatState::Loop(parent_state.clone()),
+            });
+            if let Some(sib) = meta.next_sibling {
+                if let Some(sib_state) = merged_loop_state(injection, sib) {
+                    outcome.edges.push(CausalEdge {
+                        cause: parent,
+                        effect: sib,
+                        kind: EdgeKind::Cfg,
+                        test,
+                        phase,
+                        cause_state: CompatState::Loop(parent_state),
+                        effect_state: CompatState::Loop(sib_state),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The retained straightforward implementation — the executable
+/// specification the indexed path is proven against. Re-walks every trace
+/// for every registry point (`O(points × runs)` per experiment).
+pub fn analyze_experiment_reference(
     registry: &Registry,
     profile: &[RunTrace],
     injection: &[RunTrace],
@@ -215,41 +418,14 @@ pub fn analyze_experiment(
     // 3. Structural loop edges for batch processing (Table 1 rows 5–6):
     //    a delayed inner loop propagates to its parent (ICFG) and, through
     //    the parent, to its next sibling (CFG).
-    for l in s_plus_loops {
-        let meta = registry
-            .point(l)
-            .loop_meta
-            .as_ref()
-            .expect("loop point has meta");
-        let Some(parent) = meta.parent else { continue };
-        let Some(l_state) = merged_loop_state(injection, l) else {
-            continue;
-        };
-        if let Some(parent_state) = merged_loop_state(injection, parent) {
-            outcome.edges.push(CausalEdge {
-                cause: l,
-                effect: parent,
-                kind: EdgeKind::Icfg,
-                test,
-                phase,
-                cause_state: CompatState::Loop(l_state),
-                effect_state: CompatState::Loop(parent_state.clone()),
-            });
-            if let Some(sib) = meta.next_sibling {
-                if let Some(sib_state) = merged_loop_state(injection, sib) {
-                    outcome.edges.push(CausalEdge {
-                        cause: parent,
-                        effect: sib,
-                        kind: EdgeKind::Cfg,
-                        test,
-                        phase,
-                        cause_state: CompatState::Loop(parent_state),
-                        effect_state: CompatState::Loop(sib_state),
-                    });
-                }
-            }
-        }
-    }
+    push_structural_loop_edges(
+        registry,
+        injection,
+        &s_plus_loops,
+        test,
+        phase,
+        &mut outcome,
+    );
 
     outcome
 }
@@ -257,7 +433,9 @@ pub fn analyze_experiment(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csnake_inject::{BoolSource, ExceptionCategory, FnId, RegistryBuilder};
+    use csnake_inject::{
+        BoolSource, ExceptionCategory, FnId, LoopState, Occurrence, RegistryBuilder,
+    };
     use csnake_sim::VirtualTime;
 
     struct Fx {
@@ -456,6 +634,53 @@ mod tests {
             &cfgd(),
         );
         assert!(out.edges.is_empty());
+    }
+
+    #[test]
+    fn indexed_path_matches_reference_on_fixtures() {
+        let fx = fx();
+        let cases: Vec<(Vec<RunTrace>, Vec<RunTrace>, InjectionPlan)> = vec![
+            // Additional exception.
+            (
+                vec![trace_with(&[], &[], None); 5],
+                vec![trace_with(&[(fx.tp, 1)], &[], Some(fx.np)); 5],
+                InjectionPlan::negate(fx.np),
+            ),
+            // Never fired.
+            (
+                vec![trace_with(&[], &[], None); 5],
+                vec![trace_with(&[(fx.np, 1)], &[], None); 5],
+                InjectionPlan::throw(fx.tp),
+            ),
+            // Loop increase with structural edges.
+            (
+                (0..5)
+                    .map(|_| {
+                        trace_with(
+                            &[],
+                            &[(fx.inner, 100), (fx.outer, 10), (fx.sibling, 100)],
+                            None,
+                        )
+                    })
+                    .collect(),
+                (0..5)
+                    .map(|i| {
+                        trace_with(
+                            &[],
+                            &[(fx.inner, 300 + i), (fx.outer, 10), (fx.sibling, 100)],
+                            Some(fx.np),
+                        )
+                    })
+                    .collect(),
+                InjectionPlan::negate(fx.np),
+            ),
+        ];
+        for (profile, inj, plan) in cases {
+            let fast = analyze_experiment(&fx.reg, &profile, &inj, plan, TestId(0), 1, &cfgd());
+            let slow =
+                analyze_experiment_reference(&fx.reg, &profile, &inj, plan, TestId(0), 1, &cfgd());
+            assert_eq!(fast, slow);
+        }
     }
 
     #[test]

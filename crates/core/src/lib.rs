@@ -9,6 +9,9 @@
 //! * [`alloc`] — the **Three-Phase Allocation protocol** (§5): IDF-based
 //!   clustering of causally-equivalent faults, round-robin exploration, and
 //!   conditional-causality-guided extension under a `4·|F|` test budget.
+//! * [`cluster`] — **phase-one hierarchical clustering** (§5.2):
+//!   average-linkage agglomeration over cosine distance, run as a
+//!   nearest-neighbor chain over a cached distance matrix.
 //! * [`compat`] — the **local compatibility check** (§6.2): 2-level call
 //!   stacks + local branch traces approximate path-condition satisfiability.
 //!   Occurrence lists are stored sorted by signature, so the check is a
@@ -24,8 +27,43 @@
 //!   the straightforward implementation as the executable specification.
 //! * [`driver`] / [`target`] — the workload driver and the abstraction over
 //!   systems under test.
+//! * [`pool`] — the scope-borrowed worker pool shared by the stitch search
+//!   and the driver's parallel experiment execution.
 //! * [`report`] — cycle composition, ground-truth matching and TP/FP
 //!   accounting used by the evaluation harness.
+//!
+//! # Campaign-path architecture and complexity
+//!
+//! A campaign is `E` experiments over a registry of `P` fault points
+//! (`L` of them loops), `T` tests, and `r` repetitions per run set. The
+//! hot path is organised around indexes built once per trace set
+//! (`csnake_inject::TraceIndex`):
+//!
+//! * **Profile side, once per test** — [`fca::ProfileIndex`] carries dense
+//!   occurrence-presence counts, the `L × r` loop-count matrix, and the
+//!   per-loop sample moments the Welch tests reuse: `O(r · entries + L·r)`
+//!   per test, amortised over all of the test's experiments.
+//! * **Per experiment** — [`analyze_experiment`] builds the injection-side
+//!   `TraceIndex` (`O(r · entries)`) and then touches only the points that
+//!   occurred and the loops that were reached: `O(occurring +
+//!   active_loops)` instead of the reference's `O(P · r)` trace re-walk.
+//!   The batched one-sided Welch tests short-circuit on `t ≤ 0` (most
+//!   loops are unaffected), paying the `betainc` continued fraction only
+//!   for genuine candidates. [`fca::analyze_experiment_reference`] retains
+//!   the straightforward implementation; `tests/campaign_equivalence.rs`
+//!   proves byte-identical outcomes.
+//! * **Experiment execution** — the 3PA planner emits each phase's
+//!   `(fault, test)` picks *before* running them (picks never depend on
+//!   outcomes within a phase), so [`Driver`] fans every phase batch out on
+//!   the shared [`pool`] with deterministic, batch-ordered results.
+//! * **Phase-one clustering** — [`cluster::hierarchical_cluster`] is a
+//!   nearest-neighbor chain over a cached `O(n²)` distance matrix
+//!   (Lance–Williams average linkage): `O(n²)` total versus the retained
+//!   `O(n³)` greedy rescan, with identical dendrogram cuts.
+//!
+//! `cargo run --release -p csnake-bench --bin campaign_perf` regenerates
+//! `BENCH_campaign.json` (stage medians; ≥5× vs the reference FCA path on
+//! a 200-fault × 10-test campaign, clustering 2000 vectors).
 //!
 //! # Search-path complexity
 //!
@@ -67,6 +105,7 @@ pub mod driver;
 pub mod edge;
 pub mod fca;
 pub mod idf;
+pub mod pool;
 pub mod report;
 pub mod stats;
 pub mod stitch;
@@ -78,10 +117,14 @@ pub use alloc::{run_random_allocation, run_three_phase, AllocationResult, ThreeP
 pub use beam::{
     beam_search, beam_search_reference, cluster_cycles, BeamConfig, Cycle, CycleCluster,
 };
+pub use cluster::{hierarchical_cluster, hierarchical_cluster_reference, Clustering};
 pub use compat::compatible;
 pub use driver::{Driver, DriverConfig};
 pub use edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
-pub use fca::{analyze_experiment, ExperimentOutcome, FcaConfig};
+pub use fca::{
+    analyze_experiment, analyze_experiment_indexed, analyze_experiment_reference,
+    ExperimentOutcome, FcaConfig, ProfileIndex,
+};
 pub use report::{
     build_report, composition, BugMatch, ClusterVerdict, Composition, DetectionReport,
 };

@@ -1,0 +1,241 @@
+//! Scope-borrowed worker pool shared by the stitch search and the
+//! experiment driver.
+//!
+//! Both hot paths fan identical-shaped jobs out to a fixed set of worker
+//! threads and need the results back **in job order** so parallel runs are
+//! bit-identical to sequential ones. The pool is deliberately minimal:
+//!
+//! * workers are spawned inside a caller-provided [`std::thread::scope`],
+//!   so jobs may borrow stack data (the stitch search's shared index, the
+//!   driver's profile caches) without `Arc`-wrapping it;
+//! * jobs are tagged with their index on dispatch and reassembled by tag,
+//!   so completion order never leaks into results;
+//! * the job channel closes when the pool drops, which is how workers
+//!   learn to exit before the scope joins them.
+//!
+//! [`run_ordered`] is the one-shot convenience for callers that do not
+//! need to reuse the pool across rounds; the stitch search keeps a
+//! [`ScopedPool`] alive across beam levels to amortise thread spawning.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::Scope;
+
+/// A persistent pool of scoped worker threads mapping jobs `J` to results
+/// `R` through a shared worker function.
+pub struct ScopedPool<'env, J, R> {
+    job_tx: Sender<(usize, J)>,
+    result_rx: Receiver<(usize, std::thread::Result<R>)>,
+    threads: usize,
+    _marker: PhantomData<&'env ()>,
+}
+
+impl<'env, J: Send + 'env, R: Send + 'env> ScopedPool<'env, J, R> {
+    /// Spawns `threads` workers on the scope, each running `work` on every
+    /// job it receives. `work` is borrowed for the whole scope, so it may
+    /// itself borrow anything that outlives the scope.
+    pub fn spawn<'scope, W>(
+        scope: &'scope Scope<'scope, 'env>,
+        work: &'scope W,
+        threads: usize,
+    ) -> ScopedPool<'env, J, R>
+    where
+        W: Fn(J) -> R + Sync,
+        J: 'scope,
+        R: 'scope,
+    {
+        let threads = threads.max(1);
+        let (job_tx, job_rx) = channel::<(usize, J)>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) = channel();
+        let poisoned = Arc::new(AtomicBool::new(false));
+        for _ in 0..threads {
+            let job_rx = Arc::clone(&job_rx);
+            let result_tx = result_tx.clone();
+            let poisoned = Arc::clone(&poisoned);
+            scope.spawn(move || loop {
+                // The guard drops as soon as `recv` returns, so other
+                // workers can pick up the next job immediately.
+                let job = { job_rx.lock().expect("job queue").recv() };
+                let Ok((idx, job)) = job else { break };
+                // Once poisoned, drain remaining queued jobs without
+                // executing them — fail-fast means not running a
+                // campaign's worth of doomed work first. The dispatcher
+                // never deadlocks on a skipped job's missing result
+                // because the panicking worker's Err send below is
+                // unconditional and the channel unbounded: the Err always
+                // reaches the dispatcher, which re-raises on receiving it
+                // and stops waiting for further results.
+                if poisoned.load(Ordering::Relaxed) {
+                    continue;
+                }
+                // A panicking job must not starve `map`'s result loop (the
+                // dispatcher would deadlock inside the scope, which cannot
+                // join the panicked worker until the dispatcher returns).
+                // Ship the payload instead; `map` re-raises it.
+                let out = catch_unwind(AssertUnwindSafe(|| work(job)));
+                if out.is_err() {
+                    poisoned.store(true, Ordering::Relaxed);
+                }
+                if result_tx.send((idx, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        ScopedPool {
+            job_tx,
+            result_rx,
+            threads,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Dispatches all jobs across the pool and returns results in job
+    /// order, regardless of completion order.
+    ///
+    /// Takes `&mut self`: job tags and the result channel are per-pool,
+    /// so two concurrent `map` calls on one pool would cross-deliver
+    /// results — the exclusive borrow rules that out at compile time.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first job panic it receives, preserving the
+    /// fail-fast behaviour of running the jobs inline. (Workers drain —
+    /// but no longer execute — jobs queued after a panic, so the scope
+    /// joins promptly.)
+    pub fn map(&mut self, jobs: impl IntoIterator<Item = J>) -> Vec<R> {
+        let mut sent = 0usize;
+        for j in jobs {
+            self.job_tx.send((sent, j)).expect("worker pool alive");
+            sent += 1;
+        }
+        let mut slots: Vec<Option<R>> = (0..sent).map(|_| None).collect();
+        for _ in 0..sent {
+            let (idx, r) = self.result_rx.recv().expect("worker result");
+            match r {
+                Ok(v) => slots[idx] = Some(v),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("all jobs returned"))
+            .collect()
+    }
+}
+
+/// The machine's hardware parallelism (1 when unknown).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// One-shot ordered parallel map: runs `work` over `jobs` on up to
+/// `threads` workers (capped at the hardware parallelism and the job
+/// count) and returns results in job order. Falls back to a plain
+/// sequential map when one worker would do, keeping results identical
+/// either way.
+pub fn run_ordered<J, R, W>(jobs: Vec<J>, threads: usize, work: W) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    W: Fn(J) -> R + Sync,
+{
+    let threads = threads
+        .max(1)
+        .min(jobs.len().max(1))
+        .min(hardware_threads());
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(work).collect();
+    }
+    std::thread::scope(|scope| {
+        let mut pool = ScopedPool::spawn(scope, &work, threads);
+        pool.map(jobs)
+        // Dropping the pool closes the job channel; workers exit before
+        // the scope joins them.
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_job_order() {
+        let work = |x: usize| {
+            // Invert completion order: later jobs finish first.
+            std::thread::sleep(std::time::Duration::from_millis((20 - x as u64) % 20));
+            x * 10
+        };
+        std::thread::scope(|scope| {
+            let mut pool = ScopedPool::spawn(scope, &work, 4);
+            let out = pool.map(0..16);
+            assert_eq!(out, (0..16).map(|x| x * 10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn pool_is_reusable_across_rounds() {
+        let work = |x: u64| x + 1;
+        std::thread::scope(|scope| {
+            let mut pool = ScopedPool::spawn(scope, &work, 3);
+            for round in 0..5u64 {
+                let out = pool.map(round * 10..round * 10 + 7);
+                assert_eq!(
+                    out,
+                    (round * 10..round * 10 + 7)
+                        .map(|x| x + 1)
+                        .collect::<Vec<_>>()
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn jobs_may_borrow_stack_data() {
+        let data: Vec<u64> = (0..100).collect();
+        let work = |i: usize| data[i] * 2;
+        let out = run_ordered((0..100).collect(), 8, work);
+        assert_eq!(out, data.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_ordered_matches_sequential() {
+        let work = |x: u32| x.wrapping_mul(0x9E37_79B9);
+        let seq: Vec<u32> = (0..257).map(work).collect();
+        let par = run_ordered((0..257).collect(), 6, work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn job_panic_propagates_instead_of_deadlocking() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let result = std::panic::catch_unwind(|| {
+            run_ordered((0..64usize).collect(), 4, |x| {
+                if x == 17 {
+                    panic!("job 17 exploded");
+                }
+                x
+            })
+        });
+        std::panic::set_hook(prev);
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("exploded"), "unexpected payload: {msg:?}");
+    }
+
+    #[test]
+    fn run_ordered_handles_empty_and_single() {
+        let out: Vec<u32> = run_ordered(Vec::<u32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+        assert_eq!(run_ordered(vec![7u32], 4, |x| x + 1), vec![8]);
+    }
+}

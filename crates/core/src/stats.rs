@@ -100,6 +100,32 @@ pub fn t_sf(t: f64, df: f64) -> f64 {
     }
 }
 
+/// Sufficient statistics of one sample, precomputed once and reused across
+/// many Welch tests (the fault-causality analysis compares every injection
+/// experiment on a test against the *same* profile runs, so the profile
+/// side's moments are shared).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean (NaN for empty samples; callers handle `n == 0`).
+    pub mean: f64,
+    /// Unbiased sample variance (0.0 below two observations).
+    pub var: f64,
+}
+
+/// Computes [`SampleStats`] with exactly the summation order the scalar
+/// [`welch_one_sided_p`] always used, so stats-based tests are bit-identical
+/// to slice-based ones.
+pub fn sample_stats(xs: &[f64]) -> SampleStats {
+    let (mean, var) = mean_var(xs);
+    SampleStats {
+        n: xs.len(),
+        mean,
+        var,
+    }
+}
+
 fn mean_var(xs: &[f64]) -> (f64, f64) {
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
@@ -108,6 +134,87 @@ fn mean_var(xs: &[f64]) -> (f64, f64) {
     }
     let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
     (mean, var)
+}
+
+/// The Welch t statistic and Welch–Satterthwaite degrees of freedom for the
+/// non-degenerate case (both samples ≥ 2 observations, some variance).
+fn welch_t_df(a: SampleStats, b: SampleStats) -> (f64, f64) {
+    let na = a.n as f64;
+    let nb = b.n as f64;
+    let se2 = a.var / na + b.var / nb;
+    let t = (b.mean - a.mean) / se2.sqrt();
+    let df_num = se2 * se2;
+    let df_den = (a.var / na).powi(2) / (na - 1.0) + (b.var / nb).powi(2) / (nb - 1.0);
+    let df = if df_den == 0.0 {
+        na + nb - 2.0
+    } else {
+        df_num / df_den
+    };
+    (t, df)
+}
+
+/// [`welch_one_sided_p`] over precomputed sample moments. Bit-identical to
+/// the slice form when the stats come from [`sample_stats`].
+pub fn welch_one_sided_p_stats(a: SampleStats, b: SampleStats) -> f64 {
+    if a.n == 0 || b.n == 0 {
+        return 1.0;
+    }
+    if a.var == 0.0 && b.var == 0.0 {
+        return if b.mean > a.mean { 0.0 } else { 1.0 };
+    }
+    if a.n < 2 || b.n < 2 {
+        return if b.mean > a.mean { 0.0 } else { 1.0 };
+    }
+    let (t, df) = welch_t_df(a, b);
+    t_sf(t, df)
+}
+
+/// Decision form of the one-sided Welch test: `true` iff
+/// `welch_one_sided_p_stats(a, b) < p_threshold`, computed without the
+/// expensive `t_sf` evaluation whenever the t statistic alone already
+/// decides it.
+///
+/// `t ≤ 0` implies `p = SF(t) ≥ 0.5`, so for any threshold ≤ 0.5 (the FCA
+/// default is 0.1) a non-positive statistic short-circuits to `false`. This
+/// is exact, not approximate: the survival function is monotone decreasing
+/// and `SF(0) = 0.5`. In a campaign the vast majority of candidate loops
+/// are unaffected by the injection (`mean(b) ≤ mean(a)`), so almost every
+/// test resolves in a handful of flops instead of a continued-fraction
+/// `betainc` evaluation.
+pub fn welch_one_sided_significant(a: SampleStats, b: SampleStats, p_threshold: f64) -> bool {
+    if a.n == 0 || b.n == 0 {
+        return 1.0 < p_threshold;
+    }
+    if (a.var == 0.0 && b.var == 0.0) || a.n < 2 || b.n < 2 {
+        let p = if b.mean > a.mean { 0.0 } else { 1.0 };
+        return p < p_threshold;
+    }
+    let (t, df) = welch_t_df(a, b);
+    if t <= 0.0 && p_threshold <= 0.5 {
+        return false;
+    }
+    t_sf(t, df) < p_threshold
+}
+
+/// Batched one-sided Welch tests over all candidate loops of one experiment:
+/// `out[i]` is `true` iff injection sample `i` is a statistically significant
+/// increase over profile sample `i` at `p_threshold`. The profile side is
+/// typically precomputed once per test and shared across every experiment.
+pub fn welch_batch_significant(
+    profile: &[SampleStats],
+    injection: &[SampleStats],
+    p_threshold: f64,
+) -> Vec<bool> {
+    assert_eq!(
+        profile.len(),
+        injection.len(),
+        "batched Welch test requires paired samples"
+    );
+    profile
+        .iter()
+        .zip(injection)
+        .map(|(&a, &b)| welch_one_sided_significant(a, b, p_threshold))
+        .collect()
 }
 
 /// One-sided Welch t-test p-value for the alternative `mean(b) > mean(a)`.
@@ -132,30 +239,7 @@ fn mean_var(xs: &[f64]) -> (f64, f64) {
 /// assert!(welch_one_sided_p(&injected, &profile) > 0.9);
 /// ```
 pub fn welch_one_sided_p(a: &[f64], b: &[f64]) -> f64 {
-    if a.is_empty() || b.is_empty() {
-        return 1.0;
-    }
-    let (ma, va) = mean_var(a);
-    let (mb, vb) = mean_var(b);
-    if va == 0.0 && vb == 0.0 {
-        return if mb > ma { 0.0 } else { 1.0 };
-    }
-    if a.len() < 2 || b.len() < 2 {
-        return if mb > ma { 0.0 } else { 1.0 };
-    }
-    let na = a.len() as f64;
-    let nb = b.len() as f64;
-    let se2 = va / na + vb / nb;
-    let t = (mb - ma) / se2.sqrt();
-    // Welch–Satterthwaite degrees of freedom.
-    let df_num = se2 * se2;
-    let df_den = (va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0);
-    let df = if df_den == 0.0 {
-        na + nb - 2.0
-    } else {
-        df_num / df_den
-    };
-    t_sf(t, df)
+    welch_one_sided_p_stats(sample_stats(a), sample_stats(b))
 }
 
 /// Convenience: `true` if `b`'s mean is a statistically significant increase
@@ -246,6 +330,57 @@ mod tests {
         let b = [10.5, 11.5, 10.8, 11.2, 11.0];
         let p = welch_one_sided_p(&a, &b);
         assert!(p < 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn stats_form_is_bit_identical_to_slice_form() {
+        let cases: &[(&[f64], &[f64])] = &[
+            (&[100.0, 102.0, 98.0], &[140.0, 139.0, 141.0]),
+            (&[10.0; 5], &[11.0; 5]),
+            (&[1.0], &[2.0]),
+            (&[], &[1.0]),
+            (&[5.0, 5.0, 5.0], &[5.0, 6.0, 4.0]),
+            (&[3.0, 4.0], &[3.5, 3.6]),
+        ];
+        for (a, b) in cases {
+            let slice_p = welch_one_sided_p(a, b);
+            let stats_p = welch_one_sided_p_stats(sample_stats(a), sample_stats(b));
+            assert_eq!(slice_p.to_bits(), stats_p.to_bits(), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn significance_decision_matches_p_value_comparison() {
+        let mut gen = 0x1234_5678_u64;
+        let mut next = move || {
+            gen = gen.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((gen >> 33) % 1000) as f64 / 10.0
+        };
+        for _ in 0..500 {
+            let a: Vec<f64> = (0..5).map(|_| next()).collect();
+            let b: Vec<f64> = (0..5).map(|_| next()).collect();
+            let (sa, sb) = (sample_stats(&a), sample_stats(&b));
+            for thr in [0.01, 0.1, 0.5] {
+                let expect = welch_one_sided_p(&a, &b) < thr;
+                assert_eq!(welch_one_sided_significant(sa, sb, thr), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_significance_is_elementwise() {
+        let prof: Vec<SampleStats> = [[100.0, 101.0, 99.0], [5.0, 5.0, 5.0], [1.0, 2.0, 3.0]]
+            .iter()
+            .map(|xs| sample_stats(xs))
+            .collect();
+        let inj: Vec<SampleStats> = [[150.0, 151.0, 149.0], [5.0, 5.0, 5.0], [1.0, 2.0, 3.0]]
+            .iter()
+            .map(|xs| sample_stats(xs))
+            .collect();
+        assert_eq!(
+            welch_batch_significant(&prof, &inj, 0.1),
+            vec![true, false, false]
+        );
     }
 
     #[test]

@@ -30,10 +30,13 @@
 //!   `select_nth_unstable_by` (O(n) expected) followed by a sort of the
 //!   surviving `B` entries, which reproduces the reference semantics
 //!   (stable score order) without sorting the whole frontier.
-//! * **Persistent workers** — scope-borrowed worker threads are spawned
-//!   lazily (first level whose frontier is large enough to amortise the
-//!   hand-off) and reused across *all* remaining levels, replacing the
-//!   per-level `std::thread::scope` spawn; small frontiers expand inline.
+//! * **Persistent workers** — a scope-borrowed [`ScopedPool`] (the shared
+//!   `csnake_core::pool` module, also used by the experiment driver) is
+//!   spawned lazily (first level whose frontier is large enough to
+//!   amortise the hand-off) and reused across *all* remaining levels;
+//!   small frontiers expand inline. Workers receive **index ranges** into
+//!   the shared frontier rather than copied chunks, so dispatch moves two
+//!   words per job instead of memcpying `Frontier` entries.
 //!
 //! The search is observably equivalent to
 //! [`beam_search_reference`](crate::beam::beam_search_reference) — same
@@ -48,16 +51,21 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::ops::Range;
+use std::sync::RwLock;
 
 use csnake_inject::FaultId;
 
 use crate::beam::{finalize_cycles, BeamConfig, Cycle, RawChain};
 use crate::edge::{CausalDb, CompatState, EdgeKind};
+use crate::pool::ScopedPool;
 
 /// Sentinel for "no parent" in the chain arena.
 const NONE: u32 = u32::MAX;
+
+/// What one frontier-range expansion returns: candidate extensions plus
+/// discovered cycles.
+type Expansion = (Vec<Candidate>, Vec<CycleRef>);
 
 /// Frontiers below this size expand inline: the per-level hand-off to the
 /// worker pool costs more than the expansion itself.
@@ -541,15 +549,16 @@ impl StitchIndex {
             max_len: cfg.max_len,
             cap,
             arena: RwLock::new(ChainArena::default()),
+            frontier: RwLock::new(Vec::new()),
         };
 
         // Level 1: every edge seeds a chain (Alg. 1 line 2); self-matching
         // edges are already cycles. No beam cut before the first expansion,
         // matching the reference.
         let mut cycles: Vec<CycleRef> = Vec::new();
-        let mut frontier: Vec<Frontier> = Vec::new();
         {
             let mut arena = shared.arena.write().expect("arena lock");
+            let mut frontier = shared.frontier.write().expect("frontier lock");
             for i in 0..n as u32 {
                 let d = self.delay_w[i as usize];
                 if cap.is_some_and(|c| d > c) {
@@ -577,36 +586,58 @@ impl StitchIndex {
             }
         }
 
+        // Workers expand disjoint index ranges of the shared frontier; the
+        // dispatch moves a `Range<usize>` per job instead of memcpying
+        // `Frontier` chunks, and the pool reassembles results in range
+        // order, so parallel expansion stays bit-identical to sequential.
+        let expand_range = |range: Range<usize>| -> Expansion {
+            let frontier = shared.frontier.read().expect("frontier lock");
+            expand_chunk(&shared, &frontier[range])
+        };
+
         // Run the levels inside one scope so lazily-spawned workers can
         // borrow `shared` and persist across levels. The sequential path
         // reuses its expansion and selection buffers level to level. The
         // pool is capped at the hardware's parallelism: extra workers on a
         // saturated machine only add hand-off and context-switch cost.
-        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
-        let workers = cfg.threads.min(hw);
+        let workers = cfg.threads.min(crate::pool::hardware_threads());
         std::thread::scope(|scope| {
-            let mut pool: Option<WorkerPool<'_>> = None;
+            let mut pool: Option<ScopedPool<'_, Range<usize>, Expansion>> = None;
             let mut children: Vec<Candidate> = Vec::new();
             let mut level_cycles: Vec<CycleRef> = Vec::new();
             let mut select = SelectBuffers::default();
             // Ops hook: CSNAKE_STITCH_PROF=1 prints per-level timings.
             let prof = std::env::var_os("CSNAKE_STITCH_PROF").is_some();
-            while !frontier.is_empty() {
+            loop {
+                let nf = shared.frontier.read().expect("frontier lock").len();
+                if nf == 0 {
+                    break;
+                }
                 let t0 = prof.then(std::time::Instant::now);
                 children.clear();
                 level_cycles.clear();
-                let parallel = workers > 1 && frontier.len() >= PARALLEL_THRESHOLD;
+                let parallel = workers > 1 && nf >= PARALLEL_THRESHOLD;
                 if parallel {
-                    let pool =
-                        pool.get_or_insert_with(|| WorkerPool::spawn(scope, &shared, workers));
-                    pool.expand(&frontier, &mut children, &mut level_cycles);
+                    let pool = pool
+                        .get_or_insert_with(|| ScopedPool::spawn(scope, &expand_range, workers));
+                    // Over-partition for load balance; order is restored by
+                    // the pool's tagged reassembly.
+                    let chunks = (workers * 4).min(nf).max(1);
+                    let size = nf.div_ceil(chunks);
+                    let ranges = (0..chunks).map(|c| (c * size).min(nf)..((c + 1) * size).min(nf));
+                    for (c, cy) in pool.map(ranges.filter(|r| !r.is_empty())) {
+                        children.extend(c);
+                        level_cycles.extend(cy);
+                    }
                 } else {
+                    let frontier = shared.frontier.read().expect("frontier lock");
                     expand_into(&shared, &frontier, &mut children, &mut level_cycles);
                 }
                 let t1 = prof.then(std::time::Instant::now);
                 cycles.extend_from_slice(&level_cycles);
-                let (nf, nc) = (frontier.len(), children.len());
-                frontier = select_top_b(&shared, &children, cfg.beam_size, &mut select);
+                let nc = children.len();
+                let next = select_top_b(&shared, &children, cfg.beam_size, &mut select);
+                *shared.frontier.write().expect("frontier lock") = next;
                 if let (Some(t0), Some(t1)) = (t0, t1) {
                     eprintln!(
                         "stitch level: frontier={nf} children={nc} cycles={} expand={:?} select={:?}",
@@ -724,6 +755,10 @@ struct Shared<'a> {
     /// Read by workers during expansion; extended by the level loop during
     /// selection (the two phases never overlap, the lock just proves it).
     arena: RwLock<ChainArena>,
+    /// The live frontier. Workers read disjoint index ranges of it during
+    /// expansion; the level loop replaces it during selection (again, the
+    /// phases never overlap).
+    frontier: RwLock<Vec<Frontier>>,
 }
 
 /// Expands a frontier chunk; candidate and cycle order follows (chain,
@@ -844,82 +879,6 @@ fn select_top_b(
         .collect()
 }
 
-/// A persistent, scope-borrowed worker pool reused across beam levels.
-///
-/// Workers receive `(chunk_idx, frontier chunk)` jobs and return expansion
-/// results tagged with the chunk index; the dispatcher reassembles them in
-/// chunk order, so the parallel expansion is bit-identical to the
-/// sequential one.
-struct WorkerPool<'env> {
-    job_tx: Sender<(usize, Vec<Frontier>)>,
-    result_rx: Receiver<(usize, Vec<Candidate>, Vec<CycleRef>)>,
-    threads: usize,
-    _marker: std::marker::PhantomData<&'env ()>,
-}
-
-impl<'env> WorkerPool<'env> {
-    fn spawn<'scope>(
-        scope: &'scope std::thread::Scope<'scope, 'env>,
-        shared: &'scope Shared<'scope>,
-        threads: usize,
-    ) -> WorkerPool<'env> {
-        let (job_tx, job_rx) = channel::<(usize, Vec<Frontier>)>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let (result_tx, result_rx) = channel();
-        for _ in 0..threads {
-            let job_rx = Arc::clone(&job_rx);
-            let result_tx = result_tx.clone();
-            scope.spawn(move || loop {
-                // The guard drops as soon as `recv` returns, so other
-                // workers can pick up the next chunk.
-                let job = { job_rx.lock().expect("job queue").recv() };
-                let Ok((chunk_idx, chunk)) = job else { break };
-                let (cands, cycles) = expand_chunk(shared, &chunk);
-                if result_tx.send((chunk_idx, cands, cycles)).is_err() {
-                    break;
-                }
-            });
-        }
-        WorkerPool {
-            job_tx,
-            result_rx,
-            threads,
-            _marker: std::marker::PhantomData,
-        }
-    }
-
-    /// Expands the whole frontier across the pool, filling the caller's
-    /// buffers in chunk order.
-    fn expand(
-        &mut self,
-        frontier: &[Frontier],
-        out: &mut Vec<Candidate>,
-        cycles: &mut Vec<CycleRef>,
-    ) {
-        // Over-partition for load balance; order is restored afterwards.
-        let chunks = (self.threads * 4).min(frontier.len()).max(1);
-        let size = frontier.len().div_ceil(chunks);
-        let mut sent = 0;
-        for (chunk_idx, chunk) in frontier.chunks(size).enumerate() {
-            self.job_tx
-                .send((chunk_idx, chunk.to_vec()))
-                .expect("worker pool alive");
-            sent += 1;
-        }
-        let mut slots: Vec<Option<(Vec<Candidate>, Vec<CycleRef>)>> =
-            (0..sent).map(|_| None).collect();
-        for _ in 0..sent {
-            let (chunk_idx, cands, cycs) = self.result_rx.recv().expect("worker result");
-            slots[chunk_idx] = Some((cands, cycs));
-        }
-        for slot in slots {
-            let (c, cy) = slot.expect("all chunks returned");
-            out.extend(c);
-            cycles.extend(cy);
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1012,7 +971,7 @@ mod tests {
     #[test]
     fn worker_pool_matches_sequential_expansion() {
         // The pool only engages organically on machines with spare cores
-        // and big frontiers; drive it directly so chunk-order reassembly is
+        // and big frontiers; drive it directly so range-order reassembly is
         // covered everywhere.
         let mut edges = Vec::new();
         for c in 0..40u32 {
@@ -1030,11 +989,13 @@ mod tests {
             max_len: 4,
             cap: None,
             arena: RwLock::new(ChainArena::default()),
+            frontier: RwLock::new(Vec::new()),
         };
-        let frontier: Vec<Frontier> = {
+        let n = {
             let mut arena = shared.arena.write().unwrap();
-            (0..idx.len() as u32)
-                .map(|i| Frontier {
+            let mut frontier = shared.frontier.write().unwrap();
+            for i in 0..idx.len() as u32 {
+                frontier.push(Frontier {
                     node: arena.push(i, NONE),
                     last_edge: i,
                     first_edge: i,
@@ -1042,14 +1003,27 @@ mod tests {
                     delays: 0,
                     score_sum: sim[i as usize],
                     hash: Hash128::SEED.extend(idx.struct_word[i as usize]),
-                })
-                .collect()
+                });
+            }
+            frontier.len()
         };
-        let (seq_c, seq_cy) = expand_chunk(&shared, &frontier);
+        let (seq_c, seq_cy) = {
+            let frontier = shared.frontier.read().unwrap();
+            expand_chunk(&shared, &frontier)
+        };
+        let expand_range = |range: Range<usize>| {
+            let frontier = shared.frontier.read().unwrap();
+            expand_chunk(&shared, &frontier[range])
+        };
         std::thread::scope(|scope| {
-            let mut pool = WorkerPool::spawn(scope, &shared, 3);
+            let mut pool = ScopedPool::spawn(scope, &expand_range, 3);
+            let size = n.div_ceil(7);
+            let results = pool.map((0..7).map(|c| (c * size).min(n)..((c + 1) * size).min(n)));
             let (mut par_c, mut par_cy) = (Vec::new(), Vec::new());
-            pool.expand(&frontier, &mut par_c, &mut par_cy);
+            for (c, cy) in results {
+                par_c.extend(c);
+                par_cy.extend(cy);
+            }
             let key = |c: &Candidate| (c.parent, c.edge, c.score_sum.to_bits(), c.hash.key());
             assert_eq!(
                 seq_c.iter().map(key).collect::<Vec<_>>(),

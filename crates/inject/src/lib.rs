@@ -21,6 +21,7 @@
 
 pub mod agent;
 pub mod fault;
+pub mod index;
 pub mod registry;
 pub mod trace;
 
@@ -47,10 +48,12 @@ pub mod tracing_switch {
 
 pub use agent::{Agent, FrameGuard, LoopGuard};
 pub use fault::{Fault, InjectAction, InjectionPlan};
+pub use index::TraceIndex;
 pub use registry::{
     BoolSource, BranchId, BranchPoint, ExceptionCategory, ExceptionMeta, FaultId, FaultKind,
     FaultPoint, FnId, LoopBound, LoopMeta, NegationMeta, Registry, RegistryBuilder, Site, TestId,
 };
 pub use trace::{
-    fnv1a, occurrence_sigs_sorted, stack_key, CallStack2, LoopState, Occurrence, RunTrace,
+    fnv1a, merged_loop_state, merged_occurrences, occurrence_sigs_sorted, stack_key, CallStack2,
+    LoopState, Occurrence, RunTrace,
 };

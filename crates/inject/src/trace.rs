@@ -104,6 +104,54 @@ impl LoopState {
     }
 }
 
+/// Deduplicated union of a fault point's occurrences across a set of
+/// runs, sorted by signature so the §6.2 compatibility check runs as a
+/// linear merge.
+///
+/// Shared by the fault-causality analysis' reference and indexed paths.
+/// Like [`merged_loop_state`], this is deliberately computed on demand
+/// rather than eagerly in [`crate::TraceIndex`]: the analysis needs the
+/// merged union only for the few points that emit edges, and profiling
+/// showed eager merging of every occurring point dominates the index
+/// build.
+pub fn merged_occurrences(traces: &[RunTrace], p: FaultId) -> Vec<Occurrence> {
+    let mut out: Vec<Occurrence> = Vec::new();
+    for t in traces {
+        if let Some(occs) = t.occurrences.get(&p) {
+            for o in occs {
+                // Occurrence lists are tiny; a linear scan over the kept
+                // occurrences beats a set.
+                if !out.iter().any(|m| m.sig == o.sig) {
+                    out.push(o.clone());
+                }
+            }
+        }
+    }
+    out.sort_unstable_by_key(|o| o.sig);
+    out
+}
+
+/// Union of a loop point's compatibility state across a set of runs
+/// (`None` when no run recorded one).
+///
+/// Shared by the fault-causality analysis' reference and indexed paths;
+/// set union is order-independent, so both produce identical states. Kept
+/// out of [`crate::TraceIndex`] deliberately: profiling showed merging
+/// every reached loop eagerly at index build costs more than the few
+/// merges per experiment the analysis actually performs (only loops that
+/// emit edges need their state).
+pub fn merged_loop_state(traces: &[RunTrace], l: FaultId) -> Option<LoopState> {
+    let mut merged: Option<LoopState> = None;
+    for t in traces {
+        if let Some(st) = t.loop_states.get(&l) {
+            let m = merged.get_or_insert_with(LoopState::default);
+            m.entry_stacks.extend(st.entry_stacks.iter().cloned());
+            m.iter_sigs.extend(st.iter_sigs.iter().copied());
+        }
+    }
+    merged
+}
+
 /// Everything the agent recorded during one run of one workload.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunTrace {

@@ -1,0 +1,284 @@
+//! Equivalence of the campaign analysis hot paths and their retained
+//! reference implementations.
+//!
+//! * **FCA** — the indexed `analyze_experiment` (per-test `ProfileIndex` +
+//!   per-experiment `TraceIndex`, batched Welch tests) must be
+//!   *byte-identical* to `analyze_experiment_reference`: same interference
+//!   set, same edges in the same order, same compatibility states. Checked
+//!   over 120 seeded random experiments with adversarial shapes (flaky
+//!   occurrences, unfired injections, empty profiles, nested loops) plus a
+//!   full synthetic campaign.
+//! * **3PA clustering** — nearest-neighbor-chain agglomeration must
+//!   produce the same dendrogram cuts as the greedy O(n³) closest-pair
+//!   reference across random vector sets and thresholds.
+//! * **Driver parallelism** — running experiments on the worker pool must
+//!   leave every campaign artifact bit-identical to the sequential path.
+//!
+//! Cases are generated from explicit seeds (SplitMix64), so a failure
+//! names the exact seed that reproduces it.
+
+use std::collections::BTreeSet;
+
+use csnake::core::cluster::{hierarchical_cluster, hierarchical_cluster_reference};
+use csnake::core::fca::{analyze_experiment, analyze_experiment_reference};
+use csnake::core::idf::{IdfVectorizer, SparseVec};
+use csnake::core::{DetectConfig, FcaConfig};
+use csnake::inject::{
+    BoolSource, BranchId, ExceptionCategory, FaultId, FaultKind, FnId, InjectionPlan, LoopState,
+    Occurrence, Registry, RegistryBuilder, RunTrace, TestId,
+};
+use csnake::sim::VirtualTime;
+use csnake_bench::campaign::{CampaignSpec, SyntheticCampaign};
+
+/// Deterministic generator so every case reproduces from its seed alone.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next() as u128 * n as u128) >> 64) as u64
+    }
+
+    fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+}
+
+/// A random registry: throws, negations, and loops with random
+/// parent/sibling structure.
+fn random_registry(g: &mut Gen) -> Registry {
+    let mut b = RegistryBuilder::new("equiv");
+    let f = b.func("Equiv.run");
+    let n_throws = 2 + g.below(6) as u32;
+    let n_negations = 1 + g.below(4) as u32;
+    let n_loops = 2 + g.below(6) as u32;
+    for i in 0..n_throws {
+        b.throw_point(f, i, "IOException", ExceptionCategory::SystemSpecific, "t");
+    }
+    for i in 0..n_negations {
+        b.negation_point(f, 100 + i, true, BoolSource::ErrorDetector, "n");
+    }
+    let mut loops = Vec::new();
+    for i in 0..n_loops {
+        loops.push(b.workload_loop(f, 200 + i, g.chance(50), "l"));
+    }
+    // Random nesting: each later loop may pick an earlier parent and a
+    // later sibling.
+    for i in 1..loops.len() {
+        if g.chance(50) {
+            let p = loops[g.below(i as u64) as usize];
+            b.set_parent(loops[i], p);
+        }
+        if i + 1 < loops.len() && g.chance(40) {
+            b.set_sibling(loops[i], loops[i + 1]);
+        }
+    }
+    b.build()
+}
+
+/// A random occurrence with a small signature pool so cross-run dedup and
+/// profile/injection collisions actually happen.
+fn random_occurrence(g: &mut Gen) -> Occurrence {
+    let stack = [
+        Some(FnId(g.below(5) as u32)),
+        if g.chance(50) {
+            Some(FnId(g.below(5) as u32))
+        } else {
+            None
+        },
+    ];
+    let trace = if g.chance(40) {
+        vec![(BranchId(g.below(3) as u32), g.chance(50))]
+    } else {
+        vec![]
+    };
+    Occurrence::new(stack, trace)
+}
+
+/// A random run trace over a registry: sparse occurrences (sometimes empty
+/// lists), loop counts with occasional zero/missing entries, loop states,
+/// and (for injection runs) a possibly-unfired injection.
+fn random_trace(g: &mut Gen, reg: &Registry, injected: Option<FaultId>) -> RunTrace {
+    let mut t = RunTrace::default();
+    for p in reg.points() {
+        if p.kind == FaultKind::LoopPoint {
+            if g.chance(70) {
+                t.loop_counts.insert(p.id, g.below(200));
+                if g.chance(85) {
+                    let mut st = LoopState::default();
+                    for _ in 0..1 + g.below(2) {
+                        st.entry_stacks
+                            .insert([Some(FnId(g.below(4) as u32)), None]);
+                    }
+                    for _ in 0..g.below(3) {
+                        st.iter_sigs.insert(g.below(6));
+                    }
+                    t.loop_states.insert(p.id, st);
+                }
+            }
+            continue;
+        }
+        if g.chance(25) {
+            let occs = t.occurrences.entry(p.id).or_default();
+            for _ in 0..g.below(3) {
+                occs.push(random_occurrence(g));
+            }
+        }
+    }
+    if let Some(f) = injected {
+        // ~15% of injection runs fail to fire the fault.
+        if g.chance(85) {
+            t.injected = Some((f, random_occurrence(g)));
+        }
+    }
+    t
+}
+
+#[test]
+fn indexed_fca_matches_reference_on_random_experiments() {
+    for seed in 0..120u64 {
+        let mut g = Gen::new(seed);
+        let reg = random_registry(&mut g);
+        let n_points = reg.points().len() as u64;
+        let target = FaultId(g.below(n_points) as u32);
+        let plan = match reg.point(target).kind {
+            FaultKind::LoopPoint => {
+                InjectionPlan::delay(target, VirtualTime::from_millis(100 + g.below(900)))
+            }
+            FaultKind::Negation => InjectionPlan::negate(target),
+            _ => InjectionPlan::throw(target),
+        };
+        let reps = g.below(6) as usize; // includes 0-rep edge cases
+        let profile: Vec<RunTrace> = (0..1 + g.below(5))
+            .map(|_| random_trace(&mut g, &reg, None))
+            .collect();
+        let injection: Vec<RunTrace> = (0..reps)
+            .map(|_| random_trace(&mut g, &reg, Some(target)))
+            .collect();
+        let cfg = FcaConfig {
+            p_value: [0.05, 0.1, 0.3][g.below(3) as usize],
+            presence_fraction: [0.4, 0.6, 1.0][g.below(3) as usize],
+        };
+        let test = TestId(g.below(4) as u32);
+        let phase = 1 + g.below(3) as u8;
+        let fast = analyze_experiment(&reg, &profile, &injection, plan, test, phase, &cfg);
+        let slow =
+            analyze_experiment_reference(&reg, &profile, &injection, plan, test, phase, &cfg);
+        assert_eq!(fast, slow, "seed {seed} diverged");
+    }
+}
+
+#[test]
+fn indexed_fca_matches_reference_on_synthetic_campaign() {
+    let campaign = SyntheticCampaign::generate(&CampaignSpec::smoke());
+    let reg = campaign.registry().clone();
+    let cfg = FcaConfig::default();
+    let mut edges = 0usize;
+    for &t in &campaign.tests() {
+        let profile = campaign.profile_traces(t);
+        for &f in campaign.faults() {
+            let injection = campaign.injection_traces(f, t);
+            let plan = campaign.plan_for(f);
+            let fast = analyze_experiment(&reg, &profile, &injection, plan, t, 1, &cfg);
+            let slow = analyze_experiment_reference(&reg, &profile, &injection, plan, t, 1, &cfg);
+            assert_eq!(fast, slow, "campaign experiment ({f}, {t}) diverged");
+            edges += fast.edges.len();
+        }
+    }
+    assert!(
+        edges > 0,
+        "campaign produced no edges — vacuous equivalence"
+    );
+}
+
+/// Random sparse interference vectors via the real IDF pipeline.
+fn random_vectors(g: &mut Gen, n: usize) -> Vec<SparseVec> {
+    let pool = 4 + g.below(20);
+    let docs: Vec<BTreeSet<FaultId>> = (0..n)
+        .map(|_| {
+            let k = g.below(5);
+            (0..k).map(|_| FaultId(g.below(pool) as u32)).collect()
+        })
+        .collect();
+    let m = IdfVectorizer::fit(&docs);
+    docs.iter().map(|d| m.vectorize(d)).collect()
+}
+
+#[test]
+fn nn_chain_clustering_matches_reference_across_thresholds() {
+    let mut cases = 0;
+    for seed in 0..40u64 {
+        let mut g = Gen::new(0xC1_0000 + seed);
+        let n = 2 + g.below(40) as usize;
+        let vectors = random_vectors(&mut g, n);
+        for threshold in [1e-9, 0.2, 0.5, 0.8, 1.0 + 1e-9] {
+            let fast = hierarchical_cluster(&vectors, threshold);
+            let slow = hierarchical_cluster_reference(&vectors, threshold);
+            assert_eq!(fast, slow, "seed {seed} n {n} threshold {threshold}");
+            cases += 1;
+        }
+    }
+    assert!(cases >= 100);
+}
+
+#[test]
+fn nn_chain_handles_duplicate_heavy_inputs() {
+    // Tie-heavy inputs (duplicate and zero vectors) are where merge-order
+    // freedom could bite; cuts must still match the reference.
+    for seed in 0..20u64 {
+        let mut g = Gen::new(0xD2_0000 + seed);
+        let base = random_vectors(&mut g, 6);
+        let mut vectors = Vec::new();
+        for _ in 0..4 + g.below(30) {
+            vectors.push(base[g.below(base.len() as u64) as usize].clone());
+        }
+        for threshold in [0.3, 0.6] {
+            assert_eq!(
+                hierarchical_cluster(&vectors, threshold),
+                hierarchical_cluster_reference(&vectors, threshold),
+                "seed {seed} threshold {threshold}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_experiment_execution_is_deterministic() {
+    use csnake::core::detect;
+    use csnake::targets::ToySystem;
+
+    let target = ToySystem::new();
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800];
+    cfg.driver.parallel = false;
+    let sequential = detect(&target, &cfg);
+    cfg.driver.parallel = true;
+    let parallel = detect(&target, &cfg);
+
+    assert_eq!(
+        sequential.alloc.db.edges(),
+        parallel.alloc.db.edges(),
+        "worker-pool campaign produced different causal edges"
+    );
+    assert_eq!(sequential.alloc.outcomes, parallel.alloc.outcomes);
+    assert_eq!(sequential.alloc.clusters, parallel.alloc.clusters);
+    assert_eq!(sequential.alloc.sim_scores, parallel.alloc.sim_scores);
+    assert_eq!(sequential.runs_executed, parallel.runs_executed);
+    assert_eq!(sequential.report.cycles.len(), parallel.report.cycles.len());
+}
