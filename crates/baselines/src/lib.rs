@@ -8,13 +8,18 @@
 //!   coarse-grained external faults (node crash/restart, partitions, link
 //!   slowdowns) with a crash/flag oracle, no whitebox feedback. It finds
 //!   none of the seeded self-sustaining cycles.
+//! * [`strategies`] — budget-allocation policies behind
+//!   `csnake_core::AllocationStrategy` (exhaustive sweep, coverage-greedy),
+//!   pluggable into a detection `Session` in place of 3PA.
 //!
 //! The random-allocation baseline (Table 3 "Rnd.?") lives in
-//! `csnake_core::alloc::run_random_allocation`, since it shares the
-//! experiment engine.
+//! `csnake_core::alloc::RandomAllocation`, since it shares the experiment
+//! engine and the sessions' strategy slot directly.
 
 pub mod blackbox;
 pub mod naive;
+pub mod strategies;
 
 pub use blackbox::{run_blackbox_campaign, BlackboxConfig, BlackboxReport};
 pub use naive::{run_naive_strategy, NaiveConfig, NaiveFinding, NaiveReport};
+pub use strategies::{CoverageGreedyAllocation, ExhaustiveAllocation};

@@ -7,9 +7,9 @@
 //! inflating reported cycles and clusters without adding true positives
 //! (the "invalid causal chains" of §2).
 
-use csnake_bench::{run_csnake, set_current_target, EvalConfig};
+use csnake_bench::EvalConfig;
 use csnake_core::edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
-use csnake_core::{beam_search, build_report, cluster_cycles, BeamConfig, TargetSystem};
+use csnake_core::{beam_search, build_report, cluster_cycles, BeamConfig, Session, ThreePhase};
 use csnake_inject::{FaultId, FnId, Occurrence, TestId};
 use csnake_targets::MiniHdfs2;
 
@@ -57,10 +57,21 @@ fn main() {
         println!("  {name}: {n} cycle(s) reported (sound answer: 0)");
     }
     println!();
-    let target: &'static dyn TargetSystem = Box::leak(Box::new(MiniHdfs2::new()));
-    set_current_target(target);
-    let detection = run_csnake(target, &EvalConfig::default());
-    let sim_of = |f| detection.alloc.sim_score_of(f);
+    let target = MiniHdfs2::new();
+    // The ablation needs the campaign once and the stitcher twice, so it
+    // drives the staged session only as far as allocation and runs both
+    // beam variants over the session's causal database.
+    let dc = EvalConfig::default().detect_config();
+    let mut session = Session::builder(&target)
+        .config(dc.clone())
+        .build()
+        .expect("mini-HDFS2 is drivable");
+    session.profile().expect("profile stage");
+    session
+        .allocate(&ThreePhase::new(dc.alloc.clone()))
+        .expect("allocation stage");
+    let alloc = session.allocation().expect("allocated");
+    let sim_of = |f| alloc.sim_score_of(f);
 
     println!("Ablation of the local compatibility check (mini-HDFS2)");
     println!("| variant | cycles | clusters | TP clusters |");
@@ -73,9 +84,9 @@ fn main() {
             compatibility_check: check,
             ..BeamConfig::default()
         };
-        let cycles = beam_search(&detection.alloc.db, &sim_of, &cfg);
-        let clusters = cluster_cycles(&cycles, &detection.alloc.db, &detection.alloc.cluster_of);
-        let report = build_report(target, &detection.alloc, cycles, clusters);
+        let cycles = beam_search(&alloc.db, &sim_of, &cfg);
+        let clusters = cluster_cycles(&cycles, &alloc.db, &alloc.cluster_of);
+        let report = build_report(&target, alloc, cycles, clusters);
         println!(
             "| {name} | {} | {} | {} |",
             report.cycles.len(),

@@ -6,8 +6,11 @@
 //!
 //! Usage: `table3 [--fast]` — `--fast` runs HDFS2, Flink and Ozone only.
 
+use std::sync::Arc;
+
 use csnake_baselines::{run_naive_strategy, NaiveConfig};
-use csnake_bench::{run_csnake, run_random, EvalConfig};
+use csnake_bench::{run_csnake_with, run_random, EvalConfig};
+use csnake_core::ProgressCollector;
 use csnake_targets::all_paper_targets;
 
 fn main() {
@@ -23,7 +26,8 @@ fn main() {
         if fast && (target.name() == "mini-hdfs3" || target.name() == "mini-hbase") {
             continue;
         }
-        let detection = run_csnake(target.as_ref(), &cfg);
+        let progress = Arc::new(ProgressCollector::new());
+        let detection = run_csnake_with(target.as_ref(), &cfg, progress.clone());
         let random = run_random(target.as_ref(), &cfg);
         let naive = run_naive_strategy(target.as_ref(), &NaiveConfig::default());
 
@@ -56,14 +60,21 @@ fn main() {
                 ),
             }
         }
+        // Cross-checked two ways: campaign results and the observer's
+        // event stream must agree.
+        let seen = progress.snapshot();
+        assert_eq!(seen.experiments, detection.alloc.experiments_run);
+        assert_eq!(seen.edges, detection.alloc.db.len());
+        assert_eq!(seen.cycles, detection.report.cycles.len());
         eprintln!(
-            "[{}] experiments={} edges={} cycles={} clusters={} runs={}",
+            "[{}] experiments={} edges={} cycles={} clusters={} runs={} (phases seen: {})",
             target.name(),
             detection.alloc.experiments_run,
             detection.alloc.db.len(),
             detection.report.cycles.len(),
             detection.report.clusters.len(),
             detection.runs_executed,
+            seen.phases_finished,
         );
     }
     println!();

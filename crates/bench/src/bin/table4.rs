@@ -4,17 +4,29 @@
 //! parenthesised numbers). Limiting delay injections prunes the pure-delay
 //! "expected contention" false positives (§8.4.2) while keeping most true
 //! positives.
+//!
+//! Usage: `table4 [--target <name>]` — restrict to one system (any
+//! [`csnake_targets::by_name`] name) while iterating.
 
 use csnake_bench::{run_csnake, set_current_target, table4_variants, EvalConfig};
 use csnake_core::TargetSystem;
-use csnake_targets::all_paper_targets;
+use csnake_targets::{all_paper_targets, by_name};
 
 fn main() {
     let cfg = EvalConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    let targets: Vec<Box<dyn TargetSystem>> =
+        match args.iter().position(|a| a == "--target").map(|i| i + 1) {
+            Some(i) => {
+                let name = args.get(i).expect("--target needs a name");
+                vec![by_name(name).unwrap_or_else(|| panic!("unknown target {name:?}"))]
+            }
+            None => all_paper_targets(),
+        };
     println!("Table 4: reported cycles and clustering");
     println!("| System | Cycle | Cluster | TP | (≤1 delay: Cycle | Cluster | TP) |");
     println!("|---|---|---|---|---|");
-    for target in all_paper_targets() {
+    for target in targets {
         let target: &'static dyn TargetSystem = Box::leak(target);
         set_current_target(target);
         let detection = run_csnake(target, &cfg);

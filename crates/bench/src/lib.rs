@@ -12,8 +12,11 @@
 
 pub mod campaign;
 
+use std::sync::Arc;
+
 use csnake_core::{
-    detect, detect_with_random_allocation, BeamConfig, DetectConfig, Detection, TargetSystem,
+    BeamConfig, CampaignObserver, DetectConfig, Detection, NoopObserver, RandomAllocation, Session,
+    TargetSystem, ThreePhase,
 };
 
 /// Evaluation knobs for a full campaign on one target.
@@ -61,12 +64,41 @@ impl EvalConfig {
 
 /// Runs the full CSnake pipeline on a target.
 pub fn run_csnake(target: &dyn TargetSystem, cfg: &EvalConfig) -> Detection {
-    detect(target, &cfg.detect_config())
+    run_csnake_with(target, cfg, Arc::new(NoopObserver))
+}
+
+/// Runs the full CSnake pipeline as an explicitly staged session, streaming
+/// progress to the observer.
+pub fn run_csnake_with(
+    target: &dyn TargetSystem,
+    cfg: &EvalConfig,
+    observer: Arc<dyn CampaignObserver>,
+) -> Detection {
+    let dc = cfg.detect_config();
+    let strategy = ThreePhase::new(dc.alloc.clone());
+    let mut session = Session::builder(target)
+        .config(dc)
+        .observer(observer)
+        .build()
+        .expect("bundled targets are drivable");
+    session
+        .run_to_report(&strategy)
+        .expect("staged pipeline runs in order");
+    session.into_detection().expect("session is reported")
 }
 
 /// Runs the random-allocation variant (Table 3 "Rnd.?").
 pub fn run_random(target: &dyn TargetSystem, cfg: &EvalConfig) -> Detection {
-    detect_with_random_allocation(target, &cfg.detect_config(), cfg.seed ^ 0x7777)
+    let dc = cfg.detect_config();
+    let strategy = RandomAllocation::new(dc.alloc.clone(), cfg.seed ^ 0x7777);
+    let mut session = Session::builder(target)
+        .config(dc)
+        .build()
+        .expect("bundled targets are drivable");
+    session
+        .run_to_report(&strategy)
+        .expect("staged pipeline runs in order");
+    session.into_detection().expect("session is reported")
 }
 
 /// Runs the beam search twice over an existing causal database: unlimited

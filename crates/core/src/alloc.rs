@@ -24,6 +24,7 @@ use crate::cluster::hierarchical_cluster;
 use crate::edge::CausalDb;
 use crate::fca::ExperimentOutcome;
 use crate::idf::{cosine_distance, IdfVectorizer, SparseVec};
+use crate::observer::{CampaignObserver, NoopObserver};
 
 /// Abstraction over "run one injection experiment"; implemented by the real
 /// [`crate::driver::Driver`] and by mocks in tests.
@@ -78,6 +79,107 @@ impl Default for ThreePhaseConfig {
             epsilon: 0.01,
             seed: 0xC5_AA_5E,
         }
+    }
+}
+
+impl ThreePhaseConfig {
+    /// The total experiment budget for a campaign over `n_faults` injectable
+    /// faults: `budget_per_fault · |F|` (§5). The single place this product
+    /// is computed — the 3PA protocol, the random baseline and the shims all
+    /// derive their budgets here.
+    pub fn total_budget(&self, n_faults: usize) -> usize {
+        self.budget_per_fault * n_faults
+    }
+}
+
+/// A pluggable experiment-budget allocation policy: given an engine that can
+/// run `(fault, test)` experiments, produce the campaign's
+/// [`AllocationResult`].
+///
+/// The trait is object-safe, so sessions and harnesses can carry
+/// `&dyn AllocationStrategy`. Bundled implementations:
+///
+/// * [`ThreePhase`] — the paper's Three-Phase Allocation protocol (§5);
+/// * [`RandomAllocation`] — the §8.1 "Rnd.?" uniform baseline;
+/// * `csnake_baselines::strategies` — exhaustive and coverage-greedy
+///   comparison policies.
+///
+/// Implementations must be deterministic given the engine and their own
+/// configuration (seeds live in the strategy), and should emit progress
+/// through the observer (phase boundaries, experiment completions, new
+/// edges, budget movement) — see [`crate::observer`] for the vocabulary.
+pub trait AllocationStrategy {
+    /// Short stable policy name, recorded in campaign artifacts and
+    /// snapshots (e.g. `"three-phase"`, `"random"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the policy's full campaign against the engine.
+    fn run(
+        &self,
+        engine: &mut dyn ExperimentEngine,
+        observer: &dyn CampaignObserver,
+    ) -> AllocationResult;
+}
+
+/// The paper's Three-Phase Allocation protocol as a strategy object.
+#[derive(Debug, Clone, Default)]
+pub struct ThreePhase {
+    /// Protocol knobs (budget multiplier, clustering threshold, ε, seed).
+    pub cfg: ThreePhaseConfig,
+}
+
+impl ThreePhase {
+    /// A 3PA strategy with the given knobs.
+    pub fn new(cfg: ThreePhaseConfig) -> Self {
+        ThreePhase { cfg }
+    }
+}
+
+impl AllocationStrategy for ThreePhase {
+    fn name(&self) -> &'static str {
+        "three-phase"
+    }
+
+    fn run(
+        &self,
+        engine: &mut dyn ExperimentEngine,
+        observer: &dyn CampaignObserver,
+    ) -> AllocationResult {
+        run_three_phase_with(engine, &self.cfg, observer)
+    }
+}
+
+/// The uniform random-allocation baseline as a strategy object
+/// (§8.1 Table 3 "Rnd.?"): same total budget as 3PA would get, uniformly
+/// random `(fault, reaching-test)` combinations without repetition.
+#[derive(Debug, Clone)]
+pub struct RandomAllocation {
+    /// Budget knobs; only `budget_per_fault` is used (the total is
+    /// [`ThreePhaseConfig::total_budget`] over the engine's fault count).
+    pub cfg: ThreePhaseConfig,
+    /// RNG seed for the uniform draw.
+    pub seed: u64,
+}
+
+impl RandomAllocation {
+    /// A random baseline matching the budget of the given 3PA knobs.
+    pub fn new(cfg: ThreePhaseConfig, seed: u64) -> Self {
+        RandomAllocation { cfg, seed }
+    }
+}
+
+impl AllocationStrategy for RandomAllocation {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn run(
+        &self,
+        engine: &mut dyn ExperimentEngine,
+        observer: &dyn CampaignObserver,
+    ) -> AllocationResult {
+        let budget = self.cfg.total_budget(engine.faults().len());
+        run_random_allocation_with(engine, budget, self.seed, observer)
     }
 }
 
@@ -163,13 +265,25 @@ fn pick_from_cluster(
     None
 }
 
-/// Runs the full 3PA protocol against an engine.
+/// Runs the full 3PA protocol against an engine (no observer).
 pub fn run_three_phase(
     engine: &mut dyn ExperimentEngine,
     cfg: &ThreePhaseConfig,
 ) -> AllocationResult {
+    run_three_phase_with(engine, cfg, &NoopObserver)
+}
+
+/// Runs the full 3PA protocol against an engine, streaming progress events
+/// (phase boundaries, experiment completions, new edges, budget movement)
+/// to the observer. Observers never influence the protocol: event order is
+/// deterministic and identical to the unobserved run.
+pub fn run_three_phase_with(
+    engine: &mut dyn ExperimentEngine,
+    cfg: &ThreePhaseConfig,
+    observer: &dyn CampaignObserver,
+) -> AllocationResult {
     let faults = engine.faults();
-    let budget = cfg.budget_per_fault * faults.len();
+    let budget = cfg.total_budget(faults.len());
     let mut rng = SimRng::new(cfg.seed);
     let mut used = UsedSet::new();
     let mut outcomes: Vec<ExperimentOutcome> = Vec::new();
@@ -184,8 +298,11 @@ pub fn run_three_phase(
                      db: &mut CausalDb| {
         for out in engine.run_experiments(batch) {
             for e in &out.edges {
-                db.push(e.clone());
+                if db.push(e.clone()) {
+                    observer.edge_emitted(e);
+                }
             }
+            observer.experiment_completed(&out);
             outcomes.push(out);
         }
     };
@@ -210,7 +327,10 @@ pub fn run_three_phase(
         batch.push((f, t, 1));
         spent += 1;
     }
+    observer.phase_started(1, batch.len());
     run_batch(engine, &batch, &mut outcomes, &mut db);
+    observer.phase_finished(1, batch.len());
+    observer.budget_spent(spent, budget);
 
     // Cluster faults by phase-one interference vectors. Faults that never
     // ran (unreachable) get zero vectors and land with the non-impactful
@@ -280,7 +400,10 @@ pub fn run_three_phase(
             spent += 1;
         }
     }
+    observer.phase_started(2, batch.len());
     run_batch(engine, &batch, &mut outcomes, &mut db);
+    observer.phase_finished(2, batch.len());
+    observer.budget_spent(spent, budget);
 
     // ---- Intra-cluster interference similarity (Eq. 6), from a second IDF
     // model fitted on both phases.
@@ -332,7 +455,10 @@ pub fn run_three_phase(
         batch.push((f, t, 3));
         spent += 1;
     }
+    observer.phase_started(3, batch.len());
     run_batch(engine, &batch, &mut outcomes, &mut db);
+    observer.phase_finished(3, batch.len());
+    observer.budget_spent(spent, budget);
 
     AllocationResult {
         db,
@@ -396,6 +522,17 @@ pub fn run_random_allocation(
     budget: usize,
     seed: u64,
 ) -> AllocationResult {
+    run_random_allocation_with(engine, budget, seed, &NoopObserver)
+}
+
+/// Observer-streaming variant of [`run_random_allocation`]; the whole
+/// campaign is one planned batch reported as phase 0.
+pub fn run_random_allocation_with(
+    engine: &mut dyn ExperimentEngine,
+    budget: usize,
+    seed: u64,
+    observer: &dyn CampaignObserver,
+) -> AllocationResult {
     let faults = engine.faults();
     let mut rng = SimRng::new(seed);
     let mut combos: Vec<(FaultId, TestId)> = Vec::new();
@@ -411,16 +548,53 @@ pub fn run_random_allocation(
     }
     combos.truncate(budget);
 
-    let mut db = CausalDb::default();
-    let mut outcomes = Vec::new();
     let batch: Vec<(FaultId, TestId, u8)> = combos.into_iter().map(|(f, t)| (f, t, 0)).collect();
-    for out in engine.run_experiments(&batch) {
-        for e in &out.edges {
-            db.push(e.clone());
+    run_planned(engine, &batch, budget, observer)
+}
+
+/// Executes a fully pre-planned experiment batch and assembles the
+/// baseline-shaped [`AllocationResult`]: singleton fault clusters and
+/// SimScore 1.0 everywhere (no conditionality evidence is collected).
+///
+/// The building block for [`AllocationStrategy`] implementations whose
+/// picks don't depend on outcomes — the random baseline above and the
+/// `csnake_baselines::strategies` policies. Observer events mirror the 3PA
+/// runner: one `phase_started`/`phase_finished` pair per contiguous run of
+/// equal phase labels in the batch, experiment/edge events per outcome, a
+/// final `budget_spent`.
+pub fn run_planned(
+    engine: &mut dyn ExperimentEngine,
+    batch: &[(FaultId, TestId, u8)],
+    budget: usize,
+    observer: &dyn CampaignObserver,
+) -> AllocationResult {
+    let faults = engine.faults();
+    let mut db = CausalDb::default();
+    let mut outcomes: Vec<ExperimentOutcome> = Vec::new();
+    let mut start = 0usize;
+    while start < batch.len() {
+        let phase = batch[start].2;
+        let end = batch[start..]
+            .iter()
+            .position(|&(_, _, p)| p != phase)
+            .map(|k| start + k)
+            .unwrap_or(batch.len());
+        let chunk = &batch[start..end];
+        observer.phase_started(phase, chunk.len());
+        for out in engine.run_experiments(chunk) {
+            for e in &out.edges {
+                if db.push(e.clone()) {
+                    observer.edge_emitted(e);
+                }
+            }
+            observer.experiment_completed(&out);
+            outcomes.push(out);
         }
-        outcomes.push(out);
+        observer.phase_finished(phase, chunk.len());
+        start = end;
     }
     let n = outcomes.len();
+    observer.budget_spent(n, budget);
     AllocationResult {
         db,
         outcomes,

@@ -58,6 +58,21 @@ impl Default for DriverConfig {
     }
 }
 
+impl DriverConfig {
+    /// The paper's evaluation settings: 5 repetitions per run set and the
+    /// full seven-point 100 ms – 8 s delay sweep
+    /// ([`csnake_inject::fault::PAPER_DELAY_SWEEP_MS`]). Slower than the
+    /// default (which trims the sweep for day-to-day runs) but maximises
+    /// discovery, per §4.2.
+    pub fn paper() -> Self {
+        DriverConfig {
+            reps: 5,
+            delay_values_ms: csnake_inject::fault::PAPER_DELAY_SWEEP_MS.to_vec(),
+            ..Default::default()
+        }
+    }
+}
+
 /// Deterministic per-(test, rep) seed derivation.
 ///
 /// Profile and injection runs of the same `(test, rep)` share a seed so the
@@ -93,7 +108,6 @@ impl<'a> Driver<'a> {
     /// Profiles every test, builds coverage and the dynamic call graph, and
     /// applies the static filters.
     pub fn new(target: &'a dyn TargetSystem, cfg: DriverConfig) -> Self {
-        let registry = target.registry();
         let tests = target.tests();
         let mut profiles: BTreeMap<TestId, Vec<RunTrace>> = BTreeMap::new();
         let mut runs = 0usize;
@@ -102,6 +116,26 @@ impl<'a> Driver<'a> {
             runs += traces.len();
             profiles.insert(tc.id, traces);
         }
+        Self::from_profiles(target, cfg, profiles, runs)
+    }
+
+    /// Rebuilds a driver from previously recorded profile traces without
+    /// touching the simulator — the resume path of session snapshots.
+    ///
+    /// All derived state (coverage, the dynamic call graph, the static
+    /// filters, the per-test profile indexes) is recomputed here; since the
+    /// computation is deterministic in `profiles` and `cfg`, a driver
+    /// restored this way is indistinguishable from the one that recorded
+    /// the traces. `runs_executed` carries the run counter across the
+    /// checkpoint so campaign accounting stays exact.
+    pub fn from_profiles(
+        target: &'a dyn TargetSystem,
+        cfg: DriverConfig,
+        profiles: BTreeMap<TestId, Vec<RunTrace>>,
+        runs_executed: usize,
+    ) -> Self {
+        let registry = target.registry();
+        let runs = runs_executed;
 
         // Coverage: a test reaches a fault point if any profile rep did.
         let mut reaching: BTreeMap<FaultId, Vec<TestId>> = BTreeMap::new();
@@ -146,6 +180,12 @@ impl<'a> Driver<'a> {
     /// Cached profile traces of a test.
     pub fn profile(&self, t: TestId) -> &[RunTrace] {
         self.profiles.get(&t).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All cached profile traces, keyed by test — the expensive simulator
+    /// output that session snapshots persist.
+    pub fn profiles(&self) -> &BTreeMap<TestId, Vec<RunTrace>> {
+        &self.profiles
     }
 
     /// The driver configuration.

@@ -140,13 +140,17 @@ impl CausalDb {
     /// repeats (which arise from the delay-length sweep). Amortised O(1):
     /// dedup is one hash-set probe and `by_cause` one hash-map append,
     /// instead of the old linear scan over all prior edges of the cause.
-    pub fn push(&mut self, e: CausalEdge) {
+    ///
+    /// Returns `true` when the edge was new (observers use this to report
+    /// only genuinely emitted edges, not sweep repeats).
+    pub fn push(&mut self, e: CausalEdge) -> bool {
         if !self.dedup.insert((e.cause, e.effect, e.kind, e.test)) {
-            return;
+            return false;
         }
         let idx = self.edges.len();
         self.by_cause.entry(e.cause).or_default().push(idx);
         self.edges.push(e);
+        true
     }
 
     /// All edges.

@@ -1,7 +1,58 @@
 //! CSnake core: detecting self-sustaining cascading failures via causal
 //! stitching of fault propagations.
 //!
-//! This crate implements the paper's primary contribution end to end:
+//! # The staged `Session` API
+//!
+//! The paper's pipeline (Fig. 3) is staged — profile runs → static
+//! filtering → fault injection with FCA → causal stitching → report — and
+//! the crate's primary entry point, [`Session`], exposes exactly those
+//! stages:
+//!
+//! ```ignore
+//! use std::sync::Arc;
+//! use csnake_core::{DetectConfig, ProgressCollector, Session, ThreePhase};
+//!
+//! let target = csnake_targets::toy::ToySystem::new();
+//! let progress = Arc::new(ProgressCollector::new());
+//! let mut session = Session::builder(&target)
+//!     .config(DetectConfig::default())
+//!     .observer(progress.clone())
+//!     .build()?;
+//!
+//! let profiled = session.profile()?;              // → `Profiled`
+//! session.checkpoint("campaign.csnake")?;         // durable stage boundary
+//! session.allocate(&ThreePhase::default())?;      // → `CampaignOutcome`
+//! session.stitch()?;                              // → `StitchedCycles`
+//! let report = session.report()?;                 // → `DetectionReport`
+//! for m in &report.matches {
+//!     println!("found {} ({}): {}", m.bug.id, m.bug.jira, m.composition);
+//! }
+//! ```
+//!
+//! Each stage returns a serializable artifact ([`Profiled`],
+//! [`CampaignOutcome`], [`StitchedCycles`], [`DetectionReport`]); the heavy
+//! intermediate state stays inside the session behind accessors. Three
+//! extension points hang off the session:
+//!
+//! * **[`AllocationStrategy`]** — the campaign stage is parameterised by an
+//!   object-safe budget-allocation policy over an [`ExperimentEngine`]:
+//!   the paper's [`ThreePhase`] protocol, the [`RandomAllocation`]
+//!   baseline, or external policies (`csnake_baselines::strategies`).
+//! * **[`CampaignObserver`]** — a first-class event stream (stage/phase
+//!   boundaries, experiment completions, causal edges as they enter the
+//!   database, cycles as the stitcher reports them, budget movement), with
+//!   a no-op default and a bundled [`ProgressCollector`]; see
+//!   [`observer`] for the full vocabulary.
+//! * **Checkpoint/resume** — [`Session::checkpoint`] writes a versioned
+//!   `.csnake` snapshot at any stage boundary and [`Session::resume`]
+//!   continues it later; resumed campaigns are bit-identical to
+//!   uninterrupted ones (see [`snapshot`]). Misuse surfaces as typed
+//!   [`CsnakeError`]s, never panics.
+//!
+//! The one-shot [`detect`] / [`detect_with_random_allocation`] calls remain
+//! as thin shims over a staged session.
+//!
+//! # Pipeline internals
 //!
 //! * [`fca`] — **Fault Causality Analysis** (§4.3): counterfactual comparison
 //!   of injection runs against profile runs; emits the six causal edge kinds
@@ -31,6 +82,8 @@
 //!   and the driver's parallel experiment execution.
 //! * [`report`] — cycle composition, ground-truth matching and TP/FP
 //!   accounting used by the evaluation harness.
+//! * [`session`] / [`observer`] / [`snapshot`] / [`error`] — the staged
+//!   public surface described above.
 //!
 //! # Campaign-path architecture and complexity
 //!
@@ -82,20 +135,6 @@
 //! * **Equivalence** — `tests/beam_equivalence.rs` proves the indexed
 //!   search byte-identical to [`beam_search_reference`] (cycles, scores,
 //!   order) across randomized databases and both ablation knobs.
-//!
-//! # Examples
-//!
-//! Running the whole pipeline against a target system takes one call:
-//!
-//! ```ignore
-//! use csnake_core::{detect, DetectConfig};
-//!
-//! let target = csnake_targets::toy::ToySystem::new();
-//! let detection = detect(&target, &DetectConfig::default());
-//! for m in &detection.report.matches {
-//!     println!("found {} ({}): {}", m.bug.id, m.bug.jira, m.composition);
-//! }
-//! ```
 
 pub mod alloc;
 pub mod beam;
@@ -103,17 +142,25 @@ pub mod cluster;
 pub mod compat;
 pub mod driver;
 pub mod edge;
+pub mod error;
 pub mod fca;
 pub mod idf;
+pub mod observer;
 pub mod pool;
 pub mod report;
+pub mod session;
+pub mod snapshot;
 pub mod stats;
 pub mod stitch;
 pub mod target;
 
 use serde::{Deserialize, Serialize};
 
-pub use alloc::{run_random_allocation, run_three_phase, AllocationResult, ThreePhaseConfig};
+pub use alloc::{
+    run_planned, run_random_allocation, run_random_allocation_with, run_three_phase,
+    run_three_phase_with, AllocationResult, AllocationStrategy, ExperimentEngine, RandomAllocation,
+    ThreePhase, ThreePhaseConfig,
+};
 pub use beam::{
     beam_search, beam_search_reference, cluster_cycles, BeamConfig, Cycle, CycleCluster,
 };
@@ -121,13 +168,17 @@ pub use cluster::{hierarchical_cluster, hierarchical_cluster_reference, Clusteri
 pub use compat::compatible;
 pub use driver::{Driver, DriverConfig};
 pub use edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
+pub use error::{CsnakeError, Result};
 pub use fca::{
     analyze_experiment, analyze_experiment_indexed, analyze_experiment_reference,
     ExperimentOutcome, FcaConfig, ProfileIndex,
 };
+pub use observer::{CampaignObserver, NoopObserver, ProgressCollector, ProgressSnapshot};
 pub use report::{
     build_report, composition, BugMatch, ClusterVerdict, Composition, DetectionReport,
 };
+pub use session::{CampaignOutcome, Profiled, Session, SessionBuilder, Stage, StitchedCycles};
+pub use snapshot::{registry_fingerprint, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stitch::StitchIndex;
 pub use target::{KnownBug, TargetSystem, TestCase};
 
@@ -147,7 +198,8 @@ pub struct DetectConfig {
 pub struct Detection {
     /// Static-analysis result (active fault points, Table 2 counts).
     pub analysis: csnake_analyzer::Analysis,
-    /// Everything the 3PA protocol produced (edges, clusters, SimScores).
+    /// Everything the allocation strategy produced (edges, clusters,
+    /// SimScores).
     pub alloc: AllocationResult,
     /// Cycles, clusters, verdicts and ground-truth matches.
     pub report: DetectionReport,
@@ -155,42 +207,55 @@ pub struct Detection {
     pub runs_executed: usize,
 }
 
-/// Runs the complete CSnake pipeline against a target system:
+/// Runs the complete CSnake pipeline against a target system — a thin shim
+/// over a staged [`Session`] with the [`ThreePhase`] strategy:
 /// profile runs → static filtering → 3PA fault injection with FCA →
 /// beam search → cycle clustering → report.
+///
+/// # Panics
+///
+/// On an undrivable target (no workloads / no fault points). Use the
+/// [`Session`] API directly for typed errors.
 pub fn detect(target: &dyn TargetSystem, cfg: &DetectConfig) -> Detection {
-    let mut driver = Driver::new(target, cfg.driver.clone());
-    let alloc = run_three_phase(&mut driver, &cfg.alloc);
-    finish_detection(target, driver, alloc, cfg)
+    let strategy = ThreePhase::new(cfg.alloc.clone());
+    detect_with_strategy(target, cfg, &strategy)
 }
 
 /// Same pipeline but with the random-allocation baseline in place of 3PA
 /// (§8.1, Table 3 "Rnd.?" column). The budget matches what 3PA would get.
+///
+/// # Panics
+///
+/// On an undrivable target (no workloads / no fault points). Use the
+/// [`Session`] API directly for typed errors.
 pub fn detect_with_random_allocation(
     target: &dyn TargetSystem,
     cfg: &DetectConfig,
     seed: u64,
 ) -> Detection {
-    let mut driver = Driver::new(target, cfg.driver.clone());
-    let budget = cfg.alloc.budget_per_fault * driver.analysis.injectable.len();
-    let alloc = run_random_allocation(&mut driver, budget, seed);
-    finish_detection(target, driver, alloc, cfg)
+    let strategy = RandomAllocation::new(cfg.alloc.clone(), seed);
+    detect_with_strategy(target, cfg, &strategy)
 }
 
-fn finish_detection(
+/// One-shot detection under an arbitrary allocation strategy.
+///
+/// # Panics
+///
+/// On an undrivable target (no workloads / no fault points). Use the
+/// [`Session`] API directly for typed errors.
+pub fn detect_with_strategy(
     target: &dyn TargetSystem,
-    driver: Driver<'_>,
-    alloc: AllocationResult,
     cfg: &DetectConfig,
+    strategy: &dyn AllocationStrategy,
 ) -> Detection {
-    let sim_of = |f| alloc.sim_score_of(f);
-    let cycles = beam_search(&alloc.db, &sim_of, &cfg.beam);
-    let clusters = cluster_cycles(&cycles, &alloc.db, &alloc.cluster_of);
-    let report = build_report(target, &alloc, cycles, clusters);
-    Detection {
-        analysis: driver.analysis.clone(),
-        runs_executed: driver.runs_executed,
-        alloc,
-        report,
-    }
+    let mut session = Session::builder(target)
+        .config(cfg.clone())
+        .build()
+        .expect("detect(): target must be drivable");
+    session
+        .run_to_report(strategy)
+        .expect("detect(): staged pipeline cannot misorder itself");
+    session
+        .into_detection()
+        .expect("detect(): session is reported")
 }

@@ -1,0 +1,227 @@
+//! The campaign event layer: observe a detection session while it runs.
+//!
+//! A [`CampaignObserver`] receives the session's progress events — stage
+//! transitions, 3PA phase boundaries, individual experiment completions,
+//! causal edges as they enter the database, cycles as the stitcher reports
+//! them, and budget consumption. The default implementation of every method
+//! is a no-op, so observers implement only what they care about.
+//!
+//! Event vocabulary (all emitted on the session's coordinating thread, in
+//! deterministic order — observers never affect campaign results):
+//!
+//! | event | emitted when |
+//! |---|---|
+//! | [`stage_started`] / [`stage_finished`] | a session stage begins / ends |
+//! | [`phase_started`] / [`phase_finished`] | an allocation phase's planned batch begins / ends |
+//! | [`experiment_completed`] | one `(fault, test)` experiment's FCA finished |
+//! | [`edge_emitted`] | a *new* causal edge entered the database (sweep repeats are deduplicated first) |
+//! | [`cycle_found`] | the stitcher reported a deduplicated cycle |
+//! | [`budget_spent`] | the allocation strategy's spent/total counters moved |
+//!
+//! [`stage_started`]: CampaignObserver::stage_started
+//! [`stage_finished`]: CampaignObserver::stage_finished
+//! [`phase_started`]: CampaignObserver::phase_started
+//! [`phase_finished`]: CampaignObserver::phase_finished
+//! [`experiment_completed`]: CampaignObserver::experiment_completed
+//! [`edge_emitted`]: CampaignObserver::edge_emitted
+//! [`cycle_found`]: CampaignObserver::cycle_found
+//! [`budget_spent`]: CampaignObserver::budget_spent
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::beam::Cycle;
+use crate::edge::CausalEdge;
+use crate::fca::ExperimentOutcome;
+use crate::session::Stage;
+
+/// Receives progress events from a running detection session.
+///
+/// All methods have no-op defaults. Implementations must be `Send + Sync`:
+/// the session itself calls them from one thread at a time, but sessions
+/// (and their observers) may be driven from worker threads.
+pub trait CampaignObserver: Send + Sync {
+    /// A session stage ([`Stage`]) started executing.
+    fn stage_started(&self, stage: Stage) {
+        let _ = stage;
+    }
+
+    /// A session stage finished executing.
+    fn stage_finished(&self, stage: Stage) {
+        let _ = stage;
+    }
+
+    /// An allocation phase is about to execute its planned batch.
+    /// `phase` is the strategy's phase label (3PA: 1–3; baselines: 0),
+    /// `planned` the number of experiments in the batch.
+    fn phase_started(&self, phase: u8, planned: usize) {
+        let _ = (phase, planned);
+    }
+
+    /// An allocation phase executed its batch; `executed` experiments ran.
+    fn phase_finished(&self, phase: u8, executed: usize) {
+        let _ = (phase, executed);
+    }
+
+    /// One `(fault, test)` experiment completed fault-causality analysis.
+    fn experiment_completed(&self, outcome: &ExperimentOutcome) {
+        let _ = outcome;
+    }
+
+    /// A new causal edge was accepted into the campaign database.
+    fn edge_emitted(&self, edge: &CausalEdge) {
+        let _ = edge;
+    }
+
+    /// The stitcher reported a (deduplicated) causal cycle.
+    fn cycle_found(&self, cycle: &Cycle) {
+        let _ = cycle;
+    }
+
+    /// The allocation strategy's budget counters moved.
+    fn budget_spent(&self, spent: usize, total: usize) {
+        let _ = (spent, total);
+    }
+}
+
+/// The default observer: ignores every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl CampaignObserver for NoopObserver {}
+
+/// Monotonic counters of campaign progress, filled in by a
+/// [`ProgressCollector`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Stages finished so far.
+    pub stages_finished: usize,
+    /// Allocation phases finished so far.
+    pub phases_finished: usize,
+    /// Experiments completed.
+    pub experiments: usize,
+    /// Causal edges accepted into the database.
+    pub edges: usize,
+    /// Cycles reported by the stitcher.
+    pub cycles: usize,
+    /// Budget spent (last seen value).
+    pub budget_spent: usize,
+    /// Total budget (last seen value).
+    pub budget_total: usize,
+}
+
+/// The bundled metrics observer: counts events with atomics so a monitoring
+/// thread can poll [`ProgressCollector::snapshot`] while the campaign runs.
+#[derive(Debug, Default)]
+pub struct ProgressCollector {
+    stages_finished: AtomicUsize,
+    phases_finished: AtomicUsize,
+    experiments: AtomicUsize,
+    edges: AtomicUsize,
+    cycles: AtomicUsize,
+    budget_spent: AtomicUsize,
+    budget_total: AtomicUsize,
+}
+
+impl ProgressCollector {
+    /// A fresh collector with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            stages_finished: self.stages_finished.load(Ordering::Relaxed),
+            phases_finished: self.phases_finished.load(Ordering::Relaxed),
+            experiments: self.experiments.load(Ordering::Relaxed),
+            edges: self.edges.load(Ordering::Relaxed),
+            cycles: self.cycles.load(Ordering::Relaxed),
+            budget_spent: self.budget_spent.load(Ordering::Relaxed),
+            budget_total: self.budget_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CampaignObserver for ProgressCollector {
+    fn stage_finished(&self, _stage: Stage) {
+        self.stages_finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn phase_finished(&self, _phase: u8, _executed: usize) {
+        self.phases_finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn experiment_completed(&self, _outcome: &ExperimentOutcome) {
+        self.experiments.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn edge_emitted(&self, _edge: &CausalEdge) {
+        self.edges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn cycle_found(&self, _cycle: &Cycle) {
+        self.cycles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn budget_spent(&self, spent: usize, total: usize) {
+        self.budget_spent.store(spent, Ordering::Relaxed);
+        self.budget_total.store(total, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::{CausalEdge, CompatState, EdgeKind};
+    use csnake_inject::{FaultId, TestId};
+
+    fn edge() -> CausalEdge {
+        CausalEdge {
+            cause: FaultId(1),
+            effect: FaultId(2),
+            kind: EdgeKind::EI,
+            test: TestId(0),
+            phase: 1,
+            cause_state: CompatState::empty(),
+            effect_state: CompatState::empty(),
+        }
+    }
+
+    #[test]
+    fn noop_observer_accepts_everything() {
+        let o = NoopObserver;
+        o.stage_started(Stage::Built);
+        o.stage_finished(Stage::Profiled);
+        o.phase_started(1, 10);
+        o.phase_finished(1, 10);
+        o.edge_emitted(&edge());
+        o.cycle_found(&Cycle {
+            edges: vec![0],
+            score: 0.5,
+        });
+        o.budget_spent(1, 4);
+    }
+
+    #[test]
+    fn progress_collector_counts_events() {
+        let c = ProgressCollector::new();
+        c.stage_finished(Stage::Profiled);
+        c.phase_finished(1, 3);
+        c.phase_finished(2, 4);
+        for _ in 0..5 {
+            c.edge_emitted(&edge());
+        }
+        c.cycle_found(&Cycle {
+            edges: vec![0],
+            score: 0.5,
+        });
+        c.budget_spent(7, 24);
+        let s = c.snapshot();
+        assert_eq!(s.stages_finished, 1);
+        assert_eq!(s.phases_finished, 2);
+        assert_eq!(s.edges, 5);
+        assert_eq!(s.cycles, 1);
+        assert_eq!(s.budget_spent, 7);
+        assert_eq!(s.budget_total, 24);
+    }
+}

@@ -1,0 +1,1005 @@
+//! Versioned `.csnake` snapshot files: checkpoint/resume for detection
+//! sessions.
+//!
+//! A [`Snapshot`] captures everything a [`Session`](crate::session::Session)
+//! has computed up to a stage boundary — the full detection configuration,
+//! the cached profile traces (the expensive simulator output), the
+//! allocation result with its causal database, and the stitched cycles.
+//! Cheap derived state (coverage maps, the dynamic call graph, profile
+//! indexes, the causal database's hash indexes) is deliberately *not*
+//! stored: it is rebuilt deterministically on resume, which both keeps
+//! snapshots small and guarantees a resumed session is bit-identical to an
+//! uninterrupted one.
+//!
+//! # Format
+//!
+//! The container is a fixed header followed by a length-prefixed payload:
+//!
+//! ```text
+//! magic   4 bytes  b"CSNK"
+//! version u32 LE   SNAPSHOT_VERSION
+//! length  u64 LE   payload byte count
+//! check   u64 LE   FNV-1a over the payload bytes
+//! payload ...      field-by-field little-endian encoding
+//! ```
+//!
+//! The workspace's vendored `serde` is a compile-only stand-in (no real
+//! serializers exist in this offline environment), so the payload codec is
+//! hand-written: a minimal [`Persist`] trait with little-endian scalar
+//! encoding, length-prefixed sequences, and tagged enums. Every value the
+//! snapshot needs implements it below.
+//!
+//! Integrity failures surface as typed errors: a wrong magic/truncated file
+//! or checksum mismatch is [`CsnakeError::SnapshotCorrupt`], a format bump
+//! is [`CsnakeError::SnapshotVersion`], and resuming against the wrong
+//! system is [`CsnakeError::TargetMismatch`] (checked by the session, which
+//! compares [`Snapshot::target`] against the live target's name).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use csnake_analyzer::AnalysisConfig;
+use csnake_inject::{
+    BranchId, CallStack2, FaultId, FaultKind, FnId, LoopState, Occurrence, Registry, RunTrace,
+    TestId,
+};
+use csnake_sim::VirtualTime;
+
+use crate::alloc::{AllocationResult, ThreePhaseConfig};
+use crate::beam::{BeamConfig, Cycle, CycleCluster};
+use crate::edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
+use crate::error::{CsnakeError, Result};
+use crate::fca::{ExperimentOutcome, FcaConfig};
+use crate::session::{Stage, StitchedCycles};
+use crate::{DetectConfig, DriverConfig};
+
+/// Leading magic of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CSNK";
+
+/// Format version written (and the only one read) by this build.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// FNV-1a over raw bytes (the integrity checksum of the container).
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Order-sensitive fingerprint of a registry's fault-point inventory (ids,
+/// kinds, labels). Persisted in every snapshot and re-checked on resume:
+/// a target whose *name* still matches but whose points were added,
+/// removed, renumbered or relabeled since the checkpoint would otherwise
+/// reinterpret the stored `FaultId`s silently — exactly the class of
+/// wrong-but-plausible campaign the typed error layer exists to prevent.
+pub fn registry_fingerprint(reg: &Registry) -> u64 {
+    let mut w = Writer::new();
+    for p in reg.points() {
+        p.id.put(&mut w);
+        let kind: u8 = match p.kind {
+            FaultKind::LoopPoint => 0,
+            FaultKind::Throw => 1,
+            FaultKind::LibCall => 2,
+            FaultKind::Negation => 3,
+        };
+        kind.put(&mut w);
+        put_str(p.label, &mut w);
+    }
+    fnv1a_bytes(&w.buf)
+}
+
+/// Length-prefixed string encoding shared by `String::put` and the
+/// borrowed-state encoders (byte-identical output).
+fn put_str(s: &str, w: &mut Writer) {
+    s.len().put(w);
+    w.put_bytes(s.as_bytes());
+}
+
+/// `Option`-tagged encoding of a borrowed value, byte-identical to
+/// `Option<T>::put`.
+fn put_opt<T: Persist>(v: Option<&T>, w: &mut Writer) {
+    match v {
+        None => 0u8.put(w),
+        Some(x) => {
+            1u8.put(w);
+            x.put(w);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level writer / reader
+// ---------------------------------------------------------------------------
+
+/// Append-only payload writer.
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Bounds-checked payload reader.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                CsnakeError::SnapshotCorrupt(format!(
+                    "payload truncated: wanted {n} bytes at offset {}",
+                    self.pos
+                ))
+            })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Persist codec
+// ---------------------------------------------------------------------------
+
+/// Field-by-field binary encoding for snapshot payloads.
+pub(crate) trait Persist: Sized {
+    fn put(&self, w: &mut Writer);
+    fn load(r: &mut Reader<'_>) -> Result<Self>;
+}
+
+macro_rules! persist_le_scalar {
+    ($t:ty, $n:expr) => {
+        impl Persist for $t {
+            fn put(&self, w: &mut Writer) {
+                w.put_bytes(&self.to_le_bytes());
+            }
+            fn load(r: &mut Reader<'_>) -> Result<Self> {
+                let b = r.take($n)?;
+                Ok(<$t>::from_le_bytes(b.try_into().expect("sized take")))
+            }
+        }
+    };
+}
+
+persist_le_scalar!(u8, 1);
+persist_le_scalar!(u32, 4);
+persist_le_scalar!(u64, 8);
+
+impl Persist for usize {
+    fn put(&self, w: &mut Writer) {
+        (*self as u64).put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        let v = u64::load(r)?;
+        usize::try_from(v)
+            .map_err(|_| CsnakeError::SnapshotCorrupt(format!("length {v} exceeds usize")))
+    }
+}
+
+impl Persist for bool {
+    fn put(&self, w: &mut Writer) {
+        (*self as u8).put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        match u8::load(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            n => Err(CsnakeError::SnapshotCorrupt(format!("bad bool tag {n}"))),
+        }
+    }
+}
+
+impl Persist for f64 {
+    fn put(&self, w: &mut Writer) {
+        self.to_bits().put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(f64::from_bits(u64::load(r)?))
+    }
+}
+
+impl Persist for String {
+    fn put(&self, w: &mut Writer) {
+        self.len().put(w);
+        w.put_bytes(self.as_bytes());
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        let n = usize::load(r)?;
+        let b = r.take(n)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| CsnakeError::SnapshotCorrupt("non-UTF-8 string".into()))
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn put(&self, w: &mut Writer) {
+        match self {
+            None => 0u8.put(w),
+            Some(v) => {
+                1u8.put(w);
+                v.put(w);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        match u8::load(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(r)?)),
+            n => Err(CsnakeError::SnapshotCorrupt(format!("bad option tag {n}"))),
+        }
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn put(&self, w: &mut Writer) {
+        self.len().put(w);
+        for v in self {
+            v.put(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        let n = usize::load(r)?;
+        // Guard allocation against absurd lengths in corrupt payloads: each
+        // element needs at least one payload byte.
+        let mut out = Vec::with_capacity(n.min(r.buf.len().saturating_sub(r.pos)));
+        for _ in 0..n {
+            out.push(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Persist + Ord> Persist for BTreeSet<T> {
+    fn put(&self, w: &mut Writer) {
+        self.len().put(w);
+        for v in self {
+            v.put(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        let n = usize::load(r)?;
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            out.insert(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Persist + Ord, V: Persist> Persist for BTreeMap<K, V> {
+    fn put(&self, w: &mut Writer) {
+        self.len().put(w);
+        for (k, v) in self {
+            k.put(w);
+            v.put(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        let n = usize::load(r)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::load(r)?;
+            let v = V::load(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn put(&self, w: &mut Writer) {
+        self.0.put(w);
+        self.1.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((A::load(r)?, B::load(r)?))
+    }
+}
+
+macro_rules! persist_u32_newtype {
+    ($t:ty) => {
+        impl Persist for $t {
+            fn put(&self, w: &mut Writer) {
+                self.0.put(w);
+            }
+            fn load(r: &mut Reader<'_>) -> Result<Self> {
+                Ok(Self(u32::load(r)?))
+            }
+        }
+    };
+}
+
+persist_u32_newtype!(FaultId);
+persist_u32_newtype!(TestId);
+persist_u32_newtype!(FnId);
+persist_u32_newtype!(BranchId);
+
+impl Persist for VirtualTime {
+    fn put(&self, w: &mut Writer) {
+        self.as_micros().put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(VirtualTime::from_micros(u64::load(r)?))
+    }
+}
+
+impl Persist for CallStack2 {
+    fn put(&self, w: &mut Writer) {
+        self[0].put(w);
+        self[1].put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok([Option::<FnId>::load(r)?, Option::<FnId>::load(r)?])
+    }
+}
+
+impl Persist for Occurrence {
+    fn put(&self, w: &mut Writer) {
+        self.stack.put(w);
+        self.local_trace.put(w);
+        self.sig.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        let stack = CallStack2::load(r)?;
+        let local_trace = Vec::load(r)?;
+        let sig = u64::load(r)?;
+        // The signature is derived from stack + trace; storing it keeps the
+        // roundtrip exact, re-deriving would silently mask corruption.
+        if Occurrence::signature(&stack, &local_trace) != sig {
+            return Err(CsnakeError::SnapshotCorrupt(
+                "occurrence signature does not match its stack/trace".into(),
+            ));
+        }
+        Ok(Occurrence {
+            stack,
+            local_trace,
+            sig,
+        })
+    }
+}
+
+impl Persist for LoopState {
+    fn put(&self, w: &mut Writer) {
+        self.entry_stacks.put(w);
+        self.iter_sigs.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(LoopState {
+            entry_stacks: BTreeSet::load(r)?,
+            iter_sigs: BTreeSet::load(r)?,
+        })
+    }
+}
+
+impl Persist for RunTrace {
+    fn put(&self, w: &mut Writer) {
+        self.coverage.put(w);
+        self.occurrences.put(w);
+        self.loop_counts.put(w);
+        self.loop_states.put(w);
+        self.injected.put(w);
+        self.call_edges.put(w);
+        self.hook_count.put(w);
+        self.flags.put(w);
+        self.end_time.put(w);
+        self.events.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(RunTrace {
+            coverage: BTreeSet::load(r)?,
+            occurrences: BTreeMap::load(r)?,
+            loop_counts: BTreeMap::load(r)?,
+            loop_states: BTreeMap::load(r)?,
+            injected: Option::load(r)?,
+            call_edges: BTreeSet::load(r)?,
+            hook_count: u64::load(r)?,
+            flags: BTreeSet::load(r)?,
+            end_time: VirtualTime::load(r)?,
+            events: u64::load(r)?,
+        })
+    }
+}
+
+impl Persist for EdgeKind {
+    fn put(&self, w: &mut Writer) {
+        let tag: u8 = match self {
+            EdgeKind::ED => 0,
+            EdgeKind::SD => 1,
+            EdgeKind::EI => 2,
+            EdgeKind::SI => 3,
+            EdgeKind::Icfg => 4,
+            EdgeKind::Cfg => 5,
+        };
+        tag.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match u8::load(r)? {
+            0 => EdgeKind::ED,
+            1 => EdgeKind::SD,
+            2 => EdgeKind::EI,
+            3 => EdgeKind::SI,
+            4 => EdgeKind::Icfg,
+            5 => EdgeKind::Cfg,
+            n => {
+                return Err(CsnakeError::SnapshotCorrupt(format!(
+                    "bad edge-kind tag {n}"
+                )))
+            }
+        })
+    }
+}
+
+impl Persist for CompatState {
+    fn put(&self, w: &mut Writer) {
+        match self {
+            CompatState::Occurrences(occs) => {
+                0u8.put(w);
+                occs.put(w);
+            }
+            CompatState::Loop(st) => {
+                1u8.put(w);
+                st.put(w);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        match u8::load(r)? {
+            0 => Ok(CompatState::Occurrences(Vec::load(r)?)),
+            1 => Ok(CompatState::Loop(LoopState::load(r)?)),
+            n => Err(CsnakeError::SnapshotCorrupt(format!(
+                "bad compat-state tag {n}"
+            ))),
+        }
+    }
+}
+
+impl Persist for CausalEdge {
+    fn put(&self, w: &mut Writer) {
+        self.cause.put(w);
+        self.effect.put(w);
+        self.kind.put(w);
+        self.test.put(w);
+        self.phase.put(w);
+        self.cause_state.put(w);
+        self.effect_state.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(CausalEdge {
+            cause: FaultId::load(r)?,
+            effect: FaultId::load(r)?,
+            kind: EdgeKind::load(r)?,
+            test: TestId::load(r)?,
+            phase: u8::load(r)?,
+            cause_state: CompatState::load(r)?,
+            effect_state: CompatState::load(r)?,
+        })
+    }
+}
+
+impl Persist for ExperimentOutcome {
+    fn put(&self, w: &mut Writer) {
+        self.fault.put(w);
+        self.test.put(w);
+        self.interference.put(w);
+        self.edges.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ExperimentOutcome {
+            fault: FaultId::load(r)?,
+            test: TestId::load(r)?,
+            interference: BTreeSet::load(r)?,
+            edges: Vec::load(r)?,
+        })
+    }
+}
+
+impl Persist for AllocationResult {
+    fn put(&self, w: &mut Writer) {
+        // The database's hash indexes are derived state; persist the edge
+        // list and rebuild via `from_edges` (push order reproduces both the
+        // edge vector and the per-cause index exactly).
+        self.db.edges().to_vec().put(w);
+        self.outcomes.put(w);
+        self.clusters.put(w);
+        self.cluster_of.put(w);
+        self.sim_scores.put(w);
+        self.experiments_run.put(w);
+        self.budget.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(AllocationResult {
+            db: CausalDb::from_edges(Vec::load(r)?),
+            outcomes: Vec::load(r)?,
+            clusters: Vec::load(r)?,
+            cluster_of: BTreeMap::load(r)?,
+            sim_scores: Vec::load(r)?,
+            experiments_run: usize::load(r)?,
+            budget: usize::load(r)?,
+        })
+    }
+}
+
+impl Persist for Cycle {
+    fn put(&self, w: &mut Writer) {
+        self.edges.put(w);
+        self.score.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Cycle {
+            edges: Vec::load(r)?,
+            score: f64::load(r)?,
+        })
+    }
+}
+
+impl Persist for CycleCluster {
+    fn put(&self, w: &mut Writer) {
+        self.key.put(w);
+        self.cycle_idxs.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(CycleCluster {
+            key: Vec::load(r)?,
+            cycle_idxs: Vec::load(r)?,
+        })
+    }
+}
+
+impl Persist for StitchedCycles {
+    fn put(&self, w: &mut Writer) {
+        self.cycles.put(w);
+        self.clusters.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(StitchedCycles {
+            cycles: Vec::load(r)?,
+            clusters: Vec::load(r)?,
+        })
+    }
+}
+
+impl Persist for FcaConfig {
+    fn put(&self, w: &mut Writer) {
+        self.p_value.put(w);
+        self.presence_fraction.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(FcaConfig {
+            p_value: f64::load(r)?,
+            presence_fraction: f64::load(r)?,
+        })
+    }
+}
+
+impl Persist for AnalysisConfig {
+    fn put(&self, w: &mut Writer) {
+        self.short_loop_fraction.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(AnalysisConfig {
+            short_loop_fraction: f64::load(r)?,
+        })
+    }
+}
+
+impl Persist for DriverConfig {
+    fn put(&self, w: &mut Writer) {
+        self.reps.put(w);
+        self.delay_values_ms.put(w);
+        self.fca.put(w);
+        self.analysis.put(w);
+        self.base_seed.put(w);
+        self.parallel.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(DriverConfig {
+            reps: usize::load(r)?,
+            delay_values_ms: Vec::load(r)?,
+            fca: FcaConfig::load(r)?,
+            analysis: AnalysisConfig::load(r)?,
+            base_seed: u64::load(r)?,
+            parallel: bool::load(r)?,
+        })
+    }
+}
+
+impl Persist for ThreePhaseConfig {
+    fn put(&self, w: &mut Writer) {
+        self.budget_per_fault.put(w);
+        self.cluster_threshold.put(w);
+        self.epsilon.put(w);
+        self.seed.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ThreePhaseConfig {
+            budget_per_fault: usize::load(r)?,
+            cluster_threshold: f64::load(r)?,
+            epsilon: f64::load(r)?,
+            seed: u64::load(r)?,
+        })
+    }
+}
+
+impl Persist for BeamConfig {
+    fn put(&self, w: &mut Writer) {
+        self.beam_size.put(w);
+        self.max_len.put(w);
+        self.max_delay_injections.put(w);
+        self.threads.put(w);
+        self.compatibility_check.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(BeamConfig {
+            beam_size: usize::load(r)?,
+            max_len: usize::load(r)?,
+            max_delay_injections: Option::load(r)?,
+            threads: usize::load(r)?,
+            compatibility_check: bool::load(r)?,
+        })
+    }
+}
+
+impl Persist for DetectConfig {
+    fn put(&self, w: &mut Writer) {
+        self.driver.put(w);
+        self.alloc.put(w);
+        self.beam.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(DetectConfig {
+            driver: DriverConfig::load(r)?,
+            alloc: ThreePhaseConfig::load(r)?,
+            beam: BeamConfig::load(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The snapshot container
+// ---------------------------------------------------------------------------
+
+/// Everything a session has computed up to a stage boundary.
+///
+/// Sections are populated cumulatively: a post-allocation snapshot carries
+/// the profile section too, so any later stage can resume from it.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Name of the target system the session was driving.
+    pub target: String,
+    /// [`registry_fingerprint`] of the target's fault-point inventory,
+    /// re-checked on resume.
+    pub registry_fp: u64,
+    /// The full detection configuration (including every seed, so resumed
+    /// allocation and stitching replay bit-identically).
+    pub cfg: DetectConfig,
+    /// The stage boundary the snapshot was taken at.
+    pub stage: Stage,
+    /// Simulator runs executed so far (profile + injection).
+    pub runs_executed: usize,
+    /// Cached profile traces per test (present from [`Stage::Profiled`]).
+    pub profiles: Option<BTreeMap<TestId, Vec<RunTrace>>>,
+    /// Name of the allocation strategy that produced `alloc`.
+    pub strategy: Option<String>,
+    /// The allocation result (present from [`Stage::Allocated`]).
+    pub alloc: Option<AllocationResult>,
+    /// Stitched cycles and their clusters (present from [`Stage::Stitched`]).
+    pub stitched: Option<StitchedCycles>,
+}
+
+/// Borrowed view of a snapshot's fields: the encoding path the session's
+/// `checkpoint()` uses, so writing a checkpoint never deep-clones the heavy
+/// profile/allocation/stitch sections (they dominate session memory).
+/// Produces bytes identical to [`Snapshot::to_bytes`] over the same data.
+pub(crate) struct SnapshotFields<'a> {
+    pub target: &'a str,
+    pub registry_fp: u64,
+    pub cfg: &'a DetectConfig,
+    pub stage: Stage,
+    pub runs_executed: usize,
+    pub profiles: Option<&'a BTreeMap<TestId, Vec<RunTrace>>>,
+    pub strategy: Option<&'a String>,
+    pub alloc: Option<&'a AllocationResult>,
+    pub stitched: Option<&'a StitchedCycles>,
+}
+
+impl SnapshotFields<'_> {
+    /// Encodes into the versioned container format.
+    pub(crate) fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_str(self.target, &mut w);
+        self.registry_fp.put(&mut w);
+        self.cfg.put(&mut w);
+        self.stage.tag().put(&mut w);
+        self.runs_executed.put(&mut w);
+        put_opt(self.profiles, &mut w);
+        put_opt(self.strategy, &mut w);
+        put_opt(self.alloc, &mut w);
+        put_opt(self.stitched, &mut w);
+        let payload = w.buf;
+
+        let mut out = Vec::with_capacity(payload.len() + 24);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a_bytes(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Writes already-encoded snapshot bytes to a file with typed I/O errors.
+pub(crate) fn write_file_bytes(path: &Path, bytes: &[u8]) -> Result<()> {
+    std::fs::write(path, bytes).map_err(|source| CsnakeError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+impl Snapshot {
+    /// Encodes the snapshot into the versioned container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        SnapshotFields {
+            target: &self.target,
+            registry_fp: self.registry_fp,
+            cfg: &self.cfg,
+            stage: self.stage,
+            runs_executed: self.runs_executed,
+            profiles: self.profiles.as_ref(),
+            strategy: self.strategy.as_ref(),
+            alloc: self.alloc.as_ref(),
+            stitched: self.stitched.as_ref(),
+        }
+        .to_bytes()
+    }
+
+    /// Decodes and integrity-checks a snapshot container.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot> {
+        if bytes.len() < 24 {
+            return Err(CsnakeError::SnapshotCorrupt(format!(
+                "file too short for a snapshot header ({} bytes)",
+                bytes.len()
+            )));
+        }
+        if bytes[0..4] != SNAPSHOT_MAGIC {
+            return Err(CsnakeError::SnapshotCorrupt(
+                "bad magic (not a .csnake snapshot)".into(),
+            ));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sized"));
+        if version != SNAPSHOT_VERSION {
+            return Err(CsnakeError::SnapshotVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let len = u64::from_le_bytes(bytes[8..16].try_into().expect("sized")) as usize;
+        let check = u64::from_le_bytes(bytes[16..24].try_into().expect("sized"));
+        let payload = &bytes[24..];
+        if payload.len() != len {
+            return Err(CsnakeError::SnapshotCorrupt(format!(
+                "payload length mismatch: header says {len}, file has {}",
+                payload.len()
+            )));
+        }
+        if fnv1a_bytes(payload) != check {
+            return Err(CsnakeError::SnapshotCorrupt("checksum mismatch".into()));
+        }
+
+        let mut r = Reader::new(payload);
+        let snap = Snapshot {
+            target: String::load(&mut r)?,
+            registry_fp: u64::load(&mut r)?,
+            cfg: DetectConfig::load(&mut r)?,
+            stage: Stage::from_tag(u8::load(&mut r)?)?,
+            runs_executed: usize::load(&mut r)?,
+            profiles: Option::load(&mut r)?,
+            strategy: Option::load(&mut r)?,
+            alloc: Option::load(&mut r)?,
+            stitched: Option::load(&mut r)?,
+        };
+        if !r.finished() {
+            return Err(CsnakeError::SnapshotCorrupt(format!(
+                "{} trailing bytes after payload",
+                payload.len() - r.pos
+            )));
+        }
+        Ok(snap)
+    }
+
+    /// Writes the snapshot to a file (conventionally `*.csnake`).
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<()> {
+        write_file_bytes(path.as_ref(), &self.to_bytes())
+    }
+
+    /// Reads and decodes a snapshot file.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Snapshot> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|source| CsnakeError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        Snapshot::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occurrence(tag: u32) -> Occurrence {
+        Occurrence::new(
+            [Some(FnId(tag)), None],
+            vec![(BranchId(tag), tag.is_multiple_of(2))],
+        )
+    }
+
+    fn sample_trace() -> RunTrace {
+        let mut t = RunTrace::default();
+        t.coverage.insert(FaultId(1));
+        t.coverage.insert(FaultId(9));
+        t.occurrences.insert(FaultId(1), vec![occurrence(7)]);
+        t.loop_counts.insert(FaultId(2), 41);
+        let mut st = LoopState::default();
+        st.entry_stacks.insert([Some(FnId(3)), Some(FnId(4))]);
+        st.iter_sigs.insert(123456);
+        t.loop_states.insert(FaultId(2), st);
+        t.injected = Some((FaultId(1), occurrence(7)));
+        t.call_edges.insert((FnId(1), FnId(2)));
+        t.hook_count = 99;
+        t.flags.insert("data-loss".into());
+        t.end_time = VirtualTime::from_millis(1234);
+        t.events = 500;
+        t
+    }
+
+    fn sample_edge(kind: EdgeKind) -> CausalEdge {
+        CausalEdge {
+            cause: FaultId(1),
+            effect: FaultId(2),
+            kind,
+            test: TestId(3),
+            phase: 2,
+            cause_state: CompatState::Occurrences(vec![occurrence(1)]),
+            effect_state: CompatState::Loop(LoopState::default()),
+        }
+    }
+
+    fn sample_snapshot(stage: Stage) -> Snapshot {
+        let edges = vec![sample_edge(EdgeKind::ED), sample_edge(EdgeKind::SI)];
+        let mut profiles = BTreeMap::new();
+        profiles.insert(TestId(0), vec![sample_trace(), RunTrace::default()]);
+        Snapshot {
+            target: "toy".into(),
+            registry_fp: 0xFEED_F00D,
+            cfg: DetectConfig::default(),
+            stage,
+            runs_executed: 17,
+            profiles: Some(profiles),
+            strategy: Some("three-phase".into()),
+            alloc: Some(AllocationResult {
+                db: CausalDb::from_edges(edges.clone()),
+                outcomes: vec![ExperimentOutcome {
+                    fault: FaultId(1),
+                    test: TestId(0),
+                    interference: [FaultId(2)].into_iter().collect(),
+                    edges,
+                }],
+                clusters: vec![vec![FaultId(1)], vec![FaultId(2)]],
+                cluster_of: [(FaultId(1), 0), (FaultId(2), 1)].into_iter().collect(),
+                sim_scores: vec![0.5, 1.0],
+                experiments_run: 1,
+                budget: 8,
+            }),
+            stitched: Some(StitchedCycles {
+                cycles: vec![Cycle {
+                    edges: vec![0, 1],
+                    score: 0.75,
+                }],
+                clusters: vec![CycleCluster {
+                    key: vec![0, 1],
+                    cycle_idxs: vec![0],
+                }],
+            }),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let snap = sample_snapshot(Stage::Stitched);
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("roundtrip");
+        // Canonical comparison: re-encoding the decoded snapshot must be
+        // byte-identical (Debug comparison would trip over the per-instance
+        // iteration order of the database's derived hash indexes).
+        assert_eq!(bytes, back.to_bytes());
+        // The rebuilt causal database also reproduces its derived index.
+        let db = &back.alloc.as_ref().unwrap().db;
+        assert_eq!(db.edges_from(FaultId(1)).len(), 2);
+    }
+
+    #[test]
+    fn truncated_and_garbled_inputs_are_rejected_typed() {
+        let bytes = sample_snapshot(Stage::Profiled).to_bytes();
+
+        // Too short for a header.
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes[..10]),
+            Err(CsnakeError::SnapshotCorrupt(_))
+        ));
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(CsnakeError::SnapshotCorrupt(_))
+        ));
+        // Truncated payload.
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes[..bytes.len() - 5]),
+            Err(CsnakeError::SnapshotCorrupt(_))
+        ));
+        // Flipped payload byte → checksum mismatch.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&flipped),
+            Err(CsnakeError::SnapshotCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn version_bump_is_a_typed_error() {
+        let mut bytes = sample_snapshot(Stage::Profiled).to_bytes();
+        bytes[4..8].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        match Snapshot::from_bytes(&bytes) {
+            Err(CsnakeError::SnapshotVersion { found, supported }) => {
+                assert_eq!(found, SNAPSHOT_VERSION + 1);
+                assert_eq!(supported, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected SnapshotVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_and_io_errors() {
+        let snap = sample_snapshot(Stage::Allocated);
+        let path = std::env::temp_dir().join(format!(
+            "csnake-snapshot-test-{}.csnake",
+            std::process::id()
+        ));
+        snap.write_file(&path).expect("write");
+        let back = Snapshot::read_file(&path).expect("read");
+        assert_eq!(snap.to_bytes(), back.to_bytes());
+        std::fs::remove_file(&path).ok();
+
+        match Snapshot::read_file(&path) {
+            Err(CsnakeError::Io { path: p, .. }) => assert_eq!(p, path),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

@@ -49,3 +49,13 @@ pub fn all_paper_targets() -> Vec<Box<dyn TargetSystem>> {
         Box::new(MiniOzone::new()),
     ]
 }
+
+/// Resolves a bundled target by its [`TargetSystem::name`] — the name
+/// recorded in `.csnake` session snapshots and accepted by the evaluation
+/// binaries' `--target` flag. Covers the five paper targets plus `"toy"`.
+pub fn by_name(name: &str) -> Option<Box<dyn TargetSystem>> {
+    if name == "toy" {
+        return Some(Box::new(ToySystem::new()));
+    }
+    all_paper_targets().into_iter().find(|t| t.name() == name)
+}

@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use csnake::core::{detect, DetectConfig, KnownBug, TargetSystem, TestCase};
+use csnake::core::{DetectConfig, KnownBug, Session, TargetSystem, TestCase, ThreePhase};
 use csnake::inject::{
     Agent, ExceptionCategory, FaultId, InjectionPlan, Registry, RegistryBuilder, RunTrace, TestId,
 };
@@ -168,17 +168,30 @@ fn main() {
     cfg.driver.reps = 3;
     cfg.driver.delay_values_ms = vec![800];
 
-    let detection = detect(&target, &cfg);
+    // Drive the staged session directly: custom targets get the same typed
+    // construction errors, stage artifacts and checkpointing as the
+    // bundled ones.
+    let mut session = Session::builder(&target)
+        .config(cfg.clone())
+        .build()
+        .expect("the cache/store target is drivable");
+    session.profile().expect("profile stage");
+    session
+        .allocate(&ThreePhase::new(cfg.alloc.clone()))
+        .expect("allocation stage");
+    session.stitch().expect("stitch stage");
+    let report = session.report().expect("report stage");
+
     println!(
         "edges: {}  cycles: {}",
-        detection.alloc.db.len(),
-        detection.report.cycles.len()
+        report.edge_count,
+        report.cycles.len()
     );
-    for m in &detection.report.matches {
+    for m in &report.matches {
         println!("detected {}: {}", m.bug.id, m.composition);
     }
     assert!(
-        !detection.report.matches.is_empty(),
+        !report.matches.is_empty(),
         "the invalidation storm must be found"
     );
 }

@@ -14,17 +14,20 @@
 
 use std::collections::BTreeSet;
 
-use csnake::core::{detect, DetectConfig, EdgeKind, TargetSystem};
+use csnake::core::{detect, DetectConfig, DriverConfig, EdgeKind, TargetSystem};
 use csnake::targets::MiniHBase;
 
 fn main() {
     let target = MiniHBase::new();
-    let mut cfg = DetectConfig::default();
-    cfg.driver.reps = 3;
-    cfg.driver.delay_values_ms = vec![800, 3200];
+    // The paper's driver settings: 5 reps per run set, full 7-point
+    // 100ms–8s delay sweep (§4.2 — the sweep maximizes discovery).
+    let mut cfg = DetectConfig {
+        driver: DriverConfig::paper(),
+        ..Default::default()
+    };
     cfg.alloc.budget_per_fault = 12;
 
-    println!("Running CSnake on mini-HBase...");
+    println!("Running CSnake on mini-HBase (paper driver settings)...");
     let detection = detect(&target, &cfg);
     let reg = target.registry();
     let db = &detection.alloc.db;

@@ -17,17 +17,18 @@
 
 use csnake::core::driver::seed_for;
 use csnake::core::stats::welch_one_sided_p;
-use csnake::core::TargetSystem;
+use csnake::core::{DriverConfig, TargetSystem};
 use csnake::inject::{InjectionPlan, TestId};
 use csnake::targets::MiniHdfs2;
 
 fn counts(
     target: &MiniHdfs2,
+    cfg: &DriverConfig,
     test: TestId,
     plan: Option<InjectionPlan>,
     loop_id: csnake::inject::FaultId,
 ) -> Vec<f64> {
-    (0..5)
+    (0..cfg.reps)
         .map(|rep| {
             target
                 .run(test, plan, seed_for(0xCA5E, test, rep))
@@ -38,6 +39,9 @@ fn counts(
 
 fn main() {
     let target = MiniHdfs2::new();
+    // The paper preset: 5 repetitions per run set (the exception probe here
+    // needs no delay sweep, but the preset carries the full 7-point one).
+    let cfg = DriverConfig::paper();
     let ids = target.ids();
     let throttled = TestId(7); // test_ibr_interval_config
     let unthrottled = TestId(6); // test_balancer_many_blocks
@@ -48,8 +52,8 @@ fn main() {
         ("throttled (8 blocks, 6s interval)", throttled),
         ("unthrottled (volume test)", unthrottled),
     ] {
-        let prof = counts(&target, test, None, ids.l_ibr_send);
-        let inj = counts(&target, test, plan, ids.l_ibr_send);
+        let prof = counts(&target, &cfg, test, None, ids.l_ibr_send);
+        let inj = counts(&target, &cfg, test, plan, ids.l_ibr_send);
         let p = welch_one_sided_p(&prof, &inj);
         println!("  {name}:");
         println!("    profile  report-send counts: {prof:?}");

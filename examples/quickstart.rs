@@ -1,58 +1,104 @@
-//! Quickstart: run the complete CSnake pipeline against the bundled toy
+//! Quickstart: drive the staged CSnake `Session` against the bundled toy
 //! system and print the detected self-sustaining cascading failure.
+//!
+//! The session exposes the paper's pipeline stages one by one — each
+//! returns a serializable artifact, and an observer streams events (phase
+//! boundaries, experiments, new causal edges, cycles) while it runs:
+//!
+//! | call | paper stage | artifact |
+//! |---|---|---|
+//! | `profile()` | profile runs + static filtering | `Profiled` |
+//! | `allocate(&strategy)` | 3PA fault injection with FCA | `CampaignOutcome` |
+//! | `stitch()` | causal beam search + cycle clustering | `StitchedCycles` |
+//! | `report()` | ground-truth matching, TP/FP verdicts | `DetectionReport` |
+//!
+//! Between any two stages the session can be checkpointed to a versioned
+//! `.csnake` file and resumed later (`Session::checkpoint` /
+//! `Session::resume`) — resumed campaigns are bit-identical to
+//! uninterrupted ones.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use csnake::core::TargetSystem;
-use csnake::core::{detect, DetectConfig};
+use std::sync::Arc;
+
+use csnake::core::{DetectConfig, ProgressCollector, Session, TargetSystem, ThreePhase};
 use csnake::targets::ToySystem;
 
 fn main() {
     let target = ToySystem::new();
 
     // Fast settings for a demo: 3 repetitions per run set and a short
-    // delay sweep (the paper uses 5 reps and a 7-point 100ms–8s sweep).
+    // delay sweep (use `DriverConfig::paper()` for the paper's 5 reps and
+    // full 7-point 100ms–8s sweep).
     let mut cfg = DetectConfig::default();
     cfg.driver.reps = 3;
     cfg.driver.delay_values_ms = vec![800];
 
-    println!("Profiling workloads, filtering fault points, running 3PA...");
-    let detection = detect(&target, &cfg);
+    // The bundled observer counts events; custom observers implement any
+    // subset of `CampaignObserver` (stage/phase boundaries, experiments,
+    // edges, cycles, budget).
+    let progress = Arc::new(ProgressCollector::new());
+    let mut session = Session::builder(&target)
+        .config(cfg.clone())
+        .observer(progress.clone())
+        .build()
+        .expect("the toy target is drivable");
 
+    println!("Profiling workloads and applying the static filters...");
+    let profiled = session.profile().expect("profile stage");
     println!(
-        "\n{} fault points injectable after static filtering; \
-         {} experiments run; {} causal edges discovered.",
-        detection.analysis.injectable.len(),
-        detection.alloc.experiments_run,
-        detection.alloc.db.len(),
+        "  {} workloads, {} profile runs, {} fault points injectable \
+         ({} filtered).",
+        profiled.tests, profiled.profile_runs, profiled.injectable_faults, profiled.filtered_faults
     );
 
+    println!("Running the 3PA fault-injection campaign...");
+    let outcome = session
+        .allocate(&ThreePhase::new(cfg.alloc.clone()))
+        .expect("allocation stage");
+    println!(
+        "  strategy {:?}: {} of {} budgeted experiments, {} causal edges.",
+        outcome.strategy, outcome.experiments_run, outcome.budget, outcome.edges
+    );
+
+    println!("Stitching causal cycles...");
+    session.stitch().expect("stitch stage");
+    let report = session.report().expect("report stage").clone();
+
     let reg = target.registry();
+    let alloc = session.allocation().expect("campaign ran");
     println!("\nCausal relationships:");
-    for e in detection.alloc.db.edges() {
+    for e in alloc.db.edges() {
         println!("  {}", e.describe(&reg));
     }
 
     println!("\nSelf-sustaining cascading failures:");
-    for (i, cycle) in detection.report.cycles.iter().enumerate().take(5) {
+    for (i, cycle) in report.cycles.iter().enumerate().take(5) {
         let labels: Vec<&str> = cycle
             .edges
             .iter()
-            .map(|&ei| reg.point(detection.alloc.db.edge(ei).cause).label)
+            .map(|&ei| reg.point(alloc.db.edge(ei).cause).label)
             .collect();
         println!("  #{i}: {} (score {:.3})", labels.join(" -> "), cycle.score);
     }
 
-    for m in &detection.report.matches {
+    for m in &report.matches {
         println!(
             "\nMatched seeded bug {} [{}]: {} — composition {}",
             m.bug.id, m.bug.jira, m.bug.summary, m.composition
         );
     }
+
+    let seen = progress.snapshot();
+    println!(
+        "\nObserver saw: {} phases, {} experiments, {} edges, {} cycles.",
+        seen.phases_finished, seen.experiments, seen.edges, seen.cycles
+    );
+    assert_eq!(seen.edges, alloc.db.len());
     assert!(
-        !detection.report.matches.is_empty(),
+        !report.matches.is_empty(),
         "the toy retry storm must be detected"
     );
 }

@@ -1,0 +1,227 @@
+//! The staged `Session` API must be *exactly* the old one-shot pipeline:
+//!
+//! * `detect()` (now a shim over a session) ≡ an explicitly staged session
+//!   ≡ a session checkpointed to a `.csnake` snapshot and resumed — at
+//!   every stage boundary (post-profile, post-allocate, post-stitch) — on
+//!   the toy and mini-HDFS2 targets, compared field by field down to the
+//!   `Debug` rendering of the final `DetectionReport`.
+//! * Snapshot integrity failures (corruption, version bumps, wrong target)
+//!   surface as typed errors, never as panics or silently-wrong campaigns.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use csnake::core::{
+    detect, CsnakeError, DetectConfig, Detection, ProgressCollector, Session, Stage, TargetSystem,
+    ThreePhase,
+};
+use csnake::targets::{MiniHdfs2, ToySystem};
+
+fn toy_config() -> DetectConfig {
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800];
+    cfg
+}
+
+/// A deliberately small mini-HDFS2 campaign: equivalence holds at any
+/// scale, and the snapshot/restore machinery is exercised identically.
+fn hdfs_config() -> DetectConfig {
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 2;
+    cfg.driver.delay_values_ms = vec![800];
+    cfg.alloc.budget_per_fault = 2;
+    cfg
+}
+
+/// Field-by-field comparison of two detections, down to the Debug
+/// rendering of the report (cycles, clusters, verdicts, matches, scores).
+fn assert_detections_identical(a: &Detection, b: &Detection, what: &str) {
+    assert_eq!(a.runs_executed, b.runs_executed, "{what}: runs_executed");
+    assert_eq!(
+        format!("{:?}", a.analysis),
+        format!("{:?}", b.analysis),
+        "{what}: analysis"
+    );
+    assert_eq!(
+        a.alloc.db.edges(),
+        b.alloc.db.edges(),
+        "{what}: causal database"
+    );
+    assert_eq!(a.alloc.outcomes, b.alloc.outcomes, "{what}: outcomes");
+    assert_eq!(a.alloc.clusters, b.alloc.clusters, "{what}: fault clusters");
+    assert_eq!(
+        a.alloc
+            .sim_scores
+            .iter()
+            .map(|s| s.to_bits())
+            .collect::<Vec<_>>(),
+        b.alloc
+            .sim_scores
+            .iter()
+            .map(|s| s.to_bits())
+            .collect::<Vec<_>>(),
+        "{what}: sim scores"
+    );
+    assert_eq!(
+        a.alloc.experiments_run, b.alloc.experiments_run,
+        "{what}: experiments_run"
+    );
+    assert_eq!(a.alloc.budget, b.alloc.budget, "{what}: budget");
+    assert_eq!(
+        format!("{:?}", a.report),
+        format!("{:?}", b.report),
+        "{what}: detection report"
+    );
+}
+
+/// Runs the campaign as an explicitly staged session.
+fn staged(target: &dyn TargetSystem, cfg: &DetectConfig) -> Detection {
+    let mut session = Session::builder(target)
+        .config(cfg.clone())
+        .build()
+        .expect("drivable");
+    session.profile().expect("profile");
+    session
+        .allocate(&ThreePhase::new(cfg.alloc.clone()))
+        .expect("allocate");
+    session.stitch().expect("stitch");
+    session.report().expect("report");
+    session.into_detection().expect("reported")
+}
+
+/// Runs the campaign, checkpointing+resuming at the given stage boundary.
+fn resumed_at(target: &dyn TargetSystem, cfg: &DetectConfig, boundary: Stage) -> Detection {
+    let path = snapshot_path(target.name(), boundary);
+    {
+        let mut session = Session::builder(target)
+            .config(cfg.clone())
+            .build()
+            .expect("drivable");
+        session.profile().expect("profile");
+        if boundary >= Stage::Allocated {
+            session
+                .allocate(&ThreePhase::new(cfg.alloc.clone()))
+                .expect("allocate");
+        }
+        if boundary >= Stage::Stitched {
+            session.stitch().expect("stitch");
+        }
+        session.checkpoint(&path).expect("checkpoint");
+        // The writing session is dropped here — everything after this point
+        // happens in the resumed session.
+    }
+    let mut session = Session::resume(target, &path).expect("resume");
+    assert_eq!(session.stage(), boundary, "resume restores the stage");
+    std::fs::remove_file(&path).ok();
+    if boundary < Stage::Allocated {
+        session
+            .allocate(&ThreePhase::new(cfg.alloc.clone()))
+            .expect("allocate after resume");
+    }
+    if boundary < Stage::Stitched {
+        session.stitch().expect("stitch after resume");
+    }
+    session.report().expect("report after resume");
+    session.into_detection().expect("reported")
+}
+
+fn snapshot_path(target: &str, boundary: Stage) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "csnake-equivalence-{target}-{boundary:?}-{}.csnake",
+        std::process::id()
+    ))
+}
+
+fn assert_equivalent_everywhere(target: &dyn TargetSystem, cfg: &DetectConfig) {
+    let shim = detect(target, cfg);
+    let staged_run = staged(target, cfg);
+    assert_detections_identical(&shim, &staged_run, "shim vs staged");
+    for boundary in [Stage::Profiled, Stage::Allocated, Stage::Stitched] {
+        let resumed = resumed_at(target, cfg, boundary);
+        assert_detections_identical(&shim, &resumed, &format!("shim vs resumed@{boundary:?}"));
+    }
+}
+
+#[test]
+fn toy_shim_staged_and_resumed_sessions_are_bit_identical() {
+    let target = ToySystem::new();
+    assert_equivalent_everywhere(&target, &toy_config());
+}
+
+#[test]
+fn hdfs2_shim_staged_and_resumed_sessions_are_bit_identical() {
+    let target = MiniHdfs2::new();
+    assert_equivalent_everywhere(&target, &hdfs_config());
+}
+
+#[test]
+fn observers_do_not_perturb_campaign_results() {
+    let target = ToySystem::new();
+    let cfg = toy_config();
+    let unobserved = detect(&target, &cfg);
+
+    let progress = Arc::new(ProgressCollector::new());
+    let mut session = Session::builder(&target)
+        .config(cfg.clone())
+        .observer(progress.clone())
+        .build()
+        .expect("drivable");
+    session
+        .run_to_report(&ThreePhase::new(cfg.alloc.clone()))
+        .expect("full run");
+    let observed = session.into_detection().expect("reported");
+
+    assert_detections_identical(&unobserved, &observed, "unobserved vs observed");
+    let seen = progress.snapshot();
+    assert_eq!(seen.experiments, observed.alloc.experiments_run);
+    assert_eq!(seen.edges, observed.alloc.db.len());
+    assert_eq!(seen.cycles, observed.report.cycles.len());
+    assert_eq!(seen.stages_finished, 4);
+}
+
+#[test]
+fn corrupted_snapshot_is_rejected_with_a_typed_error() {
+    let target = ToySystem::new();
+    let cfg = toy_config();
+    let mut session = Session::builder(&target)
+        .config(cfg)
+        .build()
+        .expect("drivable");
+    session.profile().expect("profile");
+    let bytes = session.snapshot().to_bytes();
+
+    // Flip one payload byte: checksum catches it.
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x55;
+    match csnake::core::Snapshot::from_bytes(&corrupt) {
+        Err(CsnakeError::SnapshotCorrupt(_)) => {}
+        other => panic!("expected SnapshotCorrupt, got {other:?}"),
+    }
+
+    // Bump the header version: typed version error.
+    let mut wrong_version = bytes.clone();
+    wrong_version[4..8].copy_from_slice(&(csnake::core::SNAPSHOT_VERSION + 7).to_le_bytes());
+    match csnake::core::Snapshot::from_bytes(&wrong_version) {
+        Err(CsnakeError::SnapshotVersion { found, supported }) => {
+            assert_eq!(found, csnake::core::SNAPSHOT_VERSION + 7);
+            assert_eq!(supported, csnake::core::SNAPSHOT_VERSION);
+        }
+        other => panic!("expected SnapshotVersion, got {other:?}"),
+    }
+
+    // Resume a valid toy snapshot against the wrong target: typed mismatch.
+    let snap = csnake::core::Snapshot::from_bytes(&bytes).expect("valid snapshot");
+    let hdfs = MiniHdfs2::new();
+    match Session::from_snapshot(&hdfs, snap, Arc::new(csnake::core::NoopObserver)) {
+        Err(CsnakeError::TargetMismatch { snapshot, actual }) => {
+            assert_eq!(snapshot, "toy");
+            assert_eq!(actual, "mini-hdfs2");
+        }
+        other => panic!(
+            "expected TargetMismatch, got {:?}",
+            other.map(|s| s.stage())
+        ),
+    }
+}
