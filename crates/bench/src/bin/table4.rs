@@ -5,12 +5,15 @@
 //! "expected contention" false positives (§8.4.2) while keeping most true
 //! positives.
 //!
-//! Usage: `table4 [--target <name>]` — restrict to one system (any
-//! [`csnake_targets::by_name`] name) while iterating.
+//! Usage: `table4 [--target <name>]` — restrict to one system while
+//! iterating. Names resolve through the scenario-aware
+//! [`csnake_scenario::by_name`]: the hand-coded builtins plus every spec
+//! in the `scenarios/` corpus; an unknown name exits with the typed
+//! error listing all of them instead of panicking.
 
 use csnake_bench::{run_csnake, set_current_target, table4_variants, EvalConfig};
 use csnake_core::TargetSystem;
-use csnake_targets::{all_paper_targets, by_name};
+use csnake_targets::all_paper_targets;
 
 fn main() {
     let cfg = EvalConfig::default();
@@ -19,7 +22,13 @@ fn main() {
         match args.iter().position(|a| a == "--target").map(|i| i + 1) {
             Some(i) => {
                 let name = args.get(i).expect("--target needs a name");
-                vec![by_name(name).unwrap_or_else(|| panic!("unknown target {name:?}"))]
+                match csnake_scenario::by_name(name) {
+                    Ok(target) => vec![target],
+                    Err(e) => {
+                        eprintln!("table4: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             None => all_paper_targets(),
         };

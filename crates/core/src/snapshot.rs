@@ -29,6 +29,29 @@
 //! encoding, length-prefixed sequences, and tagged enums. Every value the
 //! snapshot needs implements it below.
 //!
+//! # Varint + delta layer (format version 2)
+//!
+//! Profile traces dominate `.csnake` files, and their payload is mostly
+//! *dense small ids* (fault/function/branch ids, sorted key sets) and
+//! *small counts* (loop iteration counts, sequence lengths). Version 2
+//! therefore encodes under the same [`Persist`] surface:
+//!
+//! * **LEB128 varints** for every sequence length, id newtype
+//!   ([`FaultId`], [`TestId`], [`FnId`], [`BranchId`]), [`VirtualTime`],
+//!   and the run counters — one or two bytes in practice instead of 4–8;
+//! * **delta encoding** for the sorted id keys of a trace's coverage
+//!   set, occurrence/loop maps and call-edge set (strictly increasing, so
+//!   consecutive deltas are tiny varints);
+//! * **slot packing** for 2-level call stacks (`None` → `0`,
+//!   `Some(f)` → `f + 1`, one varint per slot) and branch-trace entries
+//!   (`(branch << 1) | outcome` in one varint).
+//!
+//! Checksums, floating-point scores and occurrence signatures stay
+//! fixed-width: they are high-entropy, where varints only add overhead.
+//! Old version-1 files are rejected with a typed
+//! [`CsnakeError::SnapshotVersion`] — the layout is not self-describing,
+//! so silently misreading would be worse than re-running the campaign.
+//!
 //! Integrity failures surface as typed errors: a wrong magic/truncated file
 //! or checksum mismatch is [`CsnakeError::SnapshotCorrupt`], a format bump
 //! is [`CsnakeError::SnapshotVersion`], and resuming against the wrong
@@ -57,7 +80,9 @@ use crate::{DetectConfig, DriverConfig};
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CSNK";
 
 /// Format version written (and the only one read) by this build.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 introduced the varint + delta payload layer; version-1 files
+/// are rejected with a typed [`CsnakeError::SnapshotVersion`].
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// FNV-1a over raw bytes (the integrity checksum of the container).
 fn fnv1a_bytes(bytes: &[u8]) -> u64 {
@@ -127,6 +152,19 @@ impl Writer {
     fn put_bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
     }
+
+    /// LEB128 varint: 7 value bits per byte, high bit = continuation.
+    fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
 }
 
 /// Bounds-checked payload reader.
@@ -159,6 +197,90 @@ impl<'a> Reader<'a> {
     fn finished(&self) -> bool {
         self.pos == self.buf.len()
     }
+
+    /// Decodes one LEB128 varint with truncation and overflow checks.
+    fn take_varint(&mut self) -> Result<u64> {
+        let mut out: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.take(1)?[0];
+            let bits = (byte & 0x7F) as u64;
+            if shift == 63 && bits > 1 {
+                break; // falls through to the overflow error below
+            }
+            out |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+        }
+        Err(CsnakeError::SnapshotCorrupt(
+            "varint exceeds 64 bits".into(),
+        ))
+    }
+
+    /// Varint bounded to `u32`, for id newtypes.
+    fn take_varint_u32(&mut self) -> Result<u32> {
+        let v = self.take_varint()?;
+        u32::try_from(v)
+            .map_err(|_| CsnakeError::SnapshotCorrupt(format!("id varint {v} exceeds u32")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta-coded sorted-id helpers (the dense-id layer of format version 2)
+// ---------------------------------------------------------------------------
+
+/// Encodes a strictly-increasing id sequence as first-value + deltas.
+fn put_id_deltas(ids: impl ExactSizeIterator<Item = u32>, w: &mut Writer) {
+    w.put_varint(ids.len() as u64);
+    let mut prev: u64 = 0;
+    for (i, id) in ids.enumerate() {
+        let id = id as u64;
+        debug_assert!(i == 0 || id > prev, "ids must be strictly increasing");
+        w.put_varint(id - prev);
+        prev = id;
+    }
+}
+
+/// Decodes a [`put_id_deltas`] sequence, re-checking strict monotonicity
+/// (a zero delta after the first element means a corrupt or duplicate
+/// key that a map insert would otherwise silently swallow).
+fn load_id_deltas(r: &mut Reader<'_>) -> Result<Vec<u32>> {
+    let n = usize::load(r)?;
+    let mut out = Vec::with_capacity(n.min(r.buf.len().saturating_sub(r.pos)));
+    let mut prev: u64 = 0;
+    for i in 0..n {
+        let delta = r.take_varint()?;
+        if i > 0 && delta == 0 {
+            return Err(CsnakeError::SnapshotCorrupt(
+                "duplicate id in delta-coded sequence".into(),
+            ));
+        }
+        let id = prev
+            .checked_add(delta)
+            .ok_or_else(|| CsnakeError::SnapshotCorrupt("delta-coded id overflows u64".into()))?;
+        prev = id;
+        out.push(u32::try_from(id).map_err(|_| {
+            CsnakeError::SnapshotCorrupt(format!("delta-coded id {id} exceeds u32"))
+        })?);
+    }
+    Ok(out)
+}
+
+/// Encodes a map keyed by a dense id as delta-coded keys + values.
+fn put_id_map<V: Persist>(map: &BTreeMap<FaultId, V>, w: &mut Writer) {
+    put_id_deltas(map.keys().map(|k| k.0), w);
+    for v in map.values() {
+        v.put(w);
+    }
+}
+
+fn load_id_map<V: Persist>(r: &mut Reader<'_>) -> Result<BTreeMap<FaultId, V>> {
+    let keys = load_id_deltas(r)?;
+    let mut out = BTreeMap::new();
+    for k in keys {
+        out.insert(FaultId(k), V::load(r)?);
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -191,10 +313,10 @@ persist_le_scalar!(u64, 8);
 
 impl Persist for usize {
     fn put(&self, w: &mut Writer) {
-        (*self as u64).put(w);
+        w.put_varint(*self as u64);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self> {
-        let v = u64::load(r)?;
+        let v = r.take_varint()?;
         usize::try_from(v)
             .map_err(|_| CsnakeError::SnapshotCorrupt(format!("length {v} exceeds usize")))
     }
@@ -324,10 +446,10 @@ macro_rules! persist_u32_newtype {
     ($t:ty) => {
         impl Persist for $t {
             fn put(&self, w: &mut Writer) {
-                self.0.put(w);
+                w.put_varint(self.0 as u64);
             }
             fn load(r: &mut Reader<'_>) -> Result<Self> {
-                Ok(Self(u32::load(r)?))
+                Ok(Self(r.take_varint_u32()?))
             }
         }
     };
@@ -340,32 +462,57 @@ persist_u32_newtype!(BranchId);
 
 impl Persist for VirtualTime {
     fn put(&self, w: &mut Writer) {
-        self.as_micros().put(w);
+        w.put_varint(self.as_micros());
     }
     fn load(r: &mut Reader<'_>) -> Result<Self> {
-        Ok(VirtualTime::from_micros(u64::load(r)?))
+        Ok(VirtualTime::from_micros(r.take_varint()?))
     }
 }
 
 impl Persist for CallStack2 {
+    /// Slot packing: `None` → `0`, `Some(f)` → `f + 1`, one varint per
+    /// level — the same injective packing `stack_key` uses.
     fn put(&self, w: &mut Writer) {
-        self[0].put(w);
-        self[1].put(w);
+        for slot in self {
+            w.put_varint(slot.map(|f| f.0 as u64 + 1).unwrap_or(0));
+        }
     }
     fn load(r: &mut Reader<'_>) -> Result<Self> {
-        Ok([Option::<FnId>::load(r)?, Option::<FnId>::load(r)?])
+        let mut out: CallStack2 = [None, None];
+        for slot in &mut out {
+            *slot = match r.take_varint()? {
+                0 => None,
+                v => Some(FnId(u32::try_from(v - 1).map_err(|_| {
+                    CsnakeError::SnapshotCorrupt(format!("stack slot {v} exceeds u32"))
+                })?)),
+            };
+        }
+        Ok(out)
     }
 }
 
 impl Persist for Occurrence {
     fn put(&self, w: &mut Writer) {
         self.stack.put(w);
-        self.local_trace.put(w);
+        // Branch-trace entries pack `(branch << 1) | outcome` in one
+        // varint — branch ids are dense and small.
+        w.put_varint(self.local_trace.len() as u64);
+        for (b, o) in &self.local_trace {
+            w.put_varint(((b.0 as u64) << 1) | (*o as u64));
+        }
         self.sig.put(w);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self> {
         let stack = CallStack2::load(r)?;
-        let local_trace = Vec::load(r)?;
+        let n = usize::load(r)?;
+        let mut local_trace = Vec::with_capacity(n.min(r.buf.len().saturating_sub(r.pos)));
+        for _ in 0..n {
+            let packed = r.take_varint()?;
+            let b = u32::try_from(packed >> 1).map_err(|_| {
+                CsnakeError::SnapshotCorrupt(format!("branch id {} exceeds u32", packed >> 1))
+            })?;
+            local_trace.push((BranchId(b), packed & 1 == 1));
+        }
         let sig = u64::load(r)?;
         // The signature is derived from stack + trace; storing it keeps the
         // roundtrip exact, re-deriving would silently mask corruption.
@@ -396,30 +543,43 @@ impl Persist for LoopState {
 }
 
 impl Persist for RunTrace {
+    /// The hot payload of every snapshot: coverage, occurrence and loop
+    /// maps are keyed by dense sorted [`FaultId`]s, so keys are
+    /// delta-coded; loop iteration counts and run counters are varints.
     fn put(&self, w: &mut Writer) {
-        self.coverage.put(w);
-        self.occurrences.put(w);
-        self.loop_counts.put(w);
-        self.loop_states.put(w);
+        put_id_deltas(self.coverage.iter().map(|f| f.0), w);
+        put_id_map(&self.occurrences, w);
+        put_id_deltas(self.loop_counts.keys().map(|f| f.0), w);
+        for count in self.loop_counts.values() {
+            w.put_varint(*count);
+        }
+        put_id_map(&self.loop_states, w);
         self.injected.put(w);
         self.call_edges.put(w);
-        self.hook_count.put(w);
+        w.put_varint(self.hook_count);
         self.flags.put(w);
         self.end_time.put(w);
-        self.events.put(w);
+        w.put_varint(self.events);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self> {
+        let coverage = load_id_deltas(r)?.into_iter().map(FaultId).collect();
+        let occurrences = load_id_map(r)?;
+        let loop_keys = load_id_deltas(r)?;
+        let mut loop_counts = BTreeMap::new();
+        for k in loop_keys {
+            loop_counts.insert(FaultId(k), r.take_varint()?);
+        }
         Ok(RunTrace {
-            coverage: BTreeSet::load(r)?,
-            occurrences: BTreeMap::load(r)?,
-            loop_counts: BTreeMap::load(r)?,
-            loop_states: BTreeMap::load(r)?,
+            coverage,
+            occurrences,
+            loop_counts,
+            loop_states: load_id_map(r)?,
             injected: Option::load(r)?,
             call_edges: BTreeSet::load(r)?,
-            hook_count: u64::load(r)?,
+            hook_count: r.take_varint()?,
             flags: BTreeSet::load(r)?,
             end_time: VirtualTime::load(r)?,
-            events: u64::load(r)?,
+            events: r.take_varint()?,
         })
     }
 }
@@ -970,6 +1130,105 @@ mod tests {
             Snapshot::from_bytes(&flipped),
             Err(CsnakeError::SnapshotCorrupt(_))
         ));
+    }
+
+    #[test]
+    fn varints_roundtrip_across_widths() {
+        let mut w = Writer::new();
+        let values = [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        for v in values {
+            w.put_varint(v);
+        }
+        let mut r = Reader::new(&w.buf);
+        for v in values {
+            assert_eq!(r.take_varint().unwrap(), v);
+        }
+        assert!(r.finished());
+        // Truncated and over-long varints are typed corruption.
+        let mut r = Reader::new(&[0x80]);
+        assert!(matches!(
+            r.take_varint(),
+            Err(CsnakeError::SnapshotCorrupt(_))
+        ));
+        let eleven = [0xFFu8; 11];
+        let mut r = Reader::new(&eleven);
+        assert!(matches!(
+            r.take_varint(),
+            Err(CsnakeError::SnapshotCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_delta_keys_are_rejected() {
+        let mut w = Writer::new();
+        w.put_varint(2); // two ids
+        w.put_varint(5); // first = 5
+        w.put_varint(0); // delta 0 → duplicate
+        let mut r = Reader::new(&w.buf);
+        assert!(matches!(
+            load_id_deltas(&mut r),
+            Err(CsnakeError::SnapshotCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn overflowing_delta_keys_are_rejected_not_wrapped() {
+        // A hostile delta near u64::MAX must not wrap back into u32 range.
+        let mut w = Writer::new();
+        w.put_varint(2);
+        w.put_varint(7); // first = 7
+        w.put_varint(u64::MAX - 6); // 7 + delta wraps to 0 if unchecked
+        let mut r = Reader::new(&w.buf);
+        assert!(matches!(
+            load_id_deltas(&mut r),
+            Err(CsnakeError::SnapshotCorrupt(_))
+        ));
+    }
+
+    /// The marginal cost of the dense-id sections (the ROADMAP
+    /// "snapshot size" item): 2000 coverage ids + 2000 loop counts must
+    /// encode in a few bytes each, not the 4–8 fixed-width bytes of
+    /// format version 1 (which spent 16 bytes per (id, count) entry and
+    /// 4 per coverage id — ≈40 KiB for this trace).
+    #[test]
+    fn dense_id_sections_encode_severalfold_smaller_than_fixed_width() {
+        let empty = RunTrace::default();
+        let mut dense = RunTrace::default();
+        for i in 0..2000u32 {
+            dense.coverage.insert(FaultId(i));
+            dense.loop_counts.insert(FaultId(i), (i % 90) as u64);
+        }
+        let size_of = |t: &RunTrace| {
+            let mut w = Writer::new();
+            t.put(&mut w);
+            w.buf.len()
+        };
+        let marginal = size_of(&dense) - size_of(&empty);
+        assert!(
+            marginal < 9_000,
+            "2000 coverage ids + 2000 loop counts took {marginal} bytes"
+        );
+        // And the encoding stays exact.
+        let mut w = Writer::new();
+        dense.put(&mut w);
+        let mut r = Reader::new(&w.buf);
+        let back = RunTrace::load(&mut r).unwrap();
+        assert!(r.finished());
+        assert_eq!(dense.coverage, back.coverage);
+        assert_eq!(dense.loop_counts, back.loop_counts);
+    }
+
+    #[test]
+    fn version_1_files_are_rejected_typed() {
+        let mut bytes = sample_snapshot(Stage::Profiled).to_bytes();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        match Snapshot::from_bytes(&bytes) {
+            Err(CsnakeError::SnapshotVersion { found, supported }) => {
+                assert_eq!(found, 1);
+                assert_eq!(supported, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected SnapshotVersion, got {other:?}"),
+        }
     }
 
     #[test]

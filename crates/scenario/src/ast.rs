@@ -1,0 +1,461 @@
+//! The parsed form of a scenario file.
+//!
+//! Every name-shaped node is an [`Ident`]: a string plus the source
+//! [`Span`] it was read from. Spans are carried for error reporting only —
+//! they are ignored by `PartialEq`, so a pretty-printed and reparsed spec
+//! compares equal to the original (the property `tests/roundtrip.rs`
+//! checks).
+
+use std::fmt;
+
+/// A line/column source position (1-based, columns in characters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A name with the span it was parsed at. Equality ignores the span.
+#[derive(Debug, Clone, Eq)]
+pub struct Ident {
+    /// The name itself.
+    pub name: String,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+impl Ident {
+    /// An identifier with a default (zero) span — used by generated specs.
+    pub fn new(name: impl Into<String>) -> Self {
+        Ident {
+            name: name.into(),
+            span: Span::default(),
+        }
+    }
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A bare span carrier for keyword-shaped nodes (`age(item)`, …).
+/// Equality is always true, so spans never affect spec comparison.
+#[derive(Debug, Clone, Copy, Eq, Default)]
+pub struct Mark(pub Span);
+
+impl PartialEq for Mark {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+/// A full scenario: one system-under-test as data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// System name (becomes `Registry::system` / `TargetSystem::name`).
+    pub name: Ident,
+    /// Components and the queues they own.
+    pub components: Vec<Component>,
+    /// Interned function names, in declaration order.
+    pub fns: Vec<FnDecl>,
+    /// Fault points, in declaration order (ids are dense).
+    pub points: Vec<PointDecl>,
+    /// Branch monitor points, in declaration order.
+    pub branches: Vec<BranchDecl>,
+    /// Event handlers, in declaration order (the event alphabet).
+    pub handlers: Vec<Handler>,
+    /// Integration-test workloads, in declaration order (ids are dense).
+    pub workloads: Vec<Workload>,
+    /// Ground-truth seeded bugs (evaluation only).
+    pub bugs: Vec<BugDecl>,
+    /// Loop labels whose mutual contention is expected behaviour.
+    pub expected_contention: Vec<Ident>,
+}
+
+/// A named component owning a set of queues.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Component name.
+    pub name: Ident,
+    /// Queues owned by the component (names are scenario-global).
+    pub queues: Vec<Ident>,
+}
+
+/// One interned function name: `fn server = "JobServer.tick"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    /// The alias handlers and points refer to.
+    pub alias: Ident,
+    /// The conceptual `Class.method` path.
+    pub path: String,
+}
+
+/// Origin category of a `throw` point (mirrors
+/// `csnake_inject::ExceptionCategory`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThrowCategory {
+    /// Thrown in system code.
+    System,
+    /// Explicit unchecked exception.
+    Runtime,
+    /// Reflection-related (analyzer-filtered).
+    Reflection,
+    /// Security-related (analyzer-filtered).
+    Security,
+}
+
+/// Provenance of a negation point's boolean (mirrors
+/// `csnake_inject::BoolSource`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegSource {
+    /// Genuine system-specific error detector.
+    Detector,
+    /// JDK/stdlib utility (filtered).
+    Jdk,
+    /// Final-configuration-derived (filtered).
+    Config,
+    /// Constant or unused (filtered).
+    Constant,
+    /// Primitive-type utility (filtered).
+    Primitive,
+}
+
+/// Kind-specific metadata of a fault-point declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointKind {
+    /// `loop l at f:N [io] [parent p] [sibling s]` — workload-dependent.
+    Loop {
+        /// Loop body performs I/O (never short-execution-filtered).
+        io: bool,
+        /// Enclosing loop (ICFG edge).
+        parent: Option<Ident>,
+        /// Next consecutive sibling loop (CFG edge).
+        sibling: Option<Ident>,
+    },
+    /// `constloop l at f:N bound K` — constant-bound (analyzer-filtered).
+    ConstLoop {
+        /// The constant iteration bound.
+        bound: u32,
+    },
+    /// `throw t at f:N class "X" category c [test_only]`.
+    Throw {
+        /// Exception class name.
+        class: String,
+        /// Origin category.
+        category: ThrowCategory,
+        /// Only reachable from test code (analyzer-filtered).
+        test_only: bool,
+    },
+    /// `libcall t at f:N class "X"` — library call site.
+    LibCall {
+        /// Exception class name.
+        class: String,
+    },
+    /// `negation n at f:N error_when B source s`.
+    Negation {
+        /// The boolean value signalling "error".
+        error_when: bool,
+        /// Provenance for the §7 filters.
+        source: NegSource,
+    },
+}
+
+/// One fault-point declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointDecl {
+    /// Ground-truth label (scenario-unique).
+    pub label: Ident,
+    /// Enclosing function alias.
+    pub func: Ident,
+    /// Conceptual source line.
+    pub line: u32,
+    /// Kind-specific metadata.
+    pub kind: PointKind,
+}
+
+/// One branch monitor point: `branchpoint b at f:N`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchDecl {
+    /// Scenario-unique label.
+    pub label: Ident,
+    /// Enclosing function alias.
+    pub func: Ident,
+    /// Conceptual source line.
+    pub line: u32,
+}
+
+/// One event handler: `handler Ev [in Component] fn f { ... }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Handler {
+    /// Event name (the scheduling alphabet).
+    pub event: Ident,
+    /// Component the handler belongs to, if declared.
+    pub component: Option<Ident>,
+    /// Function frame the body runs under.
+    pub func: Ident,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// Binary operators, lowest-precedence first in the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical or.
+    Or,
+    /// Logical and.
+    And,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+}
+
+/// An expression. Types are `int`, `dur` (virtual-time duration) and
+/// `bool`; the compiler type-checks every use site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Mark),
+    /// Duration literal, stored in microseconds.
+    Dur(u64, Mark),
+    /// Boolean literal.
+    Bool(bool, Mark),
+    /// `$name` — workload configuration variable.
+    Var(Ident),
+    /// `len(q)` — queue length.
+    Len(Ident),
+    /// `empty(q)` — queue emptiness.
+    Empty(Ident),
+    /// `submitted(q)` — open-loop submissions so far on a queue.
+    Submitted(Ident),
+    /// `age(item)` — now minus the current item's submit time.
+    AgeItem(Mark),
+    /// `retries(item)` — the current item's retry count.
+    RetriesItem(Mark),
+    /// `now` — current virtual time.
+    Now(Mark),
+    /// `not e`.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+/// One handler statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `advance d` — model computation cost.
+    Advance(Expr),
+    /// `frame f { ... }` — push a call frame around the block.
+    Frame {
+        /// Function alias.
+        func: Ident,
+        /// Enclosed statements.
+        body: Vec<Stmt>,
+    },
+    /// `branch b e` — record a branch outcome.
+    Branch {
+        /// Branch point.
+        point: Ident,
+        /// Outcome.
+        cond: Expr,
+    },
+    /// `guard t` — exception guard hook; raises if the plan fires.
+    Guard(Ident),
+    /// `throwif t e` — natural throw when the condition holds.
+    ThrowIf {
+        /// Throw point.
+        point: Ident,
+        /// Guard condition.
+        cond: Expr,
+    },
+    /// `check n ok e [onerr { ... }]` — negation-point hook; the block
+    /// runs when the (possibly negated) value signals "error".
+    Check {
+        /// Negation point.
+        point: Ident,
+        /// The healthy/raw boolean the detector computes.
+        value: Expr,
+        /// Statements to run on an error outcome.
+        onerr: Vec<Stmt>,
+    },
+    /// `flag "name"` — raise a system-level failure flag.
+    Flag(String),
+    /// `constloop l { ... }` — run the declared constant bound.
+    ConstLoop {
+        /// Const-loop point.
+        point: Ident,
+        /// Per-iteration body.
+        body: Vec<Stmt>,
+    },
+    /// `loop l drain q { ... }` — drain the queue into a batch and run the
+    /// body once per item under the loop guard.
+    DrainLoop {
+        /// Workload-loop point.
+        point: Ident,
+        /// Drained queue.
+        queue: Ident,
+        /// Per-item body (`item` in scope).
+        body: Vec<Stmt>,
+    },
+    /// `submit q every d` — open-loop arrival: the item's latency clock is
+    /// its intended submission time `d * submitted(q)`.
+    Submit {
+        /// Target queue.
+        queue: Ident,
+        /// Submission interval.
+        every: Expr,
+    },
+    /// `push q` — enqueue a fresh item submitted now.
+    Push(Ident),
+    /// `requeue q` — enqueue a retry of the current item (submitted now,
+    /// retry count incremented).
+    Requeue(Ident),
+    /// `repeat e { ... }` — plain (uninstrumented) repetition.
+    Repeat {
+        /// Repetition count.
+        count: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `if e { ... } [else { ... }]`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-block.
+        then: Vec<Stmt>,
+        /// Else-block (possibly empty).
+        els: Vec<Stmt>,
+    },
+    /// `try { ... } onerr { ... }` — catch propagating faults.
+    Try {
+        /// Guarded block.
+        body: Vec<Stmt>,
+        /// Fault handler block.
+        onerr: Vec<Stmt>,
+    },
+    /// `sched Ev after d` — schedule an event.
+    Sched {
+        /// Event name.
+        event: Ident,
+        /// Delay from now.
+        after: Expr,
+    },
+}
+
+/// One workload-setup statement (runs before the simulation starts).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetupStmt {
+    /// `spawn Ev count n every d` — schedule `n` events at `0, d, 2d, …`.
+    Spawn {
+        /// Event name.
+        event: Ident,
+        /// Number of events.
+        count: Expr,
+        /// Inter-arrival interval.
+        every: Expr,
+    },
+    /// `sched Ev after d`.
+    Sched {
+        /// Event name.
+        event: Ident,
+        /// Absolute delay from time zero.
+        after: Expr,
+    },
+}
+
+/// One integration-test workload with its cluster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Workload name (becomes the `TestCase` name).
+    pub name: Ident,
+    /// Human description.
+    pub description: String,
+    /// Configuration bindings for the `$vars` handlers read. Values are
+    /// literal `int` or duration expressions.
+    pub lets: Vec<(Ident, Expr)>,
+    /// Simulation horizon.
+    pub horizon: Expr,
+    /// Initial event schedule.
+    pub setup: Vec<SetupStmt>,
+}
+
+/// One ground-truth seeded bug.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BugDecl {
+    /// Short stable id.
+    pub id: Ident,
+    /// Issue-tracker reference.
+    pub jira: String,
+    /// One-line summary.
+    pub summary: String,
+    /// Fault-point labels that must all appear in a matching cycle.
+    pub labels: Vec<Ident>,
+}
+
+/// One top-level item, in file order. The loader flattens `include`s into
+/// the surrounding item stream before assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `scenario name` — exactly one, first.
+    Name(Ident),
+    /// `include "path"` — spliced by the loader.
+    Include {
+        /// Relative path of the included fragment.
+        path: String,
+        /// Where the directive appeared.
+        span: Span,
+    },
+    /// A component block.
+    Component(Component),
+    /// A function declaration.
+    Fn(FnDecl),
+    /// A fault-point declaration.
+    Point(PointDecl),
+    /// A branch-point declaration.
+    Branch(BranchDecl),
+    /// A handler.
+    Handler(Handler),
+    /// A workload.
+    Workload(Workload),
+    /// A bug declaration.
+    Bug(BugDecl),
+    /// `expected_contention [a, b]`.
+    ExpectedContention(Vec<Ident>),
+}

@@ -1,0 +1,139 @@
+//! Lints the scenario corpus, and optionally smoke-runs one campaign.
+//!
+//! ```sh
+//! scenario_lint [--dir <scenarios-dir>]        # parse + validate all specs
+//! scenario_lint --campaign <name>              # + run a small staged campaign
+//! ```
+//!
+//! Linting parses every `*.csnake-scn` file, runs full registry
+//! validation (compilation), and checks the pretty-printer round-trip —
+//! the same invariant the property tests rely on. The campaign mode
+//! resolves a target through the scenario-aware `by_name` and drives the
+//! staged `Session` pipeline end to end with a reduced configuration,
+//! requiring every declared ground-truth bug to be detected.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use csnake_core::{DetectConfig, ProgressCollector, Session, TargetSystem, ThreePhase};
+use csnake_scenario::{by_name, compile, corpus_dir, loader, parse_str, print};
+
+fn lint(dir: &Path) -> Result<(), String> {
+    let specs = loader::corpus_specs_in(dir).map_err(|e| e.to_string())?;
+    if specs.is_empty() {
+        return Err(format!("no *.csnake-scn files under {}", dir.display()));
+    }
+    println!("| scenario | points | branches | handlers | workloads | bugs |");
+    println!("|---|---|---|---|---|---|");
+    for (name, (path, spec)) in &specs {
+        let system = compile(spec).map_err(|e| e.clone_with(path).to_string())?;
+        // Canonical round-trip: print -> reparse must be the identical spec.
+        let printed = print(spec);
+        let reparsed = parse_str(&printed)
+            .map_err(|e| format!("{}: reprint does not reparse: {e}", path.display()))?;
+        if &reparsed != spec {
+            return Err(format!(
+                "{}: pretty-print round-trip changed the spec",
+                path.display()
+            ));
+        }
+        let reg = system.registry();
+        println!(
+            "| {name} | {} | {} | {} | {} | {} |",
+            reg.points().len(),
+            reg.branches().len(),
+            spec.handlers.len(),
+            spec.workloads.len(),
+            spec.bugs.len(),
+        );
+    }
+    println!("{} scenario spec(s) OK", specs.len());
+    Ok(())
+}
+
+/// Reduced-size end-to-end campaign used by CI smoke runs.
+fn smoke_campaign(name: &str) -> Result<(), String> {
+    let target = by_name(name).map_err(|e| e.to_string())?;
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800];
+    let progress = Arc::new(ProgressCollector::new());
+    let mut session = Session::builder(&*target)
+        .config(cfg.clone())
+        .observer(progress.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let report = session
+        .run_to_report(&ThreePhase::new(cfg.alloc.clone()))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "[{name}] {} cycles, {} clusters, {} TP; {} experiments",
+        report.cycles.len(),
+        report.clusters.len(),
+        report.tp_clusters(),
+        report.experiments_run,
+    );
+    if !report.undetected.is_empty() {
+        return Err(format!(
+            "[{name}] seeded bugs undetected: {:?}",
+            report.undetected.iter().map(|b| b.id).collect::<Vec<_>>()
+        ));
+    }
+    let seen = progress.snapshot();
+    println!(
+        "[{name}] observer: {} experiments, {} edges, {} cycles",
+        seen.experiments, seen.edges, seen.cycles
+    );
+    Ok(())
+}
+
+trait CloneWith {
+    fn clone_with(self, path: &std::path::Path) -> Self;
+}
+
+impl CloneWith for csnake_scenario::ScenarioError {
+    fn clone_with(self, path: &std::path::Path) -> Self {
+        if self.path.is_some() {
+            self
+        } else {
+            self.with_path(path)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = corpus_dir();
+    let mut campaign: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                i += 1;
+                dir = PathBuf::from(args.get(i).expect("--dir needs a path"));
+            }
+            "--campaign" => {
+                i += 1;
+                campaign = Some(args.get(i).expect("--campaign needs a name").clone());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if let Err(e) = lint(&dir) {
+        eprintln!("scenario lint failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(name) = campaign {
+        if let Err(e) = smoke_campaign(&name) {
+            eprintln!("scenario smoke campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

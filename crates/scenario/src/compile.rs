@@ -1,0 +1,1038 @@
+//! Validation and lowering: [`ScenarioSpec`] → [`ScenarioSystem`].
+//!
+//! Compilation resolves every name to a dense id (queues, events,
+//! variables, fault/branch points, functions), type-checks every
+//! expression (`int` / `dur` / `bool`), builds the
+//! [`csnake_inject::Registry`] through the same [`RegistryBuilder`] the
+//! hand-coded targets use — declaration order fixes the dense ids, so a
+//! faithful port produces an identical registry — and evaluates each
+//! workload's configuration into a concrete variable table. Every
+//! diagnostic carries the span of the offending name.
+//!
+//! The registry layer requires `&'static str` names; scenario strings are
+//! interned through a process-global leak cache, so loading
+//! the same spec repeatedly (lint loops, test suites) does not grow
+//! memory.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use csnake_core::{KnownBug, TargetSystem, TestCase};
+use csnake_inject::{
+    BoolSource, BranchId, ExceptionCategory, FaultId, FnId, InjectionPlan, Registry,
+    RegistryBuilder, RunTrace, TestId,
+};
+use csnake_sim::VirtualTime;
+
+use crate::ast::*;
+use crate::interp;
+use crate::ScenarioError;
+
+/// Interns a string into the process-global leak cache, deduplicating so
+/// repeated loads of the same spec never leak twice.
+pub(crate) fn intern(s: &str) -> &'static str {
+    static CACHE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("intern cache poisoned");
+    if let Some(existing) = cache.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    cache.insert(leaked);
+    leaked
+}
+
+/// Expression/value types of the scenario language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Ty {
+    /// Signed integer.
+    Int,
+    /// Virtual-time duration.
+    Dur,
+    /// Boolean.
+    Bool,
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Ty::Int => "int",
+            Ty::Dur => "dur",
+            Ty::Bool => "bool",
+        })
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Value {
+    /// Integer.
+    Int(i64),
+    /// Duration.
+    Dur(VirtualTime),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Lowered expression: all names resolved to dense indices.
+#[derive(Debug, Clone)]
+pub(crate) enum CExpr {
+    Int(i64),
+    Dur(VirtualTime),
+    Bool(bool),
+    /// Workload variable, by variable-table index.
+    Var(usize),
+    Len(usize),
+    Empty(usize),
+    Submitted(usize),
+    Age,
+    Retries,
+    Now,
+    Not(Box<CExpr>),
+    Bin(BinOp, Box<CExpr>, Box<CExpr>),
+}
+
+/// Lowered statement.
+#[derive(Debug, Clone)]
+pub(crate) enum CStmt {
+    Advance(CExpr),
+    Frame(FnId, Vec<CStmt>),
+    Branch(BranchId, CExpr),
+    Guard(FaultId),
+    ThrowIf(FaultId, CExpr),
+    Check {
+        point: FaultId,
+        error_when: bool,
+        value: CExpr,
+        onerr: Vec<CStmt>,
+    },
+    Flag(&'static str),
+    ConstLoop {
+        point: FaultId,
+        bound: u32,
+        body: Vec<CStmt>,
+    },
+    DrainLoop {
+        point: FaultId,
+        queue: usize,
+        body: Vec<CStmt>,
+    },
+    Submit {
+        queue: usize,
+        every: CExpr,
+    },
+    Push(usize),
+    Requeue(usize),
+    Repeat(CExpr, Vec<CStmt>),
+    If(CExpr, Vec<CStmt>, Vec<CStmt>),
+    Try(Vec<CStmt>, Vec<CStmt>),
+    Sched {
+        event: usize,
+        after: CExpr,
+    },
+}
+
+/// Lowered handler: the implicit call frame plus the body.
+#[derive(Debug, Clone)]
+pub(crate) struct CHandler {
+    pub func: FnId,
+    pub body: Vec<CStmt>,
+}
+
+/// Lowered workload-setup statement (all expressions pre-evaluated).
+#[derive(Debug, Clone)]
+pub(crate) enum CSetup {
+    Spawn {
+        event: usize,
+        count: u64,
+        every: VirtualTime,
+    },
+    Sched {
+        event: usize,
+        after: VirtualTime,
+    },
+}
+
+/// Lowered workload: test metadata, variable table, horizon, schedule.
+#[derive(Debug, Clone)]
+pub(crate) struct CWorkload {
+    pub test: TestCase,
+    /// Values of the scenario's variables, indexed by variable id.
+    pub vars: Vec<Value>,
+    pub horizon: VirtualTime,
+    pub setup: Vec<CSetup>,
+}
+
+/// The fully-lowered scenario the interpreter executes.
+pub(crate) struct Compiled {
+    pub name: &'static str,
+    pub registry: Arc<Registry>,
+    pub queue_count: usize,
+    pub handlers: Vec<CHandler>,
+    pub workloads: Vec<CWorkload>,
+    pub bugs: Vec<KnownBug>,
+    pub expected: Vec<&'static str>,
+}
+
+/// A scenario compiled into a runnable target system.
+///
+/// Plugs into everything a hand-coded target does: staged
+/// [`csnake_core::Session`]s, snapshots, the evaluation binaries, the
+/// baseline fuzzers.
+pub struct ScenarioSystem {
+    compiled: Compiled,
+}
+
+impl ScenarioSystem {
+    /// The spec's declared name.
+    pub fn scenario_name(&self) -> &'static str {
+        self.compiled.name
+    }
+
+    /// Looks up a declared fault point by its label.
+    pub fn point_by_label(&self, label: &str) -> Option<FaultId> {
+        self.compiled
+            .registry
+            .points()
+            .iter()
+            .find(|p| p.label == label)
+            .map(|p| p.id)
+    }
+}
+
+impl TargetSystem for ScenarioSystem {
+    fn name(&self) -> &'static str {
+        self.compiled.name
+    }
+
+    fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.compiled.registry)
+    }
+
+    fn tests(&self) -> Vec<TestCase> {
+        self.compiled.workloads.iter().map(|w| w.test).collect()
+    }
+
+    fn run(&self, test: TestId, plan: Option<InjectionPlan>, seed: u64) -> RunTrace {
+        interp::run(&self.compiled, test, plan, seed)
+    }
+
+    fn known_bugs(&self) -> Vec<KnownBug> {
+        self.compiled.bugs.clone()
+    }
+
+    fn expected_contention_labels(&self) -> Vec<&'static str> {
+        self.compiled.expected.clone()
+    }
+}
+
+/// Validates and lowers a parsed spec into a runnable target system.
+pub fn compile(spec: &ScenarioSpec) -> Result<ScenarioSystem, ScenarioError> {
+    Compiler::new(spec)?.finish()
+}
+
+/// Kind summary used for point-reference checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PKind {
+    Loop,
+    ConstLoop(u32),
+    Throw,
+    Negation(bool),
+}
+
+struct Compiler<'a> {
+    spec: &'a ScenarioSpec,
+    queues: HashMap<&'a str, usize>,
+    components: HashSet<&'a str>,
+    fn_ids: HashMap<&'a str, FnId>,
+    points: HashMap<&'a str, (FaultId, PKind)>,
+    branch_ids: HashMap<&'a str, BranchId>,
+    events: HashMap<&'a str, usize>,
+    /// Variable table: name → index; types inferred from the first
+    /// workload binding each variable.
+    vars: Vec<(&'a str, Ty)>,
+    var_ids: HashMap<&'a str, usize>,
+    registry: Registry,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(spec: &'a ScenarioSpec) -> Result<Self, ScenarioError> {
+        // --- structural prerequisites -----------------------------------
+        if spec.workloads.is_empty() {
+            return Err(ScenarioError::at(
+                spec.name.span,
+                format!("scenario `{}` declares no workloads", spec.name),
+            ));
+        }
+        if spec.points.is_empty() {
+            return Err(ScenarioError::at(
+                spec.name.span,
+                format!("scenario `{}` declares no fault points", spec.name),
+            ));
+        }
+        if spec.handlers.is_empty() {
+            return Err(ScenarioError::at(
+                spec.name.span,
+                format!("scenario `{}` declares no handlers", spec.name),
+            ));
+        }
+
+        // --- components and queues --------------------------------------
+        let mut components = HashSet::new();
+        let mut queues = HashMap::new();
+        for c in &spec.components {
+            if !components.insert(c.name.name.as_str()) {
+                return Err(ScenarioError::at(
+                    c.name.span,
+                    format!("duplicate component `{}`", c.name),
+                ));
+            }
+            for q in &c.queues {
+                let id = queues.len();
+                if queues.insert(q.name.as_str(), id).is_some() {
+                    return Err(ScenarioError::at(
+                        q.span,
+                        format!("duplicate queue `{q}` (queue names are scenario-global)"),
+                    ));
+                }
+            }
+        }
+
+        // --- functions ---------------------------------------------------
+        let mut builder = RegistryBuilder::new(intern(&spec.name.name));
+        let mut fn_ids = HashMap::new();
+        for f in &spec.fns {
+            if fn_ids.contains_key(f.alias.name.as_str()) {
+                return Err(ScenarioError::at(
+                    f.alias.span,
+                    format!("duplicate fn alias `{}`", f.alias),
+                ));
+            }
+            fn_ids.insert(f.alias.name.as_str(), builder.func(intern(&f.path)));
+        }
+
+        // --- fault and branch points ------------------------------------
+        let mut points: HashMap<&str, (FaultId, PKind)> = HashMap::new();
+        let mut branch_ids: HashMap<&str, BranchId> = HashMap::new();
+        let lookup_fn = |fn_ids: &HashMap<&str, FnId>, func: &Ident| {
+            fn_ids
+                .get(func.name.as_str())
+                .copied()
+                .ok_or_else(|| ScenarioError::at(func.span, format!("unknown fn alias `{func}`")))
+        };
+        for p in &spec.points {
+            if points.contains_key(p.label.name.as_str()) {
+                return Err(ScenarioError::at(
+                    p.label.span,
+                    format!("duplicate point id `{}`", p.label),
+                ));
+            }
+            let f = lookup_fn(&fn_ids, &p.func)?;
+            let label = intern(&p.label.name);
+            let (id, pk) = match &p.kind {
+                PointKind::Loop { io, .. } => {
+                    (builder.workload_loop(f, p.line, *io, label), PKind::Loop)
+                }
+                PointKind::ConstLoop { bound } => (
+                    builder.const_loop(f, p.line, *bound, label),
+                    PKind::ConstLoop(*bound),
+                ),
+                PointKind::Throw {
+                    class,
+                    category,
+                    test_only,
+                } => {
+                    let id = if *test_only {
+                        builder.test_only_throw(f, p.line, intern(class), label)
+                    } else {
+                        let cat = match category {
+                            ThrowCategory::System => ExceptionCategory::SystemSpecific,
+                            ThrowCategory::Runtime => ExceptionCategory::ExplicitRuntime,
+                            ThrowCategory::Reflection => ExceptionCategory::Reflection,
+                            ThrowCategory::Security => ExceptionCategory::Security,
+                        };
+                        builder.throw_point(f, p.line, intern(class), cat, label)
+                    };
+                    (id, PKind::Throw)
+                }
+                PointKind::LibCall { class } => (
+                    builder.lib_call(f, p.line, intern(class), label),
+                    PKind::Throw,
+                ),
+                PointKind::Negation { error_when, source } => {
+                    let src = match source {
+                        NegSource::Detector => BoolSource::ErrorDetector,
+                        NegSource::Jdk => BoolSource::JdkUtility,
+                        NegSource::Config => BoolSource::FinalConfigOnly,
+                        NegSource::Constant => BoolSource::ConstantOrUnused,
+                        NegSource::Primitive => BoolSource::PrimitiveUtility,
+                    };
+                    (
+                        builder.negation_point(f, p.line, *error_when, src, label),
+                        PKind::Negation(*error_when),
+                    )
+                }
+            };
+            points.insert(p.label.name.as_str(), (id, pk));
+        }
+        // Parent/sibling links, now that every loop id exists.
+        for p in &spec.points {
+            if let PointKind::Loop {
+                parent, sibling, ..
+            } = &p.kind
+            {
+                let child = points[p.label.name.as_str()].0;
+                for (what, target, link) in [("parent", parent, true), ("sibling", sibling, false)]
+                {
+                    let Some(target) = target else { continue };
+                    let Some((tid, tk)) = points.get(target.name.as_str()).copied() else {
+                        return Err(ScenarioError::at(
+                            target.span,
+                            format!("unknown {what} loop `{target}`"),
+                        ));
+                    };
+                    if !matches!(tk, PKind::Loop | PKind::ConstLoop(_)) {
+                        return Err(ScenarioError::at(
+                            target.span,
+                            format!("{what} `{target}` is not a loop point"),
+                        ));
+                    }
+                    if link {
+                        builder.set_parent(child, tid);
+                    } else {
+                        builder.set_sibling(child, tid);
+                    }
+                }
+            }
+        }
+        for b in &spec.branches {
+            if points.contains_key(b.label.name.as_str())
+                || branch_ids.contains_key(b.label.name.as_str())
+            {
+                return Err(ScenarioError::at(
+                    b.label.span,
+                    format!("duplicate point id `{}`", b.label),
+                ));
+            }
+            let f = lookup_fn(&fn_ids, &b.func)?;
+            branch_ids.insert(b.label.name.as_str(), builder.branch(f, b.line));
+        }
+
+        // --- events ------------------------------------------------------
+        let mut events = HashMap::new();
+        for (i, h) in spec.handlers.iter().enumerate() {
+            if events.insert(h.event.name.as_str(), i).is_some() {
+                return Err(ScenarioError::at(
+                    h.event.span,
+                    format!("duplicate handler for event `{}`", h.event),
+                ));
+            }
+            if let Some(c) = &h.component {
+                if !components.contains(c.name.as_str()) {
+                    return Err(ScenarioError::at(
+                        c.span,
+                        format!("unknown component `{c}`"),
+                    ));
+                }
+            }
+        }
+
+        // --- variable table from workload bindings ----------------------
+        let mut vars: Vec<(&str, Ty)> = Vec::new();
+        let mut var_ids: HashMap<&str, usize> = HashMap::new();
+        let mut workload_names = HashSet::new();
+        let mut bound: HashMap<&str, HashSet<&str>> = HashMap::new();
+        for wl in &spec.workloads {
+            if !workload_names.insert(wl.name.name.as_str()) {
+                return Err(ScenarioError::at(
+                    wl.name.span,
+                    format!("duplicate workload `{}`", wl.name),
+                ));
+            }
+            let seen = bound.entry(wl.name.name.as_str()).or_default();
+            for (var, value) in &wl.lets {
+                if !seen.insert(var.name.as_str()) {
+                    return Err(ScenarioError::at(
+                        var.span,
+                        format!("workload `{}` binds `${var}` twice", wl.name),
+                    ));
+                }
+                let ty = match value {
+                    Expr::Int(..) => Ty::Int,
+                    Expr::Dur(..) => Ty::Dur,
+                    _ => unreachable!("parser restricts workload lets to literals"),
+                };
+                match var_ids.get(var.name.as_str()) {
+                    None => {
+                        var_ids.insert(var.name.as_str(), vars.len());
+                        vars.push((var.name.as_str(), ty));
+                    }
+                    Some(&id) => {
+                        if vars[id].1 != ty {
+                            return Err(ScenarioError::at(
+                                var.span,
+                                format!(
+                                    "`${var}` is {} here but {} in an earlier workload",
+                                    ty, vars[id].1
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Every workload must bind every variable (handlers are shared).
+        for wl in &spec.workloads {
+            let seen = &bound[wl.name.name.as_str()];
+            for (name, _) in &vars {
+                if !seen.contains(name) {
+                    return Err(ScenarioError::at(
+                        wl.name.span,
+                        format!("workload `{}` does not bind `${name}`", wl.name),
+                    ));
+                }
+            }
+        }
+
+        Ok(Compiler {
+            spec,
+            queues,
+            components,
+            fn_ids,
+            points,
+            branch_ids,
+            events,
+            vars,
+            var_ids,
+            registry: builder.build(),
+        })
+    }
+
+    fn queue(&self, q: &Ident) -> Result<usize, ScenarioError> {
+        self.queues.get(q.name.as_str()).copied().ok_or_else(|| {
+            ScenarioError::at(
+                q.span,
+                format!("unknown queue `{q}` (no component declares it)"),
+            )
+        })
+    }
+
+    fn event(&self, e: &Ident) -> Result<usize, ScenarioError> {
+        self.events.get(e.name.as_str()).copied().ok_or_else(|| {
+            ScenarioError::at(
+                e.span,
+                format!("unknown event `{e}` (no handler declares it)"),
+            )
+        })
+    }
+
+    fn point(&self, p: &Ident) -> Result<(FaultId, PKind), ScenarioError> {
+        self.points
+            .get(p.name.as_str())
+            .copied()
+            .ok_or_else(|| ScenarioError::at(p.span, format!("unknown fault point `{p}`")))
+    }
+
+    /// Type-checks and lowers an expression. `in_item` gates
+    /// `age(item)`/`retries(item)`.
+    fn expr(&self, e: &Expr, in_item: bool) -> Result<(CExpr, Ty), ScenarioError> {
+        match e {
+            Expr::Int(n, _) => Ok((CExpr::Int(*n), Ty::Int)),
+            Expr::Dur(us, _) => Ok((CExpr::Dur(VirtualTime::from_micros(*us)), Ty::Dur)),
+            Expr::Bool(b, _) => Ok((CExpr::Bool(*b), Ty::Bool)),
+            Expr::Var(v) => {
+                let Some(&id) = self.var_ids.get(v.name.as_str()) else {
+                    return Err(ScenarioError::at(
+                        v.span,
+                        format!("unknown variable `${v}` (no workload binds it)"),
+                    ));
+                };
+                Ok((CExpr::Var(id), self.vars[id].1))
+            }
+            Expr::Len(q) => Ok((CExpr::Len(self.queue(q)?), Ty::Int)),
+            Expr::Empty(q) => Ok((CExpr::Empty(self.queue(q)?), Ty::Bool)),
+            Expr::Submitted(q) => Ok((CExpr::Submitted(self.queue(q)?), Ty::Int)),
+            Expr::AgeItem(m) => {
+                if !in_item {
+                    return Err(ScenarioError::at(
+                        m.0,
+                        "`age(item)` is only available inside a drain loop",
+                    ));
+                }
+                Ok((CExpr::Age, Ty::Dur))
+            }
+            Expr::RetriesItem(m) => {
+                if !in_item {
+                    return Err(ScenarioError::at(
+                        m.0,
+                        "`retries(item)` is only available inside a drain loop",
+                    ));
+                }
+                Ok((CExpr::Retries, Ty::Int))
+            }
+            Expr::Now(_) => Ok((CExpr::Now, Ty::Dur)),
+            Expr::Not(inner) => {
+                let (c, ty) = self.expr(inner, in_item)?;
+                if ty != Ty::Bool {
+                    return Err(self.type_err(inner, Ty::Bool, ty));
+                }
+                Ok((CExpr::Not(Box::new(c)), Ty::Bool))
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let (cl, tl) = self.expr(lhs, in_item)?;
+                let (cr, tr) = self.expr(rhs, in_item)?;
+                let out = match op {
+                    BinOp::And | BinOp::Or => {
+                        if tl != Ty::Bool {
+                            return Err(self.type_err(lhs, Ty::Bool, tl));
+                        }
+                        if tr != Ty::Bool {
+                            return Err(self.type_err(rhs, Ty::Bool, tr));
+                        }
+                        Ty::Bool
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                        if tl != tr || tl == Ty::Bool {
+                            return Err(ScenarioError::at(
+                                expr_span(lhs),
+                                format!("cannot compare {tl} with {tr}"),
+                            ));
+                        }
+                        Ty::Bool
+                    }
+                    BinOp::Add | BinOp::Sub => {
+                        if tl != tr || tl == Ty::Bool {
+                            return Err(ScenarioError::at(
+                                expr_span(lhs),
+                                format!("cannot apply +/- to {tl} and {tr}"),
+                            ));
+                        }
+                        tl
+                    }
+                    BinOp::Mul => match (tl, tr) {
+                        (Ty::Int, Ty::Int) => Ty::Int,
+                        (Ty::Dur, Ty::Int) | (Ty::Int, Ty::Dur) => Ty::Dur,
+                        _ => {
+                            return Err(ScenarioError::at(
+                                expr_span(lhs),
+                                format!("cannot multiply {tl} by {tr}"),
+                            ))
+                        }
+                    },
+                };
+                Ok((CExpr::Bin(*op, Box::new(cl), Box::new(cr)), out))
+            }
+        }
+    }
+
+    fn type_err(&self, e: &Expr, want: Ty, got: Ty) -> ScenarioError {
+        ScenarioError::at(expr_span(e), format!("expected {want}, found {got}"))
+    }
+
+    fn typed_expr(&self, e: &Expr, want: Ty, in_item: bool) -> Result<CExpr, ScenarioError> {
+        let (c, ty) = self.expr(e, in_item)?;
+        if ty != want {
+            return Err(self.type_err(e, want, ty));
+        }
+        Ok(c)
+    }
+
+    fn block(&self, stmts: &[Stmt], in_item: bool) -> Result<Vec<CStmt>, ScenarioError> {
+        stmts.iter().map(|s| self.stmt(s, in_item)).collect()
+    }
+
+    fn stmt(&self, s: &Stmt, in_item: bool) -> Result<CStmt, ScenarioError> {
+        Ok(match s {
+            Stmt::Advance(e) => CStmt::Advance(self.typed_expr(e, Ty::Dur, in_item)?),
+            Stmt::Frame { func, body } => {
+                let f = self
+                    .fn_ids
+                    .get(func.name.as_str())
+                    .copied()
+                    .ok_or_else(|| {
+                        ScenarioError::at(func.span, format!("unknown fn alias `{func}`"))
+                    })?;
+                CStmt::Frame(f, self.block(body, in_item)?)
+            }
+            Stmt::Branch { point, cond } => {
+                let Some(&b) = self.branch_ids.get(point.name.as_str()) else {
+                    return Err(ScenarioError::at(
+                        point.span,
+                        format!("unknown branch point `{point}`"),
+                    ));
+                };
+                CStmt::Branch(b, self.typed_expr(cond, Ty::Bool, in_item)?)
+            }
+            Stmt::Guard(p) => {
+                let (id, kind) = self.point(p)?;
+                if kind != PKind::Throw {
+                    return Err(ScenarioError::at(
+                        p.span,
+                        format!("`guard {p}` requires a throw/libcall point"),
+                    ));
+                }
+                CStmt::Guard(id)
+            }
+            Stmt::ThrowIf { point, cond } => {
+                let (id, kind) = self.point(point)?;
+                if kind != PKind::Throw {
+                    return Err(ScenarioError::at(
+                        point.span,
+                        format!("`throwif {point}` requires a throw/libcall point"),
+                    ));
+                }
+                CStmt::ThrowIf(id, self.typed_expr(cond, Ty::Bool, in_item)?)
+            }
+            Stmt::Check {
+                point,
+                value,
+                onerr,
+            } => {
+                let (id, kind) = self.point(point)?;
+                let PKind::Negation(error_when) = kind else {
+                    return Err(ScenarioError::at(
+                        point.span,
+                        format!("`check {point}` requires a negation point"),
+                    ));
+                };
+                CStmt::Check {
+                    point: id,
+                    error_when,
+                    value: self.typed_expr(value, Ty::Bool, in_item)?,
+                    onerr: self.block(onerr, in_item)?,
+                }
+            }
+            Stmt::Flag(name) => CStmt::Flag(intern(name)),
+            Stmt::ConstLoop { point, body } => {
+                let (id, kind) = self.point(point)?;
+                let PKind::ConstLoop(bound) = kind else {
+                    return Err(ScenarioError::at(
+                        point.span,
+                        format!("`constloop {point}` requires a constant-bound loop point"),
+                    ));
+                };
+                CStmt::ConstLoop {
+                    point: id,
+                    bound,
+                    body: self.block(body, in_item)?,
+                }
+            }
+            Stmt::DrainLoop { point, queue, body } => {
+                let (id, kind) = self.point(point)?;
+                if kind != PKind::Loop {
+                    return Err(ScenarioError::at(
+                        point.span,
+                        format!("`loop {point} drain` requires a workload-dependent loop point"),
+                    ));
+                }
+                CStmt::DrainLoop {
+                    point: id,
+                    queue: self.queue(queue)?,
+                    body: self.block(body, true)?,
+                }
+            }
+            Stmt::Submit { queue, every } => CStmt::Submit {
+                queue: self.queue(queue)?,
+                every: self.typed_expr(every, Ty::Dur, in_item)?,
+            },
+            Stmt::Push(q) => CStmt::Push(self.queue(q)?),
+            Stmt::Requeue(q) => {
+                if !in_item {
+                    return Err(ScenarioError::at(
+                        q.span,
+                        "`requeue` is only available inside a drain loop",
+                    ));
+                }
+                CStmt::Requeue(self.queue(q)?)
+            }
+            Stmt::Repeat { count, body } => CStmt::Repeat(
+                self.typed_expr(count, Ty::Int, in_item)?,
+                self.block(body, in_item)?,
+            ),
+            Stmt::If { cond, then, els } => CStmt::If(
+                self.typed_expr(cond, Ty::Bool, in_item)?,
+                self.block(then, in_item)?,
+                self.block(els, in_item)?,
+            ),
+            Stmt::Try { body, onerr } => {
+                CStmt::Try(self.block(body, in_item)?, self.block(onerr, in_item)?)
+            }
+            Stmt::Sched { event, after } => CStmt::Sched {
+                event: self.event(event)?,
+                after: self.typed_expr(after, Ty::Dur, in_item)?,
+            },
+        })
+    }
+
+    /// Rejects run-state references (queues, the clock, items) in an
+    /// expression evaluated at workload scope, where no simulation exists
+    /// yet. Anything that passes is safe for [`interp::eval_const`].
+    fn check_const(&self, e: &Expr) -> Result<(), ScenarioError> {
+        let err = |span, what: &str| {
+            Err(ScenarioError::at(
+                span,
+                format!(
+                    "`{what}` is not available in workload scope \
+                     (horizon/spawn/sched take literals and $vars only)"
+                ),
+            ))
+        };
+        match e {
+            Expr::Int(..) | Expr::Dur(..) | Expr::Bool(..) | Expr::Var(_) => Ok(()),
+            Expr::Len(q) => err(q.span, "len"),
+            Expr::Empty(q) => err(q.span, "empty"),
+            Expr::Submitted(q) => err(q.span, "submitted"),
+            Expr::AgeItem(m) => err(m.0, "age(item)"),
+            Expr::RetriesItem(m) => err(m.0, "retries(item)"),
+            Expr::Now(m) => err(m.0, "now"),
+            Expr::Not(inner) => self.check_const(inner),
+            Expr::Bin { lhs, rhs, .. } => {
+                self.check_const(lhs)?;
+                self.check_const(rhs)
+            }
+        }
+    }
+
+    /// Evaluates a workload-scope expression (vars + literals only).
+    fn workload_value(&self, e: &Expr, want: Ty, vars: &[Value]) -> Result<Value, ScenarioError> {
+        self.check_const(e)?;
+        let c = self.typed_expr(e, want, false)?;
+        Ok(interp::eval_const(&c, vars))
+    }
+
+    fn finish(self) -> Result<ScenarioSystem, ScenarioError> {
+        let spec = self.spec;
+
+        // Handlers.
+        let mut handlers = Vec::with_capacity(spec.handlers.len());
+        for h in &spec.handlers {
+            let f = self
+                .fn_ids
+                .get(h.func.name.as_str())
+                .copied()
+                .ok_or_else(|| {
+                    ScenarioError::at(h.func.span, format!("unknown fn alias `{}`", h.func))
+                })?;
+            handlers.push(CHandler {
+                func: f,
+                body: self.block(&h.body, false)?,
+            });
+        }
+
+        // Workloads.
+        let mut workloads = Vec::with_capacity(spec.workloads.len());
+        for (i, wl) in spec.workloads.iter().enumerate() {
+            let mut vars = vec![Value::Int(0); self.vars.len()];
+            for (var, value) in &wl.lets {
+                let id = self.var_ids[var.name.as_str()];
+                vars[id] = match value {
+                    Expr::Int(n, _) => Value::Int(*n),
+                    Expr::Dur(us, _) => Value::Dur(VirtualTime::from_micros(*us)),
+                    _ => unreachable!("parser restricts workload lets to literals"),
+                };
+            }
+            let horizon = match self.workload_value(&wl.horizon, Ty::Dur, &vars)? {
+                Value::Dur(d) => d,
+                _ => unreachable!("typed_expr enforced dur"),
+            };
+            let mut setup = Vec::with_capacity(wl.setup.len());
+            for s in &wl.setup {
+                setup.push(match s {
+                    SetupStmt::Spawn {
+                        event,
+                        count,
+                        every,
+                    } => {
+                        let ev = self.event(event)?;
+                        let count = match self.workload_value(count, Ty::Int, &vars)? {
+                            Value::Int(n) => n.max(0) as u64,
+                            _ => unreachable!(),
+                        };
+                        let every = match self.workload_value(every, Ty::Dur, &vars)? {
+                            Value::Dur(d) => d,
+                            _ => unreachable!(),
+                        };
+                        CSetup::Spawn {
+                            event: ev,
+                            count,
+                            every,
+                        }
+                    }
+                    SetupStmt::Sched { event, after } => {
+                        let ev = self.event(event)?;
+                        let after = match self.workload_value(after, Ty::Dur, &vars)? {
+                            Value::Dur(d) => d,
+                            _ => unreachable!(),
+                        };
+                        CSetup::Sched { event: ev, after }
+                    }
+                });
+            }
+            workloads.push(CWorkload {
+                test: TestCase {
+                    id: TestId(i as u32),
+                    name: intern(&wl.name.name),
+                    description: intern(&wl.description),
+                },
+                vars,
+                horizon,
+                setup,
+            });
+        }
+
+        // Ground truth.
+        let mut bugs = Vec::with_capacity(spec.bugs.len());
+        let mut bug_ids = HashSet::new();
+        for b in &spec.bugs {
+            if !bug_ids.insert(b.id.name.as_str()) {
+                return Err(ScenarioError::at(
+                    b.id.span,
+                    format!("duplicate bug `{}`", b.id),
+                ));
+            }
+            let mut labels = Vec::with_capacity(b.labels.len());
+            for l in &b.labels {
+                self.point(l)?;
+                labels.push(intern(&l.name));
+            }
+            bugs.push(KnownBug {
+                id: intern(&b.id.name),
+                jira: intern(&b.jira),
+                summary: intern(&b.summary),
+                labels,
+            });
+        }
+        let mut expected = Vec::with_capacity(spec.expected_contention.len());
+        for l in &spec.expected_contention {
+            let (_, kind) = self.point(l)?;
+            if !matches!(kind, PKind::Loop | PKind::ConstLoop(_)) {
+                return Err(ScenarioError::at(
+                    l.span,
+                    format!("expected_contention label `{l}` is not a loop point"),
+                ));
+            }
+            expected.push(intern(&l.name));
+        }
+
+        let _ = &self.components;
+        Ok(ScenarioSystem {
+            compiled: Compiled {
+                name: intern(&spec.name.name),
+                registry: Arc::new(self.registry),
+                queue_count: self.queues.len(),
+                handlers,
+                workloads,
+                bugs,
+                expected,
+            },
+        })
+    }
+}
+
+/// Best-effort span of an expression, for type errors.
+fn expr_span(e: &Expr) -> Span {
+    match e {
+        Expr::Var(i) | Expr::Len(i) | Expr::Empty(i) | Expr::Submitted(i) => i.span,
+        Expr::Int(_, m) | Expr::Dur(_, m) | Expr::Bool(_, m) => m.0,
+        Expr::AgeItem(m) | Expr::RetriesItem(m) => m.0,
+        Expr::Not(inner) => expr_span(inner),
+        Expr::Bin { lhs, .. } => expr_span(lhs),
+        Expr::Now(m) => m.0,
+    }
+}
+
+/// Validates a spec without building the interpreter: parse + compile,
+/// reporting the first error. Used by the `scenario_lint` tool.
+pub fn validate(spec: &ScenarioSpec) -> Result<(), ScenarioError> {
+    compile(spec).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_str;
+
+    fn compile_src(src: &str) -> Result<ScenarioSystem, ScenarioError> {
+        compile(&parse_str(src)?)
+    }
+
+    const OK_SRC: &str = r#"
+        scenario demo
+        component S { queue q }
+        fn f = "X.f"
+        fn g = "X.g"
+        loop l at f:1 io
+        throw t at g:2 class "IOException" category system
+        negation n at g:3 error_when true source detector
+        branchpoint br at f:4
+        handler T in S fn f {
+          branch br not empty(q)
+          loop l drain q {
+            try { frame g { guard t throwif t age(item) > 5s } } onerr { requeue q }
+          }
+          check n ok len(q) < 10 onerr { flag "bad" }
+          sched T after 1s
+        }
+        workload w "desc" {
+          let n = 3
+          horizon 30s
+          spawn T count $n every 10ms
+        }
+        bug demo-1 jira "J" summary "s" labels [l, t]
+    "#;
+
+    #[test]
+    fn valid_scenario_compiles_into_a_target() {
+        let sys = compile_src(OK_SRC).unwrap();
+        assert_eq!(sys.name(), "demo");
+        assert_eq!(sys.registry().points().len(), 3);
+        assert_eq!(sys.registry().branches().len(), 1);
+        assert_eq!(sys.tests().len(), 1);
+        assert_eq!(sys.known_bugs()[0].labels, vec!["l", "t"]);
+        assert_eq!(sys.point_by_label("t"), Some(FaultId(1)));
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let a = intern("same-string-for-intern-test");
+        let b = intern("same-string-for-intern-test");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn duplicate_point_id_is_rejected_with_span() {
+        let err = compile_src(
+            "scenario d\nfn f = \"X.f\"\nloop l at f:1\nloop l at f:2\n\
+             handler T fn f { sched T after 1s }\nworkload w \"d\" { horizon 1s }",
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(err.message.contains("duplicate point id"), "{err}");
+        assert_eq!(err.span.unwrap(), Span { line: 4, col: 6 });
+    }
+
+    #[test]
+    fn guard_on_a_loop_point_is_a_kind_error() {
+        let src = OK_SRC.replace("guard t", "guard l");
+        let err = compile_src(&src).map(|_| ()).unwrap_err();
+        assert!(err.message.contains("requires a throw"), "{err}");
+    }
+
+    #[test]
+    fn unbound_variable_is_rejected_naming_the_workload() {
+        let src = OK_SRC.replace("let n = 3", "let m = 3").replace("$n", "$m");
+        // Now add a second workload missing the binding.
+        let src = format!("{src}\nworkload w2 \"d\" {{ horizon 1s sched T after 1ms }}");
+        let err = compile_src(&src).map(|_| ()).unwrap_err();
+        assert!(err.message.contains("does not bind `$m`"), "{err}");
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let src = OK_SRC.replace("check n ok len(q) < 10", "check n ok len(q) + 10");
+        let err = compile_src(&src).map(|_| ()).unwrap_err();
+        assert!(err.message.contains("expected bool, found int"), "{err}");
+    }
+}

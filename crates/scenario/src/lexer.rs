@@ -1,0 +1,447 @@
+//! Hand-written tokenizer with line/column spans.
+//!
+//! The token stream is deliberately small: identifiers (keywords are
+//! resolved by the parser), `$vars`, integer and duration literals,
+//! double-quoted strings with `\"`/`\\` escapes, and punctuation.
+//! Comments run from `#` to end of line.
+
+use crate::ast::Span;
+use crate::ScenarioError;
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`work_loop`, `handler`, `JobServer.tick`
+    /// is *not* one — paths live in strings).
+    Ident(String),
+    /// `$name` configuration variable.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Duration literal, in microseconds (`12s`, `100ms`, `250us`).
+    Dur(u64),
+    /// Double-quoted string literal (unescaped).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Assign,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Var(s) => write!(f, "`${s}`"),
+            Tok::Int(n) => write!(f, "integer {n}"),
+            Tok::Dur(us) => write!(f, "duration {us}us"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus the span of its first character.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Source position of the token's first character.
+    pub span: Span,
+}
+
+/// Tokenizes a whole source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, ScenarioError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(c) = c {
+                if c == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    loop {
+        let span = Span { line, col };
+        let Some(&c) = chars.peek() else {
+            out.push(Token {
+                tok: Tok::Eof,
+                span,
+            });
+            return Ok(out);
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '{' | '}' | '[' | ']' | '(' | ')' | ',' | ':' | '+' | '*' => {
+                bump!();
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    ',' => Tok::Comma,
+                    ':' => Tok::Colon,
+                    '+' => Tok::Plus,
+                    _ => Tok::Star,
+                };
+                out.push(Token { tok, span });
+            }
+            '=' => {
+                bump!();
+                let tok = if chars.peek() == Some(&'=') {
+                    bump!();
+                    Tok::EqEq
+                } else {
+                    Tok::Assign
+                };
+                out.push(Token { tok, span });
+            }
+            '<' => {
+                bump!();
+                let tok = if chars.peek() == Some(&'=') {
+                    bump!();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                };
+                out.push(Token { tok, span });
+            }
+            '>' => {
+                bump!();
+                let tok = if chars.peek() == Some(&'=') {
+                    bump!();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                };
+                out.push(Token { tok, span });
+            }
+            '!' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    out.push(Token { tok: Tok::Ne, span });
+                } else {
+                    return Err(ScenarioError::at(span, "expected `!=`".to_string()));
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        None => return Err(ScenarioError::at(span, "unterminated string literal")),
+                        Some('"') => break,
+                        Some('\\') => match bump!() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some(other) => {
+                                return Err(ScenarioError::at(
+                                    span,
+                                    format!("unsupported escape `\\{other}` in string"),
+                                ))
+                            }
+                            None => {
+                                return Err(ScenarioError::at(span, "unterminated string literal"))
+                            }
+                        },
+                        Some('\n') => {
+                            return Err(ScenarioError::at(
+                                span,
+                                "string literal spans a line break",
+                            ))
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    span,
+                });
+            }
+            '$' => {
+                bump!();
+                let name = lex_word(&mut chars, &mut line, &mut col);
+                if name.is_empty() {
+                    return Err(ScenarioError::at(span, "`$` must be followed by a name"));
+                }
+                out.push(Token {
+                    tok: Tok::Var(name),
+                    span,
+                });
+            }
+            '-' => {
+                bump!();
+                // Negative integer literal or bare minus.
+                if chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    let (tok, err) = lex_number(&mut chars, &mut line, &mut col, true);
+                    if let Some(msg) = err {
+                        return Err(ScenarioError::at(span, msg));
+                    }
+                    out.push(Token { tok, span });
+                } else {
+                    out.push(Token {
+                        tok: Tok::Minus,
+                        span,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, err) = lex_number(&mut chars, &mut line, &mut col, false);
+                if let Some(msg) = err {
+                    return Err(ScenarioError::at(span, msg));
+                }
+                out.push(Token { tok, span });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let name = lex_word(&mut chars, &mut line, &mut col);
+                out.push(Token {
+                    tok: Tok::Ident(name),
+                    span,
+                });
+            }
+            other => {
+                return Err(ScenarioError::at(
+                    span,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+}
+
+/// Consumes an identifier tail (`[A-Za-z0-9_.-]`; dots and dashes allow
+/// bug ids like `toy-retry-storm`).
+fn lex_word(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    line: &mut u32,
+    col: &mut u32,
+) -> String {
+    let mut s = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+            s.push(c);
+            chars.next();
+            let _ = line;
+            *col += 1;
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// Consumes a number with an optional duration suffix (`us`, `ms`, `s`).
+fn lex_number(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    line: &mut u32,
+    col: &mut u32,
+    negative: bool,
+) -> (Tok, Option<String>) {
+    let mut digits = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() || c == '_' {
+            if c != '_' {
+                digits.push(c);
+            }
+            chars.next();
+            *col += 1;
+        } else {
+            break;
+        }
+    }
+    let _ = line;
+    let Ok(value) = digits.parse::<i64>() else {
+        return (
+            Tok::Int(0),
+            Some(format!("integer literal `{digits}` overflows")),
+        );
+    };
+    // Duration suffix?
+    let mut suffix = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_alphabetic() {
+            suffix.push(c);
+            chars.next();
+            *col += 1;
+        } else {
+            break;
+        }
+    }
+    let scaled = |unit: u64| match (value as u64).checked_mul(unit) {
+        Some(us) => (Tok::Dur(us), None),
+        None => (
+            Tok::Int(0),
+            Some(format!("duration literal `{digits}` overflows")),
+        ),
+    };
+    match suffix.as_str() {
+        "" => (Tok::Int(if negative { -value } else { value }), None),
+        _ if negative => (
+            Tok::Int(0),
+            Some("negative durations are not allowed".into()),
+        ),
+        "us" => scaled(1),
+        "ms" => scaled(1_000),
+        "s" => scaled(1_000_000),
+        other => (
+            Tok::Int(0),
+            Some(format!("unknown duration suffix `{other}` (use us/ms/s)")),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn words_numbers_durations_strings() {
+        assert_eq!(
+            toks(r#"loop work_loop 42 12s 100ms "IOException" $jobs"#),
+            vec![
+                Tok::Ident("loop".into()),
+                Tok::Ident("work_loop".into()),
+                Tok::Int(42),
+                Tok::Dur(12_000_000),
+                Tok::Dur(100_000),
+                Tok::Str("IOException".into()),
+                Tok::Var("jobs".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_spans() {
+        let t = lex("a # comment\n  b").unwrap();
+        assert_eq!(t[0].span, Span { line: 1, col: 1 });
+        assert_eq!(t[1].span, Span { line: 2, col: 3 });
+        assert_eq!(t[1].tok, Tok::Ident("b".into()));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("< <= > >= == != = + - * ( ) not"),
+            vec![
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Assign,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Ident("not".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers_and_bad_suffix() {
+        assert_eq!(toks("-5"), vec![Tok::Int(-5), Tok::Eof]);
+        let err = lex("5m").unwrap_err();
+        assert!(err.message.contains("unknown duration suffix"), "{err}");
+        assert_eq!(err.span.unwrap(), Span { line: 1, col: 1 });
+    }
+
+    #[test]
+    fn unterminated_string_has_span() {
+        let err = lex("x \"abc").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+        assert_eq!(err.span.unwrap(), Span { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r#""a\"b\\c""#),
+            vec![Tok::Str(r#"a"b\c"#.into()), Tok::Eof]
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! `csnake-scenario`: fault-injection targets as data.
+//!
+//! Every bundled target in `csnake-targets` is a hand-coded Rust module:
+//! adding a system means writing simulator code, wiring a registry and
+//! deriving workload suites by hand. This crate makes new targets **data**
+//! — a small declarative scenario language (files conventionally named
+//! `*.csnake-scn`) plus an interpreter that compiles a parsed
+//! [`ScenarioSpec`] into a full [`csnake_core::TargetSystem`] that runs on
+//! the deterministic simulator and plugs into `Session`, snapshots and the
+//! evaluation binaries unchanged.
+//!
+//! Like the snapshot codec, parsing is first-party: the workspace's
+//! vendored `serde` is compile-only, so the lexer and parser are
+//! hand-written and report errors with line/column spans
+//! ([`ScenarioError`]).
+//!
+//! # Write your own scenario
+//!
+//! A spec has five sections. Walking through the shape of
+//! `scenarios/toy.csnake-scn` (the port of the hand-coded toy target,
+//! proven to produce a field-identical `DetectionReport`):
+//!
+//! **1. Name, components and state.** Components group the queues that
+//! hold in-flight work items; every item carries its (open-loop) submit
+//! time and a retry counter:
+//!
+//! ```text
+//! scenario toy
+//! component JobServer { queue jobs }
+//! ```
+//!
+//! **2. Instrumentation inventory.** Function names are interned in
+//! declaration order; fault points (loops, throws, negations) and branch
+//! monitor points are declared with the source location and static
+//! metadata the `csnake-analyzer` filters need — including deliberately
+//! filterable decoys (`constloop`, `source jdk`, `category reflection`):
+//!
+//! ```text
+//! fn server = "JobServer.tick"
+//! fn process = "JobServer.processJob"
+//! loop work_loop at server:20 io
+//! constloop warmup at server:10 bound 3
+//! throw job_ioe at process:42 class "IOException" category system
+//! negation queue_healthy at health:7 error_when false source detector
+//! branchpoint batch_nonempty at server:21
+//! ```
+//!
+//! **3. Handlers.** Each handler is one event type of the discrete-event
+//! world; its body is a small imperative program over queues, items and
+//! instrumentation hooks. `guard`/`throwif` raise faults that propagate
+//! (unwinding call frames) to the nearest `try`:
+//!
+//! ```text
+//! handler Tick in JobServer fn server {
+//!   branch batch_nonempty not empty(jobs)
+//!   loop work_loop drain jobs {
+//!     try {
+//!       frame process {
+//!         advance 2ms
+//!         guard job_ioe
+//!         throwif job_ioe age(item) > 12s
+//!       }
+//!     } onerr {
+//!       if ($retry_fanout > 0) and (retries(item) < $max_retries) {
+//!         repeat $retry_fanout { requeue jobs }
+//!       }
+//!     }
+//!   }
+//!   if (submitted(jobs) < $jobs) or (not empty(jobs)) {
+//!     sched Tick after 100ms
+//!   } else {
+//!     sched Tick after 1s
+//!   }
+//! }
+//! ```
+//!
+//! **4. Workloads.** Each workload is one integration test with its own
+//! cluster configuration (`let` bindings are the `$vars` handlers read), a
+//! horizon, and the initial event schedule. No single workload should
+//! satisfy all conditions of a seeded cycle — that is what causal
+//! stitching exists for:
+//!
+//! ```text
+//! workload test_many_jobs "150 jobs, retries disabled — volume workload" {
+//!   let jobs = 150
+//!   let submit_interval = 20ms
+//!   let retry_fanout = 0
+//!   let max_retries = 0
+//!   horizon 900s
+//!   spawn Submit count $jobs every $submit_interval
+//!   sched Tick after 100ms
+//!   sched Health after 1s
+//! }
+//! ```
+//!
+//! **5. Ground truth.** Seeded cycles are labelled for evaluation only —
+//! the detector never sees them:
+//!
+//! ```text
+//! bug toy-retry-storm jira "TOY-1"
+//!   summary "work-loop delay times out jobs whose retries re-load the loop"
+//!   labels [work_loop, job_ioe]
+//! ```
+//!
+//! Compile and drive it exactly like a hand-coded target:
+//!
+//! ```no_run
+//! use csnake_scenario::load_file;
+//! use csnake_core::{detect, DetectConfig};
+//!
+//! let system = load_file("scenarios/toy.csnake-scn")?;
+//! let detection = detect(&system, &DetectConfig::default());
+//! for m in &detection.report.matches {
+//!     println!("found {}", m.bug.id);
+//! }
+//! # Ok::<(), csnake_scenario::ScenarioError>(())
+//! ```
+//!
+//! # Module map
+//!
+//! * [`ast`] — the parsed [`ScenarioSpec`]; spans compare equal so
+//!   pretty-print → reparse round-trips are identity.
+//! * [`lexer`] / [`parser`] — hand-written tokenizer and recursive-descent
+//!   parser with line/column error spans.
+//! * [`printer`] — the canonical pretty-printer ([`print()`]).
+//! * [`mod@compile`] — validation plus lowering into a [`ScenarioSystem`]
+//!   (registry built through `csnake_inject::RegistryBuilder`, names
+//!   interned/leaked once per process).
+//! * [`interp`] — the statement interpreter: one `World` over the
+//!   deterministic simulator, instrumented through the injection agent.
+//! * [`loader`] — file loading with `include` resolution (cycle
+//!   detection), the bundled-corpus directory, and the scenario-aware
+//!   target resolver [`by_name`].
+
+pub mod ast;
+pub mod compile;
+pub mod interp;
+pub mod lexer;
+pub mod loader;
+pub mod parser;
+pub mod printer;
+
+use std::fmt;
+use std::path::PathBuf;
+
+pub use ast::{ScenarioSpec, Span};
+pub use compile::{compile, ScenarioSystem};
+pub use loader::{by_name, corpus_dir, corpus_specs, load_file, parse_str};
+pub use printer::print;
+
+/// A scenario-language failure: lexing, parsing, validation, include
+/// resolution or file I/O — always with the most precise location known.
+#[derive(Debug)]
+pub struct ScenarioError {
+    /// What went wrong.
+    pub message: String,
+    /// Line/column of the offending token or name, when known.
+    pub span: Option<Span>,
+    /// The file involved, when the spec came from disk.
+    pub path: Option<PathBuf>,
+}
+
+impl ScenarioError {
+    /// An error anchored at a source span.
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        ScenarioError {
+            message: message.into(),
+            span: Some(span),
+            path: None,
+        }
+    }
+
+    /// An error with no useful span (I/O, include cycles).
+    pub fn general(message: impl Into<String>) -> Self {
+        ScenarioError {
+            message: message.into(),
+            span: None,
+            path: None,
+        }
+    }
+
+    /// Attaches the file the spec was read from.
+    pub fn with_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = &self.path {
+            write!(f, "{}: ", p.display())?;
+        }
+        if let Some(s) = self.span {
+            write!(f, "{}:{}: ", s.line, s.col)?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ScenarioError {}

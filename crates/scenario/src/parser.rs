@@ -1,0 +1,917 @@
+//! Recursive-descent parser for the scenario language.
+//!
+//! Produces the [`crate::ast`] types with a span on every name. Keywords
+//! are contextual: the lexer only knows identifiers, so `loop` begins a
+//! point declaration at top level and a drain-loop statement inside a
+//! handler body.
+
+use crate::ast::*;
+use crate::lexer::{lex, Tok, Token};
+use crate::ScenarioError;
+
+/// Parses a source string into its top-level items (including `include`
+/// directives, which the loader resolves). Most callers want
+/// [`crate::parse_str`] or [`crate::load_file`] instead.
+pub fn parse_items(src: &str) -> Result<Vec<Item>, ScenarioError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at_eof() {
+        items.push(p.item()?);
+    }
+    Ok(items)
+}
+
+/// Assembles a flattened item stream into a [`ScenarioSpec`].
+///
+/// The stream must start with exactly one `scenario <name>` header;
+/// everything else may appear in any order (declaration order is
+/// preserved per section, which fixes the dense id assignment).
+pub fn assemble(items: Vec<Item>) -> Result<ScenarioSpec, ScenarioError> {
+    let mut items = items.into_iter();
+    let name = match items.next() {
+        Some(Item::Name(n)) => n,
+        Some(_) | None => {
+            return Err(ScenarioError::at(
+                Span { line: 1, col: 1 },
+                "a scenario file must start with `scenario <name>`",
+            ))
+        }
+    };
+    let mut spec = ScenarioSpec {
+        name,
+        components: Vec::new(),
+        fns: Vec::new(),
+        points: Vec::new(),
+        branches: Vec::new(),
+        handlers: Vec::new(),
+        workloads: Vec::new(),
+        bugs: Vec::new(),
+        expected_contention: Vec::new(),
+    };
+    for item in items {
+        match item {
+            Item::Name(n) => {
+                return Err(ScenarioError::at(
+                    n.span,
+                    "duplicate `scenario` header (included fragments must not declare one)",
+                ))
+            }
+            Item::Include { span, .. } => {
+                return Err(ScenarioError::at(
+                    span,
+                    "unresolved include (use load_file; parse_str does not read other files)",
+                ))
+            }
+            Item::Component(c) => spec.components.push(c),
+            Item::Fn(f) => spec.fns.push(f),
+            Item::Point(p) => spec.points.push(p),
+            Item::Branch(b) => spec.branches.push(b),
+            Item::Handler(h) => spec.handlers.push(h),
+            Item::Workload(w) => spec.workloads.push(w),
+            Item::Bug(b) => spec.bugs.push(b),
+            Item::ExpectedContention(mut l) => spec.expected_contention.append(&mut l),
+        }
+    }
+    Ok(spec)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().tok, Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ScenarioError {
+        ScenarioError::at(self.peek().span, msg)
+    }
+
+    /// `true` and consume if the next token is the given word.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(&self.peek().tok, Tok::Ident(w) if w == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<Span, ScenarioError> {
+        let span = self.peek().span;
+        if self.eat_kw(kw) {
+            Ok(span)
+        } else {
+            Err(self.err_here(format!("expected `{kw}`, found {}", self.peek().tok)))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<Ident, ScenarioError> {
+        let span = self.peek().span;
+        match self.bump().tok {
+            Tok::Ident(name) => Ok(Ident { name, span }),
+            other => Err(ScenarioError::at(
+                span,
+                format!("expected {what}, found {other}"),
+            )),
+        }
+    }
+
+    fn expect_str(&mut self, what: &str) -> Result<String, ScenarioError> {
+        let span = self.peek().span;
+        match self.bump().tok {
+            Tok::Str(s) => Ok(s),
+            other => Err(ScenarioError::at(
+                span,
+                format!("expected {what} (a \"string\"), found {other}"),
+            )),
+        }
+    }
+
+    fn expect_int(&mut self, what: &str) -> Result<(i64, Span), ScenarioError> {
+        let span = self.peek().span;
+        match self.bump().tok {
+            Tok::Int(n) => Ok((n, span)),
+            other => Err(ScenarioError::at(
+                span,
+                format!("expected {what} (an integer), found {other}"),
+            )),
+        }
+    }
+
+    fn expect_tok(&mut self, tok: Tok, what: &str) -> Result<Span, ScenarioError> {
+        let span = self.peek().span;
+        if self.peek().tok == tok {
+            self.bump();
+            Ok(span)
+        } else {
+            Err(ScenarioError::at(
+                span,
+                format!("expected {what}, found {}", self.peek().tok),
+            ))
+        }
+    }
+
+    /// `at <fn>:<line>` — shared by every point declaration.
+    fn at_site(&mut self) -> Result<(Ident, u32), ScenarioError> {
+        self.expect_kw("at")?;
+        let func = self.expect_ident("a function alias")?;
+        self.expect_tok(Tok::Colon, "`:`")?;
+        let (line, span) = self.expect_int("a source line")?;
+        if line < 0 || line > u32::MAX as i64 {
+            return Err(ScenarioError::at(span, "source line out of range"));
+        }
+        Ok((func, line as u32))
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<Ident>, ScenarioError> {
+        self.expect_tok(Tok::LBracket, "`[`")?;
+        let mut out = Vec::new();
+        if self.peek().tok != Tok::RBracket {
+            loop {
+                out.push(self.expect_ident("a label")?);
+                if self.peek().tok == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_tok(Tok::RBracket, "`]`")?;
+        Ok(out)
+    }
+
+    fn item(&mut self) -> Result<Item, ScenarioError> {
+        let span = self.peek().span;
+        let word = match &self.peek().tok {
+            Tok::Ident(w) => w.clone(),
+            other => {
+                return Err(ScenarioError::at(
+                    span,
+                    format!("expected a declaration, found {other}"),
+                ))
+            }
+        };
+        match word.as_str() {
+            "scenario" => {
+                self.bump();
+                Ok(Item::Name(self.expect_ident("a scenario name")?))
+            }
+            "include" => {
+                self.bump();
+                let path = self.expect_str("an include path")?;
+                Ok(Item::Include { path, span })
+            }
+            "component" => {
+                self.bump();
+                let name = self.expect_ident("a component name")?;
+                self.expect_tok(Tok::LBrace, "`{`")?;
+                let mut queues = Vec::new();
+                while !self.eat_tok(Tok::RBrace) {
+                    self.expect_kw("queue")?;
+                    queues.push(self.expect_ident("a queue name")?);
+                }
+                Ok(Item::Component(Component { name, queues }))
+            }
+            "fn" => {
+                self.bump();
+                let alias = self.expect_ident("a function alias")?;
+                self.expect_tok(Tok::Assign, "`=`")?;
+                let path = self.expect_str("a function path")?;
+                Ok(Item::Fn(FnDecl { alias, path }))
+            }
+            "loop" => {
+                self.bump();
+                let label = self.expect_ident("a loop label")?;
+                let (func, line) = self.at_site()?;
+                let io = self.eat_kw("io");
+                let parent = if self.eat_kw("parent") {
+                    Some(self.expect_ident("a parent loop label")?)
+                } else {
+                    None
+                };
+                let sibling = if self.eat_kw("sibling") {
+                    Some(self.expect_ident("a sibling loop label")?)
+                } else {
+                    None
+                };
+                Ok(Item::Point(PointDecl {
+                    label,
+                    func,
+                    line,
+                    kind: PointKind::Loop {
+                        io,
+                        parent,
+                        sibling,
+                    },
+                }))
+            }
+            "constloop" => {
+                self.bump();
+                let label = self.expect_ident("a loop label")?;
+                let (func, line) = self.at_site()?;
+                self.expect_kw("bound")?;
+                let (bound, bspan) = self.expect_int("a loop bound")?;
+                if bound <= 0 || bound > u32::MAX as i64 {
+                    return Err(ScenarioError::at(bspan, "loop bound must be positive"));
+                }
+                Ok(Item::Point(PointDecl {
+                    label,
+                    func,
+                    line,
+                    kind: PointKind::ConstLoop {
+                        bound: bound as u32,
+                    },
+                }))
+            }
+            "throw" => {
+                self.bump();
+                let label = self.expect_ident("a throw label")?;
+                let (func, line) = self.at_site()?;
+                self.expect_kw("class")?;
+                let class = self.expect_str("an exception class")?;
+                self.expect_kw("category")?;
+                let cat = self.expect_ident("a category")?;
+                let category = match cat.name.as_str() {
+                    "system" => ThrowCategory::System,
+                    "runtime" => ThrowCategory::Runtime,
+                    "reflection" => ThrowCategory::Reflection,
+                    "security" => ThrowCategory::Security,
+                    other => {
+                        return Err(ScenarioError::at(
+                            cat.span,
+                            format!(
+                                "unknown category `{other}` \
+                                 (expected system/runtime/reflection/security)"
+                            ),
+                        ))
+                    }
+                };
+                let test_only = self.eat_kw("test_only");
+                Ok(Item::Point(PointDecl {
+                    label,
+                    func,
+                    line,
+                    kind: PointKind::Throw {
+                        class,
+                        category,
+                        test_only,
+                    },
+                }))
+            }
+            "libcall" => {
+                self.bump();
+                let label = self.expect_ident("a libcall label")?;
+                let (func, line) = self.at_site()?;
+                self.expect_kw("class")?;
+                let class = self.expect_str("an exception class")?;
+                Ok(Item::Point(PointDecl {
+                    label,
+                    func,
+                    line,
+                    kind: PointKind::LibCall { class },
+                }))
+            }
+            "negation" => {
+                self.bump();
+                let label = self.expect_ident("a negation label")?;
+                let (func, line) = self.at_site()?;
+                self.expect_kw("error_when")?;
+                let error_when = self.expect_bool()?;
+                self.expect_kw("source")?;
+                let src = self.expect_ident("a source")?;
+                let source = match src.name.as_str() {
+                    "detector" => NegSource::Detector,
+                    "jdk" => NegSource::Jdk,
+                    "config" => NegSource::Config,
+                    "constant" => NegSource::Constant,
+                    "primitive" => NegSource::Primitive,
+                    other => {
+                        return Err(ScenarioError::at(
+                            src.span,
+                            format!(
+                                "unknown source `{other}` \
+                                 (expected detector/jdk/config/constant/primitive)"
+                            ),
+                        ))
+                    }
+                };
+                Ok(Item::Point(PointDecl {
+                    label,
+                    func,
+                    line,
+                    kind: PointKind::Negation { error_when, source },
+                }))
+            }
+            "branchpoint" => {
+                self.bump();
+                let label = self.expect_ident("a branch label")?;
+                let (func, line) = self.at_site()?;
+                Ok(Item::Branch(BranchDecl { label, func, line }))
+            }
+            "handler" => {
+                self.bump();
+                let event = self.expect_ident("an event name")?;
+                let component = if self.eat_kw("in") {
+                    Some(self.expect_ident("a component name")?)
+                } else {
+                    None
+                };
+                self.expect_kw("fn")?;
+                let func = self.expect_ident("a function alias")?;
+                let body = self.block()?;
+                Ok(Item::Handler(Handler {
+                    event,
+                    component,
+                    func,
+                    body,
+                }))
+            }
+            "workload" => {
+                self.bump();
+                let name = self.expect_ident("a workload name")?;
+                let description = self.expect_str("a workload description")?;
+                self.expect_tok(Tok::LBrace, "`{`")?;
+                let mut lets = Vec::new();
+                let mut horizon = None;
+                let mut setup = Vec::new();
+                while !self.eat_tok(Tok::RBrace) {
+                    let span = self.peek().span;
+                    if self.eat_kw("let") {
+                        let var = self.expect_ident("a variable name")?;
+                        self.expect_tok(Tok::Assign, "`=`")?;
+                        let value = match self.bump().tok {
+                            Tok::Int(n) => Expr::Int(n, Mark(span)),
+                            Tok::Dur(us) => Expr::Dur(us, Mark(span)),
+                            other => {
+                                return Err(ScenarioError::at(
+                                    span,
+                                    format!(
+                                        "workload `let` takes an integer or duration \
+                                         literal, found {other}"
+                                    ),
+                                ))
+                            }
+                        };
+                        lets.push((var, value));
+                    } else if self.eat_kw("horizon") {
+                        if horizon.is_some() {
+                            return Err(ScenarioError::at(span, "duplicate `horizon`"));
+                        }
+                        horizon = Some(self.expr()?);
+                    } else if self.eat_kw("spawn") {
+                        let event = self.expect_ident("an event name")?;
+                        self.expect_kw("count")?;
+                        let count = self.expr()?;
+                        self.expect_kw("every")?;
+                        let every = self.expr()?;
+                        setup.push(SetupStmt::Spawn {
+                            event,
+                            count,
+                            every,
+                        });
+                    } else if self.eat_kw("sched") {
+                        let event = self.expect_ident("an event name")?;
+                        self.expect_kw("after")?;
+                        let after = self.expr()?;
+                        setup.push(SetupStmt::Sched { event, after });
+                    } else {
+                        return Err(self.err_here(format!(
+                            "expected let/horizon/spawn/sched in workload, found {}",
+                            self.peek().tok
+                        )));
+                    }
+                }
+                let horizon = horizon.ok_or_else(|| {
+                    ScenarioError::at(name.span, format!("workload `{name}` declares no horizon"))
+                })?;
+                Ok(Item::Workload(Workload {
+                    name,
+                    description,
+                    lets,
+                    horizon,
+                    setup,
+                }))
+            }
+            "bug" => {
+                self.bump();
+                let id = self.expect_ident("a bug id")?;
+                self.expect_kw("jira")?;
+                let jira = self.expect_str("a tracker reference")?;
+                self.expect_kw("summary")?;
+                let summary = self.expect_str("a summary")?;
+                self.expect_kw("labels")?;
+                let labels = self.ident_list()?;
+                Ok(Item::Bug(BugDecl {
+                    id,
+                    jira,
+                    summary,
+                    labels,
+                }))
+            }
+            "expected_contention" => {
+                self.bump();
+                Ok(Item::ExpectedContention(self.ident_list()?))
+            }
+            other => Err(ScenarioError::at(
+                span,
+                format!("unknown declaration `{other}`"),
+            )),
+        }
+    }
+
+    fn eat_tok(&mut self, tok: Tok) -> bool {
+        if self.peek().tok == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_bool(&mut self) -> Result<bool, ScenarioError> {
+        let span = self.peek().span;
+        match self.bump().tok {
+            Tok::Ident(w) if w == "true" => Ok(true),
+            Tok::Ident(w) if w == "false" => Ok(false),
+            other => Err(ScenarioError::at(
+                span,
+                format!("expected true/false, found {other}"),
+            )),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ScenarioError> {
+        self.expect_tok(Tok::LBrace, "`{`")?;
+        let mut out = Vec::new();
+        while !self.eat_tok(Tok::RBrace) {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ScenarioError> {
+        let span = self.peek().span;
+        let word = match &self.peek().tok {
+            Tok::Ident(w) => w.clone(),
+            other => {
+                return Err(ScenarioError::at(
+                    span,
+                    format!("expected a statement, found {other}"),
+                ))
+            }
+        };
+        match word.as_str() {
+            "advance" => {
+                self.bump();
+                Ok(Stmt::Advance(self.expr()?))
+            }
+            "frame" => {
+                self.bump();
+                let func = self.expect_ident("a function alias")?;
+                Ok(Stmt::Frame {
+                    func,
+                    body: self.block()?,
+                })
+            }
+            "branch" => {
+                self.bump();
+                let point = self.expect_ident("a branch label")?;
+                Ok(Stmt::Branch {
+                    point,
+                    cond: self.expr()?,
+                })
+            }
+            "guard" => {
+                self.bump();
+                Ok(Stmt::Guard(self.expect_ident("a throw label")?))
+            }
+            "throwif" => {
+                self.bump();
+                let point = self.expect_ident("a throw label")?;
+                Ok(Stmt::ThrowIf {
+                    point,
+                    cond: self.expr()?,
+                })
+            }
+            "check" => {
+                self.bump();
+                let point = self.expect_ident("a negation label")?;
+                self.expect_kw("ok")?;
+                let value = self.expr()?;
+                let onerr = if self.eat_kw("onerr") {
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::Check {
+                    point,
+                    value,
+                    onerr,
+                })
+            }
+            "flag" => {
+                self.bump();
+                Ok(Stmt::Flag(self.expect_str("a flag name")?))
+            }
+            "constloop" => {
+                self.bump();
+                let point = self.expect_ident("a const-loop label")?;
+                Ok(Stmt::ConstLoop {
+                    point,
+                    body: self.block()?,
+                })
+            }
+            "loop" => {
+                self.bump();
+                let point = self.expect_ident("a loop label")?;
+                self.expect_kw("drain")?;
+                let queue = self.expect_ident("a queue name")?;
+                Ok(Stmt::DrainLoop {
+                    point,
+                    queue,
+                    body: self.block()?,
+                })
+            }
+            "submit" => {
+                self.bump();
+                let queue = self.expect_ident("a queue name")?;
+                self.expect_kw("every")?;
+                Ok(Stmt::Submit {
+                    queue,
+                    every: self.expr()?,
+                })
+            }
+            "push" => {
+                self.bump();
+                Ok(Stmt::Push(self.expect_ident("a queue name")?))
+            }
+            "requeue" => {
+                self.bump();
+                Ok(Stmt::Requeue(self.expect_ident("a queue name")?))
+            }
+            "repeat" => {
+                self.bump();
+                let count = self.expr()?;
+                Ok(Stmt::Repeat {
+                    count,
+                    body: self.block()?,
+                })
+            }
+            "if" => {
+                self.bump();
+                let cond = self.expr()?;
+                let then = self.block()?;
+                let els = if self.eat_kw("else") {
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            "try" => {
+                self.bump();
+                let body = self.block()?;
+                self.expect_kw("onerr")?;
+                let onerr = self.block()?;
+                Ok(Stmt::Try { body, onerr })
+            }
+            "sched" => {
+                self.bump();
+                let event = self.expect_ident("an event name")?;
+                self.expect_kw("after")?;
+                Ok(Stmt::Sched {
+                    event,
+                    after: self.expr()?,
+                })
+            }
+            other => Err(ScenarioError::at(
+                span,
+                format!("unknown statement `{other}`"),
+            )),
+        }
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ScenarioError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ScenarioError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ScenarioError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ScenarioError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().tok {
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            Tok::EqEq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ScenarioError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ScenarioError> {
+        let mut lhs = self.unary_expr()?;
+        while self.eat_tok(Tok::Star) {
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin {
+                op: BinOp::Mul,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ScenarioError> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.unary_expr()?)))
+        } else {
+            self.primary_expr()
+        }
+    }
+
+    fn queue_arg(&mut self) -> Result<Ident, ScenarioError> {
+        self.expect_tok(Tok::LParen, "`(`")?;
+        let q = self.expect_ident("a queue name")?;
+        self.expect_tok(Tok::RParen, "`)`")?;
+        Ok(q)
+    }
+
+    fn item_arg(&mut self) -> Result<(), ScenarioError> {
+        self.expect_tok(Tok::LParen, "`(`")?;
+        self.expect_kw("item")?;
+        self.expect_tok(Tok::RParen, "`)`")?;
+        Ok(())
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ScenarioError> {
+        let span = self.peek().span;
+        match self.peek().tok.clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n, Mark(span)))
+            }
+            Tok::Dur(us) => {
+                self.bump();
+                Ok(Expr::Dur(us, Mark(span)))
+            }
+            Tok::Var(name) => {
+                self.bump();
+                Ok(Expr::Var(Ident { name, span }))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_tok(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(w) => match w.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::Bool(true, Mark(span)))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::Bool(false, Mark(span)))
+                }
+                "now" => {
+                    self.bump();
+                    Ok(Expr::Now(Mark(span)))
+                }
+                "len" => {
+                    self.bump();
+                    Ok(Expr::Len(self.queue_arg()?))
+                }
+                "empty" => {
+                    self.bump();
+                    Ok(Expr::Empty(self.queue_arg()?))
+                }
+                "submitted" => {
+                    self.bump();
+                    Ok(Expr::Submitted(self.queue_arg()?))
+                }
+                "age" => {
+                    self.bump();
+                    self.item_arg()?;
+                    Ok(Expr::AgeItem(Mark(span)))
+                }
+                "retries" => {
+                    self.bump();
+                    self.item_arg()?;
+                    Ok(Expr::RetriesItem(Mark(span)))
+                }
+                other => Err(ScenarioError::at(
+                    span,
+                    format!("expected an expression, found `{other}`"),
+                )),
+            },
+            other => Err(ScenarioError::at(
+                span,
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(src: &str) -> ScenarioSpec {
+        assemble(parse_items(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn minimal_scenario_parses() {
+        let s = spec(
+            r#"
+            scenario demo
+            component S { queue q }
+            fn f = "X.f"
+            loop l at f:1 io
+            handler Tick in S fn f {
+              loop l drain q { advance 1ms }
+              sched Tick after 1s
+            }
+            workload w "basic" {
+              let n = 5
+              horizon 10s
+              sched Tick after 100ms
+            }
+            bug b-1 jira "J-1" summary "s" labels [l]
+            "#,
+        );
+        assert_eq!(s.name.name, "demo");
+        assert_eq!(s.components.len(), 1);
+        assert_eq!(s.points.len(), 1);
+        assert_eq!(s.handlers.len(), 1);
+        assert_eq!(s.workloads.len(), 1);
+        assert_eq!(s.bugs[0].labels, vec![Ident::new("l")]);
+    }
+
+    #[test]
+    fn expressions_respect_precedence() {
+        let s = spec(
+            r#"
+            scenario demo
+            component S { queue q }
+            fn f = "X.f"
+            loop l at f:1
+            handler T fn f {
+              if len(q) < 2 + 3 * 4 and not empty(q) { push q }
+            }
+            workload w "d" { horizon 1s sched T after 1ms }
+            "#,
+        );
+        let Stmt::If { cond, .. } = &s.handlers[0].body[0] else {
+            panic!("expected if");
+        };
+        // and(lt(len, add(2, mul(3,4))), not(empty))
+        let Expr::Bin {
+            op: BinOp::And,
+            lhs,
+            ..
+        } = cond
+        else {
+            panic!("expected and at the top: {cond:?}");
+        };
+        let Expr::Bin {
+            op: BinOp::Lt, rhs, ..
+        } = lhs.as_ref()
+        else {
+            panic!("expected lt under and: {lhs:?}");
+        };
+        let Expr::Bin {
+            op: BinOp::Add,
+            rhs: mul,
+            ..
+        } = rhs.as_ref()
+        else {
+            panic!("expected add: {rhs:?}");
+        };
+        assert!(matches!(mul.as_ref(), Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn missing_horizon_is_span_reported() {
+        let err = parse_items("scenario d\nworkload w \"x\" { let a = 1 }").unwrap_err();
+        assert!(err.message.contains("horizon"), "{err}");
+        assert_eq!(err.span.unwrap(), Span { line: 2, col: 10 });
+    }
+
+    #[test]
+    fn header_must_come_first() {
+        let err = assemble(parse_items("fn f = \"X.f\"").unwrap())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.message.contains("scenario <name>"), "{err}");
+    }
+}

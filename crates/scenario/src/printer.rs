@@ -1,0 +1,388 @@
+//! Canonical pretty-printer.
+//!
+//! [`print()`] emits the canonical textual form of a [`ScenarioSpec`]; the
+//! parser accepts exactly this form (plus whitespace/comments), so
+//! `parse_str(&print(spec)) == spec` holds for every valid spec — the
+//! property `tests/roundtrip.rs` exercises. Binary subexpressions are
+//! always parenthesised, which keeps the printer independent of the
+//! parser's precedence table.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Pretty-prints a spec in canonical form.
+pub fn print(spec: &ScenarioSpec) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "scenario {}", spec.name);
+    for c in &spec.components {
+        let _ = writeln!(w, "component {} {{", c.name);
+        for q in &c.queues {
+            let _ = writeln!(w, "  queue {q}");
+        }
+        let _ = writeln!(w, "}}");
+    }
+    for f in &spec.fns {
+        let _ = writeln!(w, "fn {} = {}", f.alias, quoted(&f.path));
+    }
+    for p in &spec.points {
+        print_point(w, p);
+    }
+    for b in &spec.branches {
+        let _ = writeln!(w, "branchpoint {} at {}:{}", b.label, b.func, b.line);
+    }
+    for h in &spec.handlers {
+        match &h.component {
+            Some(c) => {
+                let _ = writeln!(w, "handler {} in {} fn {} {{", h.event, c, h.func);
+            }
+            None => {
+                let _ = writeln!(w, "handler {} fn {} {{", h.event, h.func);
+            }
+        }
+        print_block_body(w, &h.body, 1);
+        let _ = writeln!(w, "}}");
+    }
+    for wl in &spec.workloads {
+        let _ = writeln!(w, "workload {} {} {{", wl.name, quoted(&wl.description));
+        for (var, value) in &wl.lets {
+            let _ = writeln!(w, "  let {} = {}", var, expr(value));
+        }
+        let _ = writeln!(w, "  horizon {}", expr(&wl.horizon));
+        for s in &wl.setup {
+            match s {
+                SetupStmt::Spawn {
+                    event,
+                    count,
+                    every,
+                } => {
+                    let _ = writeln!(
+                        w,
+                        "  spawn {} count {} every {}",
+                        event,
+                        expr(count),
+                        expr(every)
+                    );
+                }
+                SetupStmt::Sched { event, after } => {
+                    let _ = writeln!(w, "  sched {} after {}", event, expr(after));
+                }
+            }
+        }
+        let _ = writeln!(w, "}}");
+    }
+    for b in &spec.bugs {
+        let _ = writeln!(
+            w,
+            "bug {} jira {} summary {} labels {}",
+            b.id,
+            quoted(&b.jira),
+            quoted(&b.summary),
+            labels(&b.labels)
+        );
+    }
+    if !spec.expected_contention.is_empty() {
+        let _ = writeln!(
+            w,
+            "expected_contention {}",
+            labels(&spec.expected_contention)
+        );
+    }
+    out
+}
+
+fn labels(idents: &[Ident]) -> String {
+    let names: Vec<&str> = idents.iter().map(|i| i.name.as_str()).collect();
+    format!("[{}]", names.join(", "))
+}
+
+fn print_point(w: &mut String, p: &PointDecl) {
+    let site = format!("{} at {}:{}", p.label, p.func, p.line);
+    match &p.kind {
+        PointKind::Loop {
+            io,
+            parent,
+            sibling,
+        } => {
+            let _ = write!(w, "loop {site}");
+            if *io {
+                let _ = write!(w, " io");
+            }
+            if let Some(p) = parent {
+                let _ = write!(w, " parent {p}");
+            }
+            if let Some(s) = sibling {
+                let _ = write!(w, " sibling {s}");
+            }
+            let _ = writeln!(w);
+        }
+        PointKind::ConstLoop { bound } => {
+            let _ = writeln!(w, "constloop {site} bound {bound}");
+        }
+        PointKind::Throw {
+            class,
+            category,
+            test_only,
+        } => {
+            let cat = match category {
+                ThrowCategory::System => "system",
+                ThrowCategory::Runtime => "runtime",
+                ThrowCategory::Reflection => "reflection",
+                ThrowCategory::Security => "security",
+            };
+            let _ = write!(w, "throw {site} class {} category {cat}", quoted(class));
+            if *test_only {
+                let _ = write!(w, " test_only");
+            }
+            let _ = writeln!(w);
+        }
+        PointKind::LibCall { class } => {
+            let _ = writeln!(w, "libcall {site} class {}", quoted(class));
+        }
+        PointKind::Negation { error_when, source } => {
+            let src = match source {
+                NegSource::Detector => "detector",
+                NegSource::Jdk => "jdk",
+                NegSource::Config => "config",
+                NegSource::Constant => "constant",
+                NegSource::Primitive => "primitive",
+            };
+            let _ = writeln!(w, "negation {site} error_when {error_when} source {src}");
+        }
+    }
+}
+
+fn print_block_body(w: &mut String, body: &[Stmt], depth: usize) {
+    for s in body {
+        print_stmt(w, s, depth);
+    }
+}
+
+fn indent(w: &mut String, depth: usize) {
+    for _ in 0..depth {
+        w.push_str("  ");
+    }
+}
+
+fn print_block(w: &mut String, body: &[Stmt], depth: usize) {
+    w.push_str("{\n");
+    print_block_body(w, body, depth + 1);
+    indent(w, depth);
+    w.push('}');
+}
+
+fn print_stmt(w: &mut String, s: &Stmt, depth: usize) {
+    indent(w, depth);
+    match s {
+        Stmt::Advance(e) => {
+            let _ = writeln!(w, "advance {}", expr(e));
+        }
+        Stmt::Frame { func, body } => {
+            let _ = write!(w, "frame {func} ");
+            print_block(w, body, depth);
+            w.push('\n');
+        }
+        Stmt::Branch { point, cond } => {
+            let _ = writeln!(w, "branch {} {}", point, expr(cond));
+        }
+        Stmt::Guard(p) => {
+            let _ = writeln!(w, "guard {p}");
+        }
+        Stmt::ThrowIf { point, cond } => {
+            let _ = writeln!(w, "throwif {} {}", point, expr(cond));
+        }
+        Stmt::Check {
+            point,
+            value,
+            onerr,
+        } => {
+            let _ = write!(w, "check {} ok {}", point, expr(value));
+            if !onerr.is_empty() {
+                w.push_str(" onerr ");
+                print_block(w, onerr, depth);
+            }
+            w.push('\n');
+        }
+        Stmt::Flag(name) => {
+            let _ = writeln!(w, "flag {}", quoted(name));
+        }
+        Stmt::ConstLoop { point, body } => {
+            let _ = write!(w, "constloop {point} ");
+            print_block(w, body, depth);
+            w.push('\n');
+        }
+        Stmt::DrainLoop { point, queue, body } => {
+            let _ = write!(w, "loop {point} drain {queue} ");
+            print_block(w, body, depth);
+            w.push('\n');
+        }
+        Stmt::Submit { queue, every } => {
+            let _ = writeln!(w, "submit {} every {}", queue, expr(every));
+        }
+        Stmt::Push(q) => {
+            let _ = writeln!(w, "push {q}");
+        }
+        Stmt::Requeue(q) => {
+            let _ = writeln!(w, "requeue {q}");
+        }
+        Stmt::Repeat { count, body } => {
+            let _ = write!(w, "repeat {} ", expr(count));
+            print_block(w, body, depth);
+            w.push('\n');
+        }
+        Stmt::If { cond, then, els } => {
+            let _ = write!(w, "if {} ", expr(cond));
+            print_block(w, then, depth);
+            if !els.is_empty() {
+                w.push_str(" else ");
+                print_block(w, els, depth);
+            }
+            w.push('\n');
+        }
+        Stmt::Try { body, onerr } => {
+            w.push_str("try ");
+            print_block(w, body, depth);
+            w.push_str(" onerr ");
+            print_block(w, onerr, depth);
+            w.push('\n');
+        }
+        Stmt::Sched { event, after } => {
+            let _ = writeln!(w, "sched {} after {}", event, expr(after));
+        }
+    }
+}
+
+/// Canonical duration rendering: the largest unit that divides evenly.
+fn duration(us: u64) -> String {
+    if us == 0 {
+        "0s".to_string()
+    } else if us.is_multiple_of(1_000_000) {
+        format!("{}s", us / 1_000_000)
+    } else if us.is_multiple_of(1_000) {
+        format!("{}ms", us / 1_000)
+    } else {
+        format!("{us}us")
+    }
+}
+
+fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an expression; binary operands are parenthesised whenever they
+/// are compound, so the output reparses identically at any precedence.
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(n, _) => n.to_string(),
+        Expr::Dur(us, _) => duration(*us),
+        Expr::Bool(b, _) => b.to_string(),
+        Expr::Var(v) => format!("${v}"),
+        Expr::Len(q) => format!("len({q})"),
+        Expr::Empty(q) => format!("empty({q})"),
+        Expr::Submitted(q) => format!("submitted({q})"),
+        Expr::AgeItem(_) => "age(item)".to_string(),
+        Expr::RetriesItem(_) => "retries(item)".to_string(),
+        Expr::Now(_) => "now".to_string(),
+        Expr::Not(inner) => format!("not {}", operand(inner)),
+        Expr::Bin { op, lhs, rhs } => {
+            let sym = match op {
+                BinOp::Or => "or",
+                BinOp::And => "and",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+            };
+            format!("{} {} {}", operand(lhs), sym, operand(rhs))
+        }
+    }
+}
+
+fn operand(e: &Expr) -> String {
+    match e {
+        Expr::Bin { .. } | Expr::Not(_) => format!("({})", expr(e)),
+        _ => expr(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{assemble, parse_items};
+
+    #[test]
+    fn duration_uses_largest_even_unit() {
+        assert_eq!(duration(0), "0s");
+        assert_eq!(duration(12_000_000), "12s");
+        assert_eq!(duration(100_000), "100ms");
+        assert_eq!(duration(2_500), "2500us");
+    }
+
+    #[test]
+    fn print_reparse_is_identity_on_a_rich_spec() {
+        let src = r#"
+        scenario demo
+        component S { queue q queue r }
+        fn f = "X.f"
+        fn g = "X.g"
+        loop l at f:1 io parent l sibling l
+        constloop c at f:2 bound 3
+        throw t at g:3 class "IOException" category system test_only
+        libcall lc at g:4 class "SocketException"
+        negation n at g:5 error_when false source detector
+        branchpoint b at f:6
+        handler T in S fn f {
+          advance 2ms
+          branch b not empty(q)
+          loop l drain q {
+            try {
+              frame g {
+                guard t
+                throwif t (age(item) > 12s) and (retries(item) < $max)
+              }
+            } onerr {
+              if $fanout > 0 { repeat $fanout { requeue q } } else { push r }
+            }
+          }
+          constloop c { advance 1us }
+          check n ok len(q) < 500 onerr { flag "unhealthy" }
+          submit q every $ival
+          if (submitted(q) < $n) or (now < 5s) { sched T after 100ms }
+        }
+        workload w "desc \"quoted\"" {
+          let n = 5
+          let max = 2
+          let fanout = 4
+          let ival = 20ms
+          horizon 900s
+          spawn T count $n every $ival
+          sched T after 1s
+        }
+        bug demo-bug jira "J-1" summary "s" labels [l, t]
+        expected_contention [l]
+        "#;
+        let spec = assemble(parse_items(src).unwrap()).unwrap();
+        let printed = print(&spec);
+        let reparsed = assemble(parse_items(&printed).unwrap())
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(spec, reparsed, "\n--- printed ---\n{printed}");
+        // And printing is a fixed point.
+        assert_eq!(printed, print(&reparsed));
+    }
+}

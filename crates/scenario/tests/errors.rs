@@ -1,0 +1,223 @@
+//! Error-span assertions for malformed scenario inputs.
+//!
+//! Every diagnostic must carry the line/column of the offending token or
+//! name — these tests pin both the message and the exact span for the
+//! representative failure classes (lexical, syntactic, structural,
+//! semantic, include resolution).
+
+use csnake_scenario::{compile, load_file, parse_str, Span};
+
+/// Asserts the input fails with a message containing `needle` at `span`.
+fn assert_error(src: &str, needle: &str, line: u32, col: u32) {
+    let err = match parse_str(src) {
+        Err(e) => e,
+        Ok(spec) => match compile(&spec) {
+            Err(e) => e,
+            Ok(_) => panic!("input unexpectedly valid:\n{src}"),
+        },
+    };
+    assert!(
+        err.message.contains(needle),
+        "expected message containing {needle:?}, got: {err}"
+    );
+    assert_eq!(
+        err.span,
+        Some(Span { line, col }),
+        "wrong span for {needle:?}: {err}"
+    );
+}
+
+/// A valid scaffold the semantic cases mutate. Line numbers are part of
+/// the test contract: `scenario` is line 1, each subsequent non-empty
+/// line as numbered in the raw string below.
+const OK: &str = "\
+scenario demo
+component S { queue q }
+fn f = \"X.f\"
+loop l at f:1 io
+throw t at f:2 class \"IOE\" category system
+negation n at f:3 error_when true source detector
+branchpoint br at f:4
+handler T in S fn f {
+  loop l drain q { guard t }
+  sched T after 1s
+}
+workload w \"d\" {
+  let x = 1
+  horizon 10s
+  sched T after 1ms
+}
+bug b-1 jira \"J\" summary \"s\" labels [l, t]
+";
+
+#[test]
+fn baseline_scaffold_is_valid() {
+    compile(&parse_str(OK).unwrap()).unwrap();
+}
+
+// --- lexical ---------------------------------------------------------------
+
+#[test]
+fn unknown_duration_suffix() {
+    let src = OK.replace("horizon 10s", "horizon 10min");
+    assert_error(&src, "unknown duration suffix `min`", 14, 11);
+}
+
+#[test]
+fn string_hitting_a_line_break() {
+    let src = OK.replace("fn f = \"X.f\"", "fn f = \"X.f");
+    assert_error(&src, "string literal spans a line break", 3, 8);
+}
+
+#[test]
+fn unterminated_string_at_eof() {
+    let src = format!("{}expected_contention [l] # tail\nfn g = \"dangling", OK);
+    assert_error(&src, "unterminated string", 19, 8);
+}
+
+#[test]
+fn duration_literal_overflow() {
+    let src = OK.replace("horizon 10s", "horizon 99999999999999999s");
+    assert_error(
+        &src,
+        "duration literal `99999999999999999` overflows",
+        14,
+        11,
+    );
+}
+
+#[test]
+fn run_state_in_workload_scope() {
+    let src = OK.replace("horizon 10s", "horizon now + 10s");
+    assert_error(&src, "`now` is not available in workload scope", 14, 11);
+}
+
+#[test]
+fn queue_state_in_workload_scope() {
+    let src = OK.replace("sched T after 1ms", "spawn T count len(q) every 1ms");
+    // The span anchors on the queue argument inside `len(q)`.
+    assert_error(&src, "`len` is not available in workload scope", 15, 21);
+}
+
+#[test]
+fn unexpected_character() {
+    let src = OK.replace("let x = 1", "let x = @");
+    assert_error(&src, "unexpected character `@`", 13, 11);
+}
+
+// --- syntactic -------------------------------------------------------------
+
+#[test]
+fn unknown_statement_keyword() {
+    let src = OK.replace("  sched T after 1s", "  yield T");
+    assert_error(&src, "unknown statement `yield`", 10, 3);
+}
+
+#[test]
+fn missing_workload_horizon() {
+    let src = OK.replace("  horizon 10s\n", "");
+    assert_error(&src, "declares no horizon", 12, 10);
+}
+
+#[test]
+fn workload_let_requires_a_literal() {
+    let src = OK.replace("let x = 1", "let x = len(q)");
+    assert_error(&src, "integer or duration literal", 13, 3);
+}
+
+// --- structural ------------------------------------------------------------
+
+#[test]
+fn missing_workload_section() {
+    let src = "scenario empty-demo\nfn f = \"X.f\"\nloop l at f:1\nhandler T fn f { }\n";
+    assert_error(src, "declares no workloads", 1, 10);
+}
+
+#[test]
+fn duplicate_point_id() {
+    let src = OK.replace(
+        "negation n at f:3 error_when true source detector",
+        "negation t at f:3 error_when true source detector",
+    );
+    assert_error(&src, "duplicate point id `t`", 6, 10);
+}
+
+#[test]
+fn duplicate_queue_across_components() {
+    let src = OK.replace(
+        "component S { queue q }",
+        "component S { queue q }\ncomponent R { queue q }",
+    );
+    assert_error(&src, "duplicate queue `q`", 3, 21);
+}
+
+// --- name resolution -------------------------------------------------------
+
+#[test]
+fn unknown_component_in_handler() {
+    let src = OK.replace("handler T in S fn f {", "handler T in Missing fn f {");
+    assert_error(&src, "unknown component `Missing`", 8, 14);
+}
+
+#[test]
+fn unknown_queue_in_drain() {
+    let src = OK.replace("loop l drain q {", "loop l drain ghosts {");
+    assert_error(&src, "unknown queue `ghosts`", 9, 16);
+}
+
+#[test]
+fn unknown_fault_point_in_bug_labels() {
+    let src = OK.replace("labels [l, t]", "labels [l, vanished]");
+    assert_error(&src, "unknown fault point `vanished`", 17, 41);
+}
+
+#[test]
+fn unknown_event_in_sched() {
+    let src = OK.replace("  sched T after 1s", "  sched Ghost after 1s");
+    assert_error(&src, "unknown event `Ghost`", 10, 9);
+}
+
+#[test]
+fn unbound_variable() {
+    let src = OK.replace("guard t", "repeat $ghost { }");
+    assert_error(&src, "unknown variable `$ghost`", 9, 27);
+}
+
+// --- kind and type checking ------------------------------------------------
+
+#[test]
+fn guard_requires_a_throw_point() {
+    let src = OK.replace("guard t", "guard n");
+    assert_error(&src, "requires a throw/libcall point", 9, 26);
+}
+
+#[test]
+fn item_context_is_enforced() {
+    let src = OK.replace("  sched T after 1s", "  advance age(item)");
+    assert_error(&src, "only available inside a drain loop", 10, 11);
+}
+
+#[test]
+fn type_mismatch_has_a_span() {
+    let src = OK.replace("sched T after 1s", "sched T after 5");
+    assert_error(&src, "expected dur, found int", 10, 17);
+}
+
+// --- include resolution ----------------------------------------------------
+
+#[test]
+fn cyclic_include_is_rejected_with_the_chain() {
+    let dir = std::env::temp_dir().join(format!("csnake-errors-cycle-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("self.csnake-scn"),
+        "scenario s\ninclude \"self.csnake-scn\"\n",
+    )
+    .unwrap();
+    let err = load_file(dir.join("self.csnake-scn"))
+        .map(|_| ())
+        .unwrap_err();
+    assert!(err.message.contains("cyclic include"), "{err}");
+    assert!(err.message.contains("self.csnake-scn"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,317 @@
+//! Property: pretty-print → reparse is the identity on the AST.
+//!
+//! Specs are generated structurally from a seed — random instrumentation
+//! inventories, random statement/expression trees (the parser does not
+//! validate semantics, so the generator exercises the full grammar
+//! surface, including shapes the compiler would reject), random
+//! workloads, strings with escapes. For every generated spec,
+//! `parse_str(&print(spec))` must return an identical spec, and printing
+//! must be a fixed point.
+
+use csnake_scenario::ast::*;
+use csnake_scenario::{parse_str, print};
+use proptest::prelude::*;
+
+/// Small deterministic generator state (split from the proptest seed so
+/// the spec construction can draw as many values as it needs).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn range(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.range(100) < percent
+    }
+}
+
+fn ident(prefix: &str, i: u64) -> Ident {
+    Ident::new(format!("{prefix}{i}"))
+}
+
+const STRINGS: &[&str] = &[
+    "plain",
+    "with space and punctuation!",
+    "quo\"ted",
+    "back\\slash",
+    "unicode — héllo",
+    "",
+];
+
+fn string(g: &mut Gen) -> String {
+    STRINGS[g.range(STRINGS.len() as u64) as usize].to_string()
+}
+
+fn duration(g: &mut Gen) -> u64 {
+    match g.range(4) {
+        0 => g.range(1_000),             // sub-millisecond
+        1 => g.range(1_000) * 1_000,     // whole milliseconds
+        2 => g.range(1_000) * 1_000_000, // whole seconds
+        _ => g.range(1_000_000_000_000), // arbitrary micros
+    }
+}
+
+fn expr(g: &mut Gen, depth: u64) -> Expr {
+    let leaf = depth == 0 || g.chance(40);
+    if leaf {
+        match g.range(9) {
+            0 => Expr::Int(g.range(10_000) as i64 - 5_000, Mark::default()),
+            1 => Expr::Dur(duration(g), Mark::default()),
+            2 => Expr::Bool(g.chance(50), Mark::default()),
+            3 => Expr::Var(ident("v", g.range(3))),
+            4 => Expr::Len(ident("q", g.range(3))),
+            5 => Expr::Empty(ident("q", g.range(3))),
+            6 => Expr::Submitted(ident("q", g.range(3))),
+            7 => Expr::AgeItem(Mark::default()),
+            _ => Expr::Now(Mark::default()),
+        }
+    } else {
+        match g.range(13) {
+            0 => Expr::Not(Box::new(expr(g, depth - 1))),
+            1 => Expr::RetriesItem(Mark::default()),
+            n => {
+                let op = [
+                    BinOp::Or,
+                    BinOp::And,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                ][(n - 2) as usize];
+                Expr::Bin {
+                    op,
+                    lhs: Box::new(expr(g, depth - 1)),
+                    rhs: Box::new(expr(g, depth - 1)),
+                }
+            }
+        }
+    }
+}
+
+fn block(g: &mut Gen, depth: u64) -> Vec<Stmt> {
+    let n = if depth == 0 { 0 } else { g.range(4) };
+    (0..n).map(|_| stmt(g, depth)).collect()
+}
+
+fn stmt(g: &mut Gen, depth: u64) -> Stmt {
+    match g.range(16) {
+        0 => Stmt::Advance(expr(g, 1)),
+        1 => Stmt::Frame {
+            func: ident("f", g.range(3)),
+            body: block(g, depth - 1),
+        },
+        2 => Stmt::Branch {
+            point: ident("br", g.range(3)),
+            cond: expr(g, 2),
+        },
+        3 => Stmt::Guard(ident("tp", g.range(3))),
+        4 => Stmt::ThrowIf {
+            point: ident("tp", g.range(3)),
+            cond: expr(g, 2),
+        },
+        5 => Stmt::Check {
+            point: ident("np", g.range(3)),
+            value: expr(g, 2),
+            onerr: block(g, depth - 1),
+        },
+        6 => Stmt::Flag(string(g)),
+        7 => Stmt::ConstLoop {
+            point: ident("cl", g.range(2)),
+            body: block(g, depth - 1),
+        },
+        8 => Stmt::DrainLoop {
+            point: ident("lp", g.range(3)),
+            queue: ident("q", g.range(3)),
+            body: block(g, depth - 1),
+        },
+        9 => Stmt::Submit {
+            queue: ident("q", g.range(3)),
+            every: expr(g, 1),
+        },
+        10 => Stmt::Push(ident("q", g.range(3))),
+        11 => Stmt::Requeue(ident("q", g.range(3))),
+        12 => Stmt::Repeat {
+            count: expr(g, 1),
+            body: block(g, depth - 1),
+        },
+        13 => Stmt::If {
+            cond: expr(g, 2),
+            then: block(g, depth - 1),
+            els: block(g, depth - 1),
+        },
+        14 => Stmt::Try {
+            body: block(g, depth - 1),
+            onerr: block(g, depth - 1),
+        },
+        _ => Stmt::Sched {
+            event: ident("H", g.range(3)),
+            after: expr(g, 1),
+        },
+    }
+}
+
+fn point(g: &mut Gen, i: u64) -> PointDecl {
+    let kind = match g.range(5) {
+        0 => PointKind::Loop {
+            io: g.chance(50),
+            parent: g.chance(30).then(|| ident("lp", g.range(3))),
+            sibling: g.chance(30).then(|| ident("lp", g.range(3))),
+        },
+        1 => PointKind::ConstLoop {
+            bound: g.range(9) as u32 + 1,
+        },
+        2 => PointKind::Throw {
+            class: string(g),
+            category: [
+                ThrowCategory::System,
+                ThrowCategory::Runtime,
+                ThrowCategory::Reflection,
+                ThrowCategory::Security,
+            ][g.range(4) as usize],
+            test_only: g.chance(25),
+        },
+        3 => PointKind::LibCall { class: string(g) },
+        _ => PointKind::Negation {
+            error_when: g.chance(50),
+            source: [
+                NegSource::Detector,
+                NegSource::Jdk,
+                NegSource::Config,
+                NegSource::Constant,
+                NegSource::Primitive,
+            ][g.range(5) as usize],
+        },
+    };
+    let prefix = match kind {
+        PointKind::Loop { .. } => "lp",
+        PointKind::ConstLoop { .. } => "cl",
+        PointKind::Throw { .. } | PointKind::LibCall { .. } => "tp",
+        PointKind::Negation { .. } => "np",
+    };
+    PointDecl {
+        label: ident(prefix, i),
+        func: ident("f", g.range(3)),
+        line: g.range(5_000) as u32,
+        kind,
+    }
+}
+
+fn workload(g: &mut Gen, i: u64) -> Workload {
+    let lets = (0..g.range(4))
+        .map(|j| {
+            let value = if g.chance(50) {
+                Expr::Int(g.range(500) as i64, Mark::default())
+            } else {
+                Expr::Dur(duration(g), Mark::default())
+            };
+            (ident("v", j), value)
+        })
+        .collect();
+    let setup = (0..g.range(3))
+        .map(|_| {
+            if g.chance(50) {
+                SetupStmt::Spawn {
+                    event: ident("H", g.range(3)),
+                    count: expr(g, 1),
+                    every: expr(g, 1),
+                }
+            } else {
+                SetupStmt::Sched {
+                    event: ident("H", g.range(3)),
+                    after: expr(g, 1),
+                }
+            }
+        })
+        .collect();
+    Workload {
+        name: ident("w", i),
+        description: string(g),
+        lets,
+        horizon: expr(g, 1),
+        setup,
+    }
+}
+
+fn spec_from_seed(seed: u64) -> ScenarioSpec {
+    let mut g = Gen(seed | 1);
+    let components = (0..1 + g.range(2))
+        .map(|i| Component {
+            name: ident("Comp", i),
+            queues: (0..g.range(3)).map(|j| ident("q", i * 10 + j)).collect(),
+        })
+        .collect();
+    let fns = (0..1 + g.range(3))
+        .map(|i| FnDecl {
+            alias: ident("f", i),
+            path: format!("Class{i}.method{}", g.range(9)),
+        })
+        .collect();
+    let points = (0..1 + g.range(6)).map(|i| point(&mut g, i)).collect();
+    let branches = (0..g.range(3))
+        .map(|i| BranchDecl {
+            label: ident("br", i),
+            func: ident("f", g.range(3)),
+            line: g.range(5_000) as u32,
+        })
+        .collect();
+    let handlers = (0..1 + g.range(3))
+        .map(|i| Handler {
+            event: ident("H", i),
+            component: g.chance(50).then(|| ident("Comp", g.range(2))),
+            func: ident("f", g.range(3)),
+            body: block(&mut g, 3),
+        })
+        .collect();
+    let workloads = (0..1 + g.range(3)).map(|i| workload(&mut g, i)).collect();
+    let bugs = (0..g.range(3))
+        .map(|i| BugDecl {
+            id: ident("bug-", i),
+            jira: string(&mut g),
+            summary: string(&mut g),
+            labels: (0..1 + g.range(3)).map(|j| ident("lp", j)).collect(),
+        })
+        .collect();
+    let expected_contention = (0..g.range(3)).map(|j| ident("lp", j)).collect();
+    ScenarioSpec {
+        name: Ident::new(format!("gen-{}", seed % 1_000)),
+        components,
+        fns,
+        points,
+        branches,
+        handlers,
+        workloads,
+        bugs,
+        expected_contention,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn print_then_parse_is_identity(seed in 0u64..u64::MAX) {
+        let spec = spec_from_seed(seed);
+        let printed = print(&spec);
+        let reparsed = parse_str(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(&reparsed, &spec, "seed {}:\n{}", seed, printed);
+        // Printing the reparsed spec is a fixed point.
+        prop_assert_eq!(print(&reparsed), printed);
+    }
+}

@@ -37,7 +37,7 @@ pub use hdfs3::MiniHdfs3;
 pub use ozone::MiniOzone;
 pub use toy::ToySystem;
 
-use csnake_core::TargetSystem;
+use csnake_core::{CsnakeError, TargetSystem};
 
 /// All five paper targets, in Table 2 order.
 pub fn all_paper_targets() -> Vec<Box<dyn TargetSystem>> {
@@ -50,12 +50,32 @@ pub fn all_paper_targets() -> Vec<Box<dyn TargetSystem>> {
     ]
 }
 
+/// Names of every hand-coded target this crate bundles, in `by_name`
+/// resolution order.
+pub fn builtin_names() -> Vec<&'static str> {
+    let mut names = vec!["toy"];
+    names.extend(all_paper_targets().iter().map(|t| t.name()));
+    names
+}
+
 /// Resolves a bundled target by its [`TargetSystem::name`] — the name
 /// recorded in `.csnake` session snapshots and accepted by the evaluation
 /// binaries' `--target` flag. Covers the five paper targets plus `"toy"`.
-pub fn by_name(name: &str) -> Option<Box<dyn TargetSystem>> {
+///
+/// Unknown names are a typed [`CsnakeError::InvalidTarget`] listing every
+/// known name, never a panic — `csnake_scenario::by_name` layers the
+/// scenario-file corpus on top of this resolver.
+pub fn by_name(name: &str) -> Result<Box<dyn TargetSystem>, CsnakeError> {
     if name == "toy" {
-        return Some(Box::new(ToySystem::new()));
+        return Ok(Box::new(ToySystem::new()));
     }
-    all_paper_targets().into_iter().find(|t| t.name() == name)
+    all_paper_targets()
+        .into_iter()
+        .find(|t| t.name() == name)
+        .ok_or_else(|| {
+            CsnakeError::InvalidTarget(format!(
+                "unknown target {name:?}; known targets: {}",
+                builtin_names().join(", ")
+            ))
+        })
 }

@@ -17,6 +17,23 @@
 //! `Session::resume`) — resumed campaigns are bit-identical to
 //! uninterrupted ones.
 //!
+//! # Write your own scenario
+//!
+//! Targets don't have to be Rust modules: the `csnake-scenario` language
+//! turns a text file into a runnable `TargetSystem` (components, queues,
+//! instrumented handlers, per-workload cluster configs, ground-truth
+//! labels). The bundled corpus lives under `scenarios/` — including a
+//! port of this example's toy target proven field-identical to the Rust
+//! version — and the `write_a_scenario` example walks through building
+//! one from scratch:
+//!
+//! ```sh
+//! cargo run --example write_a_scenario
+//! cargo run -p csnake-bench --bin table4 -- --target kafka-isr
+//! ```
+//!
+//! See the `csnake_scenario` crate docs for the full language walkthrough.
+//!
 //! ```sh
 //! cargo run --example quickstart
 //! ```

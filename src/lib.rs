@@ -3,5 +3,6 @@ pub use csnake_analyzer as analyzer;
 pub use csnake_baselines as baselines;
 pub use csnake_core as core;
 pub use csnake_inject as inject;
+pub use csnake_scenario as scenario;
 pub use csnake_sim as sim;
 pub use csnake_targets as targets;

@@ -1,0 +1,170 @@
+//! End-to-end tests of the scenario subsystem.
+//!
+//! * the toy port (`scenarios/toy.csnake-scn`) must produce a
+//!   `DetectionReport` *field-identical* to the hand-coded `ToySystem` —
+//!   same traces, same causal edges, same cycles, same scores;
+//! * every new corpus scenario's seeded ground-truth cycle must be found
+//!   by the full staged-`Session` pipeline (the detector never sees the
+//!   labels);
+//! * the scenario-aware `by_name` resolves corpus systems and reports
+//!   typed errors listing all known names.
+
+use std::sync::Arc;
+
+use csnake::core::{detect, DetectConfig, ProgressCollector, Session, TargetSystem, ThreePhase};
+use csnake::scenario::{corpus_dir, load_file};
+use csnake::targets::ToySystem;
+
+fn fast_config() -> DetectConfig {
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800];
+    cfg
+}
+
+#[test]
+fn toy_port_report_is_field_identical_to_the_hand_coded_target() {
+    let scn = load_file(corpus_dir().join("toy.csnake-scn")).expect("toy port loads");
+    let hand = ToySystem::new();
+
+    // The instrumentation inventory itself must be identical: same interned
+    // functions, same dense ids, same labels/kinds/metadata.
+    assert_eq!(
+        csnake::core::registry_fingerprint(&scn.registry()),
+        csnake::core::registry_fingerprint(&hand.registry()),
+        "registry fingerprints differ"
+    );
+
+    // Every workload must record identical traces (profile side).
+    for test in hand.tests() {
+        let a = hand.run(test.id, None, 7);
+        let b = scn.run(test.id, None, 7);
+        assert_eq!(a.coverage, b.coverage, "{:?} coverage", test.name);
+        assert_eq!(a.occurrences, b.occurrences, "{:?} occurrences", test.name);
+        assert_eq!(a.loop_counts, b.loop_counts, "{:?} loop counts", test.name);
+        assert_eq!(a.loop_states, b.loop_states, "{:?} loop states", test.name);
+        assert_eq!(a.call_edges, b.call_edges, "{:?} call graph", test.name);
+        assert_eq!(a.hook_count, b.hook_count, "{:?} hook count", test.name);
+        assert_eq!(a.events, b.events, "{:?} event count", test.name);
+        assert_eq!(a.end_time, b.end_time, "{:?} end time", test.name);
+    }
+
+    // And the full pipeline must produce a field-identical report.
+    let cfg = fast_config();
+    let hand_detection = detect(&hand, &cfg);
+    let scn_detection = detect(&scn, &cfg);
+    assert_eq!(
+        format!("{:?}", hand_detection.report),
+        format!("{:?}", scn_detection.report),
+        "DetectionReport differs between the Rust toy and its scenario port"
+    );
+    assert_eq!(hand_detection.runs_executed, scn_detection.runs_executed);
+    assert_eq!(
+        hand_detection.alloc.experiments_run,
+        scn_detection.alloc.experiments_run
+    );
+    assert_eq!(hand_detection.report.matches.len(), 1);
+    assert_eq!(hand_detection.report.matches[0].bug.id, "toy-retry-storm");
+}
+
+/// Drives the staged pipeline over one corpus scenario and asserts every
+/// declared ground-truth bug is matched.
+fn assert_scenario_detects(file: &str, expected_bugs: &[&str]) {
+    let system =
+        load_file(corpus_dir().join(file)).unwrap_or_else(|e| panic!("{file} failed to load: {e}"));
+    let cfg = fast_config();
+    let progress = Arc::new(ProgressCollector::new());
+    let mut session = Session::builder(&system)
+        .config(cfg.clone())
+        .observer(progress.clone())
+        .build()
+        .expect("scenario target is drivable");
+    let report = session
+        .run_to_report(&ThreePhase::new(cfg.alloc.clone()))
+        .expect("staged pipeline runs");
+
+    let found: Vec<&str> = report.matches.iter().map(|m| m.bug.id).collect();
+    for bug in expected_bugs {
+        assert!(
+            found.contains(bug),
+            "[{file}] bug {bug} undetected; matches: {found:?}; undetected: {:?}; edges: {}",
+            report.undetected.iter().map(|b| b.id).collect::<Vec<_>>(),
+            report.edge_count,
+        );
+    }
+    assert!(
+        report.undetected.is_empty(),
+        "[{file}] undetected bugs: {:?}",
+        report.undetected.iter().map(|b| b.id).collect::<Vec<_>>()
+    );
+    // The observer saw the campaign stream.
+    let seen = progress.snapshot();
+    assert!(seen.experiments > 0 && seen.cycles > 0);
+}
+
+#[test]
+fn cassandra_hints_cycle_is_detected() {
+    assert_scenario_detects("cassandra-hints.csnake-scn", &["cassandra-hint-pileup"]);
+}
+
+#[test]
+fn kafka_isr_cycle_is_detected() {
+    assert_scenario_detects("kafka-isr.csnake-scn", &["kafka-isr-refetch"]);
+}
+
+#[test]
+fn zookeeper_session_cycle_is_detected() {
+    assert_scenario_detects("zookeeper-session.csnake-scn", &["zk-session-storm"]);
+}
+
+#[test]
+fn etcd_lease_cycle_is_detected() {
+    assert_scenario_detects("etcd-lease.csnake-scn", &["etcd-lease-stampede"]);
+}
+
+#[test]
+fn gossip_antientropy_cycle_is_detected() {
+    assert_scenario_detects(
+        "gossip-antientropy.csnake-scn",
+        &["gossip-repair-amplifier"],
+    );
+}
+
+#[test]
+fn corpus_has_at_least_six_specs_and_all_lint_clean() {
+    let specs = csnake::scenario::corpus_specs().expect("corpus parses");
+    assert!(
+        specs.len() >= 6,
+        "corpus must ship at least six specs, found {}",
+        specs.len()
+    );
+    for (name, (path, spec)) in &specs {
+        let system = csnake::scenario::compile(spec)
+            .unwrap_or_else(|e| panic!("{} does not compile: {e}", path.display()));
+        assert_eq!(system.name(), name);
+        // Canonical round-trip, the invariant the lint tool enforces.
+        let printed = csnake::scenario::print(spec);
+        let reparsed = csnake::scenario::parse_str(&printed)
+            .unwrap_or_else(|e| panic!("{name} reprint fails to parse: {e}"));
+        assert_eq!(&reparsed, spec, "{name} round-trip changed the spec");
+    }
+}
+
+#[test]
+fn scenario_by_name_resolves_and_reports_typed_errors() {
+    // Builtin wins for "toy".
+    let toy = csnake::scenario::by_name("toy").expect("builtin resolves");
+    assert_eq!(toy.name(), "toy");
+    // Corpus scenarios resolve by declared name.
+    let kafka = csnake::scenario::by_name("kafka-isr").expect("corpus scenario resolves");
+    assert!(!kafka.tests().is_empty());
+    // Unknown names list builtins and corpus names in a typed error.
+    match csnake::scenario::by_name("does-not-exist") {
+        Err(csnake::core::CsnakeError::InvalidTarget(msg)) => {
+            assert!(msg.contains("mini-hdfs2"), "{msg}");
+            assert!(msg.contains("kafka-isr"), "{msg}");
+        }
+        Err(other) => panic!("expected InvalidTarget, got {other}"),
+        Ok(t) => panic!("unexpectedly resolved {:?}", t.name()),
+    }
+}
