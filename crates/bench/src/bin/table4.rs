@@ -6,10 +6,11 @@
 //! positives.
 //!
 //! Usage: `table4 [--target <name>]` — restrict to one system while
-//! iterating. Names resolve through the scenario-aware
-//! [`csnake_scenario::by_name`]: the hand-coded builtins plus every spec
-//! in the `scenarios/` corpus; an unknown name exits with the typed
-//! error listing all of them instead of panicking.
+//! iterating. Names resolve through the generator-aware
+//! [`csnake_gen::by_name`]: the hand-coded builtins, every spec in the
+//! `scenarios/` corpus, and `gen:<seed>` pseudo-names that synthesize a
+//! ground-truthed scenario on the fly; an unknown name exits with the
+//! typed error listing all of them instead of panicking.
 
 use csnake_bench::{run_csnake, set_current_target, table4_variants, EvalConfig};
 use csnake_core::TargetSystem;
@@ -22,7 +23,7 @@ fn main() {
         match args.iter().position(|a| a == "--target").map(|i| i + 1) {
             Some(i) => {
                 let name = args.get(i).expect("--target needs a name");
-                match csnake_scenario::by_name(name) {
+                match csnake_gen::by_name(name) {
                     Ok(target) => vec![target],
                     Err(e) => {
                         eprintln!("table4: {e}");

@@ -12,16 +12,22 @@
 //! * for each `(fault, test)` experiment, run the injection runs (sweeping
 //!   delay lengths for loop faults) and hand the traces to FCA.
 
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use csnake_analyzer::{analyze, Analysis, AnalysisConfig, CallGraph};
-use csnake_inject::{FaultId, FaultKind, InjectionPlan, Registry, RunTrace, TestId};
+use csnake_inject::{
+    FaultId, FaultKind, InjectAction, InjectionPlan, Registry, RunTrace, TestId, TraceIndex,
+};
 use csnake_sim::VirtualTime;
 use serde::{Deserialize, Serialize};
 
 use crate::alloc::ExperimentEngine;
-use crate::fca::{analyze_experiment_indexed, ExperimentOutcome, FcaConfig, ProfileIndex};
+use crate::fca::{
+    analyze_experiment_indexed, analyze_experiment_prepared, ExperimentOutcome, FcaConfig,
+    ProfileIndex,
+};
 use crate::pool;
 use crate::target::TargetSystem;
 
@@ -43,6 +49,17 @@ pub struct DriverConfig {
     pub base_seed: u64,
     /// Run repetitions on worker threads.
     pub parallel: bool,
+    /// Cache injection-side run sets (traces + [`TraceIndex`]) keyed by
+    /// `(test, plan)`, so a `(fault, test)` combination revisited later —
+    /// a comparison strategy over the same profiled driver, adaptive
+    /// repetitions — reuses the recorded runs instead of re-simulating
+    /// and re-indexing. Off by default: the cache pins every injection
+    /// trace for the driver's lifetime, a real memory cost on large
+    /// campaigns. Results are identical either way (run seeds are pure
+    /// functions of `(test, rep)`); only `runs_executed` stops growing
+    /// on hits. Hit/miss counters surface through
+    /// [`CampaignObserver::trace_cache`](crate::observer::CampaignObserver::trace_cache).
+    pub cache_injections: bool,
 }
 
 impl Default for DriverConfig {
@@ -54,6 +71,7 @@ impl Default for DriverConfig {
             analysis: AnalysisConfig::default(),
             base_seed: 0xCA5CADE,
             parallel: true,
+            cache_injections: false,
         }
     }
 }
@@ -84,6 +102,26 @@ pub fn seed_for(base: u64, test: TestId, rep: usize) -> u64 {
     h.wrapping_mul(0x94D0_49BB_1331_11EB)
 }
 
+/// One cached injection-side run set: the recorded traces plus the
+/// [`TraceIndex`] FCA builds over them.
+struct InjRunSet {
+    traces: Vec<RunTrace>,
+    index: TraceIndex,
+}
+
+/// Cache key: the `(test, plan)` pair, with the plan flattened into
+/// `(fault, action tag, delay µs)` so it orders/hashes cheaply.
+type InjKey = (TestId, FaultId, u8, u64);
+
+fn inj_key(test: TestId, plan: InjectionPlan) -> InjKey {
+    let (tag, delay_us) = match plan.action {
+        InjectAction::Throw => (0u8, 0u64),
+        InjectAction::Negate => (1, 0),
+        InjectAction::Delay(d) => (2, d.as_micros()),
+    };
+    (test, plan.target, tag, delay_us)
+}
+
 /// The experiment engine over one target system.
 pub struct Driver<'a> {
     target: &'a dyn TargetSystem,
@@ -100,6 +138,12 @@ pub struct Driver<'a> {
     reaching: BTreeMap<FaultId, Vec<TestId>>,
     /// Number of fault points covered per test.
     coverage_size: BTreeMap<TestId, usize>,
+    /// Injection run sets cached per `(test, plan)` when
+    /// `cfg.cache_injections` is set (interior-mutable: experiments fan
+    /// out over `&self` on the worker pool).
+    inj_cache: Mutex<HashMap<InjKey, Arc<InjRunSet>>>,
+    cache_hits: AtomicUsize,
+    cache_misses: AtomicUsize,
     /// Total individual runs executed (profile + injection).
     pub runs_executed: usize,
 }
@@ -168,8 +212,21 @@ impl<'a> Driver<'a> {
             profile_idx,
             reaching,
             coverage_size,
+            inj_cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicUsize::new(0),
+            cache_misses: AtomicUsize::new(0),
             runs_executed: runs,
         }
+    }
+
+    /// `(hits, misses)` of the injection-run cache so far; both zero when
+    /// `cache_injections` is off. A hit means the experiment reused the
+    /// recorded runs and their index without touching the simulator.
+    pub fn trace_cache_stats(&self) -> (usize, usize) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// The registry of the target under test.
@@ -232,24 +289,69 @@ impl<'a> Driver<'a> {
         let mut merged: Option<ExperimentOutcome> = None;
         let mut runs = 0usize;
         for plan in self.plans_for(f) {
-            let traces = run_batch(
-                self.target,
-                t,
-                Some(plan),
-                &self.cfg,
-                self.cfg.reps,
-                parallel_reps,
-            );
-            runs += traces.len();
-            let out = analyze_experiment_indexed(
-                &self.registry,
-                profile,
-                &traces,
-                plan,
-                t,
-                phase,
-                &self.cfg.fca,
-            );
+            let out = if self.cfg.cache_injections {
+                let key = inj_key(t, plan);
+                let cached = self
+                    .inj_cache
+                    .lock()
+                    .expect("injection cache poisoned")
+                    .get(&key)
+                    .cloned();
+                let set = match cached {
+                    Some(set) => {
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        set
+                    }
+                    None => {
+                        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        let traces = run_batch(
+                            self.target,
+                            t,
+                            Some(plan),
+                            &self.cfg,
+                            self.cfg.reps,
+                            parallel_reps,
+                        );
+                        runs += traces.len();
+                        let index = TraceIndex::build(&self.registry, &traces);
+                        let set = Arc::new(InjRunSet { traces, index });
+                        self.inj_cache
+                            .lock()
+                            .expect("injection cache poisoned")
+                            .insert(key, Arc::clone(&set));
+                        set
+                    }
+                };
+                analyze_experiment_prepared(
+                    &self.registry,
+                    profile,
+                    &set.index,
+                    &set.traces,
+                    plan,
+                    t,
+                    phase,
+                    &self.cfg.fca,
+                )
+            } else {
+                let traces = run_batch(
+                    self.target,
+                    t,
+                    Some(plan),
+                    &self.cfg,
+                    self.cfg.reps,
+                    parallel_reps,
+                );
+                runs += traces.len();
+                analyze_experiment_indexed(
+                    &self.registry,
+                    profile,
+                    &traces,
+                    plan,
+                    t,
+                    phase,
+                    &self.cfg.fca,
+                )
+            };
             match &mut merged {
                 None => merged = Some(out),
                 Some(m) => {

@@ -167,6 +167,26 @@ pub fn analyze_experiment_indexed(
     cfg: &FcaConfig,
 ) -> ExperimentOutcome {
     let inj = TraceIndex::build(registry, injection);
+    analyze_experiment_prepared(registry, profile, &inj, injection, plan, test, phase, cfg)
+}
+
+/// The fully-prepared FCA path: both sides' indexes prebuilt by the
+/// caller. The driver's injection-run cache
+/// (`DriverConfig::cache_injections`) stores `(traces, TraceIndex)` per
+/// `(test, plan)` and calls this to skip the index rebuild when a
+/// combination is revisited — results are identical to
+/// [`analyze_experiment_indexed`] on the same traces.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_experiment_prepared(
+    registry: &Registry,
+    profile: &ProfileIndex,
+    inj: &TraceIndex,
+    injection: &[RunTrace],
+    plan: InjectionPlan,
+    test: TestId,
+    phase: u8,
+    cfg: &FcaConfig,
+) -> ExperimentOutcome {
     let cause = plan.target;
     let mut outcome = ExperimentOutcome {
         fault: cause,

@@ -17,6 +17,7 @@
 //! | [`edge_emitted`] | a *new* causal edge entered the database (sweep repeats are deduplicated first) |
 //! | [`cycle_found`] | the stitcher reported a deduplicated cycle |
 //! | [`budget_spent`] | the allocation strategy's spent/total counters moved |
+//! | [`trace_cache`] | the driver's injection-run cache counters, after a campaign |
 //!
 //! [`stage_started`]: CampaignObserver::stage_started
 //! [`stage_finished`]: CampaignObserver::stage_finished
@@ -26,6 +27,7 @@
 //! [`edge_emitted`]: CampaignObserver::edge_emitted
 //! [`cycle_found`]: CampaignObserver::cycle_found
 //! [`budget_spent`]: CampaignObserver::budget_spent
+//! [`trace_cache`]: CampaignObserver::trace_cache
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -81,6 +83,15 @@ pub trait CampaignObserver: Send + Sync {
     fn budget_spent(&self, spent: usize, total: usize) {
         let _ = (spent, total);
     }
+
+    /// The driver's injection-run cache counters
+    /// ([`DriverConfig::cache_injections`](crate::driver::DriverConfig::cache_injections)),
+    /// emitted when an allocation stage finishes: `hits` experiments
+    /// reused a recorded run set, `misses` simulated and indexed one.
+    /// Both stay zero while the cache is disabled.
+    fn trace_cache(&self, hits: usize, misses: usize) {
+        let _ = (hits, misses);
+    }
 }
 
 /// The default observer: ignores every event.
@@ -107,6 +118,10 @@ pub struct ProgressSnapshot {
     pub budget_spent: usize,
     /// Total budget (last seen value).
     pub budget_total: usize,
+    /// Injection-run cache hits (last seen value).
+    pub trace_cache_hits: usize,
+    /// Injection-run cache misses (last seen value).
+    pub trace_cache_misses: usize,
 }
 
 /// The bundled metrics observer: counts events with atomics so a monitoring
@@ -120,6 +135,8 @@ pub struct ProgressCollector {
     cycles: AtomicUsize,
     budget_spent: AtomicUsize,
     budget_total: AtomicUsize,
+    trace_cache_hits: AtomicUsize,
+    trace_cache_misses: AtomicUsize,
 }
 
 impl ProgressCollector {
@@ -138,6 +155,8 @@ impl ProgressCollector {
             cycles: self.cycles.load(Ordering::Relaxed),
             budget_spent: self.budget_spent.load(Ordering::Relaxed),
             budget_total: self.budget_total.load(Ordering::Relaxed),
+            trace_cache_hits: self.trace_cache_hits.load(Ordering::Relaxed),
+            trace_cache_misses: self.trace_cache_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -166,6 +185,11 @@ impl CampaignObserver for ProgressCollector {
     fn budget_spent(&self, spent: usize, total: usize) {
         self.budget_spent.store(spent, Ordering::Relaxed);
         self.budget_total.store(total, Ordering::Relaxed);
+    }
+
+    fn trace_cache(&self, hits: usize, misses: usize) {
+        self.trace_cache_hits.store(hits, Ordering::Relaxed);
+        self.trace_cache_misses.store(misses, Ordering::Relaxed);
     }
 }
 

@@ -378,6 +378,18 @@ impl<'a> Session<'a> {
         self.driver.as_ref().map(|d| d.runs_executed).unwrap_or(0)
     }
 
+    /// The profiled experiment engine (available from [`Stage::Profiled`]).
+    ///
+    /// Comparison harnesses — `gen_eval`'s random-allocation baseline, an
+    /// external [`AllocationStrategy`] study — can run additional
+    /// engine-level campaigns over the same profile runs (and, with
+    /// [`DriverConfig::cache_injections`](crate::driver::DriverConfig::cache_injections),
+    /// the same recorded injection runs) without re-profiling the target.
+    /// Stage artifacts the session has already captured are unaffected.
+    pub fn engine_mut(&mut self) -> Option<&mut Driver<'a>> {
+        self.driver.as_mut()
+    }
+
     /// Stage 1–2 (Fig. 3): profile every workload, derive coverage and the
     /// dynamic call graph, and apply the static filters.
     pub fn profile(&mut self) -> Result<Profiled> {
@@ -404,6 +416,8 @@ impl<'a> Session<'a> {
         self.observer.stage_started(Stage::Allocated);
         let driver = self.driver.as_mut().expect("profiled session has a driver");
         let alloc = strategy.run(driver, &*self.observer);
+        let (cache_hits, cache_misses) = driver.trace_cache_stats();
+        self.observer.trace_cache(cache_hits, cache_misses);
         let artifact = CampaignOutcome {
             strategy: strategy.name().to_string(),
             experiments_run: alloc.experiments_run,

@@ -80,9 +80,11 @@ use crate::{DetectConfig, DriverConfig};
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CSNK";
 
 /// Format version written (and the only one read) by this build.
-/// Version 2 introduced the varint + delta payload layer; version-1 files
-/// are rejected with a typed [`CsnakeError::SnapshotVersion`].
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Version 2 introduced the varint + delta payload layer; version 3 added
+/// the driver's `cache_injections` flag to the persisted configuration.
+/// Files of any other version are rejected with a typed
+/// [`CsnakeError::SnapshotVersion`].
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// FNV-1a over raw bytes (the integrity checksum of the container).
 fn fnv1a_bytes(bytes: &[u8]) -> u64 {
@@ -774,6 +776,7 @@ impl Persist for DriverConfig {
         self.analysis.put(w);
         self.base_seed.put(w);
         self.parallel.put(w);
+        self.cache_injections.put(w);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self> {
         Ok(DriverConfig {
@@ -783,6 +786,7 @@ impl Persist for DriverConfig {
             analysis: AnalysisConfig::load(r)?,
             base_seed: u64::load(r)?,
             parallel: bool::load(r)?,
+            cache_injections: bool::load(r)?,
         })
     }
 }

@@ -1,23 +1,34 @@
-//! Lints the scenario corpus, and optionally smoke-runs one campaign.
+//! Lints the scenario corpus (and generated batches), and optionally
+//! smoke-runs one campaign.
 //!
 //! ```sh
 //! scenario_lint [--dir <scenarios-dir>]        # parse + validate all specs
 //! scenario_lint --campaign <name>              # + run a small staged campaign
+//! scenario_lint --gen <seed> [--count <n>]     # + round-trip a generated batch
 //! ```
 //!
 //! Linting parses every `*.csnake-scn` file, runs full registry
 //! validation (compilation), and checks the pretty-printer round-trip —
-//! the same invariant the property tests rely on. The campaign mode
-//! resolves a target through the scenario-aware `by_name` and drives the
-//! staged `Session` pipeline end to end with a reduced configuration,
+//! the same invariant the property tests rely on. The `--gen` mode runs
+//! the identical checks over `--count` specs synthesized from consecutive
+//! seeds (`csnake_gen::generate`), so CI exercises the generator's
+//! print → parse → compile contract alongside the hand-written corpus.
+//! The campaign mode resolves a target through the generator-aware
+//! [`csnake_gen::by_name`] (builtins, corpus, `gen:<seed>`) and drives
+//! the staged `Session` pipeline end to end with a reduced configuration,
 //! requiring every declared ground-truth bug to be detected.
+//!
+//! The bin lives in `csnake-gen` (it grew out of `csnake-scenario`)
+//! because the generator depends on the scenario crate, not the other
+//! way around.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use csnake_core::{DetectConfig, ProgressCollector, Session, TargetSystem, ThreePhase};
-use csnake_scenario::{by_name, compile, corpus_dir, loader, parse_str, print};
+use csnake_gen::{by_name, generate, GenConfig};
+use csnake_scenario::{compile, corpus_dir, loader, parse_str, print};
 
 fn lint(dir: &Path) -> Result<(), String> {
     let specs = loader::corpus_specs_in(dir).map_err(|e| e.to_string())?;
@@ -49,6 +60,43 @@ fn lint(dir: &Path) -> Result<(), String> {
         );
     }
     println!("{} scenario spec(s) OK", specs.len());
+    Ok(())
+}
+
+/// Round-trips `count` generated specs from consecutive seeds through the
+/// same print → parse → compile pipeline the corpus lint runs.
+fn lint_generated(seed: u64, count: u64) -> Result<(), String> {
+    let cfg = GenConfig::default();
+    for s in seed..seed.saturating_add(count) {
+        let g = generate(s, &cfg);
+        let printed = print(&g.spec);
+        let reparsed = parse_str(&printed)
+            .map_err(|e| format!("gen:{s}: generated spec does not reparse: {e}"))?;
+        if reparsed != g.spec {
+            return Err(format!("gen:{s}: pretty-print round-trip changed the spec"));
+        }
+        let system =
+            compile(&reparsed).map_err(|e| format!("gen:{s}: generated spec rejected: {e}"))?;
+        for planted in &g.truth {
+            if system.bug_shape(&planted.bug_id) != Some(planted.shape.family()) {
+                return Err(format!(
+                    "gen:{s}: ground-truth shape sidecar lost for {}",
+                    planted.bug_id
+                ));
+            }
+        }
+        println!(
+            "gen:{s} [{}] OK — {} points, {} workloads, {} planted cycle(s)",
+            g.shape,
+            system.registry().points().len(),
+            g.spec.workloads.len(),
+            g.truth.len(),
+        );
+    }
+    println!(
+        "{count} generated spec(s) OK (seeds {seed}..{})",
+        seed.saturating_add(count)
+    );
     Ok(())
 }
 
@@ -106,6 +154,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dir = corpus_dir();
     let mut campaign: Option<String> = None;
+    let mut gen_seed: Option<u64> = None;
+    let mut gen_count: u64 = 4;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -116,6 +166,16 @@ fn main() -> ExitCode {
             "--campaign" => {
                 i += 1;
                 campaign = Some(args.get(i).expect("--campaign needs a name").clone());
+            }
+            "--gen" => {
+                i += 1;
+                let seed = args.get(i).expect("--gen needs a seed");
+                gen_seed = Some(seed.parse().expect("--gen seed must be a u64"));
+            }
+            "--count" => {
+                i += 1;
+                let n = args.get(i).expect("--count needs a number");
+                gen_count = n.parse().expect("--count must be a u64");
             }
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -128,6 +188,12 @@ fn main() -> ExitCode {
     if let Err(e) = lint(&dir) {
         eprintln!("scenario lint failed: {e}");
         return ExitCode::FAILURE;
+    }
+    if let Some(seed) = gen_seed {
+        if let Err(e) = lint_generated(seed, gen_count) {
+            eprintln!("generated-spec lint failed: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     if let Some(name) = campaign {
         if let Err(e) = smoke_campaign(&name) {

@@ -1,0 +1,1130 @@
+//! Seed → [`ScenarioSpec`] expansion.
+//!
+//! The builder grows one spec item-by-item exactly like a hand-written
+//! file would be laid out: components, interned functions, the
+//! instrumentation inventory, handlers, then workloads and ground truth.
+//! All randomness flows through one [`SimRng`] stream seeded from the
+//! spec seed, and every name is drawn through a single [`NamePool`], so
+//! the construction is a pure function of `(seed, config)` — no clocks,
+//! no thread counts, no iteration-order hazards.
+//!
+//! Each planted cycle instantiates a propagation pattern proven
+//! end-to-end by the hand-written corpus (the toy delay/retry storm, the
+//! kafka-isr delay+negation monitor) inside randomized topology and
+//! parameters, and contributes:
+//!
+//! * its component cluster (server, and per shape a retry buffer, a
+//!   relay chain, or a monitor function),
+//! * a *volume* workload that exposes the delay→failure propagation and
+//!   a *recovery* workload that exposes the failure→load amplification —
+//!   never both in one workload, which is exactly what causal stitching
+//!   exists to overcome,
+//! * a `bug … labels […] shape <family>` ground-truth declaration.
+//!
+//! Decoy components are periodic housekeeping nodes whose
+//! instrumentation the static filters should remove (constant-bound
+//! loops, JDK/config booleans) or whose injections propagate nowhere.
+
+use csnake_scenario::ast::*;
+use csnake_sim::SimRng;
+
+use crate::names::{NamePool, DECOYS, MONITORS, QUEUES, RELAYS, SERVERS, THROW_CLASSES, WORKERS};
+use crate::{GenConfig, GeneratedScenario, Planted, Shape};
+
+// ---------------------------------------------------------------- helpers
+
+fn id(s: &str) -> Ident {
+    Ident::new(s)
+}
+
+fn int(n: i64) -> Expr {
+    Expr::Int(n, Mark::default())
+}
+
+fn dur_ms(ms: u64) -> Expr {
+    Expr::Dur(ms * 1_000, Mark::default())
+}
+
+fn dur_s(s: u64) -> Expr {
+    Expr::Dur(s * 1_000_000, Mark::default())
+}
+
+fn var(name: &str) -> Expr {
+    Expr::Var(id(name))
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Bin {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+fn not(e: Expr) -> Expr {
+    Expr::Not(Box::new(e))
+}
+
+fn empty(q: &str) -> Expr {
+    Expr::Empty(id(q))
+}
+
+fn sched(event: &str, after: Expr) -> Stmt {
+    Stmt::Sched {
+        event: id(event),
+        after,
+    }
+}
+
+/// Values of one workload variable across the three workload roles.
+struct VarVals {
+    name: String,
+    volume: Expr,
+    recovery: Expr,
+    background: Expr,
+}
+
+/// One planted cycle's contribution to the spec-wide workload set.
+struct CyclePlan {
+    /// Unique tag (the work-queue name) used in workload names.
+    tag: String,
+    vars: Vec<VarVals>,
+    /// Horizon of the cycle's volume/recovery workloads, in seconds.
+    horizon_s: u64,
+    truth: Planted,
+}
+
+/// Setup statements templated into *every* workload (all cycles and all
+/// decoys run in every workload; only the `$var` bindings differ).
+enum SetupTpl {
+    Spawn {
+        event: String,
+        count_var: String,
+        every_var: String,
+    },
+    Sched {
+        event: String,
+        after_ms: u64,
+    },
+}
+
+struct Build {
+    rng: SimRng,
+    pool: NamePool,
+    components: Vec<Component>,
+    fns: Vec<FnDecl>,
+    points: Vec<PointDecl>,
+    branches: Vec<BranchDecl>,
+    handlers: Vec<Handler>,
+    bugs: Vec<BugDecl>,
+    setup: Vec<SetupTpl>,
+    line: u32,
+}
+
+impl Build {
+    fn new(seed: u64) -> Build {
+        // Decorrelate neighbouring seeds without losing determinism.
+        let mixed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x6765_6E21); // "gen!"
+        Build {
+            rng: SimRng::new(mixed),
+            pool: NamePool::new(),
+            components: Vec::new(),
+            fns: Vec::new(),
+            points: Vec::new(),
+            branches: Vec::new(),
+            handlers: Vec::new(),
+            bugs: Vec::new(),
+            setup: Vec::new(),
+            line: 0,
+        }
+    }
+
+    /// Inclusive range sample.
+    fn sample(&mut self, (lo, hi): (u64, u64)) -> u64 {
+        let hi = hi.max(lo);
+        lo + self.rng.range(0, hi - lo + 1)
+    }
+
+    /// The next conceptual source line (decl order keeps ids dense).
+    fn next_line(&mut self) -> u32 {
+        self.line += 10;
+        self.line
+    }
+
+    fn component(&mut self, name: &str, queues: Vec<String>) -> String {
+        let name = self.pool.reserve(name);
+        self.components.push(Component {
+            name: id(&name),
+            queues: queues.iter().map(|q| id(q)).collect(),
+        });
+        name
+    }
+
+    /// Draws a component name from a themed pool and declares it.
+    fn pick_component(&mut self, pool: &[&str], queues: Vec<String>) -> String {
+        let base = pool[self.rng.pick(pool.len())];
+        self.component(base, queues)
+    }
+
+    fn queue_name(&mut self) -> String {
+        self.pool.pick(&mut self.rng, QUEUES)
+    }
+
+    /// Declares `fn <alias> = "<class>.<method>"` and returns the alias.
+    fn func(&mut self, class: &str, method: &str) -> String {
+        let alias = self.pool.reserve(method);
+        self.fns.push(FnDecl {
+            alias: id(&alias),
+            path: format!("{class}.{method}"),
+        });
+        alias
+    }
+
+    fn work_loop(&mut self, label: &str, func: &str) -> String {
+        let label = self.pool.reserve(label);
+        let line = self.next_line();
+        self.points.push(PointDecl {
+            label: id(&label),
+            func: id(func),
+            line,
+            kind: PointKind::Loop {
+                io: true,
+                parent: None,
+                sibling: None,
+            },
+        });
+        label
+    }
+
+    fn const_loop(&mut self, label: &str, func: &str, bound: u32) -> String {
+        let label = self.pool.reserve(label);
+        let line = self.next_line();
+        self.points.push(PointDecl {
+            label: id(&label),
+            func: id(func),
+            line,
+            kind: PointKind::ConstLoop { bound },
+        });
+        label
+    }
+
+    fn system_throw(&mut self, label: &str, func: &str) -> String {
+        let label = self.pool.reserve(label);
+        let line = self.next_line();
+        let class = THROW_CLASSES[self.rng.pick(THROW_CLASSES.len())];
+        self.points.push(PointDecl {
+            label: id(&label),
+            func: id(func),
+            line,
+            kind: PointKind::Throw {
+                class: class.to_string(),
+                category: ThrowCategory::System,
+                test_only: false,
+            },
+        });
+        label
+    }
+
+    fn negation(&mut self, label: &str, func: &str, error_when: bool, source: NegSource) -> String {
+        let label = self.pool.reserve(label);
+        let line = self.next_line();
+        self.points.push(PointDecl {
+            label: id(&label),
+            func: id(func),
+            line,
+            kind: PointKind::Negation { error_when, source },
+        });
+        label
+    }
+
+    fn branch_point(&mut self, label: &str, func: &str) -> String {
+        let label = self.pool.reserve(label);
+        let line = self.next_line();
+        self.branches.push(BranchDecl {
+            label: id(&label),
+            func: id(func),
+            line,
+        });
+        label
+    }
+
+    fn handler(&mut self, event: &str, component: Option<&str>, func: &str, body: Vec<Stmt>) {
+        self.handlers.push(Handler {
+            event: id(event),
+            component: component.map(id),
+            func: id(func),
+            body,
+        });
+    }
+
+    // ------------------------------------------------------ planted cycles
+
+    /// The drain-the-work-queue statement shared by the queue, retry and
+    /// cross families: items past `deadline_s` throw at the guard; the
+    /// failure handler speculatively re-executes `$fanout` copies into
+    /// `retry_target` while the per-item retry budget lasts.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_with_retries(
+        &mut self,
+        work_loop: &str,
+        queue: &str,
+        proc_fn: &str,
+        ioe: &str,
+        deadline_s: u64,
+        advance_ms: u64,
+        fanout_var: &str,
+        maxr_var: &str,
+        retry_target: &str,
+    ) -> Stmt {
+        Stmt::DrainLoop {
+            point: id(work_loop),
+            queue: id(queue),
+            body: vec![Stmt::Try {
+                body: vec![Stmt::Frame {
+                    func: id(proc_fn),
+                    body: vec![
+                        Stmt::Advance(dur_ms(advance_ms)),
+                        Stmt::Guard(id(ioe)),
+                        Stmt::ThrowIf {
+                            point: id(ioe),
+                            cond: bin(BinOp::Gt, Expr::AgeItem(Mark::default()), dur_s(deadline_s)),
+                        },
+                    ],
+                }],
+                onerr: vec![Stmt::If {
+                    cond: bin(
+                        BinOp::And,
+                        bin(BinOp::Gt, var(fanout_var), int(0)),
+                        bin(BinOp::Lt, Expr::RetriesItem(Mark::default()), var(maxr_var)),
+                    ),
+                    then: vec![Stmt::Repeat {
+                        count: var(fanout_var),
+                        body: vec![Stmt::Requeue(id(retry_target))],
+                    }],
+                    els: vec![],
+                }],
+            }],
+        }
+    }
+
+    /// `if (submitted(q) < $n) or (not empty(q)) { sched E busy } else
+    /// { sched E idle }` — the corpus' self-rescheduling tick pattern.
+    fn resched(&self, event: &str, queue: &str, n_var: &str, busy_ms: u64, idle_ms: u64) -> Stmt {
+        Stmt::If {
+            cond: bin(
+                BinOp::Or,
+                bin(BinOp::Lt, Expr::Submitted(id(queue)), var(n_var)),
+                not(empty(queue)),
+            ),
+            then: vec![sched(event, dur_ms(busy_ms))],
+            els: vec![sched(event, dur_ms(idle_ms))],
+        }
+    }
+
+    /// Common front matter of a server tick: optional constant-bound
+    /// warmup loop and optional batch branch monitor.
+    fn tick_prelude(&mut self, tag: &str, tick_fn: &str, queue: &str) -> Vec<Stmt> {
+        let mut body = Vec::new();
+        if self.rng.chance(0.8) {
+            let bound = self.sample((2, 4)) as u32;
+            let warm = self.const_loop(&format!("{tag}_warm"), tick_fn, bound);
+            body.push(Stmt::ConstLoop {
+                point: id(&warm),
+                body: vec![],
+            });
+        }
+        if self.rng.chance(0.8) {
+            let br = self.branch_point(&format!("{tag}_nonempty"), tick_fn);
+            body.push(Stmt::Branch {
+                point: id(&br),
+                cond: not(empty(queue)),
+            });
+        }
+        body
+    }
+
+    /// Optional health monitor on the work queue: an injectable detector
+    /// negation whose natural threshold is never reached (an injectable
+    /// decoy, exactly like the toy target's `queue_healthy`).
+    fn health_monitor(&mut self, tag: &str, comp: &str, queue: &str) {
+        if !self.rng.chance(0.7) {
+            return;
+        }
+        let mon_class = self.pool.pick(&mut self.rng, MONITORS);
+        let mon_fn = self.func(&mon_class, "check");
+        let healthy = self.negation(
+            &format!("{tag}_healthy"),
+            &mon_fn,
+            false,
+            NegSource::Detector,
+        );
+        let event = self.pool.reserve("Health");
+        self.handler(
+            &event,
+            Some(comp),
+            &mon_fn,
+            vec![
+                Stmt::Check {
+                    point: id(&healthy),
+                    value: bin(BinOp::Lt, Expr::Len(id(queue)), int(500)),
+                    onerr: vec![Stmt::Flag(format!("{tag}_unhealthy"))],
+                },
+                sched(&event, dur_s(1)),
+            ],
+        );
+        self.setup.push(SetupTpl::Sched {
+            event,
+            after_ms: 1_000,
+        });
+    }
+
+    /// Open-loop arrival handler + the spawn/sched setup entries every
+    /// workload shares. Returns the `(n, ival)` variable names.
+    fn arrivals(&mut self, comp: &str, queue: &str, tick_event: &str) -> (String, String) {
+        let submit_fn = self.func(&format!("{comp}Client"), "submit");
+        let submit_event = self.pool.reserve("Submit");
+        let n_var = self.pool.reserve(&format!("{queue}_n"));
+        let ival_var = self.pool.reserve(&format!("{queue}_ival"));
+        self.handler(
+            &submit_event,
+            Some(comp),
+            &submit_fn,
+            vec![Stmt::Submit {
+                queue: id(queue),
+                every: var(&ival_var),
+            }],
+        );
+        self.setup.push(SetupTpl::Spawn {
+            event: submit_event,
+            count_var: n_var.clone(),
+            every_var: ival_var.clone(),
+        });
+        self.setup.push(SetupTpl::Sched {
+            event: tick_event.to_string(),
+            after_ms: 100,
+        });
+        (n_var, ival_var)
+    }
+
+    /// Standard volume/recovery/background values for the arrival vars.
+    fn arrival_vals(&mut self, n_var: &str, ival_var: &str) -> [VarVals; 2] {
+        let n = VarVals {
+            name: n_var.to_string(),
+            volume: int(self.sample((100, 180)) as i64),
+            recovery: int(self.sample((20, 40)) as i64),
+            background: int(self.sample((3, 6)) as i64),
+        };
+        let ival = VarVals {
+            name: ival_var.to_string(),
+            volume: dur_ms(self.sample((10, 30))),
+            recovery: dur_ms(self.sample((40, 80))),
+            background: dur_ms(self.sample((150, 300))),
+        };
+        [n, ival]
+    }
+
+    fn bug(
+        &mut self,
+        tag: &str,
+        seed: u64,
+        summary: &str,
+        labels: &[&str],
+        shape: Shape,
+    ) -> Planted {
+        let bug_id = self.pool.reserve(&format!("gen-{tag}-storm"));
+        self.bugs.push(BugDecl {
+            id: id(&bug_id),
+            jira: format!("GEN-{seed}"),
+            summary: summary.to_string(),
+            labels: labels.iter().map(|l| id(l)).collect(),
+            shape: Some(id(shape.family())),
+        });
+        Planted {
+            bug_id,
+            shape,
+            labels: labels.iter().map(|l| l.to_string()).collect(),
+        }
+    }
+
+    fn plant(&mut self, shape: Shape, cfg: &GenConfig, seed: u64) -> CyclePlan {
+        match shape {
+            Shape::Queue => self.plant_queue(cfg, seed),
+            Shape::Retry => self.plant_retry(cfg, seed),
+            Shape::Timer => self.plant_timer(cfg, seed),
+            Shape::Cross => self.plant_cross(cfg, seed),
+        }
+    }
+
+    /// Queue family: the toy shape. Delay on the work loop ages items
+    /// past the deadline (volume workload); timeouts re-load the same
+    /// queue through speculative retries (recovery workload).
+    fn plant_queue(&mut self, cfg: &GenConfig, seed: u64) -> CyclePlan {
+        let q = self.queue_name();
+        let comp = self.pick_component(SERVERS, vec![q.clone()]);
+        let tick_fn = self.func(&comp, "tick");
+        let proc_fn = self.func(&comp, "processItem");
+
+        let tick_event = self.pool.reserve("Tick");
+        let mut body = self.tick_prelude(&q, &tick_fn, &q);
+        let work_loop = self.work_loop(&format!("{q}_loop"), &tick_fn);
+        let ioe = self.system_throw(&format!("{q}_ioe"), &proc_fn);
+        let fanout_var = self.pool.reserve(&format!("{q}_fanout"));
+        let maxr_var = self.pool.reserve(&format!("{q}_maxr"));
+        let deadline_s = self.sample((8, 16));
+        let advance_ms = self.sample((1, 3));
+        let busy_ms = self.sample((5, 15)) * 10;
+        body.push(self.drain_with_retries(
+            &work_loop,
+            &q,
+            &proc_fn,
+            &ioe,
+            deadline_s,
+            advance_ms,
+            &fanout_var,
+            &maxr_var,
+            &q,
+        ));
+        let (n_var, ival_var) = self.arrivals(&comp, &q, &tick_event);
+        body.push(self.resched(&tick_event, &q, &n_var, busy_ms, 1_000));
+        self.handler(&tick_event, Some(&comp), &tick_fn, body);
+        self.health_monitor(&q, &comp, &q);
+
+        let [n, ival] = self.arrival_vals(&n_var, &ival_var);
+        let fanout = VarVals {
+            name: fanout_var,
+            volume: int(0),
+            recovery: int(self.sample(cfg.fanout) as i64),
+            background: int(0),
+        };
+        let maxr = VarVals {
+            name: maxr_var,
+            volume: int(0),
+            recovery: int(self.sample((1, 3)) as i64),
+            background: int(0),
+        };
+        let truth = self.bug(
+            &q,
+            seed,
+            &format!("{work_loop} delay times out items whose speculative retries re-load {q}"),
+            &[&work_loop, &ioe],
+            Shape::Queue,
+        );
+        CyclePlan {
+            tag: q,
+            vars: vec![n, ival, fanout, maxr],
+            horizon_s: self.sample((12, 15)) * 60,
+            truth,
+        }
+    }
+
+    /// Retry family: the retry storm flows through a dedicated retry
+    /// buffer whose replay loop feeds the work queue back — the buffer's
+    /// own loop is injectable but propagates nothing (it only ever holds
+    /// items while the planted cycle is active).
+    fn plant_retry(&mut self, cfg: &GenConfig, seed: u64) -> CyclePlan {
+        let q = self.queue_name();
+        let retry_q = self.pool.reserve(&format!("{q}_retries"));
+        let comp = self.pick_component(SERVERS, vec![q.clone(), retry_q.clone()]);
+        let tick_fn = self.func(&comp, "tick");
+        let proc_fn = self.func(&comp, "processItem");
+        let replay_fn = self.func(&comp, "replayRetries");
+
+        let tick_event = self.pool.reserve("Tick");
+        let mut body = self.tick_prelude(&q, &tick_fn, &q);
+        let work_loop = self.work_loop(&format!("{q}_loop"), &tick_fn);
+        let ioe = self.system_throw(&format!("{q}_ioe"), &proc_fn);
+        let fanout_var = self.pool.reserve(&format!("{q}_fanout"));
+        let maxr_var = self.pool.reserve(&format!("{q}_maxr"));
+        let deadline_s = self.sample((8, 16));
+        let advance_ms = self.sample((1, 3));
+        body.push(self.drain_with_retries(
+            &work_loop,
+            &q,
+            &proc_fn,
+            &ioe,
+            deadline_s,
+            advance_ms,
+            &fanout_var,
+            &maxr_var,
+            &retry_q,
+        ));
+        let (n_var, ival_var) = self.arrivals(&comp, &q, &tick_event);
+        let busy_ms = self.sample((5, 15)) * 10;
+        body.push(self.resched(&tick_event, &q, &n_var, busy_ms, 1_000));
+        self.handler(&tick_event, Some(&comp), &tick_fn, body);
+
+        // The replay loop: drains the buffer back into the work queue.
+        let replay_event = self.pool.reserve("Replay");
+        let replay_loop = self.work_loop(&format!("{q}_replay_loop"), &replay_fn);
+        self.handler(
+            &replay_event,
+            Some(&comp),
+            &replay_fn,
+            vec![
+                Stmt::DrainLoop {
+                    point: id(&replay_loop),
+                    queue: id(&retry_q),
+                    body: vec![Stmt::Advance(dur_ms(1)), Stmt::Requeue(id(&q))],
+                },
+                Stmt::If {
+                    cond: not(empty(&retry_q)),
+                    then: vec![sched(&replay_event, dur_ms(100))],
+                    els: vec![sched(&replay_event, dur_ms(500))],
+                },
+            ],
+        );
+        self.setup.push(SetupTpl::Sched {
+            event: replay_event,
+            after_ms: 150,
+        });
+        self.health_monitor(&q, &comp, &q);
+
+        let [n, ival] = self.arrival_vals(&n_var, &ival_var);
+        let fanout = VarVals {
+            name: fanout_var,
+            volume: int(0),
+            recovery: int(self.sample(cfg.fanout) as i64),
+            background: int(0),
+        };
+        let maxr = VarVals {
+            name: maxr_var,
+            volume: int(0),
+            recovery: int(self.sample((2, 4)) as i64),
+            background: int(0),
+        };
+        let truth = self.bug(
+            &q,
+            seed,
+            &format!(
+                "{work_loop} delay times out items whose retry storm replays through {retry_q}"
+            ),
+            &[&work_loop, &ioe],
+            Shape::Retry,
+        );
+        CyclePlan {
+            tag: q,
+            vars: vec![n, ival, fanout, maxr],
+            horizon_s: self.sample((12, 15)) * 60,
+            truth,
+        }
+    }
+
+    /// Timer family: the kafka-isr shape. A monitor samples the backlog
+    /// at tick start; a delayed loop backs the queue up past the lag
+    /// threshold (volume workload), and a tripped detector fans recovery
+    /// work back into the loop (recovery workload).
+    fn plant_timer(&mut self, cfg: &GenConfig, seed: u64) -> CyclePlan {
+        let q = self.queue_name();
+        let comp = self.pick_component(SERVERS, vec![q.clone()]);
+        let tick_fn = self.func(&comp, "tick");
+        let mon_class = self.pool.pick(&mut self.rng, MONITORS);
+        let mon_fn = self.func(&mon_class, "sampleLag");
+
+        let tick_event = self.pool.reserve("Tick");
+        let mut body = self.tick_prelude(&q, &tick_fn, &q);
+        let work_loop = self.work_loop(&format!("{q}_loop"), &tick_fn);
+        let in_sync = self.negation(&format!("{q}_in_sync"), &mon_fn, false, NegSource::Detector);
+        // An injectable throw rides along (like kafka's fetch_ioe): its
+        // deadline is effectively unreachable and its failures are
+        // swallowed, so it never participates in the planted cycle.
+        let ioe = self.system_throw(&format!("{q}_ioe"), &tick_fn);
+        let lag_var = self.pool.reserve(&format!("{q}_lag"));
+        let refetch_var = self.pool.reserve(&format!("{q}_refetch"));
+        let advance_ms = self.sample((1, 3));
+
+        // Monitor first: the backlog that piled up while the previous
+        // drain ran is exactly the lag signal.
+        body.push(Stmt::Frame {
+            func: id(&mon_fn),
+            body: vec![Stmt::Check {
+                point: id(&in_sync),
+                value: bin(BinOp::Lt, Expr::Len(id(&q)), var(&lag_var)),
+                onerr: vec![
+                    Stmt::Flag(format!("{q}_shrunk")),
+                    Stmt::Repeat {
+                        count: var(&refetch_var),
+                        body: vec![Stmt::Push(id(&q))],
+                    },
+                ],
+            }],
+        });
+        body.push(Stmt::DrainLoop {
+            point: id(&work_loop),
+            queue: id(&q),
+            body: vec![Stmt::Try {
+                body: vec![
+                    Stmt::Advance(dur_ms(advance_ms)),
+                    Stmt::Guard(id(&ioe)),
+                    Stmt::ThrowIf {
+                        point: id(&ioe),
+                        cond: bin(BinOp::Gt, Expr::AgeItem(Mark::default()), dur_s(120)),
+                    },
+                ],
+                onerr: vec![],
+            }],
+        });
+        let (n_var, ival_var) = self.arrivals(&comp, &q, &tick_event);
+        // Unconditional cadence: the monitor must keep sampling.
+        body.push(sched(&tick_event, dur_ms(100)));
+        self.handler(&tick_event, Some(&comp), &tick_fn, body);
+
+        let [n, ival] = self.arrival_vals(&n_var, &ival_var);
+        let lag = {
+            let v = int(self.sample((30, 50)) as i64);
+            VarVals {
+                name: lag_var,
+                volume: v.clone(),
+                recovery: v.clone(),
+                background: v,
+            }
+        };
+        let refetch = VarVals {
+            name: refetch_var,
+            volume: int(0),
+            recovery: int(self.sample(cfg.fanout) as i64),
+            background: int(0),
+        };
+        let truth = self.bug(
+            &q,
+            seed,
+            &format!("a slow {work_loop} trips the {in_sync} detector whose recovery fan-out re-loads it"),
+            &[&work_loop, &in_sync],
+            Shape::Timer,
+        );
+        CyclePlan {
+            tag: q,
+            vars: vec![n, ival, lag, refetch],
+            horizon_s: self.sample((12, 15)) * 60,
+            truth,
+        }
+    }
+
+    /// Cross family: dispatcher and worker live in different components;
+    /// retries hop through a relay chain of configurable depth before
+    /// re-loading the dispatcher queue.
+    fn plant_cross(&mut self, cfg: &GenConfig, seed: u64) -> CyclePlan {
+        let q = self.queue_name();
+        let comp = self.pick_component(SERVERS, vec![q.clone()]);
+        let worker_comp = self.pick_component(WORKERS, vec![]);
+        let tick_fn = self.func(&comp, "dispatch");
+        let proc_fn = self.func(&worker_comp, "process");
+
+        // Relay chain: item retries travel r1 → … → rd → q.
+        let depth = self.sample(cfg.depth).max(1) as usize;
+        let mut relay_queues = Vec::with_capacity(depth);
+        let mut relay_comps = Vec::with_capacity(depth);
+        for _ in 0..depth {
+            let rq = self.pool.reserve(&format!("{q}_relay"));
+            let rc = self.pick_component(RELAYS, vec![rq.clone()]);
+            relay_queues.push(rq);
+            relay_comps.push(rc);
+        }
+
+        let tick_event = self.pool.reserve("Dispatch");
+        let mut body = self.tick_prelude(&q, &tick_fn, &q);
+        let work_loop = self.work_loop(&format!("{q}_loop"), &tick_fn);
+        let ioe = self.system_throw(&format!("{q}_ioe"), &proc_fn);
+        let fanout_var = self.pool.reserve(&format!("{q}_fanout"));
+        let maxr_var = self.pool.reserve(&format!("{q}_maxr"));
+        let deadline_s = self.sample((8, 16));
+        let advance_ms = self.sample((1, 3));
+        body.push(self.drain_with_retries(
+            &work_loop,
+            &q,
+            &proc_fn,
+            &ioe,
+            deadline_s,
+            advance_ms,
+            &fanout_var,
+            &maxr_var,
+            &relay_queues[0],
+        ));
+        let (n_var, ival_var) = self.arrivals(&comp, &q, &tick_event);
+        let busy_ms = self.sample((5, 15)) * 10;
+        body.push(self.resched(&tick_event, &q, &n_var, busy_ms, 1_000));
+        self.handler(&tick_event, Some(&comp), &tick_fn, body);
+
+        // One forwarding handler per relay hop.
+        for i in 0..depth {
+            let next = if i + 1 < depth {
+                relay_queues[i + 1].clone()
+            } else {
+                q.clone()
+            };
+            let forward_fn = self.func(&relay_comps[i], "forward");
+            let relay_loop = self.work_loop(&format!("{}_loop", relay_queues[i]), &forward_fn);
+            let relay_event = self.pool.reserve("Relay");
+            self.handler(
+                &relay_event,
+                Some(&relay_comps[i]),
+                &forward_fn,
+                vec![
+                    Stmt::DrainLoop {
+                        point: id(&relay_loop),
+                        queue: id(&relay_queues[i]),
+                        body: vec![Stmt::Advance(dur_ms(1)), Stmt::Requeue(id(&next))],
+                    },
+                    Stmt::If {
+                        cond: not(empty(&relay_queues[i])),
+                        then: vec![sched(&relay_event, dur_ms(100))],
+                        els: vec![sched(&relay_event, dur_ms(500))],
+                    },
+                ],
+            );
+            self.setup.push(SetupTpl::Sched {
+                event: relay_event,
+                after_ms: 150,
+            });
+        }
+        self.health_monitor(&q, &comp, &q);
+
+        let [n, ival] = self.arrival_vals(&n_var, &ival_var);
+        let fanout = VarVals {
+            name: fanout_var,
+            volume: int(0),
+            recovery: int(self.sample(cfg.fanout) as i64),
+            background: int(0),
+        };
+        let maxr = VarVals {
+            name: maxr_var,
+            volume: int(0),
+            recovery: int(self.sample((2, 4)) as i64 + depth as i64),
+            background: int(0),
+        };
+        let truth = self.bug(
+            &q,
+            seed,
+            &format!(
+                "{work_loop} delay times out {worker_comp} calls whose retries relay back into {q}"
+            ),
+            &[&work_loop, &ioe],
+            Shape::Cross,
+        );
+        CyclePlan {
+            tag: q,
+            vars: vec![n, ival, fanout, maxr],
+            horizon_s: self.sample((12, 15)) * 60,
+            truth,
+        }
+    }
+
+    // -------------------------------------------------------------- decoys
+
+    /// A periodic housekeeping component: filtered instrumentation, slow
+    /// self-contained queue traffic, no edges into any planted cycle.
+    fn decoy_component(&mut self) {
+        let has_queue = self.rng.chance(0.7);
+        let dq = has_queue.then(|| self.queue_name());
+        let comp = self.pick_component(DECOYS, dq.iter().cloned().collect());
+        let tick_fn = self.func(&comp, "tick");
+        let event = self.pool.reserve("Housekeep");
+
+        let mut body = Vec::new();
+        let bound = self.sample((2, 4)) as u32;
+        let warm = self.const_loop(&format!("{}_warm", lower(&comp)), &tick_fn, bound);
+        body.push(Stmt::ConstLoop {
+            point: id(&warm),
+            body: vec![],
+        });
+        if let Some(dq) = &dq {
+            if self.rng.chance(0.5) {
+                let br = self.branch_point(&format!("{}_pending", lower(&comp)), &tick_fn);
+                body.push(Stmt::Branch {
+                    point: id(&br),
+                    cond: not(empty(dq)),
+                });
+            }
+            body.push(Stmt::Submit {
+                queue: id(dq),
+                every: dur_ms(self.sample((300, 600))),
+            });
+            // Occasionally injectable (io) — a delay here backs up only
+            // this decoy's private queue, so no causal edges appear.
+            let io = self.rng.chance(0.3);
+            let label = self.pool.reserve(&format!("{}_loop", lower(&comp)));
+            let line = self.next_line();
+            self.points.push(PointDecl {
+                label: id(&label),
+                func: id(&tick_fn),
+                line,
+                kind: PointKind::Loop {
+                    io,
+                    parent: None,
+                    sibling: None,
+                },
+            });
+            body.push(Stmt::DrainLoop {
+                point: id(&label),
+                queue: id(dq),
+                body: vec![Stmt::Advance(dur_ms(1))],
+            });
+        }
+        if self.rng.chance(0.6) {
+            let source =
+                [NegSource::Jdk, NegSource::Config, NegSource::Primitive][self.rng.pick(3)];
+            let error_when = self.rng.chance(0.5);
+            let neg = self.negation(
+                &format!("{}_ok", lower(&comp)),
+                &tick_fn,
+                error_when,
+                source,
+            );
+            let value = match &dq {
+                Some(dq) => empty(dq),
+                None => Expr::Bool(true, Mark::default()),
+            };
+            body.push(Stmt::Check {
+                point: id(&neg),
+                value,
+                onerr: vec![],
+            });
+        }
+        body.push(sched(&event, dur_ms(self.sample((500, 1_000)))));
+        self.handler(&event, Some(&comp), &tick_fn, body);
+        self.setup.push(SetupTpl::Sched {
+            event,
+            after_ms: 1_000,
+        });
+    }
+
+    /// Declaration-only decoy points: inventory for the static filters
+    /// (and the coverage gate) to remove, never exercised by a handler.
+    fn decoy_declarations(&mut self, count: u64) {
+        let util_fn = self.func("AdminUtils", "describe");
+        for _ in 0..count {
+            match self.rng.pick(5) {
+                0 => {
+                    let label = self.pool.reserve("refl_throw");
+                    let line = self.next_line();
+                    self.points.push(PointDecl {
+                        label: id(&label),
+                        func: id(&util_fn),
+                        line,
+                        kind: PointKind::Throw {
+                            class: "InvocationTargetException".to_string(),
+                            category: ThrowCategory::Reflection,
+                            test_only: false,
+                        },
+                    });
+                }
+                1 => {
+                    let label = self.pool.reserve("sec_throw");
+                    let line = self.next_line();
+                    self.points.push(PointDecl {
+                        label: id(&label),
+                        func: id(&util_fn),
+                        line,
+                        kind: PointKind::Throw {
+                            class: "SecurityException".to_string(),
+                            category: ThrowCategory::Security,
+                            test_only: false,
+                        },
+                    });
+                }
+                2 => {
+                    let label = self.pool.reserve("test_throw");
+                    let line = self.next_line();
+                    self.points.push(PointDecl {
+                        label: id(&label),
+                        func: id(&util_fn),
+                        line,
+                        kind: PointKind::Throw {
+                            class: "AssertionError".to_string(),
+                            category: ThrowCategory::Runtime,
+                            test_only: true,
+                        },
+                    });
+                }
+                3 => {
+                    let label = self.pool.reserve("lib_call");
+                    let line = self.next_line();
+                    self.points.push(PointDecl {
+                        label: id(&label),
+                        func: id(&util_fn),
+                        line,
+                        kind: PointKind::LibCall {
+                            class: "SocketException".to_string(),
+                        },
+                    });
+                }
+                _ => {
+                    let source = [NegSource::Constant, NegSource::Config][self.rng.pick(2)];
+                    let error_when = self.rng.chance(0.5);
+                    let label = self.pool.reserve("cfg_flag");
+                    let line = self.next_line();
+                    self.points.push(PointDecl {
+                        label: id(&label),
+                        func: id(&util_fn),
+                        line,
+                        kind: PointKind::Negation { error_when, source },
+                    });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ assembly
+
+    fn workload_setup(&self) -> Vec<SetupStmt> {
+        self.setup
+            .iter()
+            .map(|s| match s {
+                SetupTpl::Spawn {
+                    event,
+                    count_var,
+                    every_var,
+                } => SetupStmt::Spawn {
+                    event: id(event),
+                    count: var(count_var),
+                    every: var(every_var),
+                },
+                SetupTpl::Sched { event, after_ms } => SetupStmt::Sched {
+                    event: id(event),
+                    after: dur_ms(*after_ms),
+                },
+            })
+            .collect()
+    }
+
+    /// Assembles the workload set: per planted cycle a volume + recovery
+    /// pair (the cycle's own values; every other cycle idles in the
+    /// background), plus one near-idle probe workload.
+    fn finish(self, seed: u64, shape: Shape, plans: Vec<CyclePlan>) -> GeneratedScenario {
+        let mut workloads = Vec::new();
+        let lets_for = |plans: &[CyclePlan], featured: usize, recovery: bool| {
+            let mut lets = Vec::new();
+            for (k, plan) in plans.iter().enumerate() {
+                for v in &plan.vars {
+                    let value = if k != featured {
+                        v.background.clone()
+                    } else if recovery {
+                        v.recovery.clone()
+                    } else {
+                        v.volume.clone()
+                    };
+                    lets.push((id(&v.name), value));
+                }
+            }
+            lets
+        };
+        for (k, plan) in plans.iter().enumerate() {
+            workloads.push(Workload {
+                name: id(&format!("volume_{}", plan.tag)),
+                description: format!(
+                    "high-volume {} traffic, retries disabled — exposes the delay propagation",
+                    plan.tag
+                ),
+                lets: lets_for(&plans, k, false),
+                horizon: dur_s(plan.horizon_s),
+                setup: self.workload_setup(),
+            });
+            workloads.push(Workload {
+                name: id(&format!("recovery_{}", plan.tag)),
+                description: format!(
+                    "light {} traffic with recovery fan-out — exposes the amplification",
+                    plan.tag
+                ),
+                lets: lets_for(&plans, k, true),
+                horizon: dur_s(plan.horizon_s),
+                setup: self.workload_setup(),
+            });
+        }
+        workloads.push(Workload {
+            name: id("idle_probe"),
+            description: "near-idle probe dominated by periodic housekeeping".to_string(),
+            lets: lets_for(&plans, usize::MAX, false),
+            horizon: dur_s(60),
+            setup: self.workload_setup(),
+        });
+
+        let truth: Vec<Planted> = plans.into_iter().map(|p| p.truth).collect();
+        let spec = ScenarioSpec {
+            name: id(&format!("gen-{}-{seed}", shape.family())),
+            components: self.components,
+            fns: self.fns,
+            points: self.points,
+            branches: self.branches,
+            handlers: self.handlers,
+            workloads,
+            bugs: self.bugs,
+            expected_contention: Vec::new(),
+        };
+        GeneratedScenario {
+            seed,
+            shape,
+            spec,
+            truth,
+        }
+    }
+}
+
+fn lower(s: &str) -> String {
+    s.to_ascii_lowercase()
+}
+
+pub(crate) fn generate(seed: u64, cfg: &GenConfig) -> GeneratedScenario {
+    let shape = cfg.shape.unwrap_or_else(|| Shape::for_seed(seed));
+    let mut b = Build::new(seed);
+    let mut plans = Vec::new();
+    for k in 0..cfg.planted.max(1) {
+        let s = if k == 0 {
+            shape
+        } else {
+            Shape::ALL[b.rng.pick(Shape::ALL.len())]
+        };
+        plans.push(b.plant(s, cfg, seed));
+    }
+    let n_decoys = b.sample(cfg.decoy_components);
+    for _ in 0..n_decoys {
+        b.decoy_component();
+    }
+    let n_points = b.sample(cfg.decoy_points);
+    b.decoy_declarations(n_points);
+    b.finish(seed, shape, plans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csnake_scenario::{compile, parse_str, print};
+
+    #[test]
+    fn every_shape_generates_a_compilable_spec() {
+        for (i, shape) in Shape::ALL.into_iter().enumerate() {
+            let cfg = GenConfig {
+                shape: Some(shape),
+                ..GenConfig::default()
+            };
+            let g = generate(1000 + i as u64, &cfg);
+            let text = print(&g.spec);
+            let reparsed = parse_str(&text)
+                .unwrap_or_else(|e| panic!("{shape}: generated spec does not parse: {e}\n{text}"));
+            assert_eq!(reparsed, g.spec, "{shape}: round-trip changed the spec");
+            let system = compile(&reparsed)
+                .unwrap_or_else(|e| panic!("{shape}: generated spec does not compile: {e}"));
+            assert_eq!(system.bug_shape(&g.truth[0].bug_id), Some(shape.family()));
+            for label in &g.truth[0].labels {
+                assert!(
+                    system.point_by_label(label).is_some(),
+                    "{shape}: ground-truth label {label} missing from registry"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_planted_cycles_coexist() {
+        let cfg = GenConfig {
+            planted: 2,
+            ..GenConfig::default()
+        };
+        let g = generate(77, &cfg);
+        assert_eq!(g.truth.len(), 2);
+        let system = compile(&g.spec).expect("two-cycle spec compiles");
+        // 2 volume + 2 recovery + idle.
+        assert_eq!(csnake_core::TargetSystem::tests(&system).len(), 5);
+        assert_ne!(g.truth[0].bug_id, g.truth[1].bug_id);
+    }
+}

@@ -1,0 +1,297 @@
+//! `csnake-gen`: a seeded scenario synthesizer.
+//!
+//! The `scenarios/` corpus is six hand-written specs; this crate turns the
+//! scenario language into an **unbounded evaluation set**. [`generate`]
+//! deterministically expands a 64-bit seed into a random
+//! [`ScenarioSpec`]: a random component graph (queue/timer/retry-fanout
+//! architecture with configurable decoy-node count, fanout and chain
+//! depth), one or more *planted* self-sustaining cycles of a known
+//! [`Shape`], and a decoy inventory (constant-bound loops, config/JDK/
+//! primitive booleans, reflection/security/test-only throws) for the
+//! static filters to chew on.
+//!
+//! Ground truth travels **inside the spec**: every planted cycle is a
+//! `bug … labels […] shape <family>` declaration, so an evaluation
+//! harness recovers the planted shape from the (re)parsed text alone —
+//! nothing has to be re-derived from generator internals. The
+//! `gen_eval` binary in `csnake-bench` builds on exactly that to score
+//! end-to-end recall per shape family over arbitrary seed ranges.
+//!
+//! Generated specs are ordinary scenario-language values: emit them
+//! through the canonical pretty-printer ([`csnake_scenario::print`]) and
+//! the result is parseable, lintable, diffable text — the determinism
+//! property (`tests/determinism.rs`) proves that the same seed yields the
+//! same text and the same compiled registry fingerprint on every run.
+//!
+//! # Generate and inspect a scenario
+//!
+//! ```
+//! use csnake_gen::{generate, GenConfig, Shape};
+//! use csnake_scenario::{compile, parse_str, print};
+//!
+//! // Seed 42 with the default configuration; force the timer family.
+//! let cfg = GenConfig { shape: Some(Shape::Timer), ..GenConfig::default() };
+//! let g = generate(42, &cfg);
+//!
+//! // The planted ground truth rides in the spec itself.
+//! assert_eq!(g.truth.len(), 1);
+//! assert_eq!(g.truth[0].shape, Shape::Timer);
+//!
+//! // Canonical text round-trips through the parser…
+//! let text = print(&g.spec);
+//! let reparsed = parse_str(&text).expect("generated specs always parse");
+//! assert_eq!(reparsed, g.spec);
+//!
+//! // …and compiles into a runnable target system.
+//! let system = compile(&reparsed).expect("generated specs always compile");
+//! assert_eq!(system.bug_shape(&g.truth[0].bug_id), Some("timer"));
+//! ```
+//!
+//! Compiled systems plug into the staged `csnake_core::Session` pipeline
+//! unchanged; `table4 --target gen:<seed>` and the `scenario_lint --gen`
+//! batch mode resolve generated targets by seed via [`by_name`].
+
+mod build;
+mod names;
+
+use csnake_core::{CsnakeError, TargetSystem};
+use csnake_scenario::ast::ScenarioSpec;
+use csnake_scenario::{compile, ScenarioSystem};
+
+/// The planted self-sustaining cycle families the synthesizer knows.
+///
+/// Every family follows a propagation pattern proven end-to-end on the
+/// hand-written corpus, embedded in a randomized topology:
+///
+/// * [`Queue`](Shape::Queue) — *delay amplification* (the toy-target
+///   shape): a delayed work loop ages queued items past their deadline;
+///   the timeouts' speculative retries re-load the same loop.
+/// * [`Retry`](Shape::Retry) — *retry storm*: timeouts fan out into a
+///   dedicated retry buffer whose replay loop feeds the work queue back.
+/// * [`Timer`](Shape::Timer) — *negation cycle* (the kafka-isr shape): a
+///   periodic monitor trips a backlog detector whose recovery fan-out
+///   re-loads the loop that caused the backlog.
+/// * [`Cross`](Shape::Cross) — *cross-component chain*: the delayed
+///   dispatcher loop and the throwing worker live in different
+///   components, with retries hopping through a relay chain of
+///   configurable depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Shape {
+    /// Delay-amplification cycle inside one component (queue family).
+    Queue,
+    /// Retry-storm cycle through a retry buffer (retry family).
+    Retry,
+    /// Negation cycle driven by a periodic backlog monitor (timer family).
+    Timer,
+    /// Cross-component chain with a relay hop per depth unit.
+    Cross,
+}
+
+impl Shape {
+    /// All families, in the order `for_seed` cycles through them.
+    pub const ALL: [Shape; 4] = [Shape::Queue, Shape::Retry, Shape::Timer, Shape::Cross];
+
+    /// The stable family name recorded in the spec's `shape` sidecar.
+    pub fn family(self) -> &'static str {
+        match self {
+            Shape::Queue => "queue",
+            Shape::Retry => "retry",
+            Shape::Timer => "timer",
+            Shape::Cross => "cross",
+        }
+    }
+
+    /// Parses a family name back into a shape.
+    pub fn from_family(name: &str) -> Option<Shape> {
+        Shape::ALL.into_iter().find(|s| s.family() == name)
+    }
+
+    /// The family a bare seed maps to (round-robin over [`Shape::ALL`]),
+    /// used when [`GenConfig::shape`] is `None` — so a plain seed sweep
+    /// covers every family evenly.
+    pub fn for_seed(seed: u64) -> Shape {
+        Shape::ALL[(seed % Shape::ALL.len() as u64) as usize]
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.family())
+    }
+}
+
+/// Synthesizer knobs. Every range is inclusive and sampled per spec from
+/// the seed, so two generations with the same `(seed, config)` are
+/// identical.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Planted cycle family; `None` derives it from the seed
+    /// ([`Shape::for_seed`]).
+    pub shape: Option<Shape>,
+    /// Number of planted cycles. Each gets its own component cluster,
+    /// workload pair and `bug … shape` declaration. Campaigns over
+    /// multi-cycle specs should scale the experiment budget with the
+    /// workload count: with two cycles the `(fault, test)` space is
+    /// `5·|F|`, so the paper's minimum `4·|F|` budget no longer covers
+    /// it (6·|F| does — see `tests/gen_detection.rs`).
+    pub planted: usize,
+    /// Decoy components (each a timer-driven node with its own queue
+    /// and filtered instrumentation), sampled from this range.
+    pub decoy_components: (u64, u64),
+    /// Declaration-only decoy fault points (reflection/security/test-only
+    /// throws, libcalls, config/constant booleans), sampled per spec.
+    pub decoy_points: (u64, u64),
+    /// Retry/refetch fan-out of the planted amplification edge.
+    pub fanout: (u64, u64),
+    /// Relay-chain depth of the [`Shape::Cross`] family.
+    pub depth: (u64, u64),
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            shape: None,
+            planted: 1,
+            decoy_components: (1, 2),
+            decoy_points: (2, 5),
+            fanout: (4, 8),
+            depth: (1, 2),
+        }
+    }
+}
+
+/// One planted cycle's ground truth, mirrored from the spec's `bug`
+/// declaration (the spec remains the source of truth).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Planted {
+    /// The `bug` declaration id.
+    pub bug_id: String,
+    /// The planted family.
+    pub shape: Shape,
+    /// Fault-point labels forming the cycle.
+    pub labels: Vec<String>,
+}
+
+/// A generated scenario: the spec plus convenience ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedScenario {
+    /// The seed it was expanded from.
+    pub seed: u64,
+    /// The primary planted family.
+    pub shape: Shape,
+    /// The generated spec (print it with [`csnake_scenario::print`]).
+    pub spec: ScenarioSpec,
+    /// Ground truth per planted cycle, in `spec.bugs` order.
+    pub truth: Vec<Planted>,
+}
+
+/// Deterministically expands a seed into a scenario with planted,
+/// ground-truthed self-sustaining cycles. Same `(seed, cfg)` → identical
+/// spec, identical canonical text, identical compiled registry.
+pub fn generate(seed: u64, cfg: &GenConfig) -> GeneratedScenario {
+    build::generate(seed, cfg)
+}
+
+/// Reads the planted ground truth back out of a spec's `bug … shape`
+/// sidecars — the inverse of what [`generate`] plants, usable on reparsed
+/// text. Bugs without a recognized shape sidecar are skipped.
+pub fn planted_truth(spec: &ScenarioSpec) -> Vec<Planted> {
+    spec.bugs
+        .iter()
+        .filter_map(|b| {
+            let shape = Shape::from_family(&b.shape.as_ref()?.name)?;
+            Some(Planted {
+                bug_id: b.id.name.clone(),
+                shape,
+                labels: b.labels.iter().map(|l| l.name.clone()).collect(),
+            })
+        })
+        .collect()
+}
+
+/// The pseudo-target prefix accepted by [`by_name`]: `gen:<seed>`.
+pub const GEN_TARGET_PREFIX: &str = "gen:";
+
+/// Compiles the generated spec for `gen:<seed>` with the default
+/// configuration.
+pub fn generated_system(seed: u64) -> Result<ScenarioSystem, CsnakeError> {
+    let g = generate(seed, &GenConfig::default());
+    compile(&g.spec)
+        .map_err(|e| CsnakeError::InvalidTarget(format!("generated spec gen:{seed}: {e}")))
+}
+
+/// Generator-aware target resolution: `gen:<seed>` pseudo-names expand a
+/// generated scenario on the fly; everything else goes through
+/// [`csnake_scenario::by_name`] (builtins, then the scenario corpus).
+/// Unknown names get the scenario resolver's sorted known-target list
+/// with the `gen:<seed>` convention documented alongside.
+pub fn by_name(name: &str) -> Result<Box<dyn TargetSystem>, CsnakeError> {
+    if let Some(rest) = name.strip_prefix(GEN_TARGET_PREFIX) {
+        let seed: u64 = rest.parse().map_err(|_| {
+            CsnakeError::InvalidTarget(format!(
+                "invalid generated-target name {name:?}: expected gen:<seed> \
+                 with a decimal 64-bit seed (e.g. gen:42)"
+            ))
+        })?;
+        return Ok(Box::new(generated_system(seed)?));
+    }
+    csnake_scenario::by_name(name).map_err(|e| match e {
+        CsnakeError::InvalidTarget(msg) if msg.starts_with("unknown target") => {
+            CsnakeError::InvalidTarget(format!(
+                "{msg}, or gen:<seed> for a generated scenario (e.g. gen:42)"
+            ))
+        }
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_cycle_through_every_family() {
+        let fams: Vec<&str> = (0..4).map(|s| Shape::for_seed(s).family()).collect();
+        assert_eq!(fams, vec!["queue", "retry", "timer", "cross"]);
+        assert_eq!(Shape::from_family("timer"), Some(Shape::Timer));
+        assert_eq!(Shape::from_family("nope"), None);
+    }
+
+    #[test]
+    fn truth_is_recoverable_from_the_spec_alone() {
+        let g = generate(7, &GenConfig::default());
+        assert!(!g.truth.is_empty());
+        assert_eq!(planted_truth(&g.spec), g.truth);
+    }
+
+    #[test]
+    fn gen_pseudo_targets_resolve_and_bad_seeds_are_typed() {
+        let t = by_name("gen:5").expect("gen:5 resolves");
+        assert!(t.name().starts_with("gen-"));
+        let msg = match by_name("gen:not-a-seed") {
+            Err(e) => e.to_string(),
+            Ok(t) => panic!("unexpectedly resolved {:?}", t.name()),
+        };
+        assert!(msg.contains("gen:<seed>"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_targets_document_the_gen_convention_in_sorted_order() {
+        let msg = match by_name("no-such-system") {
+            Err(e) => e.to_string(),
+            Ok(t) => panic!("unexpectedly resolved {:?}", t.name()),
+        };
+        assert!(msg.contains("gen:<seed>"), "{msg}");
+        // The known-name list is sorted (satellite of the same PR: the
+        // scenario resolver's list is deterministic, not directory-order).
+        let list = msg
+            .split("known targets: ")
+            .nth(1)
+            .and_then(|rest| rest.split(", or gen:").next())
+            .expect("message lists known targets");
+        let names: Vec<&str> = list.split(", ").collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "{msg}");
+    }
+}

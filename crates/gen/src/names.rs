@@ -1,0 +1,129 @@
+//! Deterministic name pools.
+//!
+//! Generated specs should read like the hand-written corpus — components
+//! called `HintReplayer`, queues called `fetches` — while staying unique
+//! within a spec whatever the topology. [`NamePool`] draws from themed
+//! word lists with the spec's RNG and deduplicates by appending a numeric
+//! suffix, so name choice is a pure function of the draw sequence.
+
+use std::collections::HashSet;
+
+use csnake_sim::SimRng;
+
+/// Server-ish components hosting a planted work loop.
+pub const SERVERS: &[&str] = &[
+    "JobServer",
+    "ReplicaFetcher",
+    "HintReplayer",
+    "LeaseKeeper",
+    "SegmentFlusher",
+    "CompactionRunner",
+    "WalSyncer",
+    "BlockReporter",
+];
+
+/// Worker/processor components (the cross-family throw site).
+pub const WORKERS: &[&str] = &[
+    "ShardWorker",
+    "RegionMover",
+    "ChunkDecoder",
+    "DigestMerger",
+    "BatchApplier",
+];
+
+/// Relay/buffer components on the retry path.
+pub const RELAYS: &[&str] = &[
+    "RetryRelay",
+    "ReplayBuffer",
+    "BackoffSpool",
+    "RequeueBridge",
+];
+
+/// Monitor components hosting detector negations.
+pub const MONITORS: &[&str] = &["HealthMonitor", "IsrMonitor", "LagDetector", "QuotaWatcher"];
+
+/// Decoy components: periodic housekeeping with filtered instrumentation.
+pub const DECOYS: &[&str] = &[
+    "MetricsRegistry",
+    "AuditLogger",
+    "ConfigWatcher",
+    "GcInspector",
+    "TokenRenewer",
+    "SnapshotJanitor",
+];
+
+/// Work-queue names.
+pub const QUEUES: &[&str] = &[
+    "jobs", "fetches", "hints", "pings", "batches", "deltas", "leases", "segments",
+];
+
+/// Exception classes for planted (system-category) throws.
+pub const THROW_CLASSES: &[&str] = &[
+    "IOException",
+    "SocketTimeoutException",
+    "TimeoutException",
+    "EOFException",
+];
+
+/// Unique-name dispenser over the pools above.
+pub struct NamePool {
+    used: HashSet<String>,
+}
+
+impl Default for NamePool {
+    fn default() -> Self {
+        NamePool::new()
+    }
+}
+
+impl NamePool {
+    pub fn new() -> NamePool {
+        NamePool {
+            used: HashSet::new(),
+        }
+    }
+
+    /// Draws a pool word with `rng` and makes it unique in this spec by
+    /// suffixing the first free ordinal.
+    pub fn pick(&mut self, rng: &mut SimRng, pool: &[&str]) -> String {
+        let base = pool[rng.pick(pool.len())];
+        self.reserve(base)
+    }
+
+    /// Reserves an explicit base name, suffixing to keep it unique.
+    pub fn reserve(&mut self, base: &str) -> String {
+        if self.used.insert(base.to_string()) {
+            return base.to_string();
+        }
+        for i in 2.. {
+            let candidate = format!("{base}{i}");
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+        unreachable!("suffix search always terminates");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collisions_get_ordinal_suffixes() {
+        let mut pool = NamePool::new();
+        assert_eq!(pool.reserve("jobs"), "jobs");
+        assert_eq!(pool.reserve("jobs"), "jobs2");
+        assert_eq!(pool.reserve("jobs"), "jobs3");
+        assert_eq!(pool.reserve("jobs2"), "jobs22");
+    }
+
+    #[test]
+    fn picks_are_seed_deterministic() {
+        let mut a = (NamePool::new(), SimRng::new(9));
+        let mut b = (NamePool::new(), SimRng::new(9));
+        for _ in 0..32 {
+            assert_eq!(a.0.pick(&mut a.1, SERVERS), b.0.pick(&mut b.1, SERVERS));
+        }
+    }
+}

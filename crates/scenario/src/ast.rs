@@ -427,6 +427,11 @@ pub struct BugDecl {
     pub summary: String,
     /// Fault-point labels that must all appear in a matching cycle.
     pub labels: Vec<Ident>,
+    /// Cycle shape family (`shape queue`) — the ground-truth sidecar the
+    /// scenario generator records so evaluation harnesses can report
+    /// per-shape recall without re-deriving the planted structure.
+    /// Evaluation-only, like the labels; `None` for hand-written bugs.
+    pub shape: Option<Ident>,
 }
 
 /// One top-level item, in file order. The loader flattens `include`s into

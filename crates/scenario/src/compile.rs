@@ -173,6 +173,8 @@ pub(crate) struct Compiled {
     pub handlers: Vec<CHandler>,
     pub workloads: Vec<CWorkload>,
     pub bugs: Vec<KnownBug>,
+    /// Shape-family sidecar per bug (same order as `bugs`).
+    pub bug_shapes: Vec<Option<&'static str>>,
     pub expected: Vec<&'static str>,
 }
 
@@ -189,6 +191,17 @@ impl ScenarioSystem {
     /// The spec's declared name.
     pub fn scenario_name(&self) -> &'static str {
         self.compiled.name
+    }
+
+    /// Ground-truth shape family of a declared bug (`bug … shape <family>`),
+    /// as recorded by the scenario generator. `None` when the bug id is
+    /// unknown or carries no sidecar (every hand-written corpus bug).
+    pub fn bug_shape(&self, bug_id: &str) -> Option<&'static str> {
+        self.compiled
+            .bugs
+            .iter()
+            .position(|b| b.id == bug_id)
+            .and_then(|i| self.compiled.bug_shapes[i])
     }
 
     /// Looks up a declared fault point by its label.
@@ -884,6 +897,7 @@ impl<'a> Compiler<'a> {
 
         // Ground truth.
         let mut bugs = Vec::with_capacity(spec.bugs.len());
+        let mut bug_shapes = Vec::with_capacity(spec.bugs.len());
         let mut bug_ids = HashSet::new();
         for b in &spec.bugs {
             if !bug_ids.insert(b.id.name.as_str()) {
@@ -903,6 +917,7 @@ impl<'a> Compiler<'a> {
                 summary: intern(&b.summary),
                 labels,
             });
+            bug_shapes.push(b.shape.as_ref().map(|s| intern(&s.name)));
         }
         let mut expected = Vec::with_capacity(spec.expected_contention.len());
         for l in &spec.expected_contention {
@@ -925,6 +940,7 @@ impl<'a> Compiler<'a> {
                 handlers,
                 workloads,
                 bugs,
+                bug_shapes,
                 expected,
             },
         })
@@ -944,7 +960,8 @@ fn expr_span(e: &Expr) -> Span {
 }
 
 /// Validates a spec without building the interpreter: parse + compile,
-/// reporting the first error. Used by the `scenario_lint` tool.
+/// reporting the first error. Used by the `scenario_lint` tool (which
+/// lives in `csnake-gen`, alongside the generated-batch lint mode).
 pub fn validate(spec: &ScenarioSpec) -> Result<(), ScenarioError> {
     compile(spec).map(|_| ())
 }

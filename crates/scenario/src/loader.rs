@@ -170,6 +170,11 @@ pub fn by_name_in(name: &str, dir: &Path) -> Result<Box<dyn TargetSystem>, Csnak
         .map(str::to_string)
         .collect::<Vec<_>>();
     known.extend(corpus.keys().filter(|n| n.as_str() != "toy").cloned());
+    // Deterministic sorted order: the builtin list is declaration-ordered
+    // and the corpus is directory-derived, so without the sort the message
+    // depends on registration/readdir order and snapshot tests on it flap.
+    known.sort();
+    known.dedup();
     Err(CsnakeError::InvalidTarget(format!(
         "unknown target {name:?}; known targets: {}",
         known.join(", ")

@@ -457,11 +457,17 @@ impl Parser {
                 let summary = self.expect_str("a summary")?;
                 self.expect_kw("labels")?;
                 let labels = self.ident_list()?;
+                let shape = if self.eat_kw("shape") {
+                    Some(self.expect_ident("a shape family name")?)
+                } else {
+                    None
+                };
                 Ok(Item::Bug(BugDecl {
                     id,
                     jira,
                     summary,
                     labels,
+                    shape,
                 }))
             }
             "expected_contention" => {

@@ -73,7 +73,7 @@ pub fn print(spec: &ScenarioSpec) -> String {
         let _ = writeln!(w, "}}");
     }
     for b in &spec.bugs {
-        let _ = writeln!(
+        let _ = write!(
             w,
             "bug {} jira {} summary {} labels {}",
             b.id,
@@ -81,6 +81,10 @@ pub fn print(spec: &ScenarioSpec) -> String {
             quoted(&b.summary),
             labels(&b.labels)
         );
+        if let Some(s) = &b.shape {
+            let _ = write!(w, " shape {s}");
+        }
+        let _ = writeln!(w);
     }
     if !spec.expected_contention.is_empty() {
         let _ = writeln!(
@@ -374,7 +378,7 @@ mod tests {
           spawn T count $n every $ival
           sched T after 1s
         }
-        bug demo-bug jira "J-1" summary "s" labels [l, t]
+        bug demo-bug jira "J-1" summary "s" labels [l, t] shape queue
         expected_contention [l]
         "#;
         let spec = assemble(parse_items(src).unwrap()).unwrap();

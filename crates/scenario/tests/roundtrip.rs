@@ -285,6 +285,7 @@ fn spec_from_seed(seed: u64) -> ScenarioSpec {
             jira: string(&mut g),
             summary: string(&mut g),
             labels: (0..1 + g.range(3)).map(|j| ident("lp", j)).collect(),
+            shape: g.chance(50).then(|| ident("shape", g.range(4))),
         })
         .collect();
     let expected_contention = (0..g.range(3)).map(|j| ident("lp", j)).collect();
