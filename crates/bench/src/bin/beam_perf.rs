@@ -1,11 +1,17 @@
 //! Beam-search performance trajectory: writes `BENCH_beam.json` at the
 //! repository root with median wall-times per pipeline stage (database
-//! dedup/push, stitch-index build, indexed search, reference search where
+//! dedup/push, stitch-index build — grouped/shared-table vs the retained
+//! per-edge reference build, indexed search, reference search where
 //! affordable), so successive PRs can track the hot path.
 //!
+//! Every case asserts that the grouped build's search output is identical
+//! to the per-edge reference build's, and records the index's
+//! [`CompatStats`] (edge-group and state-pair dedup, stored vs avoided
+//! successor entries) in the artifact.
+//!
 //! Run with `cargo run --release -p csnake-bench --bin beam_perf`; set
-//! `CSNAKE_PERF_SMOKE=1` to run only the smallest case (the CI smoke
-//! invocation).
+//! `CSNAKE_PERF_SMOKE=1` to run the reduced CI set (the smallest case
+//! plus the n=10k case, fewer samples).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -17,9 +23,9 @@ use csnake_core::{CausalDb, StitchIndex};
 
 const SAMPLES: usize = 15;
 
-/// Median of per-call wall-times over `SAMPLES` runs, in nanoseconds.
-fn median_ns<R>(mut f: impl FnMut() -> R) -> u128 {
-    let mut times: Vec<u128> = (0..SAMPLES)
+/// Median of per-call wall-times over `samples` runs, in nanoseconds.
+fn median_ns<R>(samples: usize, mut f: impl FnMut() -> R) -> u128 {
+    let mut times: Vec<u128> = (0..samples.max(1))
         .map(|_| {
             let t = Instant::now();
             std::hint::black_box(f());
@@ -35,6 +41,7 @@ struct Case {
     fanout: u32,
     loop_share: f64,
     with_reference: bool,
+    samples: usize,
 }
 
 fn beam_cfg() -> BeamConfig {
@@ -46,29 +53,45 @@ fn beam_cfg() -> BeamConfig {
 }
 
 fn main() {
+    let smoke = std::env::var_os("CSNAKE_PERF_SMOKE").is_some();
+    let base_samples = if smoke { 3 } else { SAMPLES };
     let mut cases = vec![
         Case {
             n_faults: 120,
             fanout: 3,
             loop_share: 0.0,
             with_reference: true,
+            samples: base_samples,
         },
         Case {
             n_faults: 500,
             fanout: 6,
             loop_share: 0.3,
             with_reference: false,
+            samples: base_samples,
         },
         Case {
             n_faults: 1000,
             fanout: 6,
             loop_share: 0.3,
             with_reference: false,
+            samples: base_samples,
+        },
+        // The large-n case: high fanout over a fault set past 10k, where
+        // shared effect states make the per-worker-cache build re-decide
+        // the same state pairs once per worker.
+        Case {
+            n_faults: 10_000,
+            fanout: 6,
+            loop_share: 0.3,
+            with_reference: false,
+            samples: if smoke { 1 } else { 3 },
         },
     ];
-    let smoke = std::env::var_os("CSNAKE_PERF_SMOKE").is_some();
     if smoke {
-        cases.truncate(1);
+        // Keep the reference-checked small case and the n≥10k case.
+        cases.remove(2);
+        cases.remove(1);
     }
 
     let cfg = beam_cfg();
@@ -93,25 +116,51 @@ fn main() {
             case.loop_share,
             db.len()
         );
+        let samples = case.samples;
 
         // Stage 1: database construction (hash-set dedup + per-cause
         // index). Inputs are cloned outside the timed region so the metric
         // tracks CausalDb::push, not CompatState deep copies.
-        let mut inputs: Vec<Vec<_>> = (0..SAMPLES).map(|_| db.edges().to_vec()).collect();
-        let dedup_ns = median_ns(|| CausalDb::from_edges(inputs.pop().unwrap_or_default()).len());
+        let mut inputs: Vec<Vec<_>> = (0..samples).map(|_| db.edges().to_vec()).collect();
+        let dedup_ns = median_ns(samples, || {
+            CausalDb::from_edges(inputs.pop().unwrap_or_default()).len()
+        });
 
-        // Stage 2: stitch-index compilation (state interning + CSR tables).
-        let index_ns = median_ns(|| StitchIndex::build(&db, cfg.threads).len());
+        // Stage 2: stitch-index compilation — the grouped build with the
+        // shared pair-verdict table, against the retained per-edge
+        // per-worker-cache build on identical inputs.
+        let index_ns = median_ns(samples, || StitchIndex::build(&db, cfg.threads).len());
+        let index_ref_ns = median_ns(samples, || {
+            StitchIndex::build_reference(&db, cfg.threads).len()
+        });
 
-        // Stage 3: the indexed beam search on a prebuilt index.
+        // Stage 3: the indexed beam search on a prebuilt index. The
+        // per-edge-built index must produce byte-identical output.
         let index = StitchIndex::build(&db, cfg.threads);
-        let search_ns = median_ns(|| index.search(&|_| 0.5, &cfg).len());
-        let cycles = index.search(&|_| 0.5, &cfg).len();
+        let search_ns = median_ns(samples, || index.search(&|_| 0.5, &cfg).len());
+        let cycles_found = index.search(&|_| 0.5, &cfg);
+        let reference_index = StitchIndex::build_reference(&db, cfg.threads);
+        assert_eq!(
+            cycles_found,
+            reference_index.search(&|_| 0.5, &cfg),
+            "grouped build diverged from per-edge reference build at n={}",
+            case.n_faults
+        );
+        let cycles = cycles_found.len();
+        let stats = index.compat_stats();
+        eprintln!(
+            "  build: grouped {:.2} ms vs per-edge {:.2} ms ({} edges → {} groups, {} state pairs; search output identical)",
+            index_ns as f64 / 1e6,
+            index_ref_ns as f64 / 1e6,
+            stats.edges,
+            stats.edge_groups,
+            stats.distinct_state_pairs,
+        );
 
         // Reference implementation, where it finishes in sensible time.
         let reference_ns = case
             .with_reference
-            .then(|| median_ns(|| beam_search_reference(&db, &|_| 0.5, &cfg).len()));
+            .then(|| median_ns(samples, || beam_search_reference(&db, &|_| 0.5, &cfg).len()));
 
         writeln!(body, "    {{").unwrap();
         writeln!(body, "      \"n_faults\": {},", case.n_faults).unwrap();
@@ -119,9 +168,48 @@ fn main() {
         writeln!(body, "      \"loop_share\": {},", case.loop_share).unwrap();
         writeln!(body, "      \"edges\": {},", db.len()).unwrap();
         writeln!(body, "      \"cycles_found\": {cycles},").unwrap();
+        writeln!(body, "      \"compat\": {{").unwrap();
+        writeln!(body, "        \"edge_groups\": {},", stats.edge_groups).unwrap();
+        writeln!(
+            body,
+            "        \"distinct_state_pairs\": {},",
+            stats.distinct_state_pairs
+        )
+        .unwrap();
+        writeln!(
+            body,
+            "        \"group_succ_entries\": {},",
+            stats.group_succ_entries
+        )
+        .unwrap();
+        writeln!(
+            body,
+            "        \"edge_succ_entries\": {},",
+            stats.edge_succ_entries
+        )
+        .unwrap();
+        writeln!(
+            body,
+            "        \"group_table_bytes\": {},",
+            stats.group_table_bytes()
+        )
+        .unwrap();
+        writeln!(
+            body,
+            "        \"edge_table_bytes\": {},",
+            stats.edge_table_bytes()
+        )
+        .unwrap();
+        writeln!(
+            body,
+            "        \"search_output\": \"identical_to_per_edge_build\""
+        )
+        .unwrap();
+        writeln!(body, "      }},").unwrap();
         writeln!(body, "      \"stages_ns\": {{").unwrap();
         writeln!(body, "        \"db_push_dedup\": {dedup_ns},").unwrap();
         writeln!(body, "        \"index_build\": {index_ns},").unwrap();
+        writeln!(body, "        \"index_build_per_edge\": {index_ref_ns},").unwrap();
         match reference_ns {
             Some(r) => {
                 writeln!(body, "        \"search\": {search_ns},").unwrap();

@@ -129,6 +129,9 @@ fn main() -> ExitCode {
     let mut cache_misses = 0usize;
     let mut random_planted = 0usize;
     let mut random_detected = 0usize;
+    let mut clustering_peak_vectors = 0usize;
+    let mut clustering_peak_matrix_bytes = 0u64;
+    let mut clustering_peak_sparse_bytes = 0u64;
 
     let t_all = Instant::now();
     for seed in seed_start..seed_start + count {
@@ -172,6 +175,15 @@ fn main() -> ExitCode {
         let t3 = Instant::now();
         let report = session.report().expect("report stage").clone();
         report_ns.push(t3.elapsed().as_nanos());
+
+        // Peak clustering working set across the corpus, from the size
+        // counters the allocate stage emitted through the observer.
+        let snap = progress.snapshot();
+        clustering_peak_vectors = clustering_peak_vectors.max(snap.clustering_peak_vectors);
+        clustering_peak_matrix_bytes =
+            clustering_peak_matrix_bytes.max(snap.clustering_peak_matrix_bytes);
+        clustering_peak_sparse_bytes =
+            clustering_peak_sparse_bytes.max(snap.clustering_peak_sparse_bytes);
 
         // Ground truth comes from the reparsed spec's sidecars.
         let truth = csnake_gen::planted_truth(&spec);
@@ -321,6 +333,19 @@ fn main() -> ExitCode {
     writeln!(
         body,
         "    \"recall\": {random_recall:.4}, \"planted\": {random_planted}, \"detected\": {random_detected}"
+    )
+    .unwrap();
+    writeln!(body, "  }},").unwrap();
+    writeln!(body, "  \"clustering_memory\": {{").unwrap();
+    writeln!(body, "    \"peak_vectors\": {clustering_peak_vectors},").unwrap();
+    writeln!(
+        body,
+        "    \"peak_matrix_bytes_avoided\": {clustering_peak_matrix_bytes},"
+    )
+    .unwrap();
+    writeln!(
+        body,
+        "    \"peak_sparse_graph_bytes\": {clustering_peak_sparse_bytes}"
     )
     .unwrap();
     writeln!(body, "  }},").unwrap();

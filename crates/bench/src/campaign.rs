@@ -19,8 +19,10 @@
 //!   test's fast-reject path), while a hash-selected few triple their
 //!   iteration counts (`S+` edges, structural propagation).
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use csnake_core::idf::{IdfVectorizer, SparseVec};
 use csnake_inject::{
     BoolSource, ExceptionCategory, FaultId, FaultKind, FnId, InjectionPlan, LoopState, Occurrence,
     Registry, RegistryBuilder, RunTrace, TestId,
@@ -267,6 +269,37 @@ impl SyntheticCampaign {
     }
 }
 
+/// Deterministic interference-vector corpus at arbitrary scale, shaped
+/// like a real campaign's §5.2 input: a pool of `max(64, n/32)` distinct
+/// interference "templates" over `max(256, n/8)` dimensions, most vectors
+/// exact template copies (the duplicate mass sparse clustering
+/// pre-groups), ~25% near-duplicates (one mutated dimension — the
+/// sub-threshold merges), and ~2% empty interference lists (zero
+/// vectors). Vectors go through [`IdfVectorizer`] so weights, norms and
+/// stop-word suppression match the campaign pipeline bit-for-bit.
+pub fn synthetic_vectors(n: usize, seed: u64) -> Vec<SparseVec> {
+    let pool = (n / 8).max(256) as u64;
+    let templates = (n / 32).max(64) as u64;
+    let mut docs: Vec<BTreeSet<FaultId>> = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        if mix(&[seed, 20, i]).is_multiple_of(50) {
+            docs.push(BTreeSet::new());
+            continue;
+        }
+        let t = mix(&[seed, 21, i]) % templates;
+        let k = 2 + mix(&[seed, 22, t]) % 5;
+        let mut doc: BTreeSet<FaultId> = (0..k)
+            .map(|j| FaultId((mix(&[seed, 23, t, j]) % pool) as u32))
+            .collect();
+        if mix(&[seed, 24, i]).is_multiple_of(4) {
+            doc.insert(FaultId((mix(&[seed, 25, i]) % pool) as u32));
+        }
+        docs.push(doc);
+    }
+    let idf = IdfVectorizer::fit(&docs);
+    docs.iter().map(|d| idf.vectorize(d)).collect()
+}
+
 /// Smallest stride ≥ `from` coprime to `n`, for the fault spread.
 fn pick_coprime_stride(n: u32, from: u32) -> u32 {
     fn gcd(mut a: u32, mut b: u32) -> u32 {
@@ -313,6 +346,34 @@ mod tests {
         }
         assert!(kinds.len() >= 3, "kinds: {kinds:?}");
         assert_eq!(c.faults().len(), 200);
+    }
+
+    #[test]
+    fn synthetic_vectors_have_the_advertised_shape() {
+        let v = synthetic_vectors(2000, 7);
+        assert_eq!(v.len(), 2000);
+        let zeros = v.iter().filter(|x| x.is_zero()).count();
+        assert!(zeros > 0, "some empty interference lists");
+        assert!(zeros < 200, "zeros stay a small share: {zeros}");
+        // Exact duplicates are common (template copies survive IDF).
+        let distinct: std::collections::BTreeSet<Vec<(u32, u64)>> = v
+            .iter()
+            .map(|x| {
+                x.components()
+                    .iter()
+                    .map(|(f, w)| (f.0, w.to_bits()))
+                    .collect()
+            })
+            .collect();
+        assert!(
+            distinct.len() < v.len() / 2,
+            "duplicate mass expected: {} distinct of {}",
+            distinct.len(),
+            v.len()
+        );
+        // Deterministic.
+        assert_eq!(v, synthetic_vectors(2000, 7));
+        assert_ne!(v, synthetic_vectors(2000, 8));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use csnake_inject::{FaultId, TestId};
 use csnake_sim::SimRng;
 use serde::{Deserialize, Serialize};
 
-use crate::cluster::hierarchical_cluster;
+use crate::cluster::hierarchical_cluster_with_stats;
 use crate::edge::CausalDb;
 use crate::fca::ExperimentOutcome;
 use crate::idf::{cosine_distance, IdfVectorizer, SparseVec};
@@ -345,7 +345,9 @@ pub fn run_three_phase_with(
         .collect();
     let idf1 = IdfVectorizer::fit(&docs);
     let vectors: Vec<SparseVec> = docs.iter().map(|d| idf1.vectorize(d)).collect();
-    let clustering = hierarchical_cluster(&vectors, cfg.cluster_threshold);
+    let (clustering, cluster_stats) =
+        hierarchical_cluster_with_stats(&vectors, cfg.cluster_threshold);
+    observer.clustering(&cluster_stats);
     let mut clusters: Vec<Vec<FaultId>> = vec![Vec::new(); clustering.n_clusters];
     let mut cluster_of: BTreeMap<FaultId, usize> = BTreeMap::new();
     for (i, &f) in faults.iter().enumerate() {

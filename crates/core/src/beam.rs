@@ -57,7 +57,7 @@ impl Default for BeamConfig {
 }
 
 /// A reported cycle: edge indices into the [`CausalDb`], plus its rank score.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Cycle {
     /// Edge indices, in propagation order.
     pub edges: Vec<usize>,

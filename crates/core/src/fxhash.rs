@@ -1,0 +1,83 @@
+//! Crate-internal FxHash-style hashing for hot-path maps.
+//!
+//! The stitch index's interning/dedup maps and the sparse clustering's
+//! duplicate-grouping and adjacency maps all key on short integer
+//! sequences (or values that are already hashes), where SipHash's
+//! per-byte cost dominates profiles. [`FxHasher`] is the rustc-hash mix:
+//! one rotate + xor + multiply per word — fast and deterministic, not
+//! DoS-resistant, which is the right trade for internal data.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-hash multiplier.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style hasher: one rotate + xor + multiply per word.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    pub(crate) hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed through [`FxHasher`].
+pub(crate) type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed through [`FxHasher`].
+pub(crate) type FxSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fx_hasher_distinguishes_words_and_orders() {
+        let h = |words: &[u64]| {
+            let mut hasher = FxHasher::default();
+            for &w in words {
+                hasher.write_u64(w);
+            }
+            hasher.finish()
+        };
+        assert_ne!(h(&[1, 2]), h(&[2, 1]));
+        assert_ne!(h(&[1]), h(&[2]));
+    }
+}

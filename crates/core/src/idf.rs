@@ -12,33 +12,60 @@ use std::collections::{BTreeMap, BTreeSet};
 use csnake_inject::FaultId;
 use serde::{Deserialize, Serialize};
 
-/// A sparse, L2-normalized interference vector.
+/// A sparse, L2-normalized interference vector with its Euclidean norm
+/// cached at construction.
+///
+/// The norm is fixed the moment the vector is built ([`IdfVectorizer::
+/// vectorize`] normalizes, so it stores exactly `1.0` for non-zero
+/// vectors; [`SparseVec::from_weights`] computes it), which keeps
+/// [`SparseVec::norm`] and [`cosine_distance`] free of per-call `O(k)`
+/// norm recomputation — both FCA's similarity scoring and clustering's
+/// candidate generation call them in tight pair loops.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct SparseVec(BTreeMap<FaultId, f64>);
+pub struct SparseVec {
+    components: BTreeMap<FaultId, f64>,
+    norm: f64,
+}
 
 impl SparseVec {
+    /// Builds a vector from raw (un-normalized) weights, caching the norm.
+    /// Zero weights are dropped so `is_zero` stays exact.
+    pub fn from_weights(weights: BTreeMap<FaultId, f64>) -> SparseVec {
+        let mut components = weights;
+        components.retain(|_, w| *w != 0.0);
+        let norm = components.values().map(|v| v * v).sum::<f64>().sqrt();
+        SparseVec { components, norm }
+    }
+
+    /// Internal constructor for vectors already known to be unit-norm.
+    fn unit(components: BTreeMap<FaultId, f64>) -> SparseVec {
+        let norm = if components.is_empty() { 0.0 } else { 1.0 };
+        SparseVec { components, norm }
+    }
+
     /// The raw component map.
     pub fn components(&self) -> &BTreeMap<FaultId, f64> {
-        &self.0
+        &self.components
     }
 
     /// `true` if all components are zero (empty interference).
     pub fn is_zero(&self) -> bool {
-        self.0.is_empty()
+        self.components.is_empty()
     }
 
-    /// Euclidean norm (1.0 for non-zero vectors after normalization).
+    /// Euclidean norm, cached at construction (`1.0` for non-zero vectors
+    /// built by [`IdfVectorizer::vectorize`], which normalizes).
     pub fn norm(&self) -> f64 {
-        self.0.values().map(|v| v * v).sum::<f64>().sqrt()
+        self.norm
     }
 
     /// Dot product with another sparse vector.
     pub fn dot(&self, other: &SparseVec) -> f64 {
         // Iterate over the smaller map.
-        let (small, large) = if self.0.len() <= other.0.len() {
-            (&self.0, &other.0)
+        let (small, large) = if self.components.len() <= other.components.len() {
+            (&self.components, &other.components)
         } else {
-            (&other.0, &self.0)
+            (&other.components, &self.components)
         };
         small
             .iter()
@@ -47,8 +74,9 @@ impl SparseVec {
     }
 }
 
-/// Cosine distance between two normalized sparse vectors, in `[0, 1]`
-/// (all IDF components are non-negative).
+/// Cosine distance between two sparse vectors, in `[0, 1]` (all IDF
+/// components are non-negative). Uses the norms cached at construction —
+/// no per-pair norm recomputation.
 ///
 /// Degenerate cases: two zero vectors are identical (distance 0); a zero
 /// vector against a non-zero one is maximally distant (distance 1).
@@ -56,7 +84,7 @@ pub fn cosine_distance(a: &SparseVec, b: &SparseVec) -> f64 {
     match (a.is_zero(), b.is_zero()) {
         (true, true) => 0.0,
         (true, false) | (false, true) => 1.0,
-        (false, false) => (1.0 - a.dot(b)).clamp(0.0, 1.0),
+        (false, false) => (1.0 - a.dot(b) / (a.norm * b.norm)).clamp(0.0, 1.0),
     }
 }
 
@@ -111,7 +139,9 @@ impl IdfVectorizer {
         } else {
             v.clear();
         }
-        SparseVec(v)
+        // Normalized here, so the cached norm is 1.0 by construction
+        // (0.0 for the empty vector).
+        SparseVec::unit(v)
     }
 }
 
@@ -193,6 +223,20 @@ mod tests {
         let a = m.vectorize(&set(&[1, 2, 3]));
         let b = m.vectorize(&set(&[2, 4]));
         assert!((cosine_distance(&a, &b) - cosine_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_is_cached_at_construction() {
+        let v = SparseVec::from_weights([(f(1), 3.0), (f(2), 4.0)].into_iter().collect());
+        assert_eq!(v.norm(), 5.0);
+        // Zero weights are dropped so `is_zero` stays exact.
+        let z = SparseVec::from_weights([(f(1), 0.0)].into_iter().collect());
+        assert!(z.is_zero());
+        assert_eq!(z.norm(), 0.0);
+        // Cosine over un-normalized vectors divides by the cached norms.
+        let a = SparseVec::from_weights([(f(1), 2.0)].into_iter().collect());
+        let b = SparseVec::from_weights([(f(1), 7.0)].into_iter().collect());
+        assert!(cosine_distance(&a, &b).abs() < 1e-12);
     }
 
     #[test]

@@ -61,8 +61,9 @@
 //!   clustering of causally-equivalent faults, round-robin exploration, and
 //!   conditional-causality-guided extension under a `4·|F|` test budget.
 //! * [`cluster`] — **phase-one hierarchical clustering** (§5.2):
-//!   average-linkage agglomeration over cosine distance, run as a
-//!   nearest-neighbor chain over a cached distance matrix.
+//!   average-linkage agglomeration over cosine distance, run over a
+//!   sparse candidate graph (inverted index over vector dimensions plus
+//!   exact-duplicate pre-grouping) — no pairwise matrix.
 //! * [`compat`] — the **local compatibility check** (§6.2): 2-level call
 //!   stacks + local branch traces approximate path-condition satisfiability.
 //!   Occurrence lists are stored sorted by signature, so the check is a
@@ -109,10 +110,19 @@
 //!   `(fault, test)` picks *before* running them (picks never depend on
 //!   outcomes within a phase), so [`Driver`] fans every phase batch out on
 //!   the shared [`pool`] with deterministic, batch-ordered results.
-//! * **Phase-one clustering** — [`cluster::hierarchical_cluster`] is a
-//!   nearest-neighbor chain over a cached `O(n²)` distance matrix
-//!   (Lance–Williams average linkage): `O(n²)` total versus the retained
-//!   `O(n³)` greedy rescan, with identical dendrogram cuts.
+//! * **Phase-one clustering** — [`cluster::hierarchical_cluster`]
+//!   collapses exact-duplicate vectors, generates candidate pairs from an
+//!   inverted index over nonzero dimensions (pairs sharing no dimension
+//!   sit at cosine distance exactly 1 and can never merge below a
+//!   threshold ≤ 1), and agglomerates over that sparse graph with a
+//!   lazy-deletion heap (Lance–Williams average linkage): `O(n + E)`
+//!   memory and near-linear time on deduplicated sparse campaign data,
+//!   versus the retained `O(n³)`-time, `O(n²)`-memory greedy rescan —
+//!   with identical dendrogram cuts.
+//!   [`cluster::hierarchical_cluster_with_stats`] additionally reports
+//!   the realized group/edge counts and the matrix bytes *not* allocated,
+//!   surfaced through [`CampaignObserver::clustering`] and the BENCH
+//!   artifacts.
 //!
 //! `cargo run --release -p csnake-bench --bin campaign_perf` regenerates
 //! `BENCH_campaign.json` (stage medians; ≥5× vs the reference FCA path on
@@ -124,9 +134,14 @@
 //! width `F` (≤ beam size `B`) and mean compatible fanout `d`:
 //!
 //! * **Index build** — canonicalise + intern all states in `O(n·k log k)`;
-//!   successor tables via per-pair merge checks, each distinct state pair
-//!   checked once (`O(k)` merge, cached), `O(Σ_f in(f)·out(f))` pair
-//!   lookups total, parallelised over edge chunks.
+//!   edges grouped by (effect fault, effect state) so one successor list
+//!   is stored per group, and the §6.2 verdicts are computed exactly once
+//!   per distinct state pair in a shared table sharded over the workers
+//!   (`O(q)` merges of `O(k)` each, no per-worker duplication); list
+//!   assembly is `O(Σ_g out(f_g))` integer filtering.
+//!   [`StitchIndex::build_reference`] retains the per-edge,
+//!   per-worker-cache build; `tests/stitch_shared_cache.rs` proves the
+//!   two byte-identical across thread counts.
 //! * **Per search level** — expansion is `O(F·d)` integer work (arena
 //!   membership walk ≤ `max_len`, O(1) chain extension, rolling 128-bit
 //!   structural hash); frontier dedup is hash-set insertion per candidate;
@@ -144,6 +159,7 @@ pub mod driver;
 pub mod edge;
 pub mod error;
 pub mod fca;
+pub(crate) mod fxhash;
 pub mod idf;
 pub mod observer;
 pub mod pool;
@@ -164,7 +180,10 @@ pub use alloc::{
 pub use beam::{
     beam_search, beam_search_reference, cluster_cycles, BeamConfig, Cycle, CycleCluster,
 };
-pub use cluster::{hierarchical_cluster, hierarchical_cluster_reference, Clustering};
+pub use cluster::{
+    hierarchical_cluster, hierarchical_cluster_reference, hierarchical_cluster_with_stats,
+    verify_cut_quality, ClusterStats, Clustering,
+};
 pub use compat::compatible;
 pub use driver::{Driver, DriverConfig};
 pub use edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
@@ -179,7 +198,7 @@ pub use report::{
 };
 pub use session::{CampaignOutcome, Profiled, Session, SessionBuilder, Stage, StitchedCycles};
 pub use snapshot::{registry_fingerprint, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-pub use stitch::StitchIndex;
+pub use stitch::{CompatStats, StitchIndex};
 pub use target::{KnownBug, TargetSystem, TestCase};
 
 /// Configuration of a full detection campaign.

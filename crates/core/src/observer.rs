@@ -18,6 +18,7 @@
 //! | [`cycle_found`] | the stitcher reported a deduplicated cycle |
 //! | [`budget_spent`] | the allocation strategy's spent/total counters moved |
 //! | [`trace_cache`] | the driver's injection-run cache counters, after a campaign |
+//! | [`clustering`] | the phase-one clustering ran (size counters, §5.2) |
 //!
 //! [`stage_started`]: CampaignObserver::stage_started
 //! [`stage_finished`]: CampaignObserver::stage_finished
@@ -28,10 +29,12 @@
 //! [`cycle_found`]: CampaignObserver::cycle_found
 //! [`budget_spent`]: CampaignObserver::budget_spent
 //! [`trace_cache`]: CampaignObserver::trace_cache
+//! [`clustering`]: CampaignObserver::clustering
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::beam::Cycle;
+use crate::cluster::ClusterStats;
 use crate::edge::CausalEdge;
 use crate::fca::ExperimentOutcome;
 use crate::session::Stage;
@@ -92,6 +95,14 @@ pub trait CampaignObserver: Send + Sync {
     fn trace_cache(&self, hits: usize, misses: usize) {
         let _ = (hits, misses);
     }
+
+    /// The phase-one clustering ran; `stats` carries the sparse-run size
+    /// counters (vectors, duplicate groups, candidate edges, and the
+    /// matrix-vs-sparse-graph byte comparison). Emitted once per
+    /// allocation stage, after the cluster cut.
+    fn clustering(&self, stats: &ClusterStats) {
+        let _ = stats;
+    }
 }
 
 /// The default observer: ignores every event.
@@ -122,6 +133,14 @@ pub struct ProgressSnapshot {
     pub trace_cache_hits: usize,
     /// Injection-run cache misses (last seen value).
     pub trace_cache_misses: usize,
+    /// Largest vector count any clustering run saw.
+    pub clustering_peak_vectors: usize,
+    /// Peak `8·n²` bytes a dense distance matrix would have needed
+    /// (what the sparse formulation avoids allocating).
+    pub clustering_peak_matrix_bytes: u64,
+    /// Peak sparse-graph working-set bytes actually implied by the run
+    /// counts (see [`crate::ClusterStats::sparse_graph_bytes`]).
+    pub clustering_peak_sparse_bytes: u64,
 }
 
 /// The bundled metrics observer: counts events with atomics so a monitoring
@@ -137,6 +156,9 @@ pub struct ProgressCollector {
     budget_total: AtomicUsize,
     trace_cache_hits: AtomicUsize,
     trace_cache_misses: AtomicUsize,
+    clustering_peak_vectors: AtomicUsize,
+    clustering_peak_matrix_bytes: AtomicU64,
+    clustering_peak_sparse_bytes: AtomicU64,
 }
 
 impl ProgressCollector {
@@ -157,6 +179,9 @@ impl ProgressCollector {
             budget_total: self.budget_total.load(Ordering::Relaxed),
             trace_cache_hits: self.trace_cache_hits.load(Ordering::Relaxed),
             trace_cache_misses: self.trace_cache_misses.load(Ordering::Relaxed),
+            clustering_peak_vectors: self.clustering_peak_vectors.load(Ordering::Relaxed),
+            clustering_peak_matrix_bytes: self.clustering_peak_matrix_bytes.load(Ordering::Relaxed),
+            clustering_peak_sparse_bytes: self.clustering_peak_sparse_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -190,6 +215,15 @@ impl CampaignObserver for ProgressCollector {
     fn trace_cache(&self, hits: usize, misses: usize) {
         self.trace_cache_hits.store(hits, Ordering::Relaxed);
         self.trace_cache_misses.store(misses, Ordering::Relaxed);
+    }
+
+    fn clustering(&self, stats: &ClusterStats) {
+        self.clustering_peak_vectors
+            .fetch_max(stats.vectors, Ordering::Relaxed);
+        self.clustering_peak_matrix_bytes
+            .fetch_max(stats.matrix_bytes, Ordering::Relaxed);
+        self.clustering_peak_sparse_bytes
+            .fetch_max(stats.sparse_graph_bytes, Ordering::Relaxed);
     }
 }
 
@@ -247,5 +281,27 @@ mod tests {
         assert_eq!(s.cycles, 1);
         assert_eq!(s.budget_spent, 7);
         assert_eq!(s.budget_total, 24);
+    }
+
+    #[test]
+    fn progress_collector_tracks_clustering_peaks() {
+        let c = ProgressCollector::new();
+        c.clustering(&ClusterStats {
+            vectors: 100,
+            matrix_bytes: 80_000,
+            sparse_graph_bytes: 5_000,
+            ..ClusterStats::default()
+        });
+        // A smaller later run must not lower the peaks.
+        c.clustering(&ClusterStats {
+            vectors: 10,
+            matrix_bytes: 800,
+            sparse_graph_bytes: 50,
+            ..ClusterStats::default()
+        });
+        let s = c.snapshot();
+        assert_eq!(s.clustering_peak_vectors, 100);
+        assert_eq!(s.clustering_peak_matrix_bytes, 80_000);
+        assert_eq!(s.clustering_peak_sparse_bytes, 5_000);
     }
 }

@@ -137,6 +137,21 @@ pub fn hardware_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |p| p.get())
 }
 
+/// Splits `0..n` into at most `parts` contiguous, non-empty, near-equal
+/// ranges — the standard chunking for ordered parallel fan-out (stitch
+/// index build, pair-verdict sharding). Covers `0..n` exactly, in order.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let size = n.div_ceil(parts);
+    (0..parts)
+        .map(|p| (p * size).min(n)..((p + 1) * size).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
 /// One-shot ordered parallel map: runs `work` over `jobs` on up to
 /// `threads` workers (capped at the hardware parallelism and the job
 /// count) and returns results in job order. Falls back to a plain
@@ -230,6 +245,23 @@ mod tests {
         let payload = result.expect_err("panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert!(msg.contains("exploded"), "unexpected payload: {msg:?}");
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_in_order() {
+        for n in [0usize, 1, 2, 7, 64, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(n, parts);
+                assert!(ranges.len() <= parts.max(1));
+                let mut covered = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, covered, "contiguous in order");
+                    assert!(!r.is_empty());
+                    covered = r.end;
+                }
+                assert_eq!(covered, n, "n={n} parts={parts}");
+            }
+        }
     }
 
     #[test]

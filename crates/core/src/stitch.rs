@@ -11,11 +11,25 @@
 //! * **State interning** — every distinct [`CompatState`] is canonicalised
 //!   (occurrence signatures sorted + deduped, loop stacks/iteration
 //!   signatures flattened to sorted `u64` vectors) and interned; the §6.2
-//!   check becomes a linear merge intersection over sorted slices, computed
-//!   at most once per distinct state pair and cached.
-//! * **CSR successor tables** — the full `matches_under` relation is
-//!   precomputed (in parallel) into a compressed-sparse-row table
-//!   `succ(edge) -> &[edge]`, plus a separate identity-only table (grouping
+//!   check becomes a linear merge intersection over sorted slices.
+//! * **Edge grouping + shared pair-verdict table** — an edge's successor
+//!   list depends only on its *(effect fault, effect state)* pair, so
+//!   edges are grouped by that key and one successor list is computed and
+//!   stored **per group**, not per edge. The §6.2 verdicts the lists need
+//!   are themselves deduplicated globally: every distinct
+//!   *(effect-state, cause-state)* pair is collected once, the verdict
+//!   merges run once per pair in parallel shards, and all group-list
+//!   builders read the one shared verdict table. Earlier revisions gave
+//!   each build worker a private cache, so a pair straddling `w` workers
+//!   was re-decided `w` times and every edge carried its own successor
+//!   list; on high-fanout graphs (many edges into the same effect state)
+//!   both the duplicate merges and the duplicated lists dominated build
+//!   cost. [`StitchIndex::build_reference`] retains the per-edge,
+//!   per-worker-cache build as the executable specification, and
+//!   [`StitchIndex::compat_stats`] reports the realized dedup ratios.
+//! * **CSR successor tables** — the group successor lists live in one
+//!   compressed-sparse-row table `succ(group) -> &[edge]` (edges reach it
+//!   through `edge_group`), plus a separate identity-only table (grouping
 //!   edges by cause fault) for the `compatibility_check: false` ablation.
 //! * **Flat weight arrays** — per-edge delay weights and structural triples
 //!   live in flat arrays; per-edge SimScores are materialised once per
@@ -41,15 +55,20 @@
 //! The search is observably equivalent to
 //! [`beam_search_reference`](crate::beam::beam_search_reference) — same
 //! cycles, same scores, same order — which `tests/beam_equivalence.rs`
-//! checks on hundreds of randomised databases. Complexity: index build is
-//! `O(Σ_f in(f)·out(f))` pair checks in the worst case, but each distinct
-//! state pair is checked once (cached) with an `O(s)` merge instead of the
-//! old `O(s²)` scan; per level the search does `O(frontier · fanout)`
-//! integer work plus an `O(n)` selection, instead of the old
-//! `O(n log n)` sort + `O(len)` clone + `O(s²)` compatibility per
-//! candidate.
+//! checks on hundreds of randomised databases, and the grouped build is
+//! byte-identical to the retained per-edge reference build
+//! (`tests/stitch_shared_cache.rs`, across thread counts). Complexity:
+//! with `n` edges, `g ≤ n` distinct (effect fault, effect state) groups
+//! and `q` distinct state pairs, the build canonicalises + interns in
+//! `O(n·k log k)`, runs exactly `q` verdict merges (each `O(k)`, sharded
+//! over workers with no duplicated work), and assembles `g` successor
+//! lists — `O(Σ_g out(f_g))` integer filtering — instead of `n` lists
+//! with up to `w·q` merges. Per level the search does
+//! `O(frontier · fanout)` integer work plus an `O(n)` selection, instead
+//! of the old `O(n log n)` sort + `O(len)` clone + `O(s²)` compatibility
+//! per candidate.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::ops::Range;
 use std::sync::RwLock;
@@ -58,7 +77,8 @@ use csnake_inject::FaultId;
 
 use crate::beam::{finalize_cycles, BeamConfig, Cycle, RawChain};
 use crate::edge::{CausalDb, CompatState, EdgeKind};
-use crate::pool::ScopedPool;
+use crate::fxhash::{FxHasher, FxMap};
+use crate::pool::{chunk_ranges, run_ordered, ScopedPool};
 
 /// Sentinel for "no parent" in the chain arena.
 const NONE: u32 = u32::MAX;
@@ -71,63 +91,9 @@ type Expansion = (Vec<Candidate>, Vec<CycleRef>);
 /// worker pool costs more than the expansion itself.
 const PARALLEL_THRESHOLD: usize = 2048;
 
-// ---------------------------------------------------------------------------
-// Fast hashing (FxHash-style) for the intern / cache / dedup maps
-// ---------------------------------------------------------------------------
-
-/// The rustc-hash multiplier.
-const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-/// FxHash-style hasher: one rotate + xor + multiply per word. The interning
-/// and dedup maps are on the build/search hot paths, where SipHash's
-/// per-byte cost dominates profile; keys here are either already hashes or
-/// short integer sequences, so a fast non-DoS-resistant mix is the right
-/// trade.
-#[derive(Default)]
-struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for chunk in bytes.chunks(8) {
-            let mut buf = [0u8; 8];
-            buf[..chunk.len()].copy_from_slice(chunk);
-            self.add(u64::from_le_bytes(buf));
-        }
-    }
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.add(v as u64);
-    }
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.add(v);
-    }
-    #[inline]
-    fn write_u128(&mut self, v: u128) {
-        self.add(v as u64);
-        self.add((v >> 64) as u64);
-    }
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.add(v as u64);
-    }
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-}
-
-type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// Databases below this edge count build sequentially: worker hand-off
+/// costs more than the build itself.
+const PARALLEL_BUILD_THRESHOLD: usize = 4096;
 
 /// Pass-through hasher for keys that are already high-quality hashes
 /// (the 128-bit structural chain keys): folding the halves beats
@@ -271,6 +237,43 @@ impl Hash128 {
 // The index
 // ---------------------------------------------------------------------------
 
+/// Size counters of one index build, for tracking the shared-cache /
+/// grouping story in benchmark artifacts (all counts, no allocation
+/// probes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompatStats {
+    /// Indexed edges.
+    pub edges: usize,
+    /// Distinct (effect fault, effect state) edge groups — the number of
+    /// successor lists actually stored. The reference build stores one
+    /// per edge.
+    pub edge_groups: usize,
+    /// Distinct (effect-state, cause-state) pairs whose §6.2 verdict was
+    /// computed — each exactly once, in the shared table. Zero for
+    /// [`StitchIndex::build_reference`], whose per-worker caches do not
+    /// track a global count.
+    pub distinct_state_pairs: usize,
+    /// Entries in the group-level successor CSR.
+    pub group_succ_entries: usize,
+    /// Entries a per-edge successor CSR would hold (`Σ_e |succ(e)|`) —
+    /// the memory the grouping avoids.
+    pub edge_succ_entries: u64,
+}
+
+impl CompatStats {
+    /// Approximate bytes of the stored group-level successor table
+    /// (targets + offsets + the per-edge group map).
+    pub fn group_table_bytes(&self) -> u64 {
+        4 * (self.group_succ_entries as u64 + self.edge_groups as u64 + 1 + self.edges as u64)
+    }
+
+    /// Approximate bytes the per-edge successor table would need
+    /// (targets + offsets).
+    pub fn edge_table_bytes(&self) -> u64 {
+        4 * (self.edge_succ_entries + self.edges as u64 + 1)
+    }
+}
+
 /// The immutable, prepared search index compiled once from a [`CausalDb`].
 ///
 /// Holds flat per-edge arrays and both successor tables
@@ -297,10 +300,110 @@ pub struct StitchIndex {
     fault_out_off: Vec<u32>,
     /// CSR targets for `fault_out_off` (edge indices, ascending per fault).
     fault_out: Vec<u32>,
-    /// CSR offsets of the compatibility-checked successor table.
-    succ_off: Vec<u32>,
-    /// CSR targets: `succ(i)` = edges that §6.2-continue edge `i`.
-    succ: Vec<u32>,
+    /// Successor-list group of each edge: its (effect fault, effect state)
+    /// class. The reference build uses the identity map.
+    edge_group: Vec<u32>,
+    /// CSR offsets of the group-level compatibility successor table.
+    group_succ_off: Vec<u32>,
+    /// CSR targets: `group_succ(edge_group[i])` = edges that §6.2-continue
+    /// edge `i` (ascending edge order per group).
+    group_succ: Vec<u32>,
+    /// Build-size counters (see [`CompatStats`]).
+    stats: CompatStats,
+}
+
+/// The per-edge flat arrays and interning tables both builds share.
+struct BuildPrelude {
+    cause: Vec<FaultId>,
+    effect: Vec<FaultId>,
+    kind: Vec<EdgeKind>,
+    delay_w: Vec<u8>,
+    struct_word: Vec<(u64, u64)>,
+    cause_dense: Vec<u32>,
+    effect_dense: Vec<u32>,
+    fault_out_off: Vec<u32>,
+    fault_out: Vec<u32>,
+    effect_sid: Vec<u32>,
+    cause_sid: Vec<u32>,
+    canon_states: Vec<CanonState>,
+}
+
+fn build_prelude(db: &CausalDb) -> BuildPrelude {
+    let n = db.len();
+    assert!(n < NONE as usize, "edge count exceeds u32 index space");
+    let mut cause = Vec::with_capacity(n);
+    let mut effect = Vec::with_capacity(n);
+    let mut kind = Vec::with_capacity(n);
+    let mut delay_w = Vec::with_capacity(n);
+    let mut struct_word = Vec::with_capacity(n);
+    for e in db.edges() {
+        cause.push(e.cause);
+        effect.push(e.effect);
+        kind.push(e.kind);
+        delay_w.push(u8::from(e.kind.is_injection() && e.kind.cause_is_delay()));
+        struct_word.push(Hash128::edge_words(e.cause, e.effect, e.kind));
+    }
+
+    // Dense fault interning (order of first appearance).
+    let mut fault_ids: FxMap<FaultId, u32> = FxMap::default();
+    let dense = |f: FaultId, ids: &mut FxMap<FaultId, u32>| -> u32 {
+        let next = ids.len() as u32;
+        *ids.entry(f).or_insert(next)
+    };
+    let cause_dense: Vec<u32> = cause.iter().map(|&f| dense(f, &mut fault_ids)).collect();
+    let effect_dense: Vec<u32> = effect.iter().map(|&f| dense(f, &mut fault_ids)).collect();
+    let n_faults = fault_ids.len();
+
+    // Identity table: counting-sort edges by dense cause fault. Edge
+    // order within a fault stays ascending, matching
+    // `CausalDb::edges_from`.
+    let mut fault_out_off = vec![0u32; n_faults + 1];
+    for &c in &cause_dense {
+        fault_out_off[c as usize + 1] += 1;
+    }
+    for i in 0..n_faults {
+        fault_out_off[i + 1] += fault_out_off[i];
+    }
+    let mut cursor = fault_out_off.clone();
+    let mut fault_out = vec![0u32; n];
+    for (i, &c) in cause_dense.iter().enumerate() {
+        fault_out[cursor[c as usize] as usize] = i as u32;
+        cursor[c as usize] += 1;
+    }
+
+    // State interning: one canonical state per distinct CompatState.
+    let mut canon_ids: FxMap<CanonState, u32> = FxMap::default();
+    let mut canon_states: Vec<CanonState> = Vec::new();
+    let mut intern = |s: &CompatState| -> u32 {
+        use std::collections::hash_map::Entry;
+        let c = canonicalize(s);
+        match canon_ids.entry(c) {
+            Entry::Occupied(o) => *o.get(),
+            Entry::Vacant(v) => {
+                let id = canon_states.len() as u32;
+                canon_states.push(v.key().clone());
+                v.insert(id);
+                id
+            }
+        }
+    };
+    let effect_sid: Vec<u32> = db.edges().iter().map(|e| intern(&e.effect_state)).collect();
+    let cause_sid: Vec<u32> = db.edges().iter().map(|e| intern(&e.cause_state)).collect();
+
+    BuildPrelude {
+        cause,
+        effect,
+        kind,
+        delay_w,
+        struct_word,
+        cause_dense,
+        effect_dense,
+        fault_out_off,
+        fault_out,
+        effect_sid,
+        cause_sid,
+        canon_states,
+    }
 }
 
 impl StitchIndex {
@@ -314,10 +417,19 @@ impl StitchIndex {
         self.cause.is_empty()
     }
 
-    /// Compatibility-checked successors of edge `i`.
+    /// Build-size counters: edge-group and state-pair dedup ratios, stored
+    /// vs avoided successor-table entries.
+    pub fn compat_stats(&self) -> CompatStats {
+        self.stats
+    }
+
+    /// Compatibility-checked successors of edge `i` (ascending edge
+    /// order). Shared by every edge in `i`'s (effect fault, effect state)
+    /// group.
     #[inline]
     pub fn successors(&self, i: u32) -> &[u32] {
-        &self.succ[self.succ_off[i as usize] as usize..self.succ_off[i as usize + 1] as usize]
+        let g = self.edge_group[i as usize] as usize;
+        &self.group_succ[self.group_succ_off[g] as usize..self.group_succ_off[g + 1] as usize]
     }
 
     /// Identity-only successors of edge `i` (the ablation table).
@@ -357,84 +469,179 @@ impl StitchIndex {
         }
     }
 
-    /// Builds the index from a database, precomputing both successor
-    /// tables with `threads` workers.
+    /// Builds the index from a database with `threads` workers.
+    ///
+    /// Successor lists are computed once per (effect fault, effect state)
+    /// *group*, and the §6.2 verdicts they consume are computed once per
+    /// distinct (effect-state, cause-state) pair in a shared table
+    /// sharded across the workers — see the module docs. Byte-identical
+    /// to [`StitchIndex::build_reference`] at any thread count.
     pub fn build(db: &CausalDb, threads: usize) -> StitchIndex {
-        let n = db.len();
-        assert!(n < NONE as usize, "edge count exceeds u32 index space");
-        let mut cause = Vec::with_capacity(n);
-        let mut effect = Vec::with_capacity(n);
-        let mut kind = Vec::with_capacity(n);
-        let mut delay_w = Vec::with_capacity(n);
-        let mut struct_word = Vec::with_capacity(n);
-        for e in db.edges() {
-            cause.push(e.cause);
-            effect.push(e.effect);
-            kind.push(e.kind);
-            delay_w.push(u8::from(e.kind.is_injection() && e.kind.cause_is_delay()));
-            struct_word.push(Hash128::edge_words(e.cause, e.effect, e.kind));
-        }
-
-        // Dense fault interning (order of first appearance).
-        let mut fault_ids: FxMap<FaultId, u32> = FxMap::default();
-        let dense = |f: FaultId, ids: &mut FxMap<FaultId, u32>| -> u32 {
-            let next = ids.len() as u32;
-            *ids.entry(f).or_insert(next)
-        };
-        let cause_dense: Vec<u32> = cause.iter().map(|&f| dense(f, &mut fault_ids)).collect();
-        let effect_dense: Vec<u32> = effect.iter().map(|&f| dense(f, &mut fault_ids)).collect();
-        let n_faults = fault_ids.len();
-
-        // Identity table: counting-sort edges by dense cause fault. Edge
-        // order within a fault stays ascending, matching
-        // `CausalDb::edges_from`.
-        let mut fault_out_off = vec![0u32; n_faults + 1];
-        for &c in &cause_dense {
-            fault_out_off[c as usize + 1] += 1;
-        }
-        for i in 0..n_faults {
-            fault_out_off[i + 1] += fault_out_off[i];
-        }
-        let mut cursor = fault_out_off.clone();
-        let mut fault_out = vec![0u32; n];
-        for (i, &c) in cause_dense.iter().enumerate() {
-            fault_out[cursor[c as usize] as usize] = i as u32;
-            cursor[c as usize] += 1;
-        }
-
-        // State interning: one canonical state per distinct CompatState.
-        let mut canon_ids: FxMap<CanonState, u32> = FxMap::default();
-        let mut canon_states: Vec<CanonState> = Vec::new();
-        let mut intern = |s: &CompatState| -> u32 {
-            use std::collections::hash_map::Entry;
-            let c = canonicalize(s);
-            match canon_ids.entry(c) {
-                Entry::Occupied(o) => *o.get(),
-                Entry::Vacant(v) => {
-                    let id = canon_states.len() as u32;
-                    canon_states.push(v.key().clone());
-                    v.insert(id);
-                    id
-                }
+        let p = build_prelude(db);
+        let n = p.cause.len();
+        let threads = threads.max(1).min(crate::pool::hardware_threads());
+        let parts = |items: usize| {
+            if threads <= 1 || n < PARALLEL_BUILD_THRESHOLD {
+                1
+            } else {
+                threads.min(items.max(1))
             }
         };
-        let effect_sid: Vec<u32> = db.edges().iter().map(|e| intern(&e.effect_state)).collect();
-        let cause_sid: Vec<u32> = db.edges().iter().map(|e| intern(&e.cause_state)).collect();
 
-        // Compatibility successor table, built in parallel over edge
-        // chunks. Each worker caches distinct (effect-state, cause-state)
-        // pair verdicts so the merge intersection runs once per pair.
-        let build_range = |range: std::ops::Range<usize>| -> Vec<Vec<u32>> {
+        // Group edges by (effect fault, effect state): same key ⇒ same
+        // candidate set and same verdicts ⇒ identical successor list.
+        // Group ids follow first-seen edge order.
+        let mut group_ids: FxMap<u64, u32> = FxMap::default();
+        let mut edge_group: Vec<u32> = Vec::with_capacity(n);
+        let mut group_rep: Vec<u32> = Vec::new();
+        let mut group_members: Vec<u32> = Vec::new();
+        for i in 0..n {
+            let key = (p.effect_dense[i] as u64) << 32 | p.effect_sid[i] as u64;
+            let next = group_rep.len() as u32;
+            let gid = *group_ids.entry(key).or_insert(next);
+            if gid == next {
+                group_rep.push(i as u32);
+                group_members.push(1);
+            } else {
+                group_members[gid as usize] += 1;
+            }
+            edge_group.push(gid);
+        }
+        drop(group_ids);
+        let g = group_rep.len();
+
+        // The shared compat table: every distinct (effect-state,
+        // cause-state) pair any group can reach, collected once.
+        let mut pair_ids: FxMap<u64, u32> = FxMap::default();
+        let mut pair_list: Vec<(u32, u32)> = Vec::new();
+        for &r in &group_rep {
+            let f = p.effect_dense[r as usize] as usize;
+            let si = p.effect_sid[r as usize];
+            for &j in &p.fault_out[p.fault_out_off[f] as usize..p.fault_out_off[f + 1] as usize] {
+                let sj = p.cause_sid[j as usize];
+                let key = (si as u64) << 32 | sj as u64;
+                let next = pair_list.len() as u32;
+                if *pair_ids.entry(key).or_insert(next) == next {
+                    pair_list.push((si, sj));
+                }
+            }
+        }
+
+        // Verdicts: exactly one §6.2 merge per distinct pair, sharded
+        // over the workers (each shard owns a disjoint slice — no
+        // duplicated merges, no locking).
+        let canon_states = &p.canon_states;
+        let verdicts: Vec<bool> = run_ordered(
+            chunk_ranges(pair_list.len(), parts(pair_list.len())),
+            threads,
+            |r: Range<usize>| {
+                pair_list[r]
+                    .iter()
+                    .map(|&(si, sj)| {
+                        canon_compatible(&canon_states[si as usize], &canon_states[sj as usize])
+                    })
+                    .collect::<Vec<bool>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
+
+        // Group successor lists, filtered through the shared verdict
+        // table (read-only from here). Candidate order is ascending, so
+        // lists stay sorted for `continues`'s binary search.
+        let pair_ids = &pair_ids;
+        let verdicts = &verdicts;
+        let pref = &p;
+        let group_rep_ref = &group_rep;
+        let per_group: Vec<Vec<u32>> =
+            run_ordered(chunk_ranges(g, parts(g)), threads, |range: Range<usize>| {
+                let mut lists = Vec::with_capacity(range.len());
+                for gid in range {
+                    let r = group_rep_ref[gid] as usize;
+                    let f = pref.effect_dense[r] as usize;
+                    let si = pref.effect_sid[r];
+                    let candidates = &pref.fault_out
+                        [pref.fault_out_off[f] as usize..pref.fault_out_off[f + 1] as usize];
+                    let list: Vec<u32> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&j| {
+                            let sj = pref.cause_sid[j as usize];
+                            verdicts[pair_ids[&((si as u64) << 32 | sj as u64)] as usize]
+                        })
+                        .collect();
+                    lists.push(list);
+                }
+                lists
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
+        let mut group_succ_off = Vec::with_capacity(g + 1);
+        group_succ_off.push(0u32);
+        let total: usize = per_group.iter().map(|l| l.len()).sum();
+        assert!(
+            total < u32::MAX as usize,
+            "successor table exceeds u32 offset space ({total} entries)"
+        );
+        let mut group_succ = Vec::with_capacity(total);
+        for list in &per_group {
+            group_succ.extend_from_slice(list);
+            group_succ_off.push(group_succ.len() as u32);
+        }
+        let edge_succ_entries: u64 = per_group
+            .iter()
+            .zip(&group_members)
+            .map(|(l, &m)| l.len() as u64 * m as u64)
+            .sum();
+        let stats = CompatStats {
+            edges: n,
+            edge_groups: g,
+            distinct_state_pairs: pair_list.len(),
+            group_succ_entries: total,
+            edge_succ_entries,
+        };
+
+        StitchIndex {
+            cause: p.cause,
+            effect: p.effect,
+            kind: p.kind,
+            delay_w: p.delay_w,
+            struct_word: p.struct_word,
+            cause_dense: p.cause_dense,
+            effect_dense: p.effect_dense,
+            fault_out_off: p.fault_out_off,
+            fault_out: p.fault_out,
+            edge_group,
+            group_succ_off,
+            group_succ,
+            stats,
+        }
+    }
+
+    /// The retained per-edge build — the executable specification of
+    /// [`StitchIndex::build`]: one successor list per edge, computed in
+    /// parallel over edge chunks with a **private** verdict cache per
+    /// worker (the pre-shared-table formulation). `O(w·q)` merges worst
+    /// case across `w` workers; kept for the byte-identity tests and as
+    /// the baseline the BENCH artifacts compare against.
+    pub fn build_reference(db: &CausalDb, threads: usize) -> StitchIndex {
+        let p = build_prelude(db);
+        let n = p.cause.len();
+        let canon_states = &p.canon_states;
+        let build_range = |range: Range<usize>| -> Vec<Vec<u32>> {
             let mut cache: FxMap<u64, bool> = FxMap::default();
             let mut lists = Vec::with_capacity(range.len());
             for i in range {
-                let f = effect_dense[i] as usize;
+                let f = p.effect_dense[i] as usize;
                 let candidates =
-                    &fault_out[fault_out_off[f] as usize..fault_out_off[f + 1] as usize];
-                let si = effect_sid[i];
+                    &p.fault_out[p.fault_out_off[f] as usize..p.fault_out_off[f + 1] as usize];
+                let si = p.effect_sid[i];
                 let mut list = Vec::new();
                 for &j in candidates {
-                    let sj = cause_sid[j as usize];
+                    let sj = p.cause_sid[j as usize];
                     let ok = *cache
                         .entry((si as u64) << 32 | sj as u64)
                         .or_insert_with(|| {
@@ -448,27 +655,14 @@ impl StitchIndex {
             }
             lists
         };
-        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
-        let threads = threads.max(1).min(n.max(1)).min(hw);
-        let per_edge: Vec<Vec<u32>> = if threads <= 1 || n < 4096 {
+        let threads = threads.max(1).min(crate::pool::hardware_threads());
+        let per_edge: Vec<Vec<u32>> = if threads <= 1 || n < PARALLEL_BUILD_THRESHOLD {
             build_range(0..n)
         } else {
-            let chunk = n.div_ceil(threads);
-            let ranges: Vec<_> = (0..threads)
-                .map(|t| (t * chunk).min(n)..((t + 1) * chunk).min(n))
-                .filter(|r| !r.is_empty())
-                .collect();
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = ranges
-                    .into_iter()
-                    .map(|r| scope.spawn(|| build_range(r)))
-                    .collect();
-                let mut all = Vec::with_capacity(n);
-                for h in handles {
-                    all.extend(h.join().expect("index build worker"));
-                }
-                all
-            })
+            run_ordered(chunk_ranges(n, threads), threads, build_range)
+                .into_iter()
+                .flatten()
+                .collect()
         };
         let mut succ_off = Vec::with_capacity(n + 1);
         succ_off.push(0u32);
@@ -482,19 +676,28 @@ impl StitchIndex {
             succ.extend_from_slice(list);
             succ_off.push(succ.len() as u32);
         }
+        let stats = CompatStats {
+            edges: n,
+            edge_groups: n,
+            distinct_state_pairs: 0, // per-worker caches: no global count
+            group_succ_entries: total,
+            edge_succ_entries: total as u64,
+        };
 
         StitchIndex {
-            cause,
-            effect,
-            kind,
-            delay_w,
-            struct_word,
-            cause_dense,
-            effect_dense,
-            fault_out_off,
-            fault_out,
-            succ_off,
-            succ,
+            cause: p.cause,
+            effect: p.effect,
+            kind: p.kind,
+            delay_w: p.delay_w,
+            struct_word: p.struct_word,
+            cause_dense: p.cause_dense,
+            effect_dense: p.effect_dense,
+            fault_out_off: p.fault_out_off,
+            fault_out: p.fault_out,
+            edge_group: (0..n as u32).collect(),
+            group_succ_off: succ_off,
+            group_succ: succ,
+            stats,
         }
     }
 
@@ -623,9 +826,7 @@ impl StitchIndex {
                     // Over-partition for load balance; order is restored by
                     // the pool's tagged reassembly.
                     let chunks = (workers * 4).min(nf).max(1);
-                    let size = nf.div_ceil(chunks);
-                    let ranges = (0..chunks).map(|c| (c * size).min(nf)..((c + 1) * size).min(nf));
-                    for (c, cy) in pool.map(ranges.filter(|r| !r.is_empty())) {
+                    for (c, cy) in pool.map(chunk_ranges(nf, chunks)) {
                         children.extend(c);
                         level_cycles.extend(cy);
                     }
@@ -914,6 +1115,38 @@ mod tests {
     }
 
     #[test]
+    fn grouped_build_matches_reference_build() {
+        // High fanout with shared effect states: edges 10·c→x all share
+        // per-cause effect states, so grouping collapses lists.
+        let mut edges = Vec::new();
+        for c in 0..20u32 {
+            for k in 0..5 {
+                edges.push(edge(c, (c + k + 1) % 20, c % 4, (c + k + 1) % 4));
+            }
+        }
+        let db = CausalDb::from_edges(edges);
+        let fast = StitchIndex::build(&db, 3);
+        let slow = StitchIndex::build_reference(&db, 3);
+        assert_eq!(fast.len(), slow.len());
+        for i in 0..fast.len() as u32 {
+            assert_eq!(fast.successors(i), slow.successors(i), "edge {i}");
+            assert_eq!(fast.identity_successors(i), slow.identity_successors(i));
+        }
+        let stats = fast.compat_stats();
+        assert!(
+            stats.edge_groups < stats.edges,
+            "shared effect states must collapse groups: {stats:?}"
+        );
+        assert!(stats.distinct_state_pairs > 0);
+        assert_eq!(
+            stats.edge_succ_entries,
+            slow.compat_stats().edge_succ_entries,
+            "avoided per-edge entries must equal what the reference stores"
+        );
+        assert!(stats.group_table_bytes() <= stats.edge_table_bytes());
+    }
+
+    #[test]
     fn canonical_states_intern_and_merge() {
         let a = canonicalize(&state(5));
         let b = canonicalize(&state(5));
@@ -1017,8 +1250,7 @@ mod tests {
         };
         std::thread::scope(|scope| {
             let mut pool = ScopedPool::spawn(scope, &expand_range, 3);
-            let size = n.div_ceil(7);
-            let results = pool.map((0..7).map(|c| (c * size).min(n)..((c + 1) * size).min(n)));
+            let results = pool.map(chunk_ranges(n, 7));
             let (mut par_c, mut par_cy) = (Vec::new(), Vec::new());
             for (c, cy) in results {
                 par_c.extend(c);
@@ -1031,18 +1263,5 @@ mod tests {
             );
             assert_eq!(seq_cy.len(), par_cy.len());
         });
-    }
-
-    #[test]
-    fn fx_hasher_distinguishes_words() {
-        let h = |words: &[u64]| {
-            let mut hasher = FxHasher::default();
-            for &w in words {
-                hasher.write_u64(w);
-            }
-            hasher.finish()
-        };
-        assert_ne!(h(&[1, 2]), h(&[2, 1]));
-        assert_ne!(h(&[1]), h(&[2]));
     }
 }

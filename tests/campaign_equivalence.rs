@@ -8,9 +8,11 @@
 //!   over 120 seeded random experiments with adversarial shapes (flaky
 //!   occurrences, unfired injections, empty profiles, nested loops) plus a
 //!   full synthetic campaign.
-//! * **3PA clustering** — nearest-neighbor-chain agglomeration must
-//!   produce the same dendrogram cuts as the greedy O(n³) closest-pair
-//!   reference across random vector sets and thresholds.
+//! * **3PA clustering** — the sparse-neighborhood agglomeration
+//!   (inverted index + duplicate pre-grouping, see `tests/cluster_sparse.rs`
+//!   for the property-based drill-down) must produce the same dendrogram
+//!   cuts as the greedy O(n³) closest-pair reference across random vector
+//!   sets and thresholds.
 //! * **Driver parallelism** — running experiments on the worker pool must
 //!   leave every campaign artifact bit-identical to the sequential path.
 //!
@@ -220,7 +222,7 @@ fn random_vectors(g: &mut Gen, n: usize) -> Vec<SparseVec> {
 }
 
 #[test]
-fn nn_chain_clustering_matches_reference_across_thresholds() {
+fn sparse_clustering_matches_reference_across_thresholds() {
     let mut cases = 0;
     for seed in 0..40u64 {
         let mut g = Gen::new(0xC1_0000 + seed);
@@ -237,7 +239,7 @@ fn nn_chain_clustering_matches_reference_across_thresholds() {
 }
 
 #[test]
-fn nn_chain_handles_duplicate_heavy_inputs() {
+fn sparse_clustering_handles_duplicate_heavy_inputs() {
     // Tie-heavy inputs (duplicate and zero vectors) are where merge-order
     // freedom could bite; cuts must still match the reference.
     for seed in 0..20u64 {

@@ -1,0 +1,67 @@
+//! The shared pair-verdict stitch build against the retained per-edge,
+//! per-worker-cache reference build.
+//!
+//! `StitchIndex::build` groups edges by interned (effect fault, effect
+//! state), deduplicates compatibility questions into one global table of
+//! distinct state pairs, and decides each pair exactly once across all
+//! workers. `StitchIndex::build_reference` is the old formulation: one
+//! successor list per edge, one memo cache per worker, the same pair
+//! re-decided once per worker that encounters it. The two must agree on
+//! every successor list and on the beam search's byte-exact output at
+//! every thread count — the shared table changes who computes a verdict,
+//! never what the verdict is.
+
+use csnake::core::beam::BeamConfig;
+use csnake::core::StitchIndex;
+use csnake_bench::synthetic_db;
+
+#[test]
+fn shared_table_build_matches_per_worker_cache_build_across_thread_counts() {
+    // Shapes chosen to exercise both sides of the parallel-build
+    // threshold and a loop-heavy db where state pairs repeat most.
+    for (n_faults, fanout, loop_share) in [(60u32, 3u32, 0.0), (300, 5, 0.4), (800, 6, 0.3)] {
+        let db = synthetic_db(n_faults, fanout, loop_share);
+        let reference = StitchIndex::build_reference(&db, 1);
+        for threads in [1usize, 2, 4, 8] {
+            let index = StitchIndex::build(&db, threads);
+            assert_eq!(index.len(), reference.len());
+            for i in 0..db.len() as u32 {
+                assert_eq!(
+                    index.successors(i),
+                    reference.successors(i),
+                    "n={n_faults} threads={threads} edge {i}"
+                );
+            }
+            let stats = index.compat_stats();
+            assert!(
+                stats.edge_groups <= stats.edges,
+                "grouping can only shrink the table"
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_table_search_output_is_byte_identical() {
+    let db = synthetic_db(300, 5, 0.4);
+    let cfg = BeamConfig {
+        beam_size: 5_000,
+        max_len: 4,
+        ..BeamConfig::default()
+    };
+    let sim = |_: csnake::inject::FaultId| 0.6;
+    let expected = StitchIndex::build_reference(&db, 1).search(&sim, &cfg);
+    assert!(!expected.is_empty(), "fixture must produce cycles");
+    for threads in [1usize, 2, 4, 8] {
+        let cycles = StitchIndex::build(&db, threads).search(&sim, &cfg);
+        assert_eq!(
+            cycles, expected,
+            "threads={threads}: shared-table search diverged from per-worker-cache build"
+        );
+        let reference_cycles = StitchIndex::build_reference(&db, threads).search(&sim, &cfg);
+        assert_eq!(
+            reference_cycles, expected,
+            "threads={threads}: reference build must itself be thread-count-invariant"
+        );
+    }
+}
