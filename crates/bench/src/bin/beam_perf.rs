@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use csnake_bench::synthetic_db;
+use csnake_bench::{synthetic_db, watchdog};
 use csnake_core::beam::{beam_search_reference, BeamConfig};
 use csnake_core::{CausalDb, StitchIndex};
 
@@ -121,21 +121,26 @@ fn main() {
         // Stage 1: database construction (hash-set dedup + per-cause
         // index). Inputs are cloned outside the timed region so the metric
         // tracks CausalDb::push, not CompatState deep copies.
+        let wd = watchdog::guard(&format!("beam:n={}:dedup", case.n_faults));
         let mut inputs: Vec<Vec<_>> = (0..samples).map(|_| db.edges().to_vec()).collect();
         let dedup_ns = median_ns(samples, || {
             CausalDb::from_edges(inputs.pop().unwrap_or_default()).len()
         });
+        drop(wd);
 
         // Stage 2: stitch-index compilation — the grouped build with the
         // shared pair-verdict table, against the retained per-edge
         // per-worker-cache build on identical inputs.
+        let wd = watchdog::guard(&format!("beam:n={}:index", case.n_faults));
         let index_ns = median_ns(samples, || StitchIndex::build(&db, cfg.threads).len());
         let index_ref_ns = median_ns(samples, || {
             StitchIndex::build_reference(&db, cfg.threads).len()
         });
+        drop(wd);
 
         // Stage 3: the indexed beam search on a prebuilt index. The
         // per-edge-built index must produce byte-identical output.
+        let wd = watchdog::guard(&format!("beam:n={}:search", case.n_faults));
         let index = StitchIndex::build(&db, cfg.threads);
         let search_ns = median_ns(samples, || index.search(&|_| 0.5, &cfg).len());
         let cycles_found = index.search(&|_| 0.5, &cfg);
@@ -158,9 +163,12 @@ fn main() {
         );
 
         // Reference implementation, where it finishes in sensible time.
+        drop(wd);
+        let wd = watchdog::guard(&format!("beam:n={}:reference", case.n_faults));
         let reference_ns = case
             .with_reference
             .then(|| median_ns(samples, || beam_search_reference(&db, &|_| 0.5, &cfg).len()));
+        drop(wd);
 
         writeln!(body, "    {{").unwrap();
         writeln!(body, "      \"n_faults\": {},", case.n_faults).unwrap();

@@ -24,6 +24,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use csnake_bench::campaign::{synthetic_vectors, CampaignSpec, SyntheticCampaign};
+use csnake_bench::watchdog;
 use csnake_core::cluster::{
     hierarchical_cluster, hierarchical_cluster_reference, hierarchical_cluster_with_stats,
     verify_cut_quality,
@@ -78,6 +79,7 @@ fn main() {
 
     // Stage 1: profile runs + per-test profile indexing (shared by every
     // experiment on the test).
+    let wd = watchdog::guard("campaign:profile");
     let mut profile_ns = Vec::with_capacity(SAMPLES);
     let mut profiles: Vec<Vec<csnake_inject::RunTrace>> = Vec::new();
     for _ in 0..SAMPLES {
@@ -91,6 +93,9 @@ fn main() {
         profile_ns.push(t0.elapsed().as_nanos());
     }
     let profile_ns = median(profile_ns);
+
+    drop(wd);
+    let wd = watchdog::guard("campaign:injection");
 
     // Stage 2: injection-run generation for the whole campaign (the
     // simulated "run the workloads" cost; regenerated per experiment so
@@ -106,6 +111,9 @@ fn main() {
         injection_ns.push(t0.elapsed().as_nanos());
     }
     let injection_ns = median(injection_ns);
+
+    drop(wd);
+    let wd = watchdog::guard("campaign:fca-indexed");
 
     // Stage 3: indexed FCA over the whole campaign, timing only analysis
     // (per-experiment TraceIndex build + edge extraction) plus the
@@ -145,6 +153,9 @@ fn main() {
     }
     let fca_indexed_ns = median(fca_indexed_ns);
 
+    drop(wd);
+    let wd = watchdog::guard("campaign:fca-reference");
+
     // Stage 4: the reference FCA path on identical inputs, with a
     // campaign-wide outcome-equivalence assertion on the first sample.
     let mut fca_reference_ns = Vec::with_capacity(SAMPLES);
@@ -183,6 +194,9 @@ fn main() {
         fca_speedup,
         total_edges
     );
+
+    drop(wd);
+    let wd = watchdog::guard("campaign:clustering");
 
     // Stage 5: phase-one clustering over every experiment's interference
     // vector (the 3PA §5.2 shape, at campaign scale). The timed reference
@@ -228,6 +242,9 @@ fn main() {
         reference_equivalence_verified_at
     );
 
+    drop(wd);
+    let wd = watchdog::guard("campaign:clustering-large");
+
     // Stage 6: large-n clustering — the scales the dense matrix could not
     // reach. One sample per case (the cases dominate bench wall-time);
     // each cut is checked against the §5.2 cut-quality bounds.
@@ -271,6 +288,7 @@ fn main() {
             stats,
         });
     }
+    drop(wd);
 
     let mut body = String::new();
     writeln!(body, "{{").unwrap();

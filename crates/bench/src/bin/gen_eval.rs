@@ -35,6 +35,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
+use csnake_bench::watchdog;
 use csnake_core::{
     beam_search, build_report, cluster_cycles, run_random_allocation_with, DetectConfig,
     NoopObserver, ProgressCollector, Session, ThreePhase,
@@ -163,18 +164,26 @@ fn main() -> ExitCode {
             .observer(progress.clone())
             .build()
             .expect("generated targets are drivable");
+        let wd = watchdog::guard(&format!("gen:{seed}:profile"));
         let t0 = Instant::now();
         session.profile().expect("profile stage");
         profile_ns.push(t0.elapsed().as_nanos());
+        drop(wd);
+        let wd = watchdog::guard(&format!("gen:{seed}:allocate"));
         let t1 = Instant::now();
         session.allocate(&strategy).expect("allocate stage");
         allocate_ns.push(t1.elapsed().as_nanos());
+        drop(wd);
+        let wd = watchdog::guard(&format!("gen:{seed}:stitch"));
         let t2 = Instant::now();
         session.stitch().expect("stitch stage");
         stitch_ns.push(t2.elapsed().as_nanos());
+        drop(wd);
+        let wd = watchdog::guard(&format!("gen:{seed}:report"));
         let t3 = Instant::now();
         let report = session.report().expect("report stage").clone();
         report_ns.push(t3.elapsed().as_nanos());
+        drop(wd);
 
         // Peak clustering working set across the corpus, from the size
         // counters the allocate stage emitted through the observer.

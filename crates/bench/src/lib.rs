@@ -11,6 +11,7 @@
 //! | §8.5 instrumentation overhead | `overhead` |
 
 pub mod campaign;
+pub mod watchdog;
 
 use std::sync::Arc;
 

@@ -56,6 +56,21 @@ pub trait ExperimentEngine {
             .map(|&(f, t, p)| self.run_experiment(f, t, p))
             .collect()
     }
+
+    /// Drains the `(fault, test, phase)` cells whose experiments
+    /// permanently failed since the last drain. Engines without a retry
+    /// supervisor (mocks, baselines) never produce gaps; the real driver
+    /// records a gap when a job exhausts its retry budget and the batch
+    /// continues without it.
+    fn take_gaps(&mut self) -> Vec<(FaultId, TestId, u8)> {
+        Vec::new()
+    }
+
+    /// Total simulator runs executed so far, for checkpoint accounting.
+    /// Engines that don't track runs report zero.
+    fn runs_executed(&self) -> usize {
+        0
+    }
 }
 
 /// 3PA knobs.
@@ -119,6 +134,81 @@ pub trait AllocationStrategy {
         engine: &mut dyn ExperimentEngine,
         observer: &dyn CampaignObserver,
     ) -> AllocationResult;
+
+    /// Runs the policy with supervisor recovery: a checkpoint sink to
+    /// stream mid-phase state to, a checkpoint cadence (experiments per
+    /// checkpoint), and optionally a [`MidPhaseState`] to resume from.
+    ///
+    /// The default ignores recovery entirely and delegates to
+    /// [`run`](AllocationStrategy::run) — correct for strategies whose
+    /// plans are cheap to redo from the stage boundary. [`ThreePhase`]
+    /// overrides it with the genuinely resumable runner.
+    fn run_with_recovery(
+        &self,
+        engine: &mut dyn ExperimentEngine,
+        observer: &dyn CampaignObserver,
+        recovery: RecoveryContext<'_>,
+    ) -> AllocationResult {
+        let _ = recovery;
+        self.run(engine, observer)
+    }
+}
+
+/// Receives mid-phase checkpoint state from a resumable allocation runner.
+///
+/// Implementations own durability (atomic writes, IO-failure retries) and
+/// report success/failure back; the runner treats a failed write as a
+/// missed checkpoint — the campaign continues, resume is just coarser.
+pub trait CheckpointSink {
+    /// Persists `state`; returns `true` when the checkpoint safely
+    /// reached disk.
+    fn write(&self, state: &MidPhaseState) -> bool;
+}
+
+/// Recovery wiring handed to [`AllocationStrategy::run_with_recovery`].
+#[derive(Default)]
+pub struct RecoveryContext<'a> {
+    /// Where to stream mid-phase checkpoints (`None`: don't checkpoint).
+    pub sink: Option<&'a dyn CheckpointSink>,
+    /// Experiments per checkpoint; the runner executes each phase batch in
+    /// sub-chunks of this size and checkpoints after every chunk. Zero is
+    /// treated as "whole phase in one chunk".
+    pub cadence: usize,
+    /// Mid-phase state to resume from (from a v4 snapshot), if any.
+    pub resume: Option<MidPhaseState>,
+}
+
+/// Everything the 3PA runner needs to continue a phase from the middle.
+///
+/// The state deliberately stores *inputs* of the current phase's planning
+/// (RNG state and used-set as they were when planning started) rather than
+/// the planned batch itself: planning is deterministic in those inputs plus
+/// the outcome prefix, so resume replans the identical batch and simply
+/// skips the first `executed_in_phase` entries. Clusters and similarity
+/// scores are likewise recomputed from the outcome prefix instead of being
+/// persisted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MidPhaseState {
+    /// The allocation phase being executed (3PA: 1–3).
+    pub phase: u8,
+    /// RNG state captured when the current phase's planning started.
+    pub rng_state: [u64; 4],
+    /// `(fault, test)` combinations used when planning started.
+    pub used_at_phase_start: Vec<(FaultId, TestId)>,
+    /// Budget spent when planning started.
+    pub spent_at_phase_start: usize,
+    /// Experiments of the current phase already executed (and present in
+    /// `outcomes`).
+    pub executed_in_phase: usize,
+    /// Length of the phase-one batch — the outcome prefix clustering is
+    /// derived from.
+    pub phase1_len: usize,
+    /// Every outcome executed so far, across all phases, in order.
+    pub outcomes: Vec<ExperimentOutcome>,
+    /// Permanently failed cells recorded so far.
+    pub gaps: Vec<(FaultId, TestId, u8)>,
+    /// The engine's run counter at checkpoint time.
+    pub runs_executed: usize,
 }
 
 /// The paper's Three-Phase Allocation protocol as a strategy object.
@@ -146,6 +236,15 @@ impl AllocationStrategy for ThreePhase {
         observer: &dyn CampaignObserver,
     ) -> AllocationResult {
         run_three_phase_with(engine, &self.cfg, observer)
+    }
+
+    fn run_with_recovery(
+        &self,
+        engine: &mut dyn ExperimentEngine,
+        observer: &dyn CampaignObserver,
+        recovery: RecoveryContext<'_>,
+    ) -> AllocationResult {
+        run_three_phase_resumable(engine, &self.cfg, observer, recovery)
     }
 }
 
@@ -200,6 +299,12 @@ pub struct AllocationResult {
     pub experiments_run: usize,
     /// The configured total budget.
     pub budget: usize,
+    /// `(fault, test, phase)` cells whose experiments permanently failed
+    /// (exhausted the supervisor's retries); empty on a clean campaign.
+    /// A gap's cell still contributes an *empty* outcome to `outcomes`,
+    /// keeping batch order and budget accounting identical — the gap list
+    /// is what the report surfaces as missing.
+    pub gaps: Vec<(FaultId, TestId, u8)>,
 }
 
 impl AllocationResult {
@@ -222,6 +327,16 @@ impl UsedSet {
         UsedSet {
             used: BTreeSet::new(),
         }
+    }
+
+    fn from_pairs(pairs: &[(FaultId, TestId)]) -> Self {
+        UsedSet {
+            used: pairs.iter().copied().collect(),
+        }
+    }
+
+    fn pairs(&self) -> Vec<(FaultId, TestId)> {
+        self.used.iter().copied().collect()
     }
 
     fn mark(&mut self, f: FaultId, t: TestId) {
@@ -282,21 +397,45 @@ pub fn run_three_phase_with(
     cfg: &ThreePhaseConfig,
     observer: &dyn CampaignObserver,
 ) -> AllocationResult {
-    let faults = engine.faults();
-    let budget = cfg.total_budget(faults.len());
-    let mut rng = SimRng::new(cfg.seed);
-    let mut used = UsedSet::new();
-    let mut outcomes: Vec<ExperimentOutcome> = Vec::new();
-    let mut db = CausalDb::default();
-    let mut spent = 0usize;
+    run_three_phase_resumable(engine, cfg, observer, RecoveryContext::default())
+}
 
-    // Executes a planned batch of independent experiments and folds the
-    // outcomes (in batch order) into the database.
-    let run_batch = |engine: &mut dyn ExperimentEngine,
-                     batch: &[(FaultId, TestId, u8)],
-                     outcomes: &mut Vec<ExperimentOutcome>,
-                     db: &mut CausalDb| {
-        for out in engine.run_experiments(batch) {
+/// Per-phase execution context: the planning *inputs* a mid-phase
+/// checkpoint must capture to make the phase replannable on resume.
+struct PhaseCtx {
+    phase: u8,
+    rng_at_start: [u64; 4],
+    used_at_start: Vec<(FaultId, TestId)>,
+    spent_at_start: usize,
+    phase1_len: usize,
+}
+
+/// Executes one phase's planned batch, skipping an already-executed prefix
+/// (resume), folding outcomes into the database in batch order, draining
+/// engine gaps, and checkpointing after every `cadence` experiments.
+#[allow(clippy::too_many_arguments)]
+fn execute_phase(
+    engine: &mut dyn ExperimentEngine,
+    batch: &[(FaultId, TestId, u8)],
+    skip: usize,
+    ctx: &PhaseCtx,
+    recovery: &RecoveryContext<'_>,
+    observer: &dyn CampaignObserver,
+    outcomes: &mut Vec<ExperimentOutcome>,
+    db: &mut CausalDb,
+    gaps: &mut Vec<(FaultId, TestId, u8)>,
+) {
+    observer.phase_started(ctx.phase, batch.len());
+    let chunk_size = match (recovery.sink.is_some(), recovery.cadence) {
+        (true, c) if c > 0 => c,
+        // No sink (or cadence 0): the whole remainder is one chunk, which
+        // keeps the engine's batch boundaries identical to the
+        // pre-supervisor runner.
+        _ => batch.len().saturating_sub(skip).max(1),
+    };
+    let mut executed = skip;
+    for chunk in batch[skip..].chunks(chunk_size) {
+        for out in engine.run_experiments(chunk) {
             for e in &out.edges {
                 if db.push(e.clone()) {
                     observer.edge_emitted(e);
@@ -305,37 +444,139 @@ pub fn run_three_phase_with(
             observer.experiment_completed(&out);
             outcomes.push(out);
         }
-    };
+        executed += chunk.len();
+        gaps.extend(engine.take_gaps());
+        if let Some(sink) = recovery.sink {
+            let state = MidPhaseState {
+                phase: ctx.phase,
+                rng_state: ctx.rng_at_start,
+                used_at_phase_start: ctx.used_at_start.clone(),
+                spent_at_phase_start: ctx.spent_at_start,
+                executed_in_phase: executed,
+                phase1_len: ctx.phase1_len,
+                outcomes: outcomes.clone(),
+                gaps: gaps.clone(),
+                runs_executed: engine.runs_executed(),
+            };
+            // A failed write is a missed checkpoint, not a failed
+            // campaign: the sink already retried, resume just falls back
+            // to the previous checkpoint.
+            sink.write(&state);
+        }
+    }
+    observer.phase_finished(ctx.phase, batch.len());
+}
+
+/// The resumable 3PA runner behind [`run_three_phase_with`] and
+/// [`ThreePhase::run_with_recovery`](AllocationStrategy::run_with_recovery).
+///
+/// With a default [`RecoveryContext`] this is *exactly* the classic runner:
+/// each phase plans its full batch up front and executes it in one engine
+/// call. With a sink, phase batches execute in cadence-sized sub-chunks —
+/// order-preserving, so outcomes stay bit-identical — and every sub-chunk
+/// boundary streams a [`MidPhaseState`] to the sink. With a resume state,
+/// completed phases are reconstructed from the checkpointed outcome prefix
+/// (clusters and similarity scores are recomputed, never trusted from
+/// disk), the interrupted phase is replanned from its checkpointed RNG
+/// state and used-set — reproducing the identical batch — and execution
+/// continues after the already-executed prefix.
+pub fn run_three_phase_resumable(
+    engine: &mut dyn ExperimentEngine,
+    cfg: &ThreePhaseConfig,
+    observer: &dyn CampaignObserver,
+    recovery: RecoveryContext<'_>,
+) -> AllocationResult {
+    let faults = engine.faults();
+    let budget = cfg.total_budget(faults.len());
+
+    // ---- State: fresh, or restored from a mid-phase checkpoint.
+    let resume = recovery.resume.clone();
+    let resume_phase = resume.as_ref().map(|s| s.phase).unwrap_or(0);
+    let mut rng;
+    let mut used;
+    let mut outcomes: Vec<ExperimentOutcome>;
+    let mut db = CausalDb::default();
+    let mut spent;
+    let mut gaps: Vec<(FaultId, TestId, u8)>;
+    let mut resume_skip = 0usize;
+    let mut phase1_len = 0usize;
+    if let Some(st) = resume {
+        rng = SimRng::from_state(st.rng_state);
+        used = UsedSet::from_pairs(&st.used_at_phase_start);
+        spent = st.spent_at_phase_start;
+        gaps = st.gaps;
+        resume_skip = st.executed_in_phase;
+        phase1_len = st.phase1_len;
+        outcomes = st.outcomes;
+        // Rebuild the edge database by replaying the checkpointed outcomes
+        // in order — same pushes, same dedup, same content as the
+        // uninterrupted run (without re-emitting observer events for work
+        // a previous process already reported).
+        for out in &outcomes {
+            for e in &out.edges {
+                db.push(e.clone());
+            }
+        }
+    } else {
+        rng = SimRng::new(cfg.seed);
+        used = UsedSet::new();
+        spent = 0;
+        gaps = Vec::new();
+        outcomes = Vec::new();
+    }
 
     // ---- Phase one: one probe per fault, highest-coverage reaching test.
-    // Picks depend only on coverage, so the whole phase plans up front and
-    // runs as one parallel batch.
-    let phase1_cap = (budget / 4).max(faults.len().min(budget));
-    let mut batch: Vec<(FaultId, TestId, u8)> = Vec::new();
-    for &f in &faults {
-        if spent >= phase1_cap {
-            break;
+    // Picks depend only on coverage — planning consumes no randomness, so
+    // a phase-one resume replans from the empty used-set.
+    if resume_phase <= 1 {
+        let ctx_rng = rng.state();
+        let ctx_used = used.pairs();
+        let ctx_spent = spent;
+        let phase1_cap = ctx_spent + (budget / 4).max(faults.len().min(budget));
+        let mut batch: Vec<(FaultId, TestId, u8)> = Vec::new();
+        for &f in &faults {
+            if spent >= phase1_cap {
+                break;
+            }
+            let mut tests = engine.tests_reaching(f);
+            if tests.is_empty() {
+                continue;
+            }
+            // Highest coverage, lowest id on ties (deterministic).
+            tests.sort_by_key(|t| (std::cmp::Reverse(engine.coverage_size(*t)), *t));
+            let t = tests[0];
+            used.mark(f, t);
+            batch.push((f, t, 1));
+            spent += 1;
         }
-        let mut tests = engine.tests_reaching(f);
-        if tests.is_empty() {
-            continue;
-        }
-        // Highest coverage, lowest id on ties (deterministic).
-        tests.sort_by_key(|t| (std::cmp::Reverse(engine.coverage_size(*t)), *t));
-        let t = tests[0];
-        used.mark(f, t);
-        batch.push((f, t, 1));
-        spent += 1;
+        phase1_len = batch.len();
+        let ctx = PhaseCtx {
+            phase: 1,
+            rng_at_start: ctx_rng,
+            used_at_start: ctx_used,
+            spent_at_start: ctx_spent,
+            phase1_len,
+        };
+        let skip = if resume_phase == 1 { resume_skip } else { 0 };
+        execute_phase(
+            engine,
+            &batch,
+            skip,
+            &ctx,
+            &recovery,
+            observer,
+            &mut outcomes,
+            &mut db,
+            &mut gaps,
+        );
+        observer.budget_spent(spent, budget);
     }
-    observer.phase_started(1, batch.len());
-    run_batch(engine, &batch, &mut outcomes, &mut db);
-    observer.phase_finished(1, batch.len());
-    observer.budget_spent(spent, budget);
 
     // Cluster faults by phase-one interference vectors. Faults that never
     // ran (unreachable) get zero vectors and land with the non-impactful
-    // cluster.
-    let phase1_interference: BTreeMap<FaultId, BTreeSet<FaultId>> = outcomes
+    // cluster. On resume past phase one this recomputes — deterministically
+    // — from the checkpointed outcome prefix.
+    let phase1_interference: BTreeMap<FaultId, BTreeSet<FaultId>> = outcomes[..phase1_len]
         .iter()
         .map(|o| (o.fault, o.interference.clone()))
         .collect();
@@ -359,108 +600,161 @@ pub fn run_three_phase_with(
     // ---- Phase two: round-robin over clusters, random member into a new
     // workload. Picks depend only on the RNG and the used-set (never on
     // outcomes within the phase), so the plan/execute split preserves the
-    // exact sequential pick sequence.
-    let phase2_cap = spent + budget / 2;
-    let mut batch: Vec<(FaultId, TestId, u8)> = Vec::new();
-    if !clusters.is_empty() {
-        let mut rr = 0usize;
-        let mut stall = 0usize;
-        while spent < phase2_cap && stall < clusters.len() {
-            let c = rr % clusters.len();
-            rr += 1;
-            let pick = pick_from_cluster(engine, &used, &clusters[c], &mut rng).or_else(|| {
-                // Quota transfer: exhausted cluster hands its quota to a
-                // random larger, non-exhausted cluster.
-                let larger: Vec<usize> = (0..clusters.len())
-                    .filter(|&d| {
-                        d != c
-                            && clusters[d].len() > clusters[c].len()
-                            && !used.cluster_exhausted(engine, &clusters[d])
-                    })
-                    .collect();
-                let fallback: Vec<usize> = if larger.is_empty() {
-                    (0..clusters.len())
-                        .filter(|&d| !used.cluster_exhausted(engine, &clusters[d]))
-                        .collect()
-                } else {
-                    larger
+    // exact sequential pick sequence — and a resume replans the identical
+    // batch from the checkpointed RNG state and used-set.
+    if resume_phase <= 2 {
+        let ctx_rng = rng.state();
+        let ctx_used = used.pairs();
+        let ctx_spent = spent;
+        let phase2_cap = spent + budget / 2;
+        let mut batch: Vec<(FaultId, TestId, u8)> = Vec::new();
+        if !clusters.is_empty() {
+            let mut rr = 0usize;
+            let mut stall = 0usize;
+            while spent < phase2_cap && stall < clusters.len() {
+                let c = rr % clusters.len();
+                rr += 1;
+                let pick = pick_from_cluster(engine, &used, &clusters[c], &mut rng).or_else(|| {
+                    // Quota transfer: exhausted cluster hands its quota to a
+                    // random larger, non-exhausted cluster.
+                    let larger: Vec<usize> = (0..clusters.len())
+                        .filter(|&d| {
+                            d != c
+                                && clusters[d].len() > clusters[c].len()
+                                && !used.cluster_exhausted(engine, &clusters[d])
+                        })
+                        .collect();
+                    let fallback: Vec<usize> = if larger.is_empty() {
+                        (0..clusters.len())
+                            .filter(|&d| !used.cluster_exhausted(engine, &clusters[d]))
+                            .collect()
+                    } else {
+                        larger
+                    };
+                    if fallback.is_empty() {
+                        None
+                    } else {
+                        let d = fallback[rng.pick(fallback.len())];
+                        pick_from_cluster(engine, &used, &clusters[d], &mut rng)
+                    }
+                });
+                let Some((f, t)) = pick else {
+                    stall += 1;
+                    continue;
                 };
-                if fallback.is_empty() {
-                    None
-                } else {
-                    let d = fallback[rng.pick(fallback.len())];
-                    pick_from_cluster(engine, &used, &clusters[d], &mut rng)
-                }
-            });
-            let Some((f, t)) = pick else {
-                stall += 1;
-                continue;
-            };
-            stall = 0;
-            used.mark(f, t);
-            batch.push((f, t, 2));
-            spent += 1;
+                stall = 0;
+                used.mark(f, t);
+                batch.push((f, t, 2));
+                spent += 1;
+            }
         }
+        let ctx = PhaseCtx {
+            phase: 2,
+            rng_at_start: ctx_rng,
+            used_at_start: ctx_used,
+            spent_at_start: ctx_spent,
+            phase1_len,
+        };
+        let skip = if resume_phase == 2 { resume_skip } else { 0 };
+        execute_phase(
+            engine,
+            &batch,
+            skip,
+            &ctx,
+            &recovery,
+            observer,
+            &mut outcomes,
+            &mut db,
+            &mut gaps,
+        );
+        observer.budget_spent(spent, budget);
     }
-    observer.phase_started(2, batch.len());
-    run_batch(engine, &batch, &mut outcomes, &mut db);
-    observer.phase_finished(2, batch.len());
-    observer.budget_spent(spent, budget);
 
     // ---- Intra-cluster interference similarity (Eq. 6), from a second IDF
-    // model fitted on both phases.
-    let all_docs: Vec<BTreeSet<FaultId>> =
-        outcomes.iter().map(|o| o.interference.clone()).collect();
+    // model fitted on both phases. A phase-three resume excludes the
+    // phase-three prefix already executed — the scores must be the ones the
+    // original process computed *before* phase three started.
+    let sim_upto = if resume_phase == 3 {
+        outcomes.len() - resume_skip
+    } else {
+        outcomes.len()
+    };
+    let all_docs: Vec<BTreeSet<FaultId>> = outcomes[..sim_upto]
+        .iter()
+        .map(|o| o.interference.clone())
+        .collect();
     let idf2 = IdfVectorizer::fit(&all_docs);
     let outcome_vecs: Vec<SparseVec> = all_docs.iter().map(|d| idf2.vectorize(d)).collect();
     let sim_scores: Vec<f64> = clusters
         .iter()
-        .map(|members| cluster_sim_score(members, &outcomes, &outcome_vecs))
+        .map(|members| cluster_sim_score(members, &outcomes[..sim_upto], &outcome_vecs))
         .collect();
 
     // ---- Phase three: weighted random allocation by max(ε, 1 − SimScore).
     // Weights are fixed before the phase starts, so this phase also plans
     // its full batch first.
-    let weights: Vec<f64> = sim_scores
-        .iter()
-        .map(|s| (1.0 - s).max(cfg.epsilon))
-        .collect();
-    let mut batch: Vec<(FaultId, TestId, u8)> = Vec::new();
-    while spent < budget && !clusters.is_empty() {
-        let viable: Vec<usize> = (0..clusters.len())
-            .filter(|&c| !used.cluster_exhausted(engine, &clusters[c]))
+    {
+        let ctx_rng = rng.state();
+        let ctx_used = used.pairs();
+        let ctx_spent = spent;
+        let weights: Vec<f64> = sim_scores
+            .iter()
+            .map(|s| (1.0 - s).max(cfg.epsilon))
             .collect();
-        if viable.is_empty() {
-            break;
-        }
-        let total_w: f64 = viable.iter().map(|&c| weights[c]).sum();
-        let mut roll = rng.unit() * total_w;
-        let mut chosen = viable[0];
-        for &c in &viable {
-            roll -= weights[c];
-            if roll <= 0.0 {
-                chosen = c;
+        let mut batch: Vec<(FaultId, TestId, u8)> = Vec::new();
+        while spent < budget && !clusters.is_empty() {
+            let viable: Vec<usize> = (0..clusters.len())
+                .filter(|&c| !used.cluster_exhausted(engine, &clusters[c]))
+                .collect();
+            if viable.is_empty() {
                 break;
             }
+            let total_w: f64 = viable.iter().map(|&c| weights[c]).sum();
+            let mut roll = rng.unit() * total_w;
+            let mut chosen = viable[0];
+            for &c in &viable {
+                roll -= weights[c];
+                if roll <= 0.0 {
+                    chosen = c;
+                    break;
+                }
+            }
+            // Unused budget moves toward the smallest-weight viable cluster if
+            // the draw somehow cannot produce a pick.
+            let pick =
+                pick_from_cluster(engine, &used, &clusters[chosen], &mut rng).or_else(|| {
+                    let min = viable
+                        .iter()
+                        .copied()
+                        .min_by(|a, b| weights[*a].total_cmp(&weights[*b]))?;
+                    pick_from_cluster(engine, &used, &clusters[min], &mut rng)
+                });
+            let Some((f, t)) = pick else { break };
+            used.mark(f, t);
+            batch.push((f, t, 3));
+            spent += 1;
         }
-        // Unused budget moves toward the smallest-weight viable cluster if
-        // the draw somehow cannot produce a pick.
-        let pick = pick_from_cluster(engine, &used, &clusters[chosen], &mut rng).or_else(|| {
-            let min = viable
-                .iter()
-                .copied()
-                .min_by(|a, b| weights[*a].total_cmp(&weights[*b]))?;
-            pick_from_cluster(engine, &used, &clusters[min], &mut rng)
-        });
-        let Some((f, t)) = pick else { break };
-        used.mark(f, t);
-        batch.push((f, t, 3));
-        spent += 1;
+        let ctx = PhaseCtx {
+            phase: 3,
+            rng_at_start: ctx_rng,
+            used_at_start: ctx_used,
+            spent_at_start: ctx_spent,
+            phase1_len,
+        };
+        let skip = if resume_phase == 3 { resume_skip } else { 0 };
+        execute_phase(
+            engine,
+            &batch,
+            skip,
+            &ctx,
+            &recovery,
+            observer,
+            &mut outcomes,
+            &mut db,
+            &mut gaps,
+        );
+        observer.budget_spent(spent, budget);
     }
-    observer.phase_started(3, batch.len());
-    run_batch(engine, &batch, &mut outcomes, &mut db);
-    observer.phase_finished(3, batch.len());
-    observer.budget_spent(spent, budget);
 
     AllocationResult {
         db,
@@ -470,6 +764,7 @@ pub fn run_three_phase_with(
         sim_scores,
         experiments_run: spent,
         budget,
+        gaps,
     }
 }
 
@@ -573,6 +868,7 @@ pub fn run_planned(
     let faults = engine.faults();
     let mut db = CausalDb::default();
     let mut outcomes: Vec<ExperimentOutcome> = Vec::new();
+    let mut gaps: Vec<(FaultId, TestId, u8)> = Vec::new();
     let mut start = 0usize;
     while start < batch.len() {
         let phase = batch[start].2;
@@ -592,6 +888,7 @@ pub fn run_planned(
             observer.experiment_completed(&out);
             outcomes.push(out);
         }
+        gaps.extend(engine.take_gaps());
         observer.phase_finished(phase, chunk.len());
         start = end;
     }
@@ -605,6 +902,7 @@ pub fn run_planned(
         sim_scores: vec![1.0; faults.len()],
         experiments_run: n,
         budget,
+        gaps,
     }
 }
 
@@ -795,5 +1093,130 @@ mod tests {
         let mut eng = MockEngine::new(2, 2);
         let res = run_three_phase(&mut eng, &cfg());
         assert_eq!(res.sim_score_of(FaultId(99)), 1.0);
+    }
+
+    /// Sink that archives every mid-phase state it is handed.
+    struct RecordingSink {
+        states: std::cell::RefCell<Vec<MidPhaseState>>,
+    }
+
+    impl RecordingSink {
+        fn new() -> Self {
+            RecordingSink {
+                states: std::cell::RefCell::new(Vec::new()),
+            }
+        }
+    }
+
+    impl CheckpointSink for RecordingSink {
+        fn write(&self, state: &MidPhaseState) -> bool {
+            self.states.borrow_mut().push(state.clone());
+            true
+        }
+    }
+
+    fn scripted_engine() -> MockEngine {
+        let mut eng = MockEngine::new(7, 5);
+        for t in 0..5 {
+            eng.on(0, t, &[1, 2]);
+            eng.on(1, t, &[2]);
+            eng.on(3, t, &[0, 4]);
+            eng.on(5, t, if t % 2 == 0 { &[6] } else { &[] });
+        }
+        eng
+    }
+
+    fn assert_results_identical(a: &AllocationResult, b: &AllocationResult) {
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.db.edges(), b.db.edges());
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.cluster_of, b.cluster_of);
+        assert_eq!(a.sim_scores, b.sim_scores);
+        assert_eq!(a.experiments_run, b.experiments_run);
+        assert_eq!(a.budget, b.budget);
+        assert_eq!(a.gaps, b.gaps);
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_the_campaign() {
+        let mut plain = scripted_engine();
+        let baseline = run_three_phase(&mut plain, &cfg());
+
+        for cadence in [1, 2, 3] {
+            let mut eng = scripted_engine();
+            let sink = RecordingSink::new();
+            let res = run_three_phase_resumable(
+                &mut eng,
+                &cfg(),
+                &crate::observer::NoopObserver,
+                RecoveryContext {
+                    sink: Some(&sink),
+                    cadence,
+                    resume: None,
+                },
+            );
+            assert_results_identical(&baseline, &res);
+            assert_eq!(plain.log, eng.log, "cadence {cadence} changed execution");
+            assert!(!sink.states.borrow().is_empty());
+        }
+    }
+
+    /// The tentpole invariant: resuming from *every* checkpoint a campaign
+    /// ever wrote reproduces the uninterrupted campaign exactly — same
+    /// outcome sequence, same edges, same clusters, same scores.
+    #[test]
+    fn resume_from_every_checkpoint_is_bit_identical() {
+        let mut plain = scripted_engine();
+        let baseline = run_three_phase(&mut plain, &cfg());
+
+        let mut eng = scripted_engine();
+        let sink = RecordingSink::new();
+        run_three_phase_resumable(
+            &mut eng,
+            &cfg(),
+            &crate::observer::NoopObserver,
+            RecoveryContext {
+                sink: Some(&sink),
+                cadence: 1,
+                resume: None,
+            },
+        );
+        let states = sink.states.borrow().clone();
+        assert!(states.len() >= baseline.experiments_run);
+
+        for (i, state) in states.iter().enumerate() {
+            let mut resumed_eng = scripted_engine();
+            let res = run_three_phase_resumable(
+                &mut resumed_eng,
+                &cfg(),
+                &crate::observer::NoopObserver,
+                RecoveryContext {
+                    sink: None,
+                    cadence: 0,
+                    resume: Some(state.clone()),
+                },
+            );
+            assert_results_identical(&baseline, &res);
+            // The resumed engine only executed the suffix.
+            assert_eq!(
+                resumed_eng.log.len(),
+                baseline.experiments_run - state.outcomes.len(),
+                "checkpoint {i} replayed already-executed experiments"
+            );
+        }
+    }
+
+    #[test]
+    fn default_recovery_context_is_the_classic_runner() {
+        let mut a = scripted_engine();
+        let classic = run_three_phase(&mut a, &cfg());
+        let mut b = scripted_engine();
+        let via_recovery = ThreePhase::default().run_with_recovery(
+            &mut b,
+            &crate::observer::NoopObserver,
+            RecoveryContext::default(),
+        );
+        assert_results_identical(&classic, &via_recovery);
+        assert_eq!(a.log, b.log);
     }
 }

@@ -24,12 +24,53 @@ use csnake_sim::VirtualTime;
 use serde::{Deserialize, Serialize};
 
 use crate::alloc::ExperimentEngine;
+use crate::chaos::{ChaosConfig, ChaosInjector};
 use crate::fca::{
     analyze_experiment_indexed, analyze_experiment_prepared, ExperimentOutcome, FcaConfig,
     ProfileIndex,
 };
+use crate::observer::CampaignObserver;
 use crate::pool;
 use crate::target::TargetSystem;
+
+/// Supervisor retry knobs: what happens when an experiment job panics or
+/// stalls.
+///
+/// Failed jobs are quarantined and retried with bounded exponential
+/// backoff: attempt `k` (1-based) waits `min(backoff_base_ms · 2^(k-1),
+/// backoff_cap_ms)` before re-running. The schedule is deterministic and
+/// paces wall-clock execution only — no timing ever enters campaign
+/// results, so a retried campaign stays bit-identical to an unfailed one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Retry rounds after the initial attempt before a job becomes a gap.
+    pub max_retries: u32,
+    /// Base backoff before the first retry, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff pause, in milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_retries: 2,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1_000,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The deterministic backoff before retry `attempt` (1-based), in
+    /// milliseconds.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let factor = 1u64 << attempt.saturating_sub(1).min(20);
+        self.backoff_base_ms
+            .saturating_mul(factor)
+            .min(self.backoff_cap_ms)
+    }
+}
 
 /// Driver knobs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -60,6 +101,12 @@ pub struct DriverConfig {
     /// on hits. Hit/miss counters surface through
     /// [`CampaignObserver::trace_cache`](crate::observer::CampaignObserver::trace_cache).
     pub cache_injections: bool,
+    /// Supervisor retry schedule for panicked or stalled experiment jobs.
+    pub retry: RetryConfig,
+    /// Self-fault-injection harness configuration (disabled by default).
+    /// The `CSNAKE_CHAOS` environment variable, when set, overrides this
+    /// at driver construction — see [`ChaosConfig::from_env`].
+    pub chaos: ChaosConfig,
 }
 
 impl Default for DriverConfig {
@@ -72,6 +119,8 @@ impl Default for DriverConfig {
             base_seed: 0xCA5CADE,
             parallel: true,
             cache_injections: false,
+            retry: RetryConfig::default(),
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -146,6 +195,17 @@ pub struct Driver<'a> {
     cache_misses: AtomicUsize,
     /// Total individual runs executed (profile + injection).
     pub runs_executed: usize,
+    /// Self-fault-injection harness; disabled unless configured via
+    /// [`DriverConfig::chaos`] or the `CSNAKE_CHAOS` environment variable.
+    chaos: ChaosInjector,
+    /// Observer for supervisor events (`batch_retried` / `batch_failed`);
+    /// `None` keeps them silent.
+    observer: Option<Arc<dyn CampaignObserver>>,
+    /// Experiment cells abandoned after the retry budget was exhausted,
+    /// drained by [`ExperimentEngine::take_gaps`].
+    gaps: Vec<(FaultId, TestId, u8)>,
+    /// Monotonic batch ordinal for supervisor-event provenance.
+    batch_counter: usize,
 }
 
 impl<'a> Driver<'a> {
@@ -203,6 +263,8 @@ impl<'a> Driver<'a> {
             .map(|(tid, traces)| (*tid, ProfileIndex::build(&registry, traces)))
             .collect();
 
+        let chaos =
+            ChaosInjector::new(ChaosConfig::from_env().unwrap_or_else(|| cfg.chaos.clone()));
         Driver {
             target,
             registry,
@@ -216,7 +278,24 @@ impl<'a> Driver<'a> {
             cache_hits: AtomicUsize::new(0),
             cache_misses: AtomicUsize::new(0),
             runs_executed: runs,
+            chaos,
+            observer: None,
+            gaps: Vec::new(),
+            batch_counter: 0,
         }
+    }
+
+    /// Attaches an observer for supervisor events — retries
+    /// ([`CampaignObserver::batch_retried`]) and abandoned cells
+    /// ([`CampaignObserver::batch_failed`]). Stage-level events are
+    /// emitted by the session, not the driver.
+    pub fn set_observer(&mut self, observer: Arc<dyn CampaignObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// The active self-fault-injection harness (disabled unless configured).
+    pub fn chaos(&self) -> &ChaosInjector {
+        &self.chaos
     }
 
     /// `(hits, misses)` of the injection-run cache so far; both zero when
@@ -278,6 +357,10 @@ impl<'a> Driver<'a> {
         phase: u8,
         parallel_reps: bool,
     ) -> (ExperimentOutcome, usize) {
+        // Chaos fires before any simulator work so a failed attempt
+        // contributes zero runs — a retried campaign's `runs_executed`
+        // matches an unfailed one exactly.
+        self.chaos.experiment_hook(f, t);
         let fallback;
         let profile = match self.profile_idx.get(&t) {
             Some(p) => p,
@@ -415,32 +498,104 @@ impl ExperimentEngine for Driver<'_> {
     }
 
     fn run_experiment(&mut self, f: FaultId, t: TestId, phase: u8) -> ExperimentOutcome {
-        let (outcome, runs) = self.experiment_outcome(f, t, phase, self.cfg.parallel);
-        self.runs_executed += runs;
-        outcome
+        self.run_experiments(&[(f, t, phase)])
+            .pop()
+            .expect("one outcome per experiment")
     }
 
     /// Fans the batch's independent experiments out on the shared worker
-    /// pool. Target runs are deterministic in `(test, plan, seed)` and the
-    /// pool reassembles results in batch order, so the outcome sequence is
-    /// bit-identical to the sequential path.
+    /// pool, supervising failures. Target runs are deterministic in
+    /// `(test, plan, seed)` and results reassemble in batch order, so the
+    /// outcome sequence is bit-identical to the sequential path.
+    ///
+    /// Jobs that panic (or are made to panic/stall by the chaos harness)
+    /// are quarantined and retried per [`DriverConfig::retry`]; the backoff
+    /// pauses pace wall-clock execution only and never enter results. A
+    /// job still failing after the budget becomes a *gap*: it yields an
+    /// empty [`ExperimentOutcome`] placeholder (preserving batch order and
+    /// budget accounting), is reported via
+    /// [`CampaignObserver::batch_failed`], and is recorded for
+    /// [`ExperimentEngine::take_gaps`].
     fn run_experiments(&mut self, batch: &[(FaultId, TestId, u8)]) -> Vec<ExperimentOutcome> {
-        if !self.cfg.parallel || batch.len() <= 1 {
-            return batch
-                .iter()
-                .map(|&(f, t, p)| self.run_experiment(f, t, p))
-                .collect();
+        let batch_id = self.batch_counter;
+        self.batch_counter += 1;
+        let threads = if self.cfg.parallel {
+            pool::hardware_threads()
+        } else {
+            1
+        };
+        // Per-repetition threading is only worthwhile when the batch itself
+        // cannot fan out — the historical sequential-path semantics.
+        let parallel_reps = self.cfg.parallel && batch.len() <= 1;
+
+        let mut slots: Vec<Option<(ExperimentOutcome, usize)>> =
+            (0..batch.len()).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..batch.len()).collect();
+        let mut attempt = 0u32;
+        loop {
+            let jobs: Vec<(FaultId, TestId, u8)> = pending.iter().map(|&i| batch[i]).collect();
+            let this = &*self;
+            let results = pool::run_ordered_caught(jobs, threads, move |(f, t, p)| {
+                this.experiment_outcome(f, t, p, parallel_reps)
+            });
+            let mut failed: Vec<(usize, String)> = Vec::new();
+            for (res, &idx) in results.into_iter().zip(pending.iter()) {
+                match res {
+                    Ok(out) => slots[idx] = Some(out),
+                    Err(payload) => failed.push((idx, pool::panic_message(payload.as_ref()))),
+                }
+            }
+            if failed.is_empty() {
+                break;
+            }
+            if attempt >= self.cfg.retry.max_retries {
+                for (idx, reason) in &failed {
+                    let (f, t, p) = batch[*idx];
+                    self.gaps.push((f, t, p));
+                    if let Some(obs) = &self.observer {
+                        obs.batch_failed(batch_id, f, t, p, reason);
+                    }
+                    // Empty placeholder keeps batch order and budget
+                    // accounting identical to a successful run; the cell is
+                    // enumerated in the report's missing set instead.
+                    slots[*idx] = Some((
+                        ExperimentOutcome {
+                            fault: f,
+                            test: t,
+                            interference: Default::default(),
+                            edges: Vec::new(),
+                        },
+                        0,
+                    ));
+                }
+                break;
+            }
+            attempt += 1;
+            let backoff = self.cfg.retry.backoff_ms(attempt);
+            if let Some(obs) = &self.observer {
+                obs.batch_retried(batch_id, failed.len(), attempt, backoff);
+            }
+            if backoff > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+            }
+            pending = failed.into_iter().map(|(idx, _)| idx).collect();
         }
-        let this = &*self;
-        let results = pool::run_ordered(batch.to_vec(), pool::hardware_threads(), |(f, t, p)| {
-            this.experiment_outcome(f, t, p, false)
-        });
-        let mut outcomes = Vec::with_capacity(results.len());
-        for (out, runs) in results {
+
+        let mut outcomes = Vec::with_capacity(batch.len());
+        for slot in slots {
+            let (out, runs) = slot.expect("every slot resolved");
             self.runs_executed += runs;
             outcomes.push(out);
         }
         outcomes
+    }
+
+    fn take_gaps(&mut self) -> Vec<(FaultId, TestId, u8)> {
+        std::mem::take(&mut self.gaps)
+    }
+
+    fn runs_executed(&self) -> usize {
+        self.runs_executed
     }
 }
 

@@ -36,9 +36,19 @@ pub enum CsnakeError {
         /// The underlying OS error.
         source: io::Error,
     },
-    /// The snapshot payload is malformed: bad magic, truncation, checksum
-    /// mismatch, or an impossible encoded value.
+    /// The snapshot payload is malformed: bad magic, checksum mismatch, or
+    /// an impossible encoded value.
     SnapshotCorrupt(String),
+    /// The snapshot file is shorter than its header declares — the classic
+    /// signature of a write interrupted by a crash or kill. Distinct from
+    /// [`CsnakeError::SnapshotCorrupt`] so a resume path can fall back to an
+    /// earlier checkpoint instead of treating the campaign as damaged.
+    SnapshotTorn {
+        /// Bytes the header (or the minimum container layout) promised.
+        expected: u64,
+        /// Bytes actually present in the file.
+        found: u64,
+    },
     /// The snapshot was written by an incompatible format version.
     SnapshotVersion {
         /// Version found in the snapshot header.
@@ -81,6 +91,12 @@ impl fmt::Display for CsnakeError {
                 write!(f, "snapshot I/O failed for {}: {source}", path.display())
             }
             CsnakeError::SnapshotCorrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            CsnakeError::SnapshotTorn { expected, found } => write!(
+                f,
+                "torn snapshot: file holds {found} bytes but the header \
+                 promises {expected} — the write was interrupted; resume \
+                 from an earlier checkpoint"
+            ),
             CsnakeError::SnapshotVersion { found, supported } => write!(
                 f,
                 "unsupported snapshot version {found} (this build supports {supported})"
@@ -139,6 +155,13 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("mini-hdfs2") && s.contains("toy"), "{s}");
+
+        let e = CsnakeError::SnapshotTorn {
+            expected: 64,
+            found: 17,
+        };
+        let s = e.to_string();
+        assert!(s.contains("64") && s.contains("17"), "{s}");
     }
 
     #[test]

@@ -52,6 +52,44 @@
 //! The one-shot [`detect`] / [`detect_with_random_allocation`] calls remain
 //! as thin shims over a staged session.
 //!
+//! # Operating campaigns
+//!
+//! Long campaigns fail in boring ways — a flaky target panics a worker, a
+//! disk write is interrupted, the process is killed mid-phase — and the
+//! session layer is built to survive all three without perturbing results:
+//!
+//! * **Per-batch isolation and retry.** The driver runs every experiment
+//!   batch through a panic-isolating pool ([`pool`]); a panicking job
+//!   quarantines only its own batch slot, which is retried on a bounded,
+//!   deterministic exponential backoff schedule ([`RetryConfig`] —
+//!   backoff paces wall-clock only and never enters results). Batches are
+//!   merged in batch-index order, so a campaign that needed retries is
+//!   bit-identical to one that never failed.
+//! * **Graceful degradation.** A cell that fails every retry becomes a
+//!   *gap*, not an abort: the campaign completes, the observer sees
+//!   [`CampaignObserver::batch_failed`] and [`CampaignObserver::degraded`],
+//!   and the final [`DetectionReport`] is annotated with the missing
+//!   `(fault, test, phase)` cells
+//!   ([`DetectionReport::missing_cells`] / [`DetectionReport::degraded`]).
+//! * **Mid-phase checkpoints.** [`SessionBuilder::auto_checkpoint`]
+//!   streams snapshot-v4 checkpoints *inside* the allocation stage (every
+//!   `cadence` experiments): the 3PA planner's RNG state and used-set are
+//!   captured at phase entry, so a resumed campaign replans the identical
+//!   batch and skips the already-executed prefix. Every write is atomic —
+//!   staged to a `.csnake.tmp` sibling, fsynced, then renamed — and a
+//!   half-written file is rejected as typed [`CsnakeError::SnapshotTorn`]
+//!   rather than resumed wrongly. Resume from *any* checkpoint reproduces
+//!   the uninterrupted report Debug-identically
+//!   (`tests/supervisor_recovery.rs` proves the full kill matrix).
+//! * **Self-chaos harness.** [`chaos`] turns the supervisor on itself:
+//!   a seeded, deterministic injector makes experiment jobs panic, stall
+//!   past a deadline, or fail checkpoint IO — configured per-campaign via
+//!   [`DriverConfig`]`::chaos` or globally via the `CSNAKE_CHAOS`
+//!   environment variable (`seed=7,exp_panic=0.2,attempts=1,...`).
+//!   Decisions key on experiment identity, not call order, so a chaotic
+//!   run is reproducible and transient chaos provably leaves no trace in
+//!   the report. CI runs a chaos smoke campaign on every push.
+//!
 //! # Pipeline internals
 //!
 //! * [`fca`] — **Fault Causality Analysis** (§4.3): counterfactual comparison
@@ -153,6 +191,7 @@
 
 pub mod alloc;
 pub mod beam;
+pub mod chaos;
 pub mod cluster;
 pub mod compat;
 pub mod driver;
@@ -174,18 +213,19 @@ use serde::{Deserialize, Serialize};
 
 pub use alloc::{
     run_planned, run_random_allocation, run_random_allocation_with, run_three_phase,
-    run_three_phase_with, AllocationResult, AllocationStrategy, ExperimentEngine, RandomAllocation,
-    ThreePhase, ThreePhaseConfig,
+    run_three_phase_with, AllocationResult, AllocationStrategy, CheckpointSink, ExperimentEngine,
+    MidPhaseState, RandomAllocation, RecoveryContext, ThreePhase, ThreePhaseConfig,
 };
 pub use beam::{
     beam_search, beam_search_reference, cluster_cycles, BeamConfig, Cycle, CycleCluster,
 };
+pub use chaos::{ChaosConfig, ChaosInjector, ChaosSite};
 pub use cluster::{
     hierarchical_cluster, hierarchical_cluster_reference, hierarchical_cluster_with_stats,
     verify_cut_quality, ClusterStats, Clustering,
 };
 pub use compat::compatible;
-pub use driver::{Driver, DriverConfig};
+pub use driver::{Driver, DriverConfig, RetryConfig};
 pub use edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
 pub use error::{CsnakeError, Result};
 pub use fca::{

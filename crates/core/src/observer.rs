@@ -19,6 +19,10 @@
 //! | [`budget_spent`] | the allocation strategy's spent/total counters moved |
 //! | [`trace_cache`] | the driver's injection-run cache counters, after a campaign |
 //! | [`clustering`] | the phase-one clustering ran (size counters, §5.2) |
+//! | [`batch_retried`] | the supervisor quarantined failed jobs and scheduled a retry |
+//! | [`batch_failed`] | a `(fault, test)` cell exhausted its retries and became a gap |
+//! | [`checkpoint_written`] | a mid-phase checkpoint landed on disk (after the atomic rename) |
+//! | [`degraded`] | the campaign completed with missing cells in its report |
 //!
 //! [`stage_started`]: CampaignObserver::stage_started
 //! [`stage_finished`]: CampaignObserver::stage_finished
@@ -30,8 +34,15 @@
 //! [`budget_spent`]: CampaignObserver::budget_spent
 //! [`trace_cache`]: CampaignObserver::trace_cache
 //! [`clustering`]: CampaignObserver::clustering
+//! [`batch_retried`]: CampaignObserver::batch_retried
+//! [`batch_failed`]: CampaignObserver::batch_failed
+//! [`checkpoint_written`]: CampaignObserver::checkpoint_written
+//! [`degraded`]: CampaignObserver::degraded
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use csnake_inject::{FaultId, TestId};
 
 use crate::beam::Cycle;
 use crate::cluster::ClusterStats;
@@ -103,6 +114,38 @@ pub trait CampaignObserver: Send + Sync {
     fn clustering(&self, stats: &ClusterStats) {
         let _ = stats;
     }
+
+    /// The supervisor quarantined `failed_jobs` panicked/stalled jobs of
+    /// experiment batch `batch` and scheduled retry attempt `attempt`
+    /// (1-based) after a `backoff_ms` pause. The backoff paces wall-clock
+    /// execution only; it never enters campaign results.
+    fn batch_retried(&self, batch: usize, failed_jobs: usize, attempt: u32, backoff_ms: u64) {
+        let _ = (batch, failed_jobs, attempt, backoff_ms);
+    }
+
+    /// A `(fault, test)` experiment exhausted its retry budget in batch
+    /// `batch` and was recorded as a gap; `reason` is the final panic
+    /// message. The campaign continues degraded — see
+    /// [`degraded`](CampaignObserver::degraded).
+    fn batch_failed(&self, batch: usize, fault: FaultId, test: TestId, phase: u8, reason: &str) {
+        let _ = (batch, fault, test, phase, reason);
+    }
+
+    /// A mid-phase checkpoint reached disk: emitted *after* the atomic
+    /// temp-file + rename completed, so by the time an observer sees the
+    /// event the file at `path` is a complete, resumable snapshot covering
+    /// `executed_in_phase` experiments of allocation phase `phase`.
+    fn checkpoint_written(&self, path: &Path, phase: u8, executed_in_phase: usize) {
+        let _ = (path, phase, executed_in_phase);
+    }
+
+    /// The campaign completed with permanently failed cells: `missing`
+    /// enumerates every `(fault, test, phase)` whose experiment never
+    /// produced an outcome. Emitted at most once, while the report stage
+    /// assembles the annotated partial [`DetectionReport`](crate::DetectionReport).
+    fn degraded(&self, missing: &[(FaultId, TestId, u8)]) {
+        let _ = missing;
+    }
 }
 
 /// The default observer: ignores every event.
@@ -141,6 +184,14 @@ pub struct ProgressSnapshot {
     /// Peak sparse-graph working-set bytes actually implied by the run
     /// counts (see [`crate::ClusterStats::sparse_graph_bytes`]).
     pub clustering_peak_sparse_bytes: u64,
+    /// Retry rounds the supervisor scheduled.
+    pub batch_retries: usize,
+    /// `(fault, test)` cells that exhausted retries and became gaps.
+    pub batch_failures: usize,
+    /// Mid-phase checkpoints written to disk.
+    pub checkpoints_written: usize,
+    /// Whether a degraded completion was reported.
+    pub degraded: bool,
 }
 
 /// The bundled metrics observer: counts events with atomics so a monitoring
@@ -159,6 +210,10 @@ pub struct ProgressCollector {
     clustering_peak_vectors: AtomicUsize,
     clustering_peak_matrix_bytes: AtomicU64,
     clustering_peak_sparse_bytes: AtomicU64,
+    batch_retries: AtomicUsize,
+    batch_failures: AtomicUsize,
+    checkpoints_written: AtomicUsize,
+    degraded: std::sync::atomic::AtomicBool,
 }
 
 impl ProgressCollector {
@@ -182,6 +237,10 @@ impl ProgressCollector {
             clustering_peak_vectors: self.clustering_peak_vectors.load(Ordering::Relaxed),
             clustering_peak_matrix_bytes: self.clustering_peak_matrix_bytes.load(Ordering::Relaxed),
             clustering_peak_sparse_bytes: self.clustering_peak_sparse_bytes.load(Ordering::Relaxed),
+            batch_retries: self.batch_retries.load(Ordering::Relaxed),
+            batch_failures: self.batch_failures.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -225,13 +284,28 @@ impl CampaignObserver for ProgressCollector {
         self.clustering_peak_sparse_bytes
             .fetch_max(stats.sparse_graph_bytes, Ordering::Relaxed);
     }
+
+    fn batch_retried(&self, _batch: usize, _failed_jobs: usize, _attempt: u32, _backoff_ms: u64) {
+        self.batch_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn batch_failed(&self, _batch: usize, _f: FaultId, _t: TestId, _phase: u8, _reason: &str) {
+        self.batch_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn checkpoint_written(&self, _path: &Path, _phase: u8, _executed_in_phase: usize) {
+        self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn degraded(&self, _missing: &[(FaultId, TestId, u8)]) {
+        self.degraded.store(true, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::edge::{CausalEdge, CompatState, EdgeKind};
-    use csnake_inject::{FaultId, TestId};
 
     fn edge() -> CausalEdge {
         CausalEdge {
@@ -281,6 +355,22 @@ mod tests {
         assert_eq!(s.cycles, 1);
         assert_eq!(s.budget_spent, 7);
         assert_eq!(s.budget_total, 24);
+    }
+
+    #[test]
+    fn progress_collector_counts_supervisor_events() {
+        let c = ProgressCollector::new();
+        c.batch_retried(0, 3, 1, 10);
+        c.batch_retried(0, 1, 2, 20);
+        c.batch_failed(0, FaultId(1), TestId(2), 3, "chaos: boom");
+        c.checkpoint_written(Path::new("/tmp/c.csnake"), 2, 8);
+        let s = c.snapshot();
+        assert_eq!(s.batch_retries, 2);
+        assert_eq!(s.batch_failures, 1);
+        assert_eq!(s.checkpoints_written, 1);
+        assert!(!s.degraded);
+        c.degraded(&[(FaultId(1), TestId(2), 3)]);
+        assert!(c.snapshot().degraded);
     }
 
     #[test]

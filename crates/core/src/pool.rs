@@ -30,6 +30,14 @@ pub struct ScopedPool<'env, J, R> {
     job_tx: Sender<(usize, J)>,
     result_rx: Receiver<(usize, std::thread::Result<R>)>,
     threads: usize,
+    /// Shared with workers: when set, a job panic is delivered as an `Err`
+    /// result instead of poisoning the pool (see [`ScopedPool::map_caught`]).
+    isolate: Arc<AtomicBool>,
+    poisoned: Arc<AtomicBool>,
+    /// Monotonic per-pool batch counter; each `map`/`map_caught` call is one
+    /// batch, and the id is carried in re-raised panic messages so a failure
+    /// deep in a campaign names the round it happened in.
+    batch: usize,
     _marker: PhantomData<&'env ()>,
 }
 
@@ -52,10 +60,12 @@ impl<'env, J: Send + 'env, R: Send + 'env> ScopedPool<'env, J, R> {
         let job_rx = Arc::new(Mutex::new(job_rx));
         let (result_tx, result_rx) = channel();
         let poisoned = Arc::new(AtomicBool::new(false));
+        let isolate = Arc::new(AtomicBool::new(false));
         for _ in 0..threads {
             let job_rx = Arc::clone(&job_rx);
             let result_tx = result_tx.clone();
             let poisoned = Arc::clone(&poisoned);
+            let isolate = Arc::clone(&isolate);
             scope.spawn(move || loop {
                 // The guard drops as soon as `recv` returns, so other
                 // workers can pick up the next job immediately.
@@ -77,7 +87,9 @@ impl<'env, J: Send + 'env, R: Send + 'env> ScopedPool<'env, J, R> {
                 // join the panicked worker until the dispatcher returns).
                 // Ship the payload instead; `map` re-raises it.
                 let out = catch_unwind(AssertUnwindSafe(|| work(job)));
-                if out.is_err() {
+                // In isolation mode a panic is one job's result, not the
+                // round's fate: keep executing the rest of the batch.
+                if out.is_err() && !isolate.load(Ordering::Relaxed) {
                     poisoned.store(true, Ordering::Relaxed);
                 }
                 if result_tx.send((idx, out)).is_err() {
@@ -89,6 +101,9 @@ impl<'env, J: Send + 'env, R: Send + 'env> ScopedPool<'env, J, R> {
             job_tx,
             result_rx,
             threads,
+            isolate,
+            poisoned,
+            batch: 0,
             _marker: PhantomData,
         }
     }
@@ -108,10 +123,15 @@ impl<'env, J: Send + 'env, R: Send + 'env> ScopedPool<'env, J, R> {
     /// # Panics
     ///
     /// Re-raises the first job panic it receives, preserving the
-    /// fail-fast behaviour of running the jobs inline. (Workers drain —
-    /// but no longer execute — jobs queued after a panic, so the scope
-    /// joins promptly.)
+    /// fail-fast behaviour of running the jobs inline. The re-raised
+    /// payload is a `String` naming the failing job index and the pool's
+    /// batch id, with the original panic message appended — so a failure
+    /// ten batches into a campaign says *which* job of *which* round died.
+    /// (Workers drain — but no longer execute — jobs queued after a
+    /// panic, so the scope joins promptly. A pool whose `map` panicked
+    /// should not be reused; start a fresh scope instead.)
     pub fn map(&mut self, jobs: impl IntoIterator<Item = J>) -> Vec<R> {
+        let batch = self.begin_batch(false);
         let mut sent = 0usize;
         for j in jobs {
             self.job_tx.send((sent, j)).expect("worker pool alive");
@@ -122,13 +142,63 @@ impl<'env, J: Send + 'env, R: Send + 'env> ScopedPool<'env, J, R> {
             let (idx, r) = self.result_rx.recv().expect("worker result");
             match r {
                 Ok(v) => slots[idx] = Some(v),
-                Err(payload) => resume_unwind(payload),
+                Err(payload) => resume_unwind(Box::new(format!(
+                    "pool job {idx} of {sent} (batch {batch}) panicked: {}",
+                    panic_message(payload.as_ref())
+                ))),
             }
         }
         slots
             .into_iter()
             .map(|s| s.expect("all jobs returned"))
             .collect()
+    }
+
+    /// Like [`ScopedPool::map`], but with per-job isolation: a panicking
+    /// job becomes an `Err` slot in the returned vector while every other
+    /// job still executes and returns. Nothing is poisoned — the pool
+    /// remains usable for further rounds, which is what a retrying
+    /// supervisor needs to quarantine and re-run just the failed jobs.
+    pub fn map_caught(&mut self, jobs: impl IntoIterator<Item = J>) -> Vec<std::thread::Result<R>> {
+        self.begin_batch(true);
+        let mut sent = 0usize;
+        for j in jobs {
+            self.job_tx.send((sent, j)).expect("worker pool alive");
+            sent += 1;
+        }
+        let mut slots: Vec<Option<std::thread::Result<R>>> = (0..sent).map(|_| None).collect();
+        for _ in 0..sent {
+            let (idx, r) = self.result_rx.recv().expect("worker result");
+            slots[idx] = Some(r);
+        }
+        self.isolate.store(false, Ordering::Relaxed);
+        slots
+            .into_iter()
+            .map(|s| s.expect("all jobs returned"))
+            .collect()
+    }
+
+    /// Starts a new dispatch round: bumps the batch id, clears any stale
+    /// poison from a previous round and sets the isolation mode workers
+    /// consult for this round's jobs. Safe because `map`/`map_caught`
+    /// take `&mut self` and fully drain their results before returning.
+    fn begin_batch(&mut self, isolate: bool) -> usize {
+        self.poisoned.store(false, Ordering::Relaxed);
+        self.isolate.store(isolate, Ordering::Relaxed);
+        let batch = self.batch;
+        self.batch += 1;
+        batch
+    }
+}
+
+/// Best-effort extraction of a panic payload's human-readable message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -168,13 +238,59 @@ where
         .min(jobs.len().max(1))
         .min(hardware_threads());
     if threads <= 1 || jobs.len() <= 1 {
-        return jobs.into_iter().map(work).collect();
+        // Sequential fallback keeps the pooled path's panic provenance so a
+        // one-core machine reports failures the same way a many-core one
+        // does.
+        let n = jobs.len();
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(
+                |(idx, j)| match catch_unwind(AssertUnwindSafe(|| work(j))) {
+                    Ok(v) => v,
+                    Err(payload) => resume_unwind(Box::new(format!(
+                        "pool job {idx} of {n} (batch 0) panicked: {}",
+                        panic_message(payload.as_ref())
+                    ))),
+                },
+            )
+            .collect();
     }
     std::thread::scope(|scope| {
         let mut pool = ScopedPool::spawn(scope, &work, threads);
         pool.map(jobs)
         // Dropping the pool closes the job channel; workers exit before
         // the scope joins them.
+    })
+}
+
+/// One-shot ordered parallel map with per-job isolation: every job runs,
+/// panics are captured as `Err` slots instead of propagating, and results
+/// come back in job order. The sequential fallback catches panics the same
+/// way, so callers see identical shapes at any thread count.
+pub fn run_ordered_caught<J, R, W>(
+    jobs: Vec<J>,
+    threads: usize,
+    work: W,
+) -> Vec<std::thread::Result<R>>
+where
+    J: Send,
+    R: Send,
+    W: Fn(J) -> R + Sync,
+{
+    let threads = threads
+        .max(1)
+        .min(jobs.len().max(1))
+        .min(hardware_threads());
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs
+            .into_iter()
+            .map(|j| catch_unwind(AssertUnwindSafe(|| work(j))))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let mut pool = ScopedPool::spawn(scope, &work, threads);
+        pool.map_caught(jobs)
     })
 }
 
@@ -243,8 +359,92 @@ mod tests {
         });
         std::panic::set_hook(prev);
         let payload = result.expect_err("panic must propagate");
-        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        let msg = panic_message(payload.as_ref());
         assert!(msg.contains("exploded"), "unexpected payload: {msg:?}");
+        // Provenance: the re-raise names the failing job and the batch.
+        assert!(msg.contains("pool job 17"), "missing job index: {msg:?}");
+        assert!(msg.contains("batch 0"), "missing batch id: {msg:?}");
+    }
+
+    #[test]
+    fn map_panic_provenance_tracks_batch_counter() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let work = |x: usize| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        };
+        let msg = std::thread::scope(|scope| {
+            let mut pool = ScopedPool::spawn(scope, &work, 2);
+            assert_eq!(pool.map(0..4), vec![0, 1, 2, 3]); // batch 0
+            assert_eq!(pool.map(0..4), vec![0, 1, 2, 3]); // batch 1
+            let payload = std::panic::catch_unwind(AssertUnwindSafe(|| pool.map(0..8)))
+                .expect_err("job 5 panics");
+            panic_message(payload.as_ref())
+        });
+        std::panic::set_hook(prev);
+        assert!(msg.contains("pool job 5 of 8"), "{msg:?}");
+        assert!(msg.contains("batch 2"), "{msg:?}");
+        assert!(msg.contains("boom"), "{msg:?}");
+    }
+
+    #[test]
+    fn map_caught_isolates_panics_and_keeps_pool_usable() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let work = |x: usize| {
+            if x % 3 == 1 {
+                panic!("job {x} down");
+            }
+            x * 2
+        };
+        std::thread::scope(|scope| {
+            let mut pool = ScopedPool::spawn(scope, &work, 4);
+            let out = pool.map_caught(0..9);
+            assert_eq!(out.len(), 9);
+            for (i, r) in out.iter().enumerate() {
+                if i % 3 == 1 {
+                    let msg = panic_message(r.as_ref().expect_err("isolated panic").as_ref());
+                    assert!(msg.contains(&format!("job {i} down")), "{msg:?}");
+                } else {
+                    assert_eq!(*r.as_ref().expect("survivor"), i * 2);
+                }
+            }
+            // The pool is not poisoned: a follow-up round still executes
+            // every job (this is the quarantine-and-retry contract).
+            let retry = pool.map_caught(vec![0usize, 3, 6]);
+            assert_eq!(
+                retry.into_iter().map(|r| r.unwrap()).collect::<Vec<_>>(),
+                vec![0, 6, 12]
+            );
+            // And fail-fast mode still works on the same pool afterwards.
+            assert_eq!(pool.map(vec![0usize, 3]), vec![0, 6]);
+        });
+        std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn run_ordered_caught_matches_at_any_thread_count() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let work = |x: u32| {
+            if x == 2 {
+                panic!("two");
+            }
+            x + 100
+        };
+        for threads in [1usize, 4] {
+            let out = run_ordered_caught((0..6).collect(), threads, work);
+            let shape: Vec<Option<u32>> = out.into_iter().map(|r| r.ok()).collect();
+            assert_eq!(
+                shape,
+                vec![Some(100), Some(101), None, Some(103), Some(104), Some(105)],
+                "threads={threads}"
+            );
+        }
+        std::panic::set_hook(prev);
     }
 
     #[test]

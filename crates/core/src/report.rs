@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use csnake_inject::{FaultKind, Registry};
+use csnake_inject::{FaultId, FaultKind, Registry, TestId};
 use serde::{Deserialize, Serialize};
 
 use crate::alloc::AllocationResult;
@@ -97,9 +97,21 @@ pub struct DetectionReport {
     pub experiments_run: usize,
     /// Causal edges discovered.
     pub edge_count: usize,
+    /// `(fault, test, phase)` experiment cells the supervisor abandoned
+    /// after exhausting retries — empty on clean (or transiently-failing)
+    /// campaigns. A non-empty list means the report is *partial*: these
+    /// cells contributed no causal edges.
+    pub missing_cells: Vec<(FaultId, TestId, u8)>,
 }
 
 impl DetectionReport {
+    /// Whether the campaign completed degraded: some experiment cells were
+    /// abandoned after exhausting retries (see
+    /// [`missing_cells`](DetectionReport::missing_cells)).
+    pub fn degraded(&self) -> bool {
+        !self.missing_cells.is_empty()
+    }
+
     /// Number of true-positive clusters.
     pub fn tp_clusters(&self) -> usize {
         self.verdicts
@@ -247,6 +259,7 @@ pub fn build_report(
         verdicts,
         matches,
         undetected,
+        missing_cells: alloc.gaps.clone(),
     }
 }
 

@@ -46,13 +46,17 @@
 //! [`CampaignObserver`] as it happens; see [`crate::observer`] for the
 //! event vocabulary.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use serde::Serialize;
 
-use crate::alloc::{AllocationResult, AllocationStrategy};
+use crate::alloc::{
+    AllocationResult, AllocationStrategy, CheckpointSink, MidPhaseState, RecoveryContext,
+};
 use crate::beam::{beam_search, cluster_cycles, Cycle, CycleCluster};
+use crate::chaos::{ChaosConfig, ChaosInjector};
 use crate::driver::Driver;
 use crate::error::{CsnakeError, Result};
 use crate::observer::{CampaignObserver, NoopObserver};
@@ -152,6 +156,7 @@ pub struct SessionBuilder<'a> {
     target: &'a dyn TargetSystem,
     cfg: Option<DetectConfig>,
     observer: Arc<dyn CampaignObserver>,
+    auto_checkpoint: Option<(PathBuf, usize)>,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -164,6 +169,18 @@ impl<'a> SessionBuilder<'a> {
     /// Attaches a campaign observer (default: the no-op observer).
     pub fn observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
         self.observer = observer;
+        self
+    }
+
+    /// Streams mid-phase checkpoints of the allocation campaign to `path`:
+    /// after every `cadence` experiments the supervisor atomically rewrites
+    /// the file with a resumable snapshot of the 3PA runner's planning
+    /// state ([`CampaignObserver::checkpoint_written`] fires per write).
+    /// A session resumed from such a file continues *inside* the
+    /// interrupted phase and produces a bit-identical campaign. `cadence`
+    /// of zero checkpoints once per phase.
+    pub fn auto_checkpoint(mut self, path: impl Into<PathBuf>, cadence: usize) -> Self {
+        self.auto_checkpoint = Some((path.into(), cadence));
         self
     }
 
@@ -185,6 +202,8 @@ impl<'a> SessionBuilder<'a> {
             alloc: None,
             stitched: None,
             report: None,
+            auto_checkpoint: self.auto_checkpoint,
+            pending_mid_phase: None,
         })
     }
 
@@ -199,7 +218,52 @@ impl<'a> SessionBuilder<'a> {
             return Err(CsnakeError::ConfigOverride);
         }
         let snap = Snapshot::read_file(path)?;
-        Session::from_snapshot(self.target, snap, self.observer)
+        let mut session = Session::from_snapshot(self.target, snap, self.observer)?;
+        session.auto_checkpoint = self.auto_checkpoint;
+        Ok(session)
+    }
+}
+
+/// Durability half of mid-phase checkpointing: assembles full snapshot
+/// bytes from the pre-encoded profile block plus the fresh
+/// [`MidPhaseState`], writes them atomically, and emits
+/// [`CampaignObserver::checkpoint_written`] after the rename. Injected
+/// snapshot-IO chaos is retried within the configured transient allowance;
+/// a write that still fails is reported to the runner as a missed
+/// checkpoint (`false`) and the campaign continues — resume is merely
+/// coarser.
+struct SessionCheckpointSink {
+    encoder: crate::snapshot::MidPhaseCheckpointEncoder,
+    path: PathBuf,
+    observer: Arc<dyn CampaignObserver>,
+    chaos: ChaosInjector,
+    /// Checkpoint ordinal: the chaos identity key, so injected IO faults
+    /// hit the same checkpoints on every run of a given seed.
+    ordinal: AtomicU64,
+}
+
+impl CheckpointSink for SessionCheckpointSink {
+    fn write(&self, state: &MidPhaseState) -> bool {
+        let ordinal = self.ordinal.fetch_add(1, Ordering::Relaxed);
+        let attempts = self.chaos.config().transient_attempts.saturating_add(1);
+        let mut cleared = false;
+        for _ in 0..attempts.max(1) {
+            if self.chaos.snapshot_io_hook(ordinal).is_ok() {
+                cleared = true;
+                break;
+            }
+        }
+        if !cleared {
+            return false;
+        }
+        match crate::snapshot::write_file_bytes(&self.path, &self.encoder.encode(state)) {
+            Ok(()) => {
+                self.observer
+                    .checkpoint_written(&self.path, state.phase, state.executed_in_phase);
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 
@@ -233,6 +297,12 @@ pub struct Session<'a> {
     alloc: Option<AllocationResult>,
     stitched: Option<StitchedCycles>,
     report: Option<DetectionReport>,
+    /// Mid-phase checkpoint destination and cadence (see
+    /// [`SessionBuilder::auto_checkpoint`]).
+    auto_checkpoint: Option<(PathBuf, usize)>,
+    /// Mid-phase state recovered from a v4 snapshot, consumed by the next
+    /// [`allocate`](Session::allocate) call.
+    pending_mid_phase: Option<MidPhaseState>,
 }
 
 impl<'a> Session<'a> {
@@ -242,6 +312,7 @@ impl<'a> Session<'a> {
             target,
             cfg: None,
             observer: Arc::new(NoopObserver),
+            auto_checkpoint: None,
         }
     }
 
@@ -289,6 +360,8 @@ impl<'a> Session<'a> {
             alloc: None,
             stitched: None,
             report: None,
+            auto_checkpoint: None,
+            pending_mid_phase: None,
         };
         if let Some(profiles) = snap.profiles {
             session.driver = Some(Driver::from_profiles(
@@ -317,6 +390,19 @@ impl<'a> Session<'a> {
             }
             session.stitched = Some(stitched);
             session.stage = Stage::Stitched;
+        }
+        if let Some(mid) = snap.mid_phase {
+            if session.driver.is_none() {
+                return Err(CsnakeError::SnapshotCorrupt(
+                    "mid-phase section without a profile section".into(),
+                ));
+            }
+            if session.alloc.is_some() {
+                return Err(CsnakeError::SnapshotCorrupt(
+                    "mid-phase section alongside a completed allocation".into(),
+                ));
+            }
+            session.pending_mid_phase = Some(mid);
         }
         if session.stage != snap.stage {
             return Err(CsnakeError::SnapshotCorrupt(format!(
@@ -411,13 +497,51 @@ impl<'a> Session<'a> {
 
     /// Stage 3 (Fig. 3): run the fault-injection campaign under an
     /// allocation strategy, populating the causal database.
+    ///
+    /// Runs under the campaign supervisor: experiment jobs that panic or
+    /// stall are quarantined and retried per
+    /// [`RetryConfig`](crate::driver::RetryConfig); cells that fail
+    /// permanently become enumerated gaps rather than aborting the
+    /// campaign (the observer sees [`CampaignObserver::degraded`]). With
+    /// [`auto_checkpoint`](SessionBuilder::auto_checkpoint) configured,
+    /// mid-phase checkpoints stream to disk as the campaign progresses; a
+    /// session resumed from one continues inside the interrupted phase.
     pub fn allocate(&mut self, strategy: &dyn AllocationStrategy) -> Result<CampaignOutcome> {
         self.expect_stage(Stage::Profiled)?;
         self.observer.stage_started(Stage::Allocated);
+        let resume = self.pending_mid_phase.take();
+        let sink = self.auto_checkpoint.as_ref().map(|(path, _)| {
+            let driver = self.driver.as_ref().expect("profiled session has a driver");
+            SessionCheckpointSink {
+                encoder: crate::snapshot::MidPhaseCheckpointEncoder::new(
+                    self.target.name(),
+                    crate::snapshot::registry_fingerprint(&self.target.registry()),
+                    &self.cfg,
+                    driver.profiles(),
+                    strategy.name(),
+                ),
+                path: path.clone(),
+                observer: self.observer.clone(),
+                chaos: ChaosInjector::new(
+                    ChaosConfig::from_env().unwrap_or_else(|| self.cfg.driver.chaos.clone()),
+                ),
+                ordinal: AtomicU64::new(0),
+            }
+        });
+        let cadence = self.auto_checkpoint.as_ref().map(|&(_, c)| c).unwrap_or(0);
         let driver = self.driver.as_mut().expect("profiled session has a driver");
-        let alloc = strategy.run(driver, &*self.observer);
+        driver.set_observer(self.observer.clone());
+        let recovery = RecoveryContext {
+            sink: sink.as_ref().map(|s| s as &dyn CheckpointSink),
+            cadence,
+            resume,
+        };
+        let alloc = strategy.run_with_recovery(driver, &*self.observer, recovery);
         let (cache_hits, cache_misses) = driver.trace_cache_stats();
         self.observer.trace_cache(cache_hits, cache_misses);
+        if !alloc.gaps.is_empty() {
+            self.observer.degraded(&alloc.gaps);
+        }
         let artifact = CampaignOutcome {
             strategy: strategy.name().to_string(),
             experiments_run: alloc.experiments_run,
@@ -504,6 +628,7 @@ impl<'a> Session<'a> {
             strategy: self.strategy_name.clone(),
             alloc: self.alloc.clone(),
             stitched: self.stitched.clone(),
+            mid_phase: self.pending_mid_phase.clone(),
         }
     }
 
@@ -522,6 +647,7 @@ impl<'a> Session<'a> {
             strategy: self.strategy_name.as_ref(),
             alloc: self.alloc.as_ref(),
             stitched: self.stitched.as_ref(),
+            mid_phase: self.pending_mid_phase.as_ref(),
         }
         .to_bytes();
         crate::snapshot::write_file_bytes(path.as_ref(), &bytes)

@@ -52,11 +52,30 @@
 //! [`CsnakeError::SnapshotVersion`] — the layout is not self-describing,
 //! so silently misreading would be worse than re-running the campaign.
 //!
-//! Integrity failures surface as typed errors: a wrong magic/truncated file
-//! or checksum mismatch is [`CsnakeError::SnapshotCorrupt`], a format bump
-//! is [`CsnakeError::SnapshotVersion`], and resuming against the wrong
-//! system is [`CsnakeError::TargetMismatch`] (checked by the session, which
-//! compares [`Snapshot::target`] against the live target's name).
+//! # Mid-phase checkpoints and atomic writes (format version 4)
+//!
+//! Version 4 adds the campaign supervisor's durability layer:
+//!
+//! * an optional **mid-phase section** ([`MidPhaseState`]) carrying the
+//!   3PA runner's RNG state, used-set and executed-prefix counters, so a
+//!   killed campaign resumes *inside* an allocation phase instead of
+//!   replaying it from the last stage boundary;
+//! * the supervisor's [`RetryConfig`]/[`ChaosConfig`] knobs and the
+//!   allocation result's gap list join the persisted configuration;
+//! * every snapshot write goes through [`write_file_bytes`], which stages
+//!   the bytes in a `<path>.csnake.tmp` sibling, `fsync`s, and renames
+//!   into place — a crash mid-write leaves the previous checkpoint
+//!   intact, never a half-written file.
+//!
+//! Integrity failures surface as typed errors: a truncated file —
+//! shorter than its header, or a payload cut off before the length the
+//! header promises — is [`CsnakeError::SnapshotTorn`] (an interrupted
+//! write; resume from an earlier checkpoint); a wrong magic, trailing
+//! junk or checksum mismatch is [`CsnakeError::SnapshotCorrupt`]; a
+//! format bump is [`CsnakeError::SnapshotVersion`]; and resuming against
+//! the wrong system is [`CsnakeError::TargetMismatch`] (checked by the
+//! session, which compares [`Snapshot::target`] against the live
+//! target's name).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
@@ -68,8 +87,10 @@ use csnake_inject::{
 };
 use csnake_sim::VirtualTime;
 
-use crate::alloc::{AllocationResult, ThreePhaseConfig};
+use crate::alloc::{AllocationResult, MidPhaseState, ThreePhaseConfig};
 use crate::beam::{BeamConfig, Cycle, CycleCluster};
+use crate::chaos::ChaosConfig;
+use crate::driver::RetryConfig;
 use crate::edge::{CausalDb, CausalEdge, CompatState, EdgeKind};
 use crate::error::{CsnakeError, Result};
 use crate::fca::{ExperimentOutcome, FcaConfig};
@@ -81,10 +102,12 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CSNK";
 
 /// Format version written (and the only one read) by this build.
 /// Version 2 introduced the varint + delta payload layer; version 3 added
-/// the driver's `cache_injections` flag to the persisted configuration.
-/// Files of any other version are rejected with a typed
+/// the driver's `cache_injections` flag to the persisted configuration;
+/// version 4 added the campaign supervisor's mid-phase checkpoint section
+/// ([`MidPhaseState`]), the retry/chaos configuration, and the allocation
+/// gap list. Files of any other version are rejected with a typed
 /// [`CsnakeError::SnapshotVersion`].
-pub const SNAPSHOT_VERSION: u32 = 3;
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// FNV-1a over raw bytes (the integrity checksum of the container).
 fn fnv1a_bytes(bytes: &[u8]) -> u64 {
@@ -444,6 +467,33 @@ impl<A: Persist, B: Persist> Persist for (A, B) {
     }
 }
 
+impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
+    fn put(&self, w: &mut Writer) {
+        self.0.put(w);
+        self.1.put(w);
+        self.2.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?))
+    }
+}
+
+impl Persist for [u64; 4] {
+    /// xoshiro256++ state words are high-entropy; fixed-width encoding.
+    fn put(&self, w: &mut Writer) {
+        for word in self {
+            word.put(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        let mut out = [0u64; 4];
+        for word in &mut out {
+            *word = u64::load(r)?;
+        }
+        Ok(out)
+    }
+}
+
 macro_rules! persist_u32_newtype {
     ($t:ty) => {
         impl Persist for $t {
@@ -691,6 +741,7 @@ impl Persist for AllocationResult {
         self.sim_scores.put(w);
         self.experiments_run.put(w);
         self.budget.put(w);
+        self.gaps.put(w);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self> {
         Ok(AllocationResult {
@@ -701,6 +752,34 @@ impl Persist for AllocationResult {
             sim_scores: Vec::load(r)?,
             experiments_run: usize::load(r)?,
             budget: usize::load(r)?,
+            gaps: Vec::load(r)?,
+        })
+    }
+}
+
+impl Persist for MidPhaseState {
+    fn put(&self, w: &mut Writer) {
+        self.phase.put(w);
+        self.rng_state.put(w);
+        self.used_at_phase_start.put(w);
+        self.spent_at_phase_start.put(w);
+        self.executed_in_phase.put(w);
+        self.phase1_len.put(w);
+        self.outcomes.put(w);
+        self.gaps.put(w);
+        self.runs_executed.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(MidPhaseState {
+            phase: u8::load(r)?,
+            rng_state: <[u64; 4]>::load(r)?,
+            used_at_phase_start: Vec::load(r)?,
+            spent_at_phase_start: usize::load(r)?,
+            executed_in_phase: usize::load(r)?,
+            phase1_len: usize::load(r)?,
+            outcomes: Vec::load(r)?,
+            gaps: Vec::load(r)?,
+            runs_executed: usize::load(r)?,
         })
     }
 }
@@ -768,6 +847,44 @@ impl Persist for AnalysisConfig {
     }
 }
 
+impl Persist for RetryConfig {
+    fn put(&self, w: &mut Writer) {
+        self.max_retries.put(w);
+        self.backoff_base_ms.put(w);
+        self.backoff_cap_ms.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(RetryConfig {
+            max_retries: u32::load(r)?,
+            backoff_base_ms: u64::load(r)?,
+            backoff_cap_ms: u64::load(r)?,
+        })
+    }
+}
+
+impl Persist for ChaosConfig {
+    fn put(&self, w: &mut Writer) {
+        self.seed.put(w);
+        self.experiment_panic.put(w);
+        self.experiment_stall.put(w);
+        self.snapshot_io.put(w);
+        self.transient_attempts.put(w);
+        self.permanent.put(w);
+        self.stall_ms.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ChaosConfig {
+            seed: u64::load(r)?,
+            experiment_panic: f64::load(r)?,
+            experiment_stall: f64::load(r)?,
+            snapshot_io: f64::load(r)?,
+            transient_attempts: u32::load(r)?,
+            permanent: bool::load(r)?,
+            stall_ms: u64::load(r)?,
+        })
+    }
+}
+
 impl Persist for DriverConfig {
     fn put(&self, w: &mut Writer) {
         self.reps.put(w);
@@ -777,6 +894,8 @@ impl Persist for DriverConfig {
         self.base_seed.put(w);
         self.parallel.put(w);
         self.cache_injections.put(w);
+        self.retry.put(w);
+        self.chaos.put(w);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self> {
         Ok(DriverConfig {
@@ -787,6 +906,8 @@ impl Persist for DriverConfig {
             base_seed: u64::load(r)?,
             parallel: bool::load(r)?,
             cache_injections: bool::load(r)?,
+            retry: RetryConfig::load(r)?,
+            chaos: ChaosConfig::load(r)?,
         })
     }
 }
@@ -872,6 +993,9 @@ pub struct Snapshot {
     pub alloc: Option<AllocationResult>,
     /// Stitched cycles and their clusters (present from [`Stage::Stitched`]).
     pub stitched: Option<StitchedCycles>,
+    /// Mid-phase 3PA checkpoint (present only in supervisor checkpoints
+    /// written *inside* the allocation stage; stage boundaries clear it).
+    pub mid_phase: Option<MidPhaseState>,
 }
 
 /// Borrowed view of a snapshot's fields: the encoding path the session's
@@ -888,6 +1012,18 @@ pub(crate) struct SnapshotFields<'a> {
     pub strategy: Option<&'a String>,
     pub alloc: Option<&'a AllocationResult>,
     pub stitched: Option<&'a StitchedCycles>,
+    pub mid_phase: Option<&'a MidPhaseState>,
+}
+
+/// Wraps an encoded payload in the magic/version/length/checksum container.
+fn seal_container(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a_bytes(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
 }
 
 impl SnapshotFields<'_> {
@@ -903,23 +1039,88 @@ impl SnapshotFields<'_> {
         put_opt(self.strategy, &mut w);
         put_opt(self.alloc, &mut w);
         put_opt(self.stitched, &mut w);
-        let payload = w.buf;
+        put_opt(self.mid_phase, &mut w);
+        seal_container(w.buf)
+    }
+}
 
-        let mut out = Vec::with_capacity(payload.len() + 24);
-        out.extend_from_slice(&SNAPSHOT_MAGIC);
-        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&fnv1a_bytes(&payload).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+/// Pre-encoded mid-phase checkpoint assembler.
+///
+/// The session builds one per allocation campaign, encoding the heavy
+/// profile block exactly once; each checkpoint then costs only the fresh
+/// [`MidPhaseState`] plus a memcpy of the cached blocks. The output is
+/// byte-identical to a [`Snapshot`] at [`Stage::Profiled`] carrying the
+/// same profiles, strategy name and mid-phase section.
+pub(crate) struct MidPhaseCheckpointEncoder {
+    /// `target + registry_fp + cfg + stage tag` — everything before the
+    /// per-checkpoint `runs_executed` counter.
+    head: Vec<u8>,
+    /// `opt(profiles) + opt(strategy)` — everything between the counter
+    /// and the per-checkpoint tail sections.
+    sections: Vec<u8>,
+}
+
+impl MidPhaseCheckpointEncoder {
+    pub(crate) fn new(
+        target: &str,
+        registry_fp: u64,
+        cfg: &DetectConfig,
+        profiles: &BTreeMap<TestId, Vec<RunTrace>>,
+        strategy: &str,
+    ) -> Self {
+        let mut head = Writer::new();
+        put_str(target, &mut head);
+        registry_fp.put(&mut head);
+        cfg.put(&mut head);
+        Stage::Profiled.tag().put(&mut head);
+        let mut sections = Writer::new();
+        put_opt(Some(profiles), &mut sections);
+        let strategy = strategy.to_string();
+        put_opt(Some(&strategy), &mut sections);
+        MidPhaseCheckpointEncoder {
+            head: head.buf,
+            sections: sections.buf,
+        }
+    }
+
+    /// Full container bytes for one checkpoint.
+    pub(crate) fn encode(&self, mid: &MidPhaseState) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(&self.head);
+        mid.runs_executed.put(&mut w);
+        w.put_bytes(&self.sections);
+        put_opt::<AllocationResult>(None, &mut w);
+        put_opt::<StitchedCycles>(None, &mut w);
+        put_opt(Some(mid), &mut w);
+        seal_container(w.buf)
     }
 }
 
 /// Writes already-encoded snapshot bytes to a file with typed I/O errors.
+///
+/// The write is atomic: bytes are staged in a `<path>.csnake.tmp` sibling,
+/// `fsync`ed, and renamed into place. A crash at any point leaves either
+/// the previous file intact or the complete new one — never a torn
+/// snapshot (the rename is atomic on POSIX filesystems). A stale `.tmp`
+/// left by a crash is overwritten by the next write and never read.
 pub(crate) fn write_file_bytes(path: &Path, bytes: &[u8]) -> Result<()> {
-    std::fs::write(path, bytes).map_err(|source| CsnakeError::Io {
-        path: path.to_path_buf(),
-        source,
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".csnake.tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+    let staged = (|| {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    staged.map_err(|source| {
+        let _ = std::fs::remove_file(&tmp);
+        CsnakeError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
     })
 }
 
@@ -936,22 +1137,25 @@ impl Snapshot {
             strategy: self.strategy.as_ref(),
             alloc: self.alloc.as_ref(),
             stitched: self.stitched.as_ref(),
+            mid_phase: self.mid_phase.as_ref(),
         }
         .to_bytes()
     }
 
     /// Decodes and integrity-checks a snapshot container.
     pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot> {
-        if bytes.len() < 24 {
-            return Err(CsnakeError::SnapshotCorrupt(format!(
-                "file too short for a snapshot header ({} bytes)",
-                bytes.len()
-            )));
-        }
-        if bytes[0..4] != SNAPSHOT_MAGIC {
+        // Not-a-snapshot beats torn-snapshot: a wrong magic is diagnosed as
+        // corruption even when the file is also short.
+        if bytes.len() >= 4 && bytes[0..4] != SNAPSHOT_MAGIC {
             return Err(CsnakeError::SnapshotCorrupt(
                 "bad magic (not a .csnake snapshot)".into(),
             ));
+        }
+        if bytes.len() < 24 {
+            return Err(CsnakeError::SnapshotTorn {
+                expected: 24,
+                found: bytes.len() as u64,
+            });
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sized"));
         if version != SNAPSHOT_VERSION {
@@ -963,7 +1167,15 @@ impl Snapshot {
         let len = u64::from_le_bytes(bytes[8..16].try_into().expect("sized")) as usize;
         let check = u64::from_le_bytes(bytes[16..24].try_into().expect("sized"));
         let payload = &bytes[24..];
-        if payload.len() != len {
+        // Shorter than the header promises → the write was interrupted;
+        // longer → trailing junk from something other than a torn write.
+        if payload.len() < len {
+            return Err(CsnakeError::SnapshotTorn {
+                expected: 24 + len as u64,
+                found: bytes.len() as u64,
+            });
+        }
+        if payload.len() > len {
             return Err(CsnakeError::SnapshotCorrupt(format!(
                 "payload length mismatch: header says {len}, file has {}",
                 payload.len()
@@ -984,6 +1196,7 @@ impl Snapshot {
             strategy: Option::load(&mut r)?,
             alloc: Option::load(&mut r)?,
             stitched: Option::load(&mut r)?,
+            mid_phase: Option::load(&mut r)?,
         };
         if !r.finished() {
             return Err(CsnakeError::SnapshotCorrupt(format!(
@@ -1077,6 +1290,7 @@ mod tests {
                 sim_scores: vec![0.5, 1.0],
                 experiments_run: 1,
                 budget: 8,
+                gaps: vec![(FaultId(5), TestId(0), 3)],
             }),
             stitched: Some(StitchedCycles {
                 cycles: vec![Cycle {
@@ -1087,6 +1301,22 @@ mod tests {
                     key: vec![0, 1],
                     cycle_idxs: vec![0],
                 }],
+            }),
+            mid_phase: Some(MidPhaseState {
+                phase: 2,
+                rng_state: [1, 2, 3, u64::MAX],
+                used_at_phase_start: vec![(FaultId(1), TestId(0)), (FaultId(2), TestId(0))],
+                spent_at_phase_start: 5,
+                executed_in_phase: 3,
+                phase1_len: 4,
+                outcomes: vec![ExperimentOutcome {
+                    fault: FaultId(2),
+                    test: TestId(0),
+                    interference: BTreeSet::new(),
+                    edges: Vec::new(),
+                }],
+                gaps: vec![(FaultId(9), TestId(0), 2)],
+                runs_executed: 40,
             }),
         }
     }
@@ -1109,21 +1339,38 @@ mod tests {
     fn truncated_and_garbled_inputs_are_rejected_typed() {
         let bytes = sample_snapshot(Stage::Profiled).to_bytes();
 
-        // Too short for a header.
-        assert!(matches!(
-            Snapshot::from_bytes(&bytes[..10]),
-            Err(CsnakeError::SnapshotCorrupt(_))
-        ));
-        // Bad magic.
+        // Too short for a header → torn (an interrupted write).
+        match Snapshot::from_bytes(&bytes[..10]) {
+            Err(CsnakeError::SnapshotTorn { expected, found }) => {
+                assert_eq!(expected, 24);
+                assert_eq!(found, 10);
+            }
+            other => panic!("expected SnapshotTorn, got {other:?}"),
+        }
+        // Bad magic → corrupt, even when also short.
         let mut bad = bytes.clone();
         bad[0] = b'X';
         assert!(matches!(
             Snapshot::from_bytes(&bad),
             Err(CsnakeError::SnapshotCorrupt(_))
         ));
-        // Truncated payload.
         assert!(matches!(
-            Snapshot::from_bytes(&bytes[..bytes.len() - 5]),
+            Snapshot::from_bytes(&bad[..10]),
+            Err(CsnakeError::SnapshotCorrupt(_))
+        ));
+        // Truncated payload → torn, with the full expected size reported.
+        match Snapshot::from_bytes(&bytes[..bytes.len() - 5]) {
+            Err(CsnakeError::SnapshotTorn { expected, found }) => {
+                assert_eq!(expected, bytes.len() as u64);
+                assert_eq!(found, bytes.len() as u64 - 5);
+            }
+            other => panic!("expected SnapshotTorn, got {other:?}"),
+        }
+        // Trailing junk → corrupt, not torn.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            Snapshot::from_bytes(&long),
             Err(CsnakeError::SnapshotCorrupt(_))
         ));
         // Flipped payload byte → checksum mismatch.
@@ -1134,6 +1381,52 @@ mod tests {
             Snapshot::from_bytes(&flipped),
             Err(CsnakeError::SnapshotCorrupt(_))
         ));
+    }
+
+    /// Every prefix of a valid snapshot must decode to a typed error —
+    /// never a panic, never a wrong-but-plausible snapshot. This is the
+    /// kill-at-any-byte contract the atomic writer backs up.
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let bytes = sample_snapshot(Stage::Allocated).to_bytes();
+        for cut in 0..bytes.len() {
+            match Snapshot::from_bytes(&bytes[..cut]) {
+                Err(CsnakeError::SnapshotTorn { found, .. }) => {
+                    assert_eq!(found, cut as u64);
+                }
+                Err(CsnakeError::SnapshotCorrupt(_)) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mid_phase_section_roundtrips() {
+        let snap = sample_snapshot(Stage::Profiled);
+        let back = Snapshot::from_bytes(&snap.to_bytes()).expect("roundtrip");
+        let mp = back.mid_phase.expect("mid-phase section present");
+        assert_eq!(mp, snap.mid_phase.unwrap());
+
+        let mut bare = sample_snapshot(Stage::Profiled);
+        bare.mid_phase = None;
+        let back = Snapshot::from_bytes(&bare.to_bytes()).expect("roundtrip");
+        assert!(back.mid_phase.is_none());
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file() {
+        let path = std::env::temp_dir().join(format!(
+            "csnake-atomic-write-test-{}.csnake",
+            std::process::id()
+        ));
+        let snap = sample_snapshot(Stage::Profiled);
+        snap.write_file(&path).expect("write");
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".csnake.tmp");
+        assert!(!std::path::PathBuf::from(tmp_name).exists());
+        let back = Snapshot::read_file(&path).expect("read back");
+        assert_eq!(snap.to_bytes(), back.to_bytes());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

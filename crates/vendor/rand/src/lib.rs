@@ -134,6 +134,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Exports the raw xoshiro256++ state so a generator can be
+        /// checkpointed and later restored with [`StdRng::from_state`].
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state previously returned by
+        /// [`StdRng::state`]. The restored generator continues the exact
+        /// stream the original would have produced.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
