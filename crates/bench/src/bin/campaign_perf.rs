@@ -23,7 +23,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use csnake_bench::campaign::{synthetic_vectors, CampaignSpec, SyntheticCampaign};
+use csnake_bench::campaign::{
+    hot_dimension_vectors, synthetic_vectors, CampaignSpec, SyntheticCampaign,
+};
 use csnake_bench::watchdog;
 use csnake_core::cluster::{
     hierarchical_cluster, hierarchical_cluster_reference, hierarchical_cluster_with_stats,
@@ -289,6 +291,44 @@ fn main() {
         });
     }
     drop(wd);
+    let wd = watchdog::guard("campaign:clustering-hotdim");
+
+    // Stage 7: the candidate-generation worst case — one near-ubiquitous
+    // dimension shared by ~90% of the vectors. Exactness of the capped
+    // path is proven against the reference in-tree (`cluster_sparse.rs`);
+    // what the bench asserts is the worst-case *bound*: the hot-posting
+    // cap must keep the candidate graph far from the hot posting list's
+    // square, which is the regression a future change would silently
+    // reintroduce.
+    let hot_n = if smoke { 20_000 } else { 100_000 };
+    let hot_vectors = hot_dimension_vectors(hot_n, CLUSTER_LARGE_SEED);
+    let t0 = Instant::now();
+    let (hot_cut, hot_stats) = hierarchical_cluster_with_stats(&hot_vectors, CLUSTER_THRESHOLD);
+    let hot_ns = t0.elapsed().as_nanos();
+    assert!(
+        hot_stats.hot_dims >= 1,
+        "the shared dimension must trip the default hot cap: {hot_stats:?}"
+    );
+    let hot_quadratic = hot_stats.groups * hot_stats.groups.saturating_sub(1) / 2;
+    assert!(
+        hot_stats.candidate_edges < hot_stats.groups * 2,
+        "worst case must stay near-linear in groups under the cap: {} edges for {} groups",
+        hot_stats.candidate_edges,
+        hot_stats.groups
+    );
+    verify_cut_quality(&hot_vectors, &hot_cut, CLUSTER_THRESHOLD, 64)
+        .unwrap_or_else(|e| panic!("hot-dimension cut-quality violation: {e}"));
+    eprintln!(
+        "clustering_hotdim: {} vectors → {} clusters in {:.1} ms ({} groups, {} hot dims, {} edges vs {} quadratic pairs; cut quality verified)",
+        hot_n,
+        hot_cut.n_clusters,
+        hot_ns as f64 / 1e6,
+        hot_stats.groups,
+        hot_stats.hot_dims,
+        hot_stats.candidate_edges,
+        hot_quadratic,
+    );
+    drop(wd);
 
     let mut body = String::new();
     writeln!(body, "{{").unwrap();
@@ -384,6 +424,21 @@ fn main() {
         writeln!(body, "    }}{comma}").unwrap();
     }
     writeln!(body, "  ],").unwrap();
+    writeln!(body, "  \"clustering_hot_worst_case\": {{").unwrap();
+    writeln!(body, "    \"vectors\": {hot_n},").unwrap();
+    writeln!(body, "    \"ns\": {hot_ns},").unwrap();
+    writeln!(body, "    \"clusters\": {},", hot_cut.n_clusters).unwrap();
+    writeln!(body, "    \"duplicate_groups\": {},", hot_stats.groups).unwrap();
+    writeln!(body, "    \"hot_dims\": {},", hot_stats.hot_dims).unwrap();
+    writeln!(
+        body,
+        "    \"candidate_edges\": {},",
+        hot_stats.candidate_edges
+    )
+    .unwrap();
+    writeln!(body, "    \"quadratic_pairs_avoided\": {hot_quadratic},").unwrap();
+    writeln!(body, "    \"cut_quality\": \"verified\"").unwrap();
+    writeln!(body, "  }},").unwrap();
     writeln!(
         body,
         "  \"fca_outcome_equivalence\": \"verified_full_campaign\","

@@ -10,7 +10,12 @@
 //!    run accounting unchanged (failed attempts cost zero recorded runs);
 //! 3. **permanent chaos**: cells that fail every retry — the campaign must
 //!    still complete, with the missing (fault, test) cells enumerated in a
-//!    degraded report.
+//!    degraded report;
+//! 4. **distributed wire chaos**: the same campaign sharded across two
+//!    workers while every assignment frame risks a transient drop or
+//!    stall at the coordinator's send path — the re-send machinery must
+//!    keep the report and run accounting Debug-identical to the clean
+//!    baseline without losing a worker.
 //!
 //! Gated on `CSNAKE_CHAOS_SMOKE=1` so plain `cargo run` stays inert; CI
 //! sets the variable (plus `CSNAKE_STAGE_DEADLINE_S` so a hung stage names
@@ -55,6 +60,17 @@ fn permanent_chaos() -> ChaosConfig {
         seed: 0xDE6D,
         experiment_panic: 0.25,
         permanent: true,
+        ..ChaosConfig::default()
+    }
+}
+
+fn wire_chaos() -> ChaosConfig {
+    ChaosConfig {
+        seed: 0x317E,
+        wire_drop: 0.5,
+        wire_stall: 0.25,
+        stall_ms: 1,
+        transient_attempts: 1,
         ..ChaosConfig::default()
     }
 }
@@ -142,6 +158,40 @@ fn smoke_target(name: &str, target: &dyn TargetSystem) -> Result<(), String> {
         // completion without degradation is the recovered case.
         eprintln!("{name}: permanent chaos injected nothing fatal; campaign completed clean");
     }
+    drop(wd);
+
+    let wd = watchdog::guard(&format!("{name}:distributed-wire"));
+    let progress = Arc::new(ProgressCollector::new());
+    let mut cfg = fast_config();
+    cfg.driver.chaos = wire_chaos();
+    let opts = csnake_daemon::RunOptions {
+        observer: Some(progress.clone()),
+        ..csnake_daemon::RunOptions::default()
+    };
+    let run = csnake_daemon::run_distributed(name, cfg, 2, opts)
+        .map_err(|e| format!("{name}: distributed wire chaos: {e}"))?;
+    let snap = progress.snapshot();
+    if format!("{:?}", run.report) != clean_report {
+        return Err(format!(
+            "{name}: transient wire chaos changed the distributed report"
+        ));
+    }
+    if run.outcome.runs_executed != clean_runs {
+        return Err(format!(
+            "{name}: transient wire chaos changed run accounting ({clean_runs} → {})",
+            run.outcome.runs_executed
+        ));
+    }
+    if snap.workers_lost != 0 {
+        return Err(format!(
+            "{name}: transient wire chaos must not cost a worker ({} lost)",
+            snap.workers_lost
+        ));
+    }
+    eprintln!(
+        "{name}: transient wire chaos invisible across 2 workers ({} shard re-sends, {} runs)",
+        snap.shards_reassigned, run.outcome.runs_executed
+    );
     drop(wd);
 
     std::fs::remove_dir_all(&ckpt_dir).ok();

@@ -300,6 +300,28 @@ pub fn synthetic_vectors(n: usize, seed: u64) -> Vec<SparseVec> {
     docs.iter().map(|d| idf.vectorize(d)).collect()
 }
 
+/// The sparse-clustering candidate-generation worst case: one
+/// near-ubiquitous dimension (present in ~90% of docs — ubiquitous
+/// enough for a huge posting list, absent often enough that IDF keeps
+/// its weight nonzero) plus one rare dimension per doc from a pool of
+/// `max(8, n/2)`. Without hot-posting caps the shared dimension alone
+/// makes the candidate graph quadratic in the ~0.9·n groups that carry
+/// it; with caps the graph is driven by the rare-dimension collisions.
+pub fn hot_dimension_vectors(n: usize, seed: u64) -> Vec<SparseVec> {
+    let rare_pool = (n as u64 / 2).max(8);
+    let mut docs: Vec<BTreeSet<FaultId>> = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let mut doc = BTreeSet::new();
+        if !mix(&[seed, 30, i]).is_multiple_of(10) {
+            doc.insert(FaultId(0));
+        }
+        doc.insert(FaultId(1 + (mix(&[seed, 31, i]) % rare_pool) as u32));
+        docs.push(doc);
+    }
+    let idf = IdfVectorizer::fit(&docs);
+    docs.iter().map(|d| idf.vectorize(d)).collect()
+}
+
 /// Smallest stride ≥ `from` coprime to `n`, for the fault spread.
 fn pick_coprime_stride(n: u32, from: u32) -> u32 {
     fn gcd(mut a: u32, mut b: u32) -> u32 {

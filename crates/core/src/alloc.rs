@@ -57,6 +57,25 @@ pub trait ExperimentEngine {
             .collect()
     }
 
+    /// Runs a batch like [`run_experiments`](ExperimentEngine::run_experiments),
+    /// additionally reporting partial progress through `progress` so the
+    /// caller can checkpoint *inside* the batch.
+    ///
+    /// Engines that complete work out of order (the daemon's sharded
+    /// coordinator) invoke `progress` whenever a contiguous run of
+    /// outcomes lands, passing every completed [`ShardSpan`] with
+    /// batch-relative `start` offsets. The default ignores the callback —
+    /// in-process engines finish a batch atomically, so the per-chunk
+    /// checkpoint in the runner is already as fine-grained as it gets.
+    fn run_experiments_checkpointed(
+        &mut self,
+        batch: &[(FaultId, TestId, u8)],
+        progress: &mut dyn FnMut(&[ShardSpan]),
+    ) -> Vec<ExperimentOutcome> {
+        let _ = progress;
+        self.run_experiments(batch)
+    }
+
     /// Drains the `(fault, test, phase)` cells whose experiments
     /// permanently failed since the last drain. Engines without a retry
     /// supervisor (mocks, baselines) never produce gaps; the real driver
@@ -70,6 +89,14 @@ pub trait ExperimentEngine {
     /// Engines that don't track runs report zero.
     fn runs_executed(&self) -> usize {
         0
+    }
+
+    /// Attaches an observer for engine-level supervision events
+    /// (batch retries, abandoned cells, worker lifecycle). The default
+    /// ignores it; the real driver and the daemon's distributed engine
+    /// forward their supervisor events through it.
+    fn attach_observer(&mut self, observer: std::sync::Arc<dyn CampaignObserver>) {
+        let _ = observer;
     }
 }
 
@@ -209,6 +236,80 @@ pub struct MidPhaseState {
     pub gaps: Vec<(FaultId, TestId, u8)>,
     /// The engine's run counter at checkpoint time.
     pub runs_executed: usize,
+    /// Out-of-order completed islands of the current phase (snapshot v5):
+    /// shard results that landed *beyond* the contiguous executed prefix.
+    /// Empty for in-process engines, whose batches complete in order; the
+    /// daemon's sharded coordinator records each completed shard here so
+    /// a mid-batch kill never re-runs finished shards. Spans are
+    /// phase-batch-relative, disjoint, and sorted by `start` — see
+    /// [`MidPhaseState::normalize`] for the merge rule.
+    pub shard_spans: Vec<ShardSpan>,
+}
+
+/// A contiguous run of outcomes a sharded engine completed out of order:
+/// shard `shard` covered phase-batch positions `start ..
+/// start + outcomes.len()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSpan {
+    /// Ordinal of the shard that produced this span (provenance only;
+    /// results are merged purely by position).
+    pub shard: u32,
+    /// Offset of the span's first experiment in the phase batch.
+    pub start: usize,
+    /// The span's outcomes, in batch order.
+    pub outcomes: Vec<ExperimentOutcome>,
+    /// Permanently failed cells of this span, in batch order.
+    pub gaps: Vec<(FaultId, TestId, u8)>,
+    /// Simulator runs the span's experiments executed.
+    pub runs: usize,
+}
+
+impl ShardSpan {
+    /// One past the last phase-batch position the span covers.
+    pub fn end(&self) -> usize {
+        self.start + self.outcomes.len()
+    }
+}
+
+impl MidPhaseState {
+    /// The shard/gap merge rule: folds every span that touches the
+    /// contiguous executed prefix into it and keeps the rest as islands.
+    ///
+    /// Spans are sorted by `start`; a span with `start ≤ executed_in_phase`
+    /// extends the prefix (outcomes append after trimming any overlap, its
+    /// gaps and run counter merge in span order — which *is* global batch
+    /// order, since shards partition the batch by contiguous index
+    /// ranges), and the fold repeats until the next span no longer
+    /// touches. Remaining islands stay in `shard_spans` for
+    /// [`run_three_phase_resumable`] to splice once execution reaches
+    /// them. Folding is idempotent and order-insensitive, so a state
+    /// normalizes identically no matter how many checkpoint/resume hops
+    /// it went through.
+    pub fn normalize(&mut self) {
+        if self.shard_spans.is_empty() {
+            return;
+        }
+        self.shard_spans.sort_by_key(|s| s.start);
+        let mut islands = Vec::new();
+        for mut span in std::mem::take(&mut self.shard_spans) {
+            if span.start > self.executed_in_phase {
+                islands.push(span);
+                continue;
+            }
+            if span.end() <= self.executed_in_phase {
+                // Entirely inside the prefix: already folded by an earlier
+                // checkpoint hop (its gaps/runs are accounted for there).
+                continue;
+            }
+            let end = span.end();
+            let overlap = self.executed_in_phase - span.start;
+            self.outcomes.extend(span.outcomes.drain(..).skip(overlap));
+            self.executed_in_phase = end;
+            self.gaps.append(&mut span.gaps);
+            self.runs_executed += span.runs;
+        }
+        self.shard_spans = islands;
+    }
 }
 
 /// The paper's Three-Phase Allocation protocol as a strategy object.
@@ -411,13 +512,16 @@ struct PhaseCtx {
 }
 
 /// Executes one phase's planned batch, skipping an already-executed prefix
-/// (resume), folding outcomes into the database in batch order, draining
-/// engine gaps, and checkpointing after every `cadence` experiments.
+/// (resume), splicing already-completed out-of-order islands (per-shard
+/// checkpoints) without re-running them, folding outcomes into the database
+/// in batch order, draining engine gaps, and checkpointing after every
+/// `cadence` experiments.
 #[allow(clippy::too_many_arguments)]
 fn execute_phase(
     engine: &mut dyn ExperimentEngine,
     batch: &[(FaultId, TestId, u8)],
     skip: usize,
+    resume_islands: &[ShardSpan],
     ctx: &PhaseCtx,
     recovery: &RecoveryContext<'_>,
     observer: &dyn CampaignObserver,
@@ -434,15 +538,79 @@ fn execute_phase(
         _ => batch.len().saturating_sub(skip).max(1),
     };
     let mut executed = skip;
-    for chunk in batch[skip..].chunks(chunk_size) {
-        for out in engine.run_experiments(chunk) {
-            for e in &out.edges {
-                if db.push(e.clone()) {
-                    observer.edge_emitted(e);
+    // Islands a previous process completed beyond the executed prefix,
+    // sorted by start; spliced into place when execution reaches them.
+    let mut islands: std::collections::VecDeque<ShardSpan> = resume_islands.to_vec().into();
+    islands.make_contiguous().sort_by_key(|s| s.start);
+    while executed < batch.len() || islands.front().is_some() {
+        // Splice every island the prefix has reached: push its outcomes
+        // and gaps in batch order — edges enter the database exactly as a
+        // live run would push them, but without re-emitting observer
+        // events for work a previous process already reported.
+        while islands.front().is_some_and(|s| s.start <= executed) {
+            let span = islands.pop_front().expect("peeked island");
+            let overlap = executed - span.start;
+            for out in span.outcomes.into_iter().skip(overlap) {
+                for e in &out.edges {
+                    db.push(e.clone());
                 }
+                outcomes.push(out);
+                executed += 1;
             }
-            observer.experiment_completed(&out);
-            outcomes.push(out);
+            gaps.extend(span.gaps);
+        }
+        if executed >= batch.len() {
+            break;
+        }
+        // The next live segment runs up to the next island (exclusive) in
+        // cadence-sized chunks.
+        let seg_end = islands
+            .front()
+            .map(|s| s.start)
+            .unwrap_or(batch.len())
+            .min(batch.len());
+        let chunk = &batch[executed..(executed + chunk_size).min(seg_end)];
+        let chunk_base = executed;
+        let runs_at_chunk_start = engine.runs_executed();
+        {
+            // Mid-chunk progress from out-of-order sharded engines: build
+            // a span-bearing state (chunk-relative spans shifted to phase
+            // offsets, plus any islands still ahead), normalize, and
+            // stream it to the sink like any other checkpoint.
+            let mut progress = |spans: &[ShardSpan]| {
+                let Some(sink) = recovery.sink else { return };
+                let mut state = MidPhaseState {
+                    phase: ctx.phase,
+                    rng_state: ctx.rng_at_start,
+                    used_at_phase_start: ctx.used_at_start.clone(),
+                    spent_at_phase_start: ctx.spent_at_start,
+                    executed_in_phase: chunk_base,
+                    phase1_len: ctx.phase1_len,
+                    outcomes: outcomes.clone(),
+                    gaps: gaps.clone(),
+                    runs_executed: runs_at_chunk_start,
+                    shard_spans: spans
+                        .iter()
+                        .cloned()
+                        .map(|mut s| {
+                            s.start += chunk_base;
+                            s
+                        })
+                        .chain(islands.iter().cloned())
+                        .collect(),
+                };
+                state.normalize();
+                sink.write(&state);
+            };
+            for out in engine.run_experiments_checkpointed(chunk, &mut progress) {
+                for e in &out.edges {
+                    if db.push(e.clone()) {
+                        observer.edge_emitted(e);
+                    }
+                }
+                observer.experiment_completed(&out);
+                outcomes.push(out);
+            }
         }
         executed += chunk.len();
         gaps.extend(engine.take_gaps());
@@ -457,6 +625,7 @@ fn execute_phase(
                 outcomes: outcomes.clone(),
                 gaps: gaps.clone(),
                 runs_executed: engine.runs_executed(),
+                shard_spans: islands.iter().cloned().collect(),
             };
             // A failed write is a missed checkpoint, not a failed
             // campaign: the sink already retried, resume just falls back
@@ -500,7 +669,13 @@ pub fn run_three_phase_resumable(
     let mut gaps: Vec<(FaultId, TestId, u8)>;
     let mut resume_skip = 0usize;
     let mut phase1_len = 0usize;
-    if let Some(st) = resume {
+    let mut resume_islands: Vec<ShardSpan> = Vec::new();
+    if let Some(mut st) = resume {
+        // Fold any shard islands adjacent to the executed prefix first
+        // (gap merge rule); islands still ahead of the prefix are spliced
+        // in during execution.
+        st.normalize();
+        resume_islands = std::mem::take(&mut st.shard_spans);
         rng = SimRng::from_state(st.rng_state);
         used = UsedSet::from_pairs(&st.used_at_phase_start);
         spent = st.spent_at_phase_start;
@@ -558,10 +733,16 @@ pub fn run_three_phase_resumable(
             phase1_len,
         };
         let skip = if resume_phase == 1 { resume_skip } else { 0 };
+        let islands: &[ShardSpan] = if resume_phase == 1 {
+            &resume_islands
+        } else {
+            &[]
+        };
         execute_phase(
             engine,
             &batch,
             skip,
+            islands,
             &ctx,
             &recovery,
             observer,
@@ -656,10 +837,16 @@ pub fn run_three_phase_resumable(
             phase1_len,
         };
         let skip = if resume_phase == 2 { resume_skip } else { 0 };
+        let islands: &[ShardSpan] = if resume_phase == 2 {
+            &resume_islands
+        } else {
+            &[]
+        };
         execute_phase(
             engine,
             &batch,
             skip,
+            islands,
             &ctx,
             &recovery,
             observer,
@@ -742,10 +929,16 @@ pub fn run_three_phase_resumable(
             phase1_len,
         };
         let skip = if resume_phase == 3 { resume_skip } else { 0 };
+        let islands: &[ShardSpan] = if resume_phase == 3 {
+            &resume_islands
+        } else {
+            &[]
+        };
         execute_phase(
             engine,
             &batch,
             skip,
+            islands,
             &ctx,
             &recovery,
             observer,
@@ -1218,5 +1411,233 @@ mod tests {
         );
         assert_results_identical(&classic, &via_recovery);
         assert_eq!(a.log, b.log);
+    }
+
+    /// A minimal outcome for span-merge tests: fault id doubles as the
+    /// payload, so sequences are easy to assert on.
+    fn out(f: u32) -> ExperimentOutcome {
+        ExperimentOutcome {
+            fault: FaultId(f),
+            test: TestId(0),
+            interference: BTreeSet::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    fn span(shard: u32, start: usize, faults: &[u32], runs: usize) -> ShardSpan {
+        ShardSpan {
+            shard,
+            start,
+            outcomes: faults.iter().copied().map(out).collect(),
+            gaps: Vec::new(),
+            runs,
+        }
+    }
+
+    fn mid_state(executed: usize, faults: &[u32], spans: Vec<ShardSpan>) -> MidPhaseState {
+        MidPhaseState {
+            phase: 2,
+            rng_state: [1, 2, 3, 4],
+            used_at_phase_start: Vec::new(),
+            spent_at_phase_start: 0,
+            executed_in_phase: executed,
+            phase1_len: 0,
+            outcomes: faults.iter().copied().map(out).collect(),
+            gaps: Vec::new(),
+            runs_executed: 10,
+            shard_spans: spans,
+        }
+    }
+
+    #[test]
+    fn normalize_folds_adjacent_spans_and_keeps_islands() {
+        // Prefix covers [0, 2); spans cover [2, 4) and [6, 7): the first is
+        // adjacent and folds, the second stays an island.
+        let mut st = mid_state(
+            2,
+            &[0, 1],
+            vec![span(1, 6, &[6], 3), span(0, 2, &[2, 3], 5)],
+        );
+        st.normalize();
+        assert_eq!(st.executed_in_phase, 4);
+        let seq: Vec<u32> = st.outcomes.iter().map(|o| o.fault.0).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3]);
+        assert_eq!(st.runs_executed, 15);
+        assert_eq!(st.shard_spans.len(), 1);
+        assert_eq!(st.shard_spans[0].start, 6);
+    }
+
+    #[test]
+    fn normalize_trims_overlap_and_chains_folds() {
+        // Span [1, 4) overlaps the prefix [0, 2) by one outcome; after the
+        // trim+fold the prefix reaches 4 and the next span [4, 5) chains.
+        let mut st = mid_state(
+            2,
+            &[0, 1],
+            vec![span(0, 1, &[1, 2, 3], 7), span(1, 4, &[4], 2)],
+        );
+        st.normalize();
+        assert_eq!(st.executed_in_phase, 5);
+        let seq: Vec<u32> = st.outcomes.iter().map(|o| o.fault.0).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 4]);
+        assert_eq!(st.runs_executed, 19);
+        assert!(st.shard_spans.is_empty());
+    }
+
+    #[test]
+    fn normalize_drops_spans_inside_the_prefix_and_is_idempotent() {
+        let mut st = mid_state(
+            3,
+            &[0, 1, 2],
+            vec![span(0, 0, &[0, 1], 9), span(1, 5, &[5], 1)],
+        );
+        st.normalize();
+        assert_eq!(st.executed_in_phase, 3);
+        assert_eq!(
+            st.runs_executed, 10,
+            "folded-before span must not re-count runs"
+        );
+        assert_eq!(st.shard_spans.len(), 1);
+        let again = st.clone();
+        st.normalize();
+        assert_eq!(st, again);
+    }
+
+    /// Engine wrapper that completes the *second* half of every chunk
+    /// first and streams it through `progress` as an out-of-order shard
+    /// span — the access pattern of the daemon's sharded coordinator.
+    struct ShardedEngine {
+        inner: MockEngine,
+    }
+
+    impl ExperimentEngine for ShardedEngine {
+        fn faults(&self) -> Vec<FaultId> {
+            self.inner.faults()
+        }
+        fn tests_reaching(&self, f: FaultId) -> Vec<TestId> {
+            self.inner.tests_reaching(f)
+        }
+        fn coverage_size(&self, t: TestId) -> usize {
+            self.inner.coverage_size(t)
+        }
+        fn run_experiment(&mut self, f: FaultId, t: TestId, phase: u8) -> ExperimentOutcome {
+            self.inner.run_experiment(f, t, phase)
+        }
+        fn run_experiments_checkpointed(
+            &mut self,
+            batch: &[(FaultId, TestId, u8)],
+            progress: &mut dyn FnMut(&[ShardSpan]),
+        ) -> Vec<ExperimentOutcome> {
+            let mid = batch.len() / 2;
+            if mid == 0 {
+                return self.inner.run_experiments(batch);
+            }
+            let tail: Vec<ExperimentOutcome> = batch[mid..]
+                .iter()
+                .map(|&(f, t, p)| self.inner.run_experiment(f, t, p))
+                .collect();
+            progress(&[span_of(1, mid, &tail)]);
+            let mut head: Vec<ExperimentOutcome> = batch[..mid]
+                .iter()
+                .map(|&(f, t, p)| self.inner.run_experiment(f, t, p))
+                .collect();
+            progress(&[span_of(0, 0, &head), span_of(1, mid, &tail)]);
+            head.extend(tail);
+            head
+        }
+    }
+
+    fn span_of(shard: u32, start: usize, outcomes: &[ExperimentOutcome]) -> ShardSpan {
+        ShardSpan {
+            shard,
+            start,
+            outcomes: outcomes.to_vec(),
+            gaps: Vec::new(),
+            runs: 0,
+        }
+    }
+
+    #[test]
+    fn out_of_order_shard_completion_does_not_perturb_results() {
+        let mut plain = scripted_engine();
+        let baseline = run_three_phase(&mut plain, &cfg());
+
+        for cadence in [2, 3, 5] {
+            let mut eng = ShardedEngine {
+                inner: scripted_engine(),
+            };
+            let sink = RecordingSink::new();
+            let res = run_three_phase_resumable(
+                &mut eng,
+                &cfg(),
+                &crate::observer::NoopObserver,
+                RecoveryContext {
+                    sink: Some(&sink),
+                    cadence,
+                    resume: None,
+                },
+            );
+            assert_results_identical(&baseline, &res);
+            assert!(
+                sink.states
+                    .borrow()
+                    .iter()
+                    .any(|s| !s.shard_spans.is_empty()),
+                "cadence {cadence} never wrote a span-bearing checkpoint"
+            );
+        }
+    }
+
+    /// The daemon invariant on top of the supervisor one: resuming from
+    /// *every* checkpoint a sharded (out-of-order) campaign wrote — island
+    /// states included — reproduces the uninterrupted campaign exactly,
+    /// and outcomes a shard already completed are never re-run.
+    #[test]
+    fn resume_from_span_bearing_checkpoints_is_bit_identical() {
+        let mut plain = scripted_engine();
+        let baseline = run_three_phase(&mut plain, &cfg());
+
+        let mut eng = ShardedEngine {
+            inner: scripted_engine(),
+        };
+        let sink = RecordingSink::new();
+        run_three_phase_resumable(
+            &mut eng,
+            &cfg(),
+            &crate::observer::NoopObserver,
+            RecoveryContext {
+                sink: Some(&sink),
+                cadence: 4,
+                resume: None,
+            },
+        );
+        let states = sink.states.borrow().clone();
+        assert!(states.iter().any(|s| !s.shard_spans.is_empty()));
+
+        for (i, state) in states.iter().enumerate() {
+            let banked: usize = state.outcomes.len()
+                + state
+                    .shard_spans
+                    .iter()
+                    .map(|s| s.outcomes.len())
+                    .sum::<usize>();
+            let mut resumed_eng = scripted_engine();
+            let res = run_three_phase_resumable(
+                &mut resumed_eng,
+                &cfg(),
+                &crate::observer::NoopObserver,
+                RecoveryContext {
+                    sink: None,
+                    cadence: 0,
+                    resume: Some(state.clone()),
+                },
+            );
+            assert_results_identical(&baseline, &res);
+            assert_eq!(
+                resumed_eng.log.len(),
+                baseline.experiments_run - banked,
+                "checkpoint {i} re-ran work a shard already completed"
+            );
+        }
     }
 }

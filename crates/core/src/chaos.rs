@@ -40,6 +40,10 @@ pub enum ChaosSite {
     ExperimentStall,
     /// A snapshot write fails with an IO error.
     SnapshotIo,
+    /// A wire frame (daemon shard assignment) is lost in flight.
+    WireDrop,
+    /// A wire frame is stalled in flight (delivery delayed by `stall_ms`).
+    WireStall,
 }
 
 impl ChaosSite {
@@ -48,6 +52,8 @@ impl ChaosSite {
             ChaosSite::ExperimentPanic => 1,
             ChaosSite::ExperimentStall => 2,
             ChaosSite::SnapshotIo => 3,
+            ChaosSite::WireDrop => 4,
+            ChaosSite::WireStall => 5,
         }
     }
 }
@@ -66,6 +72,16 @@ pub struct ChaosConfig {
     pub experiment_stall: f64,
     /// Probability that a given snapshot write fails with an IO error.
     pub snapshot_io: f64,
+    /// Probability that a given wire frame (a daemon shard assignment,
+    /// keyed by its shard ordinal) is dropped in flight. The coordinator
+    /// re-sends dropped frames; transient drops are invisible in results,
+    /// permanent drops exhaust the reassignment budget and the shard's
+    /// cells degrade into gaps.
+    pub wire_drop: f64,
+    /// Probability that a given wire frame is stalled `stall_ms` before
+    /// delivery. Pacing only — a stalled frame still arrives, so results
+    /// are never affected (the lease machinery just sees a slow worker).
+    pub wire_stall: f64,
     /// How many times a selected site fails before it starts succeeding.
     /// Keep this at or below the supervisor's retry budget and every
     /// failure is transient; see `permanent` for the other regime.
@@ -85,6 +101,8 @@ impl Default for ChaosConfig {
             experiment_panic: 0.0,
             experiment_stall: 0.0,
             snapshot_io: 0.0,
+            wire_drop: 0.0,
+            wire_stall: 0.0,
             transient_attempts: 1,
             permanent: false,
             stall_ms: 25,
@@ -95,14 +113,18 @@ impl Default for ChaosConfig {
 impl ChaosConfig {
     /// True when no site can ever fire.
     pub fn is_disabled(&self) -> bool {
-        self.experiment_panic <= 0.0 && self.experiment_stall <= 0.0 && self.snapshot_io <= 0.0
+        self.experiment_panic <= 0.0
+            && self.experiment_stall <= 0.0
+            && self.snapshot_io <= 0.0
+            && self.wire_drop <= 0.0
+            && self.wire_stall <= 0.0
     }
 
     /// Parses the `CSNAKE_CHAOS` environment variable, a comma-separated
     /// `key=value` list:
     ///
     /// ```text
-    /// CSNAKE_CHAOS=seed=7,exp_panic=0.2,exp_stall=0.1,snap_io=0.25,attempts=2,permanent=1,stall_ms=50
+    /// CSNAKE_CHAOS=seed=7,exp_panic=0.2,exp_stall=0.1,snap_io=0.25,wire_drop=0.2,wire_stall=0.1,attempts=2,permanent=1,stall_ms=50
     /// ```
     ///
     /// Returns `None` when the variable is unset or empty; unknown keys and
@@ -144,6 +166,16 @@ impl ChaosConfig {
                 "snap_io" => {
                     if let Ok(x) = v.parse() {
                         cfg.snapshot_io = x;
+                    }
+                }
+                "wire_drop" => {
+                    if let Ok(x) = v.parse() {
+                        cfg.wire_drop = x;
+                    }
+                }
+                "wire_stall" => {
+                    if let Ok(x) = v.parse() {
+                        cfg.wire_stall = x;
                     }
                 }
                 "attempts" => {
@@ -274,6 +306,29 @@ impl ChaosInjector {
         }
         Ok(())
     }
+
+    /// Wire-drop-site hook: call before sending the frame for shard
+    /// `shard`. `true` means the frame is lost in flight — the sender must
+    /// treat the delivery as failed (and may retry; the per-key attempt
+    /// counter makes transient losses clear on re-send). Keyed on the
+    /// shard ordinal, not call order, so re-sends of the same shard make
+    /// progress deterministically.
+    pub fn wire_drop_hook(&self, shard: u64) -> bool {
+        self.enabled() && self.should_fail(ChaosSite::WireDrop, shard, self.cfg.wire_drop)
+    }
+
+    /// Wire-stall-site hook: call before sending the frame for shard
+    /// `shard`. When selected, sleeps `stall_ms` (simulating a frame stuck
+    /// in a queue) and returns `true`; the frame is then delivered
+    /// normally, so the stall paces wall-clock only and never perturbs
+    /// results.
+    pub fn wire_stall_hook(&self, shard: u64) -> bool {
+        if self.enabled() && self.should_fail(ChaosSite::WireStall, shard, self.cfg.wire_stall) {
+            std::thread::sleep(std::time::Duration::from_millis(self.cfg.stall_ms));
+            return true;
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -363,15 +418,72 @@ mod tests {
     #[test]
     fn env_syntax_parses_and_ignores_junk() {
         let cfg =
-            ChaosConfig::parse("seed=7, exp_panic=0.25,exp_stall=0.5,snap_io=0.125,attempts=3,permanent=true,stall_ms=5,wat=1,junk");
+            ChaosConfig::parse("seed=7, exp_panic=0.25,exp_stall=0.5,snap_io=0.125,wire_drop=0.375,wire_stall=0.0625,attempts=3,permanent=true,stall_ms=5,wat=1,junk");
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.experiment_panic, 0.25);
         assert_eq!(cfg.experiment_stall, 0.5);
         assert_eq!(cfg.snapshot_io, 0.125);
+        assert_eq!(cfg.wire_drop, 0.375);
+        assert_eq!(cfg.wire_stall, 0.0625);
         assert_eq!(cfg.transient_attempts, 3);
         assert!(cfg.permanent);
         assert_eq!(cfg.stall_ms, 5);
         assert!(ChaosConfig::parse("").is_disabled());
+        assert!(!ChaosConfig::parse("wire_drop=0.5").is_disabled());
+        assert!(!ChaosConfig::parse("wire_stall=0.5").is_disabled());
+    }
+
+    #[test]
+    fn transient_wire_drops_clear_on_resend() {
+        let cfg = ChaosConfig {
+            seed: 5,
+            wire_drop: 1.0,
+            transient_attempts: 2,
+            ..Default::default()
+        };
+        let inj = ChaosInjector::new(cfg);
+        assert!(inj.wire_drop_hook(3), "send 1 dropped");
+        assert!(inj.wire_drop_hook(3), "send 2 dropped");
+        assert!(!inj.wire_drop_hook(3), "send 3 delivered");
+        assert!(!inj.wire_drop_hook(3), "and stays delivered");
+    }
+
+    #[test]
+    fn permanent_wire_drops_never_clear_and_key_on_shard_identity() {
+        let cfg = ChaosConfig {
+            seed: 5,
+            wire_drop: 0.5,
+            permanent: true,
+            ..Default::default()
+        };
+        let a = ChaosInjector::new(cfg.clone());
+        let b = ChaosInjector::new(cfg);
+        let fwd: Vec<bool> = (0..64).map(|s| a.wire_drop_hook(s)).collect();
+        let mut rev: Vec<bool> = (0..64).rev().map(|s| b.wire_drop_hook(s)).collect();
+        rev.reverse();
+        assert_eq!(fwd, rev, "decisions must key on shard id, not call order");
+        assert!(fwd.iter().any(|&x| x) && !fwd.iter().all(|&x| x));
+        for _ in 0..4 {
+            assert_eq!(
+                fwd,
+                (0..64).map(|s| a.wire_drop_hook(s)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn wire_stall_fires_but_delivers() {
+        let cfg = ChaosConfig {
+            seed: 1,
+            wire_stall: 1.0,
+            stall_ms: 1,
+            transient_attempts: 1,
+            ..Default::default()
+        };
+        let inj = ChaosInjector::new(cfg);
+        assert!(inj.wire_stall_hook(0), "first delivery stalls");
+        assert!(!inj.wire_stall_hook(0), "transient stall clears");
+        assert!(!ChaosInjector::disabled().wire_stall_hook(0));
     }
 
     #[test]

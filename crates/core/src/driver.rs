@@ -597,6 +597,10 @@ impl ExperimentEngine for Driver<'_> {
     fn runs_executed(&self) -> usize {
         self.runs_executed
     }
+
+    fn attach_observer(&mut self, observer: Arc<dyn CampaignObserver>) {
+        self.set_observer(observer);
+    }
 }
 
 #[cfg(test)]

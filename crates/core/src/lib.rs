@@ -88,7 +88,24 @@
 //!   environment variable (`seed=7,exp_panic=0.2,attempts=1,...`).
 //!   Decisions key on experiment identity, not call order, so a chaotic
 //!   run is reproducible and transient chaos provably leaves no trace in
-//!   the report. CI runs a chaos smoke campaign on every push.
+//!   the report. Snapshot v5 adds *wire* chaos sites (`wire_drop`,
+//!   `wire_stall`) that exercise the daemon's transport the same way.
+//!   CI runs a chaos smoke campaign on every push.
+//! * **Distributed campaigns.** The `csnake-daemon` crate runs the
+//!   campaign stage across worker *processes*: a coordinator owns the
+//!   staged session and the 3PA plan (via
+//!   [`Session::allocate_with_engine`]), shards each phase's batch over
+//!   workers speaking a [`snapshot::Persist`]-framed wire protocol, and
+//!   merges results deterministically by batch index — bit-identical to
+//!   the single-process run across worker counts. Workers hold bounded
+//!   leases; a dead worker's shards are reassigned (observer events
+//!   [`CampaignObserver::worker_lost`] /
+//!   [`CampaignObserver::shard_reassigned`]), and per-shard progress
+//!   lands in the mid-phase checkpoint as [`ShardSpan`] islands
+//!   (snapshot v5) merged by [`MidPhaseState::normalize`], so even a
+//!   killed *coordinator* resumes without re-running completed shards.
+//!   Operationally: `csnake-daemon run -j 4 --target kafka-isr`, or
+//!   `serve`/`work` for a coordinator and workers on separate hosts.
 //!
 //! # Pipeline internals
 //!
@@ -214,7 +231,7 @@ use serde::{Deserialize, Serialize};
 pub use alloc::{
     run_planned, run_random_allocation, run_random_allocation_with, run_three_phase,
     run_three_phase_with, AllocationResult, AllocationStrategy, CheckpointSink, ExperimentEngine,
-    MidPhaseState, RandomAllocation, RecoveryContext, ThreePhase, ThreePhaseConfig,
+    MidPhaseState, RandomAllocation, RecoveryContext, ShardSpan, ThreePhase, ThreePhaseConfig,
 };
 pub use beam::{
     beam_search, beam_search_reference, cluster_cycles, BeamConfig, Cycle, CycleCluster,
@@ -237,7 +254,10 @@ pub use report::{
     build_report, composition, BugMatch, ClusterVerdict, Composition, DetectionReport,
 };
 pub use session::{CampaignOutcome, Profiled, Session, SessionBuilder, Stage, StitchedCycles};
-pub use snapshot::{registry_fingerprint, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{
+    fnv1a_bytes, registry_fingerprint, Persist, Reader, Snapshot, Writer, SNAPSHOT_MAGIC,
+    SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
+};
 pub use stitch::{CompatStats, StitchIndex};
 pub use target::{KnownBug, TargetSystem, TestCase};
 

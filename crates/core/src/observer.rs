@@ -23,6 +23,8 @@
 //! | [`batch_failed`] | a `(fault, test)` cell exhausted its retries and became a gap |
 //! | [`checkpoint_written`] | a mid-phase checkpoint landed on disk (after the atomic rename) |
 //! | [`degraded`] | the campaign completed with missing cells in its report |
+//! | [`worker_connected`] / [`worker_lost`] | a daemon worker completed its handshake / missed its lease |
+//! | [`shard_assigned`] / [`shard_reassigned`] | the daemon coordinator leased a shard / moved it off a dead worker |
 //!
 //! [`stage_started`]: CampaignObserver::stage_started
 //! [`stage_finished`]: CampaignObserver::stage_finished
@@ -38,6 +40,10 @@
 //! [`batch_failed`]: CampaignObserver::batch_failed
 //! [`checkpoint_written`]: CampaignObserver::checkpoint_written
 //! [`degraded`]: CampaignObserver::degraded
+//! [`worker_connected`]: CampaignObserver::worker_connected
+//! [`worker_lost`]: CampaignObserver::worker_lost
+//! [`shard_assigned`]: CampaignObserver::shard_assigned
+//! [`shard_reassigned`]: CampaignObserver::shard_reassigned
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -146,6 +152,32 @@ pub trait CampaignObserver: Send + Sync {
     fn degraded(&self, missing: &[(FaultId, TestId, u8)]) {
         let _ = missing;
     }
+
+    /// A daemon worker process completed its handshake and is ready for
+    /// shard assignments. Operational telemetry only — worker membership
+    /// never influences campaign results.
+    fn worker_connected(&self, worker: u32) {
+        let _ = worker;
+    }
+
+    /// A daemon worker's lease expired (stalled heartbeat) or its
+    /// connection dropped; its unacknowledged shards will be reassigned.
+    fn worker_lost(&self, worker: u32, reason: &str) {
+        let _ = (worker, reason);
+    }
+
+    /// The daemon coordinator leased shard `shard` (`jobs` experiments) to
+    /// `worker`.
+    fn shard_assigned(&self, shard: u32, worker: u32, jobs: usize) {
+        let _ = (shard, worker, jobs);
+    }
+
+    /// The daemon coordinator moved shard `shard` from a lost worker to
+    /// `worker` (reassignment `attempt`, 1-based). Reassignment replays
+    /// the identical jobs, so results are unaffected.
+    fn shard_reassigned(&self, shard: u32, worker: u32, attempt: u32) {
+        let _ = (shard, worker, attempt);
+    }
 }
 
 /// The default observer: ignores every event.
@@ -192,6 +224,14 @@ pub struct ProgressSnapshot {
     pub checkpoints_written: usize,
     /// Whether a degraded completion was reported.
     pub degraded: bool,
+    /// Daemon workers that completed their handshake.
+    pub workers_connected: usize,
+    /// Daemon workers lost to lease expiry or dropped connections.
+    pub workers_lost: usize,
+    /// Shards the daemon coordinator assigned (first leases only).
+    pub shards_assigned: usize,
+    /// Shards moved off dead workers.
+    pub shards_reassigned: usize,
 }
 
 /// The bundled metrics observer: counts events with atomics so a monitoring
@@ -214,6 +254,10 @@ pub struct ProgressCollector {
     batch_failures: AtomicUsize,
     checkpoints_written: AtomicUsize,
     degraded: std::sync::atomic::AtomicBool,
+    workers_connected: AtomicUsize,
+    workers_lost: AtomicUsize,
+    shards_assigned: AtomicUsize,
+    shards_reassigned: AtomicUsize,
 }
 
 impl ProgressCollector {
@@ -241,6 +285,10 @@ impl ProgressCollector {
             batch_failures: self.batch_failures.load(Ordering::Relaxed),
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
+            workers_connected: self.workers_connected.load(Ordering::Relaxed),
+            workers_lost: self.workers_lost.load(Ordering::Relaxed),
+            shards_assigned: self.shards_assigned.load(Ordering::Relaxed),
+            shards_reassigned: self.shards_reassigned.load(Ordering::Relaxed),
         }
     }
 }
@@ -299,6 +347,22 @@ impl CampaignObserver for ProgressCollector {
 
     fn degraded(&self, _missing: &[(FaultId, TestId, u8)]) {
         self.degraded.store(true, Ordering::Relaxed);
+    }
+
+    fn worker_connected(&self, _worker: u32) {
+        self.workers_connected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn worker_lost(&self, _worker: u32, _reason: &str) {
+        self.workers_lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn shard_assigned(&self, _shard: u32, _worker: u32, _jobs: usize) {
+        self.shards_assigned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn shard_reassigned(&self, _shard: u32, _worker: u32, _attempt: u32) {
+        self.shards_reassigned.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -371,6 +435,23 @@ mod tests {
         assert!(!s.degraded);
         c.degraded(&[(FaultId(1), TestId(2), 3)]);
         assert!(c.snapshot().degraded);
+    }
+
+    #[test]
+    fn progress_collector_counts_daemon_events() {
+        let c = ProgressCollector::new();
+        c.worker_connected(0);
+        c.worker_connected(1);
+        c.shard_assigned(0, 0, 12);
+        c.shard_assigned(1, 1, 12);
+        c.shard_assigned(2, 0, 11);
+        c.worker_lost(1, "lease expired");
+        c.shard_reassigned(1, 0, 1);
+        let s = c.snapshot();
+        assert_eq!(s.workers_connected, 2);
+        assert_eq!(s.workers_lost, 1);
+        assert_eq!(s.shards_assigned, 3);
+        assert_eq!(s.shards_reassigned, 1);
     }
 
     #[test]

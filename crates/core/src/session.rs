@@ -53,7 +53,8 @@ use std::sync::Arc;
 use serde::Serialize;
 
 use crate::alloc::{
-    AllocationResult, AllocationStrategy, CheckpointSink, MidPhaseState, RecoveryContext,
+    AllocationResult, AllocationStrategy, CheckpointSink, ExperimentEngine, MidPhaseState,
+    RecoveryContext,
 };
 use crate::beam::{beam_search, cluster_cycles, Cycle, CycleCluster};
 use crate::chaos::{ChaosConfig, ChaosInjector};
@@ -434,8 +435,11 @@ impl<'a> Session<'a> {
         &self.cfg
     }
 
-    /// The target under detection.
-    pub fn target(&self) -> &dyn TargetSystem {
+    /// The target under detection. Returns the session-lifetime borrow
+    /// (not one tied to `&self`), so it can coexist with
+    /// [`engine_mut`](Self::engine_mut) — the daemon's coordinator needs
+    /// both at once.
+    pub fn target(&self) -> &'a dyn TargetSystem {
         self.target
     }
 
@@ -539,6 +543,75 @@ impl<'a> Session<'a> {
         let alloc = strategy.run_with_recovery(driver, &*self.observer, recovery);
         let (cache_hits, cache_misses) = driver.trace_cache_stats();
         self.observer.trace_cache(cache_hits, cache_misses);
+        if !alloc.gaps.is_empty() {
+            self.observer.degraded(&alloc.gaps);
+        }
+        let artifact = CampaignOutcome {
+            strategy: strategy.name().to_string(),
+            experiments_run: alloc.experiments_run,
+            budget: alloc.budget,
+            edges: alloc.db.len(),
+            fault_clusters: alloc.clusters.len(),
+            runs_executed: driver.runs_executed,
+        };
+        self.strategy_name = Some(strategy.name().to_string());
+        self.alloc = Some(alloc);
+        self.stage = Stage::Allocated;
+        self.observer.stage_finished(Stage::Allocated);
+        Ok(artifact)
+    }
+
+    /// Stage 3 on an *external* engine: like [`allocate`](Self::allocate),
+    /// but the experiments run through `engine` instead of the session's
+    /// own profiled [`Driver`].
+    ///
+    /// This is the seam the daemon's coordinator uses: the session profiles
+    /// locally (so the 3PA plan tables, static filters and final report
+    /// derive from the coordinator's own traces), while the engine fans the
+    /// planned batches out to worker processes and merges their results by
+    /// batch index. Everything else — checkpoint sink, mid-phase resume,
+    /// observer wiring, gap/degraded accounting — behaves exactly as in
+    /// [`allocate`](Self::allocate); the engine's executed-run counter is
+    /// folded into the session's accounting afterwards. With an engine that
+    /// reproduces [`Driver`] outcomes (same plans, same seeds), the
+    /// resulting report is bit-identical to a single-process run.
+    pub fn allocate_with_engine(
+        &mut self,
+        strategy: &dyn AllocationStrategy,
+        engine: &mut dyn ExperimentEngine,
+    ) -> Result<CampaignOutcome> {
+        self.expect_stage(Stage::Profiled)?;
+        self.observer.stage_started(Stage::Allocated);
+        let resume = self.pending_mid_phase.take();
+        let sink = self.auto_checkpoint.as_ref().map(|(path, _)| {
+            let driver = self.driver.as_ref().expect("profiled session has a driver");
+            SessionCheckpointSink {
+                encoder: crate::snapshot::MidPhaseCheckpointEncoder::new(
+                    self.target.name(),
+                    crate::snapshot::registry_fingerprint(&self.target.registry()),
+                    &self.cfg,
+                    driver.profiles(),
+                    strategy.name(),
+                ),
+                path: path.clone(),
+                observer: self.observer.clone(),
+                chaos: ChaosInjector::new(
+                    ChaosConfig::from_env().unwrap_or_else(|| self.cfg.driver.chaos.clone()),
+                ),
+                ordinal: AtomicU64::new(0),
+            }
+        });
+        let cadence = self.auto_checkpoint.as_ref().map(|&(_, c)| c).unwrap_or(0);
+        engine.attach_observer(self.observer.clone());
+        let recovery = RecoveryContext {
+            sink: sink.as_ref().map(|s| s as &dyn CheckpointSink),
+            cadence,
+            resume,
+        };
+        let alloc = strategy.run_with_recovery(engine, &*self.observer, recovery);
+        let engine_runs = engine.runs_executed();
+        let driver = self.driver.as_mut().expect("profiled session has a driver");
+        driver.runs_executed += engine_runs;
         if !alloc.gaps.is_empty() {
             self.observer.degraded(&alloc.gaps);
         }

@@ -67,6 +67,16 @@
 //!   into place — a crash mid-write leaves the previous checkpoint
 //!   intact, never a half-written file.
 //!
+//! # Shard islands (format version 5)
+//!
+//! Version 5 extends the mid-phase section with the daemon's per-shard
+//! checkpoint islands ([`crate::alloc::ShardSpan`]): out-of-order spans a
+//! sharded coordinator completed beyond the contiguous executed prefix,
+//! merged on resume by [`MidPhaseState::normalize`]. The wire chaos rates
+//! (`wire_drop`, `wire_stall`) join the persisted [`ChaosConfig`]. Both
+//! additions are appended behind version gates, so version-4 files decode
+//! with empty/zero defaults and resume exactly as before.
+//!
 //! Integrity failures surface as typed errors: a truncated file —
 //! shorter than its header, or a payload cut off before the length the
 //! header promises — is [`CsnakeError::SnapshotTorn`] (an interrupted
@@ -87,7 +97,7 @@ use csnake_inject::{
 };
 use csnake_sim::VirtualTime;
 
-use crate::alloc::{AllocationResult, MidPhaseState, ThreePhaseConfig};
+use crate::alloc::{AllocationResult, MidPhaseState, ShardSpan, ThreePhaseConfig};
 use crate::beam::{BeamConfig, Cycle, CycleCluster};
 use crate::chaos::ChaosConfig;
 use crate::driver::RetryConfig;
@@ -100,17 +110,25 @@ use crate::{DetectConfig, DriverConfig};
 /// Leading magic of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CSNK";
 
-/// Format version written (and the only one read) by this build.
+/// Format version written by this build.
 /// Version 2 introduced the varint + delta payload layer; version 3 added
 /// the driver's `cache_injections` flag to the persisted configuration;
 /// version 4 added the campaign supervisor's mid-phase checkpoint section
 /// ([`MidPhaseState`]), the retry/chaos configuration, and the allocation
-/// gap list. Files of any other version are rejected with a typed
-/// [`CsnakeError::SnapshotVersion`].
-pub const SNAPSHOT_VERSION: u32 = 4;
+/// gap list; version 5 added the daemon's per-shard checkpoint islands
+/// ([`crate::alloc::ShardSpan`] in the mid-phase section) and the wire
+/// chaos rates. Version 4 files are still read — the v5 additions decode
+/// as empty/zero — so pre-daemon checkpoints resume unchanged. Files
+/// outside [`SNAPSHOT_MIN_VERSION`]`..=`[`SNAPSHOT_VERSION`] are rejected
+/// with a typed [`CsnakeError::SnapshotVersion`].
+pub const SNAPSHOT_VERSION: u32 = 5;
 
-/// FNV-1a over raw bytes (the integrity checksum of the container).
-fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+/// Oldest format version this build still reads.
+pub const SNAPSHOT_MIN_VERSION: u32 = 4;
+
+/// FNV-1a over raw bytes (the integrity checksum of the container; public
+/// so the daemon's wire frames checksum their payloads identically).
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -165,21 +183,60 @@ fn put_opt<T: Persist>(v: Option<&T>, w: &mut Writer) {
 // ---------------------------------------------------------------------------
 
 /// Append-only payload writer.
-pub(crate) struct Writer {
+///
+/// Public (with [`Reader`] and [`Persist`]) so first-party crates can layer
+/// other framed formats on the same codec — the daemon's wire protocol
+/// encodes its messages with exactly this machinery. The writer carries the
+/// *format version* being produced: version-gated fields check it in their
+/// `put`, which is how one codebase writes both current and
+/// back-compatible payloads.
+pub struct Writer {
     buf: Vec<u8>,
+    version: u32,
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Writer::new()
+    }
 }
 
 impl Writer {
-    fn new() -> Self {
-        Writer { buf: Vec::new() }
+    /// A writer producing the current [`SNAPSHOT_VERSION`] layout.
+    pub fn new() -> Self {
+        Writer::with_version(SNAPSHOT_VERSION)
     }
 
-    fn put_bytes(&mut self, b: &[u8]) {
+    /// A writer producing a specific format version's layout.
+    pub fn with_version(version: u32) -> Self {
+        Writer {
+            buf: Vec::new(),
+            version,
+        }
+    }
+
+    /// The format version this writer produces.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The encoded payload so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the encoded payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
     }
 
     /// LEB128 varint: 7 value bits per byte, high bit = continuation.
-    fn put_varint(&mut self, mut v: u64) {
+    pub fn put_varint(&mut self, mut v: u64) {
         loop {
             let byte = (v & 0x7F) as u8;
             v >>= 7;
@@ -192,18 +249,37 @@ impl Writer {
     }
 }
 
-/// Bounds-checked payload reader.
-pub(crate) struct Reader<'a> {
+/// Bounds-checked payload reader; carries the format version of the file
+/// being decoded so version-gated fields know whether to expect their
+/// bytes.
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    version: u32,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+    /// A reader assuming the current [`SNAPSHOT_VERSION`] layout.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader::with_version(buf, SNAPSHOT_VERSION)
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    /// A reader decoding a specific format version's layout.
+    pub fn with_version(buf: &'a [u8], version: u32) -> Self {
+        Reader {
+            buf,
+            pos: 0,
+            version,
+        }
+    }
+
+    /// The format version being decoded.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         let end = self
             .pos
             .checked_add(n)
@@ -219,12 +295,13 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn finished(&self) -> bool {
+    /// `true` once every payload byte has been consumed.
+    pub fn finished(&self) -> bool {
         self.pos == self.buf.len()
     }
 
     /// Decodes one LEB128 varint with truncation and overflow checks.
-    fn take_varint(&mut self) -> Result<u64> {
+    pub fn take_varint(&mut self) -> Result<u64> {
         let mut out: u64 = 0;
         for shift in (0..64).step_by(7) {
             let byte = self.take(1)?[0];
@@ -243,7 +320,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Varint bounded to `u32`, for id newtypes.
-    fn take_varint_u32(&mut self) -> Result<u32> {
+    pub fn take_varint_u32(&mut self) -> Result<u32> {
         let v = self.take_varint()?;
         u32::try_from(v)
             .map_err(|_| CsnakeError::SnapshotCorrupt(format!("id varint {v} exceeds u32")))
@@ -312,9 +389,13 @@ fn load_id_map<V: Persist>(r: &mut Reader<'_>) -> Result<BTreeMap<FaultId, V>> {
 // The Persist codec
 // ---------------------------------------------------------------------------
 
-/// Field-by-field binary encoding for snapshot payloads.
-pub(crate) trait Persist: Sized {
+/// Field-by-field binary encoding for snapshot payloads — and for any
+/// other first-party framed format that wants the same wire discipline
+/// (the daemon's coordinator/worker protocol reuses it wholesale).
+pub trait Persist: Sized {
+    /// Appends the value's encoding to the writer.
     fn put(&self, w: &mut Writer);
+    /// Decodes one value, consuming exactly the bytes `put` produced.
     fn load(r: &mut Reader<'_>) -> Result<Self>;
 }
 
@@ -757,6 +838,25 @@ impl Persist for AllocationResult {
     }
 }
 
+impl Persist for ShardSpan {
+    fn put(&self, w: &mut Writer) {
+        self.shard.put(w);
+        self.start.put(w);
+        self.outcomes.put(w);
+        self.gaps.put(w);
+        self.runs.put(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ShardSpan {
+            shard: u32::load(r)?,
+            start: usize::load(r)?,
+            outcomes: Vec::load(r)?,
+            gaps: Vec::load(r)?,
+            runs: usize::load(r)?,
+        })
+    }
+}
+
 impl Persist for MidPhaseState {
     fn put(&self, w: &mut Writer) {
         self.phase.put(w);
@@ -768,6 +868,16 @@ impl Persist for MidPhaseState {
         self.outcomes.put(w);
         self.gaps.put(w);
         self.runs_executed.put(w);
+        // The shard islands joined in format version 5; a v4 writer must
+        // not be asked to drop completed work silently.
+        if w.version >= 5 {
+            self.shard_spans.put(w);
+        } else {
+            debug_assert!(
+                self.shard_spans.is_empty(),
+                "shard spans cannot be represented in a v4 snapshot"
+            );
+        }
     }
     fn load(r: &mut Reader<'_>) -> Result<Self> {
         Ok(MidPhaseState {
@@ -780,6 +890,11 @@ impl Persist for MidPhaseState {
             outcomes: Vec::load(r)?,
             gaps: Vec::load(r)?,
             runs_executed: usize::load(r)?,
+            shard_spans: if r.version >= 5 {
+                Vec::load(r)?
+            } else {
+                Vec::new()
+            },
         })
     }
 }
@@ -871,9 +986,14 @@ impl Persist for ChaosConfig {
         self.transient_attempts.put(w);
         self.permanent.put(w);
         self.stall_ms.put(w);
+        // The wire rates joined in format version 5; v4 layouts stop here.
+        if w.version >= 5 {
+            self.wire_drop.put(w);
+            self.wire_stall.put(w);
+        }
     }
     fn load(r: &mut Reader<'_>) -> Result<Self> {
-        Ok(ChaosConfig {
+        let mut cfg = ChaosConfig {
             seed: u64::load(r)?,
             experiment_panic: f64::load(r)?,
             experiment_stall: f64::load(r)?,
@@ -881,7 +1001,14 @@ impl Persist for ChaosConfig {
             transient_attempts: u32::load(r)?,
             permanent: bool::load(r)?,
             stall_ms: u64::load(r)?,
-        })
+            wire_drop: 0.0,
+            wire_stall: 0.0,
+        };
+        if r.version >= 5 {
+            cfg.wire_drop = f64::load(r)?;
+            cfg.wire_stall = f64::load(r)?;
+        }
+        Ok(cfg)
     }
 }
 
@@ -1016,10 +1143,10 @@ pub(crate) struct SnapshotFields<'a> {
 }
 
 /// Wraps an encoded payload in the magic/version/length/checksum container.
-fn seal_container(payload: Vec<u8>) -> Vec<u8> {
+fn seal_container(payload: Vec<u8>, version: u32) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 24);
     out.extend_from_slice(&SNAPSHOT_MAGIC);
-    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&fnv1a_bytes(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
@@ -1029,7 +1156,13 @@ fn seal_container(payload: Vec<u8>) -> Vec<u8> {
 impl SnapshotFields<'_> {
     /// Encodes into the versioned container format.
     pub(crate) fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        self.to_bytes_versioned(SNAPSHOT_VERSION)
+    }
+
+    /// Encodes a specific (still-supported) format version's layout; the
+    /// back-compat tests write v4 files with it.
+    pub(crate) fn to_bytes_versioned(&self, version: u32) -> Vec<u8> {
+        let mut w = Writer::with_version(version);
         put_str(self.target, &mut w);
         self.registry_fp.put(&mut w);
         self.cfg.put(&mut w);
@@ -1040,7 +1173,7 @@ impl SnapshotFields<'_> {
         put_opt(self.alloc, &mut w);
         put_opt(self.stitched, &mut w);
         put_opt(self.mid_phase, &mut w);
-        seal_container(w.buf)
+        seal_container(w.buf, version)
     }
 }
 
@@ -1092,7 +1225,7 @@ impl MidPhaseCheckpointEncoder {
         put_opt::<AllocationResult>(None, &mut w);
         put_opt::<StitchedCycles>(None, &mut w);
         put_opt(Some(mid), &mut w);
-        seal_container(w.buf)
+        seal_container(w.buf, SNAPSHOT_VERSION)
     }
 }
 
@@ -1158,7 +1291,7 @@ impl Snapshot {
             });
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sized"));
-        if version != SNAPSHOT_VERSION {
+        if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
             return Err(CsnakeError::SnapshotVersion {
                 found: version,
                 supported: SNAPSHOT_VERSION,
@@ -1185,7 +1318,7 @@ impl Snapshot {
             return Err(CsnakeError::SnapshotCorrupt("checksum mismatch".into()));
         }
 
-        let mut r = Reader::new(payload);
+        let mut r = Reader::with_version(payload, version);
         let snap = Snapshot {
             target: String::load(&mut r)?,
             registry_fp: u64::load(&mut r)?,
@@ -1317,6 +1450,18 @@ mod tests {
                 }],
                 gaps: vec![(FaultId(9), TestId(0), 2)],
                 runs_executed: 40,
+                shard_spans: vec![ShardSpan {
+                    shard: 3,
+                    start: 7,
+                    outcomes: vec![ExperimentOutcome {
+                        fault: FaultId(4),
+                        test: TestId(1),
+                        interference: [FaultId(6)].into_iter().collect(),
+                        edges: Vec::new(),
+                    }],
+                    gaps: vec![(FaultId(4), TestId(2), 2)],
+                    runs: 6,
+                }],
             }),
         }
     }
@@ -1522,6 +1667,79 @@ mod tests {
         match Snapshot::from_bytes(&bytes) {
             Err(CsnakeError::SnapshotVersion { found, supported }) => {
                 assert_eq!(found, 1);
+                assert_eq!(supported, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected SnapshotVersion, got {other:?}"),
+        }
+    }
+
+    /// Pre-daemon v4 checkpoints must keep resuming: the v5-only fields
+    /// (shard islands, wire chaos rates) decode as empty/zero, everything
+    /// else byte-for-byte as before.
+    #[test]
+    fn version_4_files_still_decode_with_defaulted_v5_fields() {
+        let mut snap = sample_snapshot(Stage::Profiled);
+        // A v4 file cannot carry the v5-only state; clear it before
+        // encoding the old layout.
+        snap.mid_phase.as_mut().unwrap().shard_spans.clear();
+        let v4_bytes = SnapshotFields {
+            target: &snap.target,
+            registry_fp: snap.registry_fp,
+            cfg: &snap.cfg,
+            stage: snap.stage,
+            runs_executed: snap.runs_executed,
+            profiles: snap.profiles.as_ref(),
+            strategy: snap.strategy.as_ref(),
+            alloc: snap.alloc.as_ref(),
+            stitched: snap.stitched.as_ref(),
+            mid_phase: snap.mid_phase.as_ref(),
+        }
+        .to_bytes_versioned(4);
+        assert_eq!(u32::from_le_bytes(v4_bytes[4..8].try_into().unwrap()), 4);
+
+        let back = Snapshot::from_bytes(&v4_bytes).expect("v4 file must still decode");
+        let mp = back.mid_phase.as_ref().expect("mid-phase section");
+        assert!(mp.shard_spans.is_empty());
+        assert_eq!(back.cfg.driver.chaos.wire_drop, 0.0);
+        assert_eq!(back.cfg.driver.chaos.wire_stall, 0.0);
+        // Semantically identical to the v5 re-encode of the same state.
+        assert_eq!(back.to_bytes(), snap.to_bytes());
+    }
+
+    #[test]
+    fn v4_and_v5_encodings_differ_only_by_the_gated_fields() {
+        let mut snap = sample_snapshot(Stage::Profiled);
+        snap.mid_phase.as_mut().unwrap().shard_spans.clear();
+        let fields = |s: &Snapshot, v: u32| {
+            SnapshotFields {
+                target: &s.target,
+                registry_fp: s.registry_fp,
+                cfg: &s.cfg,
+                stage: s.stage,
+                runs_executed: s.runs_executed,
+                profiles: s.profiles.as_ref(),
+                strategy: s.strategy.as_ref(),
+                alloc: s.alloc.as_ref(),
+                stitched: s.stitched.as_ref(),
+                mid_phase: s.mid_phase.as_ref(),
+            }
+            .to_bytes_versioned(v)
+        };
+        let v4 = fields(&snap, 4);
+        let v5 = fields(&snap, 5);
+        // v5 adds exactly: 2×8 bytes of wire rates per ChaosConfig (the
+        // DetectConfig embeds one) + 1 varint byte for the empty
+        // shard-span list.
+        assert_eq!(v5.len(), v4.len() + 17);
+    }
+
+    #[test]
+    fn version_3_files_are_rejected_typed() {
+        let mut bytes = sample_snapshot(Stage::Profiled).to_bytes();
+        bytes[4..8].copy_from_slice(&3u32.to_le_bytes());
+        match Snapshot::from_bytes(&bytes) {
+            Err(CsnakeError::SnapshotVersion { found, supported }) => {
+                assert_eq!(found, 3);
                 assert_eq!(supported, SNAPSHOT_VERSION);
             }
             other => panic!("expected SnapshotVersion, got {other:?}"),

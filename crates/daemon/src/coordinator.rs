@@ -1,0 +1,651 @@
+//! The coordinator side of the daemon: an [`ExperimentEngine`] that owns
+//! no simulator and instead shards every 3PA batch across a fleet of
+//! workers.
+//!
+//! # Why this is safe
+//!
+//! 3PA plans each phase's full `(fault, test, phase)` batch before
+//! executing any of it — picks never depend on intra-phase outcomes — and
+//! worker experiment runs are deterministic in `(test, plan, seed)` with
+//! seeds that are pure functions of the plan cell. So outcomes can be
+//! computed anywhere, in any order, by any worker, as long as they are
+//! *merged back in batch order*. That merge is the only ordering this
+//! module enforces; everything else (which worker gets which shard, when
+//! results arrive, who dies) is free to vary without perturbing results.
+//!
+//! # Leases and reassignment
+//!
+//! Every assignment carries a lease: a worker must be heard from
+//! (heartbeat or result) within `lease_ms` or it is declared lost and its
+//! shard re-queued. A hangup (EOF on the connection) short-circuits the
+//! lease. A shard that cannot be delivered after
+//! [`DaemonConfig::max_assign_attempts`] tries degrades deterministically:
+//! its cells become gap placeholders — exactly what the in-process retry
+//! supervisor does for a job that exhausts its budget — so the campaign
+//! completes with those cells enumerated in the report's missing set.
+//!
+//! # Wire chaos
+//!
+//! The self-chaos harness gates the coordinator's *send* path:
+//! [`ChaosInjector::wire_drop_hook`] models a lost assignment frame
+//! (burning one delivery attempt) and [`ChaosInjector::wire_stall_hook`]
+//! models link latency. Both key on the global shard ordinal, which is
+//! independent of the worker count — so a given chaos seed degrades the
+//! same cells whether the fleet has one worker or eight.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csnake_core::alloc::{ExperimentEngine, ShardSpan};
+use csnake_core::error::{CsnakeError, Result};
+use csnake_core::{
+    registry_fingerprint, CampaignObserver, ChaosConfig, ChaosInjector, DetectConfig, Driver,
+    ExperimentOutcome, NoopObserver, TargetSystem,
+};
+use csnake_inject::{FaultId, TestId};
+
+use crate::transport::{Endpoint, WireRx, WireTx};
+use crate::wire::{Job, WireMsg, WorkerEvent};
+
+/// Coordinator knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Jobs per shard. Smaller shards rebalance and recover faster;
+    /// larger shards amortize framing. The value never affects results —
+    /// only scheduling granularity — but it *is* part of the chaos
+    /// key-space (shard ordinals), so keep it fixed when comparing chaos
+    /// runs.
+    pub shard_jobs: usize,
+    /// Lease duration handed to workers; a busy worker silent for longer
+    /// is declared lost and its shard reassigned.
+    pub lease_ms: u64,
+    /// Delivery attempts per shard before it degrades into gaps.
+    pub max_assign_attempts: u32,
+    /// Granularity of the lease clock.
+    pub poll_ms: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            shard_jobs: 4,
+            lease_ms: 2_000,
+            max_assign_attempts: 3,
+            poll_ms: 20,
+        }
+    }
+}
+
+/// What a reader thread reports about its worker.
+///
+/// One note exists per decoded frame, moved through a channel and
+/// consumed immediately — the size skew of `Result` frames never
+/// accumulates, so boxing would only add an allocation per frame.
+#[allow(clippy::large_enum_variant)]
+enum WorkerNote {
+    /// A decoded frame.
+    Msg(WireMsg),
+    /// The connection is gone (EOF or transport error).
+    Gone(String),
+}
+
+struct WorkerSlot {
+    tx: Box<dyn WireTx>,
+    alive: bool,
+    /// Index (into the current batch's shard list) this worker is running.
+    busy: Option<usize>,
+    /// Lease expiry while busy.
+    deadline: Instant,
+}
+
+/// A completed shard, parked until the in-order merge.
+struct ShardResult {
+    outcomes: Vec<ExperimentOutcome>,
+    gaps: Vec<Job>,
+    runs: usize,
+    events: Vec<WorkerEvent>,
+}
+
+struct Shard {
+    ordinal: u32,
+    range: Range<usize>,
+    attempts: u32,
+    done: Option<ShardResult>,
+}
+
+/// Distributed [`ExperimentEngine`]: plans locally, executes remotely.
+///
+/// Built from a *profiled* local driver — the coordinator profiles the
+/// target itself so the 3PA plan tables (injectable faults, reaching
+/// tests, coverage sizes) are exactly the single-process ones — plus one
+/// [`Endpoint`] per worker. Drive it through
+/// [`Session::allocate_with_engine`].
+///
+/// [`Session::allocate_with_engine`]: csnake_core::Session::allocate_with_engine
+pub struct DistributedEngine {
+    faults: Vec<FaultId>,
+    reaching: BTreeMap<FaultId, Vec<TestId>>,
+    coverage: BTreeMap<TestId, usize>,
+    workers: Vec<WorkerSlot>,
+    notes: Receiver<(u32, WorkerNote)>,
+    cfg: DaemonConfig,
+    chaos: ChaosInjector,
+    observer: Arc<dyn CampaignObserver>,
+    gaps: Vec<Job>,
+    runs: usize,
+    /// Coordinator-side batch ordinal for replayed supervisor events.
+    batch_counter: usize,
+    /// Global shard ordinal: the chaos key and the `Assign` id.
+    shard_counter: u32,
+}
+
+fn reader_thread(mut rx: Box<dyn WireRx>, worker: u32, notes: Sender<(u32, WorkerNote)>) {
+    loop {
+        match rx.recv() {
+            Ok(Some(msg)) => {
+                if notes.send((worker, WorkerNote::Msg(msg))).is_err() {
+                    return; // coordinator gone
+                }
+            }
+            Ok(None) => {
+                let _ = notes.send((worker, WorkerNote::Gone("connection closed".into())));
+                return;
+            }
+            Err(e) => {
+                let _ = notes.send((worker, WorkerNote::Gone(e.to_string())));
+                return;
+            }
+        }
+    }
+}
+
+impl DistributedEngine {
+    /// Performs the campaign handshake with every endpoint and returns a
+    /// ready engine.
+    ///
+    /// `target_name` must be the *resolution* name workers can look up
+    /// (e.g. `gen:5`, not the generated system's descriptive name).
+    /// `driver` is the coordinator's own profiled driver; only its plan
+    /// tables are copied — the engine holds no borrow afterwards.
+    ///
+    /// Workers that fail the handshake (unresolvable target, fingerprint
+    /// mismatch, dead connection) are dropped from the fleet with a
+    /// [`CampaignObserver::worker_lost`] at attach time; connecting
+    /// succeeds as long as at least one worker survives.
+    pub fn connect(
+        target_name: &str,
+        target: &dyn TargetSystem,
+        cfg: &DetectConfig,
+        driver: &Driver<'_>,
+        endpoints: Vec<Endpoint>,
+        dcfg: DaemonConfig,
+    ) -> Result<DistributedEngine> {
+        let faults = driver.faults();
+        let mut reaching = BTreeMap::new();
+        for &f in &faults {
+            reaching.insert(f, driver.tests_reaching(f));
+        }
+        let mut coverage = BTreeMap::new();
+        for tc in target.tests() {
+            coverage.insert(tc.id, driver.coverage_size(tc.id));
+        }
+        let registry_fp = registry_fingerprint(&target.registry());
+
+        let (note_tx, notes) = channel();
+        let mut workers = Vec::with_capacity(endpoints.len());
+        let now = Instant::now();
+        for (i, ep) in endpoints.into_iter().enumerate() {
+            let Endpoint { mut tx, rx } = ep;
+            let hello = WireMsg::Hello {
+                target: target_name.to_string(),
+                registry_fp,
+                cfg: cfg.clone(),
+                worker: i as u32,
+                lease_ms: dcfg.lease_ms,
+            };
+            let alive = tx.send(&hello).is_ok();
+            let sender = note_tx.clone();
+            std::thread::spawn(move || reader_thread(rx, i as u32, sender));
+            workers.push(WorkerSlot {
+                tx,
+                alive,
+                busy: None,
+                deadline: now,
+            });
+        }
+        drop(note_tx);
+
+        // Handshake barrier: wait until every worker acked or died. No
+        // lease here — workers are profiling the target, which is the one
+        // legitimately slow step.
+        let mut awaiting: usize = workers.iter().filter(|w| w.alive).count();
+        while awaiting > 0 {
+            match notes.recv() {
+                Ok((
+                    w,
+                    WorkerNote::Msg(WireMsg::HelloAck {
+                        registry_fp: fp, ..
+                    }),
+                )) => {
+                    awaiting -= 1;
+                    if fp != registry_fp {
+                        workers[w as usize].alive = false;
+                    }
+                }
+                Ok((w, WorkerNote::Gone(_))) => {
+                    if workers[w as usize].alive {
+                        workers[w as usize].alive = false;
+                        awaiting -= 1;
+                    }
+                }
+                Ok(_) => {} // heartbeats etc. before the barrier clears
+                Err(_) => break,
+            }
+        }
+        if !workers.iter().any(|w| w.alive) {
+            return Err(CsnakeError::InvalidTarget(
+                "distributed campaign: no worker completed the handshake".into(),
+            ));
+        }
+
+        Ok(DistributedEngine {
+            faults,
+            reaching,
+            coverage,
+            workers,
+            notes,
+            cfg: dcfg,
+            chaos: ChaosInjector::new(
+                ChaosConfig::from_env().unwrap_or_else(|| cfg.driver.chaos.clone()),
+            ),
+            observer: Arc::new(NoopObserver),
+            gaps: Vec::new(),
+            runs: 0,
+            batch_counter: 0,
+            shard_counter: 0,
+        })
+    }
+
+    /// Live workers remaining in the fleet.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    /// Asks every live worker to exit. Also invoked on drop; explicit
+    /// calls just make shutdown visible in the calling code.
+    pub fn shutdown(&mut self) {
+        for w in &mut self.workers {
+            if w.alive {
+                let _ = w.tx.send(&WireMsg::Shutdown);
+                w.alive = false;
+            }
+        }
+    }
+
+    fn lose_worker(
+        workers: &mut [WorkerSlot],
+        observer: &dyn CampaignObserver,
+        pending: &mut std::collections::VecDeque<usize>,
+        w: usize,
+        reason: &str,
+    ) {
+        if !workers[w].alive {
+            return;
+        }
+        workers[w].alive = false;
+        observer.worker_lost(w as u32, reason);
+        if let Some(si) = workers[w].busy.take() {
+            // Its shard goes back to the head of the queue: recovering
+            // in-flight work beats starting new work.
+            pending.push_front(si);
+        }
+    }
+
+    /// A shard that exhausted its delivery attempts: every cell becomes a
+    /// gap with the canonical empty placeholder, exactly like a job that
+    /// exhausts the in-process retry budget.
+    fn degraded_result(batch: &[Job], shard: &Shard, reason: &str) -> ShardResult {
+        let jobs = &batch[shard.range.clone()];
+        ShardResult {
+            outcomes: jobs
+                .iter()
+                .map(|&(f, t, _)| ExperimentOutcome {
+                    fault: f,
+                    test: t,
+                    interference: Default::default(),
+                    edges: Vec::new(),
+                })
+                .collect(),
+            gaps: jobs.to_vec(),
+            runs: 0,
+            events: jobs
+                .iter()
+                .map(|&(f, t, p)| WorkerEvent::BatchFailed {
+                    fault: f,
+                    test: t,
+                    phase: p,
+                    reason: reason.to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    fn run_batch(
+        &mut self,
+        batch: &[Job],
+        progress: &mut dyn FnMut(&[ShardSpan]),
+    ) -> Vec<ExperimentOutcome> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let shard_jobs = self.cfg.shard_jobs.max(1);
+        let mut shards: Vec<Shard> = Vec::new();
+        let mut start = 0usize;
+        while start < batch.len() {
+            let end = (start + shard_jobs).min(batch.len());
+            shards.push(Shard {
+                ordinal: self.shard_counter,
+                range: start..end,
+                attempts: 0,
+                done: None,
+            });
+            self.shard_counter += 1;
+            start = end;
+        }
+
+        let mut pending: std::collections::VecDeque<usize> = (0..shards.len()).collect();
+        let mut done = 0usize;
+        let lease = Duration::from_millis(self.cfg.lease_ms);
+        let abandoned =
+            |attempts: u32| format!("shard abandoned after {attempts} delivery attempts");
+
+        while done < shards.len() {
+            // Lease expiries first: a silent worker must not hold its
+            // shard hostage past the deadline.
+            let now = Instant::now();
+            for w in 0..self.workers.len() {
+                if self.workers[w].alive
+                    && self.workers[w].busy.is_some()
+                    && now >= self.workers[w].deadline
+                {
+                    Self::lose_worker(
+                        &mut self.workers,
+                        self.observer.as_ref(),
+                        &mut pending,
+                        w,
+                        "lease expired",
+                    );
+                }
+            }
+
+            // Dispatch pending shards onto idle live workers, burning
+            // chaos-dropped deliveries as attempts.
+            for w in 0..self.workers.len() {
+                if !self.workers[w].alive || self.workers[w].busy.is_some() {
+                    continue;
+                }
+                while let Some(si) = pending.pop_front() {
+                    let ordinal = shards[si].ordinal;
+                    shards[si].attempts += 1;
+                    let attempts = shards[si].attempts;
+                    if attempts > 1 {
+                        self.observer
+                            .shard_reassigned(ordinal, w as u32, attempts - 1);
+                    }
+                    // Chaos gates the send path: a stall is pure latency,
+                    // a drop loses the frame in transit.
+                    self.chaos.wire_stall_hook(ordinal as u64);
+                    if self.chaos.wire_drop_hook(ordinal as u64) {
+                        if attempts >= self.cfg.max_assign_attempts {
+                            shards[si].done = Some(Self::degraded_result(
+                                batch,
+                                &shards[si],
+                                &abandoned(attempts),
+                            ));
+                            done += 1;
+                            continue; // this worker is still idle; next shard
+                        }
+                        pending.push_back(si);
+                        continue;
+                    }
+                    let msg = WireMsg::Assign {
+                        shard: ordinal,
+                        jobs: batch[shards[si].range.clone()].to_vec(),
+                    };
+                    match self.workers[w].tx.send(&msg) {
+                        Ok(()) => {
+                            self.workers[w].busy = Some(si);
+                            self.workers[w].deadline = Instant::now() + lease;
+                            self.observer
+                                .shard_assigned(ordinal, w as u32, shards[si].range.len());
+                            break;
+                        }
+                        Err(e) => {
+                            pending.push_front(si);
+                            Self::lose_worker(
+                                &mut self.workers,
+                                self.observer.as_ref(),
+                                &mut pending,
+                                w,
+                                &e.to_string(),
+                            );
+                            break;
+                        }
+                    }
+                }
+                if pending.is_empty() {
+                    break;
+                }
+            }
+
+            // A dead fleet cannot make progress: degrade what's left so
+            // the campaign still completes (deterministically) instead of
+            // hanging.
+            if !self.workers.iter().any(|w| w.alive) {
+                while let Some(si) = pending.pop_front() {
+                    if shards[si].done.is_none() {
+                        let attempts = shards[si].attempts;
+                        shards[si].done = Some(Self::degraded_result(
+                            batch,
+                            &shards[si],
+                            &format!("no live workers ({})", abandoned(attempts)),
+                        ));
+                        done += 1;
+                    }
+                }
+            }
+            if done >= shards.len() {
+                break;
+            }
+
+            match self
+                .notes
+                .recv_timeout(Duration::from_millis(self.cfg.poll_ms))
+            {
+                Ok((
+                    w,
+                    WorkerNote::Msg(WireMsg::Result {
+                        shard: ordinal,
+                        outcomes,
+                        gaps,
+                        runs,
+                        events,
+                    }),
+                )) => {
+                    let w = w as usize;
+                    if self.workers[w].alive {
+                        self.workers[w].deadline = Instant::now() + lease;
+                    }
+                    let si = shards
+                        .iter()
+                        .position(|s| s.ordinal == ordinal && s.done.is_none());
+                    if let Some(si) = si {
+                        if outcomes.len() != shards[si].range.len() {
+                            // Protocol violation: treat the worker as lost
+                            // and let the shard be re-run.
+                            Self::lose_worker(
+                                &mut self.workers,
+                                self.observer.as_ref(),
+                                &mut pending,
+                                w,
+                                "result size mismatch",
+                            );
+                            continue;
+                        }
+                        shards[si].done = Some(ShardResult {
+                            outcomes,
+                            gaps,
+                            runs,
+                            events,
+                        });
+                        done += 1;
+                        // Whoever holds the shard (possibly a later
+                        // assignee, if the original came back first) is
+                        // free again.
+                        for slot in &mut self.workers {
+                            if slot.busy == Some(si) {
+                                slot.busy = None;
+                            }
+                        }
+                        // Report every completed island so the runner can
+                        // checkpoint mid-batch.
+                        let spans: Vec<ShardSpan> = shards
+                            .iter()
+                            .filter_map(|s| {
+                                s.done.as_ref().map(|r| ShardSpan {
+                                    shard: s.ordinal,
+                                    start: s.range.start,
+                                    outcomes: r.outcomes.clone(),
+                                    gaps: r.gaps.clone(),
+                                    runs: r.runs,
+                                })
+                            })
+                            .collect();
+                        progress(&spans);
+                    }
+                }
+                Ok((w, WorkerNote::Msg(WireMsg::Heartbeat { .. }))) => {
+                    let w = w as usize;
+                    if self.workers[w].alive && self.workers[w].busy.is_some() {
+                        self.workers[w].deadline = Instant::now() + lease;
+                    }
+                }
+                Ok((_, WorkerNote::Msg(_))) => {} // stray frames ignored
+                Ok((w, WorkerNote::Gone(reason))) => {
+                    Self::lose_worker(
+                        &mut self.workers,
+                        self.observer.as_ref(),
+                        &mut pending,
+                        w as usize,
+                        &reason,
+                    );
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every reader thread has exited and their Gone notes
+                    // are drained: nothing will ever arrive again.
+                    for w in 0..self.workers.len() {
+                        Self::lose_worker(
+                            &mut self.workers,
+                            self.observer.as_ref(),
+                            &mut pending,
+                            w,
+                            "reader channel closed",
+                        );
+                    }
+                }
+            }
+        }
+
+        // Deterministic merge: batch order = shard order, and the workers'
+        // supervisor telemetry replays in the same order with
+        // coordinator-assigned batch ordinals.
+        let mut out = Vec::with_capacity(batch.len());
+        for s in shards {
+            let res = s.done.expect("loop exits only when every shard is done");
+            let batch_id = self.batch_counter;
+            self.batch_counter += 1;
+            for ev in &res.events {
+                match ev {
+                    WorkerEvent::BatchRetried {
+                        failed_jobs,
+                        attempt,
+                        backoff_ms,
+                    } => self
+                        .observer
+                        .batch_retried(batch_id, *failed_jobs, *attempt, *backoff_ms),
+                    WorkerEvent::BatchFailed {
+                        fault,
+                        test,
+                        phase,
+                        reason,
+                    } => self
+                        .observer
+                        .batch_failed(batch_id, *fault, *test, *phase, reason),
+                }
+            }
+            self.gaps.extend(res.gaps);
+            self.runs += res.runs;
+            out.extend(res.outcomes);
+        }
+        out
+    }
+}
+
+impl Drop for DistributedEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ExperimentEngine for DistributedEngine {
+    fn faults(&self) -> Vec<FaultId> {
+        self.faults.clone()
+    }
+
+    fn tests_reaching(&self, f: FaultId) -> Vec<TestId> {
+        self.reaching.get(&f).cloned().unwrap_or_default()
+    }
+
+    fn coverage_size(&self, t: TestId) -> usize {
+        self.coverage.get(&t).copied().unwrap_or(0)
+    }
+
+    fn run_experiment(&mut self, f: FaultId, t: TestId, phase: u8) -> ExperimentOutcome {
+        self.run_experiments(&[(f, t, phase)])
+            .pop()
+            .expect("one outcome per experiment")
+    }
+
+    fn run_experiments(&mut self, batch: &[Job]) -> Vec<ExperimentOutcome> {
+        self.run_batch(batch, &mut |_| {})
+    }
+
+    fn run_experiments_checkpointed(
+        &mut self,
+        batch: &[Job],
+        progress: &mut dyn FnMut(&[ShardSpan]),
+    ) -> Vec<ExperimentOutcome> {
+        self.run_batch(batch, progress)
+    }
+
+    fn take_gaps(&mut self) -> Vec<Job> {
+        std::mem::take(&mut self.gaps)
+    }
+
+    fn runs_executed(&self) -> usize {
+        self.runs
+    }
+
+    fn attach_observer(&mut self, observer: Arc<dyn CampaignObserver>) {
+        self.observer = observer;
+        for (i, w) in self.workers.iter().enumerate() {
+            if w.alive {
+                self.observer.worker_connected(i as u32);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Target resolution for daemon processes.
+//!
+//! Workers receive a target *name* in [`WireMsg::Hello`], never target
+//! state: every process re-derives the system locally and proves agreement
+//! through the registry fingerprint. Resolution goes through the
+//! generator-aware resolver, so one namespace covers the hand-coded
+//! builtins (`toy`, the paper targets), the scenario corpus by declared
+//! name (`kafka-isr`, ...), and synthesized systems (`gen:<seed>`).
+//!
+//! [`WireMsg::Hello`]: crate::wire::WireMsg::Hello
+
+use csnake_core::{Result, TargetSystem};
+
+/// Resolves a target name exactly as the evaluation binaries do.
+pub fn resolve(name: &str) -> Result<Box<dyn TargetSystem>> {
+    csnake_gen::by_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_builtins_scenarios_and_generated_targets() {
+        assert_eq!(resolve("toy").unwrap().name(), "toy");
+        // Generated systems resolve under the `gen:<seed>` pseudo-name but
+        // declare a descriptive `gen-<family>-<seed>` name — which is why
+        // the wire protocol ships the *resolution* name, never `name()`.
+        assert!(resolve("gen:5").unwrap().name().starts_with("gen-"));
+        assert!(resolve("no-such-system").is_err());
+    }
+}

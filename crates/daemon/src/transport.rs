@@ -1,0 +1,117 @@
+//! Transport endpoints carrying framed [`WireMsg`]s.
+//!
+//! The coordinator drives each worker through an [`Endpoint`]: an owned
+//! sending half plus an owned receiving half, split so a reader thread can
+//! block on `recv` while the dispatch loop sends. Three concrete carriers
+//! exist, all speaking the identical frame bytes:
+//!
+//! * [`FrameWriter`] / [`FrameReader`] over any `Write` / `Read` pair —
+//!   TCP sockets (`serve` / `work --connect`) and child-process stdio
+//!   (`run -j N`).
+//! * [`channel_pair`] — an in-process connection over `mpsc`, used by
+//!   thread workers and tests. Frames cross the channel *fully encoded*,
+//!   so the codec (checksums included) is exercised even without a socket.
+
+use std::io::{self, Read, Write};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use crate::wire::{open_frame, read_msg, seal_frame, write_msg, WireMsg};
+
+/// The sending half of a connection.
+pub trait WireTx: Send {
+    /// Sends one message; errors mean the peer is unreachable.
+    fn send(&mut self, msg: &WireMsg) -> io::Result<()>;
+}
+
+/// The receiving half of a connection.
+pub trait WireRx: Send {
+    /// Receives the next message, blocking; `Ok(None)` is a clean hangup.
+    fn recv(&mut self) -> io::Result<Option<WireMsg>>;
+}
+
+/// [`WireTx`] over any byte sink (socket write half, child stdin).
+pub struct FrameWriter<W: Write + Send>(pub W);
+
+impl<W: Write + Send> WireTx for FrameWriter<W> {
+    fn send(&mut self, msg: &WireMsg) -> io::Result<()> {
+        write_msg(&mut self.0, msg)
+    }
+}
+
+/// [`WireRx`] over any byte source (socket read half, child stdout).
+pub struct FrameReader<R: Read + Send>(pub R);
+
+impl<R: Read + Send> WireRx for FrameReader<R> {
+    fn recv(&mut self) -> io::Result<Option<WireMsg>> {
+        read_msg(&mut self.0)
+    }
+}
+
+/// In-process sending half: encoded frames cross an `mpsc` channel.
+pub struct ChannelTx(Sender<Vec<u8>>);
+
+impl WireTx for ChannelTx {
+    fn send(&mut self, msg: &WireMsg) -> io::Result<()> {
+        self.0
+            .send(seal_frame(msg))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer hung up"))
+    }
+}
+
+/// In-process receiving half.
+pub struct ChannelRx(Receiver<Vec<u8>>);
+
+impl WireRx for ChannelRx {
+    fn recv(&mut self) -> io::Result<Option<WireMsg>> {
+        match self.0.recv() {
+            Ok(bytes) => open_frame(&bytes).map(Some).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("wire decode failed: {e}"),
+                )
+            }),
+            // Sender dropped: the peer exited, a clean hangup.
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+/// One side of a connection: what this side sends, the peer receives.
+pub struct Endpoint {
+    /// Sending half.
+    pub tx: Box<dyn WireTx>,
+    /// Receiving half.
+    pub rx: Box<dyn WireRx>,
+}
+
+impl Endpoint {
+    /// Builds an endpoint from a byte source and sink (e.g. a child
+    /// process's stdout/stdin, or the two halves of a cloned socket).
+    pub fn from_stream<R, W>(read: R, write: W) -> Self
+    where
+        R: Read + Send + 'static,
+        W: Write + Send + 'static,
+    {
+        Endpoint {
+            tx: Box::new(FrameWriter(write)),
+            rx: Box::new(FrameReader(read)),
+        }
+    }
+}
+
+/// Creates a connected in-process endpoint pair `(a, b)`: messages sent on
+/// `a.tx` arrive at `b.rx` and vice versa.
+pub fn channel_pair() -> (Endpoint, Endpoint) {
+    let (a_to_b, b_from_a) = channel();
+    let (b_to_a, a_from_b) = channel();
+    (
+        Endpoint {
+            tx: Box::new(ChannelTx(a_to_b)),
+            rx: Box::new(ChannelRx(a_from_b)),
+        },
+        Endpoint {
+            tx: Box::new(ChannelTx(b_to_a)),
+            rx: Box::new(ChannelRx(b_from_a)),
+        },
+    )
+}

@@ -1,0 +1,708 @@
+//! The coordinator/worker wire protocol.
+//!
+//! Frames reuse the snapshot wire discipline wholesale: every message is a
+//! [`Persist`]-encoded payload sealed in a length-prefixed, versioned,
+//! checksummed container — the same header layout as `.csnake` files, under
+//! a distinct magic so a snapshot can never be mistaken for a frame (or
+//! vice versa):
+//!
+//! ```text
+//! "CSNW" | version: u32 LE | payload len: u64 LE | FNV-1a: u64 LE | payload
+//! ```
+//!
+//! The decode path mirrors the snapshot reader's failure taxonomy exactly:
+//! a frame cut short is [`CsnakeError::SnapshotTorn`] (retryable — the peer
+//! died mid-write), a checksum or structure mismatch is
+//! [`CsnakeError::SnapshotCorrupt`], and an unknown version is
+//! [`CsnakeError::SnapshotVersion`]. Stream adapters translate those into
+//! `io::ErrorKind::InvalidData` at the socket boundary.
+//!
+//! Message flow: the coordinator opens with [`WireMsg::Hello`] (target
+//! name, registry fingerprint, full campaign config); the worker re-derives
+//! the target locally, answers [`WireMsg::HelloAck`], then serves
+//! [`WireMsg::Assign`] / [`WireMsg::Result`] pairs until
+//! [`WireMsg::Shutdown`] or EOF. [`WireMsg::Heartbeat`] keeps the worker's
+//! lease alive across long experiment batches; supervisor telemetry rides
+//! inside `Result` as [`WorkerEvent`]s so the coordinator can replay it in
+//! deterministic shard-merge order.
+
+use std::io::{self, Read, Write};
+
+use csnake_core::error::{CsnakeError, Result};
+use csnake_core::{fnv1a_bytes, DetectConfig, ExperimentOutcome, Persist, Reader, Writer};
+use csnake_inject::{FaultId, TestId};
+
+/// Frame magic: `CSNW` ("CSnake Wire"), deliberately one letter away from
+/// the snapshot magic so hexdumps distinguish the two at a glance.
+pub const WIRE_MAGIC: [u8; 4] = *b"CSNW";
+
+/// Current protocol version. Bumped on any incompatible message change;
+/// there is no cross-version negotiation — coordinator and workers are one
+/// build, so a mismatch is a deployment error and fails the handshake.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Fixed header length: magic + version + payload length + checksum.
+pub const WIRE_HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// Upper bound accepted for one frame's payload. Far above any real
+/// message (the largest is a `Result` for one shard); its purpose is to
+/// turn a garbled length field into a typed error instead of an
+/// out-of-memory allocation.
+pub const MAX_FRAME_PAYLOAD: u64 = 1 << 30;
+
+/// One planned experiment cell: `(fault, test, phase)`.
+pub type Job = (FaultId, TestId, u8);
+
+/// Supervisor telemetry collected on a worker while running one shard,
+/// shipped back inside [`WireMsg::Result`]. Batch ordinals are assigned by
+/// the *coordinator* at merge time (worker-local counters would interleave
+/// nondeterministically), so the wire form carries none.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerEvent {
+    /// The worker's driver retried part of the shard after job panics.
+    BatchRetried {
+        /// Jobs that failed and were re-queued.
+        failed_jobs: usize,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Backoff pause the worker slept before the retry.
+        backoff_ms: u64,
+    },
+    /// A cell exhausted the worker's retry budget and became a gap.
+    BatchFailed {
+        /// The abandoned cell's fault.
+        fault: FaultId,
+        /// The abandoned cell's test.
+        test: TestId,
+        /// The abandoned cell's 3PA phase.
+        phase: u8,
+        /// Panic message of the final attempt.
+        reason: String,
+    },
+}
+
+/// Every message of the coordinator/worker protocol.
+#[derive(Debug, Clone)]
+pub enum WireMsg {
+    /// Coordinator → worker: campaign preamble. The worker resolves
+    /// `target` by name, profiles it locally (deterministic in the
+    /// config's seeds), and must arrive at `registry_fp` — a mismatched
+    /// fingerprint means coordinator and worker see different systems and
+    /// the handshake fails.
+    Hello {
+        /// Target name as accepted by the generator-aware resolver
+        /// (builtins, scenario corpus, `gen:<seed>`).
+        target: String,
+        /// Expected registry fingerprint of the resolved target.
+        registry_fp: u64,
+        /// Full campaign configuration; the worker only consults
+        /// `cfg.driver`, but shipping the whole struct keeps the frame
+        /// self-describing.
+        cfg: DetectConfig,
+        /// Identity assigned to this worker by the coordinator.
+        worker: u32,
+        /// Lease duration: the worker must be heard from (heartbeat or
+        /// result) at least this often or its shards are reassigned.
+        lease_ms: u64,
+    },
+    /// Worker → coordinator: handshake completion, fingerprint echoed.
+    HelloAck {
+        /// The worker's assigned identity.
+        worker: u32,
+        /// Fingerprint of the registry the worker actually built.
+        registry_fp: u64,
+    },
+    /// Coordinator → worker: one shard of independent experiments.
+    Assign {
+        /// Global shard ordinal (unique across the whole campaign).
+        shard: u32,
+        /// The shard's cells, in plan order.
+        jobs: Vec<Job>,
+    },
+    /// Worker → coordinator: a completed shard.
+    Result {
+        /// Ordinal of the shard these outcomes belong to.
+        shard: u32,
+        /// One outcome per assigned job, in job order (gap cells hold the
+        /// usual empty placeholder).
+        outcomes: Vec<ExperimentOutcome>,
+        /// Cells abandoned by the worker's retry supervisor.
+        gaps: Vec<Job>,
+        /// Simulator runs this shard cost on the worker.
+        runs: usize,
+        /// Supervisor telemetry, replayed by the coordinator in merge
+        /// order.
+        events: Vec<WorkerEvent>,
+    },
+    /// Worker → coordinator: lease keep-alive while computing.
+    Heartbeat {
+        /// The sending worker.
+        worker: u32,
+        /// Monotonic per-worker sequence number.
+        seq: u64,
+    },
+    /// Coordinator → worker: drain and exit cleanly.
+    Shutdown,
+}
+
+impl Persist for WorkerEvent {
+    fn put(&self, w: &mut Writer) {
+        match self {
+            WorkerEvent::BatchRetried {
+                failed_jobs,
+                attempt,
+                backoff_ms,
+            } => {
+                0u8.put(w);
+                failed_jobs.put(w);
+                attempt.put(w);
+                backoff_ms.put(w);
+            }
+            WorkerEvent::BatchFailed {
+                fault,
+                test,
+                phase,
+                reason,
+            } => {
+                1u8.put(w);
+                fault.put(w);
+                test.put(w);
+                phase.put(w);
+                reason.put(w);
+            }
+        }
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match u8::load(r)? {
+            0 => WorkerEvent::BatchRetried {
+                failed_jobs: usize::load(r)?,
+                attempt: u32::load(r)?,
+                backoff_ms: u64::load(r)?,
+            },
+            1 => WorkerEvent::BatchFailed {
+                fault: FaultId::load(r)?,
+                test: TestId::load(r)?,
+                phase: u8::load(r)?,
+                reason: String::load(r)?,
+            },
+            n => {
+                return Err(CsnakeError::SnapshotCorrupt(format!(
+                    "bad worker-event tag {n}"
+                )))
+            }
+        })
+    }
+}
+
+impl Persist for WireMsg {
+    fn put(&self, w: &mut Writer) {
+        match self {
+            WireMsg::Hello {
+                target,
+                registry_fp,
+                cfg,
+                worker,
+                lease_ms,
+            } => {
+                0u8.put(w);
+                target.put(w);
+                registry_fp.put(w);
+                cfg.put(w);
+                worker.put(w);
+                lease_ms.put(w);
+            }
+            WireMsg::HelloAck {
+                worker,
+                registry_fp,
+            } => {
+                1u8.put(w);
+                worker.put(w);
+                registry_fp.put(w);
+            }
+            WireMsg::Assign { shard, jobs } => {
+                2u8.put(w);
+                shard.put(w);
+                jobs.put(w);
+            }
+            WireMsg::Result {
+                shard,
+                outcomes,
+                gaps,
+                runs,
+                events,
+            } => {
+                3u8.put(w);
+                shard.put(w);
+                outcomes.put(w);
+                gaps.put(w);
+                runs.put(w);
+                events.put(w);
+            }
+            WireMsg::Heartbeat { worker, seq } => {
+                4u8.put(w);
+                worker.put(w);
+                seq.put(w);
+            }
+            WireMsg::Shutdown => 5u8.put(w),
+        }
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match u8::load(r)? {
+            0 => WireMsg::Hello {
+                target: String::load(r)?,
+                registry_fp: u64::load(r)?,
+                cfg: DetectConfig::load(r)?,
+                worker: u32::load(r)?,
+                lease_ms: u64::load(r)?,
+            },
+            1 => WireMsg::HelloAck {
+                worker: u32::load(r)?,
+                registry_fp: u64::load(r)?,
+            },
+            2 => WireMsg::Assign {
+                shard: u32::load(r)?,
+                jobs: Vec::load(r)?,
+            },
+            3 => WireMsg::Result {
+                shard: u32::load(r)?,
+                outcomes: Vec::load(r)?,
+                gaps: Vec::load(r)?,
+                runs: usize::load(r)?,
+                events: Vec::load(r)?,
+            },
+            4 => WireMsg::Heartbeat {
+                worker: u32::load(r)?,
+                seq: u64::load(r)?,
+            },
+            5 => WireMsg::Shutdown,
+            n => {
+                return Err(CsnakeError::SnapshotCorrupt(format!(
+                    "bad wire-message tag {n}"
+                )))
+            }
+        })
+    }
+}
+
+/// Encodes one message into a complete frame (header + payload).
+pub fn seal_frame(msg: &WireMsg) -> Vec<u8> {
+    let mut w = Writer::with_version(WIRE_VERSION);
+    msg.put(&mut w);
+    let payload = w.into_bytes();
+    let mut out = Vec::with_capacity(WIRE_HEADER_LEN + payload.len());
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a_bytes(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes one complete frame, verifying magic, version, length and
+/// checksum, and requiring the payload to be consumed exactly.
+pub fn open_frame(bytes: &[u8]) -> Result<WireMsg> {
+    if bytes.len() < WIRE_HEADER_LEN {
+        return Err(CsnakeError::SnapshotTorn {
+            expected: WIRE_HEADER_LEN as u64,
+            found: bytes.len() as u64,
+        });
+    }
+    if bytes[0..4] != WIRE_MAGIC {
+        return Err(CsnakeError::SnapshotCorrupt(format!(
+            "bad wire magic {:02x?}",
+            &bytes[0..4]
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sized slice"));
+    if version != WIRE_VERSION {
+        return Err(CsnakeError::SnapshotVersion {
+            found: version,
+            supported: WIRE_VERSION,
+        });
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("sized slice"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(CsnakeError::SnapshotCorrupt(format!(
+            "wire frame claims {len} payload bytes (cap {MAX_FRAME_PAYLOAD})"
+        )));
+    }
+    let expected_total = WIRE_HEADER_LEN as u64 + len;
+    if (bytes.len() as u64) < expected_total {
+        return Err(CsnakeError::SnapshotTorn {
+            expected: expected_total,
+            found: bytes.len() as u64,
+        });
+    }
+    let payload = &bytes[WIRE_HEADER_LEN..expected_total as usize];
+    let sum = u64::from_le_bytes(bytes[16..24].try_into().expect("sized slice"));
+    if fnv1a_bytes(payload) != sum {
+        return Err(CsnakeError::SnapshotCorrupt(
+            "wire frame checksum mismatch".into(),
+        ));
+    }
+    let mut r = Reader::with_version(payload, version);
+    let msg = WireMsg::load(&mut r)?;
+    if !r.finished() {
+        return Err(CsnakeError::SnapshotCorrupt(
+            "trailing bytes after wire message".into(),
+        ));
+    }
+    Ok(msg)
+}
+
+/// Writes one framed message to a byte stream and flushes it (frames are
+/// request/response units; buffering across them would deadlock the
+/// protocol).
+pub fn write_msg<W: Write>(w: &mut W, msg: &WireMsg) -> io::Result<()> {
+    w.write_all(&seal_frame(msg))?;
+    w.flush()
+}
+
+/// Reads one framed message from a byte stream.
+///
+/// A clean EOF *between* frames is `Ok(None)` — the peer hung up, which is
+/// a normal shutdown path. EOF *inside* a frame, or any decode failure, is
+/// an `io::Error` (`UnexpectedEof` / `InvalidData` respectively).
+pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<WireMsg>> {
+    let mut frame = vec![0u8; WIRE_HEADER_LEN];
+    let mut got = 0usize;
+    while got < WIRE_HEADER_LEN {
+        match r.read(&mut frame[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("wire frame header cut short at {got} bytes"),
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u64::from_le_bytes(frame[8..16].try_into().expect("sized slice"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("wire frame claims {len} payload bytes (cap {MAX_FRAME_PAYLOAD})"),
+        ));
+    }
+    frame.resize(WIRE_HEADER_LEN + len as usize, 0);
+    r.read_exact(&mut frame[WIRE_HEADER_LEN..])?;
+    open_frame(&frame).map(Some).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("wire decode failed: {e}"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csnake_core::{CausalEdge, CompatState, EdgeKind};
+    use proptest::collection;
+    use proptest::prelude::*;
+
+    fn edge(cause: u32, effect: u32, kind: EdgeKind, test: u32, phase: u8) -> CausalEdge {
+        CausalEdge {
+            cause: FaultId(cause),
+            effect: FaultId(effect),
+            kind,
+            test: TestId(test),
+            phase,
+            cause_state: CompatState::Occurrences(Vec::new()),
+            effect_state: CompatState::Occurrences(Vec::new()),
+        }
+    }
+
+    fn outcome(
+        fault: u32,
+        test: u32,
+        interference: &[u32],
+        edges: Vec<CausalEdge>,
+    ) -> ExperimentOutcome {
+        ExperimentOutcome {
+            fault: FaultId(fault),
+            test: TestId(test),
+            interference: interference.iter().map(|&f| FaultId(f)).collect(),
+            edges,
+        }
+    }
+
+    /// One non-trivial message per protocol variant.
+    fn sample_messages() -> Vec<WireMsg> {
+        let mut cfg = DetectConfig::default();
+        cfg.driver.reps = 3;
+        cfg.driver.base_seed = 0xDECAF;
+        vec![
+            WireMsg::Hello {
+                target: "kafka-isr".into(),
+                registry_fp: 0xFEED_BEEF_u64,
+                cfg,
+                worker: 3,
+                lease_ms: 1_500,
+            },
+            WireMsg::HelloAck {
+                worker: 3,
+                registry_fp: 0xFEED_BEEF_u64,
+            },
+            WireMsg::Assign {
+                shard: 17,
+                jobs: vec![
+                    (FaultId(1), TestId(2), 1),
+                    (FaultId(9), TestId(0), 2),
+                    (FaultId(4), TestId(7), 3),
+                ],
+            },
+            WireMsg::Result {
+                shard: 17,
+                outcomes: vec![
+                    outcome(1, 2, &[4, 6], vec![edge(1, 4, EdgeKind::ED, 2, 1)]),
+                    outcome(9, 0, &[], Vec::new()),
+                ],
+                gaps: vec![(FaultId(4), TestId(7), 3)],
+                runs: 42,
+                events: vec![
+                    WorkerEvent::BatchRetried {
+                        failed_jobs: 2,
+                        attempt: 1,
+                        backoff_ms: 10,
+                    },
+                    WorkerEvent::BatchFailed {
+                        fault: FaultId(4),
+                        test: TestId(7),
+                        phase: 3,
+                        reason: "job panicked: chaos".into(),
+                    },
+                ],
+            },
+            WireMsg::Heartbeat { worker: 3, seq: 99 },
+            WireMsg::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_message_type_roundtrips_bit_exactly() {
+        for msg in sample_messages() {
+            let frame = seal_frame(&msg);
+            let back = open_frame(&frame).expect("frame decodes");
+            assert_eq!(
+                seal_frame(&back),
+                frame,
+                "re-encoding {msg:?} must reproduce the frame"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_a_typed_error() {
+        // Mirrors the snapshot torn-file sweep: a frame cut at ANY byte
+        // boundary must fail loudly, and cuts the header/length declare
+        // (as opposed to garbled content) must be the retryable Torn kind.
+        for msg in sample_messages() {
+            let frame = seal_frame(&msg);
+            for cut in 0..frame.len() {
+                match open_frame(&frame[..cut]) {
+                    Err(CsnakeError::SnapshotTorn { expected, found }) => {
+                        assert_eq!(found, cut as u64);
+                        assert!(expected > found, "torn must promise more than present");
+                    }
+                    Err(other) => panic!("cut at {cut}: expected Torn, got {other:?}"),
+                    Ok(m) => panic!("cut at {cut} still decoded {m:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        // The checksum covers the payload; the header fields are each
+        // individually validated. Net effect: no single corrupted byte
+        // anywhere in a frame can slip through.
+        let frame = seal_frame(&sample_messages().remove(3));
+        for i in 0..frame.len() {
+            let mut garbled = frame.clone();
+            garbled[i] ^= 0x20;
+            assert!(
+                open_frame(&garbled).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn garbled_checksum_is_corrupt_not_torn() {
+        let mut frame = seal_frame(&WireMsg::Shutdown);
+        frame[16] ^= 0xFF; // first checksum byte
+        match open_frame(&frame) {
+            Err(CsnakeError::SnapshotCorrupt(msg)) => {
+                assert!(msg.contains("checksum"), "{msg}")
+            }
+            other => panic!("expected SnapshotCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_bump_is_rejected_typed() {
+        let mut frame = seal_frame(&WireMsg::Shutdown);
+        frame[4..8].copy_from_slice(&(WIRE_VERSION + 1).to_le_bytes());
+        match open_frame(&frame) {
+            Err(CsnakeError::SnapshotVersion { found, supported }) => {
+                assert_eq!(found, WIRE_VERSION + 1);
+                assert_eq!(supported, WIRE_VERSION);
+            }
+            other => panic!("expected SnapshotVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_magic_is_not_wire_magic() {
+        // A `.csnake` file fed to the wire decoder must fail on the magic,
+        // not limp into payload parsing.
+        let mut frame = seal_frame(&WireMsg::Shutdown);
+        frame[0..4].copy_from_slice(&csnake_core::SNAPSHOT_MAGIC);
+        match open_frame(&frame) {
+            Err(CsnakeError::SnapshotCorrupt(msg)) => assert!(msg.contains("magic"), "{msg}"),
+            other => panic!("expected SnapshotCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_reads_frames_back_to_back_and_reports_clean_eof() {
+        let mut stream = Vec::new();
+        let msgs = sample_messages();
+        for m in &msgs {
+            write_msg(&mut stream, m).expect("vec write");
+        }
+        let mut cursor = std::io::Cursor::new(stream.clone());
+        for m in &msgs {
+            let got = read_msg(&mut cursor).expect("read").expect("not eof");
+            assert_eq!(seal_frame(&got), seal_frame(m));
+        }
+        assert!(read_msg(&mut cursor).expect("clean eof").is_none());
+
+        // EOF *inside* a frame is an error, at every cut point.
+        for cut in 1..stream.len() {
+            let mut torn = std::io::Cursor::new(stream[..cut].to_vec());
+            loop {
+                match read_msg(&mut torn) {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => {
+                        // Only legal if the cut landed exactly on a frame
+                        // boundary.
+                        let consumed = torn.position() as usize;
+                        assert_eq!(consumed, cut, "cut {cut} swallowed a partial frame");
+                        break;
+                    }
+                    Err(e) => {
+                        assert!(
+                            matches!(
+                                e.kind(),
+                                io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+                            ),
+                            "cut {cut}: {e:?}"
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // -- property coverage: randomized payloads for every message type ----
+
+    fn arb_job() -> impl Strategy<Value = Job> {
+        (0u32..500, 0u32..100, 0u8..4).prop_map(|(f, t, p)| (FaultId(f), TestId(t), p))
+    }
+
+    fn arb_edge() -> impl Strategy<Value = CausalEdge> {
+        (0u32..500, 0u32..500, 0u8..6, 0u32..100, 0u8..4).prop_map(|(c, e, k, t, p)| {
+            let kind = match k {
+                0 => EdgeKind::ED,
+                1 => EdgeKind::SD,
+                2 => EdgeKind::EI,
+                3 => EdgeKind::SI,
+                4 => EdgeKind::Icfg,
+                _ => EdgeKind::Cfg,
+            };
+            edge(c, e, kind, t, p)
+        })
+    }
+
+    fn arb_outcome() -> impl Strategy<Value = ExperimentOutcome> {
+        (
+            0u32..500,
+            0u32..100,
+            collection::btree_set(0u32..500, 0..6),
+            collection::vec(arb_edge(), 0..4),
+        )
+            .prop_map(|(f, t, interference, edges)| ExperimentOutcome {
+                fault: FaultId(f),
+                test: TestId(t),
+                interference: interference.into_iter().map(FaultId).collect(),
+                edges,
+            })
+    }
+
+    fn arb_event() -> impl Strategy<Value = WorkerEvent> {
+        (0u8..2, 0usize..50, 1u32..5, 0u64..5_000, arb_job()).prop_map(
+            |(tag, failed_jobs, attempt, backoff_ms, (f, t, p))| {
+                if tag == 0 {
+                    WorkerEvent::BatchRetried {
+                        failed_jobs,
+                        attempt,
+                        backoff_ms,
+                    }
+                } else {
+                    WorkerEvent::BatchFailed {
+                        fault: f,
+                        test: t,
+                        phase: p,
+                        reason: format!("job panicked after {backoff_ms}ms"),
+                    }
+                }
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn random_payloads_roundtrip_for_every_message_type(
+            jobs in collection::vec(arb_job(), 0..12),
+            outcomes in collection::vec(arb_outcome(), 0..6),
+            events in collection::vec(arb_event(), 0..4),
+            shard in 0u32..10_000,
+            worker in 0u32..64,
+            seq in 0u64..1_000_000,
+            runs in 0usize..100_000,
+            lease_ms in 1u64..60_000,
+        ) {
+            let mut cfg = DetectConfig::default();
+            cfg.driver.base_seed = seq;
+            let gaps = jobs.clone();
+            let msgs = [
+                WireMsg::Hello {
+                    target: format!("gen:{seq}"),
+                    registry_fp: seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    cfg,
+                    worker,
+                    lease_ms,
+                },
+                WireMsg::HelloAck { worker, registry_fp: seq },
+                WireMsg::Assign { shard, jobs },
+                WireMsg::Result { shard, outcomes, gaps, runs, events },
+                WireMsg::Heartbeat { worker, seq },
+                WireMsg::Shutdown,
+            ];
+            for msg in msgs {
+                let frame = seal_frame(&msg);
+                let back = open_frame(&frame).expect("random frame decodes");
+                prop_assert_eq!(seal_frame(&back), frame);
+            }
+        }
+    }
+}

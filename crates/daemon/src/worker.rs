@@ -1,0 +1,233 @@
+//! The worker side of the daemon: a process (or thread) that owns a
+//! locally re-derived copy of the target and serves experiment shards.
+//!
+//! A worker is stateless between shards. It receives the campaign
+//! preamble once ([`WireMsg::Hello`]), resolves the target by name,
+//! profiles it with the shipped config — profiling is deterministic in the
+//! config's seeds, so every worker and the coordinator agree on coverage
+//! and plans — and proves that agreement by echoing the registry
+//! fingerprint. After the handshake it loops: run a shard's jobs on the
+//! in-process driver (retry supervision included), ship the outcomes,
+//! gaps, run count and buffered supervisor events back in one
+//! [`WireMsg::Result`].
+//!
+//! A heartbeat thread keeps the coordinator's lease alive while a long
+//! batch computes; a worker that dies (or stalls with heartbeats lost)
+//! simply stops answering, and the coordinator reassigns its shard. The
+//! worker never checkpoints — shards are small and idempotent, so the
+//! coordinator-side checkpoint plus reassignment is the whole recovery
+//! story.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use csnake_core::alloc::ExperimentEngine;
+use csnake_core::error::{CsnakeError, Result};
+use csnake_core::{registry_fingerprint, CampaignObserver, Driver};
+use csnake_inject::{FaultId, TestId};
+
+use crate::transport::Endpoint;
+use crate::wire::{WireMsg, WorkerEvent};
+
+/// Fault-injection knobs for recovery tests; the default is a well-behaved
+/// worker.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Die mid-assignment: after completing this many shards, the next
+    /// [`WireMsg::Assign`] is accepted and silently dropped — the worker
+    /// exits (or hangs, see `fail_hang_ms`) without ever answering, which
+    /// is exactly what a crashed worker looks like to the coordinator.
+    pub fail_after: Option<usize>,
+    /// When dying, keep the connection open for this long before exiting.
+    /// `0` drops the connection immediately (crash → EOF → instant
+    /// reassignment); a positive value with `heartbeats: false` models a
+    /// silent stall, which only the lease clock can catch.
+    pub fail_hang_ms: u64,
+    /// Send lease heartbeats (on by default; disabled to exercise lease
+    /// expiry in tests).
+    pub heartbeats: bool,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            fail_after: None,
+            fail_hang_ms: 0,
+            heartbeats: true,
+        }
+    }
+}
+
+/// Maps a transport error into the workspace error type.
+fn wire_io(source: io::Error) -> CsnakeError {
+    CsnakeError::Io {
+        path: PathBuf::from("<wire>"),
+        source,
+    }
+}
+
+/// Observer buffering the driver's supervisor events for the current
+/// shard; drained into each [`WireMsg::Result`]. Worker-local batch
+/// ordinals are dropped here — the coordinator re-numbers events in shard
+/// merge order so the replayed stream is deterministic.
+#[derive(Default)]
+struct EventBuffer {
+    events: Mutex<Vec<WorkerEvent>>,
+}
+
+impl EventBuffer {
+    fn drain(&self) -> Vec<WorkerEvent> {
+        std::mem::take(&mut self.events.lock().expect("event buffer poisoned"))
+    }
+}
+
+impl CampaignObserver for EventBuffer {
+    fn batch_retried(&self, _batch: usize, failed_jobs: usize, attempt: u32, backoff_ms: u64) {
+        self.events
+            .lock()
+            .expect("event buffer poisoned")
+            .push(WorkerEvent::BatchRetried {
+                failed_jobs,
+                attempt,
+                backoff_ms,
+            });
+    }
+
+    fn batch_failed(&self, _batch: usize, fault: FaultId, test: TestId, phase: u8, reason: &str) {
+        self.events
+            .lock()
+            .expect("event buffer poisoned")
+            .push(WorkerEvent::BatchFailed {
+                fault,
+                test,
+                phase,
+                reason: reason.to_string(),
+            });
+    }
+}
+
+/// Sleeps `ms` in short slices so `stop` is honoured promptly.
+fn sliced_sleep(ms: u64, stop: &AtomicBool) {
+    let mut left = ms;
+    while left > 0 && !stop.load(Ordering::Relaxed) {
+        let step = left.min(10);
+        std::thread::sleep(Duration::from_millis(step));
+        left -= step;
+    }
+}
+
+/// Serves one coordinator connection to completion. Returns when the
+/// coordinator shuts the worker down, hangs up, or an injected failure
+/// (`opts.fail_after`) fires.
+pub fn run_worker(endpoint: Endpoint, opts: WorkerOptions) -> Result<()> {
+    let Endpoint { tx, mut rx } = endpoint;
+    let (target_name, want_fp, cfg, worker_id, lease_ms) = match rx.recv().map_err(wire_io)? {
+        Some(WireMsg::Hello {
+            target,
+            registry_fp,
+            cfg,
+            worker,
+            lease_ms,
+        }) => (target, registry_fp, cfg, worker, lease_ms),
+        Some(other) => {
+            return Err(CsnakeError::SnapshotCorrupt(format!(
+                "worker expected Hello, got {other:?}"
+            )))
+        }
+        None => return Ok(()), // coordinator gone before the handshake
+    };
+
+    let system = crate::targets::resolve(&target_name)?;
+    let fp = registry_fingerprint(&system.registry());
+    if fp != want_fp {
+        return Err(CsnakeError::RegistryMismatch {
+            snapshot: want_fp,
+            actual: fp,
+        });
+    }
+
+    // Re-profiling is this worker's one up-front cost; the traces (and
+    // everything derived from them) are bit-identical to the
+    // coordinator's because run seeds are pure functions of (test, rep).
+    let mut driver = Driver::new(system.as_ref(), cfg.driver.clone());
+    let events = Arc::new(EventBuffer::default());
+    driver.set_observer(events.clone());
+    // Profile runs stay out of shard deltas: the coordinator accounts its
+    // own profiling, and worker profiling is a re-derivation, not campaign
+    // work.
+    let mut runs_sent = driver.runs_executed;
+
+    let tx = Arc::new(Mutex::new(tx));
+    tx.lock()
+        .expect("wire tx poisoned")
+        .send(&WireMsg::HelloAck {
+            worker: worker_id,
+            registry_fp: fp,
+        })
+        .map_err(wire_io)?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        if opts.heartbeats && lease_ms > 0 {
+            let hb_tx = Arc::clone(&tx);
+            let hb_stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let tick = (lease_ms / 3).max(1);
+                let mut seq = 0u64;
+                loop {
+                    sliced_sleep(tick, &hb_stop);
+                    if hb_stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    seq += 1;
+                    let beat = WireMsg::Heartbeat {
+                        worker: worker_id,
+                        seq,
+                    };
+                    if hb_tx.lock().expect("wire tx poisoned").send(&beat).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+
+        let served = (|| -> Result<()> {
+            let mut completed = 0usize;
+            loop {
+                match rx.recv().map_err(wire_io)? {
+                    Some(WireMsg::Assign { shard, jobs }) => {
+                        if opts.fail_after.is_some_and(|n| completed >= n) {
+                            // Injected crash: the shard is ours on the
+                            // coordinator's books, and we vanish.
+                            sliced_sleep(opts.fail_hang_ms, &AtomicBool::new(false));
+                            return Ok(());
+                        }
+                        let outcomes = driver.run_experiments(&jobs);
+                        let gaps = driver.take_gaps();
+                        let runs = driver.runs_executed - runs_sent;
+                        runs_sent = driver.runs_executed;
+                        let reply = WireMsg::Result {
+                            shard,
+                            outcomes,
+                            gaps,
+                            runs,
+                            events: events.drain(),
+                        };
+                        tx.lock()
+                            .expect("wire tx poisoned")
+                            .send(&reply)
+                            .map_err(wire_io)?;
+                        completed += 1;
+                    }
+                    Some(WireMsg::Shutdown) | None => return Ok(()),
+                    Some(_) => {} // stray frames (e.g. echoed heartbeats) are ignored
+                }
+            }
+        })();
+        stop.store(true, Ordering::Relaxed);
+        served
+    })
+}

@@ -1,0 +1,128 @@
+//! Fault tolerance: losing workers mid-phase must not perturb results.
+//!
+//! Two failure shapes are exercised — a crash (connection drops, the
+//! coordinator reacts instantly) and a silent stall (heartbeats stop, only
+//! the lease clock catches it). In both, the dead worker's unacked shard
+//! is reassigned and the final report stays bit-identical to the
+//! single-process run.
+
+use std::sync::Arc;
+
+use csnake_core::{DetectConfig, ProgressCollector, Session, ThreePhase};
+use csnake_daemon::{run_distributed, DaemonConfig, RunOptions, WorkerOptions};
+
+fn fast_config() -> DetectConfig {
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800];
+    cfg.driver.retry.backoff_base_ms = 1;
+    cfg
+}
+
+fn single_process(target_name: &str) -> String {
+    let target = csnake_daemon::targets::resolve(target_name).expect("target resolves");
+    let mut session = Session::builder(target.as_ref())
+        .config(fast_config())
+        .build()
+        .expect("session builds");
+    format!(
+        "{:?}",
+        session
+            .run_to_report(&ThreePhase::default())
+            .expect("single-process campaign")
+    )
+}
+
+#[test]
+fn worker_crash_mid_phase_reassigns_and_report_is_identical() {
+    let baseline = single_process("toy");
+    let progress = Arc::new(ProgressCollector::new());
+    let opts = RunOptions {
+        daemon: DaemonConfig {
+            lease_ms: 500,
+            ..DaemonConfig::default()
+        },
+        observer: Some(progress.clone()),
+        // Worker 0 completes one shard, then accepts the next assignment
+        // and dies holding it — the textbook mid-phase crash.
+        worker_opts: vec![WorkerOptions {
+            fail_after: Some(1),
+            ..WorkerOptions::default()
+        }],
+        ..RunOptions::default()
+    };
+    let run = run_distributed("toy", fast_config(), 2, opts).expect("campaign survives the crash");
+    assert_eq!(format!("{:?}", run.report), baseline);
+    assert!(
+        !run.report.degraded(),
+        "a reassigned shard must not surface as missing cells"
+    );
+
+    let snap = progress.snapshot();
+    assert_eq!(snap.workers_connected, 2);
+    assert_eq!(snap.workers_lost, 1, "exactly the killed worker is lost");
+    assert!(
+        snap.shards_reassigned >= 1,
+        "the orphaned shard must be reassigned (saw {})",
+        snap.shards_reassigned
+    );
+}
+
+#[test]
+fn silent_stall_is_caught_by_the_lease_clock() {
+    let baseline = single_process("toy");
+    let progress = Arc::new(ProgressCollector::new());
+    let opts = RunOptions {
+        daemon: DaemonConfig {
+            lease_ms: 150,
+            ..DaemonConfig::default()
+        },
+        observer: Some(progress.clone()),
+        // Worker 0 goes silent holding its second shard, keeping the
+        // connection open — no EOF, no heartbeats, nothing but the lease.
+        worker_opts: vec![WorkerOptions {
+            fail_after: Some(1),
+            fail_hang_ms: 3_000,
+            heartbeats: false,
+        }],
+        ..RunOptions::default()
+    };
+    let run = run_distributed("toy", fast_config(), 2, opts).expect("campaign survives the stall");
+    assert_eq!(format!("{:?}", run.report), baseline);
+
+    let snap = progress.snapshot();
+    assert_eq!(snap.workers_lost, 1, "the stalled worker must be reaped");
+    assert!(snap.shards_reassigned >= 1);
+}
+
+#[test]
+fn losing_every_worker_degrades_instead_of_hanging() {
+    let progress = Arc::new(ProgressCollector::new());
+    let opts = RunOptions {
+        daemon: DaemonConfig {
+            lease_ms: 200,
+            max_assign_attempts: 2,
+            ..DaemonConfig::default()
+        },
+        observer: Some(progress.clone()),
+        worker_opts: vec![
+            WorkerOptions {
+                fail_after: Some(0),
+                ..WorkerOptions::default()
+            },
+            WorkerOptions {
+                fail_after: Some(1),
+                ..WorkerOptions::default()
+            },
+        ],
+        ..RunOptions::default()
+    };
+    let run = run_distributed("toy", fast_config(), 2, opts)
+        .expect("a dead fleet still completes the campaign");
+    assert!(
+        run.report.degraded(),
+        "with no workers left, unfinished cells must be enumerated as missing"
+    );
+    assert!(!run.report.missing_cells.is_empty());
+    assert_eq!(progress.snapshot().workers_lost, 2);
+}

@@ -1,0 +1,74 @@
+//! The daemon's headline contract: a distributed campaign produces a
+//! `DetectionReport` Debug-identical to the single-process
+//! `Session::run_to_report`, for any worker count.
+
+use csnake_core::{DetectConfig, Session, ThreePhase};
+use csnake_daemon::{run_distributed, DaemonConfig, RunOptions};
+
+/// Small-but-real campaign config (the chaos-smoke settings).
+fn fast_config() -> DetectConfig {
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800];
+    cfg.driver.retry.backoff_base_ms = 1;
+    cfg
+}
+
+/// `(report debug, runs_executed)` of the plain in-process pipeline.
+fn single_process(target_name: &str) -> (String, usize) {
+    let target = csnake_daemon::targets::resolve(target_name).expect("target resolves");
+    let mut session = Session::builder(target.as_ref())
+        .config(fast_config())
+        .build()
+        .expect("session builds");
+    let report = format!(
+        "{:?}",
+        session
+            .run_to_report(&ThreePhase::default())
+            .expect("single-process campaign")
+    );
+    (report, session.runs_executed())
+}
+
+fn distributed(target_name: &str, workers: usize) -> (String, usize) {
+    let opts = RunOptions {
+        daemon: DaemonConfig {
+            // Tight lease: these tests must also prove that healthy
+            // heartbeat-keeping workers are never falsely reaped.
+            lease_ms: 500,
+            ..DaemonConfig::default()
+        },
+        ..RunOptions::default()
+    };
+    let run =
+        run_distributed(target_name, fast_config(), workers, opts).expect("distributed campaign");
+    (format!("{:?}", run.report), run.outcome.runs_executed)
+}
+
+#[test]
+fn toy_reports_are_identical_across_worker_counts() {
+    let (baseline, baseline_runs) = single_process("toy");
+    for workers in [1, 2, 4] {
+        let (report, runs) = distributed("toy", workers);
+        assert_eq!(report, baseline, "toy, {workers} workers");
+        assert_eq!(runs, baseline_runs, "toy runs, {workers} workers");
+    }
+}
+
+#[test]
+fn generated_target_reports_are_identical_across_worker_counts() {
+    let (baseline, baseline_runs) = single_process("gen:5");
+    for workers in [1, 4] {
+        let (report, runs) = distributed("gen:5", workers);
+        assert_eq!(report, baseline, "gen:5, {workers} workers");
+        assert_eq!(runs, baseline_runs, "gen:5 runs, {workers} workers");
+    }
+}
+
+#[test]
+fn scenario_corpus_target_report_is_identical_distributed() {
+    let (baseline, baseline_runs) = single_process("kafka-isr");
+    let (report, runs) = distributed("kafka-isr", 2);
+    assert_eq!(report, baseline);
+    assert_eq!(runs, baseline_runs);
+}

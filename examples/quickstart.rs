@@ -34,6 +34,18 @@
 //!
 //! See the `csnake_scenario` crate docs for the full language walkthrough.
 //!
+//! # Distribute the campaign
+//!
+//! The same pipeline shards across worker processes without changing its
+//! results — `csnake-daemon run -j N` spawns a local N-worker fleet and
+//! produces a report bit-identical to this example's single-process run
+//! (the `distributed_campaign` example proves the equality in-process):
+//!
+//! ```sh
+//! cargo run -p csnake-daemon --bin csnake-daemon -- run --target toy -j 4 --fast
+//! cargo run --example distributed_campaign
+//! ```
+//!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
