@@ -6,7 +6,7 @@
 //!
 //! Every case asserts that the grouped build's search output is identical
 //! to the per-edge reference build's, and records the index's
-//! [`CompatStats`] (edge-group and state-pair dedup, stored vs avoided
+//! `CompatStats` (edge-group and state-pair dedup, stored vs avoided
 //! successor entries) in the artifact.
 //!
 //! Run with `cargo run --release -p csnake-bench --bin beam_perf`; set

@@ -11,7 +11,9 @@
 //!    pretty-printer and reparses the text** — the evaluated target is
 //!    always the round-tripped spec, so the text form stays load-bearing;
 //! 2. drives the staged `Session` pipeline (profile → 3PA allocate →
-//!    stitch → report), timing each stage;
+//!    stitch → report) with a [`FlightRecorder`] attached — stage wall
+//!    times and experiment-latency percentiles come from the recorder's
+//!    span journal, not ad-hoc timers;
 //! 3. scores the report against the ground truth carried in the spec's
 //!    `bug … shape <family>` sidecars — recall = planted bugs matched,
 //!    decoys flagged = false-positive clusters;
@@ -22,7 +24,8 @@
 //!    hit-rate is reported alongside the baseline's recall.
 //!
 //! Run with `cargo run --release -p csnake-bench --bin gen_eval`
-//! (`--count N --seed-start S` to override the range); set
+//! (`--count N --seed-start S` to override the range, `--progress` for a
+//! live collector view on stderr); set
 //! `CSNAKE_GEN_SMOKE=1` for the CI-sized batch, which writes
 //! `BENCH_gen.smoke.json` so local runs never clobber the committed
 //! artifact. The full run fails (exit 1) if recall for any of the
@@ -37,11 +40,14 @@ use std::time::Instant;
 
 use csnake_bench::watchdog;
 use csnake_core::{
-    beam_search, build_report, cluster_cycles, run_random_allocation_with, DetectConfig,
-    NoopObserver, ProgressCollector, Session, ThreePhase,
+    beam_search, build_report, cluster_cycles, run_random_allocation_with, CampaignObserver,
+    DetectConfig, FanoutObserver, NoopObserver, ProgressCollector, Session, ThreePhase,
 };
 use csnake_gen::{generate, GenConfig, Shape};
 use csnake_scenario::{compile, parse_str, print};
+use csnake_telemetry::{
+    experiment_latency_samples, FlightRecorder, LatencyHistogram, LiveProgress, MetricsDigest,
+};
 
 /// Recall floor enforced (full runs) for the families the acceptance
 /// criteria pin.
@@ -86,10 +92,12 @@ fn main() -> ExitCode {
     let smoke = std::env::var_os("CSNAKE_GEN_SMOKE").is_some();
     let mut count: u64 = if smoke { 8 } else { 60 };
     let mut seed_start: u64 = 0;
+    let mut live = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--progress" => live = true,
             "--count" => {
                 i += 1;
                 count = args
@@ -121,6 +129,7 @@ fn main() -> ExitCode {
     let mut allocate_ns = Vec::new();
     let mut stitch_ns = Vec::new();
     let mut report_ns = Vec::new();
+    let mut latency_samples: Vec<u64> = Vec::new();
     let mut fp_clusters = 0usize;
     let mut expected_contention = 0usize;
     let mut clusters_total = 0usize;
@@ -159,31 +168,54 @@ fn main() -> ExitCode {
         let cfg = eval_config();
         let strategy = ThreePhase::new(cfg.alloc.clone());
         let progress = Arc::new(ProgressCollector::new());
+        // The flight recorder is the timing source: stage walls come from
+        // its span durations, latency percentiles from inter-completion
+        // gaps — the same numbers an operator sees in a journal digest.
+        let recorder = Arc::new(
+            FlightRecorder::builder()
+                .build()
+                .expect("in-memory recorder"),
+        );
+        let fanout = Arc::new(FanoutObserver::new(vec![
+            progress.clone() as Arc<dyn CampaignObserver>,
+            recorder.clone() as Arc<dyn CampaignObserver>,
+        ]));
+        let view = live
+            .then(|| LiveProgress::start(progress.clone(), std::time::Duration::from_millis(500)));
         let mut session = Session::builder(&system)
             .config(cfg.clone())
-            .observer(progress.clone())
+            .observer(fanout)
             .build()
             .expect("generated targets are drivable");
         let wd = watchdog::guard(&format!("gen:{seed}:profile"));
-        let t0 = Instant::now();
         session.profile().expect("profile stage");
-        profile_ns.push(t0.elapsed().as_nanos());
         drop(wd);
         let wd = watchdog::guard(&format!("gen:{seed}:allocate"));
-        let t1 = Instant::now();
         session.allocate(&strategy).expect("allocate stage");
-        allocate_ns.push(t1.elapsed().as_nanos());
         drop(wd);
         let wd = watchdog::guard(&format!("gen:{seed}:stitch"));
-        let t2 = Instant::now();
         session.stitch().expect("stitch stage");
-        stitch_ns.push(t2.elapsed().as_nanos());
         drop(wd);
         let wd = watchdog::guard(&format!("gen:{seed}:report"));
-        let t3 = Instant::now();
         let report = session.report().expect("report stage").clone();
-        report_ns.push(t3.elapsed().as_nanos());
         drop(wd);
+        drop(view);
+
+        let records = recorder.records();
+        let digest = MetricsDigest::from_records(&records);
+        let stage_micros = |name: &str| -> u128 {
+            digest
+                .stage_wall_micros
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, us)| *us as u128)
+                .unwrap_or(0)
+        };
+        profile_ns.push(stage_micros("profiled") * 1_000);
+        allocate_ns.push(stage_micros("allocated") * 1_000);
+        stitch_ns.push(stage_micros("stitched") * 1_000);
+        report_ns.push(stage_micros("reported") * 1_000);
+        latency_samples.extend(experiment_latency_samples(&records));
 
         // Peak clustering working set across the corpus, from the size
         // counters the allocate stage emitted through the observer.
@@ -331,11 +363,20 @@ fn main() -> ExitCode {
     )
     .unwrap();
     writeln!(body, "  }},").unwrap();
+    writeln!(body, "  \"timing_source\": \"flight_recorder\",").unwrap();
     writeln!(body, "  \"stage_medians_ns\": {{").unwrap();
     writeln!(body, "    \"profile\": {},", median(profile_ns)).unwrap();
     writeln!(body, "    \"allocate\": {},", median(allocate_ns)).unwrap();
     writeln!(body, "    \"stitch\": {},", median(stitch_ns)).unwrap();
     writeln!(body, "    \"report\": {}", median(report_ns)).unwrap();
+    writeln!(body, "  }},").unwrap();
+    let latency = LatencyHistogram::from_samples(latency_samples);
+    writeln!(body, "  \"experiment_latency_micros\": {{").unwrap();
+    writeln!(body, "    \"samples\": {},", latency.count).unwrap();
+    writeln!(body, "    \"p50\": {},", latency.p50_micros).unwrap();
+    writeln!(body, "    \"p90\": {},", latency.p90_micros).unwrap();
+    writeln!(body, "    \"p99\": {},", latency.p99_micros).unwrap();
+    writeln!(body, "    \"max\": {}", latency.max_micros).unwrap();
     writeln!(body, "  }},").unwrap();
     writeln!(body, "  \"experiments_total\": {experiments_total},").unwrap();
     writeln!(body, "  \"random_baseline\": {{").unwrap();

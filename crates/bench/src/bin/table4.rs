@@ -5,20 +5,27 @@
 //! "expected contention" false positives (§8.4.2) while keeping most true
 //! positives.
 //!
-//! Usage: `table4 [--target <name>]` — restrict to one system while
-//! iterating. Names resolve through the generator-aware
+//! Usage: `table4 [--target <name>] [--progress]` — restrict to one
+//! system while iterating; `--progress` paints a live collector view of
+//! the running campaign to stderr. Names resolve through the
+//! generator-aware
 //! [`csnake_gen::by_name`]: the hand-coded builtins, every spec in the
 //! `scenarios/` corpus, and `gen:<seed>` pseudo-names that synthesize a
 //! ground-truthed scenario on the fly; an unknown name exits with the
 //! typed error listing all of them instead of panicking.
 
-use csnake_bench::{run_csnake, set_current_target, table4_variants, EvalConfig};
-use csnake_core::TargetSystem;
+use std::sync::Arc;
+use std::time::Duration;
+
+use csnake_bench::{run_csnake_with, set_current_target, table4_variants, EvalConfig};
+use csnake_core::{ProgressCollector, TargetSystem};
 use csnake_targets::all_paper_targets;
+use csnake_telemetry::LiveProgress;
 
 fn main() {
     let cfg = EvalConfig::default();
     let args: Vec<String> = std::env::args().collect();
+    let live = args.iter().any(|a| a == "--progress");
     let targets: Vec<Box<dyn TargetSystem>> =
         match args.iter().position(|a| a == "--target").map(|i| i + 1) {
             Some(i) => {
@@ -39,7 +46,10 @@ fn main() {
     for target in targets {
         let target: &'static dyn TargetSystem = Box::leak(target);
         set_current_target(target);
-        let detection = run_csnake(target, &cfg);
+        let progress = Arc::new(ProgressCollector::new());
+        let view = live.then(|| LiveProgress::start(progress.clone(), Duration::from_millis(500)));
+        let detection = run_csnake_with(target, &cfg, progress.clone());
+        drop(view);
         let (unlimited, limited) = table4_variants(&detection);
         println!(
             "| {} | {} | {} | {} | ({} | {} | {}) |",

@@ -98,6 +98,15 @@ pub trait ExperimentEngine {
     fn attach_observer(&mut self, observer: std::sync::Arc<dyn CampaignObserver>) {
         let _ = observer;
     }
+
+    /// `(hits, misses)` of the engine's injection-run cache so far.
+    /// Engines without a cache (mocks, baselines) report `(0, 0)`; the
+    /// real driver reports its counter pair and the daemon's distributed
+    /// engine sums the latest per-worker figures, so the session can emit
+    /// the same `trace_cache` observer event on every execution path.
+    fn trace_cache_stats(&self) -> (usize, usize) {
+        (0, 0)
+    }
 }
 
 /// 3PA knobs.

@@ -62,7 +62,7 @@
 //! Complexity: `O(Σ_cold p_dim²)` candidate generation over the cold
 //! dimensions (output-sensitive: the number of genuinely overlapping
 //! pairs; fanned out on the worker
-//! pool past [`CLUSTER_PARALLEL_MIN_GROUPS`] groups — distances are
+//! pool past `CLUSTER_PARALLEL_MIN_GROUPS` groups — distances are
 //! bit-identical regardless of which worker computes them) plus
 //! `O(E log E)` agglomeration over `E` graph edges — memory `O(n + E)`
 //! instead of `O(n²)`. Set `CSNAKE_CLUSTER_TRACE=1` to print per-stage

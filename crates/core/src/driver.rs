@@ -99,7 +99,7 @@ pub struct DriverConfig {
     /// campaigns. Results are identical either way (run seeds are pure
     /// functions of `(test, rep)`); only `runs_executed` stops growing
     /// on hits. Hit/miss counters surface through
-    /// [`CampaignObserver::trace_cache`](crate::observer::CampaignObserver::trace_cache).
+    /// [`CampaignObserver::trace_cache`].
     pub cache_injections: bool,
     /// Supervisor retry schedule for panicked or stalled experiment jobs.
     pub retry: RetryConfig,
@@ -600,6 +600,10 @@ impl ExperimentEngine for Driver<'_> {
 
     fn attach_observer(&mut self, observer: Arc<dyn CampaignObserver>) {
         self.set_observer(observer);
+    }
+
+    fn trace_cache_stats(&self) -> (usize, usize) {
+        Driver::trace_cache_stats(self)
     }
 }
 

@@ -249,14 +249,17 @@ pub use fca::{
     analyze_experiment, analyze_experiment_indexed, analyze_experiment_reference,
     ExperimentOutcome, FcaConfig, ProfileIndex,
 };
-pub use observer::{CampaignObserver, NoopObserver, ProgressCollector, ProgressSnapshot};
+pub use observer::{
+    CampaignObserver, FanoutObserver, ForwardedEvent, NoopObserver, ProgressCollector,
+    ProgressSnapshot, WorkerProgress,
+};
 pub use report::{
     build_report, composition, BugMatch, ClusterVerdict, Composition, DetectionReport,
 };
 pub use session::{CampaignOutcome, Profiled, Session, SessionBuilder, Stage, StitchedCycles};
 pub use snapshot::{
-    fnv1a_bytes, registry_fingerprint, Persist, Reader, Snapshot, Writer, SNAPSHOT_MAGIC,
-    SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
+    fnv1a_bytes, registry_fingerprint, write_file_bytes, Persist, Reader, Snapshot, Writer,
+    SNAPSHOT_MAGIC, SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
 };
 pub use stitch::{CompatStats, StitchIndex};
 pub use target::{KnownBug, TargetSystem, TestCase};

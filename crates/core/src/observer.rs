@@ -25,6 +25,14 @@
 //! | [`degraded`] | the campaign completed with missing cells in its report |
 //! | [`worker_connected`] / [`worker_lost`] | a daemon worker completed its handshake / missed its lease |
 //! | [`shard_assigned`] / [`shard_reassigned`] | the daemon coordinator leased a shard / moved it off a dead worker |
+//! | [`event_forwarded`] | the daemon coordinator relayed a worker-side event ([`ForwardedEvent`]) for live attribution |
+//! | [`journal_flushed`] | a telemetry flight recorder flushed its journal to disk |
+//!
+//! The daemon/telemetry rows are *operational*: [`event_forwarded`] mirrors
+//! work the deterministic stream already reports at merge time (with
+//! worker attribution, as it happens on the fleet), and [`journal_flushed`]
+//! describes the recorder itself. Neither feeds the deterministic
+//! campaign-total counters, so forwarding can never double-count.
 //!
 //! [`stage_started`]: CampaignObserver::stage_started
 //! [`stage_finished`]: CampaignObserver::stage_finished
@@ -44,9 +52,13 @@
 //! [`worker_lost`]: CampaignObserver::worker_lost
 //! [`shard_assigned`]: CampaignObserver::shard_assigned
 //! [`shard_reassigned`]: CampaignObserver::shard_reassigned
+//! [`event_forwarded`]: CampaignObserver::event_forwarded
+//! [`journal_flushed`]: CampaignObserver::journal_flushed
 
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use csnake_inject::{FaultId, TestId};
 
@@ -55,6 +67,60 @@ use crate::cluster::ClusterStats;
 use crate::edge::CausalEdge;
 use crate::fca::ExperimentOutcome;
 use crate::session::Stage;
+
+/// A worker-side observer event relayed to the coordinator by the daemon's
+/// `Event` wire frame and re-emitted through
+/// [`CampaignObserver::event_forwarded`] with worker attribution.
+///
+/// Forwarded events exist for *liveness*: the deterministic event stream
+/// ([`experiment_completed`](CampaignObserver::experiment_completed),
+/// [`edge_emitted`](CampaignObserver::edge_emitted),
+/// [`batch_retried`](CampaignObserver::batch_retried), …) is emitted
+/// coordinator-side at shard-merge time, in deterministic order — which
+/// means it lags the fleet by up to one in-flight shard per worker. The
+/// forwarded copies arrive as the work happens, attributed to the worker
+/// that did it, and deliberately carry only summaries (counts, ids) rather
+/// than full outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForwardedEvent {
+    /// A worker finished one `(fault, test)` experiment; `edges` is the
+    /// number of causal edges its FCA produced (before coordinator-side
+    /// deduplication against the campaign database).
+    ExperimentCompleted {
+        /// The injected fault.
+        fault: FaultId,
+        /// The workload the fault was injected into.
+        test: TestId,
+        /// Causal edges the experiment's FCA emitted.
+        edges: usize,
+    },
+    /// A worker's retry supervisor quarantined failed jobs and scheduled a
+    /// retry.
+    BatchRetried {
+        /// Jobs that failed and were re-queued.
+        failed_jobs: usize,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Backoff pause before the retry.
+        backoff_ms: u64,
+    },
+    /// A cell exhausted a worker's retry budget and became a gap.
+    BatchFailed {
+        /// The abandoned cell's fault.
+        fault: FaultId,
+        /// The abandoned cell's test.
+        test: TestId,
+        /// The abandoned cell's 3PA phase.
+        phase: u8,
+    },
+    /// A worker's cumulative injection-run cache counters.
+    TraceCache {
+        /// Cache hits so far on that worker.
+        hits: usize,
+        /// Cache misses so far on that worker.
+        misses: usize,
+    },
+}
 
 /// Receives progress events from a running detection session.
 ///
@@ -178,6 +244,126 @@ pub trait CampaignObserver: Send + Sync {
     fn shard_reassigned(&self, shard: u32, worker: u32, attempt: u32) {
         let _ = (shard, worker, attempt);
     }
+
+    /// The daemon coordinator relayed a worker-side event as it happened on
+    /// the fleet. Operational telemetry only: the deterministic stream
+    /// reports the same work at merge time, so implementations must *not*
+    /// fold forwarded events into campaign-total counters (that would
+    /// double-count) — use them for per-worker attribution and liveness.
+    fn event_forwarded(&self, worker: u32, event: &ForwardedEvent) {
+        let _ = (worker, event);
+    }
+
+    /// A telemetry flight recorder flushed `records` journal records to
+    /// `path`. Emitted by the recorder itself (not the session), after the
+    /// corresponding bytes reached the file.
+    fn journal_flushed(&self, path: &Path, records: usize) {
+        let _ = (path, records);
+    }
+}
+
+/// Fans every event out to a list of observers, in order.
+///
+/// Sessions accept exactly one observer; campaigns that want both the
+/// counting [`ProgressCollector`] and a telemetry recorder (or any other
+/// combination) wrap them in a fanout:
+///
+/// ```
+/// use std::sync::Arc;
+/// use csnake_core::{CampaignObserver, FanoutObserver, ProgressCollector};
+///
+/// let progress = Arc::new(ProgressCollector::new());
+/// let observer: Arc<dyn CampaignObserver> =
+///     Arc::new(FanoutObserver::new(vec![progress.clone()]));
+/// observer.budget_spent(1, 8);
+/// assert_eq!(progress.snapshot().budget_spent, 1);
+/// ```
+#[derive(Default)]
+pub struct FanoutObserver {
+    sinks: Vec<std::sync::Arc<dyn CampaignObserver>>,
+}
+
+impl FanoutObserver {
+    /// A fanout over `sinks`; events are delivered in vector order.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn CampaignObserver>>) -> Self {
+        FanoutObserver { sinks }
+    }
+
+    /// Appends another sink.
+    pub fn push(&mut self, sink: std::sync::Arc<dyn CampaignObserver>) {
+        self.sinks.push(sink);
+    }
+}
+
+macro_rules! fanout {
+    ($self:ident . $method:ident ( $($arg:expr),* )) => {
+        for sink in &$self.sinks {
+            sink.$method($($arg),*);
+        }
+    };
+}
+
+impl CampaignObserver for FanoutObserver {
+    fn stage_started(&self, stage: Stage) {
+        fanout!(self.stage_started(stage));
+    }
+    fn stage_finished(&self, stage: Stage) {
+        fanout!(self.stage_finished(stage));
+    }
+    fn phase_started(&self, phase: u8, planned: usize) {
+        fanout!(self.phase_started(phase, planned));
+    }
+    fn phase_finished(&self, phase: u8, executed: usize) {
+        fanout!(self.phase_finished(phase, executed));
+    }
+    fn experiment_completed(&self, outcome: &ExperimentOutcome) {
+        fanout!(self.experiment_completed(outcome));
+    }
+    fn edge_emitted(&self, edge: &CausalEdge) {
+        fanout!(self.edge_emitted(edge));
+    }
+    fn cycle_found(&self, cycle: &Cycle) {
+        fanout!(self.cycle_found(cycle));
+    }
+    fn budget_spent(&self, spent: usize, total: usize) {
+        fanout!(self.budget_spent(spent, total));
+    }
+    fn trace_cache(&self, hits: usize, misses: usize) {
+        fanout!(self.trace_cache(hits, misses));
+    }
+    fn clustering(&self, stats: &ClusterStats) {
+        fanout!(self.clustering(stats));
+    }
+    fn batch_retried(&self, batch: usize, failed_jobs: usize, attempt: u32, backoff_ms: u64) {
+        fanout!(self.batch_retried(batch, failed_jobs, attempt, backoff_ms));
+    }
+    fn batch_failed(&self, batch: usize, fault: FaultId, test: TestId, phase: u8, reason: &str) {
+        fanout!(self.batch_failed(batch, fault, test, phase, reason));
+    }
+    fn checkpoint_written(&self, path: &Path, phase: u8, executed_in_phase: usize) {
+        fanout!(self.checkpoint_written(path, phase, executed_in_phase));
+    }
+    fn degraded(&self, missing: &[(FaultId, TestId, u8)]) {
+        fanout!(self.degraded(missing));
+    }
+    fn worker_connected(&self, worker: u32) {
+        fanout!(self.worker_connected(worker));
+    }
+    fn worker_lost(&self, worker: u32, reason: &str) {
+        fanout!(self.worker_lost(worker, reason));
+    }
+    fn shard_assigned(&self, shard: u32, worker: u32, jobs: usize) {
+        fanout!(self.shard_assigned(shard, worker, jobs));
+    }
+    fn shard_reassigned(&self, shard: u32, worker: u32, attempt: u32) {
+        fanout!(self.shard_reassigned(shard, worker, attempt));
+    }
+    fn event_forwarded(&self, worker: u32, event: &ForwardedEvent) {
+        fanout!(self.event_forwarded(worker, event));
+    }
+    fn journal_flushed(&self, path: &Path, records: usize) {
+        fanout!(self.journal_flushed(path, records));
+    }
 }
 
 /// The default observer: ignores every event.
@@ -232,6 +418,37 @@ pub struct ProgressSnapshot {
     pub shards_assigned: usize,
     /// Shards moved off dead workers.
     pub shards_reassigned: usize,
+    /// Worker-side events relayed live by the daemon coordinator.
+    pub events_forwarded: usize,
+    /// Telemetry journal flushes reported by a flight recorder.
+    pub journal_flushes: usize,
+}
+
+/// Per-worker live state accumulated by a [`ProgressCollector`] from the
+/// daemon lifecycle and [`ForwardedEvent`] streams. Operational telemetry
+/// only — none of it feeds campaign results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerProgress {
+    /// Whether the worker currently holds a live connection.
+    pub connected: bool,
+    /// Why the worker was lost, when it was (`None` while live).
+    pub lost_reason: Option<String>,
+    /// Shards ever leased to this worker (first leases + reassignments).
+    pub shards_assigned: usize,
+    /// The shard ordinal the worker was most recently leased.
+    pub current_shard: Option<u32>,
+    /// Experiments the worker has reported via forwarded events.
+    pub experiments: usize,
+    /// Causal edges the worker's experiments produced (pre-dedup).
+    pub edges: usize,
+    /// Retry rounds the worker's supervisor reported.
+    pub retries: usize,
+    /// Cells the worker abandoned as gaps.
+    pub failures: usize,
+    /// Last-seen injection-cache hit counter from the worker.
+    pub cache_hits: usize,
+    /// Last-seen injection-cache miss counter from the worker.
+    pub cache_misses: usize,
 }
 
 /// The bundled metrics observer: counts events with atomics so a monitoring
@@ -243,8 +460,11 @@ pub struct ProgressCollector {
     experiments: AtomicUsize,
     edges: AtomicUsize,
     cycles: AtomicUsize,
-    budget_spent: AtomicUsize,
-    budget_total: AtomicUsize,
+    /// Budget `spent`/`total` packed into one word (`total` in the high 32
+    /// bits, `spent` in the low 32) so a polling thread can never observe
+    /// a torn pair — the two values always come from the same
+    /// [`budget_spent`](CampaignObserver::budget_spent) event.
+    budget: AtomicU64,
     trace_cache_hits: AtomicUsize,
     trace_cache_misses: AtomicUsize,
     clustering_peak_vectors: AtomicUsize,
@@ -258,6 +478,27 @@ pub struct ProgressCollector {
     workers_lost: AtomicUsize,
     shards_assigned: AtomicUsize,
     shards_reassigned: AtomicUsize,
+    events_forwarded: AtomicUsize,
+    journal_flushes: AtomicUsize,
+    /// Per-worker attribution (forwarded events, lease state, loss
+    /// reasons). A mutex, not atomics: observer calls may block briefly,
+    /// they just must never perturb campaign results.
+    workers: Mutex<BTreeMap<u32, WorkerProgress>>,
+    /// Reason string of the most recent [`worker_lost`] event.
+    ///
+    /// [`worker_lost`]: CampaignObserver::worker_lost
+    last_loss_reason: Mutex<Option<String>>,
+}
+
+/// Packs a budget pair into one `u64` word (`total` high, `spent` low).
+fn pack_budget(spent: usize, total: usize) -> u64 {
+    let spent = u64::try_from(spent)
+        .unwrap_or(u64::MAX)
+        .min(u32::MAX as u64);
+    let total = u64::try_from(total)
+        .unwrap_or(u64::MAX)
+        .min(u32::MAX as u64);
+    (total << 32) | spent
 }
 
 impl ProgressCollector {
@@ -266,16 +507,42 @@ impl ProgressCollector {
         Self::default()
     }
 
+    /// Reason of the most recent [`worker_lost`](CampaignObserver::worker_lost)
+    /// event, if any worker has been lost.
+    pub fn last_loss_reason(&self) -> Option<String> {
+        self.last_loss_reason
+            .lock()
+            .expect("loss reason poisoned")
+            .clone()
+    }
+
+    /// Per-worker live state (sorted by worker id), accumulated from the
+    /// daemon lifecycle events and forwarded worker events.
+    pub fn worker_progress(&self) -> Vec<(u32, WorkerProgress)> {
+        self.workers
+            .lock()
+            .expect("worker table poisoned")
+            .iter()
+            .map(|(&w, p)| (w, p.clone()))
+            .collect()
+    }
+
+    fn with_worker(&self, worker: u32, f: impl FnOnce(&mut WorkerProgress)) {
+        let mut table = self.workers.lock().expect("worker table poisoned");
+        f(table.entry(worker).or_default());
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> ProgressSnapshot {
+        let budget = self.budget.load(Ordering::Relaxed);
         ProgressSnapshot {
             stages_finished: self.stages_finished.load(Ordering::Relaxed),
             phases_finished: self.phases_finished.load(Ordering::Relaxed),
             experiments: self.experiments.load(Ordering::Relaxed),
             edges: self.edges.load(Ordering::Relaxed),
             cycles: self.cycles.load(Ordering::Relaxed),
-            budget_spent: self.budget_spent.load(Ordering::Relaxed),
-            budget_total: self.budget_total.load(Ordering::Relaxed),
+            budget_spent: (budget & u32::MAX as u64) as usize,
+            budget_total: (budget >> 32) as usize,
             trace_cache_hits: self.trace_cache_hits.load(Ordering::Relaxed),
             trace_cache_misses: self.trace_cache_misses.load(Ordering::Relaxed),
             clustering_peak_vectors: self.clustering_peak_vectors.load(Ordering::Relaxed),
@@ -289,6 +556,8 @@ impl ProgressCollector {
             workers_lost: self.workers_lost.load(Ordering::Relaxed),
             shards_assigned: self.shards_assigned.load(Ordering::Relaxed),
             shards_reassigned: self.shards_reassigned.load(Ordering::Relaxed),
+            events_forwarded: self.events_forwarded.load(Ordering::Relaxed),
+            journal_flushes: self.journal_flushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -315,8 +584,10 @@ impl CampaignObserver for ProgressCollector {
     }
 
     fn budget_spent(&self, spent: usize, total: usize) {
-        self.budget_spent.store(spent, Ordering::Relaxed);
-        self.budget_total.store(total, Ordering::Relaxed);
+        // One store for the pair: a concurrent snapshot() sees either the
+        // previous pair or this one, never a spent/total mix of the two.
+        self.budget
+            .store(pack_budget(spent, total), Ordering::Relaxed);
     }
 
     fn trace_cache(&self, hits: usize, misses: usize) {
@@ -349,20 +620,58 @@ impl CampaignObserver for ProgressCollector {
         self.degraded.store(true, Ordering::Relaxed);
     }
 
-    fn worker_connected(&self, _worker: u32) {
+    fn worker_connected(&self, worker: u32) {
         self.workers_connected.fetch_add(1, Ordering::Relaxed);
+        self.with_worker(worker, |p| {
+            p.connected = true;
+            p.lost_reason = None;
+        });
     }
 
-    fn worker_lost(&self, _worker: u32, _reason: &str) {
+    fn worker_lost(&self, worker: u32, reason: &str) {
         self.workers_lost.fetch_add(1, Ordering::Relaxed);
+        *self.last_loss_reason.lock().expect("loss reason poisoned") = Some(reason.to_string());
+        self.with_worker(worker, |p| {
+            p.connected = false;
+            p.lost_reason = Some(reason.to_string());
+            p.current_shard = None;
+        });
     }
 
-    fn shard_assigned(&self, _shard: u32, _worker: u32, _jobs: usize) {
+    fn shard_assigned(&self, shard: u32, worker: u32, _jobs: usize) {
         self.shards_assigned.fetch_add(1, Ordering::Relaxed);
+        self.with_worker(worker, |p| {
+            p.shards_assigned += 1;
+            p.current_shard = Some(shard);
+        });
     }
 
-    fn shard_reassigned(&self, _shard: u32, _worker: u32, _attempt: u32) {
+    fn shard_reassigned(&self, shard: u32, worker: u32, _attempt: u32) {
         self.shards_reassigned.fetch_add(1, Ordering::Relaxed);
+        self.with_worker(worker, |p| {
+            p.shards_assigned += 1;
+            p.current_shard = Some(shard);
+        });
+    }
+
+    fn event_forwarded(&self, worker: u32, event: &ForwardedEvent) {
+        self.events_forwarded.fetch_add(1, Ordering::Relaxed);
+        self.with_worker(worker, |p| match event {
+            ForwardedEvent::ExperimentCompleted { edges, .. } => {
+                p.experiments += 1;
+                p.edges += edges;
+            }
+            ForwardedEvent::BatchRetried { .. } => p.retries += 1,
+            ForwardedEvent::BatchFailed { .. } => p.failures += 1,
+            ForwardedEvent::TraceCache { hits, misses } => {
+                p.cache_hits = *hits;
+                p.cache_misses = *misses;
+            }
+        });
+    }
+
+    fn journal_flushed(&self, _path: &Path, _records: usize) {
+        self.journal_flushes.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -452,6 +761,99 @@ mod tests {
         assert_eq!(s.workers_lost, 1);
         assert_eq!(s.shards_assigned, 3);
         assert_eq!(s.shards_reassigned, 1);
+
+        // Loss reasons survive as more than a counter.
+        assert_eq!(c.last_loss_reason().as_deref(), Some("lease expired"));
+        let workers = c.worker_progress();
+        let w1 = &workers.iter().find(|(w, _)| *w == 1).expect("worker 1").1;
+        assert!(!w1.connected);
+        assert_eq!(w1.lost_reason.as_deref(), Some("lease expired"));
+        let w0 = &workers.iter().find(|(w, _)| *w == 0).expect("worker 0").1;
+        assert!(w0.connected);
+        assert_eq!(w0.shards_assigned, 3); // two leases + one reassignment
+        assert_eq!(w0.current_shard, Some(1));
+    }
+
+    #[test]
+    fn budget_pair_is_never_torn() {
+        // The packed store means a snapshot between two budget events sees
+        // a consistent (spent, total) pair even under a concurrent writer.
+        let c = std::sync::Arc::new(ProgressCollector::new());
+        c.budget_spent(0, 7);
+        let writer = {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                for spent in 0..=1000usize {
+                    // Total moves with spent so a torn read is detectable.
+                    c.budget_spent(spent, spent + 7);
+                }
+            })
+        };
+        for _ in 0..1000 {
+            let s = c.snapshot();
+            assert_eq!(
+                s.budget_total,
+                s.budget_spent + 7,
+                "snapshot observed a torn budget pair"
+            );
+        }
+        writer.join().expect("writer thread");
+    }
+
+    #[test]
+    fn forwarded_events_attribute_per_worker_without_touching_totals() {
+        let c = ProgressCollector::new();
+        c.event_forwarded(
+            2,
+            &ForwardedEvent::ExperimentCompleted {
+                fault: FaultId(1),
+                test: TestId(0),
+                edges: 3,
+            },
+        );
+        c.event_forwarded(
+            2,
+            &ForwardedEvent::BatchRetried {
+                failed_jobs: 1,
+                attempt: 1,
+                backoff_ms: 5,
+            },
+        );
+        c.event_forwarded(2, &ForwardedEvent::TraceCache { hits: 4, misses: 9 });
+        let s = c.snapshot();
+        // The deterministic campaign totals stay untouched: forwarding is
+        // attribution, not accounting.
+        assert_eq!(s.experiments, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.batch_retries, 0);
+        assert_eq!(s.trace_cache_hits, 0);
+        assert_eq!(s.events_forwarded, 3);
+        let workers = c.worker_progress();
+        let w2 = &workers.iter().find(|(w, _)| *w == 2).expect("worker 2").1;
+        assert_eq!(w2.experiments, 1);
+        assert_eq!(w2.edges, 3);
+        assert_eq!(w2.retries, 1);
+        assert_eq!((w2.cache_hits, w2.cache_misses), (4, 9));
+    }
+
+    #[test]
+    fn fanout_delivers_every_event_to_every_sink() {
+        let a = std::sync::Arc::new(ProgressCollector::new());
+        let b = std::sync::Arc::new(ProgressCollector::new());
+        let fan = FanoutObserver::new(vec![a.clone(), b.clone()]);
+        fan.stage_finished(Stage::Profiled);
+        fan.edge_emitted(&edge());
+        fan.budget_spent(3, 9);
+        fan.worker_lost(0, "gone");
+        fan.journal_flushed(Path::new("/tmp/j.jsonl"), 12);
+        for c in [&a, &b] {
+            let s = c.snapshot();
+            assert_eq!(s.stages_finished, 1);
+            assert_eq!(s.edges, 1);
+            assert_eq!((s.budget_spent, s.budget_total), (3, 9));
+            assert_eq!(s.workers_lost, 1);
+            assert_eq!(s.journal_flushes, 1);
+        }
     }
 
     #[test]

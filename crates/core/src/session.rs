@@ -39,9 +39,9 @@
 //! # Strategies and observers
 //!
 //! The campaign stage is parameterised by an [`AllocationStrategy`] — the
-//! paper's Three-Phase Allocation ([`ThreePhase`]), the random baseline
-//! ([`RandomAllocation`](crate::alloc::RandomAllocation)), or any external
-//! policy over an [`ExperimentEngine`](crate::alloc::ExperimentEngine)
+//! paper's Three-Phase Allocation ([`crate::ThreePhase`]), the random
+//! baseline ([`crate::alloc::RandomAllocation`]), or any external
+//! policy over an [`ExperimentEngine`]
 //! (`csnake_baselines` ships two more). Progress streams to the session's
 //! [`CampaignObserver`] as it happens; see [`crate::observer`] for the
 //! event vocabulary.
@@ -609,6 +609,8 @@ impl<'a> Session<'a> {
             resume,
         };
         let alloc = strategy.run_with_recovery(engine, &*self.observer, recovery);
+        let (cache_hits, cache_misses) = engine.trace_cache_stats();
+        self.observer.trace_cache(cache_hits, cache_misses);
         let engine_runs = engine.runs_executed();
         let driver = self.driver.as_mut().expect("profiled session has a driver");
         driver.runs_executed += engine_runs;

@@ -1229,14 +1229,18 @@ impl MidPhaseCheckpointEncoder {
     }
 }
 
-/// Writes already-encoded snapshot bytes to a file with typed I/O errors.
+/// Writes already-encoded bytes to a file with typed I/O errors.
 ///
 /// The write is atomic: bytes are staged in a `<path>.csnake.tmp` sibling,
 /// `fsync`ed, and renamed into place. A crash at any point leaves either
 /// the previous file intact or the complete new one — never a torn
 /// snapshot (the rename is atomic on POSIX filesystems). A stale `.tmp`
 /// left by a crash is overwritten by the next write and never read.
-pub(crate) fn write_file_bytes(path: &Path, bytes: &[u8]) -> Result<()> {
+///
+/// Public so sibling crates persisting derived artifacts (the telemetry
+/// flight recorder's Chrome traces and digests) share the exact same
+/// atomicity discipline as snapshots.
+pub fn write_file_bytes(path: &Path, bytes: &[u8]) -> Result<()> {
     let mut tmp_name = path.as_os_str().to_owned();
     tmp_name.push(".csnake.tmp");
     let tmp = std::path::PathBuf::from(tmp_name);

@@ -18,10 +18,12 @@ use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
 
-use csnake_core::{DetectConfig, ProgressCollector, ThreePhase};
+use csnake_core::{CampaignObserver, DetectConfig, FanoutObserver, ProgressCollector, ThreePhase};
 use csnake_daemon::transport::Endpoint;
 use csnake_daemon::{drive_session, run_worker, DaemonConfig, WorkerOptions};
+use csnake_telemetry::{FlightRecorder, LiveProgress, MetricsDigest};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
@@ -30,8 +32,10 @@ fn usage() -> ! {
          commands:\n\
          \x20 run    --target <name> [-j N] [--shard-jobs J] [--lease-ms MS]\n\
          \x20        [--checkpoint PATH --cadence K] [--fast] [--kill-worker W:K]\n\
+         \x20        [--progress] [--journal BASE]\n\
          \x20        spawn N local worker processes and run one campaign\n\
          \x20 serve  --listen ADDR --target <name> -j N [--shard-jobs J] [--lease-ms MS] [--fast]\n\
+         \x20        [--progress] [--journal BASE]\n\
          \x20        accept N TCP workers, then run one campaign\n\
          \x20 work   --stdio | --connect HOST:PORT [--fail-after K] [--no-heartbeat] [--fast]\n\
          \x20        serve experiment shards to a coordinator\n\
@@ -68,6 +72,8 @@ struct Parsed {
     stdio: bool,
     fail_after: Option<usize>,
     heartbeats: bool,
+    progress: bool,
+    journal: Option<String>,
 }
 
 fn parse(args: &[String]) -> Parsed {
@@ -83,6 +89,8 @@ fn parse(args: &[String]) -> Parsed {
         stdio: false,
         fail_after: None,
         heartbeats: true,
+        progress: false,
+        journal: None,
     };
     let mut cadence = 16usize;
     let mut checkpoint_path: Option<String> = None;
@@ -140,6 +148,8 @@ fn parse(args: &[String]) -> Parsed {
                 )
             }
             "--no-heartbeat" => p.heartbeats = false,
+            "--progress" => p.progress = true,
+            "--journal" => p.journal = Some(value("--journal")),
             _ => usage(),
         }
     }
@@ -156,9 +166,31 @@ fn campaign(target_name: &str, endpoints: Vec<Endpoint>, p: &Parsed) -> ! {
         DetectConfig::default()
     };
     let progress = Arc::new(ProgressCollector::new());
+    // The recorder rides next to the collector in a fanout: observers
+    // never perturb results, so the report stays byte-comparable with a
+    // plain run.
+    let recorder = p.journal.as_ref().map(|base| {
+        Arc::new(
+            FlightRecorder::builder()
+                .jsonl(format!("{base}.jsonl"))
+                .binary(format!("{base}.csnj"))
+                .build()
+                .unwrap_or_else(|e| fail(&format!("cannot open journal: {e}"))),
+        )
+    });
+    let observer: Arc<dyn CampaignObserver> = match &recorder {
+        Some(rec) => Arc::new(FanoutObserver::new(vec![
+            progress.clone() as Arc<dyn CampaignObserver>,
+            rec.clone(),
+        ])),
+        None => progress.clone(),
+    };
+    let live = p
+        .progress
+        .then(|| LiveProgress::start(progress.clone(), Duration::from_secs(1)));
     let mut builder = csnake_core::Session::builder(target.as_ref())
         .config(cfg)
-        .observer(progress.clone());
+        .observer(observer);
     if let Some((path, cadence)) = &p.checkpoint {
         builder = builder.auto_checkpoint(path, *cadence);
     }
@@ -171,11 +203,36 @@ fn campaign(target_name: &str, endpoints: Vec<Endpoint>, p: &Parsed) -> ! {
         &ThreePhase::default(),
     )
     .unwrap_or_else(|e| fail(&e.to_string()));
+    if let Some(live) = live {
+        live.stop();
+    }
+    if let Some(rec) = &recorder {
+        rec.finish()
+            .unwrap_or_else(|e| fail(&format!("journal write failed: {e}")));
+        let base = p.journal.as_deref().expect("recorder implies --journal");
+        let records = rec.records();
+        csnake_telemetry::write_chrome_trace(format!("{base}.trace.json"), &records)
+            .unwrap_or_else(|e| fail(&format!("trace write failed: {e}")));
+        MetricsDigest::from_records(&records)
+            .write_json(format!("{base}.digest.json"))
+            .unwrap_or_else(|e| fail(&format!("digest write failed: {e}")));
+        eprintln!(
+            "journal: {base}.jsonl {base}.csnj {base}.trace.json {base}.digest.json ({} records)",
+            records.len()
+        );
+    }
     let snap = progress.snapshot();
     eprintln!(
-        "workers: connected={} lost={} shards: assigned={} reassigned={}",
-        snap.workers_connected, snap.workers_lost, snap.shards_assigned, snap.shards_reassigned
+        "workers: connected={} lost={} shards: assigned={} reassigned={} events_forwarded={}",
+        snap.workers_connected,
+        snap.workers_lost,
+        snap.shards_assigned,
+        snap.shards_reassigned,
+        snap.events_forwarded,
     );
+    if let Some(reason) = progress.last_loss_reason() {
+        eprintln!("last worker loss: {reason}");
+    }
     println!("report: {report:?}");
     println!("runs: {}", outcome.runs_executed);
     std::process::exit(0);

@@ -43,7 +43,7 @@ use csnake_core::alloc::{ExperimentEngine, ShardSpan};
 use csnake_core::error::{CsnakeError, Result};
 use csnake_core::{
     registry_fingerprint, CampaignObserver, ChaosConfig, ChaosInjector, DetectConfig, Driver,
-    ExperimentOutcome, NoopObserver, TargetSystem,
+    ExperimentOutcome, ForwardedEvent, NoopObserver, TargetSystem,
 };
 use csnake_inject::{FaultId, TestId};
 
@@ -140,6 +140,48 @@ pub struct DistributedEngine {
     batch_counter: usize,
     /// Global shard ordinal: the chaos key and the `Assign` id.
     shard_counter: u32,
+    /// Last cumulative `(hits, misses)` cache counters each worker
+    /// reported in a live [`WireMsg::Event`] frame; the fleet-wide figure
+    /// is their sum.
+    worker_cache: BTreeMap<u32, (usize, usize)>,
+}
+
+/// Maps a wire-level worker event into the observer-facing forwarded form.
+///
+/// This is attribution-only fan-out: every one of these events is (or will
+/// be) accounted in the deterministic campaign stream by the coordinator's
+/// own merge, so the forwarded copy must never feed campaign totals — only
+/// the per-worker view.
+fn forwarded(ev: &WorkerEvent) -> ForwardedEvent {
+    match ev {
+        WorkerEvent::BatchRetried {
+            failed_jobs,
+            attempt,
+            backoff_ms,
+        } => ForwardedEvent::BatchRetried {
+            failed_jobs: *failed_jobs,
+            attempt: *attempt,
+            backoff_ms: *backoff_ms,
+        },
+        WorkerEvent::BatchFailed {
+            fault, test, phase, ..
+        } => ForwardedEvent::BatchFailed {
+            fault: *fault,
+            test: *test,
+            phase: *phase,
+        },
+        WorkerEvent::ExperimentCompleted { fault, test, edges } => {
+            ForwardedEvent::ExperimentCompleted {
+                fault: *fault,
+                test: *test,
+                edges: *edges,
+            }
+        }
+        WorkerEvent::TraceCache { hits, misses } => ForwardedEvent::TraceCache {
+            hits: *hits,
+            misses: *misses,
+        },
+    }
 }
 
 fn reader_thread(mut rx: Box<dyn WireRx>, worker: u32, notes: Sender<(u32, WorkerNote)>) {
@@ -266,6 +308,7 @@ impl DistributedEngine {
             runs: 0,
             batch_counter: 0,
             shard_counter: 0,
+            worker_cache: BTreeMap::new(),
         })
     }
 
@@ -533,6 +576,21 @@ impl DistributedEngine {
                         self.workers[w].deadline = Instant::now() + lease;
                     }
                 }
+                Ok((w, WorkerNote::Msg(WireMsg::Event { events, .. }))) => {
+                    // Any frame from a worker is a life sign: an Event
+                    // refreshes the lease exactly like a heartbeat.
+                    let wi = w as usize;
+                    if self.workers[wi].alive && self.workers[wi].busy.is_some() {
+                        self.workers[wi].deadline = Instant::now() + lease;
+                    }
+                    for ev in &events {
+                        if let WorkerEvent::TraceCache { hits, misses } = ev {
+                            // Cumulative counters: last value wins.
+                            self.worker_cache.insert(w, (*hits, *misses));
+                        }
+                        self.observer.event_forwarded(w, &forwarded(ev));
+                    }
+                }
                 Ok((_, WorkerNote::Msg(_))) => {} // stray frames ignored
                 Ok((w, WorkerNote::Gone(reason))) => {
                     Self::lose_worker(
@@ -585,6 +643,12 @@ impl DistributedEngine {
                     } => self
                         .observer
                         .batch_failed(batch_id, *fault, *test, *phase, reason),
+                    // Live-telemetry variants never reach a Result's event
+                    // buffer (workers only buffer supervisor events); if a
+                    // nonconforming worker ships them anyway, replaying
+                    // would double-count against the coordinator's own
+                    // deterministic stream — drop them.
+                    WorkerEvent::ExperimentCompleted { .. } | WorkerEvent::TraceCache { .. } => {}
                 }
             }
             self.gaps.extend(res.gaps);
@@ -638,6 +702,16 @@ impl ExperimentEngine for DistributedEngine {
 
     fn runs_executed(&self) -> usize {
         self.runs
+    }
+
+    fn trace_cache_stats(&self) -> (usize, usize) {
+        // Fleet-wide figure: sum of the last cumulative counters each
+        // worker reported. A worker that died mid-campaign still counts
+        // what it had reported — the caches were real even if the worker
+        // is gone.
+        self.worker_cache
+            .values()
+            .fold((0, 0), |(h, m), &(wh, wm)| (h + wh, m + wm))
     }
 
     fn attach_observer(&mut self, observer: Arc<dyn CampaignObserver>) {

@@ -24,7 +24,11 @@
 //! [`WireMsg::Shutdown`] or EOF. [`WireMsg::Heartbeat`] keeps the worker's
 //! lease alive across long experiment batches; supervisor telemetry rides
 //! inside `Result` as [`WorkerEvent`]s so the coordinator can replay it in
-//! deterministic shard-merge order.
+//! deterministic shard-merge order. [`WireMsg::Event`] additionally ships a
+//! *live* copy of a completed shard's events ahead of its `Result` — the
+//! coordinator re-emits them with worker attribution (observer
+//! `event_forwarded`) for fleet telemetry, but never merges them into
+//! campaign results, so losing or reordering Event frames is harmless.
 
 use std::io::{self, Read, Write};
 
@@ -39,7 +43,10 @@ pub const WIRE_MAGIC: [u8; 4] = *b"CSNW";
 /// Current protocol version. Bumped on any incompatible message change;
 /// there is no cross-version negotiation — coordinator and workers are one
 /// build, so a mismatch is a deployment error and fails the handshake.
-pub const WIRE_VERSION: u32 = 1;
+/// Version 2 added the [`WireMsg::Event`] telemetry frame and the
+/// [`WorkerEvent::ExperimentCompleted`] / [`WorkerEvent::TraceCache`]
+/// event kinds.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Fixed header length: magic + version + payload length + checksum.
 pub const WIRE_HEADER_LEN: usize = 4 + 4 + 8 + 8;
@@ -78,6 +85,26 @@ pub enum WorkerEvent {
         phase: u8,
         /// Panic message of the final attempt.
         reason: String,
+    },
+    /// One `(fault, test)` experiment finished on the worker. Only ever
+    /// shipped in [`WireMsg::Event`] frames (the `Result` carries the full
+    /// outcomes); the summary exists for live fleet attribution.
+    ExperimentCompleted {
+        /// The injected fault.
+        fault: FaultId,
+        /// The workload it was injected into.
+        test: TestId,
+        /// Causal edges the experiment's FCA produced (pre-dedup).
+        edges: usize,
+    },
+    /// The worker's cumulative injection-run cache counters, shipped with
+    /// each completed shard so the coordinator can sum fleet-wide cache
+    /// stats (`hits`/`misses` are totals, not deltas — last value wins).
+    TraceCache {
+        /// Cache hits so far on this worker.
+        hits: usize,
+        /// Cache misses so far on this worker.
+        misses: usize,
     },
 }
 
@@ -143,6 +170,19 @@ pub enum WireMsg {
     },
     /// Coordinator → worker: drain and exit cleanly.
     Shutdown,
+    /// Worker → coordinator: live telemetry. A copy of a completed shard's
+    /// supervisor events plus per-experiment summaries, sent *before* the
+    /// shard's `Result` so a fleet operator sees work as it lands. Any
+    /// frame from a worker is also a life sign, so Event refreshes the
+    /// sender's lease like a heartbeat. Purely operational: the
+    /// coordinator re-emits these through the observer's `event_forwarded`
+    /// and never folds them into campaign results.
+    Event {
+        /// The sending worker.
+        worker: u32,
+        /// The events, in worker-side occurrence order.
+        events: Vec<WorkerEvent>,
+    },
 }
 
 impl Persist for WorkerEvent {
@@ -170,6 +210,17 @@ impl Persist for WorkerEvent {
                 phase.put(w);
                 reason.put(w);
             }
+            WorkerEvent::ExperimentCompleted { fault, test, edges } => {
+                2u8.put(w);
+                fault.put(w);
+                test.put(w);
+                edges.put(w);
+            }
+            WorkerEvent::TraceCache { hits, misses } => {
+                3u8.put(w);
+                hits.put(w);
+                misses.put(w);
+            }
         }
     }
 
@@ -185,6 +236,15 @@ impl Persist for WorkerEvent {
                 test: TestId::load(r)?,
                 phase: u8::load(r)?,
                 reason: String::load(r)?,
+            },
+            2 => WorkerEvent::ExperimentCompleted {
+                fault: FaultId::load(r)?,
+                test: TestId::load(r)?,
+                edges: usize::load(r)?,
+            },
+            3 => WorkerEvent::TraceCache {
+                hits: usize::load(r)?,
+                misses: usize::load(r)?,
             },
             n => {
                 return Err(CsnakeError::SnapshotCorrupt(format!(
@@ -245,6 +305,11 @@ impl Persist for WireMsg {
                 seq.put(w);
             }
             WireMsg::Shutdown => 5u8.put(w),
+            WireMsg::Event { worker, events } => {
+                6u8.put(w);
+                worker.put(w);
+                events.put(w);
+            }
         }
     }
 
@@ -277,6 +342,10 @@ impl Persist for WireMsg {
                 seq: u64::load(r)?,
             },
             5 => WireMsg::Shutdown,
+            6 => WireMsg::Event {
+                worker: u32::load(r)?,
+                events: Vec::load(r)?,
+            },
             n => {
                 return Err(CsnakeError::SnapshotCorrupt(format!(
                     "bad wire-message tag {n}"
@@ -481,6 +550,25 @@ mod tests {
             },
             WireMsg::Heartbeat { worker: 3, seq: 99 },
             WireMsg::Shutdown,
+            WireMsg::Event {
+                worker: 3,
+                events: vec![
+                    WorkerEvent::ExperimentCompleted {
+                        fault: FaultId(1),
+                        test: TestId(2),
+                        edges: 4,
+                    },
+                    WorkerEvent::TraceCache {
+                        hits: 12,
+                        misses: 30,
+                    },
+                    WorkerEvent::BatchRetried {
+                        failed_jobs: 1,
+                        attempt: 2,
+                        backoff_ms: 20,
+                    },
+                ],
+            },
         ]
     }
 
@@ -648,22 +736,28 @@ mod tests {
     }
 
     fn arb_event() -> impl Strategy<Value = WorkerEvent> {
-        (0u8..2, 0usize..50, 1u32..5, 0u64..5_000, arb_job()).prop_map(
-            |(tag, failed_jobs, attempt, backoff_ms, (f, t, p))| {
-                if tag == 0 {
-                    WorkerEvent::BatchRetried {
-                        failed_jobs,
-                        attempt,
-                        backoff_ms,
-                    }
-                } else {
-                    WorkerEvent::BatchFailed {
-                        fault: f,
-                        test: t,
-                        phase: p,
-                        reason: format!("job panicked after {backoff_ms}ms"),
-                    }
-                }
+        (0u8..4, 0usize..50, 1u32..5, 0u64..5_000, arb_job()).prop_map(
+            |(tag, failed_jobs, attempt, backoff_ms, (f, t, p))| match tag {
+                0 => WorkerEvent::BatchRetried {
+                    failed_jobs,
+                    attempt,
+                    backoff_ms,
+                },
+                1 => WorkerEvent::BatchFailed {
+                    fault: f,
+                    test: t,
+                    phase: p,
+                    reason: format!("job panicked after {backoff_ms}ms"),
+                },
+                2 => WorkerEvent::ExperimentCompleted {
+                    fault: f,
+                    test: t,
+                    edges: failed_jobs,
+                },
+                _ => WorkerEvent::TraceCache {
+                    hits: failed_jobs,
+                    misses: attempt as usize,
+                },
             },
         )
     }
@@ -684,6 +778,7 @@ mod tests {
             let mut cfg = DetectConfig::default();
             cfg.driver.base_seed = seq;
             let gaps = jobs.clone();
+            let events2 = events.clone();
             let msgs = [
                 WireMsg::Hello {
                     target: format!("gen:{seq}"),
@@ -697,6 +792,7 @@ mod tests {
                 WireMsg::Result { shard, outcomes, gaps, runs, events },
                 WireMsg::Heartbeat { worker, seq },
                 WireMsg::Shutdown,
+                WireMsg::Event { worker, events: events2 },
             ];
             for msg in msgs {
                 let frame = seal_frame(&msg);

@@ -82,6 +82,13 @@ impl EventBuffer {
     fn drain(&self) -> Vec<WorkerEvent> {
         std::mem::take(&mut self.events.lock().expect("event buffer poisoned"))
     }
+
+    /// A copy of the buffered events *without* draining them: the live
+    /// [`WireMsg::Event`] frame ships a copy, the authoritative drain
+    /// still happens into the shard's [`WireMsg::Result`].
+    fn peek(&self) -> Vec<WorkerEvent> {
+        self.events.lock().expect("event buffer poisoned").clone()
+    }
 }
 
 impl CampaignObserver for EventBuffer {
@@ -206,6 +213,29 @@ pub fn run_worker(endpoint: Endpoint, opts: WorkerOptions) -> Result<()> {
                             return Ok(());
                         }
                         let outcomes = driver.run_experiments(&jobs);
+                        // Live telemetry rides ahead of the Result: a copy
+                        // of the shard's supervisor events, one summary per
+                        // completed experiment, and the cumulative cache
+                        // counters. The coordinator forwards these with
+                        // worker attribution and never merges them, so a
+                        // send failure here is the reader's problem to
+                        // notice — the authoritative Result follows on the
+                        // same stream.
+                        let mut live = events.peek();
+                        live.extend(outcomes.iter().map(|o| WorkerEvent::ExperimentCompleted {
+                            fault: o.fault,
+                            test: o.test,
+                            edges: o.edges.len(),
+                        }));
+                        let (hits, misses) = driver.trace_cache_stats();
+                        live.push(WorkerEvent::TraceCache { hits, misses });
+                        tx.lock()
+                            .expect("wire tx poisoned")
+                            .send(&WireMsg::Event {
+                                worker: worker_id,
+                                events: live,
+                            })
+                            .map_err(wire_io)?;
                         let gaps = driver.take_gaps();
                         let runs = driver.runs_executed - runs_sent;
                         runs_sent = driver.runs_executed;

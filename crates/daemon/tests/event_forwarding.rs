@@ -1,0 +1,147 @@
+//! Worker event forwarding: the coordinator's collector must see the
+//! whole fleet as if the campaign were local.
+//!
+//! With live [`WireMsg::Event`] frames re-emitted coordinator-side via
+//! `CampaignObserver::event_forwarded`, a `ProgressCollector` attached to
+//! the coordinator session lands on the *same deterministic totals*
+//! (experiments, edges, cycles, retries, cache hits/misses) as the same
+//! collector on a single-process run — forwarded events feed per-worker
+//! attribution only, never the campaign totals, so nothing double-counts.
+//! The recorded deterministic event sequence is also fleet-size-invariant
+//! across 1/2/4-worker fleets.
+
+use std::sync::Arc;
+
+use csnake_core::{
+    CampaignObserver, DetectConfig, FanoutObserver, ProgressCollector, ProgressSnapshot, Session,
+    ThreePhase,
+};
+use csnake_daemon::{run_distributed, RunOptions};
+use csnake_telemetry::{FlightRecorder, TelemetryRecord};
+
+fn fast_config() -> DetectConfig {
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800];
+    cfg.driver.retry.backoff_base_ms = 1;
+    // Cache injections so the trace-cache counters are live: the fleet
+    // sum of per-worker figures must reproduce the local driver's.
+    cfg.driver.cache_injections = true;
+    cfg
+}
+
+fn deterministic_keys(records: &[TelemetryRecord]) -> Vec<String> {
+    records
+        .iter()
+        .filter_map(|r| r.deterministic_key())
+        .collect()
+}
+
+fn single_process(name: &str) -> (String, ProgressSnapshot, Vec<String>) {
+    let target = csnake_daemon::targets::resolve(name).expect("known target");
+    let progress = Arc::new(ProgressCollector::new());
+    let recorder = Arc::new(FlightRecorder::builder().build().expect("recorder"));
+    let fanout = Arc::new(FanoutObserver::new(vec![
+        progress.clone() as Arc<dyn CampaignObserver>,
+        recorder.clone() as Arc<dyn CampaignObserver>,
+    ]));
+    let mut session = Session::builder(target.as_ref())
+        .config(fast_config())
+        .observer(fanout)
+        .build()
+        .expect("target is drivable");
+    let report = session
+        .run_to_report(&ThreePhase::default())
+        .expect("campaign completes");
+    (
+        format!("{report:?}"),
+        progress.snapshot(),
+        deterministic_keys(&recorder.records()),
+    )
+}
+
+#[test]
+fn collector_totals_match_single_process_across_fleet_sizes() {
+    let name = "gen:5";
+    let (baseline_report, baseline, baseline_keys) = single_process(name);
+    assert!(baseline.experiments > 0 && baseline.trace_cache_misses > 0);
+
+    for workers in [1usize, 2, 4] {
+        let progress = Arc::new(ProgressCollector::new());
+        let recorder = Arc::new(FlightRecorder::builder().build().expect("recorder"));
+        let fanout = Arc::new(FanoutObserver::new(vec![
+            progress.clone() as Arc<dyn CampaignObserver>,
+            recorder.clone() as Arc<dyn CampaignObserver>,
+        ]));
+        let run = run_distributed(
+            name,
+            fast_config(),
+            workers,
+            RunOptions {
+                observer: Some(fanout),
+                ..RunOptions::default()
+            },
+        )
+        .expect("distributed campaign completes");
+        assert_eq!(
+            format!("{:?}", run.report),
+            baseline_report,
+            "{workers}-worker report diverged"
+        );
+
+        // Deterministic totals: the coordinator's own merge stream must
+        // reproduce the local campaign exactly, forwarding or not.
+        let snap = progress.snapshot();
+        assert_eq!(snap.experiments, baseline.experiments, "w={workers}");
+        assert_eq!(snap.edges, baseline.edges, "w={workers}");
+        assert_eq!(snap.cycles, baseline.cycles, "w={workers}");
+        assert_eq!(snap.batch_retries, baseline.batch_retries, "w={workers}");
+        assert_eq!(snap.batch_failures, baseline.batch_failures, "w={workers}");
+        assert_eq!(snap.budget_spent, baseline.budget_spent, "w={workers}");
+        assert_eq!(
+            snap.trace_cache_hits, baseline.trace_cache_hits,
+            "w={workers}: fleet cache-hit sum diverged"
+        );
+        assert_eq!(
+            snap.trace_cache_misses, baseline.trace_cache_misses,
+            "w={workers}: fleet cache-miss sum diverged"
+        );
+
+        // ...and the recorded deterministic event sequence is the same
+        // one, whatever the fleet size.
+        assert_eq!(
+            deterministic_keys(&recorder.records()),
+            baseline_keys,
+            "w={workers}: deterministic event sequence diverged"
+        );
+
+        // Live forwarding actually happened, with per-worker attribution
+        // that tiles the campaign: every experiment ran on exactly one
+        // worker.
+        assert!(snap.events_forwarded > 0, "w={workers}: nothing forwarded");
+        let per_worker = progress.worker_progress();
+        assert_eq!(per_worker.len(), workers, "w={workers}");
+        let attributed: usize = per_worker.iter().map(|(_, w)| w.experiments).sum();
+        assert_eq!(
+            attributed, baseline.experiments,
+            "w={workers}: per-worker experiment attribution must tile the campaign"
+        );
+        // Worker-side edge figures are raw per-outcome counts (pre-dedup:
+        // the coordinator's db dedups sweep repeats at merge), so the
+        // attributed sum bounds the accepted total from above.
+        let attributed_edges: usize = per_worker.iter().map(|(_, w)| w.edges).sum();
+        assert!(
+            attributed_edges >= snap.edges,
+            "w={workers}: raw attributed edges ({attributed_edges}) below accepted total ({})",
+            snap.edges
+        );
+        let cache_sum: (usize, usize) = per_worker.iter().fold((0, 0), |(h, m), (_, w)| {
+            (h + w.cache_hits, m + w.cache_misses)
+        });
+        assert_eq!(
+            cache_sum,
+            (snap.trace_cache_hits, snap.trace_cache_misses),
+            "w={workers}: per-worker cache figures must sum to the fleet total"
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! End-of-campaign metrics digest, computed from the recorded journal.
+//!
+//! The digest replaces the `BENCH_*` bins' ad-hoc timers: per-stage and
+//! per-phase wall times come from the recorder's span durations,
+//! experiment latency percentiles from the inter-completion gaps of the
+//! [`ExperimentCompleted`](crate::record::EventKind::ExperimentCompleted)
+//! stream, and the counter block from a single pass over the records.
+//! [`MetricsDigest::to_json`] renders the whole thing as one JSON object
+//! for checking into benchmark files.
+
+use crate::record::{stage_name, EventKind, TelemetryRecord};
+
+/// Latency percentiles over a set of microsecond samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Number of samples.
+    pub count: usize,
+    /// Median, microseconds.
+    pub p50_micros: u64,
+    /// 90th percentile, microseconds.
+    pub p90_micros: u64,
+    /// 99th percentile, microseconds.
+    pub p99_micros: u64,
+    /// Maximum, microseconds.
+    pub max_micros: u64,
+}
+
+impl LatencyHistogram {
+    /// Nearest-rank percentiles over `samples` (order irrelevant).
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencyHistogram::default();
+        }
+        samples.sort_unstable();
+        let rank = |p: f64| -> u64 {
+            let n = samples.len();
+            let idx = ((p / 100.0) * n as f64).ceil() as usize;
+            samples[idx.clamp(1, n) - 1]
+        };
+        LatencyHistogram {
+            count: samples.len(),
+            p50_micros: rank(50.0),
+            p90_micros: rank(90.0),
+            p99_micros: rank(99.0),
+            max_micros: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Raw inter-completion gaps (µs) of the `ExperimentCompleted` stream —
+/// the samples behind [`MetricsDigest::experiment_latency`]. Exposed so
+/// harnesses evaluating many campaigns can pool the samples across runs
+/// into one [`LatencyHistogram`] instead of averaging percentiles.
+pub fn experiment_latency_samples(records: &[TelemetryRecord]) -> Vec<u64> {
+    let mut latencies = Vec::new();
+    let mut last: Option<u64> = None;
+    for r in records {
+        if let EventKind::ExperimentCompleted { .. } = &r.kind {
+            if let Some(prev) = last {
+                latencies.push(r.micros.saturating_sub(prev));
+            }
+            last = Some(r.micros);
+        }
+    }
+    latencies
+}
+
+/// The digest: wall times, latency percentiles, campaign counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsDigest {
+    /// Timestamp of the last record — total observed wall time, µs.
+    pub wall_micros: u64,
+    /// Total span duration per stage, `(stage name, µs)`, in first-open
+    /// order. A stage entered more than once (resume) accumulates.
+    pub stage_wall_micros: Vec<(String, u64)>,
+    /// Total span duration per allocation phase, `(phase, µs)`.
+    pub phase_wall_micros: Vec<(u8, u64)>,
+    /// Gaps between consecutive experiment completions.
+    pub experiment_latency: LatencyHistogram,
+    /// Experiments completed.
+    pub experiments: usize,
+    /// Causal edges accepted.
+    pub edges: usize,
+    /// Cycles reported.
+    pub cycles: usize,
+    /// Final budget spent.
+    pub budget_spent: usize,
+    /// Final budget total.
+    pub budget_total: usize,
+    /// Retry rounds (coordinator-side deterministic stream).
+    pub retries: usize,
+    /// Cells abandoned as gaps.
+    pub gaps: usize,
+    /// Final trace-cache hits.
+    pub cache_hits: usize,
+    /// Final trace-cache misses.
+    pub cache_misses: usize,
+    /// Clustering runs observed.
+    pub clustering_runs: usize,
+    /// Peak clustering input vectors.
+    pub clustering_peak_vectors: usize,
+    /// Mid-phase checkpoints written.
+    pub checkpoints: usize,
+    /// Daemon workers that connected.
+    pub workers_connected: usize,
+    /// Daemon workers lost.
+    pub workers_lost: usize,
+    /// Worker events forwarded live.
+    pub events_forwarded: usize,
+    /// Whether the campaign degraded.
+    pub degraded: bool,
+}
+
+impl MetricsDigest {
+    /// Computes the digest in one pass over `records`.
+    pub fn from_records(records: &[TelemetryRecord]) -> Self {
+        let mut d = MetricsDigest::default();
+        let mut latencies = Vec::new();
+        let mut last_experiment: Option<u64> = None;
+        for r in records {
+            d.wall_micros = d.wall_micros.max(r.micros);
+            match &r.kind {
+                EventKind::StageFinished { stage } => {
+                    if let Some(dur) = r.dur_micros {
+                        let name = stage_name(*stage).to_string();
+                        if let Some(slot) = d.stage_wall_micros.iter_mut().find(|(n, _)| *n == name)
+                        {
+                            slot.1 += dur;
+                        } else {
+                            d.stage_wall_micros.push((name, dur));
+                        }
+                    }
+                }
+                EventKind::PhaseFinished { phase, .. } => {
+                    if let Some(dur) = r.dur_micros {
+                        if let Some(slot) = d.phase_wall_micros.iter_mut().find(|(p, _)| p == phase)
+                        {
+                            slot.1 += dur;
+                        } else {
+                            d.phase_wall_micros.push((*phase, dur));
+                        }
+                    }
+                }
+                EventKind::ExperimentCompleted { .. } => {
+                    d.experiments += 1;
+                    if let Some(prev) = last_experiment {
+                        latencies.push(r.micros.saturating_sub(prev));
+                    }
+                    last_experiment = Some(r.micros);
+                }
+                EventKind::EdgeEmitted { .. } => d.edges += 1,
+                EventKind::CycleFound { .. } => d.cycles += 1,
+                EventKind::BudgetSpent { spent, total } => {
+                    d.budget_spent = *spent;
+                    d.budget_total = *total;
+                }
+                EventKind::TraceCache { hits, misses } => {
+                    d.cache_hits = *hits;
+                    d.cache_misses = *misses;
+                }
+                EventKind::Clustering { vectors, .. } => {
+                    d.clustering_runs += 1;
+                    d.clustering_peak_vectors = d.clustering_peak_vectors.max(*vectors);
+                }
+                EventKind::BatchRetried { .. } => d.retries += 1,
+                EventKind::BatchFailed { .. } => d.gaps += 1,
+                EventKind::CheckpointWritten { .. } => d.checkpoints += 1,
+                EventKind::Degraded { .. } => d.degraded = true,
+                EventKind::WorkerConnected { .. } => d.workers_connected += 1,
+                EventKind::WorkerLost { .. } => d.workers_lost += 1,
+                EventKind::ForwardedExperiment { .. }
+                | EventKind::ForwardedRetry { .. }
+                | EventKind::ForwardedFailure { .. }
+                | EventKind::ForwardedCache { .. } => d.events_forwarded += 1,
+                _ => {}
+            }
+        }
+        d.experiment_latency = LatencyHistogram::from_samples(latencies);
+        d
+    }
+
+    /// Renders the digest as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let stages: Vec<String> = self
+            .stage_wall_micros
+            .iter()
+            .map(|(n, us)| format!("{{\"stage\":\"{n}\",\"wall_micros\":{us}}}"))
+            .collect();
+        let phases: Vec<String> = self
+            .phase_wall_micros
+            .iter()
+            .map(|(p, us)| format!("{{\"phase\":{p},\"wall_micros\":{us}}}"))
+            .collect();
+        let l = &self.experiment_latency;
+        format!(
+            concat!(
+                "{{\"wall_micros\":{},\"stages\":[{}],\"phases\":[{}],",
+                "\"experiment_latency\":{{\"count\":{},\"p50_micros\":{},",
+                "\"p90_micros\":{},\"p99_micros\":{},\"max_micros\":{}}},",
+                "\"experiments\":{},\"edges\":{},\"cycles\":{},",
+                "\"budget_spent\":{},\"budget_total\":{},\"retries\":{},",
+                "\"gaps\":{},\"cache_hits\":{},\"cache_misses\":{},",
+                "\"clustering_runs\":{},\"clustering_peak_vectors\":{},",
+                "\"checkpoints\":{},\"workers_connected\":{},",
+                "\"workers_lost\":{},\"events_forwarded\":{},\"degraded\":{}}}"
+            ),
+            self.wall_micros,
+            stages.join(","),
+            phases.join(","),
+            l.count,
+            l.p50_micros,
+            l.p90_micros,
+            l.p99_micros,
+            l.max_micros,
+            self.experiments,
+            self.edges,
+            self.cycles,
+            self.budget_spent,
+            self.budget_total,
+            self.retries,
+            self.gaps,
+            self.cache_hits,
+            self.cache_misses,
+            self.clustering_runs,
+            self.clustering_peak_vectors,
+            self.checkpoints,
+            self.workers_connected,
+            self.workers_lost,
+            self.events_forwarded,
+            self.degraded,
+        )
+    }
+
+    /// Writes the digest JSON atomically (snapshot discipline).
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> csnake_core::error::Result<()> {
+        csnake_core::write_file_bytes(path.as_ref(), self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, micros: u64, dur: Option<u64>, kind: EventKind) -> TelemetryRecord {
+        TelemetryRecord {
+            seq,
+            micros,
+            thread: "main".into(),
+            dur_micros: dur,
+            kind,
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let h = LatencyHistogram::from_samples((1..=100).collect());
+        assert_eq!(h.count, 100);
+        assert_eq!(h.p50_micros, 50);
+        assert_eq!(h.p90_micros, 90);
+        assert_eq!(h.p99_micros, 99);
+        assert_eq!(h.max_micros, 100);
+        let one = LatencyHistogram::from_samples(vec![7]);
+        assert_eq!((one.p50_micros, one.p99_micros, one.max_micros), (7, 7, 7));
+        assert_eq!(LatencyHistogram::from_samples(vec![]).count, 0);
+    }
+
+    #[test]
+    fn digest_aggregates_the_stream() {
+        let records = vec![
+            rec(0, 0, None, EventKind::StageStarted { stage: 2 }),
+            rec(
+                1,
+                10,
+                None,
+                EventKind::PhaseStarted {
+                    phase: 1,
+                    planned: 3,
+                },
+            ),
+            rec(
+                2,
+                20,
+                None,
+                EventKind::ExperimentCompleted {
+                    fault: 1,
+                    test: 0,
+                    interference: 0,
+                    edges: 2,
+                },
+            ),
+            rec(
+                3,
+                50,
+                None,
+                EventKind::ExperimentCompleted {
+                    fault: 2,
+                    test: 0,
+                    interference: 1,
+                    edges: 0,
+                },
+            ),
+            rec(
+                4,
+                55,
+                None,
+                EventKind::EdgeEmitted {
+                    cause: 1,
+                    effect: 2,
+                    kind: 2,
+                    test: 0,
+                    phase: 1,
+                },
+            ),
+            rec(5, 60, None, EventKind::BudgetSpent { spent: 2, total: 8 }),
+            rec(
+                6,
+                70,
+                Some(60),
+                EventKind::PhaseFinished {
+                    phase: 1,
+                    executed: 3,
+                },
+            ),
+            rec(7, 80, Some(80), EventKind::StageFinished { stage: 2 }),
+        ];
+        let d = MetricsDigest::from_records(&records);
+        assert_eq!(d.wall_micros, 80);
+        assert_eq!(d.stage_wall_micros, vec![("allocated".to_string(), 80)]);
+        assert_eq!(d.phase_wall_micros, vec![(1, 60)]);
+        assert_eq!(d.experiments, 2);
+        assert_eq!(d.edges, 1);
+        assert_eq!((d.budget_spent, d.budget_total), (2, 8));
+        assert_eq!(d.experiment_latency.count, 1);
+        assert_eq!(d.experiment_latency.p50_micros, 30);
+        crate::json::validate(&d.to_json()).expect("digest JSON is valid");
+    }
+}

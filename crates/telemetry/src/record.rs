@@ -1,0 +1,1147 @@
+//! Journal records: the flight recorder's unit of persistence.
+//!
+//! A [`TelemetryRecord`] is one observed campaign event plus wall-clock
+//! attribution: a monotonic sequence number (assigned under the recorder's
+//! lock, so record order is total), microseconds since the recorder
+//! started, and the emitting thread's name. Span-closing records
+//! (stage/phase finished) additionally carry the duration since their
+//! matching open.
+//!
+//! Records persist in two forms, written side by side:
+//!
+//! * **JSONL** — one JSON object per line, greppable and loadable by any
+//!   tooling; see [`TelemetryRecord::to_json_line`].
+//! * **binary journal** — a sequence of self-delimiting frames in the
+//!   snapshot container discipline (`CSNJ` magic, version, length,
+//!   FNV-1a checksum, [`Persist`] payload). Truncation and garbling are
+//!   rejected with the same typed errors as snapshots:
+//!   [`CsnakeError::SnapshotTorn`] for an interrupted append,
+//!   [`CsnakeError::SnapshotCorrupt`] for bad magic/checksum, and
+//!   [`CsnakeError::SnapshotVersion`] for a format bump.
+//!
+//! The [`EventKind`] vocabulary deliberately stores *summaries* (ids and
+//! counts, not full outcomes): the journal is an observability artifact,
+//! never an input to detection, so it carries exactly what an operator or
+//! a trace viewer needs and nothing the campaign would have to replay.
+
+use csnake_core::error::{CsnakeError, Result};
+use csnake_core::{Persist, Reader, Writer};
+
+/// Leading magic of every binary journal frame.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"CSNJ";
+
+/// Binary journal format version written by this build.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Frame header length: magic + version + payload length + checksum.
+const FRAME_HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// Telemetry-stable tag of a session stage (distinct from the snapshot
+/// tag, which collapses `Stitched`/`Reported`; the journal keeps them
+/// apart because their spans are distinct).
+pub fn stage_tag(stage: csnake_core::Stage) -> u8 {
+    match stage {
+        csnake_core::Stage::Built => 0,
+        csnake_core::Stage::Profiled => 1,
+        csnake_core::Stage::Allocated => 2,
+        csnake_core::Stage::Stitched => 3,
+        csnake_core::Stage::Reported => 4,
+    }
+}
+
+/// Human name of a [`stage_tag`] value, for JSON output.
+pub fn stage_name(tag: u8) -> &'static str {
+    match tag {
+        0 => "built",
+        1 => "profiled",
+        2 => "allocated",
+        3 => "stitched",
+        4 => "reported",
+        _ => "unknown",
+    }
+}
+
+/// One observed campaign event, summarized for persistence.
+///
+/// Variants mirror the [`CampaignObserver`](csnake_core::CampaignObserver)
+/// vocabulary one-to-one; fields are ids and counts only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A session stage began (opens a span).
+    StageStarted {
+        /// [`stage_tag`] of the stage.
+        stage: u8,
+    },
+    /// A session stage ended (closes the matching span).
+    StageFinished {
+        /// [`stage_tag`] of the stage.
+        stage: u8,
+    },
+    /// An allocation phase's planned batch began (opens a span).
+    PhaseStarted {
+        /// Strategy phase label (3PA: 1–3; baselines: 0).
+        phase: u8,
+        /// Experiments planned for the batch.
+        planned: usize,
+    },
+    /// An allocation phase's batch completed (closes the matching span).
+    PhaseFinished {
+        /// Strategy phase label.
+        phase: u8,
+        /// Experiments that actually ran.
+        executed: usize,
+    },
+    /// One `(fault, test)` experiment completed FCA.
+    ExperimentCompleted {
+        /// Injected fault id.
+        fault: u32,
+        /// Workload id.
+        test: u32,
+        /// Interference-list size.
+        interference: usize,
+        /// Causal edges the experiment produced.
+        edges: usize,
+    },
+    /// A new causal edge entered the database.
+    EdgeEmitted {
+        /// Cause fault id.
+        cause: u32,
+        /// Effect fault id.
+        effect: u32,
+        /// [`EdgeKind`](csnake_core::edge::EdgeKind) tag (0–5).
+        kind: u8,
+        /// Workload id the edge was observed in.
+        test: u32,
+        /// 3PA phase of discovery.
+        phase: u8,
+    },
+    /// The stitcher reported a deduplicated cycle.
+    CycleFound {
+        /// Edge count of the cycle.
+        edges: usize,
+        /// Chain score.
+        score: f64,
+    },
+    /// Budget counters moved.
+    BudgetSpent {
+        /// Budget spent so far.
+        spent: usize,
+        /// Total budget.
+        total: usize,
+    },
+    /// Injection-run cache counters at allocation end.
+    TraceCache {
+        /// Cache hits.
+        hits: usize,
+        /// Cache misses.
+        misses: usize,
+    },
+    /// The phase-one clustering ran.
+    Clustering {
+        /// Input vectors.
+        vectors: usize,
+        /// Distinct vectors after duplicate pre-grouping.
+        groups: usize,
+        /// Candidate sparse-graph edges.
+        candidate_edges: usize,
+        /// Sub-threshold merges applied.
+        merges: usize,
+    },
+    /// The supervisor scheduled a retry round.
+    BatchRetried {
+        /// Batch ordinal.
+        batch: usize,
+        /// Jobs that failed and were re-queued.
+        failed_jobs: usize,
+        /// Retry attempt (1-based).
+        attempt: u32,
+        /// Backoff pause before the retry.
+        backoff_ms: u64,
+    },
+    /// A cell exhausted its retries and became a gap.
+    BatchFailed {
+        /// Batch ordinal.
+        batch: usize,
+        /// The abandoned cell's fault id.
+        fault: u32,
+        /// The abandoned cell's test id.
+        test: u32,
+        /// The abandoned cell's phase.
+        phase: u8,
+        /// Final panic message.
+        reason: String,
+    },
+    /// A mid-phase checkpoint reached disk.
+    CheckpointWritten {
+        /// Checkpoint file path.
+        path: String,
+        /// Allocation phase of the checkpoint.
+        phase: u8,
+        /// Experiments covered within the phase.
+        executed_in_phase: usize,
+    },
+    /// The campaign completed with permanently failed cells.
+    Degraded {
+        /// Number of missing `(fault, test, phase)` cells.
+        missing: usize,
+    },
+    /// A daemon worker completed its handshake.
+    WorkerConnected {
+        /// Worker id.
+        worker: u32,
+    },
+    /// A daemon worker's lease expired or its connection dropped.
+    WorkerLost {
+        /// Worker id.
+        worker: u32,
+        /// Loss reason.
+        reason: String,
+    },
+    /// The coordinator leased a shard.
+    ShardAssigned {
+        /// Shard ordinal.
+        shard: u32,
+        /// Worker id.
+        worker: u32,
+        /// Jobs in the shard.
+        jobs: usize,
+    },
+    /// The coordinator moved a shard off a dead worker.
+    ShardReassigned {
+        /// Shard ordinal.
+        shard: u32,
+        /// New worker id.
+        worker: u32,
+        /// Reassignment attempt (1-based).
+        attempt: u32,
+    },
+    /// A worker's experiment completion arrived live via forwarding.
+    ForwardedExperiment {
+        /// Reporting worker.
+        worker: u32,
+        /// Injected fault id.
+        fault: u32,
+        /// Workload id.
+        test: u32,
+        /// Edges the experiment produced (pre-dedup).
+        edges: usize,
+    },
+    /// A worker's retry round arrived live via forwarding.
+    ForwardedRetry {
+        /// Reporting worker.
+        worker: u32,
+        /// Jobs re-queued.
+        failed_jobs: usize,
+        /// Retry attempt (1-based).
+        attempt: u32,
+        /// Backoff pause.
+        backoff_ms: u64,
+    },
+    /// A worker's abandoned cell arrived live via forwarding.
+    ForwardedFailure {
+        /// Reporting worker.
+        worker: u32,
+        /// The abandoned cell's fault id.
+        fault: u32,
+        /// The abandoned cell's test id.
+        test: u32,
+        /// The abandoned cell's phase.
+        phase: u8,
+    },
+    /// A worker's cumulative cache counters arrived live via forwarding.
+    ForwardedCache {
+        /// Reporting worker.
+        worker: u32,
+        /// Cache hits so far on that worker.
+        hits: usize,
+        /// Cache misses so far on that worker.
+        misses: usize,
+    },
+    /// A flight recorder (possibly another one, fanned out alongside this
+    /// one) flushed its journal.
+    JournalFlushed {
+        /// Journal path.
+        path: String,
+        /// Records flushed.
+        records: usize,
+    },
+}
+
+impl EventKind {
+    /// The record's `event` discriminator in JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::StageStarted { .. } => "stage_started",
+            EventKind::StageFinished { .. } => "stage_finished",
+            EventKind::PhaseStarted { .. } => "phase_started",
+            EventKind::PhaseFinished { .. } => "phase_finished",
+            EventKind::ExperimentCompleted { .. } => "experiment_completed",
+            EventKind::EdgeEmitted { .. } => "edge_emitted",
+            EventKind::CycleFound { .. } => "cycle_found",
+            EventKind::BudgetSpent { .. } => "budget_spent",
+            EventKind::TraceCache { .. } => "trace_cache",
+            EventKind::Clustering { .. } => "clustering",
+            EventKind::BatchRetried { .. } => "batch_retried",
+            EventKind::BatchFailed { .. } => "batch_failed",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::Degraded { .. } => "degraded",
+            EventKind::WorkerConnected { .. } => "worker_connected",
+            EventKind::WorkerLost { .. } => "worker_lost",
+            EventKind::ShardAssigned { .. } => "shard_assigned",
+            EventKind::ShardReassigned { .. } => "shard_reassigned",
+            EventKind::ForwardedExperiment { .. } => "forwarded_experiment",
+            EventKind::ForwardedRetry { .. } => "forwarded_retry",
+            EventKind::ForwardedFailure { .. } => "forwarded_failure",
+            EventKind::ForwardedCache { .. } => "forwarded_cache",
+            EventKind::JournalFlushed { .. } => "journal_flushed",
+        }
+    }
+
+    /// Whether the event belongs to the *deterministic* campaign stream:
+    /// same target/config/seed ⇒ same sequence of deterministic events, in
+    /// the same order, regardless of thread counts or fleet size.
+    ///
+    /// Operational events (worker lifecycle, shard leases, forwarded
+    /// copies, retries under chaos, checkpoint cadence, journal flushes)
+    /// depend on scheduling and topology and are excluded; the determinism
+    /// tests compare only the deterministic subset.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(
+            self,
+            EventKind::StageStarted { .. }
+                | EventKind::StageFinished { .. }
+                | EventKind::PhaseStarted { .. }
+                | EventKind::PhaseFinished { .. }
+                | EventKind::ExperimentCompleted { .. }
+                | EventKind::EdgeEmitted { .. }
+                | EventKind::CycleFound { .. }
+                | EventKind::BudgetSpent { .. }
+                | EventKind::TraceCache { .. }
+                | EventKind::Clustering { .. }
+                | EventKind::Degraded { .. }
+        )
+    }
+}
+
+/// Persist tags for [`EventKind`] variants (stable; append-only).
+impl Persist for EventKind {
+    fn put(&self, w: &mut Writer) {
+        match self {
+            EventKind::StageStarted { stage } => {
+                0u8.put(w);
+                stage.put(w);
+            }
+            EventKind::StageFinished { stage } => {
+                1u8.put(w);
+                stage.put(w);
+            }
+            EventKind::PhaseStarted { phase, planned } => {
+                2u8.put(w);
+                phase.put(w);
+                planned.put(w);
+            }
+            EventKind::PhaseFinished { phase, executed } => {
+                3u8.put(w);
+                phase.put(w);
+                executed.put(w);
+            }
+            EventKind::ExperimentCompleted {
+                fault,
+                test,
+                interference,
+                edges,
+            } => {
+                4u8.put(w);
+                fault.put(w);
+                test.put(w);
+                interference.put(w);
+                edges.put(w);
+            }
+            EventKind::EdgeEmitted {
+                cause,
+                effect,
+                kind,
+                test,
+                phase,
+            } => {
+                5u8.put(w);
+                cause.put(w);
+                effect.put(w);
+                kind.put(w);
+                test.put(w);
+                phase.put(w);
+            }
+            EventKind::CycleFound { edges, score } => {
+                6u8.put(w);
+                edges.put(w);
+                score.put(w);
+            }
+            EventKind::BudgetSpent { spent, total } => {
+                7u8.put(w);
+                spent.put(w);
+                total.put(w);
+            }
+            EventKind::TraceCache { hits, misses } => {
+                8u8.put(w);
+                hits.put(w);
+                misses.put(w);
+            }
+            EventKind::Clustering {
+                vectors,
+                groups,
+                candidate_edges,
+                merges,
+            } => {
+                9u8.put(w);
+                vectors.put(w);
+                groups.put(w);
+                candidate_edges.put(w);
+                merges.put(w);
+            }
+            EventKind::BatchRetried {
+                batch,
+                failed_jobs,
+                attempt,
+                backoff_ms,
+            } => {
+                10u8.put(w);
+                batch.put(w);
+                failed_jobs.put(w);
+                attempt.put(w);
+                backoff_ms.put(w);
+            }
+            EventKind::BatchFailed {
+                batch,
+                fault,
+                test,
+                phase,
+                reason,
+            } => {
+                11u8.put(w);
+                batch.put(w);
+                fault.put(w);
+                test.put(w);
+                phase.put(w);
+                reason.put(w);
+            }
+            EventKind::CheckpointWritten {
+                path,
+                phase,
+                executed_in_phase,
+            } => {
+                12u8.put(w);
+                path.put(w);
+                phase.put(w);
+                executed_in_phase.put(w);
+            }
+            EventKind::Degraded { missing } => {
+                13u8.put(w);
+                missing.put(w);
+            }
+            EventKind::WorkerConnected { worker } => {
+                14u8.put(w);
+                worker.put(w);
+            }
+            EventKind::WorkerLost { worker, reason } => {
+                15u8.put(w);
+                worker.put(w);
+                reason.put(w);
+            }
+            EventKind::ShardAssigned {
+                shard,
+                worker,
+                jobs,
+            } => {
+                16u8.put(w);
+                shard.put(w);
+                worker.put(w);
+                jobs.put(w);
+            }
+            EventKind::ShardReassigned {
+                shard,
+                worker,
+                attempt,
+            } => {
+                17u8.put(w);
+                shard.put(w);
+                worker.put(w);
+                attempt.put(w);
+            }
+            EventKind::ForwardedExperiment {
+                worker,
+                fault,
+                test,
+                edges,
+            } => {
+                18u8.put(w);
+                worker.put(w);
+                fault.put(w);
+                test.put(w);
+                edges.put(w);
+            }
+            EventKind::ForwardedRetry {
+                worker,
+                failed_jobs,
+                attempt,
+                backoff_ms,
+            } => {
+                19u8.put(w);
+                worker.put(w);
+                failed_jobs.put(w);
+                attempt.put(w);
+                backoff_ms.put(w);
+            }
+            EventKind::ForwardedFailure {
+                worker,
+                fault,
+                test,
+                phase,
+            } => {
+                20u8.put(w);
+                worker.put(w);
+                fault.put(w);
+                test.put(w);
+                phase.put(w);
+            }
+            EventKind::ForwardedCache {
+                worker,
+                hits,
+                misses,
+            } => {
+                21u8.put(w);
+                worker.put(w);
+                hits.put(w);
+                misses.put(w);
+            }
+            EventKind::JournalFlushed { path, records } => {
+                22u8.put(w);
+                path.put(w);
+                records.put(w);
+            }
+        }
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match u8::load(r)? {
+            0 => EventKind::StageStarted {
+                stage: u8::load(r)?,
+            },
+            1 => EventKind::StageFinished {
+                stage: u8::load(r)?,
+            },
+            2 => EventKind::PhaseStarted {
+                phase: u8::load(r)?,
+                planned: usize::load(r)?,
+            },
+            3 => EventKind::PhaseFinished {
+                phase: u8::load(r)?,
+                executed: usize::load(r)?,
+            },
+            4 => EventKind::ExperimentCompleted {
+                fault: u32::load(r)?,
+                test: u32::load(r)?,
+                interference: usize::load(r)?,
+                edges: usize::load(r)?,
+            },
+            5 => EventKind::EdgeEmitted {
+                cause: u32::load(r)?,
+                effect: u32::load(r)?,
+                kind: u8::load(r)?,
+                test: u32::load(r)?,
+                phase: u8::load(r)?,
+            },
+            6 => EventKind::CycleFound {
+                edges: usize::load(r)?,
+                score: f64::load(r)?,
+            },
+            7 => EventKind::BudgetSpent {
+                spent: usize::load(r)?,
+                total: usize::load(r)?,
+            },
+            8 => EventKind::TraceCache {
+                hits: usize::load(r)?,
+                misses: usize::load(r)?,
+            },
+            9 => EventKind::Clustering {
+                vectors: usize::load(r)?,
+                groups: usize::load(r)?,
+                candidate_edges: usize::load(r)?,
+                merges: usize::load(r)?,
+            },
+            10 => EventKind::BatchRetried {
+                batch: usize::load(r)?,
+                failed_jobs: usize::load(r)?,
+                attempt: u32::load(r)?,
+                backoff_ms: u64::load(r)?,
+            },
+            11 => EventKind::BatchFailed {
+                batch: usize::load(r)?,
+                fault: u32::load(r)?,
+                test: u32::load(r)?,
+                phase: u8::load(r)?,
+                reason: String::load(r)?,
+            },
+            12 => EventKind::CheckpointWritten {
+                path: String::load(r)?,
+                phase: u8::load(r)?,
+                executed_in_phase: usize::load(r)?,
+            },
+            13 => EventKind::Degraded {
+                missing: usize::load(r)?,
+            },
+            14 => EventKind::WorkerConnected {
+                worker: u32::load(r)?,
+            },
+            15 => EventKind::WorkerLost {
+                worker: u32::load(r)?,
+                reason: String::load(r)?,
+            },
+            16 => EventKind::ShardAssigned {
+                shard: u32::load(r)?,
+                worker: u32::load(r)?,
+                jobs: usize::load(r)?,
+            },
+            17 => EventKind::ShardReassigned {
+                shard: u32::load(r)?,
+                worker: u32::load(r)?,
+                attempt: u32::load(r)?,
+            },
+            18 => EventKind::ForwardedExperiment {
+                worker: u32::load(r)?,
+                fault: u32::load(r)?,
+                test: u32::load(r)?,
+                edges: usize::load(r)?,
+            },
+            19 => EventKind::ForwardedRetry {
+                worker: u32::load(r)?,
+                failed_jobs: usize::load(r)?,
+                attempt: u32::load(r)?,
+                backoff_ms: u64::load(r)?,
+            },
+            20 => EventKind::ForwardedFailure {
+                worker: u32::load(r)?,
+                fault: u32::load(r)?,
+                test: u32::load(r)?,
+                phase: u8::load(r)?,
+            },
+            21 => EventKind::ForwardedCache {
+                worker: u32::load(r)?,
+                hits: usize::load(r)?,
+                misses: usize::load(r)?,
+            },
+            22 => EventKind::JournalFlushed {
+                path: String::load(r)?,
+                records: usize::load(r)?,
+            },
+            n => {
+                return Err(CsnakeError::SnapshotCorrupt(format!(
+                    "bad telemetry event tag {n}"
+                )))
+            }
+        })
+    }
+}
+
+/// One journal record: an event plus its timing/attribution envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryRecord {
+    /// Monotonic sequence number, assigned under the recorder's lock.
+    pub seq: u64,
+    /// Microseconds since the recorder started.
+    pub micros: u64,
+    /// Name of the thread that emitted the event (`?` when unnamed).
+    pub thread: String,
+    /// Span duration in microseconds, on span-closing records
+    /// (stage/phase finished) whose open was observed.
+    pub dur_micros: Option<u64>,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+impl Persist for TelemetryRecord {
+    fn put(&self, w: &mut Writer) {
+        self.seq.put(w);
+        self.micros.put(w);
+        self.thread.put(w);
+        self.dur_micros.put(w);
+        self.kind.put(w);
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(TelemetryRecord {
+            seq: u64::load(r)?,
+            micros: u64::load(r)?,
+            thread: String::load(r)?,
+            dur_micros: Option::load(r)?,
+            kind: EventKind::load(r)?,
+        })
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number (finite values only; the campaign
+/// never produces non-finite scores, but a journal must not emit invalid
+/// JSON either way).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on a whole f64 prints no decimal point; keep it a JSON
+        // number either way (both forms are valid), but make round-trips
+        // unambiguous.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+impl TelemetryRecord {
+    /// Serializes the record as one JSONL line (no trailing newline).
+    ///
+    /// Every line carries the envelope keys `seq`, `micros`, `thread` and
+    /// `event`; `dur_micros` appears on span-closing records; remaining
+    /// keys are the event's own fields.
+    pub fn to_json_line(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\":{},\"micros\":{},\"thread\":\"{}\",\"event\":\"{}\"",
+            self.seq,
+            self.micros,
+            json_escape(&self.thread),
+            self.kind.name()
+        );
+        if let Some(d) = self.dur_micros {
+            s.push_str(&format!(",\"dur_micros\":{d}"));
+        }
+        match &self.kind {
+            EventKind::StageStarted { stage } | EventKind::StageFinished { stage } => {
+                s.push_str(&format!(",\"stage\":\"{}\"", stage_name(*stage)));
+            }
+            EventKind::PhaseStarted { phase, planned } => {
+                s.push_str(&format!(",\"phase\":{phase},\"planned\":{planned}"));
+            }
+            EventKind::PhaseFinished { phase, executed } => {
+                s.push_str(&format!(",\"phase\":{phase},\"executed\":{executed}"));
+            }
+            EventKind::ExperimentCompleted {
+                fault,
+                test,
+                interference,
+                edges,
+            } => {
+                s.push_str(&format!(
+                    ",\"fault\":{fault},\"test\":{test},\"interference\":{interference},\"edges\":{edges}"
+                ));
+            }
+            EventKind::EdgeEmitted {
+                cause,
+                effect,
+                kind,
+                test,
+                phase,
+            } => {
+                s.push_str(&format!(
+                    ",\"cause\":{cause},\"effect\":{effect},\"kind\":{kind},\"test\":{test},\"phase\":{phase}"
+                ));
+            }
+            EventKind::CycleFound { edges, score } => {
+                s.push_str(&format!(
+                    ",\"edges\":{edges},\"score\":{}",
+                    json_f64(*score)
+                ));
+            }
+            EventKind::BudgetSpent { spent, total } => {
+                s.push_str(&format!(",\"spent\":{spent},\"total\":{total}"));
+            }
+            EventKind::TraceCache { hits, misses } => {
+                s.push_str(&format!(",\"hits\":{hits},\"misses\":{misses}"));
+            }
+            EventKind::Clustering {
+                vectors,
+                groups,
+                candidate_edges,
+                merges,
+            } => {
+                s.push_str(&format!(
+                    ",\"vectors\":{vectors},\"groups\":{groups},\"candidate_edges\":{candidate_edges},\"merges\":{merges}"
+                ));
+            }
+            EventKind::BatchRetried {
+                batch,
+                failed_jobs,
+                attempt,
+                backoff_ms,
+            } => {
+                s.push_str(&format!(
+                    ",\"batch\":{batch},\"failed_jobs\":{failed_jobs},\"attempt\":{attempt},\"backoff_ms\":{backoff_ms}"
+                ));
+            }
+            EventKind::BatchFailed {
+                batch,
+                fault,
+                test,
+                phase,
+                reason,
+            } => {
+                s.push_str(&format!(
+                    ",\"batch\":{batch},\"fault\":{fault},\"test\":{test},\"phase\":{phase},\"reason\":\"{}\"",
+                    json_escape(reason)
+                ));
+            }
+            EventKind::CheckpointWritten {
+                path,
+                phase,
+                executed_in_phase,
+            } => {
+                s.push_str(&format!(
+                    ",\"path\":\"{}\",\"phase\":{phase},\"executed_in_phase\":{executed_in_phase}",
+                    json_escape(path)
+                ));
+            }
+            EventKind::Degraded { missing } => {
+                s.push_str(&format!(",\"missing\":{missing}"));
+            }
+            EventKind::WorkerConnected { worker } => {
+                s.push_str(&format!(",\"worker\":{worker}"));
+            }
+            EventKind::WorkerLost { worker, reason } => {
+                s.push_str(&format!(
+                    ",\"worker\":{worker},\"reason\":\"{}\"",
+                    json_escape(reason)
+                ));
+            }
+            EventKind::ShardAssigned {
+                shard,
+                worker,
+                jobs,
+            } => {
+                s.push_str(&format!(
+                    ",\"shard\":{shard},\"worker\":{worker},\"jobs\":{jobs}"
+                ));
+            }
+            EventKind::ShardReassigned {
+                shard,
+                worker,
+                attempt,
+            } => {
+                s.push_str(&format!(
+                    ",\"shard\":{shard},\"worker\":{worker},\"attempt\":{attempt}"
+                ));
+            }
+            EventKind::ForwardedExperiment {
+                worker,
+                fault,
+                test,
+                edges,
+            } => {
+                s.push_str(&format!(
+                    ",\"worker\":{worker},\"fault\":{fault},\"test\":{test},\"edges\":{edges}"
+                ));
+            }
+            EventKind::ForwardedRetry {
+                worker,
+                failed_jobs,
+                attempt,
+                backoff_ms,
+            } => {
+                s.push_str(&format!(
+                    ",\"worker\":{worker},\"failed_jobs\":{failed_jobs},\"attempt\":{attempt},\"backoff_ms\":{backoff_ms}"
+                ));
+            }
+            EventKind::ForwardedFailure {
+                worker,
+                fault,
+                test,
+                phase,
+            } => {
+                s.push_str(&format!(
+                    ",\"worker\":{worker},\"fault\":{fault},\"test\":{test},\"phase\":{phase}"
+                ));
+            }
+            EventKind::ForwardedCache {
+                worker,
+                hits,
+                misses,
+            } => {
+                s.push_str(&format!(
+                    ",\"worker\":{worker},\"hits\":{hits},\"misses\":{misses}"
+                ));
+            }
+            EventKind::JournalFlushed { path, records } => {
+                s.push_str(&format!(
+                    ",\"path\":\"{}\",\"records\":{records}",
+                    json_escape(path)
+                ));
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Stable comparison key for the determinism tests: the event's full
+    /// content with the timing/attribution envelope stripped. `None` for
+    /// operational events (see [`EventKind::is_deterministic`]).
+    pub fn deterministic_key(&self) -> Option<String> {
+        if !self.kind.is_deterministic() {
+            return None;
+        }
+        // Debug output of the kind is stable and content-complete; floats
+        // go through their bit pattern so -0.0 vs 0.0 can't alias.
+        Some(match &self.kind {
+            EventKind::CycleFound { edges, score } => {
+                format!(
+                    "CycleFound{{edges:{edges},score_bits:{:#x}}}",
+                    score.to_bits()
+                )
+            }
+            other => format!("{other:?}"),
+        })
+    }
+}
+
+/// Seals one record into a self-delimiting binary journal frame.
+pub fn seal_record(record: &TelemetryRecord) -> Vec<u8> {
+    let mut w = Writer::with_version(JOURNAL_VERSION);
+    record.put(&mut w);
+    let payload = w.into_bytes();
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&JOURNAL_MAGIC);
+    out.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&csnake_core::fnv1a_bytes(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a binary journal: a concatenation of [`seal_record`] frames.
+///
+/// Rejections are typed like snapshots: a file ending inside a frame
+/// header or payload is [`CsnakeError::SnapshotTorn`] (an interrupted
+/// append — everything before the tear decoded fine, but the caller must
+/// know the journal is incomplete); wrong magic or a checksum mismatch is
+/// [`CsnakeError::SnapshotCorrupt`]; an unknown frame version is
+/// [`CsnakeError::SnapshotVersion`].
+pub fn decode_journal(bytes: &[u8]) -> Result<Vec<TelemetryRecord>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < FRAME_HEADER_LEN {
+            return Err(CsnakeError::SnapshotTorn {
+                expected: (pos + FRAME_HEADER_LEN) as u64,
+                found: bytes.len() as u64,
+            });
+        }
+        if rest[..4] != JOURNAL_MAGIC {
+            return Err(CsnakeError::SnapshotCorrupt(format!(
+                "bad journal frame magic at offset {pos}"
+            )));
+        }
+        let version = u32::from_le_bytes(rest[4..8].try_into().expect("sized"));
+        if version != JOURNAL_VERSION {
+            return Err(CsnakeError::SnapshotVersion {
+                found: version,
+                supported: JOURNAL_VERSION,
+            });
+        }
+        let len = u64::from_le_bytes(rest[8..16].try_into().expect("sized")) as usize;
+        let check = u64::from_le_bytes(rest[16..24].try_into().expect("sized"));
+        let body_start = pos + FRAME_HEADER_LEN;
+        let body_end = body_start.checked_add(len).filter(|&e| e <= bytes.len());
+        let Some(body_end) = body_end else {
+            return Err(CsnakeError::SnapshotTorn {
+                expected: (body_start + len) as u64,
+                found: bytes.len() as u64,
+            });
+        };
+        let payload = &bytes[body_start..body_end];
+        if csnake_core::fnv1a_bytes(payload) != check {
+            return Err(CsnakeError::SnapshotCorrupt(format!(
+                "journal frame checksum mismatch at offset {pos}"
+            )));
+        }
+        let mut r = Reader::with_version(payload, version);
+        let record = TelemetryRecord::load(&mut r)?;
+        if !r.finished() {
+            return Err(CsnakeError::SnapshotCorrupt(format!(
+                "trailing bytes inside journal frame at offset {pos}"
+            )));
+        }
+        out.push(record);
+        pos = body_end;
+    }
+    Ok(out)
+}
+
+/// Reads and decodes a binary journal file.
+pub fn read_journal(path: &std::path::Path) -> Result<Vec<TelemetryRecord>> {
+    let bytes = std::fs::read(path).map_err(|source| CsnakeError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    decode_journal(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TelemetryRecord> {
+        vec![
+            TelemetryRecord {
+                seq: 0,
+                micros: 10,
+                thread: "main".into(),
+                dur_micros: None,
+                kind: EventKind::StageStarted { stage: 1 },
+            },
+            TelemetryRecord {
+                seq: 1,
+                micros: 400,
+                thread: "main".into(),
+                dur_micros: Some(390),
+                kind: EventKind::StageFinished { stage: 1 },
+            },
+            TelemetryRecord {
+                seq: 2,
+                micros: 500,
+                thread: "main".into(),
+                dur_micros: None,
+                kind: EventKind::BatchFailed {
+                    batch: 3,
+                    fault: 7,
+                    test: 2,
+                    phase: 1,
+                    reason: "chaos: \"boom\"\n".into(),
+                },
+            },
+            TelemetryRecord {
+                seq: 3,
+                micros: 600,
+                thread: "w-1".into(),
+                dur_micros: None,
+                kind: EventKind::CycleFound {
+                    edges: 4,
+                    score: 0.25,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip_through_frames() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&seal_record(r));
+        }
+        let back = decode_journal(&bytes).expect("decode");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn truncation_is_torn() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&seal_record(r));
+        }
+        // Cut inside the last frame's payload.
+        let torn = &bytes[..bytes.len() - 3];
+        match decode_journal(torn) {
+            Err(CsnakeError::SnapshotTorn { .. }) => {}
+            other => panic!("expected SnapshotTorn, got {other:?}"),
+        }
+        // Cut inside a frame header.
+        match decode_journal(&bytes[..bytes.len() - seal_record(&records[3]).len() + 5]) {
+            Err(CsnakeError::SnapshotTorn { .. }) => {}
+            other => panic!("expected SnapshotTorn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garble_is_corrupt() {
+        let mut bytes = seal_record(&sample_records()[0]);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        match decode_journal(&bytes) {
+            Err(CsnakeError::SnapshotCorrupt(_)) => {}
+            other => panic!("expected SnapshotCorrupt, got {other:?}"),
+        }
+        let mut bad_magic = seal_record(&sample_records()[0]);
+        bad_magic[0] = b'X';
+        match decode_journal(&bad_magic) {
+            Err(CsnakeError::SnapshotCorrupt(_)) => {}
+            other => panic!("expected SnapshotCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_bump_is_typed() {
+        let mut bytes = seal_record(&sample_records()[0]);
+        bytes[4..8].copy_from_slice(&(JOURNAL_VERSION + 1).to_le_bytes());
+        match decode_journal(&bytes) {
+            Err(CsnakeError::SnapshotVersion { found, supported }) => {
+                assert_eq!(found, JOURNAL_VERSION + 1);
+                assert_eq!(supported, JOURNAL_VERSION);
+            }
+            other => panic!("expected SnapshotVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_lines_are_valid_and_escaped() {
+        for r in sample_records() {
+            let line = r.to_json_line();
+            crate::json::validate(&line).expect("valid JSON");
+            assert!(line.contains(&format!("\"event\":\"{}\"", r.kind.name())));
+        }
+        let line = sample_records()[2].to_json_line();
+        assert!(line.contains("chaos: \\\"boom\\\"\\n"));
+    }
+
+    #[test]
+    fn deterministic_key_filters_operational_events() {
+        let det = TelemetryRecord {
+            seq: 9,
+            micros: 1,
+            thread: "t".into(),
+            dur_micros: None,
+            kind: EventKind::BudgetSpent { spent: 1, total: 4 },
+        };
+        assert!(det.deterministic_key().is_some());
+        let op = TelemetryRecord {
+            seq: 10,
+            micros: 2,
+            thread: "t".into(),
+            dur_micros: None,
+            kind: EventKind::WorkerLost {
+                worker: 0,
+                reason: "gone".into(),
+            },
+        };
+        assert!(op.deterministic_key().is_none());
+        // The key ignores the envelope: same event, different seq/time.
+        let det2 = TelemetryRecord {
+            seq: 99,
+            micros: 12345,
+            thread: "other".into(),
+            ..det.clone()
+        };
+        assert_eq!(det.deterministic_key(), det2.deterministic_key());
+    }
+}

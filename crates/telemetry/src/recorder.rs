@@ -1,0 +1,531 @@
+//! The flight recorder: a [`CampaignObserver`] that journals every event.
+//!
+//! [`FlightRecorder`] assigns each event a monotonic sequence number and a
+//! microsecond timestamp, tracks stage/phase spans (open at `*_started`,
+//! close at `*_finished`, duration on the closing record), and appends the
+//! resulting [`TelemetryRecord`]s to its journals: a JSONL file (one
+//! object per line, flushed per record so a `tail -f` is always current)
+//! and a binary journal of checksummed [`Persist`](csnake_core::Persist)
+//! frames. Records are also kept in memory for end-of-run exports
+//! ([`FlightRecorder::digest`], [`crate::trace::write_chrome_trace`]).
+//!
+//! Observers must never perturb campaign results, so the recorder's
+//! observer methods cannot return errors. I/O failures are latched
+//! instead: the first one is remembered, journaling stops, and
+//! [`FlightRecorder::finish`] surfaces the error once the campaign is
+//! done. In-memory recording continues regardless — a full disk costs the
+//! journal, never the campaign.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use csnake_core::error::{CsnakeError, Result};
+use csnake_core::{CampaignObserver, ForwardedEvent};
+use csnake_inject::{FaultId, TestId};
+
+use crate::digest::MetricsDigest;
+use crate::record::{seal_record, stage_tag, EventKind, TelemetryRecord};
+
+/// Span key: stage spans and phase spans live in separate namespaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SpanKey {
+    Stage(u8),
+    Phase(u8),
+}
+
+/// One journal output stream.
+struct JournalFile {
+    path: PathBuf,
+    file: BufWriter<File>,
+    /// Records appended since the last durable flush.
+    unflushed: usize,
+}
+
+struct Inner {
+    seq: u64,
+    records: Vec<TelemetryRecord>,
+    jsonl: Option<JournalFile>,
+    binary: Option<JournalFile>,
+    open_spans: BTreeMap<SpanKey, u64>,
+    /// First journaling error; once set, file output stops.
+    io_error: Option<CsnakeError>,
+}
+
+/// Configures and opens a [`FlightRecorder`].
+#[derive(Default)]
+pub struct RecorderBuilder {
+    jsonl: Option<PathBuf>,
+    binary: Option<PathBuf>,
+    notify: Option<Arc<dyn CampaignObserver>>,
+}
+
+impl RecorderBuilder {
+    /// Journal records as JSONL to `path` (truncating an existing file).
+    pub fn jsonl(mut self, path: impl Into<PathBuf>) -> Self {
+        self.jsonl = Some(path.into());
+        self
+    }
+
+    /// Journal records as binary frames to `path` (truncating an existing
+    /// file).
+    pub fn binary(mut self, path: impl Into<PathBuf>) -> Self {
+        self.binary = Some(path.into());
+        self
+    }
+
+    /// Deliver [`CampaignObserver::journal_flushed`] notifications for this
+    /// recorder's durable flushes to `observer` (typically the campaign's
+    /// [`ProgressCollector`](csnake_core::ProgressCollector)).
+    pub fn notify(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
+        self.notify = Some(observer);
+        self
+    }
+
+    /// Opens the journal files and starts the clock.
+    pub fn build(self) -> Result<FlightRecorder> {
+        let open = |path: PathBuf| -> Result<JournalFile> {
+            let file = File::create(&path).map_err(|source| CsnakeError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            Ok(JournalFile {
+                path,
+                file: BufWriter::new(file),
+                unflushed: 0,
+            })
+        };
+        Ok(FlightRecorder {
+            started: Instant::now(),
+            notify: self.notify,
+            inner: Mutex::new(Inner {
+                seq: 0,
+                records: Vec::new(),
+                jsonl: self.jsonl.map(open).transpose()?,
+                binary: self.binary.map(open).transpose()?,
+                open_spans: BTreeMap::new(),
+                io_error: None,
+            }),
+        })
+    }
+}
+
+/// The flight recorder observer. See the [module docs](self).
+pub struct FlightRecorder {
+    started: Instant,
+    notify: Option<Arc<dyn CampaignObserver>>,
+    inner: Mutex<Inner>,
+}
+
+impl FlightRecorder {
+    /// An in-memory recorder (no journal files); records are available via
+    /// [`records`](Self::records) and the export helpers.
+    pub fn new() -> Self {
+        RecorderBuilder::default()
+            .build()
+            .expect("in-memory recorder cannot fail to open")
+    }
+
+    /// A builder for a recorder with journal files and notifications.
+    pub fn builder() -> RecorderBuilder {
+        RecorderBuilder::default()
+    }
+
+    /// Microseconds since the recorder started.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// A snapshot of every record observed so far.
+    pub fn records(&self) -> Vec<TelemetryRecord> {
+        self.inner
+            .lock()
+            .expect("recorder poisoned")
+            .records
+            .clone()
+    }
+
+    /// The metrics digest over everything recorded so far.
+    pub fn digest(&self) -> MetricsDigest {
+        MetricsDigest::from_records(&self.records())
+    }
+
+    /// Appends one event: assigns seq/timestamp/thread, resolves span
+    /// durations, journals to the open files.
+    fn record(&self, kind: EventKind) {
+        let micros = self.elapsed_micros();
+        let thread = std::thread::current().name().unwrap_or("?").to_string();
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let inner = &mut *inner;
+
+        // Span bookkeeping: opens remember their timestamp, closes turn it
+        // into a duration. An unmatched close (possible only if recording
+        // started mid-campaign) simply has no duration.
+        let dur_micros = match &kind {
+            EventKind::StageStarted { stage } => {
+                inner.open_spans.insert(SpanKey::Stage(*stage), micros);
+                None
+            }
+            EventKind::PhaseStarted { phase, .. } => {
+                inner.open_spans.insert(SpanKey::Phase(*phase), micros);
+                None
+            }
+            EventKind::StageFinished { stage } => inner
+                .open_spans
+                .remove(&SpanKey::Stage(*stage))
+                .map(|t0| micros.saturating_sub(t0)),
+            EventKind::PhaseFinished { phase, .. } => inner
+                .open_spans
+                .remove(&SpanKey::Phase(*phase))
+                .map(|t0| micros.saturating_sub(t0)),
+            _ => None,
+        };
+
+        let record = TelemetryRecord {
+            seq: inner.seq,
+            micros,
+            thread,
+            dur_micros,
+            kind,
+        };
+        inner.seq += 1;
+
+        if inner.io_error.is_none() {
+            let mut io = || -> std::io::Result<()> {
+                if let Some(j) = inner.jsonl.as_mut() {
+                    j.file.write_all(record.to_json_line().as_bytes())?;
+                    j.file.write_all(b"\n")?;
+                    // Flush (not fsync) per record: a live `tail -f` sees
+                    // every event; durability comes from flush()/finish().
+                    j.file.flush()?;
+                    j.unflushed += 1;
+                }
+                if let Some(b) = inner.binary.as_mut() {
+                    b.file.write_all(&seal_record(&record))?;
+                    b.file.flush()?;
+                    b.unflushed += 1;
+                }
+                Ok(())
+            };
+            if let Err(source) = io() {
+                let path = inner
+                    .jsonl
+                    .as_ref()
+                    .map(|j| j.path.clone())
+                    .or_else(|| inner.binary.as_ref().map(|b| b.path.clone()))
+                    .unwrap_or_default();
+                inner.io_error = Some(CsnakeError::Io { path, source });
+            }
+        }
+
+        inner.records.push(record);
+    }
+
+    /// Forces both journals to durable storage (`fsync`), emitting a
+    /// [`CampaignObserver::journal_flushed`] notification per journal that
+    /// had unflushed records. Returns the first latched I/O error, if any.
+    pub fn flush(&self) -> Result<()> {
+        let mut flushed: Vec<(PathBuf, usize)> = Vec::new();
+        {
+            let mut inner = self.inner.lock().expect("recorder poisoned");
+            if let Some(err) = inner.io_error.take() {
+                return Err(err);
+            }
+            let total = inner.records.len();
+            let inner = &mut *inner;
+            for journal in [inner.jsonl.as_mut(), inner.binary.as_mut()]
+                .into_iter()
+                .flatten()
+            {
+                if journal.unflushed == 0 {
+                    continue;
+                }
+                let sync = journal
+                    .file
+                    .flush()
+                    .and_then(|()| journal.file.get_ref().sync_all());
+                if let Err(source) = sync {
+                    return Err(CsnakeError::Io {
+                        path: journal.path.clone(),
+                        source,
+                    });
+                }
+                journal.unflushed = 0;
+                flushed.push((journal.path.clone(), total));
+            }
+        }
+        // Notify outside the lock: the sink may be a fanout that includes
+        // other recorders.
+        if let Some(notify) = &self.notify {
+            for (path, records) in &flushed {
+                notify.journal_flushed(path, *records);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes recording: durable-flushes the journals and surfaces any
+    /// latched I/O error. Call after the campaign's report stage; the
+    /// recorder stays usable (exports, late events) afterwards.
+    pub fn finish(&self) -> Result<()> {
+        self.flush()
+    }
+
+    /// Stage/phase spans currently open (for tests and liveness probes).
+    pub fn open_span_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("recorder poisoned")
+            .open_spans
+            .len()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+impl CampaignObserver for FlightRecorder {
+    fn stage_started(&self, stage: csnake_core::Stage) {
+        self.record(EventKind::StageStarted {
+            stage: stage_tag(stage),
+        });
+    }
+
+    fn stage_finished(&self, stage: csnake_core::Stage) {
+        self.record(EventKind::StageFinished {
+            stage: stage_tag(stage),
+        });
+    }
+
+    fn phase_started(&self, phase: u8, planned: usize) {
+        self.record(EventKind::PhaseStarted { phase, planned });
+    }
+
+    fn phase_finished(&self, phase: u8, executed: usize) {
+        self.record(EventKind::PhaseFinished { phase, executed });
+    }
+
+    fn experiment_completed(&self, outcome: &csnake_core::ExperimentOutcome) {
+        self.record(EventKind::ExperimentCompleted {
+            fault: outcome.fault.0,
+            test: outcome.test.0,
+            interference: outcome.interference.len(),
+            edges: outcome.edges.len(),
+        });
+    }
+
+    fn edge_emitted(&self, edge: &csnake_core::edge::CausalEdge) {
+        self.record(EventKind::EdgeEmitted {
+            cause: edge.cause.0,
+            effect: edge.effect.0,
+            kind: edge.kind as u8,
+            test: edge.test.0,
+            phase: edge.phase,
+        });
+    }
+
+    fn cycle_found(&self, cycle: &csnake_core::beam::Cycle) {
+        self.record(EventKind::CycleFound {
+            edges: cycle.edges.len(),
+            score: cycle.score,
+        });
+    }
+
+    fn budget_spent(&self, spent: usize, total: usize) {
+        self.record(EventKind::BudgetSpent { spent, total });
+    }
+
+    fn trace_cache(&self, hits: usize, misses: usize) {
+        self.record(EventKind::TraceCache { hits, misses });
+    }
+
+    fn clustering(&self, stats: &csnake_core::ClusterStats) {
+        self.record(EventKind::Clustering {
+            vectors: stats.vectors,
+            groups: stats.groups,
+            candidate_edges: stats.candidate_edges,
+            merges: stats.merges,
+        });
+    }
+
+    fn batch_retried(&self, batch: usize, failed_jobs: usize, attempt: u32, backoff_ms: u64) {
+        self.record(EventKind::BatchRetried {
+            batch,
+            failed_jobs,
+            attempt,
+            backoff_ms,
+        });
+    }
+
+    fn batch_failed(&self, batch: usize, fault: FaultId, test: TestId, phase: u8, reason: &str) {
+        self.record(EventKind::BatchFailed {
+            batch,
+            fault: fault.0,
+            test: test.0,
+            phase,
+            reason: reason.to_string(),
+        });
+    }
+
+    fn checkpoint_written(&self, path: &Path, phase: u8, executed_in_phase: usize) {
+        self.record(EventKind::CheckpointWritten {
+            path: path.display().to_string(),
+            phase,
+            executed_in_phase,
+        });
+    }
+
+    fn degraded(&self, missing: &[(FaultId, TestId, u8)]) {
+        self.record(EventKind::Degraded {
+            missing: missing.len(),
+        });
+    }
+
+    fn worker_connected(&self, worker: u32) {
+        self.record(EventKind::WorkerConnected { worker });
+    }
+
+    fn worker_lost(&self, worker: u32, reason: &str) {
+        self.record(EventKind::WorkerLost {
+            worker,
+            reason: reason.to_string(),
+        });
+    }
+
+    fn shard_assigned(&self, shard: u32, worker: u32, jobs: usize) {
+        self.record(EventKind::ShardAssigned {
+            shard,
+            worker,
+            jobs,
+        });
+    }
+
+    fn shard_reassigned(&self, shard: u32, worker: u32, attempt: u32) {
+        self.record(EventKind::ShardReassigned {
+            shard,
+            worker,
+            attempt,
+        });
+    }
+
+    fn event_forwarded(&self, worker: u32, event: &ForwardedEvent) {
+        self.record(match event {
+            ForwardedEvent::ExperimentCompleted { fault, test, edges } => {
+                EventKind::ForwardedExperiment {
+                    worker,
+                    fault: fault.0,
+                    test: test.0,
+                    edges: *edges,
+                }
+            }
+            ForwardedEvent::BatchRetried {
+                failed_jobs,
+                attempt,
+                backoff_ms,
+            } => EventKind::ForwardedRetry {
+                worker,
+                failed_jobs: *failed_jobs,
+                attempt: *attempt,
+                backoff_ms: *backoff_ms,
+            },
+            ForwardedEvent::BatchFailed { fault, test, phase } => EventKind::ForwardedFailure {
+                worker,
+                fault: fault.0,
+                test: test.0,
+                phase: *phase,
+            },
+            ForwardedEvent::TraceCache { hits, misses } => EventKind::ForwardedCache {
+                worker,
+                hits: *hits,
+                misses: *misses,
+            },
+        });
+    }
+
+    fn journal_flushed(&self, path: &Path, records: usize) {
+        self.record(EventKind::JournalFlushed {
+            path: path.display().to_string(),
+            records,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csnake_core::Stage;
+
+    #[test]
+    fn spans_pair_and_carry_durations() {
+        let rec = FlightRecorder::new();
+        rec.stage_started(Stage::Profiled);
+        rec.phase_started(1, 10);
+        rec.phase_finished(1, 10);
+        rec.stage_finished(Stage::Profiled);
+        let records = rec.records();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[3].seq, 3);
+        assert!(records[2].dur_micros.is_some(), "phase close has duration");
+        assert!(records[3].dur_micros.is_some(), "stage close has duration");
+        assert_eq!(rec.open_span_count(), 0);
+        // Timestamps are monotone with sequence numbers.
+        for pair in records.windows(2) {
+            assert!(pair[0].micros <= pair[1].micros);
+        }
+    }
+
+    #[test]
+    fn journals_reach_disk_and_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("csnake-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let jsonl = dir.join("journal.jsonl");
+        let bin = dir.join("journal.csnj");
+        let rec = FlightRecorder::builder()
+            .jsonl(&jsonl)
+            .binary(&bin)
+            .build()
+            .expect("open journals");
+        rec.stage_started(Stage::Allocated);
+        rec.budget_spent(2, 8);
+        rec.worker_lost(1, "lease expired");
+        rec.stage_finished(Stage::Allocated);
+        rec.finish().expect("flush");
+
+        let text = std::fs::read_to_string(&jsonl).expect("read jsonl");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            crate::json::validate_record_line(line).expect("schema-valid line");
+        }
+        let records = crate::record::read_journal(&bin).expect("decode binary journal");
+        assert_eq!(records, rec.records());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_notifies_the_collector() {
+        let progress = Arc::new(csnake_core::ProgressCollector::new());
+        let dir = std::env::temp_dir().join(format!("csnake-telemetry-n-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let rec = FlightRecorder::builder()
+            .jsonl(dir.join("j.jsonl"))
+            .notify(progress.clone())
+            .build()
+            .expect("open");
+        rec.budget_spent(1, 2);
+        rec.flush().expect("flush");
+        assert_eq!(progress.snapshot().journal_flushes, 1);
+        // Nothing new: no duplicate notification.
+        rec.flush().expect("flush");
+        assert_eq!(progress.snapshot().journal_flushes, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

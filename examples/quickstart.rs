@@ -46,14 +46,42 @@
 //! cargo run --example distributed_campaign
 //! ```
 //!
+//! # Watch a campaign
+//!
+//! Observers are fan-out-able, so the counting collector above can ride
+//! next to a `csnake_telemetry::FlightRecorder` that journals every event
+//! with timestamps and span durations (this example attaches one). From a
+//! recorded campaign you get:
+//!
+//! * a JSONL journal you can `tail -f` while the campaign runs, plus a
+//!   checksummed binary twin that rejects truncation like a snapshot;
+//! * a `chrome://tracing` / Perfetto-loadable trace
+//!   (`write_chrome_trace`) of the stage/phase spans;
+//! * a `MetricsDigest` with per-stage wall times and experiment-latency
+//!   percentiles — the numbers printed at the end of this example.
+//!
+//! Long-running fleet campaigns render live instead: `csnake-daemon run
+//! --progress` repaints per-worker shard/lease/budget state every second
+//! (`--journal BASE` writes all four artifacts above), and the `table4` /
+//! `gen_eval` bins accept the same `--progress` flag.
+//!
+//! ```sh
+//! cargo run -p csnake-daemon --bin csnake-daemon -- \
+//!     run --target toy -j 2 --fast --progress --journal /tmp/toy
+//! ```
+//!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
 use std::sync::Arc;
 
-use csnake::core::{DetectConfig, ProgressCollector, Session, TargetSystem, ThreePhase};
+use csnake::core::{
+    CampaignObserver, DetectConfig, FanoutObserver, ProgressCollector, Session, TargetSystem,
+    ThreePhase,
+};
 use csnake::targets::ToySystem;
+use csnake::telemetry::{FlightRecorder, MetricsDigest};
 
 fn main() {
     let target = ToySystem::new();
@@ -67,11 +95,22 @@ fn main() {
 
     // The bundled observer counts events; custom observers implement any
     // subset of `CampaignObserver` (stage/phase boundaries, experiments,
-    // edges, cycles, budget).
+    // edges, cycles, budget). A fanout delivers the same stream to many
+    // sinks — here a counting collector plus the flight recorder that
+    // produces the timing digest printed at the end.
     let progress = Arc::new(ProgressCollector::new());
+    let recorder = Arc::new(
+        FlightRecorder::builder()
+            .build()
+            .expect("in-memory recorder"),
+    );
+    let observer = Arc::new(FanoutObserver::new(vec![
+        progress.clone() as Arc<dyn CampaignObserver>,
+        recorder.clone() as Arc<dyn CampaignObserver>,
+    ]));
     let mut session = Session::builder(&target)
         .config(cfg.clone())
-        .observer(progress.clone())
+        .observer(observer)
         .build()
         .expect("the toy target is drivable");
 
@@ -126,6 +165,19 @@ fn main() {
         seen.phases_finished, seen.experiments, seen.edges, seen.cycles
     );
     assert_eq!(seen.edges, alloc.db.len());
+
+    // The recorder saw the same stream with timestamps: its digest is the
+    // campaign's timing story (per-stage wall, latency percentiles).
+    let digest = MetricsDigest::from_records(&recorder.records());
+    print!("Recorder timing:");
+    for (stage, micros) in &digest.stage_wall_micros {
+        print!(" {stage} {:.1}ms", *micros as f64 / 1e3);
+    }
+    println!(
+        " — experiment latency p50 {}µs p99 {}µs.",
+        digest.experiment_latency.p50_micros, digest.experiment_latency.p99_micros
+    );
+    assert_eq!(digest.experiments, seen.experiments);
     assert!(
         !report.matches.is_empty(),
         "the toy retry storm must be detected"

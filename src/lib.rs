@@ -6,3 +6,4 @@ pub use csnake_inject as inject;
 pub use csnake_scenario as scenario;
 pub use csnake_sim as sim;
 pub use csnake_targets as targets;
+pub use csnake_telemetry as telemetry;

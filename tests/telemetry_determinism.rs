@@ -1,0 +1,146 @@
+//! Flight-recorder invariants as integration tests.
+//!
+//! Two properties hold the telemetry layer together:
+//!
+//! 1. **Determinism of the observed stream**: the deterministic subset of
+//!    the event journal (stages, phases, experiments, edges, cycles,
+//!    budget — everything [`TelemetryRecord::deterministic_key`] keeps)
+//!    is a pure function of `(target, config)`. Thread counts change
+//!    timestamps and interleavings, never the sequence.
+//! 2. **Non-perturbation**: attaching a recorder changes nothing about
+//!    the campaign — reports are Debug-identical with it on or off.
+//!
+//! The on-disk journal also inherits the snapshot threat model: a torn
+//! tail and a flipped byte must be *typed* rejections, not garbage reads.
+
+use std::sync::Arc;
+
+use csnake::core::{CsnakeError, DetectConfig, Session, ThreePhase};
+use csnake_telemetry::{read_journal, FlightRecorder, TelemetryRecord};
+
+fn fast_config(parallel: bool) -> DetectConfig {
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800];
+    cfg.driver.retry.backoff_base_ms = 1;
+    cfg.driver.parallel = parallel;
+    cfg
+}
+
+/// Runs one recorded campaign; returns the report's Debug form and the
+/// recorded stream.
+fn recorded_run(target_name: &str, parallel: bool) -> (String, Vec<TelemetryRecord>) {
+    let target = csnake_gen::by_name(target_name).expect("known target");
+    let recorder = Arc::new(
+        FlightRecorder::builder()
+            .build()
+            .expect("in-memory recorder"),
+    );
+    let mut session = Session::builder(target.as_ref())
+        .config(fast_config(parallel))
+        .observer(recorder.clone())
+        .build()
+        .expect("target is drivable");
+    let report = session
+        .run_to_report(&ThreePhase::default())
+        .expect("campaign completes");
+    (format!("{report:?}"), recorder.records())
+}
+
+/// The timestamp-free deterministic projection of a recorded stream.
+fn deterministic_keys(records: &[TelemetryRecord]) -> Vec<String> {
+    records
+        .iter()
+        .filter_map(|r| r.deterministic_key())
+        .collect()
+}
+
+#[test]
+fn event_stream_is_identical_across_thread_counts() {
+    for name in ["toy", "gen:5"] {
+        let (report_seq, sequential) = recorded_run(name, false);
+        let (report_par, parallel) = recorded_run(name, true);
+        assert_eq!(
+            report_seq, report_par,
+            "{name}: thread count changed the report"
+        );
+        assert_eq!(
+            deterministic_keys(&sequential),
+            deterministic_keys(&parallel),
+            "{name}: thread count changed the deterministic event sequence"
+        );
+        assert!(
+            !deterministic_keys(&sequential).is_empty(),
+            "{name}: campaign produced no deterministic events"
+        );
+    }
+}
+
+#[test]
+fn recorder_never_perturbs_the_report() {
+    for name in ["toy", "gen:5"] {
+        let target = csnake_gen::by_name(name).expect("known target");
+        let mut bare = Session::builder(target.as_ref())
+            .config(fast_config(true))
+            .build()
+            .expect("target is drivable");
+        let baseline = format!(
+            "{:?}",
+            bare.run_to_report(&ThreePhase::default())
+                .expect("campaign completes")
+        );
+        let (recorded, records) = recorded_run(name, true);
+        assert_eq!(baseline, recorded, "{name}: recorder perturbed the report");
+        assert!(!records.is_empty(), "{name}: recorder captured nothing");
+    }
+}
+
+#[test]
+fn journal_rejects_truncation_and_garbling_typed() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("csnake-journal-threat-{}.csnj", std::process::id()));
+    let recorder = Arc::new(
+        FlightRecorder::builder()
+            .binary(path.clone())
+            .build()
+            .expect("journal opens"),
+    );
+    let target = csnake_gen::by_name("toy").expect("toy exists");
+    let mut session = Session::builder(target.as_ref())
+        .config(fast_config(true))
+        .observer(recorder.clone())
+        .build()
+        .expect("toy is drivable");
+    session
+        .run_to_report(&ThreePhase::default())
+        .expect("campaign completes");
+    recorder.finish().expect("journal flushes");
+
+    let bytes = std::fs::read(&path).expect("journal exists");
+    let n = recorder.records().len();
+    assert_eq!(
+        read_journal(&path).expect("intact journal reads").len(),
+        n,
+        "round-trip lost records"
+    );
+
+    // A torn tail (mid-frame) is a typed SnapshotTorn, and the prefix
+    // before the tear is NOT silently returned as a complete journal.
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate");
+    match read_journal(&path) {
+        Err(CsnakeError::SnapshotTorn { .. }) => {}
+        other => panic!("truncated journal must be SnapshotTorn, got {other:?}"),
+    }
+
+    // A flipped payload byte is a typed SnapshotCorrupt via the checksum.
+    let mut garbled = bytes.clone();
+    let last = garbled.len() - 1;
+    garbled[last] ^= 0x40;
+    std::fs::write(&path, &garbled).expect("garble");
+    match read_journal(&path) {
+        Err(CsnakeError::SnapshotCorrupt(_)) => {}
+        other => panic!("garbled journal must be SnapshotCorrupt, got {other:?}"),
+    }
+
+    std::fs::remove_file(&path).ok();
+}
