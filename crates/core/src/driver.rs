@@ -265,6 +265,10 @@ impl<'a> Driver<'a> {
 
         let chaos =
             ChaosInjector::new(ChaosConfig::from_env().unwrap_or_else(|| cfg.chaos.clone()));
+        // Profiling (or a resumed snapshot's earlier life) may have left
+        // workload latency summaries buffered in the target; the observer
+        // stream covers experiments only, so clear them here.
+        drop(target.drain_workload_summaries());
         Driver {
             target,
             registry,
@@ -586,6 +590,20 @@ impl ExperimentEngine for Driver<'_> {
             let (out, runs) = slot.expect("every slot resolved");
             self.runs_executed += runs;
             outcomes.push(out);
+        }
+
+        // Open-loop workload targets buffer a latency summary per run; the
+        // pool interleaves them nondeterministically, so drain once per
+        // batch and re-emit sorted by (test, seed) — a deterministic stream
+        // for telemetry. Ordinary targets return an empty vector.
+        let mut summaries = self.target.drain_workload_summaries();
+        if !summaries.is_empty() {
+            summaries.sort_by_key(|s| (s.test, s.seed));
+            if let Some(obs) = &self.observer {
+                for s in &summaries {
+                    obs.workload_summary(s);
+                }
+            }
         }
         outcomes
     }

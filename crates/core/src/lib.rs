@@ -225,6 +225,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod stitch;
 pub mod target;
+pub mod workload;
 
 use serde::{Deserialize, Serialize};
 
@@ -263,6 +264,7 @@ pub use snapshot::{
 };
 pub use stitch::{CompatStats, StitchIndex};
 pub use target::{KnownBug, TargetSystem, TestCase};
+pub use workload::{WorkloadSummary, WorkloadWindow, INFLECTION_FACTOR};
 
 /// Configuration of a full detection campaign.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]

@@ -19,6 +19,7 @@
 //! | [`budget_spent`] | the allocation strategy's spent/total counters moved |
 //! | [`trace_cache`] | the driver's injection-run cache counters, after a campaign |
 //! | [`clustering`] | the phase-one clustering ran (size counters, §5.2) |
+//! | [`workload_summary`] | an open-loop workload run's latency summary was drained from the target |
 //! | [`batch_retried`] | the supervisor quarantined failed jobs and scheduled a retry |
 //! | [`batch_failed`] | a `(fault, test)` cell exhausted its retries and became a gap |
 //! | [`checkpoint_written`] | a mid-phase checkpoint landed on disk (after the atomic rename) |
@@ -44,6 +45,7 @@
 //! [`budget_spent`]: CampaignObserver::budget_spent
 //! [`trace_cache`]: CampaignObserver::trace_cache
 //! [`clustering`]: CampaignObserver::clustering
+//! [`workload_summary`]: CampaignObserver::workload_summary
 //! [`batch_retried`]: CampaignObserver::batch_retried
 //! [`batch_failed`]: CampaignObserver::batch_failed
 //! [`checkpoint_written`]: CampaignObserver::checkpoint_written
@@ -67,6 +69,7 @@ use crate::cluster::ClusterStats;
 use crate::edge::CausalEdge;
 use crate::fca::ExperimentOutcome;
 use crate::session::Stage;
+use crate::workload::WorkloadSummary;
 
 /// A worker-side observer event relayed to the coordinator by the daemon's
 /// `Event` wire frame and re-emitted through
@@ -185,6 +188,14 @@ pub trait CampaignObserver: Send + Sync {
     /// allocation stage, after the cluster cut.
     fn clustering(&self, stats: &ClusterStats) {
         let _ = stats;
+    }
+
+    /// An open-loop workload run's latency summary was drained from the
+    /// target. Emitted by the [`Driver`](crate::Driver) after each
+    /// experiment batch, in deterministic `(test, seed)` order. Summaries
+    /// are telemetry only — they never feed FCA or campaign results.
+    fn workload_summary(&self, summary: &WorkloadSummary) {
+        let _ = summary;
     }
 
     /// The supervisor quarantined `failed_jobs` panicked/stalled jobs of
@@ -334,6 +345,9 @@ impl CampaignObserver for FanoutObserver {
     fn clustering(&self, stats: &ClusterStats) {
         fanout!(self.clustering(stats));
     }
+    fn workload_summary(&self, summary: &WorkloadSummary) {
+        fanout!(self.workload_summary(summary));
+    }
     fn batch_retried(&self, batch: usize, failed_jobs: usize, attempt: u32, backoff_ms: u64) {
         fanout!(self.batch_retried(batch, failed_jobs, attempt, backoff_ms));
     }
@@ -402,6 +416,15 @@ pub struct ProgressSnapshot {
     /// Peak sparse-graph working-set bytes actually implied by the run
     /// counts (see [`crate::ClusterStats::sparse_graph_bytes`]).
     pub clustering_peak_sparse_bytes: u64,
+    /// Open-loop workload summaries drained from the target.
+    pub workload_summaries: usize,
+    /// Requests those workload runs completed, in total.
+    pub workload_completed: u64,
+    /// Worst whole-run p99 latency any workload summary reported, µs.
+    pub workload_peak_p99_us: u64,
+    /// Workload runs whose windowed p99 showed an inflection
+    /// ([`WorkloadSummary::p99_inflection_milli`]).
+    pub workload_inflections: usize,
     /// Retry rounds the supervisor scheduled.
     pub batch_retries: usize,
     /// `(fault, test)` cells that exhausted retries and became gaps.
@@ -470,6 +493,10 @@ pub struct ProgressCollector {
     clustering_peak_vectors: AtomicUsize,
     clustering_peak_matrix_bytes: AtomicU64,
     clustering_peak_sparse_bytes: AtomicU64,
+    workload_summaries: AtomicUsize,
+    workload_completed: AtomicU64,
+    workload_peak_p99_us: AtomicU64,
+    workload_inflections: AtomicUsize,
     batch_retries: AtomicUsize,
     batch_failures: AtomicUsize,
     checkpoints_written: AtomicUsize,
@@ -548,6 +575,10 @@ impl ProgressCollector {
             clustering_peak_vectors: self.clustering_peak_vectors.load(Ordering::Relaxed),
             clustering_peak_matrix_bytes: self.clustering_peak_matrix_bytes.load(Ordering::Relaxed),
             clustering_peak_sparse_bytes: self.clustering_peak_sparse_bytes.load(Ordering::Relaxed),
+            workload_summaries: self.workload_summaries.load(Ordering::Relaxed),
+            workload_completed: self.workload_completed.load(Ordering::Relaxed),
+            workload_peak_p99_us: self.workload_peak_p99_us.load(Ordering::Relaxed),
+            workload_inflections: self.workload_inflections.load(Ordering::Relaxed),
             batch_retries: self.batch_retries.load(Ordering::Relaxed),
             batch_failures: self.batch_failures.load(Ordering::Relaxed),
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
@@ -602,6 +633,17 @@ impl CampaignObserver for ProgressCollector {
             .fetch_max(stats.matrix_bytes, Ordering::Relaxed);
         self.clustering_peak_sparse_bytes
             .fetch_max(stats.sparse_graph_bytes, Ordering::Relaxed);
+    }
+
+    fn workload_summary(&self, summary: &WorkloadSummary) {
+        self.workload_summaries.fetch_add(1, Ordering::Relaxed);
+        self.workload_completed
+            .fetch_add(summary.completed, Ordering::Relaxed);
+        self.workload_peak_p99_us
+            .fetch_max(summary.p99_us, Ordering::Relaxed);
+        if summary.p99_inflection_milli().is_some() {
+            self.workload_inflections.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn batch_retried(&self, _batch: usize, _failed_jobs: usize, _attempt: u32, _backoff_ms: u64) {
@@ -854,6 +896,47 @@ mod tests {
             assert_eq!(s.workers_lost, 1);
             assert_eq!(s.journal_flushes, 1);
         }
+    }
+
+    #[test]
+    fn progress_collector_tracks_workload_summaries() {
+        use crate::workload::{WorkloadSummary, WorkloadWindow};
+        let window = |start_ms, p99_us| WorkloadWindow {
+            start_ms,
+            completed: 10,
+            p50_us: p99_us / 2,
+            p99_us,
+        };
+        let c = ProgressCollector::new();
+        c.workload_summary(&WorkloadSummary {
+            test: TestId(0),
+            seed: 1,
+            offered: 50,
+            completed: 40,
+            dropped: 10,
+            p50_us: 100,
+            p90_us: 200,
+            p99_us: 9_000,
+            max_us: 12_000,
+            windows: vec![window(0, 150), window(100, 9_000)],
+        });
+        c.workload_summary(&WorkloadSummary {
+            test: TestId(1),
+            seed: 2,
+            offered: 20,
+            completed: 20,
+            dropped: 0,
+            p50_us: 90,
+            p90_us: 120,
+            p99_us: 140,
+            max_us: 150,
+            windows: vec![window(0, 130), window(100, 140)],
+        });
+        let s = c.snapshot();
+        assert_eq!(s.workload_summaries, 2);
+        assert_eq!(s.workload_completed, 60);
+        assert_eq!(s.workload_peak_p99_us, 9_000);
+        assert_eq!(s.workload_inflections, 1);
     }
 
     #[test]

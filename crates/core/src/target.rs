@@ -63,6 +63,19 @@ pub trait TargetSystem: Send + Sync {
     fn expected_contention_labels(&self) -> Vec<&'static str> {
         Vec::new()
     }
+
+    /// Takes (and clears) the latency summaries buffered by runs since the
+    /// last drain. Only open-loop workload targets (`csnake-workload`)
+    /// produce any; the default is empty, so ordinary targets pay nothing.
+    ///
+    /// The [`Driver`](crate::Driver) drains after each experiment batch and
+    /// re-emits the summaries through
+    /// [`CampaignObserver::workload_summary`](crate::CampaignObserver::workload_summary)
+    /// sorted by `(test, seed)`, so the stream is deterministic regardless
+    /// of worker-pool interleaving.
+    fn drain_workload_summaries(&self) -> Vec<crate::workload::WorkloadSummary> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -235,6 +235,10 @@ impl DistributedEngine {
             coverage.insert(tc.id, driver.coverage_size(tc.id));
         }
         let registry_fp = registry_fingerprint(&target.registry());
+        // Ship the coordinator's profile traces with the handshake: the
+        // workers would re-derive bit-identical traces from the config's
+        // seeds, so sending the artifact only removes their slow start.
+        let profiles = driver.profiles().clone();
 
         let (note_tx, notes) = channel();
         let mut workers = Vec::with_capacity(endpoints.len());
@@ -247,6 +251,7 @@ impl DistributedEngine {
                 cfg: cfg.clone(),
                 worker: i as u32,
                 lease_ms: dcfg.lease_ms,
+                profiles: profiles.clone(),
             };
             let alive = tx.send(&hello).is_ok();
             let sender = note_tx.clone();

@@ -16,7 +16,9 @@
 //! * [`transport`] — endpoint plumbing over byte streams (TCP, child
 //!   stdio) and in-process channels.
 //! * [`worker`] — the stateless shard executor: resolve the target by
-//!   name, re-profile deterministically, serve `Assign`→`Result`.
+//!   name, rebuild the driver from the Hello's shipped profile artifact
+//!   (re-profiling deterministically only when the artifact is empty),
+//!   serve `Assign`→`Result`.
 //! * [`coordinator`] — [`DistributedEngine`], an
 //!   [`ExperimentEngine`](csnake_core::ExperimentEngine) that plans
 //!   locally and executes remotely, with per-shard leases, reassignment,

@@ -30,11 +30,12 @@
 //! `event_forwarded`) for fleet telemetry, but never merges them into
 //! campaign results, so losing or reordering Event frames is harmless.
 
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 
 use csnake_core::error::{CsnakeError, Result};
 use csnake_core::{fnv1a_bytes, DetectConfig, ExperimentOutcome, Persist, Reader, Writer};
-use csnake_inject::{FaultId, TestId};
+use csnake_inject::{FaultId, RunTrace, TestId};
 
 /// Frame magic: `CSNW` ("CSnake Wire"), deliberately one letter away from
 /// the snapshot magic so hexdumps distinguish the two at a glance.
@@ -45,8 +46,10 @@ pub const WIRE_MAGIC: [u8; 4] = *b"CSNW";
 /// build, so a mismatch is a deployment error and fails the handshake.
 /// Version 2 added the [`WireMsg::Event`] telemetry frame and the
 /// [`WorkerEvent::ExperimentCompleted`] / [`WorkerEvent::TraceCache`]
-/// event kinds.
-pub const WIRE_VERSION: u32 = 2;
+/// event kinds. Version 3 ships the coordinator's profile traces inside
+/// [`WireMsg::Hello`] so workers rebuild their driver from the artifact
+/// instead of re-profiling the target from scratch.
+pub const WIRE_VERSION: u32 = 3;
 
 /// Fixed header length: magic + version + payload length + checksum.
 pub const WIRE_HEADER_LEN: usize = 4 + 4 + 8 + 8;
@@ -109,13 +112,20 @@ pub enum WorkerEvent {
 }
 
 /// Every message of the coordinator/worker protocol.
+// `Hello` dwarfs the other variants (it inlines the whole campaign
+// config plus the profile artifact), but exactly one is built per
+// connection and consumed immediately — boxing would only add
+// indirection to the codec.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum WireMsg {
     /// Coordinator → worker: campaign preamble. The worker resolves
-    /// `target` by name, profiles it locally (deterministic in the
-    /// config's seeds), and must arrive at `registry_fp` — a mismatched
-    /// fingerprint means coordinator and worker see different systems and
-    /// the handshake fails.
+    /// `target` by name, rebuilds its driver from the shipped `profiles`
+    /// artifact (or profiles locally when the artifact is empty —
+    /// profiling is deterministic in the config's seeds either way), and
+    /// must arrive at `registry_fp` — a mismatched fingerprint means
+    /// coordinator and worker see different systems and the handshake
+    /// fails.
     Hello {
         /// Target name as accepted by the generator-aware resolver
         /// (builtins, scenario corpus, `gen:<seed>`).
@@ -131,6 +141,12 @@ pub enum WireMsg {
         /// Lease duration: the worker must be heard from (heartbeat or
         /// result) at least this often or its shards are reassigned.
         lease_ms: u64,
+        /// The coordinator's profile traces, keyed by test. Non-empty on
+        /// every coordinator Hello: shipping the artifact spares each
+        /// worker the full profiling pass (the handshake's one slow step)
+        /// and is result-identical because workers would have re-derived
+        /// bit-equal traces from the same seeds.
+        profiles: BTreeMap<TestId, Vec<RunTrace>>,
     },
     /// Worker → coordinator: handshake completion, fingerprint echoed.
     HelloAck {
@@ -264,6 +280,7 @@ impl Persist for WireMsg {
                 cfg,
                 worker,
                 lease_ms,
+                profiles,
             } => {
                 0u8.put(w);
                 target.put(w);
@@ -271,6 +288,7 @@ impl Persist for WireMsg {
                 cfg.put(w);
                 worker.put(w);
                 lease_ms.put(w);
+                profiles.put(w);
             }
             WireMsg::HelloAck {
                 worker,
@@ -321,6 +339,7 @@ impl Persist for WireMsg {
                 cfg: DetectConfig::load(r)?,
                 worker: u32::load(r)?,
                 lease_ms: u64::load(r)?,
+                profiles: BTreeMap::load(r)?,
             },
             1 => WireMsg::HelloAck {
                 worker: u32::load(r)?,
@@ -501,6 +520,20 @@ mod tests {
         }
     }
 
+    /// A small but non-trivial profile artifact for handshake frames.
+    fn sample_profiles() -> BTreeMap<TestId, Vec<RunTrace>> {
+        let mut trace = RunTrace::default();
+        trace.coverage.insert(FaultId(1));
+        trace.coverage.insert(FaultId(4));
+        trace.loop_counts.insert(FaultId(1), 17);
+        trace.hook_count = 99;
+        trace.events = 1_234;
+        let mut profiles = BTreeMap::new();
+        profiles.insert(TestId(0), vec![trace.clone(), trace]);
+        profiles.insert(TestId(2), vec![RunTrace::default()]);
+        profiles
+    }
+
     /// One non-trivial message per protocol variant.
     fn sample_messages() -> Vec<WireMsg> {
         let mut cfg = DetectConfig::default();
@@ -513,6 +546,7 @@ mod tests {
                 cfg,
                 worker: 3,
                 lease_ms: 1_500,
+                profiles: sample_profiles(),
             },
             WireMsg::HelloAck {
                 worker: 3,
@@ -786,6 +820,19 @@ mod tests {
                     cfg,
                     worker,
                     lease_ms,
+                    profiles: {
+                        let mut trace = RunTrace {
+                            hook_count: seq,
+                            ..Default::default()
+                        };
+                        for (f, t, _) in &gaps {
+                            trace.coverage.insert(*f);
+                            trace.loop_counts.insert(*f, t.0 as u64);
+                        }
+                        let mut profiles = BTreeMap::new();
+                        profiles.insert(TestId(worker), vec![trace]);
+                        profiles
+                    },
                 },
                 WireMsg::HelloAck { worker, registry_fp: seq },
                 WireMsg::Assign { shard, jobs },

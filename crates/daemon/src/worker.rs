@@ -131,21 +131,23 @@ fn sliced_sleep(ms: u64, stop: &AtomicBool) {
 /// (`opts.fail_after`) fires.
 pub fn run_worker(endpoint: Endpoint, opts: WorkerOptions) -> Result<()> {
     let Endpoint { tx, mut rx } = endpoint;
-    let (target_name, want_fp, cfg, worker_id, lease_ms) = match rx.recv().map_err(wire_io)? {
-        Some(WireMsg::Hello {
-            target,
-            registry_fp,
-            cfg,
-            worker,
-            lease_ms,
-        }) => (target, registry_fp, cfg, worker, lease_ms),
-        Some(other) => {
-            return Err(CsnakeError::SnapshotCorrupt(format!(
-                "worker expected Hello, got {other:?}"
-            )))
-        }
-        None => return Ok(()), // coordinator gone before the handshake
-    };
+    let (target_name, want_fp, cfg, worker_id, lease_ms, profiles) =
+        match rx.recv().map_err(wire_io)? {
+            Some(WireMsg::Hello {
+                target,
+                registry_fp,
+                cfg,
+                worker,
+                lease_ms,
+                profiles,
+            }) => (target, registry_fp, cfg, worker, lease_ms, profiles),
+            Some(other) => {
+                return Err(CsnakeError::SnapshotCorrupt(format!(
+                    "worker expected Hello, got {other:?}"
+                )))
+            }
+            None => return Ok(()), // coordinator gone before the handshake
+        };
 
     let system = crate::targets::resolve(&target_name)?;
     let fp = registry_fingerprint(&system.registry());
@@ -156,10 +158,16 @@ pub fn run_worker(endpoint: Endpoint, opts: WorkerOptions) -> Result<()> {
         });
     }
 
-    // Re-profiling is this worker's one up-front cost; the traces (and
-    // everything derived from them) are bit-identical to the
-    // coordinator's because run seeds are pure functions of (test, rep).
-    let mut driver = Driver::new(system.as_ref(), cfg.driver.clone());
+    // The Hello ships the coordinator's profile traces, so the worker
+    // rebuilds its driver from the artifact instead of paying the full
+    // profiling pass. Re-profiling locally (empty artifact) produces
+    // bit-identical traces because run seeds are pure functions of
+    // (test, rep) — the artifact changes startup cost, never results.
+    let mut driver = if profiles.is_empty() {
+        Driver::new(system.as_ref(), cfg.driver.clone())
+    } else {
+        Driver::from_profiles(system.as_ref(), cfg.driver.clone(), profiles, 0)
+    };
     let events = Arc::new(EventBuffer::default());
     driver.set_observer(events.clone());
     // Profile runs stay out of shard deltas: the coordinator accounts its

@@ -398,6 +398,46 @@ pub enum SetupStmt {
         /// Absolute delay from time zero.
         after: Expr,
     },
+    /// `arrive Ev <process> count n` — schedule `n` open-loop arrivals
+    /// sampled from a `csnake-workload` arrival process (seed-derived, so
+    /// the stream is a pure function of the run seed).
+    Arrive {
+        /// Event name.
+        event: Ident,
+        /// The arrival process shape and its parameters.
+        process: ArrivalSpec,
+        /// Number of arrivals to schedule.
+        count: Expr,
+    },
+}
+
+/// The arrival-process clause of an `arrive` setup statement. Rates are
+/// integer requests-per-second; windows and periods are durations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalSpec {
+    /// `poisson rate r` — exponential inter-arrival gaps, mean rate `r`/s.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate: Expr,
+    },
+    /// `bursty rate r on d off d` — Poisson at `r`/s inside each on-window.
+    Bursty {
+        /// Arrival rate while the source is on.
+        rate: Expr,
+        /// Active window length.
+        on: Expr,
+        /// Silent window length.
+        off: Expr,
+    },
+    /// `diurnal low r high r period d` — raised-cosine rate curve.
+    Diurnal {
+        /// Trough rate, requests per second.
+        low: Expr,
+        /// Peak rate, requests per second.
+        high: Expr,
+        /// Full low→high→low cycle length.
+        period: Expr,
+    },
 }
 
 /// One integration-test workload with its cluster configuration.

@@ -153,6 +153,11 @@ pub(crate) enum CSetup {
         event: usize,
         after: VirtualTime,
     },
+    Arrive {
+        event: usize,
+        arrival: csnake_workload::Arrival,
+        count: u64,
+    },
 }
 
 /// Lowered workload: test metadata, variable table, horizon, schedule.
@@ -880,6 +885,53 @@ impl<'a> Compiler<'a> {
                             _ => unreachable!(),
                         };
                         CSetup::Sched { event: ev, after }
+                    }
+                    SetupStmt::Arrive {
+                        event,
+                        process,
+                        count,
+                    } => {
+                        let ev = self.event(event)?;
+                        let rate = |e: &Expr| -> Result<f64, ScenarioError> {
+                            match self.workload_value(e, Ty::Int, &vars)? {
+                                Value::Int(n) => Ok(n.max(0) as f64),
+                                _ => unreachable!(),
+                            }
+                        };
+                        let dur = |e: &Expr| -> Result<VirtualTime, ScenarioError> {
+                            match self.workload_value(e, Ty::Dur, &vars)? {
+                                Value::Dur(d) => Ok(d),
+                                _ => unreachable!(),
+                            }
+                        };
+                        let arrival = match process {
+                            ArrivalSpec::Poisson { rate: r } => csnake_workload::Arrival::Poisson {
+                                rate_per_sec: rate(r)?,
+                            },
+                            ArrivalSpec::Bursty { rate: r, on, off } => {
+                                csnake_workload::Arrival::Bursty {
+                                    rate_per_sec: rate(r)?,
+                                    on: dur(on)?,
+                                    off: dur(off)?,
+                                }
+                            }
+                            ArrivalSpec::Diurnal { low, high, period } => {
+                                csnake_workload::Arrival::Diurnal {
+                                    low_per_sec: rate(low)?,
+                                    high_per_sec: rate(high)?,
+                                    period: dur(period)?,
+                                }
+                            }
+                        };
+                        let count = match self.workload_value(count, Ty::Int, &vars)? {
+                            Value::Int(n) => n.max(0) as u64,
+                            _ => unreachable!(),
+                        };
+                        CSetup::Arrive {
+                            event: ev,
+                            arrival,
+                            count,
+                        }
                     }
                 });
             }

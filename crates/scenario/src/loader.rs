@@ -146,6 +146,12 @@ pub fn by_name_in(name: &str, dir: &Path) -> Result<Box<dyn TargetSystem>, Csnak
     if let Ok(t) = csnake_targets::by_name(name) {
         return Ok(t);
     }
+    // Workload pseudo-targets carry their own prefix, so a `workload:`
+    // name is always theirs — let that resolver produce the hit or the
+    // (more specific) unknown-pseudo-target error.
+    if name.starts_with(csnake_workload::PSEUDO_TARGET_PREFIX) {
+        return csnake_workload::by_name(name);
+    }
     // No corpus directory at all just narrows the known-name list, but a
     // directory that fails to load (one malformed spec, duplicate names)
     // must surface: swallowing it would misreport every valid corpus
@@ -170,6 +176,11 @@ pub fn by_name_in(name: &str, dir: &Path) -> Result<Box<dyn TargetSystem>, Csnak
         .map(str::to_string)
         .collect::<Vec<_>>();
     known.extend(corpus.keys().filter(|n| n.as_str() != "toy").cloned());
+    known.extend(
+        csnake_workload::pseudo_target_names()
+            .into_iter()
+            .map(str::to_string),
+    );
     // Deterministic sorted order: the builtin list is declaration-ordered
     // and the corpus is directory-derived, so without the sort the message
     // depends on registration/readdir order and snapshot tests on it flap.
@@ -272,6 +283,30 @@ mod tests {
         };
         assert!(msg.contains("no-such-system"), "{msg}");
         assert!(msg.contains("mini-hdfs2"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workload_pseudo_targets_resolve_and_are_listed() {
+        let dir = tmp_dir("byname-workload");
+        let wl = by_name_in("workload:poisson", &dir).unwrap();
+        assert_eq!(wl.name(), "workload:poisson");
+        // Unknown plain names list the workload pseudo-targets next to the
+        // builtins.
+        let msg = match by_name_in("no-such-system", &dir) {
+            Err(e) => e.to_string(),
+            Ok(t) => panic!("unexpectedly resolved {:?}", t.name()),
+        };
+        for name in csnake_workload::pseudo_target_names() {
+            assert!(msg.contains(name), "{msg}");
+        }
+        // An unknown `workload:` name gets the workload resolver's own,
+        // more specific error.
+        let msg = match by_name_in("workload:nope", &dir) {
+            Err(e) => e.to_string(),
+            Ok(t) => panic!("unexpectedly resolved {:?}", t.name()),
+        };
+        assert!(msg.contains("unknown workload pseudo-target"), "{msg}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -430,9 +430,44 @@ impl Parser {
                         self.expect_kw("after")?;
                         let after = self.expr()?;
                         setup.push(SetupStmt::Sched { event, after });
+                    } else if self.eat_kw("arrive") {
+                        let event = self.expect_ident("an event name")?;
+                        let process = if self.eat_kw("poisson") {
+                            self.expect_kw("rate")?;
+                            ArrivalSpec::Poisson { rate: self.expr()? }
+                        } else if self.eat_kw("bursty") {
+                            self.expect_kw("rate")?;
+                            let rate = self.expr()?;
+                            self.expect_kw("on")?;
+                            let on = self.expr()?;
+                            self.expect_kw("off")?;
+                            let off = self.expr()?;
+                            ArrivalSpec::Bursty { rate, on, off }
+                        } else if self.eat_kw("diurnal") {
+                            self.expect_kw("low")?;
+                            let low = self.expr()?;
+                            self.expect_kw("high")?;
+                            let high = self.expr()?;
+                            self.expect_kw("period")?;
+                            let period = self.expr()?;
+                            ArrivalSpec::Diurnal { low, high, period }
+                        } else {
+                            return Err(self.err_here(format!(
+                                "expected poisson/bursty/diurnal after `arrive {event}`, \
+                                 found {}",
+                                self.peek().tok
+                            )));
+                        };
+                        self.expect_kw("count")?;
+                        let count = self.expr()?;
+                        setup.push(SetupStmt::Arrive {
+                            event,
+                            process,
+                            count,
+                        });
                     } else {
                         return Err(self.err_here(format!(
-                            "expected let/horizon/spawn/sched in workload, found {}",
+                            "expected let/horizon/spawn/sched/arrive in workload, found {}",
                             self.peek().tok
                         )));
                     }

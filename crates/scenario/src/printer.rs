@@ -68,6 +68,37 @@ pub fn print(spec: &ScenarioSpec) -> String {
                 SetupStmt::Sched { event, after } => {
                     let _ = writeln!(w, "  sched {} after {}", event, expr(after));
                 }
+                SetupStmt::Arrive {
+                    event,
+                    process,
+                    count,
+                } => {
+                    let _ = write!(w, "  arrive {event} ");
+                    match process {
+                        ArrivalSpec::Poisson { rate } => {
+                            let _ = write!(w, "poisson rate {}", expr(rate));
+                        }
+                        ArrivalSpec::Bursty { rate, on, off } => {
+                            let _ = write!(
+                                w,
+                                "bursty rate {} on {} off {}",
+                                expr(rate),
+                                expr(on),
+                                expr(off)
+                            );
+                        }
+                        ArrivalSpec::Diurnal { low, high, period } => {
+                            let _ = write!(
+                                w,
+                                "diurnal low {} high {} period {}",
+                                expr(low),
+                                expr(high),
+                                expr(period)
+                            );
+                        }
+                    }
+                    let _ = writeln!(w, " count {}", expr(count));
+                }
             }
         }
         let _ = writeln!(w, "}}");

@@ -224,19 +224,33 @@ fn workload(g: &mut Gen, i: u64) -> Workload {
         })
         .collect();
     let setup = (0..g.range(3))
-        .map(|_| {
-            if g.chance(50) {
-                SetupStmt::Spawn {
-                    event: ident("H", g.range(3)),
-                    count: expr(g, 1),
-                    every: expr(g, 1),
-                }
-            } else {
-                SetupStmt::Sched {
-                    event: ident("H", g.range(3)),
-                    after: expr(g, 1),
-                }
-            }
+        .map(|_| match g.range(3) {
+            0 => SetupStmt::Spawn {
+                event: ident("H", g.range(3)),
+                count: expr(g, 1),
+                every: expr(g, 1),
+            },
+            1 => SetupStmt::Sched {
+                event: ident("H", g.range(3)),
+                after: expr(g, 1),
+            },
+            _ => SetupStmt::Arrive {
+                event: ident("H", g.range(3)),
+                process: match g.range(3) {
+                    0 => ArrivalSpec::Poisson { rate: expr(g, 1) },
+                    1 => ArrivalSpec::Bursty {
+                        rate: expr(g, 1),
+                        on: expr(g, 1),
+                        off: expr(g, 1),
+                    },
+                    _ => ArrivalSpec::Diurnal {
+                        low: expr(g, 1),
+                        high: expr(g, 1),
+                        period: expr(g, 1),
+                    },
+                },
+                count: expr(g, 1),
+            },
         })
         .collect();
     Workload {

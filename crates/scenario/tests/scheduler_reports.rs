@@ -1,0 +1,63 @@
+//! Campaign-level scheduler equivalence: the event wheel must be a
+//! drop-in replacement for the retained heap scheduler, end to end.
+//!
+//! The sim crate proves wheel ≡ heap on random timer programs
+//! (`scheduler_equivalence.rs`); this test proves it where it matters —
+//! every scenario in the bundled corpus runs a full detection campaign
+//! under each scheduler and the `DetectionReport`s must be
+//! Debug-identical.
+//!
+//! One `#[test]` on purpose: the scheduler default is a process-global
+//! switch, so the two campaigns per target must run sequentially in a
+//! binary nothing else shares.
+
+use csnake_core::{DetectConfig, Session, ThreePhase};
+use csnake_scenario::{by_name, corpus_specs};
+use csnake_sim::scheduler::{self, SchedulerKind};
+
+/// Small-but-real campaign config (the chaos-smoke settings).
+fn fast_config() -> DetectConfig {
+    let mut cfg = DetectConfig::default();
+    cfg.driver.reps = 3;
+    cfg.driver.delay_values_ms = vec![800];
+    cfg.driver.retry.backoff_base_ms = 1;
+    cfg
+}
+
+fn campaign_report(name: &str, kind: SchedulerKind) -> String {
+    scheduler::set_default(kind);
+    let target = by_name(name).expect("corpus target resolves");
+    let mut session = Session::builder(target.as_ref())
+        .config(fast_config())
+        .build()
+        .expect("session builds");
+    let report = format!(
+        "{:?}",
+        session
+            .run_to_report(&ThreePhase::default())
+            .unwrap_or_else(|e| panic!("{name} campaign under {kind:?}: {e}"))
+    );
+    scheduler::set_default(SchedulerKind::Wheel);
+    report
+}
+
+#[test]
+fn corpus_campaign_reports_identical_under_wheel_and_heap() {
+    let names: Vec<String> = corpus_specs()
+        .expect("corpus parses")
+        .keys()
+        .cloned()
+        .collect();
+    assert!(
+        names.len() >= 4,
+        "corpus unexpectedly small: {names:?} — equivalence sweep would be vacuous"
+    );
+    for name in &names {
+        let wheel = campaign_report(name, SchedulerKind::Wheel);
+        let heap = campaign_report(name, SchedulerKind::Heap);
+        assert_eq!(
+            wheel, heap,
+            "{name}: DetectionReport diverges between wheel and heap schedulers"
+        );
+    }
+}

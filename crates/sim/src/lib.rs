@@ -50,12 +50,15 @@ pub mod cluster;
 pub mod net;
 pub mod queue;
 pub mod rng;
+pub mod scheduler;
 pub mod sim;
 pub mod time;
+mod wheel;
 
 pub use cluster::{Membership, NodeId};
 pub use net::{LinkSpec, Network};
 pub use queue::BoundedQueue;
 pub use rng::SimRng;
-pub use sim::{Clock, Sim, World};
+pub use scheduler::SchedulerKind;
+pub use sim::{Clock, Sim, TimerId, World};
 pub use time::VirtualTime;

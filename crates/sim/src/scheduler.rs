@@ -1,0 +1,79 @@
+//! Scheduler selection: the event-wheel fast path vs. the retained heap.
+//!
+//! The executor has two event-queue backends with **bit-identical**
+//! semantics — pop order, lateness, horizon and event-limit behaviour are
+//! exactly equal, proven by the equivalence proptests in this crate's
+//! `scheduler_equivalence.rs` and the corpus campaign-report comparison
+//! in the scenario crate's `scheduler_reports.rs`:
+//!
+//! * [`SchedulerKind::Wheel`] — the hierarchical timing wheel
+//!   (`wheel.rs`), `O(1)` pushes and bitmap-scan pops; the default.
+//! * [`SchedulerKind::Heap`] — the original binary heap, retained as the
+//!   executable reference, the same discipline as the indexed-vs-reference
+//!   FCA and sparse-vs-dense clustering pairs.
+//!
+//! [`Sim::with_scheduler`](crate::Sim::with_scheduler) picks a backend
+//! explicitly; [`Sim::new`](crate::Sim::new) reads the process-wide
+//! default set here. The default is a *process* global (an atomic), not a
+//! thread-local like `csnake_inject::tracing_switch`: target runs fan out
+//! over worker pools, and the scheduler choice must reach those threads.
+//! Because both backends produce identical results, flipping the default
+//! mid-process can never change an outcome — only its speed — so the
+//! global is safe to toggle from benches and equivalence tests.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which event-queue backend a [`Sim`](crate::Sim) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Hierarchical timing wheel (default fast path).
+    Wheel,
+    /// Binary heap (retained reference).
+    Heap,
+}
+
+impl SchedulerKind {
+    /// Stable lowercase name, for bench artifacts and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Wheel => "wheel",
+            SchedulerKind::Heap => "heap",
+        }
+    }
+}
+
+static DEFAULT_KIND: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default backend used by `Sim::new`.
+pub fn set_default(kind: SchedulerKind) {
+    let tag = match kind {
+        SchedulerKind::Wheel => 0,
+        SchedulerKind::Heap => 1,
+    };
+    DEFAULT_KIND.store(tag, Ordering::Relaxed);
+}
+
+/// The current process-wide default backend (initially
+/// [`SchedulerKind::Wheel`]).
+pub fn default_kind() -> SchedulerKind {
+    match DEFAULT_KIND.load(Ordering::Relaxed) {
+        0 => SchedulerKind::Wheel,
+        _ => SchedulerKind::Heap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_round_trips() {
+        assert_eq!(default_kind(), SchedulerKind::Wheel);
+        set_default(SchedulerKind::Heap);
+        assert_eq!(default_kind(), SchedulerKind::Heap);
+        set_default(SchedulerKind::Wheel);
+        assert_eq!(default_kind(), SchedulerKind::Wheel);
+        assert_eq!(SchedulerKind::Wheel.name(), "wheel");
+        assert_eq!(SchedulerKind::Heap.name(), "heap");
+    }
+}

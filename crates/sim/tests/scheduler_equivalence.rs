@@ -1,0 +1,180 @@
+//! Event-wheel ≡ heap-scheduler equivalence.
+//!
+//! The wheel is a hot-path rewrite of the executor's queue; the repo
+//! discipline for such rewrites is an executable reference plus proof of
+//! bit-identical behaviour. These tests drive both backends through
+//! identical random timer/cancel/reschedule programs — scheduling from
+//! outside and from inside handlers, late `schedule_at`, clock spins,
+//! partial horizons — and assert the complete fire log (event, time,
+//! execution index), final clock, pending count and executed count are
+//! equal. Report-level equivalence on the scenario corpus lives in the
+//! facade's `tests/scheduler_reports.rs`.
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use csnake_sim::{Clock, SchedulerKind, Sim, VirtualTime, World};
+
+/// One step of a random scheduler program. `a`/`b` are op-dependent
+/// operands (times in µs, id indexes).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Schedule a fresh event `a` µs after now.
+    Schedule(u64),
+    /// Schedule a fresh event at absolute time `a` µs (possibly the past).
+    ScheduleAt(u64),
+    /// Cancel the `a % issued`-th issued timer.
+    Cancel(u64),
+    /// Reschedule the `a % issued`-th issued timer `b` µs out.
+    Reschedule(u64, u64),
+    /// Advance the clock by `a` µs.
+    Advance(u64),
+    /// Run until absolute time `a` µs.
+    Run(u64),
+}
+
+fn decode(raw: &[(u8, u64, u64)]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(kind, a, b)| match kind % 6 {
+            0 => Op::Schedule(a % 200_000),
+            1 => Op::ScheduleAt(b % 2_000_000),
+            2 => Op::Cancel(a),
+            3 => Op::Reschedule(a, b % 150_000),
+            4 => Op::Advance(a % 50_000),
+            _ => Op::Run(b % 3_000_000),
+        })
+        .collect()
+}
+
+/// World that logs every firing and keeps scheduling from inside
+/// handlers: every third event spawns a follow-up, every fifth spins the
+/// clock, every seventh cancels the most recent outside-issued timer.
+struct Script {
+    log: Vec<(u32, u64, u64)>,
+    next_id: u32,
+}
+
+impl World for Script {
+    type Event = u32;
+    fn handle(&mut self, sim: &mut Sim<u32>, ev: u32) {
+        self.log
+            .push((ev, sim.now().as_micros(), sim.events_executed()));
+        if ev.is_multiple_of(5) {
+            sim.advance(VirtualTime::from_micros((ev as u64 % 7) * 1_000));
+        }
+        if ev.is_multiple_of(3) && self.next_id < 10_000 {
+            let id = self.next_id;
+            self.next_id += 1;
+            sim.schedule(VirtualTime::from_micros((ev as u64 % 11) * 500), id);
+        }
+    }
+}
+
+/// Runs one program on one backend; returns the observable outcome.
+fn execute(kind: SchedulerKind, ops: &[Op]) -> (Vec<(u32, u64, u64)>, u64, usize, u64) {
+    let mut sim = Sim::with_scheduler(7, kind);
+    sim.event_limit = 50_000;
+    let mut world = Script {
+        log: Vec::new(),
+        // Outside-issued ids start above the in-handler range so the two
+        // streams never collide.
+        next_id: 0,
+    };
+    let mut outside_id = 100_000u32;
+    let mut issued = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Schedule(us) => {
+                issued.push(sim.schedule(VirtualTime::from_micros(us), outside_id));
+                outside_id += 1;
+            }
+            Op::ScheduleAt(us) => {
+                issued.push(sim.schedule_at(VirtualTime::from_micros(us), outside_id));
+                outside_id += 1;
+            }
+            Op::Cancel(k) => {
+                if !issued.is_empty() {
+                    let id = issued[(k % issued.len() as u64) as usize];
+                    sim.cancel(id);
+                }
+            }
+            Op::Reschedule(k, us) => {
+                if !issued.is_empty() {
+                    let id = issued[(k % issued.len() as u64) as usize];
+                    issued.push(sim.reschedule(id, VirtualTime::from_micros(us), outside_id));
+                    outside_id += 1;
+                }
+            }
+            Op::Advance(us) => sim.advance(VirtualTime::from_micros(us)),
+            Op::Run(us) => {
+                sim.run(&mut world, VirtualTime::from_micros(us));
+            }
+        }
+    }
+    sim.run(&mut world, VirtualTime::MAX);
+    (
+        world.log,
+        sim.now().as_micros(),
+        sim.pending(),
+        sim.events_executed(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn random_timer_programs_fire_identically(
+        raw in collection::vec((0u8..12, 0u64..1_000_000, 0u64..4_000_000), 0..60),
+    ) {
+        let ops = decode(&raw);
+        let heap = execute(SchedulerKind::Heap, &ops);
+        let wheel = execute(SchedulerKind::Wheel, &ops);
+        prop_assert_eq!(heap, wheel);
+    }
+}
+
+#[test]
+fn dense_same_tick_storm_matches() {
+    // Thousands of ties at identical times: the pure seq-order stress.
+    let ops: Vec<Op> = (0..2_000)
+        .map(|i| Op::ScheduleAt((i % 7) * 64))
+        .chain([Op::Run(10_000_000)])
+        .collect();
+    assert_eq!(
+        execute(SchedulerKind::Heap, &ops),
+        execute(SchedulerKind::Wheel, &ops)
+    );
+}
+
+#[test]
+fn far_horizon_spread_matches() {
+    // Events spread across every wheel level, including multi-hour gaps.
+    let ops: Vec<Op> = (0..40u64)
+        .map(|i| Op::ScheduleAt(1u64 << (i % 45)))
+        .chain([Op::Run(u64::MAX / 2)])
+        .collect();
+    assert_eq!(
+        execute(SchedulerKind::Heap, &ops),
+        execute(SchedulerKind::Wheel, &ops)
+    );
+}
+
+#[test]
+fn event_limit_trips_identically() {
+    struct Storm;
+    impl World for Storm {
+        type Event = ();
+        fn handle(&mut self, sim: &mut Sim<()>, _ev: ()) {
+            sim.schedule(VirtualTime::from_micros(1), ());
+            sim.schedule(VirtualTime::from_micros(1), ());
+        }
+    }
+    let run = |kind| {
+        let mut sim: Sim<()> = Sim::with_scheduler(3, kind);
+        sim.event_limit = 777;
+        sim.schedule(VirtualTime::ZERO, ());
+        let executed = sim.run(&mut Storm, VirtualTime::MAX);
+        (executed, sim.pending(), sim.now())
+    };
+    assert_eq!(run(SchedulerKind::Heap), run(SchedulerKind::Wheel));
+}

@@ -109,6 +109,18 @@ pub struct MetricsDigest {
     pub events_forwarded: usize,
     /// Whether the campaign degraded.
     pub degraded: bool,
+    /// Workload summaries observed (one per open-loop experiment).
+    pub workload_summaries: usize,
+    /// Requests completed across all workload summaries.
+    pub workload_completed: u64,
+    /// Requests shed or timed out across all workload summaries.
+    pub workload_dropped: u64,
+    /// Worst whole-run p99 latency over the workload summaries, µs.
+    pub workload_peak_p99_us: u64,
+    /// Summaries whose windowed p99 inflected (cascade onset detected).
+    pub workload_inflections: usize,
+    /// Earliest inflection instant across the summaries, ms into a run.
+    pub workload_first_inflection_ms: Option<u64>,
 }
 
 impl MetricsDigest {
@@ -172,6 +184,25 @@ impl MetricsDigest {
                 | EventKind::ForwardedRetry { .. }
                 | EventKind::ForwardedFailure { .. }
                 | EventKind::ForwardedCache { .. } => d.events_forwarded += 1,
+                EventKind::WorkloadSummary {
+                    completed,
+                    dropped,
+                    p99_us,
+                    inflection_ms,
+                    ..
+                } => {
+                    d.workload_summaries += 1;
+                    d.workload_completed += completed;
+                    d.workload_dropped += dropped;
+                    d.workload_peak_p99_us = d.workload_peak_p99_us.max(*p99_us);
+                    if let Some(ms) = inflection_ms {
+                        d.workload_inflections += 1;
+                        d.workload_first_inflection_ms = Some(
+                            d.workload_first_inflection_ms
+                                .map_or(*ms, |cur| cur.min(*ms)),
+                        );
+                    }
+                }
                 _ => {}
             }
         }
@@ -202,7 +233,10 @@ impl MetricsDigest {
                 "\"gaps\":{},\"cache_hits\":{},\"cache_misses\":{},",
                 "\"clustering_runs\":{},\"clustering_peak_vectors\":{},",
                 "\"checkpoints\":{},\"workers_connected\":{},",
-                "\"workers_lost\":{},\"events_forwarded\":{},\"degraded\":{}}}"
+                "\"workers_lost\":{},\"events_forwarded\":{},\"degraded\":{},",
+                "\"workload\":{{\"summaries\":{},\"completed\":{},",
+                "\"dropped\":{},\"peak_p99_us\":{},\"inflections\":{},",
+                "\"first_inflection_ms\":{}}}}}"
             ),
             self.wall_micros,
             stages.join(","),
@@ -228,6 +262,13 @@ impl MetricsDigest {
             self.workers_lost,
             self.events_forwarded,
             self.degraded,
+            self.workload_summaries,
+            self.workload_completed,
+            self.workload_dropped,
+            self.workload_peak_p99_us,
+            self.workload_inflections,
+            self.workload_first_inflection_ms
+                .map_or("null".to_string(), |ms| ms.to_string()),
         )
     }
 
@@ -325,6 +366,8 @@ mod tests {
         ];
         let d = MetricsDigest::from_records(&records);
         assert_eq!(d.wall_micros, 80);
+        assert_eq!(d.workload_summaries, 0);
+        assert_eq!(d.workload_first_inflection_ms, None);
         assert_eq!(d.stage_wall_micros, vec![("allocated".to_string(), 80)]);
         assert_eq!(d.phase_wall_micros, vec![(1, 60)]);
         assert_eq!(d.experiments, 2);
@@ -333,5 +376,35 @@ mod tests {
         assert_eq!(d.experiment_latency.count, 1);
         assert_eq!(d.experiment_latency.p50_micros, 30);
         crate::json::validate(&d.to_json()).expect("digest JSON is valid");
+    }
+
+    #[test]
+    fn digest_folds_workload_summaries() {
+        let summary =
+            |seed: u64, p99_us: u64, inflection_ms: Option<u64>| EventKind::WorkloadSummary {
+                test: 0,
+                seed,
+                offered: 1_000,
+                completed: 990,
+                dropped: 10,
+                p50_us: 250,
+                p99_us,
+                inflection_ms,
+            };
+        let records = vec![
+            rec(0, 10, None, summary(1, 900, None)),
+            rec(1, 20, None, summary(2, 52_000, Some(4_750))),
+            rec(2, 30, None, summary(3, 48_000, Some(2_500))),
+        ];
+        let d = MetricsDigest::from_records(&records);
+        assert_eq!(d.workload_summaries, 3);
+        assert_eq!(d.workload_completed, 2_970);
+        assert_eq!(d.workload_dropped, 30);
+        assert_eq!(d.workload_peak_p99_us, 52_000);
+        assert_eq!(d.workload_inflections, 2);
+        assert_eq!(d.workload_first_inflection_ms, Some(2_500));
+        let json = d.to_json();
+        assert!(json.contains("\"first_inflection_ms\":2500"), "{json}");
+        crate::json::validate(&json).expect("digest JSON is valid");
     }
 }

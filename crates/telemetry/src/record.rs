@@ -265,6 +265,28 @@ pub enum EventKind {
         /// Records flushed.
         records: usize,
     },
+    /// An open-loop workload run folded its per-request latency into a
+    /// summary (one per `(test, seed)` experiment on workload targets).
+    WorkloadSummary {
+        /// Workload id the summary belongs to.
+        test: u32,
+        /// Seed of the run.
+        seed: u64,
+        /// Requests the arrival source offered.
+        offered: u64,
+        /// Requests that completed within their deadline.
+        completed: u64,
+        /// Requests shed or timed out.
+        dropped: u64,
+        /// Whole-run median latency, µs.
+        p50_us: u64,
+        /// Whole-run p99 latency, µs.
+        p99_us: u64,
+        /// Start of the first latency window whose p99 inflected (≥
+        /// `INFLECTION_FACTOR`× the quietest window), ms — the cascade
+        /// onset signal — or `None` when latency stayed flat.
+        inflection_ms: Option<u64>,
+    },
 }
 
 impl EventKind {
@@ -294,6 +316,7 @@ impl EventKind {
             EventKind::ForwardedFailure { .. } => "forwarded_failure",
             EventKind::ForwardedCache { .. } => "forwarded_cache",
             EventKind::JournalFlushed { .. } => "journal_flushed",
+            EventKind::WorkloadSummary { .. } => "workload_summary",
         }
     }
 
@@ -319,6 +342,7 @@ impl EventKind {
                 | EventKind::TraceCache { .. }
                 | EventKind::Clustering { .. }
                 | EventKind::Degraded { .. }
+                | EventKind::WorkloadSummary { .. }
         )
     }
 }
@@ -518,6 +542,26 @@ impl Persist for EventKind {
                 path.put(w);
                 records.put(w);
             }
+            EventKind::WorkloadSummary {
+                test,
+                seed,
+                offered,
+                completed,
+                dropped,
+                p50_us,
+                p99_us,
+                inflection_ms,
+            } => {
+                23u8.put(w);
+                test.put(w);
+                seed.put(w);
+                offered.put(w);
+                completed.put(w);
+                dropped.put(w);
+                p50_us.put(w);
+                p99_us.put(w);
+                inflection_ms.put(w);
+            }
         }
     }
 
@@ -632,6 +676,16 @@ impl Persist for EventKind {
             22 => EventKind::JournalFlushed {
                 path: String::load(r)?,
                 records: usize::load(r)?,
+            },
+            23 => EventKind::WorkloadSummary {
+                test: u32::load(r)?,
+                seed: u64::load(r)?,
+                offered: u64::load(r)?,
+                completed: u64::load(r)?,
+                dropped: u64::load(r)?,
+                p50_us: u64::load(r)?,
+                p99_us: u64::load(r)?,
+                inflection_ms: Option::load(r)?,
             },
             n => {
                 return Err(CsnakeError::SnapshotCorrupt(format!(
@@ -887,6 +941,24 @@ impl TelemetryRecord {
                     json_escape(path)
                 ));
             }
+            EventKind::WorkloadSummary {
+                test,
+                seed,
+                offered,
+                completed,
+                dropped,
+                p50_us,
+                p99_us,
+                inflection_ms,
+            } => {
+                s.push_str(&format!(
+                    ",\"test\":{test},\"seed\":{seed},\"offered\":{offered},\"completed\":{completed},\"dropped\":{dropped},\"p50_us\":{p50_us},\"p99_us\":{p99_us}"
+                ));
+                match inflection_ms {
+                    Some(ms) => s.push_str(&format!(",\"inflection_ms\":{ms}")),
+                    None => s.push_str(",\"inflection_ms\":null"),
+                }
+            }
         }
         s.push('}');
         s
@@ -1039,6 +1111,22 @@ mod tests {
                     score: 0.25,
                 },
             },
+            TelemetryRecord {
+                seq: 4,
+                micros: 700,
+                thread: "w-2".into(),
+                dur_micros: None,
+                kind: EventKind::WorkloadSummary {
+                    test: 1,
+                    seed: 42,
+                    offered: 6_000,
+                    completed: 5_900,
+                    dropped: 100,
+                    p50_us: 300,
+                    p99_us: 41_000,
+                    inflection_ms: Some(4_250),
+                },
+            },
         ]
     }
 
@@ -1067,7 +1155,8 @@ mod tests {
             other => panic!("expected SnapshotTorn, got {other:?}"),
         }
         // Cut inside a frame header.
-        match decode_journal(&bytes[..bytes.len() - seal_record(&records[3]).len() + 5]) {
+        match decode_journal(&bytes[..bytes.len() - seal_record(records.last().unwrap()).len() + 5])
+        {
             Err(CsnakeError::SnapshotTorn { .. }) => {}
             other => panic!("expected SnapshotTorn, got {other:?}"),
         }

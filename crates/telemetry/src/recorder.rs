@@ -354,6 +354,19 @@ impl CampaignObserver for FlightRecorder {
         });
     }
 
+    fn workload_summary(&self, summary: &csnake_core::WorkloadSummary) {
+        self.record(EventKind::WorkloadSummary {
+            test: summary.test.0,
+            seed: summary.seed,
+            offered: summary.offered,
+            completed: summary.completed,
+            dropped: summary.dropped,
+            p50_us: summary.p50_us,
+            p99_us: summary.p99_us,
+            inflection_ms: summary.p99_inflection_milli(),
+        });
+    }
+
     fn batch_retried(&self, batch: usize, failed_jobs: usize, attempt: u32, backoff_ms: u64) {
         self.record(EventKind::BatchRetried {
             batch,

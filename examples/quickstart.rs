@@ -34,6 +34,26 @@
 //!
 //! See the `csnake_scenario` crate docs for the full language walkthrough.
 //!
+//! # Drive real traffic
+//!
+//! Shipped targets run *closed* workloads — a fixed job list. The
+//! `csnake-workload` crate supplies *open-loop* traffic: deterministic
+//! arrival processes (Poisson, bursty on/off, diurnal) and recorded
+//! request traces compile into ordinary `TargetSystem`s, pre-scheduling
+//! millions of pending request timers per experiment (the load shape the
+//! simulator's event-wheel scheduler exists for) and folding per-request
+//! latency into windowed percentile summaries that stream through
+//! campaign observers into the telemetry digest. The pseudo-targets
+//! resolve everywhere a name does — `workload:open-loop`,
+//! `workload:poisson`, `workload:bursty`, `workload:diurnal`,
+//! `workload:replay` — and the `trace_driven_campaign` example walks a
+//! Poisson campaign from arrival spec to detected cascade:
+//!
+//! ```sh
+//! cargo run --release --example trace_driven_campaign
+//! cargo run -p csnake-bench --bin table4 -- --target workload:open-loop
+//! ```
+//!
 //! # Distribute the campaign
 //!
 //! The same pipeline shards across worker processes without changing its

@@ -7,3 +7,4 @@ pub use csnake_scenario as scenario;
 pub use csnake_sim as sim;
 pub use csnake_targets as targets;
 pub use csnake_telemetry as telemetry;
+pub use csnake_workload as workload;
